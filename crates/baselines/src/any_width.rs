@@ -1,0 +1,259 @@
+//! The any-width network baseline \[13\]: regular, index-ordered subnet
+//! structures on top of the SteppingNet machinery.
+//!
+//! In the any-width network the subnets are "manually determined" and
+//! "must follow the regular pattern" (paper §II): the first `w_k·W` neurons
+//! of every layer form subnet `k`. Triangular connectivity (a neuron reads
+//! only neurons of its own or smaller width classes) is the same legality
+//! rule as SteppingNet's, so we express an any-width instance as a
+//! [`SteppingNet`] with index-ordered assignments — and *skip* the
+//! importance-driven construction that is SteppingNet's contribution.
+
+use stepping_core::{Result, SteppingError, SteppingNet};
+use stepping_data::{BatchIter, Dataset, Split};
+use stepping_nn::{loss, optim::Sgd};
+
+/// Assigns the first `fraction[k]` of every masked stage's neurons to subnet
+/// `≤ k` (regular pattern, Fig. 1(b) of the paper). `fractions` must be
+/// ascending in `(0, 1]`; neurons beyond the last fraction go to the unused
+/// pool.
+///
+/// # Errors
+///
+/// Returns [`SteppingError::BadConfig`] for a fraction vector that is not
+/// ascending in `(0, 1]` or whose length differs from the subnet count.
+pub fn regular_assign(net: &mut SteppingNet, fractions: &[f64]) -> Result<()> {
+    let n = net.subnet_count();
+    if fractions.len() != n {
+        return Err(SteppingError::BadConfig(format!(
+            "{} width fractions for {n} subnets",
+            fractions.len()
+        )));
+    }
+    if !fractions.windows(2).all(|w| w[0] < w[1])
+        || fractions.iter().any(|f| !(0.0..=1.0).contains(f) || *f <= 0.0)
+    {
+        return Err(SteppingError::BadConfig(
+            "width fractions must be ascending within (0, 1]".into(),
+        ));
+    }
+    let mut moves = Vec::new();
+    for si in net.masked_stage_indices() {
+        let count = net.stages()[si].neuron_count().expect("masked stage");
+        // cut[k] = number of neurons active in subnet k (at least 1)
+        let cuts: Vec<usize> =
+            fractions.iter().map(|f| ((count as f64 * f).ceil() as usize).clamp(1, count)).collect();
+        for i in 0..count {
+            let target = cuts.iter().position(|&c| i < c).unwrap_or(n);
+            moves.push((si, i, target));
+        }
+    }
+    net.move_neurons(&moves)
+}
+
+/// Finds per-subnet width fractions whose MAC counts approach (but do not
+/// exceed) `targets`, by monotone bisection per subnet, and installs them via
+/// [`regular_assign`]. Returns the fitted fractions.
+///
+/// # Errors
+///
+/// Returns [`SteppingError::BadConfig`] when `targets` has the wrong length
+/// or even the minimum structure (one neuron per layer) exceeds a target.
+pub fn fit_widths_to_macs(
+    net: &mut SteppingNet,
+    targets: &[u64],
+    prune_threshold: f32,
+) -> Result<Vec<f64>> {
+    let n = net.subnet_count();
+    if targets.len() != n {
+        return Err(SteppingError::BadConfig(format!("{} targets for {n} subnets", targets.len())));
+    }
+    let mut fractions = vec![1.0f64; n];
+    // Fit smallest-first: macs(k) only depends on fractions[0..=k].
+    for k in 0..n {
+        let lo_bound = if k == 0 { 0.0 } else { fractions[k - 1] };
+        let mut lo = lo_bound;
+        let mut hi = 1.0f64;
+        let mut best = None;
+        for _ in 0..24 {
+            let mid = 0.5 * (lo + hi);
+            let mut trial = fractions.clone();
+            trial[k] = mid;
+            // fractions above k must stay ascending for regular_assign
+            for j in k + 1..n {
+                trial[j] = trial[j - 1] + (1.0 - trial[j - 1]) * 0.5;
+            }
+            if ascending(&trial) {
+                regular_assign(net, &trial)?;
+                if net.macs(k, prune_threshold) <= targets[k] {
+                    best = Some(mid);
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            } else {
+                hi = mid;
+            }
+        }
+        fractions[k] = best.ok_or_else(|| {
+            SteppingError::BadConfig(format!(
+                "cannot meet MAC target {} for subnet {k} even at minimum width",
+                targets[k]
+            ))
+        })?;
+    }
+    // ensure strictly ascending after rounding
+    for k in 1..n {
+        if fractions[k] <= fractions[k - 1] {
+            fractions[k] = (fractions[k - 1] + f64::EPSILON * 8.0).min(1.0);
+        }
+    }
+    regular_assign(net, &fractions)?;
+    Ok(fractions)
+}
+
+fn ascending(f: &[f64]) -> bool {
+    f.windows(2).all(|w| w[0] < w[1]) && f.iter().all(|v| *v > 0.0 && *v <= 1.0)
+}
+
+/// Options for [`train_joint`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointTrainOptions {
+    /// Epochs over the training split.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for JointTrainOptions {
+    fn default() -> Self {
+        JointTrainOptions { epochs: 5, batch_size: 32, lr: 0.05, seed: 0 }
+    }
+}
+
+/// Joint training of every subnet (the any-width / slimmable training
+/// recipe): on each batch, each subnet takes one cross-entropy SGD step,
+/// smallest first. Returns the mean loss per epoch per subnet.
+///
+/// # Errors
+///
+/// Returns configuration errors and propagates training errors.
+pub fn train_joint(
+    net: &mut SteppingNet,
+    data: &dyn Dataset,
+    opts: &JointTrainOptions,
+) -> Result<Vec<Vec<f32>>> {
+    if opts.epochs == 0 || opts.batch_size == 0 {
+        return Err(SteppingError::BadConfig("epochs and batch size must be nonzero".into()));
+    }
+    let n = net.subnet_count();
+    let mut sgd = Sgd::new(opts.lr).map_err(SteppingError::Nn)?;
+    let mut all = Vec::with_capacity(opts.epochs);
+    for epoch in 0..opts.epochs {
+        let mut sums = vec![0.0f32; n];
+        let mut counts = vec![0usize; n];
+        for batch in BatchIter::new(data, Split::Train, opts.batch_size, epoch as u64, opts.seed) {
+            let (x, y) = batch?;
+            for k in 0..n {
+                net.zero_grad();
+                let logits = net.forward(&x, k, true)?;
+                let (l, dl) = loss::cross_entropy(&logits, &y).map_err(SteppingError::Nn)?;
+                net.backward(&dl)?;
+                sgd.step(&mut net.params_for(k)?).map_err(SteppingError::Nn)?;
+                sums[k] += l;
+                counts[k] += 1;
+            }
+        }
+        for (s, c) in sums.iter_mut().zip(counts.iter()) {
+            *s /= (*c).max(1) as f32;
+        }
+        all.push(sums);
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepping_core::SteppingNetBuilder;
+    use stepping_data::{GaussianBlobs, GaussianBlobsConfig};
+    use stepping_tensor::Shape;
+
+    fn net() -> SteppingNet {
+        SteppingNetBuilder::new(Shape::of(&[10]), 3, 2)
+            .linear(20)
+            .relu()
+            .linear(16)
+            .relu()
+            .build(4)
+            .unwrap()
+    }
+
+    #[test]
+    fn regular_assign_orders_by_index() {
+        let mut n = net();
+        regular_assign(&mut n, &[0.25, 0.5, 1.0]).unwrap();
+        let a = n.stages()[0].out_assign().unwrap();
+        // 20 neurons: first 5 in subnet 0, next 5 in subnet 1, rest subnet 2
+        assert_eq!(a.subnet_of(0), 0);
+        assert_eq!(a.subnet_of(4), 0);
+        assert_eq!(a.subnet_of(5), 1);
+        assert_eq!(a.subnet_of(10), 2);
+        assert_eq!(a.subnet_of(19), 2);
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn regular_assign_validates_fractions() {
+        let mut n = net();
+        assert!(regular_assign(&mut n, &[0.5, 0.25, 1.0]).is_err());
+        assert!(regular_assign(&mut n, &[0.0, 0.5, 1.0]).is_err());
+        assert!(regular_assign(&mut n, &[0.5, 1.0]).is_err());
+    }
+
+    #[test]
+    fn fitted_widths_meet_mac_targets() {
+        let mut n = net();
+        let full = n.full_macs();
+        let targets = vec![full / 5, full / 2, (full as f64 * 0.9) as u64];
+        let fr = fit_widths_to_macs(&mut n, &targets, 0.0).unwrap();
+        assert!(fr.windows(2).all(|w| w[0] < w[1]), "{fr:?}");
+        for (k, t) in targets.iter().enumerate() {
+            let m = n.macs(k, 0.0);
+            assert!(m <= *t, "subnet {k}: {m} > {t}");
+            // should be a decent fit, not degenerate
+            assert!(m as f64 >= *t as f64 * 0.3, "subnet {k}: {m} far below {t}");
+        }
+    }
+
+    #[test]
+    fn joint_training_reduces_losses() {
+        let data = GaussianBlobs::new(
+            GaussianBlobsConfig {
+                classes: 4,
+                features: 10,
+                train_per_class: 25,
+                test_per_class: 8,
+                separation: 3.0,
+                noise_std: 0.6,
+            },
+            5,
+        )
+        .unwrap();
+        let mut n = net();
+        regular_assign(&mut n, &[0.3, 0.6, 1.0]).unwrap();
+        let losses = train_joint(
+            &mut n,
+            &data,
+            &JointTrainOptions { epochs: 5, lr: 0.1, ..Default::default() },
+        )
+        .unwrap();
+        let first: f32 = losses[0].iter().sum();
+        let last: f32 = losses.last().unwrap().iter().sum();
+        assert!(last < first, "{first} → {last}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # stepping-baselines
+//!
+//! The two state-of-the-art baselines SteppingNet is compared against in the
+//! paper's Fig. 6, implemented from scratch:
+//!
+//! * [`any_width`] — the **any-width network** \[Vu et al., CVPR 2020\]:
+//!   subnets follow a *regular* width pattern (neuron `i` of every layer
+//!   belongs to the subnet of its index class, Fig. 1(b) of the paper). The
+//!   triangular connectivity rule is exactly the SteppingNet legality rule,
+//!   so any-width instances are [`stepping_core::SteppingNet`]s with
+//!   index-ordered assignments and **no** importance-driven construction —
+//!   which is precisely the restriction the paper criticises.
+//! * [`slimmable`] — the **slimmable network** \[Yu et al., ICLR 2019\]:
+//!   each switch uses the first `w·width` neurons of every layer with
+//!   *full* connectivity inside the switch and **switchable batch norm**.
+//!   Larger switches invalidate smaller-switch activations (the synapse
+//!   `3→5` example of the paper's Fig. 1(a)), so switching requires
+//!   recomputation from scratch — the executor here charges those MACs
+//!   honestly.
+//!
+//! Both baselines expose MAC-accounted inference so the Fig. 6 comparison
+//! ("accuracy at equal MAC budget") is apples-to-apples.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod any_width;
+pub mod slimmable;
+
+pub use any_width::{fit_widths_to_macs, regular_assign, train_joint, JointTrainOptions};
+pub use slimmable::{Slimmable, SlimmableBuilder};

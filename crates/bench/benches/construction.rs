@@ -1,0 +1,69 @@
+//! Criterion benchmark of the construction flow's cost: one full
+//! construct() run on a small network, and the MAC-accounting machinery in
+//! isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stepping_core::{construct, ConstructionOptions, SteppingNet, SteppingNetBuilder};
+use stepping_data::{GaussianBlobs, GaussianBlobsConfig};
+use stepping_tensor::Shape;
+
+fn data() -> GaussianBlobs {
+    GaussianBlobs::new(
+        GaussianBlobsConfig {
+            classes: 4,
+            features: 16,
+            train_per_class: 32,
+            test_per_class: 8,
+            separation: 3.0,
+            noise_std: 0.5,
+        },
+        1,
+    )
+    .unwrap()
+}
+
+fn net() -> SteppingNet {
+    SteppingNetBuilder::new(Shape::of(&[16]), 3, 5)
+        .linear(32)
+        .relu()
+        .linear(24)
+        .relu()
+        .build(4)
+        .unwrap()
+}
+
+fn bench_construct(c: &mut Criterion) {
+    let d = data();
+    let mut group = c.benchmark_group("construct");
+    group.sample_size(10);
+    group.bench_function("mlp_3subnets_4iters", |b| {
+        b.iter(|| {
+            let mut n = net();
+            let full = n.full_macs();
+            let opts = ConstructionOptions {
+                mac_targets: vec![full / 5, full / 2, full * 4 / 5],
+                iterations: 4,
+                batches_per_iter: 2,
+                batch_size: 16,
+                ..Default::default()
+            };
+            black_box(construct(&mut n, &d, &opts).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn bench_mac_accounting(c: &mut Criterion) {
+    let n = net();
+    c.bench_function("macs_accounting", |b| {
+        b.iter(|| {
+            for k in 0..3 {
+                black_box(n.macs(black_box(k), 1e-5));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_construct, bench_mac_accounting);
+criterion_main!(benches);

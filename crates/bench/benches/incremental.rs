@@ -1,0 +1,63 @@
+//! Criterion benchmark of the computational-reuse claim: wall-clock time of
+//! expanding to the next subnet incrementally vs recomputing it from
+//! scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stepping_baselines::regular_assign;
+use stepping_core::{IncrementalExecutor, SteppingNet, SteppingNetBuilder};
+use stepping_tensor::{init, Shape};
+
+fn build_net() -> SteppingNet {
+    let mut net = SteppingNetBuilder::new(Shape::of(&[3, 16, 16]), 3, 7)
+        .conv(16, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .conv(24, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .flatten()
+        .linear(48)
+        .relu()
+        .build(10)
+        .unwrap();
+    regular_assign(&mut net, &[0.35, 0.7, 1.0]).unwrap();
+    net
+}
+
+fn bench_expand_vs_scratch(c: &mut Criterion) {
+    let x = init::uniform(Shape::of(&[4, 3, 16, 16]), -1.0, 1.0, &mut init::rng(0));
+    let mut group = c.benchmark_group("expand_to_subnet1");
+    group.bench_function("incremental", |b| {
+        let mut net = build_net();
+        b.iter(|| {
+            let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
+            exec.begin(black_box(&x)).unwrap();
+            black_box(exec.expand().unwrap());
+        });
+    });
+    group.bench_function("from_scratch", |b| {
+        let mut net = build_net();
+        b.iter(|| {
+            // scratch path = run subnet 0, then rerun the whole subnet 1
+            black_box(net.forward(black_box(&x), 0, false).unwrap());
+            black_box(net.forward(black_box(&x), 1, false).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn bench_subnet_forward(c: &mut Criterion) {
+    let x = init::uniform(Shape::of(&[4, 3, 16, 16]), -1.0, 1.0, &mut init::rng(1));
+    let mut net = build_net();
+    let mut group = c.benchmark_group("subnet_forward");
+    for k in 0..3 {
+        group.bench_function(format!("subnet{k}"), |b| {
+            b.iter(|| black_box(net.forward(black_box(&x), k, false).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expand_vs_scratch, bench_subnet_forward);
+criterion_main!(benches);

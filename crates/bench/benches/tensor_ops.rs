@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks of the tensor substrate hot loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stepping_tensor::conv::{im2col, ConvGeometry};
+use stepping_tensor::{init, matmul, Shape};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = init::rng(0);
+        let a = init::uniform(Shape::of(&[n, n]), -1.0, 1.0, &mut rng);
+        let b = init::uniform(Shape::of(&[n, n]), -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
+            bench.iter(|| matmul::matmul(black_box(&a), black_box(&b)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("bt", n), &n, |bench, _| {
+            bench.iter(|| matmul::matmul_bt(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    for &(ch, hw) in &[(3usize, 32usize), (16, 16)] {
+        let mut rng = init::rng(1);
+        let x = init::uniform(Shape::of(&[4, ch, hw, hw]), -1.0, 1.0, &mut rng);
+        let geom = ConvGeometry::new(ch, hw, hw, 3, 3, 1, 1).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("3x3same", format!("{ch}x{hw}")),
+            &ch,
+            |bench, _| {
+                bench.iter(|| im2col(black_box(&x), black_box(&geom)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_im2col);
+criterion_main!(benches);

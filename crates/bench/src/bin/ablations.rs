@@ -1,0 +1,138 @@
+//! Design-choice ablations beyond the paper's Fig. 8: sweeps the
+//! construction/retraining hyper-parameters this reproduction had to pick or
+//! interpret, quantifying how sensitive the headline result is to each.
+//!
+//! * `β` — weight-update suppression base (paper fixes 0.9),
+//! * `γ` — cross-entropy weight of the distillation loss (paper fixes 0.4),
+//! * `α` growth — selection-criterion emphasis on larger subnets (paper 1.5),
+//! * head warm-start — this reproduction's per-subnet-head initialisation
+//!   (DESIGN.md §3.2).
+//!
+//! Run with `cargo run --release -p stepping-bench --bin ablations`.
+
+use std::time::Instant;
+
+use stepping_bench::{format_pct, print_table};
+use stepping_core::eval::evaluate_all;
+use stepping_core::train::{train_subnet, TrainOptions};
+use stepping_core::{
+    construct, distill, ConstructionOptions, DistillOptions, SelectionCriterion,
+    SteppingNetBuilder,
+};
+use stepping_data::{GaussianBlobs, GaussianBlobsConfig, Split};
+use stepping_tensor::Shape;
+
+struct Knobs {
+    beta: f32,
+    gamma: f32,
+    alpha_growth: f64,
+    warm_start: bool,
+    criterion: SelectionCriterion,
+}
+
+fn run(knobs: &Knobs) -> Vec<f32> {
+    let data = GaussianBlobs::new(
+        GaussianBlobsConfig {
+            classes: 6,
+            features: 20,
+            train_per_class: 60,
+            test_per_class: 20,
+            separation: 2.0,
+            noise_std: 1.6,
+        },
+        123,
+    )
+    .expect("dataset");
+    let mut net = SteppingNetBuilder::new(Shape::of(&[20]), 4, 9)
+        .linear(72)
+        .relu()
+        .linear(48)
+        .relu()
+        .build(6)
+        .expect("build");
+    train_subnet(&mut net, &data, 0, &TrainOptions { epochs: 10, lr: 0.1, ..Default::default() })
+        .expect("pretrain");
+    let mut teacher = net.clone();
+    let full = net.full_macs();
+    construct(
+        &mut net,
+        &data,
+        &ConstructionOptions {
+            mac_targets: vec![
+                (full as f64 * 0.10) as u64,
+                (full as f64 * 0.30) as u64,
+                (full as f64 * 0.55) as u64,
+                (full as f64 * 0.85) as u64,
+            ],
+            iterations: 16,
+            batches_per_iter: 5,
+            batch_size: 32,
+            lr: 0.05,
+            beta: knobs.beta,
+            alpha_growth: knobs.alpha_growth,
+            warm_start_heads: knobs.warm_start,
+            criterion: knobs.criterion,
+            ..Default::default()
+        },
+    )
+    .expect("construct");
+    distill(
+        &mut net,
+        &mut teacher,
+        0,
+        &data,
+        &DistillOptions {
+            epochs: 10,
+            lr: 0.03,
+            gamma: knobs.gamma,
+            beta: knobs.beta,
+            ..Default::default()
+        },
+    )
+    .expect("distill");
+    evaluate_all(&mut net, &data, Split::Test, 32).expect("evaluate")
+}
+
+fn baseline() -> Knobs {
+    Knobs {
+        beta: 0.9,
+        gamma: 0.4,
+        alpha_growth: 1.5,
+        warm_start: true,
+        criterion: SelectionCriterion::GradientImportance,
+    }
+}
+
+fn main() {
+    let start = Instant::now();
+    let mut rows = Vec::new();
+    let mut push = |label: String, accs: Vec<f32>| {
+        let mut row = vec![label];
+        row.extend(accs.iter().map(|a| format_pct(*a as f64)));
+        rows.push(row);
+    };
+
+    push("paper defaults".into(), run(&baseline()));
+    for beta in [0.5f32, 0.7, 0.99] {
+        push(format!("beta={beta}"), run(&Knobs { beta, ..baseline() }));
+    }
+    for gamma in [0.0f32, 0.2, 0.7, 1.0] {
+        push(format!("gamma={gamma}"), run(&Knobs { gamma, ..baseline() }));
+    }
+    for alpha_growth in [1.0f64, 2.5] {
+        push(format!("alpha_growth={alpha_growth}"), run(&Knobs { alpha_growth, ..baseline() }));
+    }
+    push("no head warm-start".into(), run(&Knobs { warm_start: false, ..baseline() }));
+    push(
+        "criterion: weight magnitude".into(),
+        run(&Knobs { criterion: SelectionCriterion::WeightMagnitude, ..baseline() }),
+    );
+    push(
+        "criterion: index order".into(),
+        run(&Knobs { criterion: SelectionCriterion::IndexOrder, ..baseline() }),
+    );
+
+    println!("\nABLATIONS: subnet accuracy under hyper-parameter variations");
+    print_table(&["config", "A_1", "A_2", "A_3", "A_4"], &rows);
+    println!("\ntotal wall time: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,90 @@
+//! Regenerates **Fig. 6** of the paper: accuracy-vs-MACs comparison of
+//! SteppingNet against the any-width network \[13\] and the slimmable
+//! network \[10\], five operating points per method per network.
+//!
+//! Run with `cargo run --release -p stepping-bench --bin fig6`.
+
+use std::time::Instant;
+
+use stepping_bench::{ascii_plot, format_pct, print_table, run_any_width, run_slimmable,
+    run_steppingnet, ExperimentScale, Series, TestCase};
+
+/// Five operating points, as in the paper's Fig. 6 x-axes. Each case's grid
+/// starts no lower than its own Table-I minimum budget (the paper's LeNet-5
+/// axis starts at 13.6 %, not 10 % — one full-width conv filter already
+/// costs that much).
+const POINTS: [f64; 5] = [0.10, 0.25, 0.45, 0.65, 0.85];
+
+fn points_for(case: &TestCase) -> Vec<f64> {
+    let floor = case.budgets.first().copied().unwrap_or(POINTS[0]);
+    let mut pts: Vec<f64> = POINTS.iter().map(|p| p.max(floor)).collect();
+    pts.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    pts
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    // VGG's three-method comparison is included beyond quick scale; at quick
+    // scale its pipelines dominate wall time without adding shape signal.
+    let cases = match scale {
+        ExperimentScale::Quick => {
+            vec![TestCase::lenet_3c1l(scale), TestCase::lenet5(scale)]
+        }
+        _ => TestCase::all(scale),
+    };
+    let start = Instant::now();
+    for case in &cases {
+        eprintln!("fig6: {} ({})", case.name, case.dataset_name);
+        let t = Instant::now();
+        let points = points_for(case);
+        let stepping = run_steppingnet(case, Some(&points), true, true);
+        let any = run_any_width(case, &points);
+        let slim = run_slimmable(case, &points);
+        let mut rows = Vec::new();
+        let mut series: Vec<Series> = Vec::new();
+        match stepping {
+            Ok(r) => {
+                let mut pts = Vec::new();
+                for k in 0..r.subnet_acc.len() {
+                    rows.push(vec![
+                        "SteppingNet".to_string(),
+                        format!("{k}"),
+                        format_pct(r.mac_ratio[k]),
+                        format_pct(r.subnet_acc[k] as f64),
+                    ]);
+                    pts.push((r.mac_ratio[k], r.subnet_acc[k] as f64));
+                }
+                series.push(Series { label: "SteppingNet".into(), points: pts });
+            }
+            Err(e) => eprintln!("  steppingnet failed: {e}"),
+        }
+        for b in [any, slim] {
+            match b {
+                Ok(r) => {
+                    let mut pts = Vec::new();
+                    for k in 0..r.accs.len() {
+                        rows.push(vec![
+                            r.method.clone(),
+                            format!("{k}"),
+                            format_pct(r.mac_ratio[k]),
+                            format_pct(r.accs[k] as f64),
+                        ]);
+                        pts.push((r.mac_ratio[k], r.accs[k] as f64));
+                    }
+                    // distinct glyphs by first char: 'S'teppingNet,
+                    // 'A'ny-width, 's'limmable
+                    let label =
+                        if r.method == "Slimmable" { "slimmable" } else { "Any-width" };
+                    series.push(Series { label: label.into(), points: pts });
+                }
+                Err(e) => eprintln!("  baseline failed: {e}"),
+            }
+        }
+        println!("\nFIG. 6 series — {} on {}", case.name, case.dataset_name);
+        print_table(&["method", "point", "MACs/M_t", "accuracy"], &rows);
+        println!();
+        print!("{}", ascii_plot(&series, "MACs/M_t", "accuracy"));
+        eprintln!("  {} finished in {:.1?}", case.name, t.elapsed());
+    }
+    println!("\ntotal wall time: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Fig. 7** of the paper: subnet accuracy under different
+//! width-expansion ratios (`M_i/M_t` is always relative to the *unexpanded*
+//! original network).
+//!
+//! Run with `cargo run --release -p stepping-bench --bin fig7`.
+
+use std::time::Instant;
+
+use stepping_bench::{format_pct, print_table, run_steppingnet, ExperimentScale, TestCase};
+
+const RATIOS: [f64; 4] = [1.0, 1.4, 1.8, 2.2];
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    // VGG is included beyond quick scale; its pipeline dominates wall time.
+    let cases = match scale {
+        ExperimentScale::Quick => {
+            vec![TestCase::lenet_3c1l(scale), TestCase::lenet5(scale)]
+        }
+        _ => TestCase::all(scale),
+    };
+    let start = Instant::now();
+    for case in &cases {
+        println!("\nFIG. 7 series — {} on {}", case.name, case.dataset_name);
+        let mut rows = Vec::new();
+        for ratio in RATIOS {
+            let mut c = case.clone();
+            c.expansion = ratio;
+            match run_steppingnet(&c, None, true, true) {
+                Ok(r) => {
+                    for k in 0..r.subnet_acc.len() {
+                        rows.push(vec![
+                            format!("{ratio}"),
+                            format!("{k}"),
+                            format_pct(r.mac_ratio[k]),
+                            format_pct(r.subnet_acc[k] as f64),
+                        ]);
+                    }
+                }
+                Err(e) => eprintln!("  expansion {ratio} failed: {e}"),
+            }
+        }
+        print_table(&["expansion", "subnet", "MACs/M_t", "accuracy"], &rows);
+    }
+    println!("\ntotal wall time: {:.1?}", start.elapsed());
+}

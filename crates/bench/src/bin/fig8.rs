@@ -1,0 +1,44 @@
+//! Regenerates **Fig. 8** of the paper: ablation of weight-update
+//! suppression (`β^(j−i)` learning-rate scaling) and knowledge distillation
+//! — four configurations per network.
+//!
+//! Run with `cargo run --release -p stepping-bench --bin fig8`.
+
+use std::time::Instant;
+
+use stepping_bench::{format_pct, print_table, run_steppingnet, ExperimentScale, TestCase};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let cases = match scale {
+        ExperimentScale::Quick => {
+            vec![TestCase::lenet_3c1l(scale), TestCase::lenet5(scale)]
+        }
+        _ => TestCase::all(scale),
+    };
+    let configs: [(&str, bool, bool); 4] = [
+        ("suppress+KD (paper)", true, true),
+        ("no-suppress+KD", false, true),
+        ("suppress, no-KD", true, false),
+        ("neither", false, false),
+    ];
+    let start = Instant::now();
+    for case in &cases {
+        println!("\nFIG. 8 ablation — {} on {}", case.name, case.dataset_name);
+        let mut rows = Vec::new();
+        for (label, suppress, kd) in configs {
+            match run_steppingnet(case, None, suppress, kd) {
+                Ok(r) => {
+                    let mut row = vec![label.to_string()];
+                    for k in 0..r.subnet_acc.len() {
+                        row.push(format_pct(r.subnet_acc[k] as f64));
+                    }
+                    rows.push(row);
+                }
+                Err(e) => eprintln!("  config '{label}' failed: {e}"),
+            }
+        }
+        print_table(&["config", "A_1", "A_2", "A_3", "A_4"], &rows);
+    }
+    println!("\ntotal wall time: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,78 @@
+//! Quantifies the **computational-reuse** claim (paper §I contribution 2):
+//! MACs and modeled latency of stepping to each subnet incrementally versus
+//! recomputing it from scratch, plus an anytime drive over a bursty resource
+//! trace.
+//!
+//! Run with `cargo run --release -p stepping-bench --bin reuse`.
+
+use stepping_bench::{print_table, ExperimentScale, TestCase};
+use stepping_core::{construct, train::train_subnet, IncrementalExecutor};
+use stepping_data::{Dataset, Split};
+use stepping_runtime::{drive, expand_macs, DeviceModel, ResourceTrace, UpgradePolicy};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let case = TestCase::lenet_3c1l(scale);
+    let data = case.dataset().expect("dataset");
+    let mut net =
+        case.arch.build(case.budgets.len(), case.model_seed, case.expansion).expect("build");
+    train_subnet(&mut net, &data, 0, &case.pretrain_options()).expect("pretrain");
+    let copts = case.construction_options();
+    let report = construct(&mut net, &data, &copts).expect("construct");
+    eprintln!("constructed; budgets met: {}", report.satisfied);
+
+    let thr = copts.prune_threshold;
+    let device = DeviceModel::embedded();
+    let mut rows = Vec::new();
+    for k in 0..net.subnet_count() {
+        let scratch = net.macs(k, thr);
+        let step = if k == 0 { scratch } else { expand_macs(&net, k - 1, thr).expect("expand") };
+        rows.push(vec![
+            format!("{k}"),
+            scratch.to_string(),
+            step.to_string(),
+            format!("{:.1}x", scratch as f64 / step.max(1) as f64),
+            format!("{:.1}us", device.latency_us(scratch)),
+            format!("{:.1}us", device.latency_us(step)),
+        ]);
+    }
+    println!("\nREUSE: incremental expansion vs from-scratch execution");
+    print_table(
+        &["subnet", "scratch MACs", "step MACs", "saving", "scratch lat", "step lat"],
+        &rows,
+    );
+
+    // verify the executor agrees with the static accounting
+    let (x, _) = data.batch(Split::Test, &[0]).expect("sample");
+    let subnets = net.subnet_count();
+    let mut exec = IncrementalExecutor::new(&mut net, thr);
+    exec.begin(&x).expect("begin");
+    for _ in 1..subnets {
+        exec.expand().expect("expand");
+    }
+    println!("\nexecutor cumulative MACs after final step: {}", exec.cumulative_macs());
+
+    // anytime drive over a bursty trace: incremental vs recompute policies
+    let full = net.macs(net.subnet_count() - 1, thr);
+    let trace = ResourceTrace::bursty(7, full / 8, full / 2, 0.3, 12);
+    let inc = drive(&mut net, &x, &trace, UpgradePolicy::Incremental, thr).expect("drive");
+    let rec = drive(&mut net, &x, &trace, UpgradePolicy::Recompute, thr).expect("drive");
+    println!("\nANYTIME drive over bursty trace ({} slices, {} total MACs):", trace.len(), trace.total());
+    print_table(
+        &["policy", "final subnet", "total MACs", "first prediction"],
+        &[
+            vec![
+                "incremental".into(),
+                format!("{:?}", inc.final_subnet),
+                inc.total_macs.to_string(),
+                format!("{:?}", inc.first_prediction_slice),
+            ],
+            vec![
+                "recompute".into(),
+                format!("{:?}", rec.final_subnet),
+                rec.total_macs.to_string(),
+                format!("{:?}", rec.first_prediction_slice),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Table I** of the paper: inference accuracy of the original
+//! network and of the four constructed subnets, with their `M_i/M_t` MAC
+//! ratios, for LeNet-3C1L/Cifar10, LeNet-5/Cifar10 and VGG-16/Cifar100
+//! (synthetic stand-ins; see DESIGN.md §3.6).
+//!
+//! Run with `cargo run --release -p stepping-bench --bin table1`
+//! (`STEPPING_SCALE=standard|full` for larger runs).
+
+use std::time::Instant;
+
+use stepping_bench::{format_pct, print_table, run_steppingnet, ExperimentScale, TestCase};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let cases = TestCase::all(scale);
+    eprintln!("table1: scale {scale:?}, {} cases", cases.len());
+    let start = Instant::now();
+
+    // The three cases are independent; run them on separate threads.
+    let results: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = cases
+            .iter()
+            .map(|case| {
+                s.spawn(move || {
+                    let t = Instant::now();
+                    let r = run_steppingnet(case, None, true, true);
+                    eprintln!("  {} finished in {:.1?}", case.name, t.elapsed());
+                    r
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("case thread panicked")).collect()
+    });
+
+    let mut rows = Vec::new();
+    for r in results {
+        let r = match r {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("case failed: {e}");
+                continue;
+            }
+        };
+        let mut row = vec![r.name.clone(), r.dataset.clone(), format_pct(r.orig_acc as f64)];
+        for k in 0..r.subnet_acc.len() {
+            row.push(format_pct(r.subnet_acc[k] as f64));
+            row.push(format_pct(r.mac_ratio[k]));
+        }
+        row.push(if r.satisfied { "yes".into() } else { "NO".into() });
+        rows.push(row);
+    }
+    println!("\nTABLE I: Results of SteppingNet (reproduction)");
+    print_table(
+        &[
+            "Network", "Dataset", "Orig.Acc", "A_1", "M_1/M_t", "A_2", "M_2/M_t", "A_3",
+            "M_3/M_t", "A_4", "M_4/M_t", "budgets met",
+        ],
+        &rows,
+    );
+    println!("\ntotal wall time: {:.1?}", start.elapsed());
+}

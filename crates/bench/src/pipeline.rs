@@ -1,0 +1,220 @@
+//! End-to-end experiment pipelines: the full SteppingNet flow
+//! (pretrain → construct → distill → evaluate) and the two baselines.
+
+use stepping_baselines::{fit_widths_to_macs, train_joint, JointTrainOptions, Slimmable, SlimmableBuilder};
+use stepping_core::eval::{evaluate, evaluate_all};
+use stepping_core::train::train_subnet;
+use stepping_core::{construct, distill, Result, SteppingError};
+use stepping_data::{Dataset, InMemory, Split};
+use stepping_models::{Architecture, LayerSpec};
+
+use crate::cases::TestCase;
+
+/// Result of the full SteppingNet pipeline on one test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineResult {
+    /// Case name.
+    pub name: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Accuracy of the unexpanded original network (Table I column 3).
+    pub orig_acc: f32,
+    /// Accuracy per subnet (`A_1 … A_N`).
+    pub subnet_acc: Vec<f32>,
+    /// `M_i / M_t` per subnet (MACs over unexpanded-reference MACs).
+    pub mac_ratio: Vec<f64>,
+    /// Absolute subnet MACs.
+    pub subnet_macs: Vec<u64>,
+    /// Unexpanded reference MACs `M_t`.
+    pub reference_macs: u64,
+    /// Whether construction met every budget.
+    pub satisfied: bool,
+}
+
+/// Result of a baseline (any-width / slimmable) on one test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// Method name.
+    pub method: String,
+    /// Accuracy per operating point.
+    pub accs: Vec<f32>,
+    /// `M_i / M_t` per operating point.
+    pub mac_ratio: Vec<f64>,
+}
+
+/// Runs the complete SteppingNet flow of the paper on `case` with
+/// `subnets` subnets at the given MAC `budgets` (fractions of the
+/// unexpanded reference). Passing `None` uses the case's Table-I budgets.
+///
+/// Ablation switches mirror Fig. 8: `suppress` toggles weight-update
+/// suppression in both construction and retraining; `use_kd` toggles the
+/// KL term of eq. 4.
+///
+/// # Errors
+///
+/// Propagates dataset/training errors.
+pub fn run_steppingnet(
+    case: &TestCase,
+    budgets: Option<&[f64]>,
+    suppress: bool,
+    use_kd: bool,
+) -> Result<PipelineResult> {
+    let data = InMemory::new(&case.dataset()?)?;
+    let budgets: Vec<f64> = budgets.unwrap_or(&case.budgets).to_vec();
+    let subnets = budgets.len();
+    let reference = case.arch.reference_macs();
+
+    // Original (unexpanded) network for Table I's third column. It gets the
+    // same total training budget as the stepping pipeline (pretraining plus
+    // retraining epochs) so the comparison is fair.
+    let mut orig = case.arch.build(1, case.model_seed, 1.0)?;
+    let mut orig_opts = case.pretrain_options();
+    orig_opts.epochs += case.distill_options().epochs;
+    train_subnet(&mut orig, &data, 0, &orig_opts)?;
+    let orig_acc = evaluate(&mut orig, &data, Split::Test, 0, 32)?;
+
+    // Expanded starting network; pretrain (subnet 0 == whole expanded net).
+    let mut net = case.arch.build(subnets, case.model_seed, case.expansion)?;
+    train_subnet(&mut net, &data, 0, &case.pretrain_options())?;
+    let mut teacher = net.clone();
+
+    let mut copts = case.construction_options();
+    copts.mac_targets = case.arch.mac_targets(&budgets);
+    copts.suppress_updates = suppress;
+    let report = construct(&mut net, &data, &copts)?;
+
+    let mut dopts = case.distill_options();
+    dopts.suppress_updates = suppress;
+    dopts.use_distillation = use_kd;
+    distill(&mut net, &mut teacher, 0, &data, &dopts)?;
+
+    let subnet_acc = evaluate_all(&mut net, &data, Split::Test, 32)?;
+    let subnet_macs: Vec<u64> =
+        (0..subnets).map(|k| net.macs(k, copts.prune_threshold)).collect();
+    let mac_ratio = subnet_macs.iter().map(|&m| m as f64 / reference as f64).collect();
+    Ok(PipelineResult {
+        name: case.name.to_string(),
+        dataset: case.dataset_name.to_string(),
+        orig_acc,
+        subnet_acc,
+        mac_ratio,
+        subnet_macs,
+        reference_macs: reference,
+        satisfied: report.satisfied,
+    })
+}
+
+/// Runs the any-width baseline \[13\] on `case` at the given MAC budgets
+/// (fractions of the unexpanded reference): regular index-ordered subnets
+/// fitted to the budgets, joint training, per-subnet accuracy.
+///
+/// # Errors
+///
+/// Propagates dataset/training errors.
+pub fn run_any_width(case: &TestCase, budgets: &[f64]) -> Result<BaselineResult> {
+    let data = InMemory::new(&case.dataset()?)?;
+    let reference = case.arch.reference_macs();
+    let targets: Vec<u64> = case.arch.mac_targets(budgets);
+    let mut net = case.arch.build(budgets.len(), case.model_seed ^ 0x7777, 1.0)?;
+    fit_widths_to_macs(&mut net, &targets, 1e-5)?;
+    let epochs = case.pretrain_options().epochs;
+    train_joint(
+        &mut net,
+        &data,
+        &JointTrainOptions { epochs, batch_size: 32, lr: 0.05, seed: case.model_seed },
+    )?;
+    let accs = evaluate_all(&mut net, &data, Split::Test, 32)?;
+    let mac_ratio =
+        (0..budgets.len()).map(|k| net.macs(k, 1e-5) as f64 / reference as f64).collect();
+    Ok(BaselineResult { method: "Any-width".into(), accs, mac_ratio })
+}
+
+/// Builds a [`Slimmable`] matching an [`Architecture`] spec.
+///
+/// # Errors
+///
+/// Returns [`SteppingError::BadConfig`] for specs using layers the
+/// slimmable baseline does not support (dropout, average pooling).
+pub fn slimmable_from_arch(
+    arch: &Architecture,
+    switches: Vec<f64>,
+    seed: u64,
+) -> Result<Slimmable> {
+    let mut b = SlimmableBuilder::new(arch.input.clone(), switches, seed);
+    for l in &arch.layers {
+        b = match *l {
+            LayerSpec::Conv { out, kernel, stride, padding } => b.conv(out, kernel, stride, padding),
+            LayerSpec::Linear { out } => b.linear(out),
+            LayerSpec::Relu => b.relu(),
+            LayerSpec::MaxPool { kernel, stride } => b.max_pool(kernel, stride),
+            LayerSpec::BatchNorm => b.batch_norm(),
+            LayerSpec::Flatten => b.flatten(),
+            LayerSpec::Dropout(_) => {
+                return Err(SteppingError::BadConfig(
+                    "slimmable baseline does not support dropout".into(),
+                ))
+            }
+        };
+    }
+    b.build(arch.classes)
+}
+
+/// Runs the slimmable baseline \[10\] on `case` at the given MAC budgets:
+/// switch widths fitted to the budgets, switchable batch norm, joint
+/// training, per-switch accuracy.
+///
+/// # Errors
+///
+/// Propagates dataset/training errors.
+pub fn run_slimmable(case: &TestCase, budgets: &[f64]) -> Result<BaselineResult> {
+    let data = InMemory::new(&case.dataset()?)?;
+    let reference = case.arch.reference_macs();
+    let targets: Vec<u64> = case.arch.mac_targets(budgets);
+    // placeholder ascending switches; fitted right after
+    let init: Vec<f64> =
+        (0..budgets.len()).map(|i| (i + 1) as f64 / budgets.len() as f64).collect();
+    let mut slim = slimmable_from_arch(&case.arch, init, case.model_seed ^ 0x9999)?;
+    slim.fit_switches_to_macs(&targets)?;
+    let epochs = case.pretrain_options().epochs;
+    slim.train_joint(
+        &data,
+        &JointTrainOptions { epochs, batch_size: 32, lr: 0.05, seed: case.model_seed },
+    )?;
+    let mut accs = Vec::with_capacity(budgets.len());
+    let mut mac_ratio = Vec::with_capacity(budgets.len());
+    for k in 0..budgets.len() {
+        accs.push(slim.evaluate(&data, Split::Test, k, 32)?);
+        mac_ratio.push(slim.macs(k)? as f64 / reference as f64);
+    }
+    Ok(BaselineResult { method: "Slimmable".into(), accs, mac_ratio })
+}
+
+/// Convenience: chance-level accuracy of a dataset (1/classes), the floor
+/// every method must beat.
+pub fn chance_level(data: &dyn Dataset) -> f32 {
+    1.0 / data.classes() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::ExperimentScale;
+
+    #[test]
+    fn slimmable_from_arch_maps_layers() {
+        let arch = Architecture::lenet_3c1l(10)
+            .with_input(stepping_tensor::Shape::of(&[3, 16, 16]))
+            .scaled(0.25);
+        let slim = slimmable_from_arch(&arch, vec![0.5, 1.0], 0).unwrap();
+        assert_eq!(slim.switch_count(), 2);
+        assert_eq!(slim.classes(), 10);
+    }
+
+    #[test]
+    fn chance_level_is_inverse_classes() {
+        let case = TestCase::lenet_3c1l(ExperimentScale::Quick);
+        let d = case.dataset().unwrap();
+        assert_eq!(d.classes(), 10);
+        assert!((chance_level(&d) - 0.1).abs() < 1e-6);
+    }
+}

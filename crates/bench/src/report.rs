@@ -1,0 +1,185 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// Formats `0.834` as `83.40%` (the paper's accuracy style).
+pub fn format_pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Prints an aligned text table with a header row.
+///
+/// # Example
+///
+/// ```
+/// stepping_bench::print_table(
+///     &["net", "acc"],
+///     &[vec!["LeNet-5".to_string(), "74.96%".to_string()]],
+/// );
+/// ```
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line =
+        |cells: Vec<String>| cells.into_iter().collect::<Vec<_>>().join("  ");
+    let header: Vec<String> =
+        headers.iter().enumerate().map(|(i, h)| format!("{:<w$}", h, w = widths[i])).collect();
+    println!("{}", line(header));
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", line(rule));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .take(cols)
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
+        println!("{}", line(cells));
+    }
+}
+
+/// One labelled series of `(x, y)` points for [`ascii_plot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label; its first character is the plot glyph.
+    pub label: String,
+    /// `(x, y)` points (any order; sorted internally for the legend).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders labelled series as a fixed-size ASCII scatter plot — the
+/// terminal stand-in for the paper's accuracy-vs-MACs figures.
+///
+/// Distinct series use the first character of their label as the marker;
+/// colliding cells show `*`.
+///
+/// # Example
+///
+/// ```
+/// use stepping_bench::report::{ascii_plot, Series};
+///
+/// let plot = ascii_plot(
+///     &[Series { label: "S".into(), points: vec![(0.1, 0.5), (0.9, 0.9)] }],
+///     "MACs/M_t",
+///     "accuracy",
+/// );
+/// assert!(plot.contains('S'));
+/// ```
+pub fn ascii_plot(series: &[Series], x_label: &str, y_label: &str) -> String {
+    const W: usize = 60;
+    const H: usize = 16;
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("(no data)  x: {x_label}, y: {y_label}\n");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; W]; H];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('?');
+        for &(x, y) in &s.points {
+            let cx = (((x - x0) / (x1 - x0)) * (W - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (H - 1) as f64).round() as usize;
+            let row = H - 1 - cy.min(H - 1);
+            let col = cx.min(W - 1);
+            grid[row][col] = if grid[row][col] == ' ' || grid[row][col] == glyph {
+                glyph
+            } else {
+                '*'
+            };
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label} ({y0:.2} … {y1:.2})\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(W));
+    out.push('\n');
+    out.push_str(&format!("{x_label} ({x0:.2} … {x1:.2})   legend: "));
+    for s in series {
+        out.push_str(&format!(
+            "{}={}  ",
+            s.label.chars().next().unwrap_or('?'),
+            s.label
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(format_pct(0.8336), "83.36%");
+        assert_eq!(format_pct(1.0), "100.00%");
+        assert_eq!(format_pct(0.0965), "9.65%");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table(&["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into()]]);
+    }
+
+    #[test]
+    fn ascii_plot_places_markers_and_legend() {
+        let plot = ascii_plot(
+            &[
+                Series { label: "Stepping".into(), points: vec![(0.1, 0.2), (0.8, 0.9)] },
+                Series { label: "Any".into(), points: vec![(0.1, 0.1), (0.8, 0.7)] },
+            ],
+            "macs",
+            "acc",
+        );
+        assert!(plot.contains('S'));
+        assert!(plot.contains('A'));
+        assert!(plot.contains("legend"));
+        assert!(plot.contains("macs (0.10 … 0.80)"));
+    }
+
+    #[test]
+    fn ascii_plot_handles_degenerate_inputs() {
+        assert!(ascii_plot(&[], "x", "y").contains("no data"));
+        // a single point (zero range on both axes) must not divide by zero
+        let plot = ascii_plot(
+            &[Series { label: "P".into(), points: vec![(0.5, 0.5)] }],
+            "x",
+            "y",
+        );
+        assert!(plot.contains('P'));
+    }
+
+    #[test]
+    fn ascii_plot_marks_collisions() {
+        let plot = ascii_plot(
+            &[
+                Series { label: "X".into(), points: vec![(0.5, 0.5)] },
+                Series { label: "Y".into(), points: vec![(0.5, 0.5)] },
+            ],
+            "x",
+            "y",
+        );
+        assert!(plot.contains('*'));
+    }
+}

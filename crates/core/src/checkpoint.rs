@@ -1,0 +1,342 @@
+//! Checkpointing: compact binary save/restore of a [`SteppingNet`]'s state.
+//!
+//! A checkpoint captures everything that evolves during the paper's
+//! workflow — weights, biases, batch-norm affine parameters *and running
+//! statistics*, per-subnet head parameters, and every neuron's subnet
+//! assignment — so a constructed-and-distilled network can be deployed
+//! without re-running construction.
+//!
+//! The format is architecture-relative: restoring requires a network built
+//! from the same architecture spec (same stages and widths); mismatches are
+//! detected and rejected. Layout (little-endian):
+//!
+//! ```text
+//! magic "SNET" | version u32 | subnets u32 | classes u32
+//! per stage, in order:
+//!   params:   (len u32, f32×len) per parameter (layer order)
+//!   bn stats: (len u32, f32×len) mean, then var   (batch-norm stages only)
+//!   assign:   (len u32, u16×len)                  (masked stages only)
+//! per head: weight then bias as (len u32, f32×len)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use stepping_tensor::{Shape, Tensor};
+
+use crate::{FixedStage, Result, Stage, SteppingError, SteppingNet};
+
+const MAGIC: &[u8; 4] = b"SNET";
+const VERSION: u32 = 1;
+
+fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+    buf.put_u32_le(t.len() as u32);
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+fn take_vec(buf: &mut Bytes, what: &str) -> Result<Vec<f32>> {
+    if buf.remaining() < 4 {
+        return Err(SteppingError::BadConfig(format!("checkpoint truncated at {what} length")));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len * 4 {
+        return Err(SteppingError::BadConfig(format!("checkpoint truncated inside {what}")));
+    }
+    Ok((0..len).map(|_| buf.get_f32_le()).collect())
+}
+
+fn take_into_tensor(buf: &mut Bytes, target: &mut Tensor, what: &str) -> Result<()> {
+    let v = take_vec(buf, what)?;
+    if v.len() != target.len() {
+        return Err(SteppingError::InvalidStructure(format!(
+            "checkpoint {what} has {} values, architecture expects {}",
+            v.len(),
+            target.len()
+        )));
+    }
+    target.data_mut().copy_from_slice(&v);
+    Ok(())
+}
+
+fn put_assign(buf: &mut BytesMut, values: &[u16]) {
+    buf.put_u32_le(values.len() as u32);
+    for &v in values {
+        buf.put_u16_le(v);
+    }
+}
+
+fn take_assign(buf: &mut Bytes, expected: usize, what: &str) -> Result<Vec<u16>> {
+    if buf.remaining() < 4 {
+        return Err(SteppingError::BadConfig(format!("checkpoint truncated at {what} length")));
+    }
+    let len = buf.get_u32_le() as usize;
+    if len != expected || buf.remaining() < len * 2 {
+        return Err(SteppingError::InvalidStructure(format!(
+            "checkpoint {what} has {len} entries, architecture expects {expected}"
+        )));
+    }
+    Ok((0..len).map(|_| buf.get_u16_le()).collect())
+}
+
+/// Serialises the network's full mutable state.
+pub fn save_state(net: &mut SteppingNet) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(net.subnet_count() as u32);
+    buf.put_u32_le(net.classes() as u32);
+    let n_stages = net.stages().len();
+    for si in 0..n_stages {
+        // parameters
+        let param_values: Vec<Tensor> = net.stages_mut()[si]
+            .params_mut()
+            .iter()
+            .map(|p| p.value.clone())
+            .collect();
+        for v in &param_values {
+            put_tensor(&mut buf, v);
+        }
+        // extra state
+        match &net.stages()[si] {
+            Stage::Fixed(FixedStage::BatchNorm1d { layer, .. }) => {
+                let (m, v) = layer.running_stats();
+                put_tensor(&mut buf, m);
+                put_tensor(&mut buf, v);
+            }
+            Stage::Fixed(FixedStage::BatchNorm2d { layer, .. }) => {
+                let (m, v) = layer.running_stats();
+                put_tensor(&mut buf, m);
+                put_tensor(&mut buf, v);
+            }
+            s => {
+                if let Some(a) = s.out_assign() {
+                    put_assign(&mut buf, a.values());
+                }
+            }
+        }
+    }
+    for k in 0..net.subnet_count() {
+        let head = net.head(k).expect("head exists");
+        let (w, b) = (head.weight().value.clone(), head.bias().value.clone());
+        put_tensor(&mut buf, &w);
+        put_tensor(&mut buf, &b);
+    }
+    buf.freeze()
+}
+
+/// Restores state saved by [`save_state`] into a network of the **same
+/// architecture** (same stages, widths, subnet count, classes).
+///
+/// # Errors
+///
+/// Returns [`SteppingError::BadConfig`] for corrupted/truncated data and
+/// [`SteppingError::InvalidStructure`] for architecture mismatches; on error
+/// the network may be partially restored and should be discarded.
+pub fn load_state(net: &mut SteppingNet, mut data: Bytes) -> Result<()> {
+    if data.remaining() < 16 {
+        return Err(SteppingError::BadConfig("checkpoint too short".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SteppingError::BadConfig("not a SteppingNet checkpoint".into()));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(SteppingError::BadConfig(format!("unsupported checkpoint version {version}")));
+    }
+    let subnets = data.get_u32_le() as usize;
+    let classes = data.get_u32_le() as usize;
+    if subnets != net.subnet_count() || classes != net.classes() {
+        return Err(SteppingError::InvalidStructure(format!(
+            "checkpoint is for {subnets} subnets / {classes} classes, network has {} / {}",
+            net.subnet_count(),
+            net.classes()
+        )));
+    }
+    let n_stages = net.stages().len();
+    for si in 0..n_stages {
+        {
+            let stage = &mut net.stages_mut()[si];
+            for p in stage.params_mut() {
+                take_into_tensor(&mut data, &mut p.value, "stage parameter")?;
+            }
+        }
+        match &mut net.stages_mut()[si] {
+            Stage::Fixed(FixedStage::BatchNorm1d { layer: bn, .. }) => {
+                let f = bn.features();
+                let m = Tensor::from_vec(Shape::of(&[f]), take_vec(&mut data, "bn mean")?)
+                    .map_err(SteppingError::Tensor)?;
+                let v = Tensor::from_vec(Shape::of(&[f]), take_vec(&mut data, "bn var")?)
+                    .map_err(SteppingError::Tensor)?;
+                bn.set_running_stats(m, v).map_err(SteppingError::Nn)?;
+            }
+            Stage::Fixed(FixedStage::BatchNorm2d { layer: bn, .. }) => {
+                let c = bn.channels();
+                let m = Tensor::from_vec(Shape::of(&[c]), take_vec(&mut data, "bn mean")?)
+                    .map_err(SteppingError::Tensor)?;
+                let v = Tensor::from_vec(Shape::of(&[c]), take_vec(&mut data, "bn var")?)
+                    .map_err(SteppingError::Tensor)?;
+                bn.set_running_stats(m, v).map_err(SteppingError::Nn)?;
+            }
+            s => {
+                if let Some(count) = s.neuron_count() {
+                    let assign = take_assign(&mut data, count, "assignment")?;
+                    for (o, &a) in assign.iter().enumerate() {
+                        s.move_out_neuron(o, a as usize)?;
+                    }
+                }
+            }
+        }
+    }
+    for k in 0..net.subnet_count() {
+        let w = take_vec(&mut data, "head weight")?;
+        let b = take_vec(&mut data, "head bias")?;
+        let head = &mut net.heads_mut()[k];
+        if w.len() != head.weight().value.len() || b.len() != head.bias().value.len() {
+            return Err(SteppingError::InvalidStructure("head size mismatch".into()));
+        }
+        head.weight_mut().value.data_mut().copy_from_slice(&w);
+        head.bias_mut().value.data_mut().copy_from_slice(&b);
+    }
+    if data.has_remaining() {
+        return Err(SteppingError::BadConfig(format!(
+            "{} trailing bytes after checkpoint",
+            data.remaining()
+        )));
+    }
+    net.sync_assignments()
+}
+
+/// Writes [`save_state`] output to a file.
+///
+/// # Errors
+///
+/// Returns [`SteppingError::BadConfig`] wrapping I/O failures.
+pub fn save_to_file(net: &mut SteppingNet, path: impl AsRef<std::path::Path>) -> Result<()> {
+    let bytes = save_state(net);
+    std::fs::write(path, &bytes)
+        .map_err(|e| SteppingError::BadConfig(format!("cannot write checkpoint: {e}")))
+}
+
+/// Reads a checkpoint file and restores it via [`load_state`].
+///
+/// # Errors
+///
+/// Returns [`SteppingError::BadConfig`] wrapping I/O failures and all
+/// [`load_state`] errors.
+pub fn load_from_file(net: &mut SteppingNet, path: impl AsRef<std::path::Path>) -> Result<()> {
+    let data = std::fs::read(path)
+        .map_err(|e| SteppingError::BadConfig(format!("cannot read checkpoint: {e}")))?;
+    load_state(net, Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SteppingNetBuilder;
+    use stepping_tensor::init;
+
+    fn cnn() -> SteppingNet {
+        SteppingNetBuilder::new(Shape::of(&[2, 8, 8]), 3, 5)
+            .conv(4, 3, 1, 1)
+            .batch_norm()
+            .relu()
+            .max_pool(2, 2)
+            .flatten()
+            .linear(10)
+            .relu()
+            .build(3)
+            .unwrap()
+    }
+
+    fn trained_cnn() -> SteppingNet {
+        let mut net = cnn();
+        net.move_neurons(&[(0, 1, 1), (0, 3, 2), (5, 2, 1)]).unwrap();
+        // perturb weights + BN stats so the state is non-trivial
+        let x = init::uniform(Shape::of(&[4, 2, 8, 8]), -1.0, 1.0, &mut init::rng(1));
+        for _ in 0..3 {
+            net.forward(&x, 2, true).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn save_load_round_trip_is_exact() {
+        let mut net = trained_cnn();
+        let x = init::uniform(Shape::of(&[2, 2, 8, 8]), -1.0, 1.0, &mut init::rng(2));
+        let refs: Vec<Tensor> = (0..3).map(|k| net.forward(&x, k, false).unwrap()).collect();
+        let blob = save_state(&mut net);
+
+        let mut fresh = cnn();
+        load_state(&mut fresh, blob).unwrap();
+        fresh.check_invariants().unwrap();
+        for k in 0..3 {
+            assert_eq!(fresh.forward(&x, k, false).unwrap(), refs[k], "subnet {k} differs");
+            assert_eq!(fresh.macs(k, 1e-5), net.macs(k, 1e-5));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("steppingnet-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.snet");
+        let mut net = trained_cnn();
+        save_to_file(&mut net, &path).unwrap();
+        let mut fresh = cnn();
+        load_from_file(&mut fresh, &path).unwrap();
+        let x = init::uniform(Shape::of(&[1, 2, 8, 8]), -1.0, 1.0, &mut init::rng(3));
+        assert_eq!(net.forward(&x, 1, false).unwrap(), fresh.forward(&x, 1, false).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_and_mismatched_checkpoints_rejected() {
+        let mut net = trained_cnn();
+        let blob = save_state(&mut net);
+        // magic corruption
+        let mut bad = blob.to_vec();
+        bad[0] = b'X';
+        assert!(load_state(&mut cnn(), Bytes::from(bad)).is_err());
+        // truncation
+        let short = blob.slice(..blob.len() / 2);
+        assert!(load_state(&mut cnn(), short).is_err());
+        // trailing garbage
+        let mut long = blob.to_vec();
+        long.push(0);
+        assert!(load_state(&mut cnn(), Bytes::from(long)).is_err());
+        // architecture mismatch (different widths)
+        let mut other = SteppingNetBuilder::new(Shape::of(&[2, 8, 8]), 3, 5)
+            .conv(5, 3, 1, 1)
+            .batch_norm()
+            .relu()
+            .max_pool(2, 2)
+            .flatten()
+            .linear(10)
+            .relu()
+            .build(3)
+            .unwrap();
+        assert!(load_state(&mut other, blob).is_err());
+    }
+
+    #[test]
+    fn subnet_and_class_counts_checked() {
+        let mut net = trained_cnn();
+        let blob = save_state(&mut net);
+        let mut fewer = SteppingNetBuilder::new(Shape::of(&[2, 8, 8]), 2, 5)
+            .conv(4, 3, 1, 1)
+            .batch_norm()
+            .relu()
+            .max_pool(2, 2)
+            .flatten()
+            .linear(10)
+            .relu()
+            .build(3)
+            .unwrap();
+        assert!(matches!(
+            load_state(&mut fewer, blob),
+            Err(SteppingError::InvalidStructure(_))
+        ));
+    }
+}

@@ -1,0 +1,210 @@
+//! Accuracy evaluation of stepping networks.
+
+use stepping_data::{BatchIter, Dataset, Split};
+use stepping_nn::metrics;
+
+use crate::{Result, SteppingError, SteppingNet};
+
+/// Top-1 accuracy of `subnet` on a dataset split (inference mode).
+///
+/// # Errors
+///
+/// Returns [`SteppingError::BadConfig`] for a zero batch size or an empty
+/// split, and propagates forward errors.
+///
+/// # Example
+///
+/// ```
+/// use stepping_core::{eval::evaluate, SteppingNetBuilder};
+/// use stepping_data::{GaussianBlobs, GaussianBlobsConfig, Split};
+/// use stepping_tensor::Shape;
+///
+/// let data = GaussianBlobs::new(GaussianBlobsConfig::default(), 1)?;
+/// let mut net = SteppingNetBuilder::new(Shape::of(&[16]), 2, 0)
+///     .linear(8).relu().build(4)?;
+/// let acc = evaluate(&mut net, &data, Split::Test, 0, 32)?;
+/// assert!((0.0..=1.0).contains(&acc));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate(
+    net: &mut SteppingNet,
+    data: &dyn Dataset,
+    split: Split,
+    subnet: usize,
+    batch_size: usize,
+) -> Result<f32> {
+    if batch_size == 0 {
+        return Err(SteppingError::BadConfig("batch size must be nonzero".into()));
+    }
+    if data.is_empty(split) {
+        return Err(SteppingError::BadConfig("cannot evaluate on an empty split".into()));
+    }
+    let mut correct = 0.0f64;
+    let mut total = 0usize;
+    // epoch/seed 0: evaluation order does not matter, but keep it stable.
+    for batch in BatchIter::new(data, split, batch_size, 0, 0) {
+        let (x, y) = batch?;
+        let logits = net.forward(&x, subnet, false)?;
+        let acc = metrics::accuracy(&logits, &y).map_err(SteppingError::Nn)?;
+        correct += acc as f64 * y.len() as f64;
+        total += y.len();
+    }
+    Ok((correct / total as f64) as f32)
+}
+
+/// Top-1 accuracy of `subnet` on a split, sharded across `threads` worker
+/// threads (each works on a cloned network, so batch-norm inference caches
+/// don't interfere). Produces the same value as [`evaluate`].
+///
+/// # Errors
+///
+/// Returns [`SteppingError::BadConfig`] for zero `threads`/`batch_size` or
+/// an empty split, and propagates forward errors from any worker.
+pub fn evaluate_parallel(
+    net: &SteppingNet,
+    data: &dyn Dataset,
+    split: Split,
+    subnet: usize,
+    batch_size: usize,
+    threads: usize,
+) -> Result<f32> {
+    if batch_size == 0 || threads == 0 {
+        return Err(SteppingError::BadConfig("batch size and threads must be nonzero".into()));
+    }
+    let len = data.len(split);
+    if len == 0 {
+        return Err(SteppingError::BadConfig("cannot evaluate on an empty split".into()));
+    }
+    let shard = len.div_ceil(threads);
+    let results: Vec<Result<(usize, usize)>> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * shard;
+            let hi = ((t + 1) * shard).min(len);
+            if lo >= hi {
+                continue;
+            }
+            let mut worker = net.clone();
+            handles.push(s.spawn(move || -> Result<(usize, usize)> {
+                let mut correct = 0usize;
+                let mut total = 0usize;
+                let mut i = lo;
+                while i < hi {
+                    let end = (i + batch_size).min(hi);
+                    let idx: Vec<usize> = (i..end).collect();
+                    let (x, y) = data.batch(split, &idx)?;
+                    let logits = worker.forward(&x, subnet, false)?;
+                    let preds =
+                        metrics::predictions(&logits).map_err(SteppingError::Nn)?;
+                    correct += preds.iter().zip(y.iter()).filter(|(p, t)| p == t).count();
+                    total += y.len();
+                    i = end;
+                }
+                Ok((correct, total))
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("eval worker panicked")).collect()
+    });
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for r in results {
+        let (c, t) = r?;
+        correct += c;
+        total += t;
+    }
+    Ok(correct as f32 / total as f32)
+}
+
+/// Accuracy of every subnet on a split, smallest first.
+///
+/// # Errors
+///
+/// Propagates [`evaluate`] errors.
+pub fn evaluate_all(
+    net: &mut SteppingNet,
+    data: &dyn Dataset,
+    split: Split,
+    batch_size: usize,
+) -> Result<Vec<f32>> {
+    (0..net.subnet_count()).map(|k| evaluate(net, data, split, k, batch_size)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train_subnet, TrainOptions};
+    use crate::SteppingNetBuilder;
+    use stepping_data::{GaussianBlobs, GaussianBlobsConfig};
+    use stepping_tensor::Shape;
+
+    fn data() -> GaussianBlobs {
+        GaussianBlobs::new(
+            GaussianBlobsConfig {
+                classes: 3,
+                features: 8,
+                train_per_class: 40,
+                test_per_class: 15,
+                separation: 4.0,
+                noise_std: 0.5,
+            },
+            11,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trained_net_beats_chance() {
+        let d = data();
+        let mut net = SteppingNetBuilder::new(Shape::of(&[8]), 2, 5)
+            .linear(16)
+            .relu()
+            .build(3)
+            .unwrap();
+        train_subnet(&mut net, &d, 0, &TrainOptions { epochs: 10, lr: 0.1, ..Default::default() })
+            .unwrap();
+        let acc = evaluate(&mut net, &d, Split::Test, 0, 16).unwrap();
+        assert!(acc > 0.6, "accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_all_returns_one_entry_per_subnet() {
+        let d = data();
+        let mut net = SteppingNetBuilder::new(Shape::of(&[8]), 3, 5)
+            .linear(6)
+            .relu()
+            .build(3)
+            .unwrap();
+        let accs = evaluate_all(&mut net, &d, Split::Test, 16).unwrap();
+        assert_eq!(accs.len(), 3);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let d = data();
+        let mut net = SteppingNetBuilder::new(Shape::of(&[8]), 2, 5)
+            .linear(16)
+            .relu()
+            .build(3)
+            .unwrap();
+        train_subnet(&mut net, &d, 0, &TrainOptions { epochs: 4, lr: 0.1, ..Default::default() })
+            .unwrap();
+        let seq = evaluate(&mut net, &d, Split::Test, 0, 7).unwrap();
+        for threads in [1usize, 2, 4, 16] {
+            let par = evaluate_parallel(&net, &d, Split::Test, 0, 7, threads).unwrap();
+            assert!((par - seq).abs() < 1e-6, "threads {threads}: {par} vs {seq}");
+        }
+        assert!(evaluate_parallel(&net, &d, Split::Test, 0, 7, 0).is_err());
+        assert!(evaluate_parallel(&net, &d, Split::Test, 0, 0, 2).is_err());
+    }
+
+    #[test]
+    fn bad_batch_size_rejected() {
+        let d = data();
+        let mut net = SteppingNetBuilder::new(Shape::of(&[8]), 2, 5)
+            .linear(6)
+            .relu()
+            .build(3)
+            .unwrap();
+        assert!(evaluate(&mut net, &d, Split::Test, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,467 @@
+//! Anytime inference with computational reuse — the deployment-side payoff
+//! of the stepping structure (paper §I contribution 2: "intermediate results
+//! of a subnet can directly be reused in subsequent larger subnets").
+//!
+//! [`IncrementalExecutor::begin`] runs the smallest subnet and caches every
+//! stage's activations. When more computational resources become available,
+//! [`IncrementalExecutor::expand`] steps to the next subnet by computing
+//! **only the newly added neurons** (plus the next subnet's lightweight
+//! head); cached values are spliced, never recomputed. The executor's outputs
+//! are bit-identical to running the larger subnet from scratch — a property
+//! the test suite asserts exhaustively.
+
+use stepping_tensor::Tensor;
+
+use crate::{FixedStage, Result, Stage, SteppingError, SteppingNet};
+
+/// Outcome of one executor step ([`IncrementalExecutor::begin`] or
+/// [`IncrementalExecutor::expand`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpandStep {
+    /// The subnet now active.
+    pub subnet: usize,
+    /// Class logits of that subnet's head.
+    pub logits: Tensor,
+    /// MAC operations executed by this step alone (new neurons + head).
+    pub step_macs: u64,
+    /// Total MAC operations executed since `begin`.
+    pub cumulative_macs: u64,
+}
+
+/// Stateful anytime-inference driver over a [`SteppingNet`].
+///
+/// # Example
+///
+/// ```
+/// use stepping_core::{IncrementalExecutor, SteppingNetBuilder};
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let mut net = SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
+///     .linear(6).relu().build(3)?;
+/// net.move_neuron(0, 5, 1)?; // neuron 5 only in subnet 1
+/// let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
+/// let first = exec.begin(&Tensor::zeros(Shape::of(&[1, 4])))?;
+/// let second = exec.expand()?; // reuses subnet-0 activations
+/// assert!(second.step_macs < first.step_macs + second.step_macs);
+/// # Ok::<(), stepping_core::SteppingError>(())
+/// ```
+#[derive(Debug)]
+pub struct IncrementalExecutor<'a> {
+    net: &'a mut SteppingNet,
+    prune_threshold: f32,
+    /// `acts[i]` is the input of stage `i`; `acts[stages]` is the feature
+    /// tensor feeding the heads.
+    acts: Vec<Tensor>,
+    current: Option<usize>,
+    /// Largest subnet whose neurons are present in the caches; re-expanding
+    /// up to this level after a contraction costs only the head.
+    computed: usize,
+    cumulative_macs: u64,
+}
+
+impl<'a> IncrementalExecutor<'a> {
+    /// Creates an executor over `net`; `prune_threshold` is the magnitude
+    /// threshold used for MAC accounting.
+    pub fn new(net: &'a mut SteppingNet, prune_threshold: f32) -> Self {
+        IncrementalExecutor {
+            net,
+            prune_threshold,
+            acts: Vec::new(),
+            current: None,
+            computed: 0,
+            cumulative_macs: 0,
+        }
+    }
+
+    /// The subnet most recently executed, if any.
+    pub fn current_subnet(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// Total MACs executed since the last `begin`.
+    pub fn cumulative_macs(&self) -> u64 {
+        self.cumulative_macs
+    }
+
+    /// Runs subnet 0 on `input` (inference mode), caching all activations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn begin(&mut self, input: &Tensor) -> Result<ExpandStep> {
+        self.acts.clear();
+        self.acts.push(input.clone());
+        for si in 0..self.net.stages().len() {
+            let prev = self.acts[si].clone();
+            let out = self.net.stages_mut()[si].forward(&prev, 0, false)?;
+            self.acts.push(out);
+        }
+        let features = self.acts.last().expect("acts nonempty").clone();
+        let logits = self.net.head_forward(&features, 0, false)?;
+        let step_macs = self.net.macs(0, self.prune_threshold);
+        self.current = Some(0);
+        self.computed = 0;
+        self.cumulative_macs = step_macs;
+        Ok(ExpandStep { subnet: 0, logits, step_macs, cumulative_macs: step_macs })
+    }
+
+    /// Steps to the next larger subnet, computing only its new neurons and
+    /// head. Cached activations of smaller subnets are reused verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::ExecutorState`] before `begin` or past the
+    /// largest subnet, and propagates forward errors.
+    pub fn expand(&mut self) -> Result<ExpandStep> {
+        let cur = self.current.ok_or_else(|| {
+            SteppingError::ExecutorState("expand called before begin".into())
+        })?;
+        let k = cur + 1;
+        if k >= self.net.subnet_count() {
+            return Err(SteppingError::ExecutorState(format!(
+                "already at largest subnet {cur}"
+            )));
+        }
+        if k <= self.computed {
+            // The caches already hold every neuron of subnet `k` (we
+            // contracted earlier) — only the head needs to run.
+            let features = self.acts.last().expect("acts nonempty").clone();
+            let logits = self.net.head_forward(&features, k, false)?;
+            let step_macs = self.net.head_macs(k);
+            self.current = Some(k);
+            self.cumulative_macs += step_macs;
+            return Ok(ExpandStep {
+                subnet: k,
+                logits,
+                step_macs,
+                cumulative_macs: self.cumulative_macs,
+            });
+        }
+        let mut step_macs = 0u64;
+        for si in 0..self.net.stages().len() {
+            let input = self.acts[si].clone();
+            match &mut self.net.stages_mut()[si] {
+                Stage::Linear(l) => {
+                    let rows = l.out_assign().members(k);
+                    if !rows.is_empty() {
+                        for &o in &rows {
+                            step_macs += l.neuron_macs(o, self.prune_threshold);
+                        }
+                        let fresh = l.forward_rows(&input, &rows, k)?;
+                        splice_columns(&mut self.acts[si + 1], &fresh, &rows)?;
+                    }
+                }
+                Stage::Conv(c) => {
+                    let chans = c.out_assign().members(k);
+                    if !chans.is_empty() {
+                        for &oc in &chans {
+                            step_macs += c.neuron_macs(oc, self.prune_threshold);
+                        }
+                        let fresh = c.forward_channels(&input, &chans, k)?;
+                        splice_channels(&mut self.acts[si + 1], &fresh, &chans)?;
+                    }
+                }
+                Stage::Fixed(f) => {
+                    // Fixed stages are pure per-channel/per-element maps in
+                    // inference mode; recompute on the updated input (no
+                    // MACs). Cached channels keep their exact old values.
+                    let out = fixed_forward(f, &input)?;
+                    self.acts[si + 1] = out;
+                }
+            }
+        }
+        let features = self.acts.last().expect("acts nonempty").clone();
+        let logits = self.net.head_forward(&features, k, false)?;
+        step_macs += self.net.head_macs(k);
+        self.current = Some(k);
+        self.computed = k;
+        self.cumulative_macs += step_macs;
+        Ok(ExpandStep { subnet: k, logits, step_macs, cumulative_macs: self.cumulative_macs })
+    }
+
+    /// Steps down to the next *smaller* subnet when resources shrink. The
+    /// larger subnet's cached results are reused (paper §II: "the smaller
+    /// subnet can also reuse the intermediate results of the previous larger
+    /// subnet"); only the smaller subnet's head runs, and a later re-expansion
+    /// back up to the previously computed level costs only heads too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::ExecutorState`] before `begin` or at
+    /// subnet 0.
+    pub fn contract(&mut self) -> Result<ExpandStep> {
+        let cur = self.current.ok_or_else(|| {
+            SteppingError::ExecutorState("contract called before begin".into())
+        })?;
+        if cur == 0 {
+            return Err(SteppingError::ExecutorState("already at smallest subnet".into()));
+        }
+        let k = cur - 1;
+        let features = self.acts.last().expect("acts nonempty").clone();
+        let logits = self.net.head_forward(&features, k, false)?;
+        let step_macs = self.net.head_macs(k);
+        self.current = Some(k);
+        self.cumulative_macs += step_macs;
+        Ok(ExpandStep { subnet: k, logits, step_macs, cumulative_macs: self.cumulative_macs })
+    }
+
+    /// Runs `begin` and then `expand`s until `subnet`, returning every step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `begin`/`expand` errors.
+    pub fn run_to(&mut self, input: &Tensor, subnet: usize) -> Result<Vec<ExpandStep>> {
+        if subnet >= self.net.subnet_count() {
+            return Err(SteppingError::SubnetOutOfRange {
+                subnet,
+                count: self.net.subnet_count(),
+            });
+        }
+        let mut steps = vec![self.begin(input)?];
+        while self.current != Some(subnet) {
+            steps.push(self.expand()?);
+        }
+        Ok(steps)
+    }
+}
+
+fn fixed_forward(f: &mut FixedStage, input: &Tensor) -> Result<Tensor> {
+    use stepping_nn::Layer as _;
+    Ok(match f {
+        FixedStage::Relu(l) => l.forward(input, false)?,
+        FixedStage::Tanh(l) => l.forward(input, false)?,
+        FixedStage::Sigmoid(l) => l.forward(input, false)?,
+        FixedStage::MaxPool(l) => l.forward(input, false)?,
+        FixedStage::AvgPool(l) => l.forward(input, false)?,
+        FixedStage::BatchNorm1d { layer, .. } => layer.forward(input, false)?,
+        FixedStage::BatchNorm2d { layer, .. } => layer.forward(input, false)?,
+        FixedStage::Flatten { layer, .. } => layer.forward(input, false)?,
+        FixedStage::Dropout(l) => l.forward(input, false)?,
+    })
+}
+
+/// Writes `fresh` (`[n, cols.len()]`) into columns `cols` of `target`
+/// (`[n, width]`).
+fn splice_columns(target: &mut Tensor, fresh: &Tensor, cols: &[usize]) -> Result<()> {
+    let dims = target.shape().dims().to_vec();
+    if dims.len() != 2 {
+        return Err(SteppingError::InvalidStructure(format!(
+            "column splice expects a matrix, got {}",
+            target.shape()
+        )));
+    }
+    let (n, width) = (dims[0], dims[1]);
+    if fresh.shape().dims() != [n, cols.len()] {
+        return Err(SteppingError::InvalidStructure(format!(
+            "fresh columns {} do not match [{n}, {}]",
+            fresh.shape(),
+            cols.len()
+        )));
+    }
+    let td = target.data_mut();
+    for b in 0..n {
+        for (ci, &c) in cols.iter().enumerate() {
+            td[b * width + c] = fresh.data()[b * cols.len() + ci];
+        }
+    }
+    Ok(())
+}
+
+/// Writes `fresh` (`[n, chans.len(), h, w]`) into channels `chans` of
+/// `target` (`[n, c, h, w]`).
+fn splice_channels(target: &mut Tensor, fresh: &Tensor, chans: &[usize]) -> Result<()> {
+    let dims = target.shape().dims().to_vec();
+    if dims.len() != 4 {
+        return Err(SteppingError::InvalidStructure(format!(
+            "channel splice expects NCHW, got {}",
+            target.shape()
+        )));
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let hw = h * w;
+    if fresh.shape().dims() != [n, chans.len(), h, w] {
+        return Err(SteppingError::InvalidStructure(format!(
+            "fresh channels {} do not match [{n}, {}, {h}, {w}]",
+            fresh.shape(),
+            chans.len()
+        )));
+    }
+    let td = target.data_mut();
+    for b in 0..n {
+        for (ci, &ch) in chans.iter().enumerate() {
+            let src = &fresh.data()[(b * chans.len() + ci) * hw..][..hw];
+            td[(b * c + ch) * hw..][..hw].copy_from_slice(src);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SteppingNetBuilder;
+    use stepping_tensor::{init, Shape};
+
+    fn mlp() -> SteppingNet {
+        let mut net = SteppingNetBuilder::new(Shape::of(&[6]), 3, 1)
+            .linear(10)
+            .relu()
+            .linear(8)
+            .relu()
+            .build(4)
+            .unwrap();
+        // spread neurons across subnets
+        net.move_neurons(&[(0, 1, 1), (0, 2, 2), (0, 3, 1), (2, 0, 1), (2, 5, 2)]).unwrap();
+        net
+    }
+
+    fn cnn() -> SteppingNet {
+        let mut net = SteppingNetBuilder::new(Shape::of(&[2, 8, 8]), 3, 2)
+            .conv(5, 3, 1, 1)
+            .batch_norm()
+            .relu()
+            .max_pool(2, 2)
+            .flatten()
+            .linear(9)
+            .relu()
+            .build(3)
+            .unwrap();
+        net.move_neurons(&[(0, 0, 1), (0, 4, 2), (5, 2, 1), (5, 7, 2)]).unwrap();
+        net
+    }
+
+    #[test]
+    fn incremental_equals_from_scratch_mlp() {
+        let mut net = mlp();
+        let x = init::uniform(Shape::of(&[3, 6]), -1.0, 1.0, &mut init::rng(5));
+        // From-scratch references first (separate clone so caches don't mix).
+        let mut scratch = net.clone();
+        let refs: Vec<Tensor> =
+            (0..3).map(|k| scratch.forward(&x, k, false).unwrap()).collect();
+        let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
+        let s0 = exec.begin(&x).unwrap();
+        assert_eq!(s0.logits, refs[0]);
+        let s1 = exec.expand().unwrap();
+        assert_eq!(s1.logits, refs[1], "subnet 1 logits differ");
+        let s2 = exec.expand().unwrap();
+        assert_eq!(s2.logits, refs[2], "subnet 2 logits differ");
+    }
+
+    #[test]
+    fn incremental_equals_from_scratch_cnn_with_batchnorm() {
+        let mut net = cnn();
+        // give batch norm non-trivial running stats
+        let warm = init::uniform(Shape::of(&[4, 2, 8, 8]), -1.0, 1.0, &mut init::rng(6));
+        for _ in 0..3 {
+            net.forward(&warm, 2, true).unwrap();
+        }
+        let x = init::uniform(Shape::of(&[2, 2, 8, 8]), -1.0, 1.0, &mut init::rng(7));
+        let mut scratch = net.clone();
+        let refs: Vec<Tensor> =
+            (0..3).map(|k| scratch.forward(&x, k, false).unwrap()).collect();
+        let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
+        let steps = exec.run_to(&x, 2).unwrap();
+        for (k, step) in steps.iter().enumerate() {
+            assert_eq!(step.logits, refs[k], "subnet {k} logits differ");
+        }
+    }
+
+    #[test]
+    fn expand_costs_less_than_from_scratch() {
+        let mut net = mlp();
+        let from_scratch: Vec<u64> = (0..3).map(|k| net.macs(k, 1e-5)).collect();
+        let head_total: u64 = (0..3).map(|k| net.head_macs(k)).sum();
+        let stage_total = from_scratch[2] - net.head_macs(2);
+        let x = init::uniform(Shape::of(&[1, 6]), -1.0, 1.0, &mut init::rng(8));
+        let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
+        exec.begin(&x).unwrap();
+        let s1 = exec.expand().unwrap();
+        assert!(
+            s1.step_macs < from_scratch[1],
+            "expansion cost {} should be below from-scratch {}",
+            s1.step_macs,
+            from_scratch[1]
+        );
+        let s2 = exec.expand().unwrap();
+        assert!(s2.step_macs < from_scratch[2]);
+        // cumulative = from-scratch cost of the largest subnet ± head overlap:
+        // we paid heads 0, 1, 2 but reused all stage MACs exactly once.
+        assert_eq!(exec.cumulative_macs(), stage_total + head_total);
+    }
+
+    #[test]
+    fn executor_state_errors() {
+        let mut net = mlp();
+        let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
+        assert!(exec.expand().is_err());
+        let x = init::uniform(Shape::of(&[1, 6]), -1.0, 1.0, &mut init::rng(9));
+        exec.begin(&x).unwrap();
+        exec.expand().unwrap();
+        exec.expand().unwrap();
+        assert!(exec.expand().is_err(), "expanding past the largest subnet must fail");
+        assert!(exec.run_to(&x, 7).is_err());
+    }
+
+    #[test]
+    fn begin_resets_state() {
+        let mut net = mlp();
+        let x = init::uniform(Shape::of(&[1, 6]), -1.0, 1.0, &mut init::rng(10));
+        let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
+        exec.begin(&x).unwrap();
+        exec.expand().unwrap();
+        let again = exec.begin(&x).unwrap();
+        assert_eq!(again.subnet, 0);
+        assert_eq!(exec.current_subnet(), Some(0));
+        assert_eq!(exec.cumulative_macs(), again.step_macs);
+    }
+
+    #[test]
+    fn contract_reuses_larger_subnet_results() {
+        let mut net = mlp();
+        let head1_macs = net.head_macs(1);
+        let head2_macs = net.head_macs(2);
+        let x = init::uniform(Shape::of(&[2, 6]), -1.0, 1.0, &mut init::rng(11));
+        let mut scratch = net.clone();
+        let refs: Vec<Tensor> =
+            (0..3).map(|k| scratch.forward(&x, k, false).unwrap()).collect();
+        let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
+        exec.begin(&x).unwrap();
+        exec.expand().unwrap();
+        exec.expand().unwrap();
+        // shrink: subnet 1's prediction for the head price only
+        let down = exec.contract().unwrap();
+        assert_eq!(down.subnet, 1);
+        assert_eq!(down.logits, refs[1]);
+        assert_eq!(down.step_macs, head1_macs, "contraction should cost only the head");
+        // re-expansion to the already-computed subnet 2 is also head-only
+        let up = exec.expand().unwrap();
+        assert_eq!(up.subnet, 2);
+        assert_eq!(up.logits, refs[2]);
+        assert_eq!(up.step_macs, head2_macs, "re-expansion should cost only the head");
+        // contract twice more hits the floor
+        exec.contract().unwrap();
+        exec.contract().unwrap();
+        assert!(exec.contract().is_err());
+    }
+
+    #[test]
+    fn contract_before_begin_errors() {
+        let mut net = mlp();
+        let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
+        assert!(exec.contract().is_err());
+    }
+
+    #[test]
+    fn splice_helpers_validate_shapes() {
+        let mut t = Tensor::zeros(Shape::of(&[2, 3]));
+        let fresh = Tensor::ones(Shape::of(&[2, 1]));
+        splice_columns(&mut t, &fresh, &[1]).unwrap();
+        assert_eq!(t.data(), &[0., 1., 0., 0., 1., 0.]);
+        assert!(splice_columns(&mut t, &fresh, &[0, 1]).is_err());
+        let mut img = Tensor::zeros(Shape::of(&[1, 2, 1, 2]));
+        let fresh = Tensor::ones(Shape::of(&[1, 1, 1, 2]));
+        splice_channels(&mut img, &fresh, &[1]).unwrap();
+        assert_eq!(img.data(), &[0., 0., 1., 1.]);
+        assert!(splice_channels(&mut img, &fresh, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Layout shuffles between the `im2col` matrix world and NCHW activations.
+
+use stepping_tensor::{Shape, Tensor};
+
+/// Scatters `[n·positions, channels]` rows into NCHW
+/// `[n, channels, oh, ow]`.
+pub(crate) fn mat_to_nchw(mat: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
+    let positions = oh * ow;
+    let mut out = Tensor::zeros(Shape::of(&[n, c, oh, ow]));
+    let src = mat.data();
+    let dst = out.data_mut();
+    for b in 0..n {
+        for p in 0..positions {
+            let row = (b * positions + p) * c;
+            for ch in 0..c {
+                dst[(b * c + ch) * positions + p] = src[row + ch];
+            }
+        }
+    }
+    out
+}
+
+/// Gathers NCHW `[n, channels, oh, ow]` into `[n·positions, channels]` rows —
+/// the inverse of [`mat_to_nchw`].
+pub(crate) fn nchw_to_mat(t: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
+    let positions = oh * ow;
+    let mut out = Tensor::zeros(Shape::of(&[n * positions, c]));
+    let src = t.data();
+    let dst = out.data_mut();
+    for b in 0..n {
+        for p in 0..positions {
+            let row = (b * positions + p) * c;
+            for ch in 0..c {
+                dst[row + ch] = src[(b * c + ch) * positions + p];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepping_tensor::init::{rng, uniform};
+
+    #[test]
+    fn round_trip_is_identity() {
+        let x = uniform(Shape::of(&[2, 3, 2, 4]), -1.0, 1.0, &mut rng(0));
+        let mat = nchw_to_mat(&x, 2, 3, 2, 4);
+        assert_eq!(mat.shape().dims(), &[16, 3]);
+        let back = mat_to_nchw(&mat, 2, 3, 2, 4);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn known_values_land_in_right_cells() {
+        // n=1, c=2, 1x2 spatial
+        let x = Tensor::from_vec(Shape::of(&[1, 2, 1, 2]), vec![1., 2., 3., 4.]).unwrap();
+        let mat = nchw_to_mat(&x, 1, 2, 1, 2);
+        // row 0 = position 0 → [ch0=1, ch1=3]; row 1 = position 1 → [2, 4]
+        assert_eq!(mat.data(), &[1., 3., 2., 4.]);
+    }
+}

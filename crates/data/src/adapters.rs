@@ -1,0 +1,303 @@
+//! Dataset adapters: composable views over an existing [`Dataset`].
+//!
+//! * [`Subset`] — restricts a split to an index list (cross-validation
+//!   folds, debugging slices).
+//! * [`LabelNoise`] — flips a fraction of training labels deterministically
+//!   (failure injection: distillation and construction must degrade
+//!   gracefully, not crash, under corrupted supervision).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stepping_tensor::{Shape, Tensor};
+
+use crate::{DataError, Dataset, Result, Split};
+
+/// Materialises another dataset into memory: every sample is generated once
+/// at construction and then served from RAM.
+///
+/// Procedural datasets like
+/// [`SyntheticImages`](crate::SyntheticImages) re-render samples on every
+/// access; for multi-epoch training loops the render cost dominates, so the
+/// experiment pipelines wrap their datasets in `InMemory` once up front.
+///
+/// # Example
+///
+/// ```
+/// use stepping_data::{Dataset, GaussianBlobs, GaussianBlobsConfig, InMemory, Split};
+///
+/// let inner = GaussianBlobs::new(GaussianBlobsConfig::default(), 0)?;
+/// let cached = InMemory::new(&inner)?;
+/// assert_eq!(cached.sample(Split::Train, 3)?, inner.sample(Split::Train, 3)?);
+/// # Ok::<(), stepping_data::DataError>(())
+/// ```
+#[derive(Debug)]
+pub struct InMemory {
+    train: Vec<(Tensor, usize)>,
+    test: Vec<(Tensor, usize)>,
+    classes: usize,
+    sample_shape: Shape,
+}
+
+impl InMemory {
+    /// Generates and stores every sample of `inner`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation errors from the inner dataset.
+    pub fn new<D: Dataset + ?Sized>(inner: &D) -> Result<Self> {
+        let gen_split = |split: Split| -> Result<Vec<(Tensor, usize)>> {
+            (0..inner.len(split)).map(|i| inner.sample(split, i)).collect()
+        };
+        Ok(InMemory {
+            train: gen_split(Split::Train)?,
+            test: gen_split(Split::Test)?,
+            classes: inner.classes(),
+            sample_shape: inner.sample_shape(),
+        })
+    }
+
+    fn bank(&self, split: Split) -> &[(Tensor, usize)] {
+        match split {
+            Split::Train => &self.train,
+            Split::Test => &self.test,
+        }
+    }
+}
+
+impl Dataset for InMemory {
+    fn len(&self, split: Split) -> usize {
+        self.bank(split).len()
+    }
+
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn sample_shape(&self) -> Shape {
+        self.sample_shape.clone()
+    }
+
+    fn sample(&self, split: Split, index: usize) -> Result<(Tensor, usize)> {
+        self.bank(split)
+            .get(index)
+            .cloned()
+            .ok_or(DataError::IndexOutOfRange { index, len: self.bank(split).len() })
+    }
+}
+
+/// A view over a subset of another dataset's samples.
+///
+/// Both splits are re-indexed: `train_indices` select from the inner train
+/// split, `test_indices` from the inner test split.
+///
+/// # Example
+///
+/// ```
+/// use stepping_data::{Dataset, GaussianBlobs, GaussianBlobsConfig, Split, Subset};
+///
+/// let inner = GaussianBlobs::new(GaussianBlobsConfig::default(), 0)?;
+/// let sub = Subset::new(&inner, vec![0, 2, 4], vec![1])?;
+/// assert_eq!(sub.len(Split::Train), 3);
+/// assert_eq!(sub.len(Split::Test), 1);
+/// # Ok::<(), stepping_data::DataError>(())
+/// ```
+#[derive(Debug)]
+pub struct Subset<'a, D: Dataset + ?Sized> {
+    inner: &'a D,
+    train_indices: Vec<usize>,
+    test_indices: Vec<usize>,
+}
+
+impl<'a, D: Dataset + ?Sized> Subset<'a, D> {
+    /// Creates a subset view; indices must be valid for the inner dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::IndexOutOfRange`] if any index is out of range.
+    pub fn new(inner: &'a D, train_indices: Vec<usize>, test_indices: Vec<usize>) -> Result<Self> {
+        for &i in &train_indices {
+            if i >= inner.len(Split::Train) {
+                return Err(DataError::IndexOutOfRange { index: i, len: inner.len(Split::Train) });
+            }
+        }
+        for &i in &test_indices {
+            if i >= inner.len(Split::Test) {
+                return Err(DataError::IndexOutOfRange { index: i, len: inner.len(Split::Test) });
+            }
+        }
+        Ok(Subset { inner, train_indices, test_indices })
+    }
+
+    fn indices(&self, split: Split) -> &[usize] {
+        match split {
+            Split::Train => &self.train_indices,
+            Split::Test => &self.test_indices,
+        }
+    }
+}
+
+impl<'a, D: Dataset + ?Sized> Dataset for Subset<'a, D> {
+    fn len(&self, split: Split) -> usize {
+        self.indices(split).len()
+    }
+
+    fn classes(&self) -> usize {
+        self.inner.classes()
+    }
+
+    fn sample_shape(&self) -> Shape {
+        self.inner.sample_shape()
+    }
+
+    fn sample(&self, split: Split, index: usize) -> Result<(Tensor, usize)> {
+        let idx = self.indices(split);
+        let &inner_index = idx
+            .get(index)
+            .ok_or(DataError::IndexOutOfRange { index, len: idx.len() })?;
+        self.inner.sample(split, inner_index)
+    }
+}
+
+/// Wraps a dataset, deterministically flipping a fraction of *training*
+/// labels to a different random class (test labels stay clean so accuracy
+/// remains meaningful).
+#[derive(Debug)]
+pub struct LabelNoise<'a, D: Dataset + ?Sized> {
+    inner: &'a D,
+    flip_p: f64,
+    seed: u64,
+}
+
+impl<'a, D: Dataset + ?Sized> LabelNoise<'a, D> {
+    /// Flips each training label with probability `flip_p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] unless `0.0 <= flip_p <= 1.0` and
+    /// the inner dataset has at least two classes.
+    pub fn new(inner: &'a D, flip_p: f64, seed: u64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&flip_p) {
+            return Err(DataError::BadConfig(format!("flip probability {flip_p} not in [0, 1]")));
+        }
+        if inner.classes() < 2 {
+            return Err(DataError::BadConfig("label noise requires at least 2 classes".into()));
+        }
+        Ok(LabelNoise { inner, flip_p, seed })
+    }
+}
+
+impl<'a, D: Dataset + ?Sized> Dataset for LabelNoise<'a, D> {
+    fn len(&self, split: Split) -> usize {
+        self.inner.len(split)
+    }
+
+    fn classes(&self) -> usize {
+        self.inner.classes()
+    }
+
+    fn sample_shape(&self) -> Shape {
+        self.inner.sample_shape()
+    }
+
+    fn sample(&self, split: Split, index: usize) -> Result<(Tensor, usize)> {
+        let (x, y) = self.inner.sample(split, index)?;
+        if split == Split::Test {
+            return Ok((x, y));
+        }
+        let mut rng =
+            StdRng::seed_from_u64(self.seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ index as u64);
+        if rng.random::<f64>() < self.flip_p {
+            // pick a different class uniformly
+            let offset = rng.random_range(1..self.classes());
+            Ok((x, (y + offset) % self.classes()))
+        } else {
+            Ok((x, y))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GaussianBlobs, GaussianBlobsConfig};
+
+    fn inner() -> GaussianBlobs {
+        GaussianBlobs::new(
+            GaussianBlobsConfig { classes: 4, train_per_class: 25, ..Default::default() },
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn subset_reindexes_and_validates() {
+        let d = inner();
+        let s = Subset::new(&d, vec![5, 0, 99], vec![2]).unwrap();
+        assert_eq!(s.len(Split::Train), 3);
+        assert_eq!(s.sample(Split::Train, 0).unwrap(), d.sample(Split::Train, 5).unwrap());
+        assert_eq!(s.sample(Split::Test, 0).unwrap(), d.sample(Split::Test, 2).unwrap());
+        assert!(s.sample(Split::Train, 3).is_err());
+        assert!(Subset::new(&d, vec![100_000], vec![]).is_err());
+        assert!(Subset::new(&d, vec![], vec![100_000]).is_err());
+    }
+
+    #[test]
+    fn label_noise_flips_roughly_p_and_is_deterministic() {
+        let d = inner();
+        let noisy = LabelNoise::new(&d, 0.4, 9).unwrap();
+        let mut flipped = 0;
+        for i in 0..d.len(Split::Train) {
+            let (_, clean) = d.sample(Split::Train, i).unwrap();
+            let (_, dirty) = noisy.sample(Split::Train, i).unwrap();
+            if clean != dirty {
+                flipped += 1;
+            }
+            // determinism
+            assert_eq!(dirty, noisy.sample(Split::Train, i).unwrap().1);
+            // flipped labels stay in range and differ from clean
+            assert!(dirty < d.classes());
+        }
+        let frac = flipped as f64 / d.len(Split::Train) as f64;
+        assert!((0.2..0.6).contains(&frac), "flip fraction {frac}");
+    }
+
+    #[test]
+    fn label_noise_leaves_test_clean() {
+        let d = inner();
+        let noisy = LabelNoise::new(&d, 1.0, 9).unwrap();
+        for i in 0..d.len(Split::Test) {
+            assert_eq!(
+                d.sample(Split::Test, i).unwrap().1,
+                noisy.sample(Split::Test, i).unwrap().1
+            );
+        }
+        // with p=1 every train label differs
+        for i in 0..d.len(Split::Train) {
+            assert_ne!(
+                d.sample(Split::Train, i).unwrap().1,
+                noisy.sample(Split::Train, i).unwrap().1
+            );
+        }
+    }
+
+    #[test]
+    fn in_memory_matches_inner_everywhere() {
+        let d = inner();
+        let m = InMemory::new(&d).unwrap();
+        assert_eq!(m.len(Split::Train), d.len(Split::Train));
+        assert_eq!(m.len(Split::Test), d.len(Split::Test));
+        assert_eq!(m.classes(), d.classes());
+        assert_eq!(m.sample_shape(), d.sample_shape());
+        for i in [0usize, 7, 42] {
+            assert_eq!(m.sample(Split::Train, i).unwrap(), d.sample(Split::Train, i).unwrap());
+        }
+        assert!(m.sample(Split::Train, 10_000).is_err());
+    }
+
+    #[test]
+    fn label_noise_validates_config() {
+        let d = inner();
+        assert!(LabelNoise::new(&d, 1.5, 0).is_err());
+        assert!(LabelNoise::new(&d, -0.1, 0).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+use stepping_tensor::{Shape, Tensor};
+
+use crate::{DataError, Result};
+
+/// Which partition of a dataset to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training partition.
+    Train,
+    /// Held-out evaluation partition.
+    Test,
+}
+
+/// A supervised classification dataset with deterministic sample access.
+///
+/// Implementations generate (or look up) sample `i` of a [`Split`]
+/// reproducibly: calling [`Dataset::sample`] twice with the same arguments
+/// must return identical data. Samples are `(features, label)` where the
+/// feature tensor's shape is [`Dataset::sample_shape`].
+pub trait Dataset: std::fmt::Debug + Send + Sync {
+    /// Number of samples in `split`.
+    fn len(&self, split: Split) -> usize;
+
+    /// Whether `split` has no samples.
+    fn is_empty(&self, split: Split) -> bool {
+        self.len(split) == 0
+    }
+
+    /// Number of target classes.
+    fn classes(&self) -> usize;
+
+    /// Shape of a single sample (without the batch dimension).
+    fn sample_shape(&self) -> Shape;
+
+    /// Deterministically generates sample `index` of `split`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::IndexOutOfRange`] when `index >= len(split)`.
+    fn sample(&self, split: Split, index: usize) -> Result<(Tensor, usize)>;
+
+    /// Assembles a batch `[n, …sample_shape]` plus labels for the given
+    /// indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::IndexOutOfRange`] if any index is out of range.
+    fn batch(&self, split: Split, indices: &[usize]) -> Result<(Tensor, Vec<usize>)> {
+        let sshape = self.sample_shape();
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(sshape.dims());
+        let mut out = Tensor::zeros(Shape::of(&dims));
+        let stride = sshape.len();
+        let mut labels = Vec::with_capacity(indices.len());
+        for (bi, &i) in indices.iter().enumerate() {
+            let (x, y) = self.sample(split, i)?;
+            if x.shape() != &sshape {
+                return Err(DataError::BadConfig(format!(
+                    "sample {i} shape {} differs from declared {sshape}",
+                    x.shape()
+                )));
+            }
+            out.data_mut()[bi * stride..(bi + 1) * stride].copy_from_slice(x.data());
+            labels.push(y);
+        }
+        Ok((out, labels))
+    }
+
+    /// Convenience: the whole split as one batch (use only for small splits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Dataset::batch`] errors.
+    fn full(&self, split: Split) -> Result<(Tensor, Vec<usize>)> {
+        let idx: Vec<usize> = (0..self.len(split)).collect();
+        self.batch(split, &idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-sample fixture dataset: features are `[index, index]`.
+    #[derive(Debug)]
+    struct Fixture;
+
+    impl Dataset for Fixture {
+        fn len(&self, split: Split) -> usize {
+            match split {
+                Split::Train => 4,
+                Split::Test => 2,
+            }
+        }
+
+        fn classes(&self) -> usize {
+            2
+        }
+
+        fn sample_shape(&self) -> Shape {
+            Shape::of(&[2])
+        }
+
+        fn sample(&self, split: Split, index: usize) -> Result<(Tensor, usize)> {
+            if index >= self.len(split) {
+                return Err(DataError::IndexOutOfRange { index, len: self.len(split) });
+            }
+            let v = index as f32;
+            Ok((Tensor::from_vec(Shape::of(&[2]), vec![v, v])?, index % 2))
+        }
+    }
+
+    #[test]
+    fn batch_stacks_samples_in_order() {
+        let d = Fixture;
+        let (x, y) = d.batch(Split::Train, &[2, 0]).unwrap();
+        assert_eq!(x.shape().dims(), &[2, 2]);
+        assert_eq!(x.data(), &[2.0, 2.0, 0.0, 0.0]);
+        assert_eq!(y, vec![0, 0]);
+    }
+
+    #[test]
+    fn batch_propagates_bad_index() {
+        let d = Fixture;
+        assert!(matches!(
+            d.batch(Split::Test, &[5]),
+            Err(DataError::IndexOutOfRange { index: 5, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn full_reads_everything() {
+        let d = Fixture;
+        let (x, y) = d.full(Split::Test).unwrap();
+        assert_eq!(x.shape().dims(), &[2, 2]);
+        assert_eq!(y.len(), 2);
+        assert!(!d.is_empty(Split::Train));
+    }
+}

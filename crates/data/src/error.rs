@@ -1,0 +1,58 @@
+use std::fmt;
+
+use stepping_tensor::TensorError;
+
+/// Error type for dataset construction and access.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A dataset configuration value is invalid.
+    BadConfig(String),
+    /// A sample index exceeded the dataset size.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The dataset size.
+        len: usize,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::BadConfig(msg) => write!(f, "bad dataset config: {msg}"),
+            DataError::IndexOutOfRange { index, len } => {
+                write!(f, "sample index {index} out of range for dataset of {len}")
+            }
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::BadConfig("x".into()).to_string().contains("config"));
+        assert!(DataError::IndexOutOfRange { index: 9, len: 3 }.to_string().contains('9'));
+    }
+}

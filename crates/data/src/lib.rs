@@ -1,0 +1,53 @@
+//! # stepping-data
+//!
+//! Dataset substrate for the SteppingNet (DATE 2023) reproduction.
+//!
+//! The paper evaluates on CIFAR-10 and CIFAR-100, which cannot be downloaded
+//! in this offline environment. Per the substitution policy in `DESIGN.md`
+//! §3.6, this crate provides **deterministic synthetic class-conditional
+//! image suites** with the properties the paper's experiments rely on:
+//!
+//! * a fixed set of classes, each with a smooth random *prototype* pattern,
+//! * per-sample nuisance variation (translation, horizontal flip, additive
+//!   noise) so that capacity buys accuracy — the monotone accuracy-vs-MAC
+//!   staircase of Table I depends on this,
+//! * an exact train/test split with disjoint instance randomness,
+//! * full determinism from a single `u64` seed.
+//!
+//! [`SyntheticImages::cifar10_like`] and [`SyntheticImages::cifar100_like`]
+//! are drop-in stand-ins for the paper's datasets; [`GaussianBlobs`] is a
+//! fast feature-vector task for MLP-level tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use stepping_data::{Dataset, Split, SyntheticImages, SyntheticImagesConfig};
+//!
+//! let cfg = SyntheticImagesConfig { classes: 4, train_per_class: 8, test_per_class: 4,
+//!     height: 8, width: 8, ..SyntheticImagesConfig::default() };
+//! let data = SyntheticImages::new(cfg, 42)?;
+//! let (x, y) = data.batch(Split::Train, &[0, 1, 2])?;
+//! assert_eq!(x.shape().dims(), &[3, 3, 8, 8]);
+//! assert_eq!(y.len(), 3);
+//! # Ok::<(), stepping_data::DataError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod adapters;
+mod blobs;
+mod dataset;
+mod error;
+mod loader;
+mod synthetic;
+
+pub use adapters::{InMemory, LabelNoise, Subset};
+pub use blobs::{GaussianBlobs, GaussianBlobsConfig};
+pub use dataset::{Dataset, Split};
+pub use error::DataError;
+pub use loader::BatchIter;
+pub use synthetic::{SyntheticImages, SyntheticImagesConfig};
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,132 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{Dataset, Result, Split};
+use stepping_tensor::Tensor;
+
+/// Iterator over shuffled mini-batches of a dataset split.
+///
+/// Shuffling is seeded per epoch (`seed + epoch`), so any epoch of any run
+/// can be replayed exactly.
+///
+/// # Example
+///
+/// ```
+/// use stepping_data::{BatchIter, Dataset, GaussianBlobs, GaussianBlobsConfig, Split};
+///
+/// let data = GaussianBlobs::new(GaussianBlobsConfig::default(), 0)?;
+/// let mut total = 0;
+/// for batch in BatchIter::new(&data, Split::Train, 32, 0, 7) {
+///     let (x, y) = batch?;
+///     assert_eq!(x.shape().dims()[0], y.len());
+///     total += y.len();
+/// }
+/// assert_eq!(total, data.len(Split::Train));
+/// # Ok::<(), stepping_data::DataError>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchIter<'a, D: Dataset + ?Sized> {
+    dataset: &'a D,
+    split: Split,
+    batch_size: usize,
+    order: Vec<usize>,
+    cursor: usize,
+}
+
+impl<'a, D: Dataset + ?Sized> BatchIter<'a, D> {
+    /// Creates a batch iterator for one epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(dataset: &'a D, split: Split, batch_size: usize, epoch: u64, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be nonzero");
+        let mut order: Vec<usize> = (0..dataset.len(split)).collect();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(epoch));
+        order.shuffle(&mut rng);
+        BatchIter { dataset, split, batch_size, order, cursor: 0 }
+    }
+
+    /// Number of batches this epoch will yield (last one may be short).
+    pub fn batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl<'a, D: Dataset + ?Sized> Iterator for BatchIter<'a, D> {
+    type Item = Result<(Tensor, Vec<usize>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(self.dataset.batch(self.split, idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GaussianBlobs, GaussianBlobsConfig};
+
+    fn data() -> GaussianBlobs {
+        GaussianBlobs::new(
+            GaussianBlobsConfig { classes: 2, train_per_class: 10, ..Default::default() },
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn covers_every_sample_exactly_once() {
+        let d = data();
+        let mut seen = vec![0u32; d.len(Split::Train)];
+        let mut labels_seen = Vec::new();
+        for b in BatchIter::new(&d, Split::Train, 7, 0, 9) {
+            let (_, y) = b.unwrap();
+            labels_seen.extend(y);
+        }
+        // with 2 classes × 10 samples, each class occurs exactly 10 times
+        for class in 0..2 {
+            assert_eq!(labels_seen.iter().filter(|&&y| y == class).count(), 10);
+        }
+        // count via index order re-derivation: same seed reproduces order
+        let it = BatchIter::new(&d, Split::Train, 7, 0, 9);
+        for i in &it.order {
+            seen[*i] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn epochs_shuffle_differently_but_reproducibly() {
+        let d = data();
+        let o0: Vec<usize> = BatchIter::new(&d, Split::Train, 4, 0, 5).order;
+        let o1: Vec<usize> = BatchIter::new(&d, Split::Train, 4, 1, 5).order;
+        let o0_again: Vec<usize> = BatchIter::new(&d, Split::Train, 4, 0, 5).order;
+        assert_ne!(o0, o1);
+        assert_eq!(o0, o0_again);
+    }
+
+    #[test]
+    fn batch_count_includes_ragged_tail() {
+        let d = data(); // 20 samples
+        assert_eq!(BatchIter::new(&d, Split::Train, 7, 0, 0).batches(), 3);
+        assert_eq!(BatchIter::new(&d, Split::Train, 20, 0, 0).batches(), 1);
+        let sizes: Vec<usize> = BatchIter::new(&d, Split::Train, 7, 0, 0)
+            .map(|b| b.unwrap().1.len())
+            .collect();
+        assert_eq!(sizes, vec![7, 7, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let d = data();
+        let _ = BatchIter::new(&d, Split::Train, 0, 0, 0);
+    }
+}

@@ -1,0 +1,424 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stepping_tensor::{Shape, Tensor};
+
+use crate::{DataError, Dataset, Result, Split};
+
+/// Configuration for a [`SyntheticImages`] suite.
+///
+/// Defaults mirror CIFAR-10 geometry (3×32×32, 10 classes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticImagesConfig {
+    /// Number of target classes.
+    pub classes: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Standard deviation of per-pixel additive Gaussian noise.
+    pub noise_std: f32,
+    /// Maximum |dx|, |dy| of the random translation (cyclic shift).
+    pub max_shift: usize,
+    /// Whether samples may be horizontally flipped.
+    pub flip: bool,
+    /// Number of sinusoidal components per channel in each class prototype.
+    /// More components → finer class structure → harder task.
+    pub prototype_components: usize,
+}
+
+impl Default for SyntheticImagesConfig {
+    fn default() -> Self {
+        SyntheticImagesConfig {
+            classes: 10,
+            channels: 3,
+            height: 32,
+            width: 32,
+            train_per_class: 100,
+            test_per_class: 20,
+            noise_std: 0.6,
+            max_shift: 3,
+            flip: true,
+            prototype_components: 4,
+        }
+    }
+}
+
+impl SyntheticImagesConfig {
+    fn validate(&self) -> Result<()> {
+        if self.classes == 0 {
+            return Err(DataError::BadConfig("classes must be nonzero".into()));
+        }
+        if self.channels == 0 || self.height == 0 || self.width == 0 {
+            return Err(DataError::BadConfig("image extents must be nonzero".into()));
+        }
+        if self.max_shift >= self.height || self.max_shift >= self.width {
+            return Err(DataError::BadConfig(format!(
+                "max_shift {} must be smaller than both image extents",
+                self.max_shift
+            )));
+        }
+        if !(self.noise_std.is_finite() && self.noise_std >= 0.0) {
+            return Err(DataError::BadConfig(format!(
+                "noise_std {} must be non-negative finite",
+                self.noise_std
+            )));
+        }
+        if self.prototype_components == 0 {
+            return Err(DataError::BadConfig("prototype_components must be nonzero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One sinusoidal component of a class prototype.
+#[derive(Debug, Clone, Copy)]
+struct Component {
+    amp: f32,
+    fx: f32,
+    fy: f32,
+    phase: f32,
+}
+
+/// Deterministic synthetic class-conditional image suite — the offline
+/// stand-in for CIFAR-10/100 (`DESIGN.md` §3.6).
+///
+/// Each class owns a smooth random prototype (a small sum of sinusoids per
+/// channel). A sample is its class prototype under a random cyclic
+/// translation, optional horizontal flip, and additive Gaussian noise — the
+/// nuisances that make convolutional capacity pay off.
+///
+/// Sample `i` of a split is a pure function of `(suite seed, split, i)`, so
+/// datasets need no storage and experiments reproduce exactly.
+///
+/// # Example
+///
+/// ```
+/// use stepping_data::{Dataset, Split, SyntheticImages};
+///
+/// let data = SyntheticImages::cifar10_like(7, 32, 8)?;
+/// assert_eq!(data.classes(), 10);
+/// let (x, y) = data.sample(Split::Train, 0)?;
+/// assert_eq!(x.shape().dims(), &[3, 32, 32]);
+/// assert!(y < 10);
+/// # Ok::<(), stepping_data::DataError>(())
+/// ```
+#[derive(Debug)]
+pub struct SyntheticImages {
+    cfg: SyntheticImagesConfig,
+    seed: u64,
+    /// `prototypes[class][channel]` → components.
+    prototypes: Vec<Vec<Vec<Component>>>,
+}
+
+impl SyntheticImages {
+    /// Builds a suite from a config and master seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] for invalid configuration values.
+    pub fn new(cfg: SyntheticImagesConfig, seed: u64) -> Result<Self> {
+        cfg.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5f3c_9d11_aa04_7e2b);
+        let mut prototypes = Vec::with_capacity(cfg.classes);
+        for _ in 0..cfg.classes {
+            let mut per_channel = Vec::with_capacity(cfg.channels);
+            for _ in 0..cfg.channels {
+                let comps = (0..cfg.prototype_components)
+                    .map(|_| Component {
+                        amp: 0.5 + rng.random::<f32>(),
+                        fx: rng.random_range(1..=4) as f32,
+                        fy: rng.random_range(1..=4) as f32,
+                        phase: rng.random::<f32>() * std::f32::consts::TAU,
+                    })
+                    .collect();
+                per_channel.push(comps);
+            }
+            prototypes.push(per_channel);
+        }
+        Ok(SyntheticImages { cfg, seed, prototypes })
+    }
+
+    /// CIFAR-10-sized suite: 10 classes, 3×32×32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] when per-class counts are zero.
+    pub fn cifar10_like(seed: u64, train_per_class: usize, test_per_class: usize) -> Result<Self> {
+        Self::new(
+            SyntheticImagesConfig { train_per_class, test_per_class, ..Default::default() },
+            seed,
+        )
+    }
+
+    /// CIFAR-100-sized suite: 100 classes, 3×32×32, finer prototypes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] when per-class counts are zero.
+    pub fn cifar100_like(seed: u64, train_per_class: usize, test_per_class: usize) -> Result<Self> {
+        Self::new(
+            SyntheticImagesConfig {
+                classes: 100,
+                train_per_class,
+                test_per_class,
+                prototype_components: 6,
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    /// The suite configuration.
+    pub fn config(&self) -> &SyntheticImagesConfig {
+        &self.cfg
+    }
+
+    /// Renders the noiseless prototype of `class` (useful for inspection and
+    /// tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] when `class` is out of range.
+    pub fn prototype(&self, class: usize) -> Result<Tensor> {
+        if class >= self.cfg.classes {
+            return Err(DataError::BadConfig(format!(
+                "class {class} out of range for {} classes",
+                self.cfg.classes
+            )));
+        }
+        self.render(class, 0, 0, false, 0.0, 0)
+    }
+
+    /// Renders class `class` with the given nuisance parameters.
+    fn render(
+        &self,
+        class: usize,
+        dx: usize,
+        dy: usize,
+        flip: bool,
+        noise_std: f32,
+        noise_seed: u64,
+    ) -> Result<Tensor> {
+        let (c, h, w) = (self.cfg.channels, self.cfg.height, self.cfg.width);
+        let mut out = Tensor::zeros(Shape::of(&[c, h, w]));
+        let data = out.data_mut();
+        for ch in 0..c {
+            let comps = &self.prototypes[class][ch];
+            for y in 0..h {
+                // cyclic translation of the underlying field
+                let sy = (y + dy) % h;
+                for x in 0..w {
+                    let raw_x = if flip { w - 1 - x } else { x };
+                    let sx = (raw_x + dx) % w;
+                    let mut v = 0.0;
+                    for comp in comps {
+                        let arg = std::f32::consts::TAU
+                            * (comp.fx * sx as f32 / w as f32 + comp.fy * sy as f32 / h as f32)
+                            + comp.phase;
+                        v += comp.amp * arg.sin();
+                    }
+                    data[(ch * h + y) * w + x] = v;
+                }
+            }
+        }
+        if noise_std > 0.0 {
+            let mut rng = StdRng::seed_from_u64(noise_seed);
+            // Box–Muller pairs, same transform as stepping_tensor::init::normal.
+            let mut i = 0;
+            while i < data.len() {
+                let u1: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
+                let u2: f32 = rng.random();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = std::f32::consts::TAU * u2;
+                data[i] += noise_std * r * theta.cos();
+                i += 1;
+                if i < data.len() {
+                    data[i] += noise_std * r * theta.sin();
+                    i += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn per_class(&self, split: Split) -> usize {
+        match split {
+            Split::Train => self.cfg.train_per_class,
+            Split::Test => self.cfg.test_per_class,
+        }
+    }
+}
+
+impl Dataset for SyntheticImages {
+    fn len(&self, split: Split) -> usize {
+        self.cfg.classes * self.per_class(split)
+    }
+
+    fn classes(&self) -> usize {
+        self.cfg.classes
+    }
+
+    fn sample_shape(&self) -> Shape {
+        Shape::of(&[self.cfg.channels, self.cfg.height, self.cfg.width])
+    }
+
+    fn sample(&self, split: Split, index: usize) -> Result<(Tensor, usize)> {
+        let len = self.len(split);
+        if index >= len {
+            return Err(DataError::IndexOutOfRange { index, len });
+        }
+        let per = self.per_class(split);
+        let class = index / per;
+        let instance = index % per;
+        // Disjoint nuisance streams: the split tag enters the seed.
+        let split_tag: u64 = match split {
+            Split::Train => 0x01,
+            Split::Test => 0x02,
+        };
+        let sample_seed = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(((class as u64) << 32) ^ (instance as u64) ^ (split_tag << 60));
+        let mut rng = StdRng::seed_from_u64(sample_seed);
+        let dx = rng.random_range(0..=2 * self.cfg.max_shift);
+        let dy = rng.random_range(0..=2 * self.cfg.max_shift);
+        let flip = self.cfg.flip && rng.random::<bool>();
+        let noise_seed = rng.random::<u64>();
+        let img = self.render(class, dx, dy, flip, self.cfg.noise_std, noise_seed)?;
+        Ok((img, class))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticImages {
+        SyntheticImages::new(
+            SyntheticImagesConfig {
+                classes: 3,
+                channels: 2,
+                height: 8,
+                width: 8,
+                train_per_class: 5,
+                test_per_class: 2,
+                ..Default::default()
+            },
+            99,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lengths_and_shapes() {
+        let d = small();
+        assert_eq!(d.len(Split::Train), 15);
+        assert_eq!(d.len(Split::Test), 6);
+        assert_eq!(d.sample_shape().dims(), &[2, 8, 8]);
+        assert_eq!(d.classes(), 3);
+    }
+
+    #[test]
+    fn samples_are_deterministic() {
+        let d1 = small();
+        let d2 = small();
+        for i in [0usize, 7, 14] {
+            let (x1, y1) = d1.sample(Split::Train, i).unwrap();
+            let (x2, y2) = d2.sample(Split::Train, i).unwrap();
+            assert_eq!(x1, x2);
+            assert_eq!(y1, y2);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = small().cfg;
+        let a = SyntheticImages::new(cfg, 1).unwrap();
+        let b = SyntheticImages::new(cfg, 2).unwrap();
+        assert_ne!(a.sample(Split::Train, 0).unwrap().0, b.sample(Split::Train, 0).unwrap().0);
+    }
+
+    #[test]
+    fn train_and_test_instances_differ() {
+        let d = small();
+        let (tr, _) = d.sample(Split::Train, 0).unwrap();
+        let (te, _) = d.sample(Split::Test, 0).unwrap();
+        assert_ne!(tr, te);
+    }
+
+    #[test]
+    fn labels_partition_by_class() {
+        let d = small();
+        for i in 0..d.len(Split::Train) {
+            let (_, y) = d.sample(Split::Train, i).unwrap();
+            assert_eq!(y, i / 5);
+        }
+    }
+
+    #[test]
+    fn same_class_shares_structure() {
+        // Two samples of the same class must correlate more with their own
+        // prototype than with another class's prototype, on average.
+        let d = SyntheticImages::new(
+            SyntheticImagesConfig {
+                classes: 2,
+                channels: 1,
+                height: 16,
+                width: 16,
+                train_per_class: 20,
+                test_per_class: 2,
+                noise_std: 0.3,
+                max_shift: 0,
+                flip: false,
+                ..Default::default()
+            },
+            5,
+        )
+        .unwrap();
+        let p0 = d.prototype(0).unwrap();
+        let p1 = d.prototype(1).unwrap();
+        let mut own = 0.0;
+        let mut other = 0.0;
+        for i in 0..20 {
+            let (x, y) = d.sample(Split::Train, i).unwrap();
+            assert_eq!(y, i / 20);
+            own += x.dot(&p0).unwrap();
+            other += x.dot(&p1).unwrap();
+        }
+        assert!(own > other, "class-0 samples should align with prototype 0: {own} vs {other}");
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let bad = SyntheticImagesConfig { classes: 0, ..Default::default() };
+        assert!(SyntheticImages::new(bad, 0).is_err());
+        let bad = SyntheticImagesConfig { max_shift: 32, ..Default::default() };
+        assert!(SyntheticImages::new(bad, 0).is_err());
+        let bad = SyntheticImagesConfig { noise_std: -1.0, ..Default::default() };
+        assert!(SyntheticImages::new(bad, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_index() {
+        let d = small();
+        assert!(matches!(
+            d.sample(Split::Test, 6),
+            Err(DataError::IndexOutOfRange { index: 6, len: 6 })
+        ));
+    }
+
+    #[test]
+    fn cifar_presets() {
+        let c10 = SyntheticImages::cifar10_like(0, 2, 1).unwrap();
+        assert_eq!(c10.classes(), 10);
+        assert_eq!(c10.sample_shape().dims(), &[3, 32, 32]);
+        let c100 = SyntheticImages::cifar100_like(0, 1, 1).unwrap();
+        assert_eq!(c100.classes(), 100);
+    }
+}

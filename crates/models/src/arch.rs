@@ -1,0 +1,387 @@
+use stepping_core::{Result, SteppingError, SteppingNet, SteppingNetBuilder};
+use stepping_tensor::conv::ConvGeometry;
+use stepping_tensor::Shape;
+
+/// One layer of an [`Architecture`] spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LayerSpec {
+    /// Masked convolution (`out` filters, square `kernel`, `stride`,
+    /// `padding`).
+    Conv {
+        /// Output filters (before expansion/scaling).
+        out: usize,
+        /// Square kernel extent.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+    },
+    /// Masked fully-connected layer.
+    Linear {
+        /// Output neurons (before expansion/scaling).
+        out: usize,
+    },
+    /// ReLU activation.
+    Relu,
+    /// Max pooling.
+    MaxPool {
+        /// Window extent.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Batch normalisation (1-D or 2-D depending on position).
+    BatchNorm,
+    /// Inverted dropout.
+    Dropout(f32),
+    /// Flatten image pipeline to features.
+    Flatten,
+}
+
+/// A declarative network architecture that can be instantiated as a
+/// [`SteppingNet`] at any width-expansion ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Architecture {
+    /// Human-readable name (used in experiment reports).
+    pub name: String,
+    /// Input sample shape (`[c, h, w]` or `[features]`).
+    pub input: Shape,
+    /// Output classes.
+    pub classes: usize,
+    /// Layer stack.
+    pub layers: Vec<LayerSpec>,
+}
+
+fn scale_width(w: usize, ratio: f64) -> usize {
+    ((w as f64 * ratio).round() as usize).max(1)
+}
+
+impl Architecture {
+    /// LeNet-3C1L (3 conv + 1 FC before the classifier), the Caffe
+    /// CIFAR-10-quick style network of Table I, for 3×32×32 inputs.
+    pub fn lenet_3c1l(classes: usize) -> Self {
+        Architecture {
+            name: "LeNet-3C1L".into(),
+            input: Shape::of(&[3, 32, 32]),
+            classes,
+            layers: vec![
+                LayerSpec::Conv { out: 32, kernel: 5, stride: 1, padding: 2 },
+                LayerSpec::Relu,
+                LayerSpec::MaxPool { kernel: 2, stride: 2 },
+                LayerSpec::Conv { out: 32, kernel: 5, stride: 1, padding: 2 },
+                LayerSpec::Relu,
+                LayerSpec::MaxPool { kernel: 2, stride: 2 },
+                LayerSpec::Conv { out: 64, kernel: 5, stride: 1, padding: 2 },
+                LayerSpec::Relu,
+                LayerSpec::MaxPool { kernel: 2, stride: 2 },
+                LayerSpec::Flatten,
+                LayerSpec::Linear { out: 64 },
+                LayerSpec::Relu,
+            ],
+        }
+    }
+
+    /// LeNet-5 (2 conv + 2 FC before the classifier) for 3×32×32 inputs.
+    pub fn lenet5(classes: usize) -> Self {
+        Architecture {
+            name: "LeNet-5".into(),
+            input: Shape::of(&[3, 32, 32]),
+            classes,
+            layers: vec![
+                LayerSpec::Conv { out: 6, kernel: 5, stride: 1, padding: 2 },
+                LayerSpec::Relu,
+                LayerSpec::MaxPool { kernel: 2, stride: 2 },
+                LayerSpec::Conv { out: 16, kernel: 5, stride: 1, padding: 0 },
+                LayerSpec::Relu,
+                LayerSpec::MaxPool { kernel: 2, stride: 2 },
+                LayerSpec::Flatten,
+                LayerSpec::Linear { out: 120 },
+                LayerSpec::Relu,
+                LayerSpec::Linear { out: 84 },
+                LayerSpec::Relu,
+            ],
+        }
+    }
+
+    /// VGG-16 (13 conv + 1 FC before the classifier) in its CIFAR form
+    /// (batch-norm variant, 3×32×32 inputs).
+    pub fn vgg16(classes: usize) -> Self {
+        let mut layers = Vec::new();
+        let blocks: [&[usize]; 5] =
+            [&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+        for block in blocks {
+            for &out in block {
+                layers.push(LayerSpec::Conv { out, kernel: 3, stride: 1, padding: 1 });
+                layers.push(LayerSpec::BatchNorm);
+                layers.push(LayerSpec::Relu);
+            }
+            layers.push(LayerSpec::MaxPool { kernel: 2, stride: 2 });
+        }
+        layers.push(LayerSpec::Flatten);
+        layers.push(LayerSpec::Linear { out: 512 });
+        layers.push(LayerSpec::Relu);
+        Architecture { name: "VGG-16".into(), input: Shape::of(&[3, 32, 32]), classes, layers }
+    }
+
+    /// AlexNet adapted to 3×32×32 inputs (the paper's §I motivates the
+    /// latency problem with AlexNet's 26 ms on a GTX 1070 Ti).
+    pub fn alexnet(classes: usize) -> Self {
+        Architecture {
+            name: "AlexNet".into(),
+            input: Shape::of(&[3, 32, 32]),
+            classes,
+            layers: vec![
+                LayerSpec::Conv { out: 64, kernel: 3, stride: 1, padding: 1 },
+                LayerSpec::Relu,
+                LayerSpec::MaxPool { kernel: 2, stride: 2 },
+                LayerSpec::Conv { out: 192, kernel: 3, stride: 1, padding: 1 },
+                LayerSpec::Relu,
+                LayerSpec::MaxPool { kernel: 2, stride: 2 },
+                LayerSpec::Conv { out: 384, kernel: 3, stride: 1, padding: 1 },
+                LayerSpec::Relu,
+                LayerSpec::Conv { out: 256, kernel: 3, stride: 1, padding: 1 },
+                LayerSpec::Relu,
+                LayerSpec::Conv { out: 256, kernel: 3, stride: 1, padding: 1 },
+                LayerSpec::Relu,
+                LayerSpec::MaxPool { kernel: 2, stride: 2 },
+                LayerSpec::Flatten,
+                LayerSpec::Dropout(0.5),
+                LayerSpec::Linear { out: 512 },
+                LayerSpec::Relu,
+                LayerSpec::Dropout(0.5),
+                LayerSpec::Linear { out: 256 },
+                LayerSpec::Relu,
+            ],
+        }
+    }
+
+    /// A plain MLP over flat features (fast workloads for tests/examples).
+    pub fn mlp(input_features: usize, hidden: &[usize], classes: usize) -> Self {
+        let mut layers = Vec::new();
+        for &h in hidden {
+            layers.push(LayerSpec::Linear { out: h });
+            layers.push(LayerSpec::Relu);
+        }
+        Architecture {
+            name: format!("MLP-{}", hidden.len()),
+            input: Shape::of(&[input_features]),
+            classes,
+            layers,
+        }
+    }
+
+    /// Returns a width-scaled copy (all conv/linear widths multiplied by
+    /// `ratio`, minimum 1) — used for CPU-sized "mini" variants and for
+    /// implementing expansion. Spatial geometry and inputs are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not positive finite.
+    pub fn scaled(&self, ratio: f64) -> Architecture {
+        assert!(ratio.is_finite() && ratio > 0.0, "scale ratio must be positive");
+        let mut out = self.clone();
+        if (ratio - 1.0).abs() > f64::EPSILON {
+            out.name = format!("{}@x{ratio}", self.name);
+        }
+        for l in &mut out.layers {
+            match l {
+                LayerSpec::Conv { out: w, .. } | LayerSpec::Linear { out: w } => {
+                    *w = scale_width(*w, ratio);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Returns a copy adapted to a different input shape (e.g. smaller
+    /// images for CPU-scale experiments).
+    pub fn with_input(&self, input: Shape) -> Architecture {
+        Architecture { input, ..self.clone() }
+    }
+
+    /// Builds a [`SteppingNet`] with `subnets` subnets, seeded weights and
+    /// the paper's width `expansion` ratio applied to every conv/linear
+    /// layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::BadConfig`] for impossible geometry or a
+    /// non-positive expansion.
+    pub fn build(&self, subnets: usize, seed: u64, expansion: f64) -> Result<SteppingNet> {
+        if !(expansion.is_finite() && expansion > 0.0) {
+            return Err(SteppingError::BadConfig(format!(
+                "expansion ratio {expansion} must be positive"
+            )));
+        }
+        let spec = self.scaled(expansion);
+        let mut b = SteppingNetBuilder::new(spec.input.clone(), subnets, seed);
+        for l in &spec.layers {
+            b = match *l {
+                LayerSpec::Conv { out, kernel, stride, padding } => b.conv(out, kernel, stride, padding),
+                LayerSpec::Linear { out } => b.linear(out),
+                LayerSpec::Relu => b.relu(),
+                LayerSpec::MaxPool { kernel, stride } => b.max_pool(kernel, stride),
+                LayerSpec::BatchNorm => b.batch_norm(),
+                LayerSpec::Dropout(p) => b.dropout(p),
+                LayerSpec::Flatten => b.flatten(),
+            };
+        }
+        b.build(self.classes)
+    }
+
+    /// MAC operations `M_t` of the unexpanded original network (conv/linear
+    /// layers plus the classifier) — the denominator of the paper's
+    /// `M_i / M_t` ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture geometry is inconsistent (a construction
+    /// bug, not a runtime condition).
+    pub fn reference_macs(&self) -> u64 {
+        let mut total = 0u64;
+        let dims = self.input.dims();
+        let (mut c, mut h, mut w, mut flat) = match dims {
+            [c, h, w] => (*c, *h, *w, None),
+            [f] => (0, 0, 0, Some(*f)),
+            _ => panic!("architecture input must be [c, h, w] or [features]"),
+        };
+        for l in &self.layers {
+            match *l {
+                LayerSpec::Conv { out, kernel, stride, padding } => {
+                    let geom = ConvGeometry::new(c, h, w, kernel, kernel, stride, padding)
+                        .expect("conv geometry must be valid");
+                    total += geom.macs(out);
+                    c = out;
+                    h = geom.out_h;
+                    w = geom.out_w;
+                }
+                LayerSpec::MaxPool { kernel, stride } => {
+                    let geom = ConvGeometry::new(c, h, w, kernel, kernel, stride, 0)
+                        .expect("pool geometry must be valid");
+                    h = geom.out_h;
+                    w = geom.out_w;
+                }
+                LayerSpec::Flatten => {
+                    flat = Some(c * h * w);
+                }
+                LayerSpec::Linear { out } => {
+                    let f = flat.expect("linear requires flatten first");
+                    total += (f * out) as u64;
+                    flat = Some(out);
+                }
+                LayerSpec::Relu | LayerSpec::BatchNorm | LayerSpec::Dropout(_) => {}
+            }
+        }
+        let f = flat.expect("architecture must end flat");
+        total + (f * self.classes) as u64
+    }
+
+    /// Absolute MAC budgets from fractions of
+    /// [`reference_macs`](Architecture::reference_macs), e.g. Table I's
+    /// `10 %/30 %/50 %/85 %`.
+    pub fn mac_targets(&self, fractions: &[f64]) -> Vec<u64> {
+        let reference = self.reference_macs();
+        fractions.iter().map(|f| (reference as f64 * f).round() as u64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet5_reference_macs_match_hand_calculation() {
+        // conv1: 32*32 positions × 3*5*5 patch × 6 filters
+        let conv1 = 32 * 32 * 75 * 6;
+        // conv2 (pad 0 on 16x16): 12*12 × 6*25 × 16
+        let conv2 = 12 * 12 * 150 * 16;
+        // fc: 16*6*6=576 → 120 → 84 → 10
+        let fc = 576 * 120 + 120 * 84 + 84 * 10;
+        let arch = Architecture::lenet5(10);
+        assert_eq!(arch.reference_macs(), (conv1 + conv2 + fc) as u64);
+    }
+
+    #[test]
+    fn mlp_reference_macs() {
+        let arch = Architecture::mlp(8, &[16, 4], 3);
+        assert_eq!(arch.reference_macs(), (8 * 16 + 16 * 4 + 4 * 3) as u64);
+    }
+
+    #[test]
+    fn scaled_multiplies_widths_not_geometry() {
+        let a = Architecture::lenet5(10);
+        let b = a.scaled(2.0);
+        match (&a.layers[0], &b.layers[0]) {
+            (
+                LayerSpec::Conv { out: o1, kernel: k1, .. },
+                LayerSpec::Conv { out: o2, kernel: k2, .. },
+            ) => {
+                assert_eq!(*o2, o1 * 2);
+                assert_eq!(k1, k2);
+            }
+            _ => unreachable!(),
+        }
+        assert!(b.reference_macs() > a.reference_macs() * 2);
+    }
+
+    #[test]
+    fn build_produces_working_network() {
+        let arch = Architecture::lenet_3c1l(10).with_input(Shape::of(&[3, 8, 8])).scaled(0.25);
+        let mut net = arch.build(3, 0, 1.8).unwrap();
+        assert_eq!(net.subnet_count(), 3);
+        let x = stepping_tensor::Tensor::zeros(Shape::of(&[2, 3, 8, 8]));
+        let y = net.forward(&x, 0, false).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 10]);
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn expanded_build_has_more_macs_than_reference() {
+        let arch = Architecture::mlp(10, &[20], 4);
+        let net1 = arch.build(2, 0, 1.0).unwrap();
+        let net2 = arch.build(2, 0, 2.0).unwrap();
+        assert!(net2.full_macs() > net1.full_macs());
+        assert_eq!(net1.full_macs(), arch.reference_macs());
+    }
+
+    #[test]
+    fn mac_targets_scale_with_fractions() {
+        let arch = Architecture::mlp(10, &[20], 4);
+        let t = arch.mac_targets(&[0.1, 0.5, 1.0]);
+        assert_eq!(t[2], arch.reference_macs());
+        assert!(t[0] < t[1] && t[1] < t[2]);
+    }
+
+    #[test]
+    fn vgg16_has_thirteen_convs() {
+        let arch = Architecture::vgg16(100);
+        let convs =
+            arch.layers.iter().filter(|l| matches!(l, LayerSpec::Conv { .. })).count();
+        assert_eq!(convs, 13);
+        // full VGG-16 on 32x32 ≈ 313M + classifier MACs; sanity band
+        let m = arch.reference_macs();
+        assert!(m > 300_000_000 && m < 350_000_000, "macs {m}");
+    }
+
+    #[test]
+    fn alexnet_builds_with_dropout() {
+        let arch = Architecture::alexnet(10).scaled(0.125);
+        let mut net = arch.build(2, 0, 1.0).unwrap();
+        let x = stepping_tensor::Tensor::zeros(Shape::of(&[1, 3, 32, 32]));
+        let y = net.forward(&x, 0, false).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 10]);
+        // 5 convs + 2 fcs before the head
+        let masked = net.masked_stage_indices().len();
+        assert_eq!(masked, 7);
+        assert!(arch.reference_macs() > 0);
+    }
+
+    #[test]
+    fn bad_expansion_rejected() {
+        let arch = Architecture::mlp(4, &[8], 2);
+        assert!(arch.build(2, 0, 0.0).is_err());
+        assert!(arch.build(2, 0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # stepping-models
+//!
+//! Model zoo for the SteppingNet (DATE 2023) reproduction: declarative
+//! [`Architecture`] specs for the paper's three test cases — LeNet-3C1L,
+//! LeNet-5 and VGG-16 — plus MLPs for fast tests, with the paper's
+//! **width expansion** (§IV: "we expanded the number of neurons/filters of
+//! each layer in the original network … the corresponding expansion ratios
+//! were set to 1.8, 2.0, 1.8").
+//!
+//! An [`Architecture`] can
+//!
+//! * [`build`](Architecture::build) a [`stepping_core::SteppingNet`] at any
+//!   expansion ratio, and
+//! * compute its [`reference_macs`](Architecture::reference_macs) — the MAC
+//!   count `M_t` of the *unexpanded* original network, the denominator of
+//!   every `M_i/M_t` column in Table I.
+//!
+//! ## Example
+//!
+//! ```
+//! use stepping_models::Architecture;
+//!
+//! let arch = Architecture::lenet5(10).scaled(0.25); // CPU-sized variant
+//! let net = arch.build(4, 0, 2.0)?; // 4 subnets, expansion ratio 2.0
+//! assert_eq!(net.classes(), 10);
+//! assert!(net.full_macs() > arch.reference_macs()); // expanded > original
+//! # Ok::<(), stepping_core::SteppingError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arch;
+
+pub use arch::{Architecture, LayerSpec};

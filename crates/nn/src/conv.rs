@@ -1,0 +1,318 @@
+use rand::rngs::StdRng;
+use stepping_tensor::conv::{col2im, im2col, ConvGeometry};
+use stepping_tensor::{init, matmul, Shape, Tensor};
+
+use crate::{Layer, NnError, Param, Result};
+
+/// 2-D convolution layer (NCHW), implemented as `im2col` + matmul.
+///
+/// Weights are stored `[out_channels, in_channels, kh, kw]`; the flattened
+/// `[out_channels, patch_len]` view is what multiplies the patch matrix.
+/// Geometry is derived from the first input seen, so the same layer works at
+/// any spatial resolution.
+///
+/// # Example
+///
+/// ```
+/// use stepping_nn::{Conv2d, Layer};
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let mut rng = stepping_tensor::init::rng(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let y = conv.forward(&Tensor::zeros(Shape::of(&[2, 3, 8, 8])), true)?;
+/// assert_eq!(y.shape().dims(), &[2, 8, 8, 8]);
+/// # Ok::<(), stepping_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: Param,
+    bias: Param,
+    cached: Option<CachedForward>,
+}
+
+#[derive(Debug, Clone)]
+struct CachedForward {
+    cols: Tensor,
+    geom: ConvGeometry,
+    batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a square-kernel convolution with Kaiming-initialised weights.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = Param::new(init::kaiming(
+            Shape::of(&[out_channels, in_channels, kernel, kernel]),
+            fan_in,
+            rng,
+        ));
+        let bias = Param::new(Tensor::zeros(Shape::of(&[out_channels])));
+        Conv2d { in_channels, out_channels, kernel, stride, padding, weight, bias, cached: None }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel (filter) count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Square kernel extent.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride in both dimensions.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on all sides.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Read access to the weight parameter (`[out, in, kh, kw]`).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Read access to the bias parameter (`[out]`).
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Mutable access to the bias parameter.
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+
+    /// Convolution geometry for a given input height/width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`stepping_tensor::TensorError::InvalidGeometry`].
+    pub fn geometry(&self, in_h: usize, in_w: usize) -> Result<ConvGeometry> {
+        Ok(ConvGeometry::new(
+            self.in_channels,
+            in_h,
+            in_w,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.padding,
+        )?)
+    }
+
+    fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    fn weight_flat(&self) -> Result<Tensor> {
+        Ok(self.weight.value.reshape(Shape::of(&[self.out_channels, self.patch_len()]))?)
+    }
+}
+
+/// Scatters `[n*P, oc]` rows into NCHW `[n, oc, oh, ow]`.
+fn mat_to_nchw(mat: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
+    let positions = oh * ow;
+    let mut out = Tensor::zeros(Shape::of(&[n, oc, oh, ow]));
+    let src = mat.data();
+    let dst = out.data_mut();
+    for b in 0..n {
+        for p in 0..positions {
+            let row = (b * positions + p) * oc;
+            for c in 0..oc {
+                dst[(b * oc + c) * positions + p] = src[row + c];
+            }
+        }
+    }
+    out
+}
+
+/// Gathers NCHW `[n, oc, oh, ow]` into `[n*P, oc]` rows (inverse of
+/// [`mat_to_nchw`]).
+fn nchw_to_mat(t: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
+    let positions = oh * ow;
+    let mut out = Tensor::zeros(Shape::of(&[n * positions, oc]));
+    let src = t.data();
+    let dst = out.data_mut();
+    for b in 0..n {
+        for p in 0..positions {
+            let row = (b * positions + p) * oc;
+            for c in 0..oc {
+                dst[row + c] = src[(b * oc + c) * positions + p];
+            }
+        }
+    }
+    out
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let dims = input.shape().dims();
+        if dims.len() != 4 || dims[1] != self.in_channels {
+            return Err(NnError::BadInput(format!(
+                "conv2d expects [n, {}, h, w], got {}",
+                self.in_channels,
+                input.shape()
+            )));
+        }
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let geom = self.geometry(h, w)?;
+        let cols = im2col(input, &geom)?;
+        let wflat = self.weight_flat()?;
+        let mut out_mat = matmul::matmul_bt(&cols, &wflat)?;
+        out_mat.add_rowwise(&self.bias.value)?;
+        let out = mat_to_nchw(&out_mat, n, self.out_channels, geom.out_h, geom.out_w);
+        self.cached = Some(CachedForward { cols, geom, batch: n });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cached =
+            self.cached.as_ref().ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?;
+        let (n, geom) = (cached.batch, cached.geom);
+        if grad_out.shape().dims() != [n, self.out_channels, geom.out_h, geom.out_w] {
+            return Err(NnError::BadInput(format!(
+                "conv2d backward expects [{n}, {}, {}, {}], got {}",
+                self.out_channels,
+                geom.out_h,
+                geom.out_w,
+                grad_out.shape()
+            )));
+        }
+        let grad_mat = nchw_to_mat(grad_out, n, self.out_channels, geom.out_h, geom.out_w);
+        // dW_flat = grad_matᵀ · cols  → [oc, patch]
+        let dw_flat = matmul::matmul_at(&grad_mat, &cached.cols)?;
+        let dw = dw_flat.reshape(self.weight.value.shape().clone())?;
+        self.weight.grad.axpy(1.0, &dw)?;
+        let db = stepping_tensor::reduce::sum_rows(&grad_mat)?;
+        self.bias.grad.axpy(1.0, &db)?;
+        // dcols = grad_mat · W_flat → [n*P, patch]; then fold back.
+        let dcols = matmul::matmul(&grad_mat, &self.weight_flat()?)?;
+        Ok(col2im(&dcols, n, &geom)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn output_shape(&self, input: &Shape) -> Option<Shape> {
+        let d = input.dims();
+        if d.len() != 4 || d[1] != self.in_channels {
+            return None;
+        }
+        let geom = self.geometry(d[2], d[3]).ok()?;
+        Some(Shape::of(&[d[0], self.out_channels, geom.out_h, geom.out_w]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepping_tensor::init::rng;
+
+    #[test]
+    fn identity_1x1_kernel_passes_through() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng(0));
+        conv.weight_mut().value.fill(1.0);
+        let x = Tensor::from_vec(Shape::of(&[1, 1, 2, 2]), vec![1., 2., 3., 4.]).unwrap();
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng(0));
+        conv.weight_mut().value.fill(1.0);
+        conv.bias_mut().value.fill(0.5);
+        let x = Tensor::ones(Shape::of(&[1, 1, 3, 3]));
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[9.5]);
+    }
+
+    #[test]
+    fn channel_ordering_is_nchw() {
+        // 2 output channels with distinct constant kernels must fill separate planes.
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng(0));
+        conv.weight_mut().value.data_mut().copy_from_slice(&[1.0, 10.0]);
+        let x = Tensor::from_vec(Shape::of(&[1, 1, 1, 2]), vec![1.0, 2.0]).unwrap();
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 1, 2]);
+        assert_eq!(y.data(), &[1.0, 2.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut r = rng(7);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut r);
+        let x = init::uniform(Shape::of(&[2, 2, 4, 4]), -1.0, 1.0, &mut r);
+        let y = conv.forward(&x, true).unwrap();
+        let dy = Tensor::ones(y.shape().clone());
+        let dx = conv.backward(&dy).unwrap();
+        let eps = 1e-2;
+        // weight gradient spot check
+        for idx in [0usize, 10, 30] {
+            let orig = conv.weight().value.data()[idx];
+            conv.weight_mut().value.data_mut()[idx] = orig + eps;
+            let lp = conv.forward(&x, true).unwrap().sum();
+            conv.weight_mut().value.data_mut()[idx] = orig - eps;
+            let lm = conv.forward(&x, true).unwrap().sum();
+            conv.weight_mut().value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = conv.weight().grad.data()[idx];
+            assert!((num - ana).abs() < 0.05, "w[{idx}]: {num} vs {ana}");
+        }
+        // input gradient spot check
+        for idx in [0usize, 17, 40] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = conv.forward(&xp, true).unwrap().sum();
+            let lm = conv.forward(&xm, true).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dx.data()[idx]).abs() < 0.05, "x[{idx}]: {num} vs {}", dx.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn stride_and_padding_shapes() {
+        let conv = Conv2d::new(3, 4, 3, 2, 1, &mut rng(0));
+        let out = conv.output_shape(&Shape::of(&[1, 3, 8, 8])).unwrap();
+        assert_eq!(out.dims(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_wrong_channels_and_backward_before_forward() {
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng(0));
+        assert!(conv.forward(&Tensor::zeros(Shape::of(&[1, 2, 8, 8])), true).is_err());
+        assert!(conv.backward(&Tensor::zeros(Shape::of(&[1, 4, 8, 8]))).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+use stepping_tensor::TensorError;
+
+/// Error type for neural-network operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape/rank/geometry errors).
+    Tensor(TensorError),
+    /// A layer received input whose shape it cannot process.
+    BadInput(String),
+    /// Backward was called before forward (no cached activations).
+    BackwardBeforeForward {
+        /// Name of the offending layer.
+        layer: &'static str,
+    },
+    /// A loss function received inconsistent logits/targets.
+    BadTarget(String),
+    /// An optimizer was driven with an invalid hyper-parameter.
+    BadHyperParameter(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput(msg) => write!(f, "bad layer input: {msg}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::BadTarget(msg) => write!(f, "bad loss target: {msg}"),
+            NnError::BadHyperParameter(msg) => write!(f, "bad hyper-parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(TensorError::InvalidArgument("x".into()));
+        assert!(e.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let b = NnError::BackwardBeforeForward { layer: "Linear" };
+        assert!(b.to_string().contains("Linear"));
+        assert!(std::error::Error::source(&b).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

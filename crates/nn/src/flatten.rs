@@ -1,0 +1,86 @@
+use stepping_tensor::{Shape, Tensor};
+
+use crate::{Layer, NnError, Result};
+
+/// Flattens `[n, …]` activations to `[n, prod(…)]` (the conv→fc bridge).
+///
+/// # Example
+///
+/// ```
+/// use stepping_nn::{Flatten, Layer};
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let mut f = Flatten::new();
+/// let y = f.forward(&Tensor::zeros(Shape::of(&[2, 3, 4, 4])), true)?;
+/// assert_eq!(y.shape().dims(), &[2, 48]);
+/// # Ok::<(), stepping_nn::NnError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Flatten {
+    cached_in_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_in_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        if input.shape().rank() < 2 {
+            return Err(NnError::BadInput(format!(
+                "flatten expects rank >= 2, got {}",
+                input.shape()
+            )));
+        }
+        let n = input.shape().dims()[0];
+        let rest = input.len() / n.max(1);
+        self.cached_in_shape = Some(input.shape().clone());
+        Ok(input.reshape(Shape::of(&[n, rest]))?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let in_shape = self
+            .cached_in_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Flatten" })?;
+        Ok(grad_out.reshape(in_shape.clone())?)
+    }
+
+    fn output_shape(&self, input: &Shape) -> Option<Shape> {
+        if input.rank() < 2 {
+            return None;
+        }
+        let n = input.dims()[0];
+        Some(Shape::of(&[n, input.len() / n.max(1)]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(Shape::of(&[1, 2, 1, 2]), vec![1., 2., 3., 4.]).unwrap();
+        let y = f.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 4]);
+        let g = f.backward(&y).unwrap();
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn rejects_rank1_and_premature_backward() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::zeros(Shape::of(&[4])), true).is_err());
+        assert!(f.backward(&Tensor::zeros(Shape::of(&[1, 4]))).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+use rand::rngs::StdRng;
+use stepping_tensor::{init, matmul, reduce, Shape, Tensor};
+
+use crate::{Layer, NnError, Param, Result};
+
+/// Fully-connected layer `y = x · Wᵀ + b` with weights stored `[out, in]`.
+///
+/// # Example
+///
+/// ```
+/// use stepping_nn::{Layer, Linear};
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let mut rng = stepping_tensor::init::rng(1);
+/// let mut fc = Linear::new(3, 2, &mut rng);
+/// let y = fc.forward(&Tensor::ones(Shape::of(&[4, 3])), true)?;
+/// assert_eq!(y.shape().dims(), &[4, 2]);
+/// # Ok::<(), stepping_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-initialised weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        let weight =
+            Param::new(init::kaiming(Shape::of(&[out_features, in_features]), in_features, rng));
+        let bias = Param::new(Tensor::zeros(Shape::of(&[out_features])));
+        Linear { in_features, out_features, weight, bias, cached_input: None }
+    }
+
+    /// Creates a layer from explicit weight (`[out, in]`) and bias (`[out]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] if the shapes disagree.
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Result<Self> {
+        if weight.shape().rank() != 2 {
+            return Err(NnError::BadInput(format!(
+                "linear weight must be rank 2, got {}",
+                weight.shape()
+            )));
+        }
+        let (out_features, in_features) = (weight.shape().dims()[0], weight.shape().dims()[1]);
+        if bias.shape().dims() != [out_features] {
+            return Err(NnError::BadInput(format!(
+                "linear bias shape {} does not match {out_features} outputs",
+                bias.shape()
+            )));
+        }
+        Ok(Linear {
+            in_features,
+            out_features,
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            cached_input: None,
+        })
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Read access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Read access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Mutable access to the bias parameter.
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        if input.shape().rank() != 2 || input.shape().dims()[1] != self.in_features {
+            return Err(NnError::BadInput(format!(
+                "linear expects [n, {}], got {}",
+                self.in_features,
+                input.shape()
+            )));
+        }
+        let mut out = matmul::matmul_bt(input, &self.weight.value)?;
+        out.add_rowwise(&self.bias.value)?;
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Linear" })?;
+        let n = input.shape().dims()[0];
+        if grad_out.shape().dims() != [n, self.out_features] {
+            return Err(NnError::BadInput(format!(
+                "linear backward expects [{n}, {}], got {}",
+                self.out_features,
+                grad_out.shape()
+            )));
+        }
+        // dW[o, i] = Σ_batch dy[b, o] * x[b, i]  ==  (dyᵀ · x)
+        let dw = matmul::matmul_at(grad_out, input)?;
+        self.weight.grad.axpy(1.0, &dw)?;
+        let db = reduce::sum_rows(grad_out)?;
+        self.bias.grad.axpy(1.0, &db)?;
+        // dx = dy · W
+        Ok(matmul::matmul(grad_out, &self.weight.value)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn output_shape(&self, input: &Shape) -> Option<Shape> {
+        if input.rank() == 2 && input.dims()[1] == self.in_features {
+            Some(Shape::of(&[input.dims()[0], self.out_features]))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepping_tensor::init::rng;
+
+    fn tiny() -> Linear {
+        let w = Tensor::from_vec(Shape::of(&[2, 3]), vec![1., 0., -1., 2., 1., 0.]).unwrap();
+        let b = Tensor::from_vec(Shape::of(&[2]), vec![0.5, -0.5]).unwrap();
+        Linear::from_parts(w, b).unwrap()
+    }
+
+    #[test]
+    fn forward_matches_hand_calc() {
+        let mut fc = tiny();
+        let x = Tensor::from_vec(Shape::of(&[1, 3]), vec![1., 2., 3.]).unwrap();
+        let y = fc.forward(&x, true).unwrap();
+        // row0: 1*1 + 0*2 + (-1)*3 + 0.5 = -1.5 ; row1: 2*1 + 1*2 + 0*3 - 0.5 = 3.5
+        assert_eq!(y.data(), &[-1.5, 3.5]);
+    }
+
+    #[test]
+    fn backward_accumulates_grads_and_returns_dx() {
+        let mut fc = tiny();
+        let x = Tensor::from_vec(Shape::of(&[1, 3]), vec![1., 2., 3.]).unwrap();
+        fc.forward(&x, true).unwrap();
+        let dy = Tensor::from_vec(Shape::of(&[1, 2]), vec![1.0, -1.0]).unwrap();
+        let dx = fc.backward(&dy).unwrap();
+        // dx = dy · W = [1*1 - 1*2, 1*0 - 1*1, 1*(-1) - 1*0] = [-1, -1, -1]
+        assert_eq!(dx.data(), &[-1.0, -1.0, -1.0]);
+        // dW row0 = x, row1 = -x
+        assert_eq!(fc.weight().grad.data(), &[1., 2., 3., -1., -2., -3.]);
+        assert_eq!(fc.bias().grad.data(), &[1.0, -1.0]);
+        // calling backward again accumulates
+        fc.backward(&dy).unwrap();
+        assert_eq!(fc.bias().grad.data(), &[2.0, -2.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut fc = Linear::new(3, 2, &mut rng(0));
+        let dy = Tensor::zeros(Shape::of(&[1, 2]));
+        assert!(matches!(
+            fc.backward(&dy),
+            Err(NnError::BackwardBeforeForward { layer: "Linear" })
+        ));
+    }
+
+    #[test]
+    fn forward_rejects_wrong_width() {
+        let mut fc = Linear::new(3, 2, &mut rng(0));
+        assert!(fc.forward(&Tensor::zeros(Shape::of(&[1, 4])), true).is_err());
+        assert!(fc.forward(&Tensor::zeros(Shape::of(&[3])), true).is_err());
+    }
+
+    #[test]
+    fn gradient_check_finite_difference() {
+        let mut rng = rng(11);
+        let mut fc = Linear::new(4, 3, &mut rng);
+        let x = init::uniform(Shape::of(&[2, 4]), -1.0, 1.0, &mut rng);
+        // scalar loss = sum(forward(x))
+        let y = fc.forward(&x, true).unwrap();
+        let dy = Tensor::ones(y.shape().clone());
+        fc.backward(&dy).unwrap();
+        let analytic = fc.weight().grad.clone();
+        let eps = 1e-3;
+        for idx in [0usize, 5, 11] {
+            let orig = fc.weight().value.data()[idx];
+            fc.weight_mut().value.data_mut()[idx] = orig + eps;
+            let lp = fc.forward(&x, true).unwrap().sum();
+            fc.weight_mut().value.data_mut()[idx] = orig - eps;
+            let lm = fc.forward(&x, true).unwrap().sum();
+            fc.weight_mut().value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 1e-2,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn output_shape_static() {
+        let fc = Linear::new(3, 2, &mut rng(0));
+        assert_eq!(fc.output_shape(&Shape::of(&[7, 3])), Some(Shape::of(&[7, 2])));
+        assert_eq!(fc.output_shape(&Shape::of(&[7, 4])), None);
+    }
+}

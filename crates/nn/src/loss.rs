@@ -1,0 +1,257 @@
+//! Loss functions returning `(scalar loss, gradient w.r.t. logits)`.
+//!
+//! The knowledge-distillation loss implements the paper's eq. (4)
+//! `L'_i = γ·L_i + (1−γ)·KL(teacher ‖ subnet_i)`. (The paper's inline formula
+//! `Σ Y_k log(Y_k^pre / Y_k)` is the *negative* of a KL divergence; we use the
+//! standard, sign-correct KD objective `KL(Y^pre ‖ Y)`, which is what
+//! minimising "the difference between `Y^pre` and `Y`" — the paper's stated
+//! intent — requires.)
+
+use stepping_tensor::{reduce, Tensor};
+
+use crate::{NnError, Result};
+
+fn check_targets(logits: &Tensor, targets: &[usize]) -> Result<(usize, usize)> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::BadTarget(format!(
+            "logits must be [n, classes], got {}",
+            logits.shape()
+        )));
+    }
+    let (n, c) = (logits.shape().dims()[0], logits.shape().dims()[1]);
+    if targets.len() != n {
+        return Err(NnError::BadTarget(format!("{} targets for {n} samples", targets.len())));
+    }
+    if let Some(&bad) = targets.iter().find(|&&t| t >= c) {
+        return Err(NnError::BadTarget(format!("target class {bad} out of range for {c} classes")));
+    }
+    if n == 0 {
+        return Err(NnError::BadTarget("empty batch".into()));
+    }
+    Ok((n, c))
+}
+
+/// Mean cross-entropy over a batch, with gradient w.r.t. the logits.
+///
+/// This is the per-subnet cost `L_i` of the paper.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTarget`] for rank/length/class-range mismatches or
+/// an empty batch.
+///
+/// # Example
+///
+/// ```
+/// use stepping_nn::loss::cross_entropy;
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let logits = Tensor::from_vec(Shape::of(&[1, 2]), vec![10.0, -10.0])?;
+/// let (loss, _grad) = cross_entropy(&logits, &[0])?;
+/// assert!(loss < 1e-3); // confident and correct
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<(f32, Tensor)> {
+    let (n, c) = check_targets(logits, targets)?;
+    let logp = reduce::log_softmax_rows(logits)?;
+    let mut loss = 0.0;
+    for (i, &t) in targets.iter().enumerate() {
+        loss -= logp.data()[i * c + t];
+    }
+    loss /= n as f32;
+    // grad = (softmax − one-hot) / n
+    let mut grad = logp.map(f32::exp);
+    {
+        let gd = grad.data_mut();
+        for (i, &t) in targets.iter().enumerate() {
+            gd[i * c + t] -= 1.0;
+        }
+        for g in gd.iter_mut() {
+            *g /= n as f32;
+        }
+    }
+    Ok((loss, grad))
+}
+
+/// Mean KL divergence `KL(teacher ‖ student)` where `teacher` holds
+/// probabilities and `student` holds logits; gradient is w.r.t. the student
+/// logits.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTarget`] when the shapes differ or the batch is
+/// empty.
+pub fn kl_divergence(teacher_probs: &Tensor, student_logits: &Tensor) -> Result<(f32, Tensor)> {
+    if teacher_probs.shape() != student_logits.shape() || student_logits.shape().rank() != 2 {
+        return Err(NnError::BadTarget(format!(
+            "teacher {} and student {} must be matching [n, classes]",
+            teacher_probs.shape(),
+            student_logits.shape()
+        )));
+    }
+    let n = student_logits.shape().dims()[0];
+    if n == 0 {
+        return Err(NnError::BadTarget("empty batch".into()));
+    }
+    let logq = reduce::log_softmax_rows(student_logits)?;
+    let q = logq.map(f32::exp);
+    // KL(p‖q) = Σ p (ln p − ln q); terms with p = 0 contribute 0.
+    let mut loss = 0.0;
+    for (&p, &lq) in teacher_probs.data().iter().zip(logq.data().iter()) {
+        if p > 0.0 {
+            loss += p * (p.ln() - lq);
+        }
+    }
+    loss /= n as f32;
+    // d/d logits = (q − p) / n   (per-sample softmax Jacobian applied to −p/q)
+    let mut grad = q;
+    grad.zip_in_place(teacher_probs, |qv, pv| (qv - pv) / n as f32)?;
+    Ok((loss, grad))
+}
+
+/// Knowledge-distillation loss, paper eq. (4):
+/// `L' = γ·CE(student, targets) + (1−γ)·KL(teacher ‖ student)`.
+///
+/// `teacher_probs` are the softmax outputs `Y^pre` of the pretrained original
+/// network.
+///
+/// # Errors
+///
+/// Propagates the conditions of [`cross_entropy`] and [`kl_divergence`], and
+/// rejects `gamma` outside `[0, 1]`.
+pub fn distillation(
+    student_logits: &Tensor,
+    teacher_probs: &Tensor,
+    targets: &[usize],
+    gamma: f32,
+) -> Result<(f32, Tensor)> {
+    if !(0.0..=1.0).contains(&gamma) {
+        return Err(NnError::BadHyperParameter(format!("gamma {gamma} must be in [0, 1]")));
+    }
+    let (ce, ce_grad) = cross_entropy(student_logits, targets)?;
+    let (kl, kl_grad) = kl_divergence(teacher_probs, student_logits)?;
+    let loss = gamma * ce + (1.0 - gamma) * kl;
+    let mut grad = ce_grad;
+    grad.scale(gamma);
+    grad.axpy(1.0 - gamma, &kl_grad)?;
+    Ok((loss, grad))
+}
+
+/// Mean squared error `mean((pred − target)²)` with gradient w.r.t. `pred`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTarget`] for shape mismatches or empty tensors.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+    if pred.shape() != target.shape() {
+        return Err(NnError::BadTarget(format!(
+            "mse shapes differ: {} vs {}",
+            pred.shape(),
+            target.shape()
+        )));
+    }
+    if pred.is_empty() {
+        return Err(NnError::BadTarget("empty batch".into()));
+    }
+    let n = pred.len() as f32;
+    let diff = pred.zip(target, |a, b| a - b)?;
+    let loss = diff.norm_sq() / n;
+    let grad = diff.map(|d| 2.0 * d / n);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepping_tensor::init::{rng, uniform};
+    use stepping_tensor::Shape;
+
+    #[test]
+    fn cross_entropy_uniform_logits_is_log_c() {
+        let logits = Tensor::zeros(Shape::of(&[4, 10]));
+        let (loss, _) = cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits = uniform(Shape::of(&[3, 4]), -1.0, 1.0, &mut rng(1));
+        let targets = [1usize, 3, 0];
+        let (_, grad) = cross_entropy(&logits, &targets).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 5, 11] {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let num = (cross_entropy(&lp, &targets).unwrap().0
+                - cross_entropy(&lm, &targets).unwrap().0)
+                / (2.0 * eps);
+            assert!((num - grad.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_targets() {
+        let logits = Tensor::zeros(Shape::of(&[2, 3]));
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(cross_entropy(&Tensor::zeros(Shape::of(&[0, 3])), &[]).is_err());
+    }
+
+    #[test]
+    fn kl_is_zero_when_student_matches_teacher() {
+        let logits = uniform(Shape::of(&[2, 5]), -1.0, 1.0, &mut rng(2));
+        let teacher = reduce::softmax_rows(&logits).unwrap();
+        let (loss, grad) = kl_divergence(&teacher, &logits).unwrap();
+        assert!(loss.abs() < 1e-6);
+        assert!(grad.norm_sq() < 1e-10);
+    }
+
+    #[test]
+    fn kl_is_positive_and_grad_checks() {
+        let student = uniform(Shape::of(&[2, 4]), -1.0, 1.0, &mut rng(3));
+        let tlogits = uniform(Shape::of(&[2, 4]), -1.0, 1.0, &mut rng(4));
+        let teacher = reduce::softmax_rows(&tlogits).unwrap();
+        let (loss, grad) = kl_divergence(&teacher, &student).unwrap();
+        assert!(loss > 0.0);
+        let eps = 1e-3;
+        for idx in [0usize, 3, 7] {
+            let mut sp = student.clone();
+            sp.data_mut()[idx] += eps;
+            let mut sm = student.clone();
+            sm.data_mut()[idx] -= eps;
+            let num = (kl_divergence(&teacher, &sp).unwrap().0
+                - kl_divergence(&teacher, &sm).unwrap().0)
+                / (2.0 * eps);
+            assert!((num - grad.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn distillation_interpolates_between_ce_and_kl() {
+        let student = uniform(Shape::of(&[2, 4]), -1.0, 1.0, &mut rng(5));
+        let teacher = reduce::softmax_rows(&uniform(Shape::of(&[2, 4]), -1.0, 1.0, &mut rng(6)))
+            .unwrap();
+        let targets = [0usize, 2];
+        let (ce, _) = cross_entropy(&student, &targets).unwrap();
+        let (kl, _) = kl_divergence(&teacher, &student).unwrap();
+        let (l0, _) = distillation(&student, &teacher, &targets, 0.0).unwrap();
+        let (l1, _) = distillation(&student, &teacher, &targets, 1.0).unwrap();
+        let (lh, _) = distillation(&student, &teacher, &targets, 0.4).unwrap();
+        assert!((l0 - kl).abs() < 1e-6);
+        assert!((l1 - ce).abs() < 1e-6);
+        assert!((lh - (0.4 * ce + 0.6 * kl)).abs() < 1e-6);
+        assert!(distillation(&student, &teacher, &targets, 1.5).is_err());
+    }
+
+    #[test]
+    fn mse_basics() {
+        let a = Tensor::from_vec(Shape::of(&[2]), vec![1.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(Shape::of(&[2]), vec![0.0, 1.0]).unwrap();
+        let (loss, grad) = mse(&a, &b).unwrap();
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+        assert!(mse(&a, &Tensor::zeros(Shape::of(&[3]))).is_err());
+    }
+}

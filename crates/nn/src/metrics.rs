@@ -1,0 +1,154 @@
+//! Classification metrics used by the experiment harness.
+
+use stepping_tensor::{reduce, Tensor};
+
+use crate::{NnError, Result};
+
+/// Top-1 accuracy of `logits` (`[n, classes]`) against integer `targets`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTarget`] when the target count disagrees with the
+/// batch size or the batch is empty.
+///
+/// # Example
+///
+/// ```
+/// use stepping_nn::metrics::accuracy;
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let logits = Tensor::from_vec(Shape::of(&[2, 2]), vec![1.0, 0.0, 0.0, 1.0])?;
+/// assert_eq!(accuracy(&logits, &[0, 1])?, 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> Result<f32> {
+    let preds = predictions(logits)?;
+    if preds.len() != targets.len() {
+        return Err(NnError::BadTarget(format!(
+            "{} targets for {} samples",
+            targets.len(),
+            preds.len()
+        )));
+    }
+    if preds.is_empty() {
+        return Err(NnError::BadTarget("empty batch".into()));
+    }
+    let correct = preds.iter().zip(targets.iter()).filter(|(p, t)| p == t).count();
+    Ok(correct as f32 / preds.len() as f32)
+}
+
+/// Argmax class predictions for a `[n, classes]` logits matrix.
+///
+/// # Errors
+///
+/// Returns a tensor error for non-matrix input.
+pub fn predictions(logits: &Tensor) -> Result<Vec<usize>> {
+    Ok(reduce::argmax_rows(logits)?)
+}
+
+/// Top-k accuracy: a sample counts as correct when the target class is among
+/// the `k` highest logits.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTarget`] when `k` is zero or exceeds the class
+/// count, or for target/batch mismatches.
+pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> Result<f32> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::BadTarget(format!("logits must be [n, classes], got {}", logits.shape())));
+    }
+    let (n, c) = (logits.shape().dims()[0], logits.shape().dims()[1]);
+    if k == 0 || k > c {
+        return Err(NnError::BadTarget(format!("k {k} must be in 1..={c}")));
+    }
+    if targets.len() != n || n == 0 {
+        return Err(NnError::BadTarget(format!("{} targets for {n} samples", targets.len())));
+    }
+    let mut correct = 0;
+    for (i, &t) in targets.iter().enumerate() {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let target_val = row[t];
+        // Rank = number of strictly larger entries; ties resolve in favour
+        // of the target, matching common top-k implementations.
+        let rank = row.iter().filter(|&&v| v > target_val).count();
+        if rank < k {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / n as f32)
+}
+
+/// A `classes × classes` confusion matrix; `matrix[actual][predicted]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTarget`] for target/batch mismatches or
+/// out-of-range classes.
+pub fn confusion_matrix(logits: &Tensor, targets: &[usize], classes: usize) -> Result<Vec<Vec<u32>>> {
+    let preds = predictions(logits)?;
+    if preds.len() != targets.len() {
+        return Err(NnError::BadTarget(format!(
+            "{} targets for {} samples",
+            targets.len(),
+            preds.len()
+        )));
+    }
+    let mut m = vec![vec![0u32; classes]; classes];
+    for (&p, &t) in preds.iter().zip(targets.iter()) {
+        if t >= classes || p >= classes {
+            return Err(NnError::BadTarget(format!("class out of range: target {t}, pred {p}")));
+        }
+        m[t][p] += 1;
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepping_tensor::Shape;
+
+    fn logits() -> Tensor {
+        Tensor::from_vec(
+            Shape::of(&[3, 3]),
+            vec![
+                3.0, 1.0, 2.0, // pred 0
+                0.0, 5.0, 1.0, // pred 1
+                1.0, 2.0, 0.0, // pred 1
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert!((accuracy(&logits(), &[0, 1, 2]).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits(), &[0, 1, 1]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_validates_lengths() {
+        assert!(accuracy(&logits(), &[0]).is_err());
+        assert!(accuracy(&Tensor::zeros(Shape::of(&[0, 3])), &[]).is_err());
+    }
+
+    #[test]
+    fn top_k_widens_acceptance() {
+        let l = logits();
+        // sample 2: target 2 has logit 0.0 (rank 3) → wrong even at k=2
+        assert!((top_k_accuracy(&l, &[0, 1, 2], 1).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((top_k_accuracy(&l, &[0, 1, 2], 2).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(top_k_accuracy(&l, &[0, 1, 2], 3).unwrap(), 1.0);
+        assert!(top_k_accuracy(&l, &[0, 1, 2], 0).is_err());
+        assert!(top_k_accuracy(&l, &[0, 1, 2], 4).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal_is_correct_count() {
+        let m = confusion_matrix(&logits(), &[0, 1, 2], 3).unwrap();
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1); // actual 2 predicted 1
+        assert_eq!(m[2][2], 0);
+    }
+}

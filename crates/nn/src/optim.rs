@@ -1,0 +1,275 @@
+//! Optimizers.
+//!
+//! Both optimizers honour per-element learning-rate scaling
+//! ([`ParamLr::PerElement`](crate::ParamLr)) — the mechanism behind
+//! SteppingNet's weight-update suppression (`β^(j−i)`, paper §III-A2): the
+//! effective step for element `e` of parameter `p` is
+//! `base_lr · p.lr_scale_at(e) · update(e)`.
+
+use stepping_tensor::Tensor;
+
+use crate::{NnError, Param, Result};
+
+/// Stochastic gradient descent with momentum and decoupled weight decay.
+///
+/// # Example
+///
+/// ```
+/// use stepping_nn::{optim::Sgd, Param};
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let mut p = Param::new(Tensor::ones(Shape::of(&[2])));
+/// p.grad.fill(1.0);
+/// let mut sgd = Sgd::new(0.1)?;
+/// sgd.step(&mut [&mut p])?;
+/// assert_eq!(p.value.data(), &[0.9, 0.9]);
+/// # Ok::<(), stepping_nn::NnError>(())
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadHyperParameter`] if `lr` is not positive and
+    /// finite.
+    pub fn new(lr: f32) -> Result<Self> {
+        Self::with_momentum(lr, 0.0, 0.0)
+    }
+
+    /// SGD with momentum and L2 weight decay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadHyperParameter`] for a non-positive `lr`,
+    /// `momentum` outside `[0, 1)`, or negative `weight_decay`.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Result<Self> {
+        if !(lr.is_finite() && lr > 0.0) {
+            return Err(NnError::BadHyperParameter(format!("lr {lr} must be positive")));
+        }
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(NnError::BadHyperParameter(format!("momentum {momentum} must be in [0, 1)")));
+        }
+        if weight_decay < 0.0 {
+            return Err(NnError::BadHyperParameter(format!(
+                "weight decay {weight_decay} must be non-negative"
+            )));
+        }
+        Ok(Sgd { lr, momentum, weight_decay, velocity: Vec::new() })
+    }
+
+    /// Current base learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the base learning rate (for schedules).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadHyperParameter`] if `lr` is not positive finite.
+    pub fn set_lr(&mut self, lr: f32) -> Result<()> {
+        if !(lr.is_finite() && lr > 0.0) {
+            return Err(NnError::BadHyperParameter(format!("lr {lr} must be positive")));
+        }
+        self.lr = lr;
+        Ok(())
+    }
+
+    /// Applies one update to `params` (order must be stable across calls so
+    /// momentum buffers stay aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if a parameter changed shape between steps.
+    pub fn step(&mut self, params: &mut [&mut Param]) -> Result<()> {
+        if self.velocity.len() < params.len() {
+            for p in params[self.velocity.len()..].iter() {
+                self.velocity.push(Tensor::zeros(p.value.shape().clone()));
+            }
+        }
+        for (pi, p) in params.iter_mut().enumerate() {
+            let v = &mut self.velocity[pi];
+            if v.shape() != p.value.shape() {
+                return Err(NnError::BadInput(format!(
+                    "parameter {pi} changed shape: momentum buffer {} vs value {}",
+                    v.shape(),
+                    p.value.shape()
+                )));
+            }
+            let n = p.value.len();
+            for e in 0..n {
+                let mut g = p.grad.data()[e];
+                if self.weight_decay > 0.0 {
+                    g += self.weight_decay * p.value.data()[e];
+                }
+                let vd = v.data_mut();
+                vd[e] = self.momentum * vd[e] + g;
+                let scale = p.lr_scale_at(e);
+                p.value.data_mut()[e] -= self.lr * scale * vd[e];
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the conventional defaults `β₁ = 0.9`, `β₂ = 0.999`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadHyperParameter`] if `lr` is not positive finite.
+    pub fn new(lr: f32) -> Result<Self> {
+        if !(lr.is_finite() && lr > 0.0) {
+            return Err(NnError::BadHyperParameter(format!("lr {lr} must be positive")));
+        }
+        Ok(Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() })
+    }
+
+    /// Current base learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update to `params` (stable ordering required, as with
+    /// [`Sgd::step`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a parameter changed shape between steps.
+    pub fn step(&mut self, params: &mut [&mut Param]) -> Result<()> {
+        self.t += 1;
+        while self.m.len() < params.len() {
+            let shape = params[self.m.len()].value.shape().clone();
+            self.m.push(Tensor::zeros(shape.clone()));
+            self.v.push(Tensor::zeros(shape));
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (pi, p) in params.iter_mut().enumerate() {
+            if self.m[pi].shape() != p.value.shape() {
+                return Err(NnError::BadInput(format!(
+                    "parameter {pi} changed shape: moment buffer {} vs value {}",
+                    self.m[pi].shape(),
+                    p.value.shape()
+                )));
+            }
+            let n = p.value.len();
+            for e in 0..n {
+                let g = p.grad.data()[e];
+                let md = self.m[pi].data_mut();
+                md[e] = self.beta1 * md[e] + (1.0 - self.beta1) * g;
+                let mhat = md[e] / bc1;
+                let vd = self.v[pi].data_mut();
+                vd[e] = self.beta2 * vd[e] + (1.0 - self.beta2) * g * g;
+                let vhat = vd[e] / bc2;
+                let scale = p.lr_scale_at(e);
+                p.value.data_mut()[e] -= self.lr * scale * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepping_tensor::Shape;
+
+    fn param(vals: &[f32]) -> Param {
+        Param::new(Tensor::from_vec(Shape::of(&[vals.len()]), vals.to_vec()).unwrap())
+    }
+
+    #[test]
+    fn sgd_plain_step() {
+        let mut p = param(&[1.0, 2.0]);
+        p.grad = Tensor::from_vec(Shape::of(&[2]), vec![0.5, -0.5]).unwrap();
+        let mut sgd = Sgd::new(0.2).unwrap();
+        sgd.step(&mut [&mut p]).unwrap();
+        assert_eq!(p.value.data(), &[0.9, 2.1]);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut p = param(&[0.0]);
+        let mut sgd = Sgd::with_momentum(1.0, 0.5, 0.0).unwrap();
+        p.grad.fill(1.0);
+        sgd.step(&mut [&mut p]).unwrap(); // v=1, w=-1
+        sgd.step(&mut [&mut p]).unwrap(); // v=1.5, w=-2.5
+        assert!((p.value.data()[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_weight_decay_pulls_to_zero() {
+        let mut p = param(&[10.0]);
+        let mut sgd = Sgd::with_momentum(0.1, 0.0, 0.1).unwrap();
+        p.grad.fill(0.0);
+        sgd.step(&mut [&mut p]).unwrap();
+        assert!(p.value.data()[0] < 10.0);
+    }
+
+    #[test]
+    fn per_element_lr_scaling_suppresses_update() {
+        // The SteppingNet suppression mechanism: scaled elements move less.
+        let mut p = param(&[1.0, 1.0]);
+        p.grad.fill(1.0);
+        p.set_lr_scale(Tensor::from_vec(Shape::of(&[2]), vec![1.0, 0.1]).unwrap());
+        let mut sgd = Sgd::new(0.1).unwrap();
+        sgd.step(&mut [&mut p]).unwrap();
+        assert!((p.value.data()[0] - 0.9).abs() < 1e-6);
+        assert!((p.value.data()[1] - 0.99).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // minimise f(w) = (w - 3)²
+        let mut p = param(&[0.0]);
+        let mut adam = Adam::new(0.1).unwrap();
+        for _ in 0..500 {
+            let w = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (w - 3.0);
+            adam.step(&mut [&mut p]).unwrap();
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn hyper_parameter_validation() {
+        assert!(Sgd::new(0.0).is_err());
+        assert!(Sgd::new(f32::NAN).is_err());
+        assert!(Sgd::with_momentum(0.1, 1.0, 0.0).is_err());
+        assert!(Sgd::with_momentum(0.1, 0.5, -1.0).is_err());
+        assert!(Adam::new(-0.1).is_err());
+        let mut s = Sgd::new(0.1).unwrap();
+        assert!(s.set_lr(0.2).is_ok());
+        assert!(s.set_lr(0.0).is_err());
+    }
+
+    #[test]
+    fn shape_change_is_detected() {
+        let mut p = param(&[1.0, 2.0]);
+        let mut sgd = Sgd::new(0.1).unwrap();
+        sgd.step(&mut [&mut p]).unwrap();
+        let mut q = param(&[1.0, 2.0, 3.0]);
+        assert!(sgd.step(&mut [&mut q]).is_err());
+    }
+}

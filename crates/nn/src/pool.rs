@@ -1,0 +1,282 @@
+use stepping_tensor::conv::ConvGeometry;
+use stepping_tensor::{Shape, Tensor};
+
+use crate::{Layer, NnError, Result};
+
+fn pool_geometry(
+    dims: &[usize],
+    kernel: usize,
+    stride: usize,
+) -> Result<(usize, usize, ConvGeometry)> {
+    if dims.len() != 4 {
+        return Err(NnError::BadInput(format!(
+            "pooling expects rank-4 NCHW input, got rank {}",
+            dims.len()
+        )));
+    }
+    let geom = ConvGeometry::new(dims[1], dims[2], dims[3], kernel, kernel, stride, 0)?;
+    Ok((dims[0], dims[1], geom))
+}
+
+/// Max pooling over square windows (NCHW).
+///
+/// # Example
+///
+/// ```
+/// use stepping_nn::{Layer, MaxPool2d};
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let mut pool = MaxPool2d::new(2, 2);
+/// let x = Tensor::from_vec(Shape::of(&[1, 1, 2, 2]), vec![1., 5., 3., 2.])?;
+/// assert_eq!(pool.forward(&x, true)?.data(), &[5.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    /// For each output element, the flat input index that won the max.
+    cached_argmax: Option<(Vec<usize>, Shape)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with square `kernel` and `stride`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d { kernel, stride, cached_argmax: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let (n, c, geom) = pool_geometry(input.shape().dims(), self.kernel, self.stride)?;
+        let (h, w) = (geom.in_h, geom.in_w);
+        let mut out = Tensor::zeros(Shape::of(&[n, c, geom.out_h, geom.out_w]));
+        let mut argmax = vec![0usize; out.len()];
+        let src = input.data();
+        let dst = out.data_mut();
+        let mut o = 0;
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for oy in 0..geom.out_h {
+                    for ox in 0..geom.out_w {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                let idx = base + iy * w + ix;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        dst[o] = best;
+                        argmax[o] = best_idx;
+                        o += 1;
+                    }
+                }
+            }
+        }
+        self.cached_argmax = Some((argmax, input.shape().clone()));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (argmax, in_shape) = self
+            .cached_argmax
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "MaxPool2d" })?;
+        if grad_out.len() != argmax.len() {
+            return Err(NnError::BadInput(format!(
+                "maxpool backward got {} grads for {} outputs",
+                grad_out.len(),
+                argmax.len()
+            )));
+        }
+        let mut grad_in = Tensor::zeros(in_shape.clone());
+        let gd = grad_in.data_mut();
+        for (o, &idx) in argmax.iter().enumerate() {
+            gd[idx] += grad_out.data()[o];
+        }
+        Ok(grad_in)
+    }
+
+    fn output_shape(&self, input: &Shape) -> Option<Shape> {
+        let (n, c, geom) = pool_geometry(input.dims(), self.kernel, self.stride).ok()?;
+        Some(Shape::of(&[n, c, geom.out_h, geom.out_w]))
+    }
+}
+
+/// Average pooling over square windows (NCHW).
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    cached_in_shape: Option<Shape>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with square `kernel` and `stride`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        AvgPool2d { kernel, stride, cached_in_shape: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let (n, c, geom) = pool_geometry(input.shape().dims(), self.kernel, self.stride)?;
+        let (h, w) = (geom.in_h, geom.in_w);
+        let inv = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut out = Tensor::zeros(Shape::of(&[n, c, geom.out_h, geom.out_w]));
+        let src = input.data();
+        let dst = out.data_mut();
+        let mut o = 0;
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for oy in 0..geom.out_h {
+                    for ox in 0..geom.out_w {
+                        let mut acc = 0.0;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                acc += src[base + iy * w + ix];
+                            }
+                        }
+                        dst[o] = acc * inv;
+                        o += 1;
+                    }
+                }
+            }
+        }
+        self.cached_in_shape = Some(input.shape().clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let in_shape = self
+            .cached_in_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "AvgPool2d" })?
+            .clone();
+        let (n, c, geom) = pool_geometry(in_shape.dims(), self.kernel, self.stride)?;
+        if grad_out.shape().dims() != [n, c, geom.out_h, geom.out_w] {
+            return Err(NnError::BadInput(format!(
+                "avgpool backward expects [{n}, {c}, {}, {}], got {}",
+                geom.out_h,
+                geom.out_w,
+                grad_out.shape()
+            )));
+        }
+        let (h, w) = (geom.in_h, geom.in_w);
+        let inv = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut grad_in = Tensor::zeros(in_shape);
+        let gd = grad_in.data_mut();
+        let mut o = 0;
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for oy in 0..geom.out_h {
+                    for ox in 0..geom.out_w {
+                        let g = grad_out.data()[o] * inv;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                gd[base + iy * w + ix] += g;
+                            }
+                        }
+                        o += 1;
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn output_shape(&self, input: &Shape) -> Option<Shape> {
+        let (n, c, geom) = pool_geometry(input.dims(), self.kernel, self.stride).ok()?;
+        Some(Shape::of(&[n, c, geom.out_h, geom.out_w]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward_picks_max_per_window() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            Shape::of(&[1, 1, 4, 4]),
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(Shape::of(&[1, 1, 2, 2]), vec![1., 5., 3., 2.]).unwrap();
+        p.forward(&x, true).unwrap();
+        let g = p.backward(&Tensor::from_vec(Shape::of(&[1, 1, 1, 1]), vec![2.0]).unwrap()).unwrap();
+        assert_eq!(g.data(), &[0., 2., 0., 0.]);
+    }
+
+    #[test]
+    fn avgpool_forward_and_backward_spread() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec(Shape::of(&[1, 1, 2, 2]), vec![1., 2., 3., 6.]).unwrap();
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[3.0]);
+        let g = p.backward(&Tensor::from_vec(Shape::of(&[1, 1, 1, 1]), vec![4.0]).unwrap()).unwrap();
+        assert_eq!(g.data(), &[1., 1., 1., 1.]);
+    }
+
+    #[test]
+    fn pooling_is_per_channel() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            Shape::of(&[1, 2, 2, 2]),
+            vec![1., 2., 3., 4., 40., 30., 20., 10.],
+        )
+        .unwrap();
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[4.0, 40.0]);
+    }
+
+    #[test]
+    fn errors_on_bad_rank_and_premature_backward() {
+        let mut p = MaxPool2d::new(2, 2);
+        assert!(p.forward(&Tensor::zeros(Shape::of(&[2, 2])), true).is_err());
+        assert!(p.backward(&Tensor::zeros(Shape::of(&[1, 1, 1, 1]))).is_err());
+        let mut a = AvgPool2d::new(2, 2);
+        assert!(a.backward(&Tensor::zeros(Shape::of(&[1, 1, 1, 1]))).is_err());
+    }
+
+    #[test]
+    fn output_shape_matches_forward() {
+        let p = MaxPool2d::new(2, 2);
+        let s = p.output_shape(&Shape::of(&[3, 5, 8, 8])).unwrap();
+        assert_eq!(s.dims(), &[3, 5, 4, 4]);
+    }
+}

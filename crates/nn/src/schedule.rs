@@ -1,0 +1,106 @@
+//! Learning-rate schedules.
+//!
+//! Schedules map an epoch index to a multiplier on the base learning rate;
+//! training loops apply them via [`Sgd::set_lr`](crate::optim::Sgd::set_lr).
+
+/// A learning-rate schedule: multiplier per epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `factor` every epoch (`factor ∈ (0, 1]`).
+    Exponential {
+        /// Per-epoch decay factor.
+        factor: f32,
+    },
+    /// Multiply by `factor` every `every` epochs.
+    Step {
+        /// Per-step decay factor.
+        factor: f32,
+        /// Epochs between decays.
+        every: usize,
+    },
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant
+    }
+}
+
+impl LrSchedule {
+    /// The learning-rate multiplier at `epoch` (epoch 0 is always 1.0).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use stepping_nn::schedule::LrSchedule;
+    ///
+    /// let s = LrSchedule::Step { factor: 0.5, every: 2 };
+    /// assert_eq!(s.multiplier(0), 1.0);
+    /// assert_eq!(s.multiplier(3), 0.5);
+    /// assert_eq!(s.multiplier(4), 0.25);
+    /// ```
+    pub fn multiplier(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Exponential { factor } => factor.powi(epoch as i32),
+            LrSchedule::Step { factor, every } => {
+                if every == 0 {
+                    1.0
+                } else {
+                    factor.powi((epoch / every) as i32)
+                }
+            }
+        }
+    }
+
+    /// Whether the schedule's parameters are in range (factors in `(0, 1]`).
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            LrSchedule::Constant => true,
+            LrSchedule::Exponential { factor } | LrSchedule::Step { factor, .. } => {
+                factor > 0.0 && factor <= 1.0 && factor.is_finite()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        for e in [0usize, 1, 100] {
+            assert_eq!(LrSchedule::Constant.multiplier(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn exponential_decays_geometrically() {
+        let s = LrSchedule::Exponential { factor: 0.9 };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert!((s.multiplier(2) - 0.81).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_holds_between_decays() {
+        let s = LrSchedule::Step { factor: 0.1, every: 3 };
+        assert_eq!(s.multiplier(2), 1.0);
+        assert!((s.multiplier(3) - 0.1).abs() < 1e-7);
+        assert!((s.multiplier(5) - 0.1).abs() < 1e-7);
+        assert!((s.multiplier(6) - 0.01).abs() < 1e-8);
+        // degenerate `every = 0` never decays rather than panicking
+        assert_eq!(LrSchedule::Step { factor: 0.5, every: 0 }.multiplier(9), 1.0);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(LrSchedule::Constant.is_valid());
+        assert!(LrSchedule::Exponential { factor: 1.0 }.is_valid());
+        assert!(!LrSchedule::Exponential { factor: 0.0 }.is_valid());
+        assert!(!LrSchedule::Step { factor: 1.5, every: 2 }.is_valid());
+        assert!(!LrSchedule::Exponential { factor: f32::NAN }.is_valid());
+    }
+}

@@ -1,0 +1,178 @@
+use stepping_tensor::{Shape, Tensor};
+
+use crate::{Layer, Param, Result};
+
+/// An ordered stack of layers executed front-to-back.
+///
+/// `Sequential` itself implements [`Layer`], so stacks nest.
+///
+/// # Example
+///
+/// ```
+/// use stepping_nn::{Layer, Linear, Relu, Sequential};
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let mut rng = stepping_tensor::init::rng(0);
+/// let mut net = Sequential::new(vec![
+///     Box::new(Linear::new(2, 4, &mut rng)),
+///     Box::new(Relu::new()),
+///     Box::new(Linear::new(4, 1, &mut rng)),
+/// ]);
+/// let y = net.forward(&Tensor::ones(Shape::of(&[3, 2])), true)?;
+/// assert_eq!(y.shape().dims(), &[3, 1]);
+/// # Ok::<(), stepping_nn::NnError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a stack from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Creates an empty stack.
+    pub fn empty() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the stack.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the layer stack.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn output_shape(&self, input: &Shape) -> Option<Shape> {
+        let mut s = input.clone();
+        for layer in &self.layers {
+            s = layer.output_shape(&s)?;
+        }
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use stepping_tensor::init::rng;
+
+    fn net() -> Sequential {
+        let mut r = rng(0);
+        Sequential::new(vec![
+            Box::new(Linear::new(3, 5, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(5, 2, &mut r)),
+        ])
+    }
+
+    #[test]
+    fn forward_through_all_layers() {
+        let mut n = net();
+        let y = n.forward(&Tensor::ones(Shape::of(&[4, 3])), true).unwrap();
+        assert_eq!(y.shape().dims(), &[4, 2]);
+    }
+
+    #[test]
+    fn params_are_collected_and_zeroed() {
+        let mut n = net();
+        assert_eq!(n.params_mut().len(), 4); // 2 weights + 2 biases
+        assert_eq!(n.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+        let x = Tensor::ones(Shape::of(&[1, 3]));
+        let y = n.forward(&x, true).unwrap();
+        n.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert!(n.params_mut().iter().any(|p| p.grad.norm_sq() > 0.0));
+        n.zero_grad();
+        assert!(n.params_mut().iter().all(|p| p.grad.norm_sq() == 0.0));
+    }
+
+    #[test]
+    fn backward_chains_in_reverse() {
+        let mut n = net();
+        let x = Tensor::ones(Shape::of(&[2, 3]));
+        let y = n.forward(&x, true).unwrap();
+        let dx = n.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(dx.shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn output_shape_composes() {
+        let n = net();
+        assert_eq!(n.output_shape(&Shape::of(&[7, 3])), Some(Shape::of(&[7, 2])));
+        assert_eq!(n.output_shape(&Shape::of(&[7, 9])), None);
+    }
+
+    #[test]
+    fn empty_stack_is_identity() {
+        let mut n = Sequential::empty();
+        assert!(n.is_empty());
+        let x = Tensor::ones(Shape::of(&[2, 2]));
+        assert_eq!(n.forward(&x, true).unwrap(), x);
+    }
+
+    #[test]
+    fn push_extends_stack() {
+        let mut n = Sequential::empty();
+        n.push(Box::new(Relu::new()));
+        assert_eq!(n.len(), 1);
+    }
+}

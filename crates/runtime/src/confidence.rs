@@ -1,0 +1,147 @@
+//! Confidence-gated anytime inference: stop stepping up once the current
+//! subnet's prediction is confident enough.
+//!
+//! The early-exit literature (BranchyNet, MSDNet — the paper's refs
+//! \[12\]\[13\] family) gates computation on prediction entropy/confidence
+//! rather than on resource availability. SteppingNet's nested subnets
+//! support the same policy for free: run the smallest subnet, and expand
+//! only while the softmax confidence stays below a threshold. Combined with
+//! computational reuse, each *additional* opinion costs only the new
+//! neurons.
+
+use stepping_core::{IncrementalExecutor, Result, SteppingError, SteppingNet};
+use stepping_tensor::{reduce, Tensor};
+
+/// Outcome of a confidence-gated run on one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfidentOutcome {
+    /// Subnet whose prediction was accepted.
+    pub subnet: usize,
+    /// Predicted class.
+    pub prediction: usize,
+    /// Softmax confidence of the accepted prediction.
+    pub confidence: f32,
+    /// Total MACs executed (all steps, with reuse).
+    pub total_macs: u64,
+    /// Whether the run stopped because the threshold was met (`true`) or
+    /// because the largest subnet was reached (`false`).
+    pub early_exit: bool,
+}
+
+/// Runs anytime inference on a single sample (`[1, …]` input), expanding
+/// until the top-class softmax probability reaches `threshold` or the
+/// largest subnet is exhausted.
+///
+/// # Errors
+///
+/// Returns [`SteppingError::BadConfig`] unless `0 < threshold <= 1` and the
+/// input has batch size 1, and propagates executor errors.
+///
+/// # Example
+///
+/// ```
+/// use stepping_core::SteppingNetBuilder;
+/// use stepping_runtime::infer_until_confident;
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let mut net = SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
+///     .linear(6).relu().build(3)?;
+/// net.move_neuron(0, 5, 1)?;
+/// let out = infer_until_confident(&mut net, &Tensor::ones(Shape::of(&[1, 4])), 0.99, 1e-5)?;
+/// assert!(out.subnet < 2);
+/// # Ok::<(), stepping_core::SteppingError>(())
+/// ```
+pub fn infer_until_confident(
+    net: &mut SteppingNet,
+    input: &Tensor,
+    threshold: f32,
+    prune_threshold: f32,
+) -> Result<ConfidentOutcome> {
+    if !(threshold > 0.0 && threshold <= 1.0) {
+        return Err(SteppingError::BadConfig(format!(
+            "confidence threshold {threshold} must be in (0, 1]"
+        )));
+    }
+    if input.shape().dims().first() != Some(&1) {
+        return Err(SteppingError::BadConfig(
+            "confidence-gated inference expects a single sample (batch 1)".into(),
+        ));
+    }
+    let subnets = net.subnet_count();
+    let mut exec = IncrementalExecutor::new(net, prune_threshold);
+    let mut step = exec.begin(input)?;
+    loop {
+        let probs = reduce::softmax_rows(&step.logits)?;
+        let prediction = probs.argmax();
+        let confidence = probs.data()[prediction];
+        let at_top = step.subnet + 1 >= subnets;
+        if confidence >= threshold || at_top {
+            return Ok(ConfidentOutcome {
+                subnet: step.subnet,
+                prediction,
+                confidence,
+                total_macs: exec.cumulative_macs(),
+                early_exit: confidence >= threshold,
+            });
+        }
+        step = exec.expand()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepping_core::SteppingNetBuilder;
+    use stepping_tensor::{init, Shape};
+
+    fn net() -> SteppingNet {
+        let mut n = SteppingNetBuilder::new(Shape::of(&[6]), 3, 4)
+            .linear(12)
+            .relu()
+            .build(3)
+            .unwrap();
+        n.move_neurons(&[(0, 8, 1), (0, 9, 1), (0, 10, 2), (0, 11, 2)]).unwrap();
+        n
+    }
+
+    fn x() -> Tensor {
+        init::uniform(Shape::of(&[1, 6]), -1.0, 1.0, &mut init::rng(3))
+    }
+
+    #[test]
+    fn tiny_threshold_exits_at_first_subnet() {
+        let mut n = net();
+        let out = infer_until_confident(&mut n, &x(), 1e-6, 0.0).unwrap();
+        assert_eq!(out.subnet, 0);
+        assert!(out.early_exit);
+        assert_eq!(out.total_macs, n.macs(0, 0.0));
+    }
+
+    #[test]
+    fn impossible_threshold_runs_to_largest() {
+        let mut n = net();
+        let out = infer_until_confident(&mut n, &x(), 1.0, 0.0).unwrap();
+        assert_eq!(out.subnet, 2);
+        assert!(!out.early_exit || out.confidence >= 1.0);
+        // reuse means total < sum of from-scratch costs
+        let scratch_total: u64 = (0..3).map(|k| n.macs(k, 0.0)).sum();
+        assert!(out.total_macs < scratch_total);
+    }
+
+    #[test]
+    fn confidence_is_a_probability() {
+        let mut n = net();
+        let out = infer_until_confident(&mut n, &x(), 0.5, 0.0).unwrap();
+        assert!((0.0..=1.0).contains(&out.confidence));
+        assert!(out.prediction < 3);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut n = net();
+        assert!(infer_until_confident(&mut n, &x(), 0.0, 0.0).is_err());
+        assert!(infer_until_confident(&mut n, &x(), 1.5, 0.0).is_err());
+        let batch = init::uniform(Shape::of(&[2, 6]), -1.0, 1.0, &mut init::rng(4));
+        assert!(infer_until_confident(&mut n, &batch, 0.5, 0.0).is_err());
+    }
+}

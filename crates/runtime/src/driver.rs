@@ -1,0 +1,263 @@
+//! Anytime-inference driver: decides on the fly whether to enhance accuracy
+//! by expanding to the next subnet, as resources accumulate over a
+//! [`ResourceTrace`](crate::ResourceTrace).
+//!
+//! Two upgrade policies are supported so the cost of recomputation can be
+//! measured directly:
+//!
+//! * [`UpgradePolicy::Incremental`] — SteppingNet-style: pay only the new
+//!   neurons (the [`IncrementalExecutor`] path);
+//! * [`UpgradePolicy::Recompute`] — slimmable-style: switching to a larger
+//!   subnet discards intermediate results and pays its full MAC count.
+
+use serde::{Deserialize, Serialize};
+use stepping_core::{IncrementalExecutor, Result, Stage, SteppingError, SteppingNet};
+use stepping_tensor::Tensor;
+
+use crate::ResourceTrace;
+
+/// How subnet upgrades are charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpgradePolicy {
+    /// Reuse cached activations; pay only new neurons + the new head.
+    Incremental,
+    /// Recompute the larger subnet from scratch (baseline behaviour).
+    Recompute,
+}
+
+/// Log of one timeslice of a drive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceLog {
+    /// Slice index.
+    pub slice: usize,
+    /// Budget granted this slice.
+    pub budget: u64,
+    /// MACs spent this slice (on begin/expand work).
+    pub spent: u64,
+    /// Subnet whose prediction is available after this slice (`None` while
+    /// the first subnet is still being computed).
+    pub subnet_ready: Option<usize>,
+}
+
+/// Outcome of driving one input over a resource trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveOutcome {
+    /// Per-slice log.
+    pub timeline: Vec<SliceLog>,
+    /// Largest subnet completed, if any.
+    pub final_subnet: Option<usize>,
+    /// Logits of the largest completed subnet.
+    pub final_logits: Option<Tensor>,
+    /// Total MACs executed.
+    pub total_macs: u64,
+    /// Slice index at which the first (smallest-subnet) prediction became
+    /// available.
+    pub first_prediction_slice: Option<usize>,
+}
+
+/// MACs required to expand from `subnet` to `subnet + 1` with reuse
+/// (new neurons + next head).
+pub fn expand_macs(net: &SteppingNet, subnet: usize, prune_threshold: f32) -> Result<u64> {
+    let next = subnet + 1;
+    if next >= net.subnet_count() {
+        return Err(SteppingError::SubnetOutOfRange { subnet: next, count: net.subnet_count() });
+    }
+    let mut total = net.head_macs(next);
+    for si in net.masked_stage_indices() {
+        let stage: &Stage = &net.stages()[si];
+        let assign = stage.out_assign().expect("masked stage");
+        for o in assign.members(next) {
+            total += stage.neuron_macs(o, prune_threshold).expect("masked stage");
+        }
+    }
+    Ok(total)
+}
+
+/// Drives anytime inference of `input` over `trace`.
+///
+/// Budget accumulates across slices; work is performed greedily: first the
+/// smallest subnet, then an upgrade whenever the accumulated budget covers
+/// the next step's cost under `policy`. This is the paper's deployment
+/// story: "decide on-the-fly whether to enhance the inference accuracy by
+/// executing further MAC operations".
+///
+/// # Errors
+///
+/// Propagates executor errors; rejects an empty trace.
+pub fn drive(
+    net: &mut SteppingNet,
+    input: &Tensor,
+    trace: &ResourceTrace,
+    policy: UpgradePolicy,
+    prune_threshold: f32,
+) -> Result<DriveOutcome> {
+    if trace.is_empty() {
+        return Err(SteppingError::BadConfig("resource trace must be non-empty".into()));
+    }
+    let subnet_count = net.subnet_count();
+    let base_cost = net.macs(0, prune_threshold);
+    // Pre-compute step costs to avoid borrowing the net inside the loop.
+    let mut step_cost = vec![base_cost];
+    for k in 0..subnet_count - 1 {
+        let cost = match policy {
+            UpgradePolicy::Incremental => expand_macs(net, k, prune_threshold)?,
+            UpgradePolicy::Recompute => net.macs(k + 1, prune_threshold),
+        };
+        step_cost.push(cost);
+    }
+    let mut exec = IncrementalExecutor::new(net, prune_threshold);
+    let mut timeline = Vec::with_capacity(trace.len());
+    let mut bank = 0u64;
+    let mut next_step = 0usize; // 0 = begin, k>0 = expand to subnet k
+    let mut final_subnet = None;
+    let mut final_logits = None;
+    let mut total_macs = 0u64;
+    let mut first_prediction_slice = None;
+    for (i, &budget) in trace.budgets().iter().enumerate() {
+        bank += budget;
+        let mut spent = 0u64;
+        while next_step < subnet_count && bank >= step_cost[next_step] {
+            bank -= step_cost[next_step];
+            spent += step_cost[next_step];
+            let step = if next_step == 0 { exec.begin(input)? } else { exec.expand()? };
+            final_subnet = Some(step.subnet);
+            final_logits = Some(step.logits);
+            if next_step == 0 {
+                first_prediction_slice = Some(i);
+            }
+            next_step += 1;
+        }
+        total_macs += spent;
+        timeline.push(SliceLog { slice: i, budget, spent, subnet_ready: final_subnet });
+    }
+    Ok(DriveOutcome { timeline, final_subnet, final_logits, total_macs, first_prediction_slice })
+}
+
+/// Runs [`drive`] but stops consuming the trace at `deadline_slice`
+/// (exclusive), returning whatever prediction is ready — the paper's
+/// "preliminary decision made early, refined with more resources" scenario.
+///
+/// # Errors
+///
+/// Propagates [`drive`] errors; rejects a deadline of zero or beyond the
+/// trace.
+pub fn drive_until_deadline(
+    net: &mut SteppingNet,
+    input: &Tensor,
+    trace: &ResourceTrace,
+    deadline_slice: usize,
+    policy: UpgradePolicy,
+    prune_threshold: f32,
+) -> Result<DriveOutcome> {
+    if deadline_slice == 0 || deadline_slice > trace.len() {
+        return Err(SteppingError::BadConfig(format!(
+            "deadline {deadline_slice} must be within 1..={}",
+            trace.len()
+        )));
+    }
+    let truncated = ResourceTrace::from_budgets(trace.budgets()[..deadline_slice].to_vec());
+    drive(net, input, &truncated, policy, prune_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepping_core::SteppingNetBuilder;
+    use stepping_tensor::{init, Shape};
+
+    fn net() -> SteppingNet {
+        let mut n = SteppingNetBuilder::new(Shape::of(&[6]), 3, 0)
+            .linear(12)
+            .relu()
+            .linear(9)
+            .relu()
+            .build(3)
+            .unwrap();
+        n.move_neurons(&[(0, 0, 1), (0, 1, 1), (0, 2, 2), (2, 0, 1), (2, 1, 2)]).unwrap();
+        n
+    }
+
+    fn x() -> Tensor {
+        init::uniform(Shape::of(&[1, 6]), -1.0, 1.0, &mut init::rng(0))
+    }
+
+    #[test]
+    fn expand_macs_is_cheaper_than_recompute() {
+        let n = net();
+        for k in 0..2 {
+            let inc = expand_macs(&n, k, 0.0).unwrap();
+            let scratch = n.macs(k + 1, 0.0);
+            assert!(inc < scratch, "subnet {k}: {inc} !< {scratch}");
+        }
+        assert!(expand_macs(&n, 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn generous_trace_reaches_largest_subnet() {
+        let mut n = net();
+        let full = n.macs(2, 0.0);
+        let trace = ResourceTrace::constant(full, 4);
+        let out = drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+        assert_eq!(out.final_subnet, Some(2));
+        assert_eq!(out.first_prediction_slice, Some(0));
+        assert!(out.final_logits.is_some());
+    }
+
+    #[test]
+    fn starved_trace_stays_small() {
+        let mut n = net();
+        let small = n.macs(0, 0.0);
+        // just enough for subnet 0 over the whole trace, never more
+        let per_slice = small / 4 + 1;
+        let trace = ResourceTrace::constant(per_slice, 5);
+        let out = drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+        assert_eq!(out.final_subnet, Some(0));
+        assert!(out.first_prediction_slice.unwrap() > 0);
+    }
+
+    #[test]
+    fn incremental_policy_upgrades_sooner_than_recompute() {
+        let mut n = net();
+        let budget = n.macs(0, 0.0) + expand_macs(&n, 0, 0.0).unwrap();
+        let trace = ResourceTrace::constant(budget, 1);
+        let inc =
+            drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+        let rec = drive(&mut n, &x(), &trace, UpgradePolicy::Recompute, 0.0).unwrap();
+        assert_eq!(inc.final_subnet, Some(1));
+        assert_eq!(rec.final_subnet, Some(0), "recompute policy can't afford the upgrade");
+    }
+
+    #[test]
+    fn incremental_total_macs_below_recompute() {
+        let mut n = net();
+        let full = n.macs(2, 0.0);
+        let trace = ResourceTrace::constant(full, 6);
+        let inc = drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+        let rec = drive(&mut n, &x(), &trace, UpgradePolicy::Recompute, 0.0).unwrap();
+        assert_eq!(inc.final_subnet, rec.final_subnet);
+        assert!(inc.total_macs < rec.total_macs, "{} !< {}", inc.total_macs, rec.total_macs);
+    }
+
+    #[test]
+    fn deadline_truncates() {
+        let mut n = net();
+        let full = n.macs(2, 0.0);
+        let trace = ResourceTrace::constant(full / 3, 9);
+        let early = drive_until_deadline(&mut n, &x(), &trace, 1, UpgradePolicy::Incremental, 0.0)
+            .unwrap();
+        let late = drive_until_deadline(&mut n, &x(), &trace, 9, UpgradePolicy::Incremental, 0.0)
+            .unwrap();
+        assert!(early.final_subnet <= late.final_subnet);
+        assert!(drive_until_deadline(&mut n, &x(), &trace, 0, UpgradePolicy::Incremental, 0.0)
+            .is_err());
+        assert!(drive_until_deadline(&mut n, &x(), &trace, 10, UpgradePolicy::Incremental, 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        let mut n = net();
+        let trace = ResourceTrace::from_budgets(vec![]);
+        assert!(drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! # stepping-runtime
+//!
+//! Resource-varying platform simulator and anytime-inference driver for the
+//! SteppingNet (DATE 2023) reproduction.
+//!
+//! The paper motivates SteppingNet with mobile phones and autonomous
+//! vehicles whose compute budget changes while inference runs. This crate
+//! simulates that deployment environment:
+//!
+//! * [`ResourceTrace`] — deterministic per-timeslice MAC budgets (constant,
+//!   power-mode steps, random walk, bursty),
+//! * [`DeviceModel`] — MACs → latency conversion,
+//! * [`drive`] / [`drive_until_deadline`] — the on-the-fly decision loop:
+//!   bank budget, produce the smallest subnet's prediction early, and expand
+//!   whenever the next step becomes affordable, under either the
+//!   reuse-everything [`UpgradePolicy::Incremental`] or the baseline
+//!   [`UpgradePolicy::Recompute`],
+//! * [`run_live`] — the same loop against a *threaded* resource producer
+//!   with a lock-protected [`LatestPrediction`] cell for concurrent
+//!   observers,
+//! * [`infer_until_confident`] — confidence-gated early exit (the
+//!   BranchyNet-style policy), which composes naturally with the stepping
+//!   structure because each additional opinion costs only the new neurons.
+//!
+//! ## Example
+//!
+//! ```
+//! use stepping_core::SteppingNetBuilder;
+//! use stepping_runtime::{drive, ResourceTrace, UpgradePolicy};
+//! use stepping_tensor::{Shape, Tensor};
+//!
+//! let mut net = SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
+//!     .linear(6).relu().build(3)?;
+//! net.move_neuron(0, 5, 1)?;
+//! let trace = ResourceTrace::constant(net.macs(1, 0.0), 3);
+//! let out = drive(&mut net, &Tensor::zeros(Shape::of(&[1, 4])), &trace,
+//!                 UpgradePolicy::Incremental, 0.0)?;
+//! assert_eq!(out.final_subnet, Some(1));
+//! # Ok::<(), stepping_core::SteppingError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod confidence;
+mod device;
+mod driver;
+mod live;
+mod trace;
+
+pub use confidence::{infer_until_confident, ConfidentOutcome};
+pub use device::DeviceModel;
+pub use driver::{drive, drive_until_deadline, expand_macs, DriveOutcome, SliceLog, UpgradePolicy};
+pub use live::{run_live, LatestPrediction};
+pub use trace::ResourceTrace;

@@ -1,0 +1,218 @@
+//! Live (threaded) simulation of a resource-varying platform.
+//!
+//! A producer thread plays a [`ResourceTrace`](crate::ResourceTrace) over a
+//! crossbeam channel — the "computing system" granting resources tick by
+//! tick — while the caller's thread runs anytime inference, publishing every
+//! refined prediction into a shared [`LatestPrediction`] cell that a
+//! controller (e.g. the vehicle's planner) can poll at any moment without
+//! blocking inference.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel;
+use parking_lot::RwLock;
+use stepping_core::{IncrementalExecutor, Result, SteppingError, SteppingNet};
+use stepping_tensor::Tensor;
+
+use crate::driver::{expand_macs, DriveOutcome, SliceLog, UpgradePolicy};
+use crate::ResourceTrace;
+
+/// The most recent prediction published by a live run, shared with observer
+/// threads.
+///
+/// Cheap to clone (internally an [`Arc`]).
+#[derive(Debug, Clone, Default)]
+pub struct LatestPrediction {
+    inner: Arc<RwLock<Option<(usize, Vec<f32>)>>>,
+}
+
+impl LatestPrediction {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latest `(subnet, logits)` published, if any.
+    pub fn get(&self) -> Option<(usize, Vec<f32>)> {
+        self.inner.read().clone()
+    }
+
+    fn publish(&self, subnet: usize, logits: &Tensor) {
+        *self.inner.write() = Some((subnet, logits.data().to_vec()));
+    }
+}
+
+/// Runs anytime inference live: a producer thread emits one budget tick per
+/// `tick` interval; the calling thread banks budget and performs
+/// begin/expand steps as they become affordable, publishing each new
+/// prediction into `latest`.
+///
+/// Semantics match [`drive`](crate::drive) with
+/// [`UpgradePolicy::Incremental`]; `policy` is configurable for comparison
+/// runs.
+///
+/// # Errors
+///
+/// Propagates executor errors; rejects an empty trace.
+pub fn run_live(
+    net: &mut SteppingNet,
+    input: &Tensor,
+    trace: &ResourceTrace,
+    policy: UpgradePolicy,
+    prune_threshold: f32,
+    tick: Duration,
+    latest: &LatestPrediction,
+) -> Result<DriveOutcome> {
+    if trace.is_empty() {
+        return Err(SteppingError::BadConfig("resource trace must be non-empty".into()));
+    }
+    let subnet_count = net.subnet_count();
+    let mut step_cost = vec![net.macs(0, prune_threshold)];
+    for k in 0..subnet_count - 1 {
+        let cost = match policy {
+            UpgradePolicy::Incremental => expand_macs(net, k, prune_threshold)?,
+            UpgradePolicy::Recompute => net.macs(k + 1, prune_threshold),
+        };
+        step_cost.push(cost);
+    }
+
+    let (tx, rx) = channel::bounded::<u64>(4);
+    let budgets = trace.budgets().to_vec();
+    let producer = thread::spawn(move || {
+        for b in budgets {
+            if tx.send(b).is_err() {
+                break;
+            }
+            if !tick.is_zero() {
+                thread::sleep(tick);
+            }
+        }
+    });
+
+    let mut exec = IncrementalExecutor::new(net, prune_threshold);
+    let mut timeline = Vec::with_capacity(trace.len());
+    let mut bank = 0u64;
+    let mut next_step = 0usize;
+    let mut final_subnet = None;
+    let mut final_logits: Option<Tensor> = None;
+    let mut total_macs = 0u64;
+    let mut first_prediction_slice = None;
+    let mut slice = 0usize;
+    while let Ok(budget) = rx.recv() {
+        bank += budget;
+        let mut spent = 0u64;
+        while next_step < subnet_count && bank >= step_cost[next_step] {
+            bank -= step_cost[next_step];
+            spent += step_cost[next_step];
+            let step = if next_step == 0 { exec.begin(input)? } else { exec.expand()? };
+            latest.publish(step.subnet, &step.logits);
+            final_subnet = Some(step.subnet);
+            final_logits = Some(step.logits);
+            if next_step == 0 {
+                first_prediction_slice = Some(slice);
+            }
+            next_step += 1;
+        }
+        total_macs += spent;
+        timeline.push(SliceLog { slice, budget, spent, subnet_ready: final_subnet });
+        slice += 1;
+    }
+    producer.join().map_err(|_| {
+        SteppingError::ExecutorState("resource producer thread panicked".into())
+    })?;
+    Ok(DriveOutcome { timeline, final_subnet, final_logits, total_macs, first_prediction_slice })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive;
+    use stepping_core::SteppingNetBuilder;
+    use stepping_tensor::{init, Shape};
+
+    fn net() -> SteppingNet {
+        let mut n = SteppingNetBuilder::new(Shape::of(&[5]), 2, 1)
+            .linear(8)
+            .relu()
+            .build(3)
+            .unwrap();
+        n.move_neurons(&[(0, 6, 1), (0, 7, 1)]).unwrap();
+        n
+    }
+
+    #[test]
+    fn live_matches_offline_drive() {
+        let x = init::uniform(Shape::of(&[1, 5]), -1.0, 1.0, &mut init::rng(2));
+        let trace = ResourceTrace::constant(net().macs(1, 0.0), 3);
+        let latest = LatestPrediction::new();
+        let mut n1 = net();
+        let live = run_live(
+            &mut n1,
+            &x,
+            &trace,
+            UpgradePolicy::Incremental,
+            0.0,
+            Duration::ZERO,
+            &latest,
+        )
+        .unwrap();
+        let mut n2 = net();
+        let offline = drive(&mut n2, &x, &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+        assert_eq!(live.final_subnet, offline.final_subnet);
+        assert_eq!(live.total_macs, offline.total_macs);
+        assert_eq!(live.timeline, offline.timeline);
+        // observer saw the final refined prediction
+        let (subnet, logits) = latest.get().expect("a prediction was published");
+        assert_eq!(Some(subnet), live.final_subnet);
+        assert_eq!(logits, live.final_logits.unwrap().data());
+    }
+
+    #[test]
+    fn observer_thread_can_poll_concurrently() {
+        let x = init::uniform(Shape::of(&[1, 5]), -1.0, 1.0, &mut init::rng(3));
+        let trace = ResourceTrace::constant(net().macs(1, 0.0), 8);
+        let latest = LatestPrediction::new();
+        let observer_cell = latest.clone();
+        let observer = thread::spawn(move || {
+            // poll until a prediction appears (bounded wait)
+            for _ in 0..1000 {
+                if observer_cell.get().is_some() {
+                    return true;
+                }
+                thread::sleep(Duration::from_micros(50));
+            }
+            false
+        });
+        let mut n = net();
+        run_live(
+            &mut n,
+            &x,
+            &trace,
+            UpgradePolicy::Incremental,
+            0.0,
+            Duration::from_micros(100),
+            &latest,
+        )
+        .unwrap();
+        assert!(observer.join().unwrap(), "observer never saw a prediction");
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        let mut n = net();
+        let x = init::uniform(Shape::of(&[1, 5]), -1.0, 1.0, &mut init::rng(4));
+        let latest = LatestPrediction::new();
+        assert!(run_live(
+            &mut n,
+            &x,
+            &ResourceTrace::from_budgets(vec![]),
+            UpgradePolicy::Incremental,
+            0.0,
+            Duration::ZERO,
+            &latest,
+        )
+        .is_err());
+    }
+}

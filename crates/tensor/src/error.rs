@@ -1,0 +1,111 @@
+use std::fmt;
+
+use crate::Shape;
+
+/// Error type for tensor operations.
+///
+/// Every fallible public function in this crate returns
+/// [`Result<T, TensorError>`](crate::Result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Shape that was expected by the operation.
+        expected: Shape,
+        /// Shape that was actually provided.
+        actual: Shape,
+    },
+    /// The provided data length does not match the element count of the shape.
+    LengthMismatch {
+        /// Element count implied by the shape.
+        expected: usize,
+        /// Length of the provided buffer.
+        actual: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix product disagree.
+    InnerDimMismatch {
+        /// Columns of the left operand.
+        left: usize,
+        /// Rows of the right operand.
+        right: usize,
+    },
+    /// A convolution/pooling geometry is invalid (e.g. kernel larger than
+    /// padded input, or zero stride).
+    InvalidGeometry(String),
+    /// Generic invalid-argument error with a human-readable description.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: shape implies {expected} elements, buffer has {actual}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::InnerDimMismatch { left, right } => {
+                write!(f, "matmul inner dimensions disagree: {left} vs {right}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::ShapeMismatch {
+                expected: Shape::of(&[2, 2]),
+                actual: Shape::of(&[3]),
+            },
+            TensorError::LengthMismatch { expected: 4, actual: 3 },
+            TensorError::AxisOutOfRange { axis: 5, rank: 2 },
+            TensorError::RankMismatch { expected: 4, actual: 2 },
+            TensorError::InnerDimMismatch { left: 3, right: 4 },
+            TensorError::InvalidGeometry("kernel 5 exceeds input 3".into()),
+            TensorError::InvalidArgument("p must be in (0, 1]".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

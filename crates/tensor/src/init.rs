@@ -1,0 +1,112 @@
+//! Deterministic random tensor initialisers.
+//!
+//! All training runs in the workspace are seeded, so every experiment in
+//! `EXPERIMENTS.md` reproduces bit-for-bit. Normal samples use Box–Muller on
+//! top of [`rand`]'s uniform stream (the `rand_distr` crate is deliberately
+//! not a dependency).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Shape, Tensor};
+
+/// Creates a seeded RNG; the single entry point for randomness in the
+/// workspace.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Tensor with i.i.d. uniform samples in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(shape: Shape, lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+    assert!(lo < hi, "uniform bounds must satisfy lo < hi");
+    let len = shape.len();
+    let data = (0..len).map(|_| rng.random::<f32>() * (hi - lo) + lo).collect();
+    Tensor::from_vec(shape, data).expect("length matches by construction")
+}
+
+/// Tensor with i.i.d. normal samples `N(mean, std²)` via Box–Muller.
+pub fn normal(shape: Shape, mean: f32, std: f32, rng: &mut StdRng) -> Tensor {
+    let len = shape.len();
+    let mut data = Vec::with_capacity(len);
+    while data.len() < len {
+        // Box–Muller transform: two uniforms → two independent normals.
+        let u1: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
+        let u2: f32 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < len {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(shape, data).expect("length matches by construction")
+}
+
+/// Kaiming/He initialisation for ReLU networks: `N(0, sqrt(2 / fan_in)²)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn kaiming(shape: Shape, fan_in: usize, rng: &mut StdRng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be nonzero");
+    normal(shape, 0.0, (2.0 / fan_in as f32).sqrt(), rng)
+}
+
+/// Xavier/Glorot uniform initialisation:
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out` is zero.
+pub fn xavier(shape: Shape, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be nonzero");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let a = uniform(Shape::of(&[100]), -1.0, 1.0, &mut rng(7));
+        let b = uniform(Shape::of(&[100]), -1.0, 1.0, &mut rng(7));
+        assert_eq!(a, b);
+        let c = uniform(Shape::of(&[100]), -1.0, 1.0, &mut rng(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform(Shape::of(&[1000]), 2.0, 3.0, &mut rng(1));
+        assert!(t.data().iter().all(|&x| (2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let t = normal(Shape::of(&[20_000]), 1.5, 2.0, &mut rng(42));
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 1.5).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let small = kaiming(Shape::of(&[10_000]), 10, &mut rng(3));
+        let large = kaiming(Shape::of(&[10_000]), 1000, &mut rng(3));
+        assert!(small.norm_sq() > large.norm_sq() * 10.0);
+    }
+
+    #[test]
+    fn xavier_respects_symmetric_bound() {
+        let t = xavier(Shape::of(&[1000]), 8, 4, &mut rng(5));
+        let bound = (6.0f32 / 12.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+    }
+}

@@ -1,0 +1,290 @@
+//! Blocked matrix multiplication kernels.
+//!
+//! These are the hot loops behind every [`Linear`](../../stepping_nn) layer
+//! and the `im2col` formulation of convolution. All kernels operate on
+//! rank-2 [`Tensor`]s and are cache-blocked over the inner dimension.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Cache block size (elements) for the k-loop; tuned for L1-resident panels.
+const BLOCK: usize = 64;
+
+/// Below this many multiply-adds a product stays single-threaded (thread
+/// spawn overhead would dominate).
+const PARALLEL_FLOP_THRESHOLD: usize = 4_000_000;
+
+/// Number of worker threads for large products.
+fn worker_count(rows: usize) -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(rows).min(8)
+}
+
+/// Runs `kernel` over disjoint row chunks of `out`, in parallel when the
+/// problem is big enough. `kernel(row_offset, out_rows)` must fill the given
+/// rows only.
+fn par_rows<F>(out: &mut [f32], rows: usize, row_width: usize, flops: usize, kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let workers = if flops >= PARALLEL_FLOP_THRESHOLD { worker_count(rows) } else { 1 };
+    if workers <= 1 || rows == 0 {
+        kernel(0, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (ci, chunk) in out.chunks_mut(chunk_rows * row_width).enumerate() {
+            let kernel = &kernel;
+            s.spawn(move || kernel(ci * chunk_rows, chunk));
+        }
+    });
+}
+
+fn check2(t: &Tensor) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: t.shape().rank() });
+    }
+    Ok((t.shape().dims()[0], t.shape().dims()[1]))
+}
+
+/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrices and
+/// [`TensorError::InnerDimMismatch`] if `A`'s columns differ from `B`'s rows.
+///
+/// # Example
+///
+/// ```
+/// use stepping_tensor::{matmul::matmul, Shape, Tensor};
+///
+/// let a = Tensor::from_vec(Shape::of(&[1, 2]), vec![1.0, 2.0])?;
+/// let b = Tensor::from_vec(Shape::of(&[2, 1]), vec![3.0, 4.0])?;
+/// assert_eq!(matmul(&a, &b)?.data(), &[11.0]);
+/// # Ok::<(), stepping_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check2(a)?;
+    let (kb, n) = check2(b)?;
+    if ka != kb {
+        return Err(TensorError::InnerDimMismatch { left: ka, right: kb });
+    }
+    let mut out = Tensor::zeros(Shape::of(&[m, n]));
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    par_rows(od, m, n, m * ka * n, |row0, chunk| {
+        let rows = chunk.len() / n;
+        for k0 in (0..ka).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(ka);
+            for r in 0..rows {
+                let i = row0 + r;
+                let arow = &ad[i * ka..(i + 1) * ka];
+                let orow = &mut chunk[r * n..(r + 1) * n];
+                for k in k0..k1 {
+                    let aik = arow[k];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[k * n..(k + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`.
+///
+/// This variant is the natural layout for `Linear` forward passes where the
+/// weight matrix is stored `[out, in]`.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check2(a)?;
+    let (n, kb) = check2(b)?;
+    if ka != kb {
+        return Err(TensorError::InnerDimMismatch { left: ka, right: kb });
+    }
+    let mut out = Tensor::zeros(Shape::of(&[m, n]));
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    par_rows(od, m, n, m * ka * n, |row0, chunk| {
+        let rows = chunk.len() / n;
+        for r in 0..rows {
+            let i = row0 + r;
+            let arow = &ad[i * ka..(i + 1) * ka];
+            for j in 0..n {
+                let brow = &bd[j * kb..(j + 1) * kb];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                chunk[r * n + j] = acc;
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`.
+///
+/// This variant computes weight gradients (`dW = xᵀ · dy`) without explicit
+/// transposition.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ka, m) = check2(a)?;
+    let (kb, n) = check2(b)?;
+    if ka != kb {
+        return Err(TensorError::InnerDimMismatch { left: ka, right: kb });
+    }
+    let mut out = Tensor::zeros(Shape::of(&[m, n]));
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for k in 0..ka {
+        let arow = &ad[k * m..(k + 1) * m];
+        let brow = &bd[k * n..(k + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Matrix–vector product `y = A · x` for `A: [m, k]`, `x: [k]`.
+///
+/// # Errors
+///
+/// Returns rank/dimension errors as in [`matmul`].
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let (m, k) = check2(a)?;
+    if x.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch { expected: 1, actual: x.shape().rank() });
+    }
+    if x.len() != k {
+        return Err(TensorError::InnerDimMismatch { left: k, right: x.len() });
+    }
+    let mut out = Tensor::zeros(Shape::of(&[m]));
+    let (ad, xd) = (a.data(), x.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let row = &ad[i * k..(i + 1) * k];
+        od[i] = row.iter().zip(xd.iter()).map(|(&a, &b)| a * b).sum();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+        let n = b.shape().dims()[1];
+        let mut out = Tensor::zeros(Shape::of(&[m, n]));
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                out.data_mut()[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn seq(shape: &[usize]) -> Tensor {
+        let len: usize = shape.iter().product();
+        Tensor::from_vec(Shape::of(shape), (0..len).map(|i| (i as f32) * 0.5 - 3.0).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = seq(&[7, 130]);
+        let b = seq(&[130, 5]);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = naive(&a, &b);
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_bt_equals_matmul_with_transpose() {
+        let a = seq(&[4, 6]);
+        let b = seq(&[3, 6]);
+        let direct = matmul_bt(&a, &b).unwrap();
+        let via_t = matmul(&a, &b.transpose2().unwrap()).unwrap();
+        assert_eq!(direct, via_t);
+    }
+
+    #[test]
+    fn matmul_at_equals_matmul_with_transpose() {
+        let a = seq(&[6, 4]);
+        let b = seq(&[6, 3]);
+        let direct = matmul_at(&a, &b).unwrap();
+        let via_t = matmul(&a.transpose2().unwrap(), &b).unwrap();
+        assert_eq!(direct, via_t);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = seq(&[5, 9]);
+        let x = seq(&[9]);
+        let xm = x.reshape(Shape::of(&[9, 1])).unwrap();
+        let ym = matmul(&a, &xm).unwrap();
+        let y = matvec(&a, &x).unwrap();
+        assert_eq!(y.data(), ym.data());
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = seq(&[2, 3]);
+        let b = seq(&[4, 5]);
+        assert!(matches!(matmul(&a, &b), Err(TensorError::InnerDimMismatch { .. })));
+        let v = seq(&[3]);
+        assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // big enough to cross PARALLEL_FLOP_THRESHOLD
+        let a = seq(&[300, 200]);
+        let b = seq(&[200, 100]);
+        let big = matmul(&a, &b).unwrap();
+        let slow = naive(&a, &b);
+        for (x, y) in big.data().iter().zip(slow.data().iter()) {
+            assert!((x - y).abs() < (y.abs() * 1e-4).max(1e-2), "{x} vs {y}");
+        }
+        let bt_b = seq(&[100, 200]);
+        let bt = matmul_bt(&a, &bt_b).unwrap();
+        let via = matmul(&a, &bt_b.transpose2().unwrap()).unwrap();
+        assert_eq!(bt, via);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = seq(&[3, 3]);
+        let mut eye = Tensor::zeros(Shape::of(&[3, 3]));
+        for i in 0..3 {
+            eye.set(&[i, i], 1.0).unwrap();
+        }
+        assert_eq!(matmul(&a, &eye).unwrap(), a);
+        assert_eq!(matmul(&eye, &a).unwrap(), a);
+    }
+}

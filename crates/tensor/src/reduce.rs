@@ -1,0 +1,217 @@
+//! Reductions and normalisation helpers over rank-2 tensors.
+//!
+//! The `stepping-nn` losses and batch-norm layers are written against these
+//! per-axis primitives. Rows are samples, columns are features/classes.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+fn check2(t: &Tensor) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: t.shape().rank() });
+    }
+    Ok((t.shape().dims()[0], t.shape().dims()[1]))
+}
+
+/// Sums over rows: `[n, c] → [c]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrices.
+pub fn sum_rows(t: &Tensor) -> Result<Tensor> {
+    let (n, c) = check2(t)?;
+    let mut out = Tensor::zeros(Shape::of(&[c]));
+    let od = out.data_mut();
+    for i in 0..n {
+        for (j, o) in od.iter_mut().enumerate() {
+            *o += t.data()[i * c + j];
+        }
+    }
+    Ok(out)
+}
+
+/// Means over rows: `[n, c] → [c]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrices or
+/// [`TensorError::InvalidArgument`] when the matrix has zero rows.
+pub fn mean_rows(t: &Tensor) -> Result<Tensor> {
+    let (n, _) = check2(t)?;
+    if n == 0 {
+        return Err(TensorError::InvalidArgument("mean over zero rows".into()));
+    }
+    let mut s = sum_rows(t)?;
+    s.scale(1.0 / n as f32);
+    Ok(s)
+}
+
+/// Per-column variance (biased, matching batch-norm convention):
+/// `[n, c] → [c]`.
+///
+/// # Errors
+///
+/// Same conditions as [`mean_rows`].
+pub fn var_rows(t: &Tensor, mean: &Tensor) -> Result<Tensor> {
+    let (n, c) = check2(t)?;
+    if n == 0 {
+        return Err(TensorError::InvalidArgument("variance over zero rows".into()));
+    }
+    if mean.shape().dims() != [c] {
+        return Err(TensorError::ShapeMismatch {
+            expected: Shape::of(&[c]),
+            actual: mean.shape().clone(),
+        });
+    }
+    let mut out = Tensor::zeros(Shape::of(&[c]));
+    let od = out.data_mut();
+    for i in 0..n {
+        for j in 0..c {
+            let d = t.data()[i * c + j] - mean.data()[j];
+            od[j] += d * d;
+        }
+    }
+    for o in od.iter_mut() {
+        *o /= n as f32;
+    }
+    Ok(out)
+}
+
+/// Row-wise numerically-stable softmax: `[n, c] → [n, c]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrices.
+///
+/// # Example
+///
+/// ```
+/// use stepping_tensor::{reduce::softmax_rows, Shape, Tensor};
+///
+/// let logits = Tensor::from_vec(Shape::of(&[1, 3]), vec![1.0, 2.0, 3.0])?;
+/// let p = softmax_rows(&logits)?;
+/// assert!((p.row(0)?.sum() - 1.0).abs() < 1e-6);
+/// # Ok::<(), stepping_tensor::TensorError>(())
+/// ```
+pub fn softmax_rows(t: &Tensor) -> Result<Tensor> {
+    let (n, c) = check2(t)?;
+    let mut out = t.clone();
+    let od = out.data_mut();
+    for i in 0..n {
+        let row = &mut od[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= z;
+        }
+    }
+    Ok(out)
+}
+
+/// Row-wise log-softmax: `[n, c] → [n, c]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrices.
+pub fn log_softmax_rows(t: &Tensor) -> Result<Tensor> {
+    let (n, c) = check2(t)?;
+    let mut out = t.clone();
+    let od = out.data_mut();
+    for i in 0..n {
+        let row = &mut od[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let z: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+        let lz = z.ln() + m;
+        for v in row.iter_mut() {
+            *v -= lz;
+        }
+    }
+    Ok(out)
+}
+
+/// Row-wise argmax: `[n, c] → Vec<usize>` of length `n`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrices or
+/// [`TensorError::InvalidArgument`] for zero columns.
+pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
+    let (n, c) = check2(t)?;
+    if c == 0 {
+        return Err(TensorError::InvalidArgument("argmax over zero columns".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let row = &t.data()[i * c..(i + 1) * c];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Tensor {
+        Tensor::from_vec(Shape::of(&[2, 3]), vec![1., 2., 3., 4., 5., 6.]).unwrap()
+    }
+
+    #[test]
+    fn sum_and_mean_rows() {
+        assert_eq!(sum_rows(&m()).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(mean_rows(&m()).unwrap().data(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn var_rows_matches_hand_calc() {
+        let t = m();
+        let mu = mean_rows(&t).unwrap();
+        let v = var_rows(&t, &mu).unwrap();
+        // each column is {x, x+3} → variance 2.25
+        for &x in v.data() {
+            assert!((x - 2.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_is_stable() {
+        let t = Tensor::from_vec(Shape::of(&[1, 3]), vec![1000.0, 1001.0, 1002.0]).unwrap();
+        let p = softmax_rows(&t).unwrap();
+        assert!(p.is_finite());
+        assert!((p.sum() - 1.0).abs() < 1e-5);
+        assert!(p.data()[2] > p.data()[1] && p.data()[1] > p.data()[0]);
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let t = m();
+        let p = softmax_rows(&t).unwrap();
+        let lp = log_softmax_rows(&t).unwrap();
+        for (a, b) in p.data().iter().zip(lp.data().iter()) {
+            assert!((a.ln() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_rows_picks_last_max_only_if_strictly_greater() {
+        let t = Tensor::from_vec(Shape::of(&[2, 3]), vec![1., 3., 3., 9., 1., 1.]).unwrap();
+        assert_eq!(argmax_rows(&t).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn rank_errors() {
+        let v = Tensor::zeros(Shape::of(&[3]));
+        assert!(sum_rows(&v).is_err());
+        assert!(softmax_rows(&v).is_err());
+        assert!(argmax_rows(&v).is_err());
+    }
+}

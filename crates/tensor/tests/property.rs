@@ -1,0 +1,136 @@
+//! Property-based tests of the tensor substrate: algebraic identities that
+//! must hold for arbitrary shapes and values.
+
+use proptest::prelude::*;
+use stepping_tensor::conv::{col2im, im2col, ConvGeometry};
+use stepping_tensor::{matmul, reduce, Shape, Tensor};
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+    let n = b.shape().dims()[1];
+    let mut out = Tensor::zeros(Shape::of(&[m, n]));
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+            }
+            out.data_mut()[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn matmul_matches_naive(
+        m in 1usize..8, k in 1usize..12, n in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = stepping_tensor::init::rng(seed);
+        let a = stepping_tensor::init::uniform(Shape::of(&[m, k]), -2.0, 2.0, &mut rng);
+        let b = stepping_tensor::init::uniform(Shape::of(&[k, n]), -2.0, 2.0, &mut rng);
+        let fast = matmul::matmul(&a, &b).unwrap();
+        let slow = naive_matmul(&a, &b);
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identities(
+        m in 1usize..6, k in 1usize..8, n in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = stepping_tensor::init::rng(seed);
+        let a = stepping_tensor::init::uniform(Shape::of(&[m, k]), -2.0, 2.0, &mut rng);
+        let b = stepping_tensor::init::uniform(Shape::of(&[n, k]), -2.0, 2.0, &mut rng);
+        // A·Bᵀ computed directly equals A·(Bᵀ)
+        let direct = matmul::matmul_bt(&a, &b).unwrap();
+        let via = matmul::matmul(&a, &b.transpose2().unwrap()).unwrap();
+        prop_assert_eq!(direct, via);
+        // Aᵀ·C identity
+        let c = stepping_tensor::init::uniform(Shape::of(&[m, n]), -2.0, 2.0, &mut rng);
+        let direct = matmul::matmul_at(&a, &c).unwrap();
+        let via = matmul::matmul(&a.transpose2().unwrap(), &c).unwrap();
+        prop_assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn transpose_is_involutive(
+        r in 1usize..10, c in 1usize..10, data_seed in 0u64..10_000,
+    ) {
+        let mut rng = stepping_tensor::init::rng(data_seed);
+        let t = stepping_tensor::init::uniform(Shape::of(&[r, c]), -5.0, 5.0, &mut rng);
+        prop_assert_eq!(t.transpose2().unwrap().transpose2().unwrap(), t);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        n in 1usize..6, c in 1usize..10, vals_seed in 0u64..10_000,
+    ) {
+        let mut rng = stepping_tensor::init::rng(vals_seed);
+        let t = stepping_tensor::init::uniform(Shape::of(&[n, c]), -30.0, 30.0, &mut rng);
+        let p = reduce::softmax_rows(&t).unwrap();
+        prop_assert!(p.is_finite());
+        for i in 0..n {
+            let row = p.row(i).unwrap();
+            prop_assert!(row.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            prop_assert!((row.sum() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(
+        c in 2usize..8, shift in -20.0f32..20.0, seed in 0u64..10_000,
+    ) {
+        let mut rng = stepping_tensor::init::rng(seed);
+        let t = stepping_tensor::init::uniform(Shape::of(&[1, c]), -3.0, 3.0, &mut rng);
+        let shifted = t.map(|v| v + shift);
+        let p1 = reduce::softmax_rows(&t).unwrap();
+        let p2 = reduce::softmax_rows(&shifted).unwrap();
+        for (a, b) in p1.data().iter().zip(p2.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness(
+        c in 1usize..4, h in 3usize..8, w in 3usize..8,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let geom = ConvGeometry::new(c, h, w, k, k, stride, pad).unwrap();
+        let mut rng = stepping_tensor::init::rng(seed);
+        let x = stepping_tensor::init::uniform(Shape::of(&[2, c, h, w]), -1.0, 1.0, &mut rng);
+        let y = stepping_tensor::init::uniform(
+            Shape::of(&[2 * geom.positions(), geom.patch_len()]), -1.0, 1.0, &mut rng);
+        // <im2col(x), y> == <x, col2im(y)>
+        let lhs = im2col(&x, &geom).unwrap().dot(&y).unwrap();
+        let rhs = x.dot(&col2im(&y, 2, &geom).unwrap()).unwrap();
+        let scale = lhs.abs().max(rhs.abs()).max(1.0);
+        prop_assert!((lhs - rhs).abs() / scale < 1e-4, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn axpy_matches_zip(
+        len in 1usize..64, alpha in -3.0f32..3.0,
+        a in tensor_strategy(64), b in tensor_strategy(64),
+    ) {
+        let av = Tensor::from_vec(Shape::of(&[len]), a[..len].to_vec()).unwrap();
+        let bv = Tensor::from_vec(Shape::of(&[len]), b[..len].to_vec()).unwrap();
+        let mut c = av.clone();
+        c.axpy(alpha, &bv).unwrap();
+        let expected = av.zip(&bv, |x, y| x + alpha * y).unwrap();
+        for (x, y) in c.data().iter().zip(expected.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

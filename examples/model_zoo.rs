@@ -1,0 +1,46 @@
+//! Tour of the model zoo: the paper's three test-case architectures, their
+//! reference MAC counts `M_t`, Table I's MAC budgets, and the effect of
+//! width expansion on capacity.
+//!
+//! Run with `cargo run --release --example model_zoo`.
+
+use steppingnet::models::Architecture;
+use steppingnet::tensor::Shape;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cases = [
+        (Architecture::lenet_3c1l(10), 1.8, vec![0.10, 0.30, 0.50, 0.85]),
+        (Architecture::lenet5(10), 2.0, vec![0.15, 0.30, 0.60, 0.85]),
+        (Architecture::vgg16(100), 1.8, vec![0.20, 0.40, 0.50, 0.70]),
+    ];
+    for (arch, expansion, budgets) in &cases {
+        let reference = arch.reference_macs();
+        println!("\n{} ({} classes, input {})", arch.name, arch.classes, arch.input);
+        println!("  M_t (unexpanded reference): {reference} MACs");
+        println!("  paper expansion ratio: {expansion}");
+        let targets = arch.mac_targets(budgets);
+        for (f, t) in budgets.iter().zip(targets.iter()) {
+            println!("  subnet budget {:>4.0}% → {t} MACs", f * 100.0);
+        }
+        // Building the full VGG-16 allocates hundreds of MB; demonstrate on
+        // a quarter-width copy instead.
+        let demo = arch.scaled(0.25);
+        let net = demo.build(4, 0, *expansion)?;
+        println!(
+            "  quarter-width build at expansion {expansion}: {} MACs capacity across {} stages",
+            net.full_macs(),
+            net.stages().len()
+        );
+    }
+
+    // Custom architectures compose from the same spec vocabulary.
+    let custom = Architecture::mlp(128, &[256, 128, 64], 10);
+    println!(
+        "\ncustom {} : reference {} MACs",
+        custom.name,
+        custom.reference_macs()
+    );
+    let tiny = Architecture::lenet5(10).with_input(Shape::of(&[3, 20, 20])).scaled(0.5);
+    println!("resized {}: reference {} MACs", tiny.name, tiny.reference_macs());
+    Ok(())
+}

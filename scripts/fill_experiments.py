@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Splices experiment-binary logs into EXPERIMENTS.md.
+
+Usage: python3 scripts/fill_experiments.py <logdir>
+
+Expects <logdir>/{table1,fig6,fig7,fig8,reuse,ablations}.log as produced by
+the stepping-bench binaries. Each log's table section replaces the matching
+`<!-- *_MEASURED -->` placeholder (idempotent: reruns replace the previous
+splice).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+MARKERS = {
+    "TABLE1_MEASURED": "table1.log",
+    "FIG6_MEASURED": "fig6.log",
+    "FIG7_MEASURED": "fig7.log",
+    "FIG8_MEASURED": "fig8.log",
+    "REUSE_MEASURED": "reuse.log",
+    "ABLATIONS_MEASURED": "ablations.log",
+}
+
+
+def extract_tables(text: str) -> str:
+    """Keeps headline/table/blank lines, drops cargo noise and stderr."""
+    keep = []
+    for line in text.splitlines():
+        if line.startswith(("   Compiling", "    Finished", "     Running", "    Blocking", "warning", "WARNING")):
+            continue
+        if line.startswith("  ") and "finished in" in line:
+            continue
+        keep.append(line.rstrip())
+    # trim leading/trailing blank runs
+    while keep and not keep[0]:
+        keep.pop(0)
+    while keep and not keep[-1]:
+        keep.pop()
+    return "\n".join(keep)
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    logdir = Path(sys.argv[1])
+    md_path = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    md = md_path.read_text()
+    for marker, logname in MARKERS.items():
+        log = logdir / logname
+        if not log.exists():
+            print(f"skip {marker}: {log} missing")
+            continue
+        body = extract_tables(log.read_text())
+        block = f"<!-- {marker} -->\n```text\n{body}\n```\n<!-- /{marker} -->"
+        pattern = re.compile(
+            rf"<!-- {marker} -->(?:.*?<!-- /{marker} -->)?", re.DOTALL
+        )
+        if not pattern.search(md):
+            print(f"marker {marker} not found in EXPERIMENTS.md")
+            continue
+        md = pattern.sub(block.replace("\\", "\\\\"), md, count=1)
+        print(f"spliced {marker} from {log}")
+    md_path.write_text(md)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

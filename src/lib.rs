@@ -1,0 +1,45 @@
+//! # steppingnet
+//!
+//! Umbrella crate of the pure-Rust reproduction of *SteppingNet: A Stepping
+//! Neural Network with Incremental Accuracy Enhancement* (DATE 2023).
+//!
+//! Re-exports every workspace crate under one roof:
+//!
+//! * [`tensor`] — dense `f32` tensors, matmul, `im2col` convolution,
+//! * [`nn`] — layers with manual backprop, optimizers, losses,
+//! * [`data`] — deterministic synthetic CIFAR-10/100 stand-ins,
+//! * [`core`] — the paper's contribution: subnet construction by neuron
+//!   reallocation, knowledge-distillation retraining, incremental anytime
+//!   inference,
+//! * [`models`] — LeNet-3C1L, LeNet-5, VGG-16 and width expansion,
+//! * [`baselines`] — the any-width and slimmable comparison networks,
+//! * [`runtime`] — the resource-varying platform simulator.
+//!
+//! See `README.md` for a tour and `examples/` for runnable end-to-end
+//! programs; `DESIGN.md` documents the architecture and every substitution
+//! made for the offline, CPU-only environment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use steppingnet::core::SteppingNetBuilder;
+//! use steppingnet::tensor::{Shape, Tensor};
+//!
+//! let mut net = SteppingNetBuilder::new(Shape::of(&[8]), 2, 0)
+//!     .linear(16)
+//!     .relu()
+//!     .build(4)?;
+//! let logits = net.forward(&Tensor::zeros(Shape::of(&[1, 8])), 0, false)?;
+//! assert_eq!(logits.shape().dims(), &[1, 4]);
+//! # Ok::<(), steppingnet::core::SteppingError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use stepping_baselines as baselines;
+pub use stepping_core as core;
+pub use stepping_data as data;
+pub use stepping_models as models;
+pub use stepping_nn as nn;
+pub use stepping_runtime as runtime;
+pub use stepping_tensor as tensor;

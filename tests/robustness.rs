@@ -1,0 +1,147 @@
+//! Failure-injection integration tests: the pipeline must degrade
+//! gracefully — not panic, not corrupt structure — under corrupted
+//! supervision, starved budgets, and adversarial configurations.
+
+use steppingnet::core::eval::evaluate_all;
+use steppingnet::core::train::{train_subnet, TrainOptions};
+use steppingnet::core::{construct, ConstructionOptions, SteppingNetBuilder};
+use steppingnet::data::{Dataset, GaussianBlobs, GaussianBlobsConfig, LabelNoise, Split, Subset};
+use steppingnet::tensor::{Shape, Tensor};
+
+fn data() -> GaussianBlobs {
+    GaussianBlobs::new(
+        GaussianBlobsConfig {
+            classes: 4,
+            features: 12,
+            train_per_class: 40,
+            test_per_class: 12,
+            separation: 3.0,
+            noise_std: 0.8,
+        },
+        55,
+    )
+    .unwrap()
+}
+
+#[test]
+fn pipeline_survives_heavy_label_noise() {
+    let clean = data();
+    let noisy = LabelNoise::new(&clean, 0.5, 7).unwrap();
+    let mut net = SteppingNetBuilder::new(Shape::of(&[12]), 3, 1)
+        .linear(24)
+        .relu()
+        .build(4)
+        .unwrap();
+    train_subnet(&mut net, &noisy, 0, &TrainOptions { epochs: 5, lr: 0.05, ..Default::default() })
+        .unwrap();
+    let full = net.full_macs();
+    let report = construct(
+        &mut net,
+        &noisy,
+        &ConstructionOptions {
+            mac_targets: vec![full / 5, full / 2, full * 4 / 5],
+            iterations: 6,
+            batches_per_iter: 3,
+            batch_size: 16,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(report.satisfied);
+    net.check_invariants().unwrap();
+    // structure stays sound; accuracy may be poor but must be a valid number
+    let accs = evaluate_all(&mut net, &clean, Split::Test, 16).unwrap();
+    assert!(accs.iter().all(|a| (0.0..=1.0).contains(a)));
+}
+
+#[test]
+fn starved_budget_hits_min_neuron_floor_without_panicking() {
+    let d = data();
+    let mut net = SteppingNetBuilder::new(Shape::of(&[12]), 3, 2)
+        .linear(20)
+        .relu()
+        .build(4)
+        .unwrap();
+    // absurdly small budgets: 3 and 4 and 5 MACs cannot be met with one
+    // neuron per stage alive
+    let report = construct(
+        &mut net,
+        &d,
+        &ConstructionOptions {
+            mac_targets: vec![3, 4, 5],
+            iterations: 4,
+            batches_per_iter: 2,
+            batch_size: 16,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(!report.satisfied, "impossible budgets cannot be satisfied");
+    net.check_invariants().unwrap();
+    // the floor held: at least one neuron per masked stage stays in subnet 0
+    for si in net.masked_stage_indices() {
+        assert!(net.stages()[si].out_assign().unwrap().active_count(0) >= 1);
+    }
+}
+
+#[test]
+fn tiny_subset_still_trains_and_evaluates() {
+    let d = data();
+    let sub = Subset::new(&d, (0..8).collect(), (0..4).collect()).unwrap();
+    assert_eq!(sub.len(Split::Train), 8);
+    let mut net = SteppingNetBuilder::new(Shape::of(&[12]), 2, 3)
+        .linear(10)
+        .relu()
+        .build(4)
+        .unwrap();
+    train_subnet(&mut net, &sub, 0, &TrainOptions { epochs: 3, batch_size: 4, ..Default::default() })
+        .unwrap();
+    let accs = evaluate_all(&mut net, &sub, Split::Test, 4).unwrap();
+    assert_eq!(accs.len(), 2);
+}
+
+#[test]
+fn non_finite_input_does_not_corrupt_network_state() {
+    // A NaN input must not corrupt weights or caches: subsequent clean
+    // forwards produce exactly the same results as before. (Note: ReLU's
+    // `max(0.0)` maps NaN to 0 under Rust's IEEE `max` semantics, so the
+    // poisoned logits themselves may come out finite.)
+    let mut net = SteppingNetBuilder::new(Shape::of(&[12]), 2, 4)
+        .linear(10)
+        .relu()
+        .build(4)
+        .unwrap();
+    let clean = Tensor::ones(Shape::of(&[1, 12]));
+    let before = net.forward(&clean, 0, false).unwrap();
+    let mut poisoned = clean.clone();
+    poisoned.data_mut()[0] = f32::NAN;
+    let _ = net.forward(&poisoned, 0, false).unwrap();
+    let after = net.forward(&clean, 0, false).unwrap();
+    assert_eq!(before, after, "weights/caches must not be corrupted by NaN inputs");
+}
+
+#[test]
+fn construction_with_single_subnet_budget_is_rejected_gracefully() {
+    let d = data();
+    // one-subnet "construction" is degenerate but legal: budget below full
+    let mut net = SteppingNetBuilder::new(Shape::of(&[12]), 1, 5)
+        .linear(10)
+        .relu()
+        .build(4)
+        .unwrap();
+    let full = net.full_macs();
+    let report = construct(
+        &mut net,
+        &d,
+        &ConstructionOptions {
+            mac_targets: vec![full / 2],
+            iterations: 3,
+            batches_per_iter: 2,
+            batch_size: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(report.satisfied);
+    assert!(net.macs(0, 1e-5) <= full / 2);
+}

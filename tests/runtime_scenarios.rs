@@ -1,0 +1,126 @@
+//! Integration tests of the resource-varying runtime against constructed
+//! stepping networks: anytime upgrades, deadline behaviour, policy costs,
+//! and live/offline agreement.
+
+use std::time::Duration;
+
+use steppingnet::baselines::regular_assign;
+use steppingnet::core::{SteppingNet, SteppingNetBuilder};
+use steppingnet::runtime::{
+    drive, drive_until_deadline, expand_macs, run_live, DeviceModel, LatestPrediction,
+    ResourceTrace, UpgradePolicy,
+};
+use steppingnet::tensor::{init, Shape, Tensor};
+
+fn net() -> SteppingNet {
+    let mut n = SteppingNetBuilder::new(Shape::of(&[8]), 4, 2)
+        .linear(24)
+        .relu()
+        .linear(16)
+        .relu()
+        .build(5)
+        .unwrap();
+    regular_assign(&mut n, &[0.25, 0.5, 0.75, 1.0]).unwrap();
+    n
+}
+
+fn input() -> Tensor {
+    init::uniform(Shape::of(&[1, 8]), -1.0, 1.0, &mut init::rng(7))
+}
+
+#[test]
+fn anytime_subnet_grows_with_deadline() {
+    let mut n = net();
+    let full = n.macs(3, 0.0);
+    let trace = ResourceTrace::constant(full / 6 + 1, 24);
+    let mut last = None;
+    for deadline in [1usize, 4, 8, 16, 24] {
+        let out = drive_until_deadline(
+            &mut n,
+            &input(),
+            &trace,
+            deadline,
+            UpgradePolicy::Incremental,
+            0.0,
+        )
+        .unwrap();
+        assert!(out.final_subnet >= last, "subnet shrank with a later deadline");
+        last = out.final_subnet;
+    }
+    assert_eq!(last, Some(3), "the full trace should afford the largest subnet");
+}
+
+#[test]
+fn incremental_policy_dominates_recompute_everywhere() {
+    let mut n = net();
+    // for every step k, the incremental cost is at most the recompute cost
+    for k in 0..3 {
+        assert!(expand_macs(&n, k, 0.0).unwrap() <= n.macs(k + 1, 0.0));
+    }
+    // and over a whole generous trace the incremental run spends fewer MACs
+    let trace = ResourceTrace::constant(n.macs(3, 0.0), 6);
+    let inc = drive(&mut n, &input(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+    let rec = drive(&mut n, &input(), &trace, UpgradePolicy::Recompute, 0.0).unwrap();
+    assert_eq!(inc.final_subnet, Some(3));
+    assert_eq!(rec.final_subnet, Some(3));
+    assert!(inc.total_macs < rec.total_macs);
+    // both end at identical logits (same largest subnet, same weights)
+    assert_eq!(inc.final_logits, rec.final_logits);
+}
+
+#[test]
+fn live_run_agrees_with_offline_and_publishes() {
+    let trace = ResourceTrace::step(1_000, 50_000, 2, 10);
+    let latest = LatestPrediction::new();
+    let mut n1 = net();
+    let live = run_live(
+        &mut n1,
+        &input(),
+        &trace,
+        UpgradePolicy::Incremental,
+        0.0,
+        Duration::ZERO,
+        &latest,
+    )
+    .unwrap();
+    let mut n2 = net();
+    let off = drive(&mut n2, &input(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+    assert_eq!(live.timeline, off.timeline);
+    assert_eq!(live.final_subnet, off.final_subnet);
+    if let Some(k) = live.final_subnet {
+        assert_eq!(latest.get().map(|(s, _)| s), Some(k));
+    }
+}
+
+#[test]
+fn device_model_orders_subnet_latencies() {
+    let n = net();
+    let dev = DeviceModel::mobile();
+    let lat: Vec<f64> = (0..4).map(|k| dev.latency_us(n.macs(k, 0.0))).collect();
+    assert!(lat.windows(2).all(|w| w[0] < w[1]), "latencies not ascending: {lat:?}");
+}
+
+#[test]
+fn confidence_gating_spends_less_on_easy_inputs() {
+    use steppingnet::runtime::infer_until_confident;
+
+    let mut n = net();
+    // an "easy" input: whatever the net already maps far from the decision
+    // boundary will exit earlier than a threshold-1.0 (impossible) run
+    let x = input();
+    let strict = infer_until_confident(&mut n, &x, 1.0, 0.0).unwrap();
+    let lax = infer_until_confident(&mut n, &x, 0.05, 0.0).unwrap();
+    assert_eq!(strict.subnet, 3, "threshold 1.0 must run to the largest subnet");
+    assert_eq!(lax.subnet, 0, "threshold 0.05 must accept the first prediction");
+    assert!(lax.total_macs < strict.total_macs);
+    assert!(lax.early_exit);
+}
+
+#[test]
+fn random_walk_trace_eventually_serves_first_prediction() {
+    let mut n = net();
+    let small = n.macs(0, 0.0);
+    let trace = ResourceTrace::random_walk(5, small / 4, small / 8, small, 64);
+    let out = drive(&mut n, &input(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+    assert!(out.first_prediction_slice.is_some(), "never produced a prediction");
+}
