@@ -31,7 +31,9 @@ pub fn regular_assign(net: &mut SteppingNet, fractions: &[f64]) -> Result<()> {
         )));
     }
     if !fractions.windows(2).all(|w| w[0] < w[1])
-        || fractions.iter().any(|f| !(0.0..=1.0).contains(f) || *f <= 0.0)
+        || fractions
+            .iter()
+            .any(|f| !(0.0..=1.0).contains(f) || *f <= 0.0)
     {
         return Err(SteppingError::BadConfig(
             "width fractions must be ascending within (0, 1]".into(),
@@ -41,8 +43,10 @@ pub fn regular_assign(net: &mut SteppingNet, fractions: &[f64]) -> Result<()> {
     for si in net.masked_stage_indices() {
         let count = net.stages()[si].neuron_count().expect("masked stage");
         // cut[k] = number of neurons active in subnet k (at least 1)
-        let cuts: Vec<usize> =
-            fractions.iter().map(|f| ((count as f64 * f).ceil() as usize).clamp(1, count)).collect();
+        let cuts: Vec<usize> = fractions
+            .iter()
+            .map(|f| ((count as f64 * f).ceil() as usize).clamp(1, count))
+            .collect();
         for i in 0..count {
             let target = cuts.iter().position(|&c| i < c).unwrap_or(n);
             moves.push((si, i, target));
@@ -66,7 +70,10 @@ pub fn fit_widths_to_macs(
 ) -> Result<Vec<f64>> {
     let n = net.subnet_count();
     if targets.len() != n {
-        return Err(SteppingError::BadConfig(format!("{} targets for {n} subnets", targets.len())));
+        return Err(SteppingError::BadConfig(format!(
+            "{} targets for {n} subnets",
+            targets.len()
+        )));
     }
     let mut fractions = vec![1.0f64; n];
     // Fit smallest-first: macs(k) only depends on fractions[0..=k].
@@ -131,7 +138,12 @@ pub struct JointTrainOptions {
 
 impl Default for JointTrainOptions {
     fn default() -> Self {
-        JointTrainOptions { epochs: 5, batch_size: 32, lr: 0.05, seed: 0 }
+        JointTrainOptions {
+            epochs: 5,
+            batch_size: 32,
+            lr: 0.05,
+            seed: 0,
+        }
     }
 }
 
@@ -148,7 +160,9 @@ pub fn train_joint(
     opts: &JointTrainOptions,
 ) -> Result<Vec<Vec<f32>>> {
     if opts.epochs == 0 || opts.batch_size == 0 {
-        return Err(SteppingError::BadConfig("epochs and batch size must be nonzero".into()));
+        return Err(SteppingError::BadConfig(
+            "epochs and batch size must be nonzero".into(),
+        ));
     }
     let n = net.subnet_count();
     let mut sgd = Sgd::new(opts.lr).map_err(SteppingError::Nn)?;
@@ -163,7 +177,8 @@ pub fn train_joint(
                 let logits = net.forward(&x, k, true)?;
                 let (l, dl) = loss::cross_entropy(&logits, &y).map_err(SteppingError::Nn)?;
                 net.backward(&dl)?;
-                sgd.step(&mut net.params_for(k)?).map_err(SteppingError::Nn)?;
+                sgd.step(&mut net.params_for(k)?)
+                    .map_err(SteppingError::Nn)?;
                 sums[k] += l;
                 counts[k] += 1;
             }
@@ -249,7 +264,11 @@ mod tests {
         let losses = train_joint(
             &mut n,
             &data,
-            &JointTrainOptions { epochs: 5, lr: 0.1, ..Default::default() },
+            &JointTrainOptions {
+                epochs: 5,
+                lr: 0.1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let first: f32 = losses[0].iter().sum();

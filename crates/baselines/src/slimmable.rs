@@ -34,14 +34,9 @@ enum InWidth {
     /// Raw network input: always fully active.
     Fixed(usize),
     /// Produced by a previous slimmable layer of `full` outputs.
-    Frac {
-        full: usize,
-    },
+    Frac { full: usize },
     /// Flattened conv features: first `ceil(f·channels)·hw` features active.
-    FracChannels {
-        channels: usize,
-        hw: usize,
-    },
+    FracChannels { channels: usize, hw: usize },
 }
 
 impl InWidth {
@@ -120,10 +115,9 @@ impl SlimLinear {
     }
 
     fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
-        let (x, oa, ia) = self
-            .cached
-            .as_ref()
-            .ok_or_else(|| SteppingError::ExecutorState("slim linear backward before forward".into()))?;
+        let (x, oa, ia) = self.cached.as_ref().ok_or_else(|| {
+            SteppingError::ExecutorState("slim linear backward before forward".into())
+        })?;
         let in_full = self.in_width.full();
         let dw = matmul::matmul_at(g, x)?;
         {
@@ -203,7 +197,10 @@ impl SlimConv {
         let in_full = self.in_width.full();
         let kk = self.kernel * self.kernel;
         let patch = in_full * kk;
-        let mut w = self.weight.value.reshape(Shape::of(&[self.out_full, patch]))?;
+        let mut w = self
+            .weight
+            .value
+            .reshape(Shape::of(&[self.out_full, patch]))?;
         {
             let wd = w.data_mut();
             for o in 0..self.out_full {
@@ -229,7 +226,15 @@ impl SlimConv {
             )));
         }
         let (n, h, w) = (dims[0], dims[2], dims[3]);
-        let geom = ConvGeometry::new(in_full, h, w, self.kernel, self.kernel, self.stride, self.padding)?;
+        let geom = ConvGeometry::new(
+            in_full,
+            h,
+            w,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.padding,
+        )?;
         let cols = im2col(x, &geom)?;
         let oa = active(self.out_full, fraction);
         let ia = match self.in_width {
@@ -255,10 +260,9 @@ impl SlimConv {
     }
 
     fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
-        let (cols, geom, n, oa, ia) = self
-            .cached
-            .as_ref()
-            .ok_or_else(|| SteppingError::ExecutorState("slim conv backward before forward".into()))?;
+        let (cols, geom, n, oa, ia) = self.cached.as_ref().ok_or_else(|| {
+            SteppingError::ExecutorState("slim conv backward before forward".into())
+        })?;
         let gm = nchw_to_mat(g, *n, self.out_full, geom.out_h, geom.out_w);
         let dwf = matmul::matmul_at(&gm, cols)?;
         let in_full = self.in_width.full();
@@ -415,10 +419,13 @@ impl Slimmable {
     ///
     /// Returns [`SteppingError::SubnetOutOfRange`] for a bad switch index.
     pub fn macs(&self, switch: usize) -> Result<u64> {
-        let f = *self.switches.get(switch).ok_or(SteppingError::SubnetOutOfRange {
-            subnet: switch,
-            count: self.switches.len(),
-        })?;
+        let f = *self
+            .switches
+            .get(switch)
+            .ok_or(SteppingError::SubnetOutOfRange {
+                subnet: switch,
+                count: self.switches.len(),
+            })?;
         Ok(self.macs_at_fraction(f))
     }
 
@@ -441,16 +448,21 @@ impl Slimmable {
     /// Returns [`SteppingError::SubnetOutOfRange`] for a bad switch and
     /// propagates layer errors.
     pub fn forward(&mut self, x: &Tensor, switch: usize, train: bool) -> Result<Tensor> {
-        let f = *self.switches.get(switch).ok_or(SteppingError::SubnetOutOfRange {
-            subnet: switch,
-            count: self.switches.len(),
-        })?;
+        let f = *self
+            .switches
+            .get(switch)
+            .ok_or(SteppingError::SubnetOutOfRange {
+                subnet: switch,
+                count: self.switches.len(),
+            })?;
         let mut a = x.clone();
         for s in &mut self.stages {
             a = match s {
                 SlimStage::Linear(l) => l.forward(&a, f)?,
                 SlimStage::Conv(c) => c.forward(&a, f)?,
-                SlimStage::BatchNorm(bns) => bns[switch].forward(&a, train).map_err(SteppingError::Nn)?,
+                SlimStage::BatchNorm(bns) => {
+                    bns[switch].forward(&a, train).map_err(SteppingError::Nn)?
+                }
                 SlimStage::Relu(r) => r.forward(&a, train).map_err(SteppingError::Nn)?,
                 SlimStage::MaxPool(p) => p.forward(&a, train).map_err(SteppingError::Nn)?,
                 SlimStage::Flatten(fl) => fl.forward(&a, train).map_err(SteppingError::Nn)?,
@@ -468,7 +480,9 @@ impl Slimmable {
                 }
             }
         }
-        let logits = self.heads[switch].forward(&a, train).map_err(SteppingError::Nn)?;
+        let logits = self.heads[switch]
+            .forward(&a, train)
+            .map_err(SteppingError::Nn)?;
         self.last_switch = Some(switch);
         Ok(logits)
     }
@@ -479,11 +493,13 @@ impl Slimmable {
     ///
     /// Returns [`SteppingError::ExecutorState`] before any forward.
     pub fn backward(&mut self, dlogits: &Tensor) -> Result<()> {
-        let switch = self.last_switch.ok_or_else(|| {
-            SteppingError::ExecutorState("backward called before forward".into())
-        })?;
+        let switch = self
+            .last_switch
+            .ok_or_else(|| SteppingError::ExecutorState("backward called before forward".into()))?;
         let f = self.switches[switch];
-        let mut g = self.heads[switch].backward(dlogits).map_err(SteppingError::Nn)?;
+        let mut g = self.heads[switch]
+            .backward(dlogits)
+            .map_err(SteppingError::Nn)?;
         let fa = self.feature_width.active(f);
         let full = self.feature_width.full();
         let n = g.shape().dims()[0];
@@ -581,7 +597,9 @@ impl Slimmable {
         opts: &JointTrainOptions,
     ) -> Result<Vec<Vec<f32>>> {
         if opts.epochs == 0 || opts.batch_size == 0 {
-            return Err(SteppingError::BadConfig("epochs and batch size must be nonzero".into()));
+            return Err(SteppingError::BadConfig(
+                "epochs and batch size must be nonzero".into(),
+            ));
         }
         let n = self.switch_count();
         let mut sgd = Sgd::new(opts.lr).map_err(SteppingError::Nn)?;
@@ -589,7 +607,8 @@ impl Slimmable {
         for epoch in 0..opts.epochs {
             let mut sums = vec![0.0f32; n];
             let mut counts = vec![0usize; n];
-            for batch in BatchIter::new(data, Split::Train, opts.batch_size, epoch as u64, opts.seed)
+            for batch in
+                BatchIter::new(data, Split::Train, opts.batch_size, epoch as u64, opts.seed)
             {
                 let (x, y) = batch?;
                 for k in 0..n {
@@ -597,7 +616,8 @@ impl Slimmable {
                     let logits = self.forward(&x, k, true)?;
                     let (l, dl) = loss::cross_entropy(&logits, &y).map_err(SteppingError::Nn)?;
                     self.backward(&dl)?;
-                    sgd.step(&mut self.params_for(k)?).map_err(SteppingError::Nn)?;
+                    sgd.step(&mut self.params_for(k)?)
+                        .map_err(SteppingError::Nn)?;
                     sums[k] += l;
                     counts[k] += 1;
                 }
@@ -709,10 +729,13 @@ impl SlimmableBuilder {
     /// Starts a builder for `input_shape` with the given ascending width
     /// `switches`.
     ///
+    /// An input shape that is not rank 1 or 3 is reported as
+    /// [`SteppingError::BadConfig`] by [`build`](SlimmableBuilder::build)
+    /// rather than panicking here.
+    ///
     /// # Panics
     ///
-    /// Panics for an empty/non-ascending switch list or an input shape that
-    /// is not rank 1 or 3.
+    /// Panics for an empty/non-ascending switch list.
     pub fn new(input_shape: Shape, switches: Vec<f64>, seed: u64) -> Self {
         assert!(!switches.is_empty(), "at least one switch required");
         assert!(
@@ -720,10 +743,16 @@ impl SlimmableBuilder {
                 && switches.iter().all(|f| *f > 0.0 && *f <= 1.0),
             "switches must be ascending within (0, 1]"
         );
+        let mut error = None;
         let shape = match input_shape.dims() {
             [c, h, w] => BShape::Image(*c, *h, *w, false),
             [f] => BShape::Flat(InWidth::Fixed(*f)),
-            _ => panic!("input shape must be [c, h, w] or [features]"),
+            _ => {
+                error = Some(SteppingError::BadConfig(format!(
+                    "input shape must be [c, h, w] or [features], got {input_shape}"
+                )));
+                BShape::Flat(InWidth::Fixed(0))
+            }
         };
         SlimmableBuilder {
             switches,
@@ -731,7 +760,7 @@ impl SlimmableBuilder {
             stages: Vec::new(),
             shape,
             input_shape,
-            error: None,
+            error,
         }
     }
 
@@ -750,8 +779,11 @@ impl SlimmableBuilder {
             BShape::Image(c, h, w, slim_in) => {
                 match ConvGeometry::new(c, h, w, kernel, kernel, stride, padding) {
                     Ok(geom) => {
-                        let in_width =
-                            if slim_in { InWidth::Frac { full: c } } else { InWidth::Fixed(c) };
+                        let in_width = if slim_in {
+                            InWidth::Frac { full: c }
+                        } else {
+                            InWidth::Fixed(c)
+                        };
                         self.stages.push(SlimStage::Conv(SlimConv::new(
                             in_width,
                             out,
@@ -778,7 +810,11 @@ impl SlimmableBuilder {
         }
         match self.shape {
             BShape::Flat(in_width) => {
-                self.stages.push(SlimStage::Linear(SlimLinear::new(in_width, out, &mut self.rng)));
+                self.stages.push(SlimStage::Linear(SlimLinear::new(
+                    in_width,
+                    out,
+                    &mut self.rng,
+                )));
                 self.shape = BShape::Flat(InWidth::Frac { full: out });
             }
             BShape::Image(..) => self.fail("linear before flatten".into()),
@@ -793,10 +829,14 @@ impl SlimmableBuilder {
         }
         match self.shape {
             BShape::Image(c, ..) => {
-                let bns = (0..self.switches.len()).map(|_| BatchNorm2d::new(c)).collect();
+                let bns = (0..self.switches.len())
+                    .map(|_| BatchNorm2d::new(c))
+                    .collect();
                 self.stages.push(SlimStage::BatchNorm(bns));
             }
-            BShape::Flat(_) => self.fail("switchable batch norm is only supported on images".into()),
+            BShape::Flat(_) => {
+                self.fail("switchable batch norm is only supported on images".into())
+            }
         }
         self
     }
@@ -818,7 +858,8 @@ impl SlimmableBuilder {
             BShape::Image(c, h, w, slim_in) => {
                 match ConvGeometry::new(c, h, w, kernel, kernel, stride, 0) {
                     Ok(geom) => {
-                        self.stages.push(SlimStage::MaxPool(MaxPool2d::new(kernel, stride)));
+                        self.stages
+                            .push(SlimStage::MaxPool(MaxPool2d::new(kernel, stride)));
                         self.shape = BShape::Image(c, geom.out_h, geom.out_w, slim_in);
                     }
                     Err(e) => self.fail(format!("max pool geometry: {e}")),
@@ -838,7 +879,10 @@ impl SlimmableBuilder {
             BShape::Image(c, h, w, slim_in) => {
                 self.stages.push(SlimStage::Flatten(Flatten::new()));
                 self.shape = BShape::Flat(if slim_in {
-                    InWidth::FracChannels { channels: c, hw: h * w }
+                    InWidth::FracChannels {
+                        channels: c,
+                        hw: h * w,
+                    }
                 } else {
                     InWidth::Fixed(c * h * w)
                 });
@@ -885,7 +929,9 @@ impl SlimmableBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stepping_data::{GaussianBlobs, GaussianBlobsConfig, SyntheticImages, SyntheticImagesConfig};
+    use stepping_data::{
+        GaussianBlobs, GaussianBlobsConfig, SyntheticImages, SyntheticImagesConfig,
+    };
 
     fn slim_mlp() -> Slimmable {
         SlimmableBuilder::new(Shape::of(&[10]), vec![0.25, 0.5, 1.0], 3)
@@ -970,7 +1016,15 @@ mod tests {
         .unwrap();
         let mut s = slim_cnn();
         let losses = s
-            .train_joint(&data, &JointTrainOptions { epochs: 2, batch_size: 6, lr: 0.05, seed: 0 })
+            .train_joint(
+                &data,
+                &JointTrainOptions {
+                    epochs: 2,
+                    batch_size: 6,
+                    lr: 0.05,
+                    seed: 0,
+                },
+            )
             .unwrap();
         assert_eq!(losses.len(), 2);
         let acc = s.evaluate(&data, Split::Test, 1, 4).unwrap();
@@ -1005,7 +1059,14 @@ mod tests {
         .unwrap();
         let mut s = slim_mlp();
         let losses = s
-            .train_joint(&data, &JointTrainOptions { epochs: 5, lr: 0.1, ..Default::default() })
+            .train_joint(
+                &data,
+                &JointTrainOptions {
+                    epochs: 5,
+                    lr: 0.1,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let first: f32 = losses[0].iter().sum();
         let last: f32 = losses.last().unwrap().iter().sum();
@@ -1026,10 +1087,24 @@ mod tests {
             .conv(3, 3, 1, 1)
             .build(2)
             .is_err());
-        assert!(SlimmableBuilder::new(Shape::of(&[2, 4, 4]), vec![0.5, 1.0], 0)
-            .conv(3, 3, 1, 1)
-            .build(2)
+        assert!(
+            SlimmableBuilder::new(Shape::of(&[2, 4, 4]), vec![0.5, 1.0], 0)
+                .conv(3, 3, 1, 1)
+                .build(2)
+                .is_err()
+        );
+        assert!(SlimmableBuilder::new(Shape::of(&[4]), vec![1.0], 0)
+            .linear(3)
+            .build(0)
             .is_err());
-        assert!(SlimmableBuilder::new(Shape::of(&[4]), vec![1.0], 0).linear(3).build(0).is_err());
+    }
+
+    #[test]
+    fn bad_input_rank_is_a_typed_error_not_a_panic() {
+        let err = SlimmableBuilder::new(Shape::of(&[2, 3, 4, 5]), vec![0.5, 1.0], 0)
+            .linear(4)
+            .build(2)
+            .unwrap_err();
+        assert!(matches!(err, SteppingError::BadConfig(_)), "{err:?}");
     }
 }

@@ -16,8 +16,7 @@ use stepping_bench::{format_pct, print_table};
 use stepping_core::eval::evaluate_all;
 use stepping_core::train::{train_subnet, TrainOptions};
 use stepping_core::{
-    construct, distill, ConstructionOptions, DistillOptions, SelectionCriterion,
-    SteppingNetBuilder,
+    construct, distill, ConstructionOptions, DistillOptions, SelectionCriterion, SteppingNetBuilder,
 };
 use stepping_data::{GaussianBlobs, GaussianBlobsConfig, Split};
 use stepping_tensor::Shape;
@@ -50,8 +49,17 @@ fn run(knobs: &Knobs) -> Vec<f32> {
         .relu()
         .build(6)
         .expect("build");
-    train_subnet(&mut net, &data, 0, &TrainOptions { epochs: 10, lr: 0.1, ..Default::default() })
-        .expect("pretrain");
+    train_subnet(
+        &mut net,
+        &data,
+        0,
+        &TrainOptions {
+            epochs: 10,
+            lr: 0.1,
+            ..Default::default()
+        },
+    )
+    .expect("pretrain");
     let mut teacher = net.clone();
     let full = net.full_macs();
     construct(
@@ -117,19 +125,43 @@ fn main() {
         push(format!("beta={beta}"), run(&Knobs { beta, ..baseline() }));
     }
     for gamma in [0.0f32, 0.2, 0.7, 1.0] {
-        push(format!("gamma={gamma}"), run(&Knobs { gamma, ..baseline() }));
+        push(
+            format!("gamma={gamma}"),
+            run(&Knobs {
+                gamma,
+                ..baseline()
+            }),
+        );
     }
     for alpha_growth in [1.0f64, 2.5] {
-        push(format!("alpha_growth={alpha_growth}"), run(&Knobs { alpha_growth, ..baseline() }));
+        push(
+            format!("alpha_growth={alpha_growth}"),
+            run(&Knobs {
+                alpha_growth,
+                ..baseline()
+            }),
+        );
     }
-    push("no head warm-start".into(), run(&Knobs { warm_start: false, ..baseline() }));
+    push(
+        "no head warm-start".into(),
+        run(&Knobs {
+            warm_start: false,
+            ..baseline()
+        }),
+    );
     push(
         "criterion: weight magnitude".into(),
-        run(&Knobs { criterion: SelectionCriterion::WeightMagnitude, ..baseline() }),
+        run(&Knobs {
+            criterion: SelectionCriterion::WeightMagnitude,
+            ..baseline()
+        }),
     );
     push(
         "criterion: index order".into(),
-        run(&Knobs { criterion: SelectionCriterion::IndexOrder, ..baseline() }),
+        run(&Knobs {
+            criterion: SelectionCriterion::IndexOrder,
+            ..baseline()
+        }),
     );
 
     println!("\nABLATIONS: subnet accuracy under hyper-parameter variations");

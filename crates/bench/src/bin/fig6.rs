@@ -6,8 +6,10 @@
 
 use std::time::Instant;
 
-use stepping_bench::{ascii_plot, format_pct, print_table, run_any_width, run_slimmable,
-    run_steppingnet, ExperimentScale, Series, TestCase};
+use stepping_bench::{
+    ascii_plot, format_pct, print_table, run_any_width, run_slimmable, run_steppingnet,
+    ExperimentScale, Series, TestCase,
+};
 
 /// Five operating points, as in the paper's Fig. 6 x-axes. Each case's grid
 /// starts no lower than its own Table-I minimum budget (the paper's LeNet-5
@@ -54,7 +56,10 @@ fn main() {
                     ]);
                     pts.push((r.mac_ratio[k], r.subnet_acc[k] as f64));
                 }
-                series.push(Series { label: "SteppingNet".into(), points: pts });
+                series.push(Series {
+                    label: "SteppingNet".into(),
+                    points: pts,
+                });
             }
             Err(e) => eprintln!("  steppingnet failed: {e}"),
         }
@@ -73,9 +78,15 @@ fn main() {
                     }
                     // distinct glyphs by first char: 'S'teppingNet,
                     // 'A'ny-width, 's'limmable
-                    let label =
-                        if r.method == "Slimmable" { "slimmable" } else { "Any-width" };
-                    series.push(Series { label: label.into(), points: pts });
+                    let label = if r.method == "Slimmable" {
+                        "slimmable"
+                    } else {
+                        "Any-width"
+                    };
+                    series.push(Series {
+                        label: label.into(),
+                        points: pts,
+                    });
                 }
                 Err(e) => eprintln!("  baseline failed: {e}"),
             }

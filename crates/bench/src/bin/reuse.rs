@@ -14,8 +14,10 @@ fn main() {
     let scale = ExperimentScale::from_env();
     let case = TestCase::lenet_3c1l(scale);
     let data = case.dataset().expect("dataset");
-    let mut net =
-        case.arch.build(case.budgets.len(), case.model_seed, case.expansion).expect("build");
+    let mut net = case
+        .arch
+        .build(case.budgets.len(), case.model_seed, case.expansion)
+        .expect("build");
     train_subnet(&mut net, &data, 0, &case.pretrain_options()).expect("pretrain");
     let copts = case.construction_options();
     let report = construct(&mut net, &data, &copts).expect("construct");
@@ -26,7 +28,11 @@ fn main() {
     let mut rows = Vec::new();
     for k in 0..net.subnet_count() {
         let scratch = net.macs(k, thr);
-        let step = if k == 0 { scratch } else { expand_macs(&net, k - 1, thr).expect("expand") };
+        let step = if k == 0 {
+            scratch
+        } else {
+            expand_macs(&net, k - 1, thr).expect("expand")
+        };
         rows.push(vec![
             format!("{k}"),
             scratch.to_string(),
@@ -38,7 +44,14 @@ fn main() {
     }
     println!("\nREUSE: incremental expansion vs from-scratch execution");
     print_table(
-        &["subnet", "scratch MACs", "step MACs", "saving", "scratch lat", "step lat"],
+        &[
+            "subnet",
+            "scratch MACs",
+            "step MACs",
+            "saving",
+            "scratch lat",
+            "step lat",
+        ],
         &rows,
     );
 
@@ -50,14 +63,21 @@ fn main() {
     for _ in 1..subnets {
         exec.expand().expect("expand");
     }
-    println!("\nexecutor cumulative MACs after final step: {}", exec.cumulative_macs());
+    println!(
+        "\nexecutor cumulative MACs after final step: {}",
+        exec.cumulative_macs()
+    );
 
     // anytime drive over a bursty trace: incremental vs recompute policies
     let full = net.macs(net.subnet_count() - 1, thr);
     let trace = ResourceTrace::bursty(7, full / 8, full / 2, 0.3, 12);
     let inc = drive(&mut net, &x, &trace, UpgradePolicy::Incremental, thr).expect("drive");
     let rec = drive(&mut net, &x, &trace, UpgradePolicy::Recompute, thr).expect("drive");
-    println!("\nANYTIME drive over bursty trace ({} slices, {} total MACs):", trace.len(), trace.total());
+    println!(
+        "\nANYTIME drive over bursty trace ({} slices, {} total MACs):",
+        trace.len(),
+        trace.total()
+    );
     print_table(
         &["policy", "final subnet", "total MACs", "first prediction"],
         &[

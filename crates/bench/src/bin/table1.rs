@@ -29,7 +29,10 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("case thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("case thread panicked"))
+            .collect()
     });
 
     let mut rows = Vec::new();
@@ -41,19 +44,37 @@ fn main() {
                 continue;
             }
         };
-        let mut row = vec![r.name.clone(), r.dataset.clone(), format_pct(r.orig_acc as f64)];
+        let mut row = vec![
+            r.name.clone(),
+            r.dataset.clone(),
+            format_pct(r.orig_acc as f64),
+        ];
         for k in 0..r.subnet_acc.len() {
             row.push(format_pct(r.subnet_acc[k] as f64));
             row.push(format_pct(r.mac_ratio[k]));
         }
-        row.push(if r.satisfied { "yes".into() } else { "NO".into() });
+        row.push(if r.satisfied {
+            "yes".into()
+        } else {
+            "NO".into()
+        });
         rows.push(row);
     }
     println!("\nTABLE I: Results of SteppingNet (reproduction)");
     print_table(
         &[
-            "Network", "Dataset", "Orig.Acc", "A_1", "M_1/M_t", "A_2", "M_2/M_t", "A_3",
-            "M_3/M_t", "A_4", "M_4/M_t", "budgets met",
+            "Network",
+            "Dataset",
+            "Orig.Acc",
+            "A_1",
+            "M_1/M_t",
+            "A_2",
+            "M_2/M_t",
+            "A_3",
+            "M_3/M_t",
+            "A_4",
+            "M_4/M_t",
+            "budgets met",
         ],
         &rows,
     );

@@ -11,9 +11,9 @@
 //! paper's value or scales proportionally.
 
 use stepping_core::{construct::ConstructionOptions, distill::DistillOptions, train::TrainOptions};
-use stepping_nn::schedule::LrSchedule;
 use stepping_data::{DataError, SyntheticImages, SyntheticImagesConfig};
 use stepping_models::Architecture;
+use stepping_nn::schedule::LrSchedule;
 use stepping_tensor::Shape;
 
 /// How big the experiment runs are.
@@ -30,7 +30,11 @@ pub enum ExperimentScale {
 impl ExperimentScale {
     /// Reads `STEPPING_SCALE` (`quick`/`standard`/`full`; default quick).
     pub fn from_env() -> Self {
-        match std::env::var("STEPPING_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("STEPPING_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "full" => ExperimentScale::Full,
             "standard" => ExperimentScale::Standard,
             _ => ExperimentScale::Quick,
@@ -61,7 +65,11 @@ impl ExperimentScale {
             ExperimentScale::Standard => 150,
             ExperimentScale::Full => 500,
         };
-        if classes > 50 { (base / 2).max(8) } else { base }
+        if classes > 50 {
+            (base / 2).max(8)
+        } else {
+            base
+        }
     }
 
     fn test_per_class(&self, classes: usize) -> usize {
@@ -70,7 +78,11 @@ impl ExperimentScale {
             ExperimentScale::Standard => 40,
             ExperimentScale::Full => 100,
         };
-        if classes > 50 { (base / 2).max(4) } else { base }
+        if classes > 50 {
+            (base / 2).max(4)
+        } else {
+            base
+        }
     }
 
     fn image_extent(&self) -> usize {
@@ -192,7 +204,11 @@ impl TestCase {
 
     /// All three Table-I rows.
     pub fn all(scale: ExperimentScale) -> Vec<TestCase> {
-        vec![Self::lenet_3c1l(scale), Self::lenet5(scale), Self::vgg16(scale)]
+        vec![
+            Self::lenet_3c1l(scale),
+            Self::lenet5(scale),
+            Self::vgg16(scale),
+        ]
     }
 
     /// Builds the case's dataset (synthetic CIFAR stand-in at the case's
@@ -231,9 +247,17 @@ impl TestCase {
     }
 
     /// Construction options with the paper's hyper-parameters at this scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case's architecture geometry is inconsistent — the
+    /// built-in cases are known-good.
     pub fn construction_options(&self) -> ConstructionOptions {
         ConstructionOptions {
-            mac_targets: self.arch.mac_targets(&self.budgets),
+            mac_targets: self
+                .arch
+                .mac_targets(&self.budgets)
+                .expect("case geometry is valid"),
             iterations: self.scale.iterations(),
             batches_per_iter: self.scale.batches_per_iter(),
             batch_size: 32,
@@ -302,7 +326,7 @@ mod tests {
         let net = case.arch.build(4, case.model_seed, case.expansion).unwrap();
         assert_eq!(net.subnet_count(), 4);
         // budgets must be reachable: expanded capacity above the largest target
-        let targets = case.arch.mac_targets(&case.budgets);
+        let targets = case.arch.mac_targets(&case.budgets).unwrap();
         assert!(net.full_macs() > targets[3]);
     }
 

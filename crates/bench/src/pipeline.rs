@@ -1,7 +1,9 @@
 //! End-to-end experiment pipelines: the full SteppingNet flow
 //! (pretrain → construct → distill → evaluate) and the two baselines.
 
-use stepping_baselines::{fit_widths_to_macs, train_joint, JointTrainOptions, Slimmable, SlimmableBuilder};
+use stepping_baselines::{
+    fit_widths_to_macs, train_joint, JointTrainOptions, Slimmable, SlimmableBuilder,
+};
 use stepping_core::eval::{evaluate, evaluate_all};
 use stepping_core::train::train_subnet;
 use stepping_core::{construct, distill, Result, SteppingError};
@@ -62,7 +64,7 @@ pub fn run_steppingnet(
     let data = InMemory::new(&case.dataset()?)?;
     let budgets: Vec<f64> = budgets.unwrap_or(&case.budgets).to_vec();
     let subnets = budgets.len();
-    let reference = case.arch.reference_macs();
+    let reference = case.arch.reference_macs()?;
 
     // Original (unexpanded) network for Table I's third column. It gets the
     // same total training budget as the stepping pipeline (pretraining plus
@@ -79,7 +81,7 @@ pub fn run_steppingnet(
     let mut teacher = net.clone();
 
     let mut copts = case.construction_options();
-    copts.mac_targets = case.arch.mac_targets(&budgets);
+    copts.mac_targets = case.arch.mac_targets(&budgets)?;
     copts.suppress_updates = suppress;
     let report = construct(&mut net, &data, &copts)?;
 
@@ -89,9 +91,13 @@ pub fn run_steppingnet(
     distill(&mut net, &mut teacher, 0, &data, &dopts)?;
 
     let subnet_acc = evaluate_all(&mut net, &data, Split::Test, 32)?;
-    let subnet_macs: Vec<u64> =
-        (0..subnets).map(|k| net.macs(k, copts.prune_threshold)).collect();
-    let mac_ratio = subnet_macs.iter().map(|&m| m as f64 / reference as f64).collect();
+    let subnet_macs: Vec<u64> = (0..subnets)
+        .map(|k| net.macs(k, copts.prune_threshold))
+        .collect();
+    let mac_ratio = subnet_macs
+        .iter()
+        .map(|&m| m as f64 / reference as f64)
+        .collect();
     Ok(PipelineResult {
         name: case.name.to_string(),
         dataset: case.dataset_name.to_string(),
@@ -113,20 +119,32 @@ pub fn run_steppingnet(
 /// Propagates dataset/training errors.
 pub fn run_any_width(case: &TestCase, budgets: &[f64]) -> Result<BaselineResult> {
     let data = InMemory::new(&case.dataset()?)?;
-    let reference = case.arch.reference_macs();
-    let targets: Vec<u64> = case.arch.mac_targets(budgets);
-    let mut net = case.arch.build(budgets.len(), case.model_seed ^ 0x7777, 1.0)?;
+    let reference = case.arch.reference_macs()?;
+    let targets: Vec<u64> = case.arch.mac_targets(budgets)?;
+    let mut net = case
+        .arch
+        .build(budgets.len(), case.model_seed ^ 0x7777, 1.0)?;
     fit_widths_to_macs(&mut net, &targets, 1e-5)?;
     let epochs = case.pretrain_options().epochs;
     train_joint(
         &mut net,
         &data,
-        &JointTrainOptions { epochs, batch_size: 32, lr: 0.05, seed: case.model_seed },
+        &JointTrainOptions {
+            epochs,
+            batch_size: 32,
+            lr: 0.05,
+            seed: case.model_seed,
+        },
     )?;
     let accs = evaluate_all(&mut net, &data, Split::Test, 32)?;
-    let mac_ratio =
-        (0..budgets.len()).map(|k| net.macs(k, 1e-5) as f64 / reference as f64).collect();
-    Ok(BaselineResult { method: "Any-width".into(), accs, mac_ratio })
+    let mac_ratio = (0..budgets.len())
+        .map(|k| net.macs(k, 1e-5) as f64 / reference as f64)
+        .collect();
+    Ok(BaselineResult {
+        method: "Any-width".into(),
+        accs,
+        mac_ratio,
+    })
 }
 
 /// Builds a [`Slimmable`] matching an [`Architecture`] spec.
@@ -143,7 +161,12 @@ pub fn slimmable_from_arch(
     let mut b = SlimmableBuilder::new(arch.input.clone(), switches, seed);
     for l in &arch.layers {
         b = match *l {
-            LayerSpec::Conv { out, kernel, stride, padding } => b.conv(out, kernel, stride, padding),
+            LayerSpec::Conv {
+                out,
+                kernel,
+                stride,
+                padding,
+            } => b.conv(out, kernel, stride, padding),
             LayerSpec::Linear { out } => b.linear(out),
             LayerSpec::Relu => b.relu(),
             LayerSpec::MaxPool { kernel, stride } => b.max_pool(kernel, stride),
@@ -168,17 +191,23 @@ pub fn slimmable_from_arch(
 /// Propagates dataset/training errors.
 pub fn run_slimmable(case: &TestCase, budgets: &[f64]) -> Result<BaselineResult> {
     let data = InMemory::new(&case.dataset()?)?;
-    let reference = case.arch.reference_macs();
-    let targets: Vec<u64> = case.arch.mac_targets(budgets);
+    let reference = case.arch.reference_macs()?;
+    let targets: Vec<u64> = case.arch.mac_targets(budgets)?;
     // placeholder ascending switches; fitted right after
-    let init: Vec<f64> =
-        (0..budgets.len()).map(|i| (i + 1) as f64 / budgets.len() as f64).collect();
+    let init: Vec<f64> = (0..budgets.len())
+        .map(|i| (i + 1) as f64 / budgets.len() as f64)
+        .collect();
     let mut slim = slimmable_from_arch(&case.arch, init, case.model_seed ^ 0x9999)?;
     slim.fit_switches_to_macs(&targets)?;
     let epochs = case.pretrain_options().epochs;
     slim.train_joint(
         &data,
-        &JointTrainOptions { epochs, batch_size: 32, lr: 0.05, seed: case.model_seed },
+        &JointTrainOptions {
+            epochs,
+            batch_size: 32,
+            lr: 0.05,
+            seed: case.model_seed,
+        },
     )?;
     let mut accs = Vec::with_capacity(budgets.len());
     let mut mac_ratio = Vec::with_capacity(budgets.len());
@@ -186,7 +215,11 @@ pub fn run_slimmable(case: &TestCase, budgets: &[f64]) -> Result<BaselineResult>
         accs.push(slim.evaluate(&data, Split::Test, k, 32)?);
         mac_ratio.push(slim.macs(k)? as f64 / reference as f64);
     }
-    Ok(BaselineResult { method: "Slimmable".into(), accs, mac_ratio })
+    Ok(BaselineResult {
+        method: "Slimmable".into(),
+        accs,
+        mac_ratio,
+    })
 }
 
 /// Convenience: chance-level accuracy of a dataset (1/classes), the floor

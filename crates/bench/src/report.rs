@@ -23,10 +23,12 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             widths[i] = widths[i].max(cell.len());
         }
     }
-    let line =
-        |cells: Vec<String>| cells.into_iter().collect::<Vec<_>>().join("  ");
-    let header: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{:<w$}", h, w = widths[i])).collect();
+    let line = |cells: Vec<String>| cells.into_iter().collect::<Vec<_>>().join("  ");
+    let header: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
+        .collect();
     println!("{}", line(header));
     let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("{}", line(rule));
@@ -71,7 +73,10 @@ pub struct Series {
 pub fn ascii_plot(series: &[Series], x_label: &str, y_label: &str) -> String {
     const W: usize = 60;
     const H: usize = 16;
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return format!("(no data)  x: {x_label}, y: {y_label}\n");
     }
@@ -139,15 +144,24 @@ mod tests {
 
     #[test]
     fn print_table_does_not_panic_on_ragged_rows() {
-        print_table(&["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into()]]);
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into()], vec!["22".into(), "333".into()]],
+        );
     }
 
     #[test]
     fn ascii_plot_places_markers_and_legend() {
         let plot = ascii_plot(
             &[
-                Series { label: "Stepping".into(), points: vec![(0.1, 0.2), (0.8, 0.9)] },
-                Series { label: "Any".into(), points: vec![(0.1, 0.1), (0.8, 0.7)] },
+                Series {
+                    label: "Stepping".into(),
+                    points: vec![(0.1, 0.2), (0.8, 0.9)],
+                },
+                Series {
+                    label: "Any".into(),
+                    points: vec![(0.1, 0.1), (0.8, 0.7)],
+                },
             ],
             "macs",
             "acc",
@@ -163,7 +177,10 @@ mod tests {
         assert!(ascii_plot(&[], "x", "y").contains("no data"));
         // a single point (zero range on both axes) must not divide by zero
         let plot = ascii_plot(
-            &[Series { label: "P".into(), points: vec![(0.5, 0.5)] }],
+            &[Series {
+                label: "P".into(),
+                points: vec![(0.5, 0.5)],
+            }],
             "x",
             "y",
         );
@@ -174,8 +191,14 @@ mod tests {
     fn ascii_plot_marks_collisions() {
         let plot = ascii_plot(
             &[
-                Series { label: "X".into(), points: vec![(0.5, 0.5)] },
-                Series { label: "Y".into(), points: vec![(0.5, 0.5)] },
+                Series {
+                    label: "X".into(),
+                    points: vec![(0.5, 0.5)],
+                },
+                Series {
+                    label: "Y".into(),
+                    points: vec![(0.5, 0.5)],
+                },
             ],
             "x",
             "y",

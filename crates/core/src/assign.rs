@@ -45,7 +45,10 @@ impl Assignment {
     pub fn new(neurons: usize, subnet_count: usize) -> Self {
         assert!(subnet_count > 0, "at least one subnet required");
         assert!(subnet_count < u16::MAX as usize, "too many subnets");
-        Assignment { assign: vec![0; neurons], subnet_count }
+        Assignment {
+            assign: vec![0; neurons],
+            subnet_count,
+        }
     }
 
     /// Number of neurons.
@@ -133,7 +136,10 @@ impl Assignment {
 
     /// Count of neurons active in `subnet`.
     pub fn active_count(&self, subnet: usize) -> usize {
-        self.assign.iter().filter(|&&a| (a as usize) <= subnet).count()
+        self.assign
+            .iter()
+            .filter(|&&a| (a as usize) <= subnet)
+            .count()
     }
 
     /// Expands each value `factor` times (channel assignment → flattened
@@ -143,7 +149,10 @@ impl Assignment {
         for &a in &self.assign {
             assign.extend(std::iter::repeat_n(a, factor));
         }
-        Assignment { assign, subnet_count: self.subnet_count }
+        Assignment {
+            assign,
+            subnet_count: self.subnet_count,
+        }
     }
 
     /// Checks the nesting invariant against another assignment claiming to be
@@ -152,7 +161,11 @@ impl Assignment {
     pub fn is_monotone_successor(&self, later: &Assignment) -> bool {
         self.assign.len() == later.assign.len()
             && self.subnet_count == later.subnet_count
-            && self.assign.iter().zip(later.assign.iter()).all(|(a, b)| b >= a)
+            && self
+                .assign
+                .iter()
+                .zip(later.assign.iter())
+                .all(|(a, b)| b >= a)
     }
 }
 

@@ -36,11 +36,15 @@ fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
 
 fn take_vec(buf: &mut Bytes, what: &str) -> Result<Vec<f32>> {
     if buf.remaining() < 4 {
-        return Err(SteppingError::BadConfig(format!("checkpoint truncated at {what} length")));
+        return Err(SteppingError::BadConfig(format!(
+            "checkpoint truncated at {what} length"
+        )));
     }
     let len = buf.get_u32_le() as usize;
     if buf.remaining() < len * 4 {
-        return Err(SteppingError::BadConfig(format!("checkpoint truncated inside {what}")));
+        return Err(SteppingError::BadConfig(format!(
+            "checkpoint truncated inside {what}"
+        )));
     }
     Ok((0..len).map(|_| buf.get_f32_le()).collect())
 }
@@ -67,7 +71,9 @@ fn put_assign(buf: &mut BytesMut, values: &[u16]) {
 
 fn take_assign(buf: &mut Bytes, expected: usize, what: &str) -> Result<Vec<u16>> {
     if buf.remaining() < 4 {
-        return Err(SteppingError::BadConfig(format!("checkpoint truncated at {what} length")));
+        return Err(SteppingError::BadConfig(format!(
+            "checkpoint truncated at {what} length"
+        )));
     }
     let len = buf.get_u32_le() as usize;
     if len != expected || buf.remaining() < len * 2 {
@@ -139,11 +145,15 @@ pub fn load_state(net: &mut SteppingNet, mut data: Bytes) -> Result<()> {
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(SteppingError::BadConfig("not a SteppingNet checkpoint".into()));
+        return Err(SteppingError::BadConfig(
+            "not a SteppingNet checkpoint".into(),
+        ));
     }
     let version = data.get_u32_le();
     if version != VERSION {
-        return Err(SteppingError::BadConfig(format!("unsupported checkpoint version {version}")));
+        return Err(SteppingError::BadConfig(format!(
+            "unsupported checkpoint version {version}"
+        )));
     }
     let subnets = data.get_u32_le() as usize;
     let classes = data.get_u32_le() as usize;
@@ -205,7 +215,10 @@ pub fn load_state(net: &mut SteppingNet, mut data: Bytes) -> Result<()> {
             data.remaining()
         )));
     }
-    net.sync_assignments()
+    net.sync_assignments()?;
+    // With the `verify-invariants` feature, re-verify the restored
+    // stepping structure before handing the network back (no-op otherwise).
+    crate::hook::run_if_enabled(net)
 }
 
 /// Writes [`save_state`] output to a file.
@@ -252,7 +265,8 @@ mod tests {
 
     fn trained_cnn() -> SteppingNet {
         let mut net = cnn();
-        net.move_neurons(&[(0, 1, 1), (0, 3, 2), (5, 2, 1)]).unwrap();
+        net.move_neurons(&[(0, 1, 1), (0, 3, 2), (5, 2, 1)])
+            .unwrap();
         // perturb weights + BN stats so the state is non-trivial
         let x = init::uniform(Shape::of(&[4, 2, 8, 8]), -1.0, 1.0, &mut init::rng(1));
         for _ in 0..3 {
@@ -272,7 +286,11 @@ mod tests {
         load_state(&mut fresh, blob).unwrap();
         fresh.check_invariants().unwrap();
         for k in 0..3 {
-            assert_eq!(fresh.forward(&x, k, false).unwrap(), refs[k], "subnet {k} differs");
+            assert_eq!(
+                fresh.forward(&x, k, false).unwrap(),
+                refs[k],
+                "subnet {k} differs"
+            );
             assert_eq!(fresh.macs(k, 1e-5), net.macs(k, 1e-5));
         }
     }
@@ -287,7 +305,10 @@ mod tests {
         let mut fresh = cnn();
         load_from_file(&mut fresh, &path).unwrap();
         let x = init::uniform(Shape::of(&[1, 2, 8, 8]), -1.0, 1.0, &mut init::rng(3));
-        assert_eq!(net.forward(&x, 1, false).unwrap(), fresh.forward(&x, 1, false).unwrap());
+        assert_eq!(
+            net.forward(&x, 1, false).unwrap(),
+            fresh.forward(&x, 1, false).unwrap()
+        );
         std::fs::remove_file(&path).ok();
     }
 

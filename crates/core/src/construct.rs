@@ -152,19 +152,30 @@ fn validate(net: &SteppingNet, opts: &ConstructionOptions) -> Result<()> {
         )));
     }
     if !opts.mac_targets.windows(2).all(|w| w[0] < w[1]) {
-        return Err(SteppingError::BadConfig("MAC targets must be strictly ascending".into()));
+        return Err(SteppingError::BadConfig(
+            "MAC targets must be strictly ascending".into(),
+        ));
     }
     if opts.mac_targets[0] == 0 {
-        return Err(SteppingError::BadConfig("smallest MAC target must be nonzero".into()));
+        return Err(SteppingError::BadConfig(
+            "smallest MAC target must be nonzero".into(),
+        ));
     }
     if opts.iterations == 0 || opts.batch_size == 0 {
-        return Err(SteppingError::BadConfig("iterations and batch size must be nonzero".into()));
+        return Err(SteppingError::BadConfig(
+            "iterations and batch size must be nonzero".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&opts.beta) {
-        return Err(SteppingError::BadConfig(format!("beta {} must be in [0, 1]", opts.beta)));
+        return Err(SteppingError::BadConfig(format!(
+            "beta {} must be in [0, 1]",
+            opts.beta
+        )));
     }
     if opts.alpha_growth <= 0.0 {
-        return Err(SteppingError::BadConfig("alpha growth must be positive".into()));
+        return Err(SteppingError::BadConfig(
+            "alpha growth must be positive".into(),
+        ));
     }
     Ok(())
 }
@@ -186,7 +197,7 @@ fn train_round(
     let n = net.subnet_count();
     let mut losses = vec![0.0f32; n];
     let mut sgd = Sgd::new(opts.lr).map_err(SteppingError::Nn)?;
-    for k in 0..n {
+    for (k, loss) in losses.iter_mut().enumerate() {
         if opts.suppress_updates {
             net.apply_lr_suppression(k, opts.beta);
         } else {
@@ -204,11 +215,12 @@ fn train_round(
             let logits = net.forward(&x, k, true)?;
             let (l, dlogits) = loss::cross_entropy(&logits, &y).map_err(SteppingError::Nn)?;
             net.backward(&dlogits)?;
-            sgd.step(&mut net.params_for(k)?).map_err(SteppingError::Nn)?;
+            sgd.step(&mut net.params_for(k)?)
+                .map_err(SteppingError::Nn)?;
             total += l;
             count += 1;
         }
-        losses[k] = total / count.max(1) as f32;
+        *loss = total / count.max(1) as f32;
     }
     net.clear_lr_suppression();
     Ok(losses)
@@ -248,10 +260,19 @@ fn candidates(
                 SelectionCriterion::IndexOrder => -(o as f64),
             };
             let macs = stage.neuron_macs(o, threshold).expect("masked stage");
-            out.push(Candidate { stage: si, neuron: o, score, macs });
+            out.push(Candidate {
+                stage: si,
+                neuron: o,
+                score,
+                macs,
+            });
         }
     }
-    out.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -267,7 +288,8 @@ fn move_round(
     let target = subnet + 1; // == subnet_count means the unused pool
     let cands = candidates(net, subnet, alpha, opts.prune_threshold, opts.criterion);
     // How many neurons each stage may still give away from this subnet.
-    let mut stage_budget: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut stage_budget: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
     for si in net.masked_stage_indices() {
         let assign = net.stages()[si].out_assign().expect("masked stage");
         let owned = assign.members(subnet).len();
@@ -366,9 +388,21 @@ pub fn construct(
         }
 
         let macs: Vec<u64> = (0..n).map(|k| net.macs(k, opts.prune_threshold)).collect();
-        logs.push(IterationLog { iteration: it, macs: macs.clone(), moved, train_loss });
+        logs.push(IterationLog {
+            iteration: it,
+            macs: macs.clone(),
+            moved,
+            train_loss,
+        });
 
-        satisfied = macs.iter().zip(opts.mac_targets.iter()).all(|(m, t)| m <= t);
+        // With the `verify-invariants` feature, re-verify the stepping
+        // structure after this iteration's reallocations (no-op otherwise).
+        crate::hook::run_if_enabled(net)?;
+
+        satisfied = macs
+            .iter()
+            .zip(opts.mac_targets.iter())
+            .all(|(m, t)| m <= t);
         if satisfied {
             break;
         }
@@ -389,7 +423,11 @@ pub fn construct(
             }
         }
         let macs: Vec<u64> = (0..n).map(|k| net.macs(k, opts.prune_threshold)).collect();
-        satisfied = macs.iter().zip(opts.mac_targets.iter()).all(|(m, t)| m <= t);
+        crate::hook::run_if_enabled(net)?;
+        satisfied = macs
+            .iter()
+            .zip(opts.mac_targets.iter())
+            .all(|(m, t)| m <= t);
         fixup += 1;
         if any == 0 {
             break; // min-neuron floors prevent further movement
@@ -398,9 +436,16 @@ pub fn construct(
 
     pruned_weights += net.prune(opts.prune_threshold);
     let final_macs: Vec<u64> = (0..n).map(|k| net.macs(k, opts.prune_threshold)).collect();
-    let satisfied =
-        final_macs.iter().zip(opts.mac_targets.iter()).all(|(m, t)| m <= t);
-    Ok(ConstructionReport { iterations: logs, final_macs, satisfied, pruned_weights })
+    let satisfied = final_macs
+        .iter()
+        .zip(opts.mac_targets.iter())
+        .all(|(m, t)| m <= t);
+    Ok(ConstructionReport {
+        iterations: logs,
+        final_macs,
+        satisfied,
+        pruned_weights,
+    })
 }
 
 #[cfg(test)]
@@ -452,10 +497,23 @@ mod tests {
     fn construction_meets_budgets_and_keeps_nesting() {
         let d = data();
         let mut n = net(3);
-        train_subnet(&mut n, &d, 0, &TrainOptions { epochs: 2, ..Default::default() }).unwrap();
+        train_subnet(
+            &mut n,
+            &d,
+            0,
+            &TrainOptions {
+                epochs: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let o = opts(&n, &[0.2, 0.5, 0.8]);
         let report = construct(&mut n, &d, &o).unwrap();
-        assert!(report.satisfied, "final macs {:?} targets {:?}", report.final_macs, o.mac_targets);
+        assert!(
+            report.satisfied,
+            "final macs {:?} targets {:?}",
+            report.final_macs, o.mac_targets
+        );
         for (m, t) in report.final_macs.iter().zip(o.mac_targets.iter()) {
             assert!(m <= t);
         }
@@ -468,7 +526,10 @@ mod tests {
     fn every_subnet_keeps_minimum_neurons() {
         let d = data();
         let mut n = net(3);
-        let o = ConstructionOptions { min_neurons_per_stage: 2, ..opts(&n, &[0.1, 0.3, 0.6]) };
+        let o = ConstructionOptions {
+            min_neurons_per_stage: 2,
+            ..opts(&n, &[0.1, 0.3, 0.6])
+        };
         construct(&mut n, &d, &o).unwrap();
         for si in n.masked_stage_indices() {
             let a = n.stages()[si].out_assign().unwrap();
@@ -484,11 +545,20 @@ mod tests {
     fn validation_rejects_bad_targets() {
         let d = data();
         let mut n = net(2);
-        let bad = ConstructionOptions { mac_targets: vec![100], ..Default::default() };
+        let bad = ConstructionOptions {
+            mac_targets: vec![100],
+            ..Default::default()
+        };
         assert!(construct(&mut n, &d, &bad).is_err());
-        let bad = ConstructionOptions { mac_targets: vec![200, 100], ..Default::default() };
+        let bad = ConstructionOptions {
+            mac_targets: vec![200, 100],
+            ..Default::default()
+        };
         assert!(construct(&mut n, &d, &bad).is_err());
-        let bad = ConstructionOptions { mac_targets: vec![0, 100], ..Default::default() };
+        let bad = ConstructionOptions {
+            mac_targets: vec![0, 100],
+            ..Default::default()
+        };
         assert!(construct(&mut n, &d, &bad).is_err());
         let bad = ConstructionOptions {
             mac_targets: vec![100, 200],
@@ -519,7 +589,10 @@ mod tests {
             SelectionCriterion::IndexOrder,
         ] {
             let mut n = net(3);
-            let o = ConstructionOptions { criterion, ..opts(&n, &[0.2, 0.5, 0.8]) };
+            let o = ConstructionOptions {
+                criterion,
+                ..opts(&n, &[0.2, 0.5, 0.8])
+            };
             let report = construct(&mut n, &d, &o).unwrap();
             assert!(report.satisfied, "{criterion:?} missed budgets");
             n.check_invariants().unwrap();
@@ -558,7 +631,10 @@ mod tests {
         };
         let s = r.to_string();
         assert!(s.contains("met") && s.contains("10 20") && s.contains('3'));
-        let r2 = ConstructionReport { satisfied: false, ..r };
+        let r2 = ConstructionReport {
+            satisfied: false,
+            ..r
+        };
         assert!(r2.to_string().contains("NOT met"));
     }
 
@@ -573,7 +649,10 @@ mod tests {
     fn ablation_flag_disables_suppression_without_failing() {
         let d = data();
         let mut n = net(2);
-        let o = ConstructionOptions { suppress_updates: false, ..opts(&n, &[0.3, 0.7]) };
+        let o = ConstructionOptions {
+            suppress_updates: false,
+            ..opts(&n, &[0.3, 0.7])
+        };
         let report = construct(&mut n, &d, &o).unwrap();
         assert!(report.satisfied);
     }

@@ -62,16 +62,26 @@ pub struct DistillReport {
 
 fn validate(opts: &DistillOptions) -> Result<()> {
     if opts.epochs == 0 || opts.batch_size == 0 {
-        return Err(SteppingError::BadConfig("epochs and batch size must be nonzero".into()));
+        return Err(SteppingError::BadConfig(
+            "epochs and batch size must be nonzero".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&opts.gamma) {
-        return Err(SteppingError::BadConfig(format!("gamma {} must be in [0, 1]", opts.gamma)));
+        return Err(SteppingError::BadConfig(format!(
+            "gamma {} must be in [0, 1]",
+            opts.gamma
+        )));
     }
     if !(0.0..=1.0).contains(&opts.beta) {
-        return Err(SteppingError::BadConfig(format!("beta {} must be in [0, 1]", opts.beta)));
+        return Err(SteppingError::BadConfig(format!(
+            "beta {} must be in [0, 1]",
+            opts.beta
+        )));
     }
     if !opts.schedule.is_valid() {
-        return Err(SteppingError::BadConfig("invalid learning-rate schedule".into()));
+        return Err(SteppingError::BadConfig(
+            "invalid learning-rate schedule".into(),
+        ));
     }
     Ok(())
 }
@@ -105,12 +115,11 @@ pub fn distill(
     let mut sgd = Sgd::new(opts.lr).map_err(SteppingError::Nn)?;
     let mut losses = Vec::with_capacity(opts.epochs);
     for epoch in 0..opts.epochs {
-        sgd.set_lr(opts.lr * opts.schedule.multiplier(epoch)).map_err(SteppingError::Nn)?;
+        sgd.set_lr(opts.lr * opts.schedule.multiplier(epoch))
+            .map_err(SteppingError::Nn)?;
         let mut epoch_losses = vec![0.0f32; n];
         let mut batch_counts = vec![0usize; n];
-        for batch in
-            BatchIter::new(data, Split::Train, opts.batch_size, epoch as u64, opts.seed)
-        {
+        for batch in BatchIter::new(data, Split::Train, opts.batch_size, epoch as u64, opts.seed) {
             let (x, y) = batch?;
             let teacher_probs = if opts.use_distillation {
                 let t_logits = teacher.forward(&x, teacher_subnet, false)?;
@@ -133,7 +142,8 @@ pub fn distill(
                     None => loss::cross_entropy(&logits, &y).map_err(SteppingError::Nn)?,
                 };
                 net.backward(&dlogits)?;
-                sgd.step(&mut net.params_for(k)?).map_err(SteppingError::Nn)?;
+                sgd.step(&mut net.params_for(k)?)
+                    .map_err(SteppingError::Nn)?;
                 epoch_losses[k] += l;
                 batch_counts[k] += 1;
             }
@@ -179,8 +189,17 @@ mod tests {
             .relu()
             .build(3)
             .unwrap();
-        train_subnet(&mut net, d, 0, &TrainOptions { epochs: 4, lr: 0.1, ..Default::default() })
-            .unwrap();
+        train_subnet(
+            &mut net,
+            d,
+            0,
+            &TrainOptions {
+                epochs: 4,
+                lr: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // snapshot the pretrained original as teacher BEFORE construction
         let teacher = net.clone();
         let full = net.full_macs();
@@ -211,7 +230,11 @@ mod tests {
             &mut teacher,
             0,
             &d,
-            &DistillOptions { epochs: 6, lr: 0.05, ..Default::default() },
+            &DistillOptions {
+                epochs: 6,
+                lr: 0.05,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(report.losses.len(), 6);
@@ -233,9 +256,15 @@ mod tests {
     fn distill_validates_options() {
         let d = data();
         let (mut net, mut teacher) = built_net(&d);
-        let bad = DistillOptions { gamma: 2.0, ..Default::default() };
+        let bad = DistillOptions {
+            gamma: 2.0,
+            ..Default::default()
+        };
         assert!(distill(&mut net, &mut teacher, 0, &d, &bad).is_err());
-        let bad = DistillOptions { epochs: 0, ..Default::default() };
+        let bad = DistillOptions {
+            epochs: 0,
+            ..Default::default()
+        };
         assert!(distill(&mut net, &mut teacher, 0, &d, &bad).is_err());
     }
 
@@ -248,7 +277,11 @@ mod tests {
             &mut teacher,
             0,
             &d,
-            &DistillOptions { use_distillation: false, epochs: 2, ..Default::default() },
+            &DistillOptions {
+                use_distillation: false,
+                epochs: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(report.losses.len(), 2);

@@ -88,7 +88,10 @@ mod tests {
         assert!(e.to_string().starts_with("nn"));
         let e: SteppingError = DataError::BadConfig("z".into()).into();
         assert!(e.to_string().starts_with("data"));
-        let e = SteppingError::SubnetOutOfRange { subnet: 4, count: 3 };
+        let e = SteppingError::SubnetOutOfRange {
+            subnet: 4,
+            count: 3,
+        };
         assert!(e.to_string().contains('4'));
         assert!(std::error::Error::source(&e).is_none());
     }

@@ -34,10 +34,14 @@ pub fn evaluate(
     batch_size: usize,
 ) -> Result<f32> {
     if batch_size == 0 {
-        return Err(SteppingError::BadConfig("batch size must be nonzero".into()));
+        return Err(SteppingError::BadConfig(
+            "batch size must be nonzero".into(),
+        ));
     }
     if data.is_empty(split) {
-        return Err(SteppingError::BadConfig("cannot evaluate on an empty split".into()));
+        return Err(SteppingError::BadConfig(
+            "cannot evaluate on an empty split".into(),
+        ));
     }
     let mut correct = 0.0f64;
     let mut total = 0usize;
@@ -69,11 +73,15 @@ pub fn evaluate_parallel(
     threads: usize,
 ) -> Result<f32> {
     if batch_size == 0 || threads == 0 {
-        return Err(SteppingError::BadConfig("batch size and threads must be nonzero".into()));
+        return Err(SteppingError::BadConfig(
+            "batch size and threads must be nonzero".into(),
+        ));
     }
     let len = data.len(split);
     if len == 0 {
-        return Err(SteppingError::BadConfig("cannot evaluate on an empty split".into()));
+        return Err(SteppingError::BadConfig(
+            "cannot evaluate on an empty split".into(),
+        ));
     }
     let shard = len.div_ceil(threads);
     let results: Vec<Result<(usize, usize)>> = std::thread::scope(|s| {
@@ -94,8 +102,7 @@ pub fn evaluate_parallel(
                     let idx: Vec<usize> = (i..end).collect();
                     let (x, y) = data.batch(split, &idx)?;
                     let logits = worker.forward(&x, subnet, false)?;
-                    let preds =
-                        metrics::predictions(&logits).map_err(SteppingError::Nn)?;
+                    let preds = metrics::predictions(&logits).map_err(SteppingError::Nn)?;
                     correct += preds.iter().zip(y.iter()).filter(|(p, t)| p == t).count();
                     total += y.len();
                     i = end;
@@ -103,7 +110,10 @@ pub fn evaluate_parallel(
                 Ok((correct, total))
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("eval worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker panicked"))
+            .collect()
     });
     let mut correct = 0usize;
     let mut total = 0usize;
@@ -126,7 +136,9 @@ pub fn evaluate_all(
     split: Split,
     batch_size: usize,
 ) -> Result<Vec<f32>> {
-    (0..net.subnet_count()).map(|k| evaluate(net, data, split, k, batch_size)).collect()
+    (0..net.subnet_count())
+        .map(|k| evaluate(net, data, split, k, batch_size))
+        .collect()
 }
 
 #[cfg(test)]
@@ -160,8 +172,17 @@ mod tests {
             .relu()
             .build(3)
             .unwrap();
-        train_subnet(&mut net, &d, 0, &TrainOptions { epochs: 10, lr: 0.1, ..Default::default() })
-            .unwrap();
+        train_subnet(
+            &mut net,
+            &d,
+            0,
+            &TrainOptions {
+                epochs: 10,
+                lr: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let acc = evaluate(&mut net, &d, Split::Test, 0, 16).unwrap();
         assert!(acc > 0.6, "accuracy {acc}");
     }
@@ -186,12 +207,24 @@ mod tests {
             .relu()
             .build(3)
             .unwrap();
-        train_subnet(&mut net, &d, 0, &TrainOptions { epochs: 4, lr: 0.1, ..Default::default() })
-            .unwrap();
+        train_subnet(
+            &mut net,
+            &d,
+            0,
+            &TrainOptions {
+                epochs: 4,
+                lr: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let seq = evaluate(&mut net, &d, Split::Test, 0, 7).unwrap();
         for threads in [1usize, 2, 4, 16] {
             let par = evaluate_parallel(&net, &d, Split::Test, 0, 7, threads).unwrap();
-            assert!((par - seq).abs() < 1e-6, "threads {threads}: {par} vs {seq}");
+            assert!(
+                (par - seq).abs() < 1e-6,
+                "threads {threads}: {par} vs {seq}"
+            );
         }
         assert!(evaluate_parallel(&net, &d, Split::Test, 0, 7, 0).is_err());
         assert!(evaluate_parallel(&net, &d, Split::Test, 0, 0, 2).is_err());

@@ -1,0 +1,87 @@
+//! Pluggable invariant gate.
+//!
+//! `stepping-core` cannot depend on the analyzer crate (`stepping-verify`
+//! depends on us), so the gate is a process-wide function pointer: the
+//! analyzer registers itself via [`install_invariant_hook`], and —
+//! **only** when the `verify-invariants` cargo feature is enabled —
+//! [`construct()`](crate::construct()) re-checks the network after every
+//! reallocation iteration and
+//! [`load_state`](crate::checkpoint::load_state) re-checks every loaded
+//! checkpoint. Without an installed hook the gate falls back to
+//! [`SteppingNet::check_invariants`], which verifies the assignment chain
+//! with no external dependencies.
+//!
+//! All checks are read-only: enabling the feature never changes numerical
+//! results, it only turns silent structure corruption into an early
+//! [`SteppingError`](crate::SteppingError).
+
+use std::sync::OnceLock;
+
+use crate::{Result, SteppingNet};
+
+/// Signature of an installable invariant checker: read-only, `Err` means
+/// the network's stepping structure is broken.
+pub type InvariantHook = fn(&SteppingNet) -> Result<()>;
+
+static HOOK: OnceLock<InvariantHook> = OnceLock::new();
+
+/// Installs `hook` as the process-wide invariant checker.
+///
+/// The first installation wins for the lifetime of the process; returns
+/// `false` (and keeps the existing hook) on later calls.
+pub fn install_invariant_hook(hook: InvariantHook) -> bool {
+    HOOK.set(hook).is_ok()
+}
+
+/// Runs the installed hook, or
+/// [`SteppingNet::check_invariants`] when none is installed.
+///
+/// # Errors
+///
+/// Propagates whatever the active checker reports.
+pub fn run_invariant_checks(net: &SteppingNet) -> Result<()> {
+    match HOOK.get() {
+        Some(hook) => hook(net),
+        None => net.check_invariants(),
+    }
+}
+
+/// Gate called from construction and checkpoint loading: runs
+/// [`run_invariant_checks`] when the `verify-invariants` feature is
+/// enabled.
+///
+/// # Errors
+///
+/// Propagates whatever the active checker reports.
+#[cfg(feature = "verify-invariants")]
+pub fn run_if_enabled(net: &SteppingNet) -> Result<()> {
+    run_invariant_checks(net)
+}
+
+/// Gate called from construction and checkpoint loading: compiled to a
+/// no-op because the `verify-invariants` feature is disabled.
+///
+/// # Errors
+///
+/// Never fails in this configuration.
+#[cfg(not(feature = "verify-invariants"))]
+pub fn run_if_enabled(_net: &SteppingNet) -> Result<()> {
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SteppingNetBuilder;
+    use stepping_tensor::Shape;
+
+    #[test]
+    fn fallback_checker_accepts_fresh_net() {
+        let net = SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
+            .linear(6)
+            .relu()
+            .build(3)
+            .unwrap();
+        assert!(run_invariant_checks(&net).is_ok());
+    }
+}

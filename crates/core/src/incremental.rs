@@ -102,7 +102,12 @@ impl<'a> IncrementalExecutor<'a> {
         self.current = Some(0);
         self.computed = 0;
         self.cumulative_macs = step_macs;
-        Ok(ExpandStep { subnet: 0, logits, step_macs, cumulative_macs: step_macs })
+        Ok(ExpandStep {
+            subnet: 0,
+            logits,
+            step_macs,
+            cumulative_macs: step_macs,
+        })
     }
 
     /// Steps to the next larger subnet, computing only its new neurons and
@@ -113,9 +118,9 @@ impl<'a> IncrementalExecutor<'a> {
     /// Returns [`SteppingError::ExecutorState`] before `begin` or past the
     /// largest subnet, and propagates forward errors.
     pub fn expand(&mut self) -> Result<ExpandStep> {
-        let cur = self.current.ok_or_else(|| {
-            SteppingError::ExecutorState("expand called before begin".into())
-        })?;
+        let cur = self
+            .current
+            .ok_or_else(|| SteppingError::ExecutorState("expand called before begin".into()))?;
         let k = cur + 1;
         if k >= self.net.subnet_count() {
             return Err(SteppingError::ExecutorState(format!(
@@ -176,7 +181,12 @@ impl<'a> IncrementalExecutor<'a> {
         self.current = Some(k);
         self.computed = k;
         self.cumulative_macs += step_macs;
-        Ok(ExpandStep { subnet: k, logits, step_macs, cumulative_macs: self.cumulative_macs })
+        Ok(ExpandStep {
+            subnet: k,
+            logits,
+            step_macs,
+            cumulative_macs: self.cumulative_macs,
+        })
     }
 
     /// Steps down to the next *smaller* subnet when resources shrink. The
@@ -190,11 +200,13 @@ impl<'a> IncrementalExecutor<'a> {
     /// Returns [`SteppingError::ExecutorState`] before `begin` or at
     /// subnet 0.
     pub fn contract(&mut self) -> Result<ExpandStep> {
-        let cur = self.current.ok_or_else(|| {
-            SteppingError::ExecutorState("contract called before begin".into())
-        })?;
+        let cur = self
+            .current
+            .ok_or_else(|| SteppingError::ExecutorState("contract called before begin".into()))?;
         if cur == 0 {
-            return Err(SteppingError::ExecutorState("already at smallest subnet".into()));
+            return Err(SteppingError::ExecutorState(
+                "already at smallest subnet".into(),
+            ));
         }
         let k = cur - 1;
         let features = self.acts.last().expect("acts nonempty").clone();
@@ -202,7 +214,12 @@ impl<'a> IncrementalExecutor<'a> {
         let step_macs = self.net.head_macs(k);
         self.current = Some(k);
         self.cumulative_macs += step_macs;
-        Ok(ExpandStep { subnet: k, logits, step_macs, cumulative_macs: self.cumulative_macs })
+        Ok(ExpandStep {
+            subnet: k,
+            logits,
+            step_macs,
+            cumulative_macs: self.cumulative_macs,
+        })
     }
 
     /// Runs `begin` and then `expand`s until `subnet`, returning every step.
@@ -311,7 +328,8 @@ mod tests {
             .build(4)
             .unwrap();
         // spread neurons across subnets
-        net.move_neurons(&[(0, 1, 1), (0, 2, 2), (0, 3, 1), (2, 0, 1), (2, 5, 2)]).unwrap();
+        net.move_neurons(&[(0, 1, 1), (0, 2, 2), (0, 3, 1), (2, 0, 1), (2, 5, 2)])
+            .unwrap();
         net
     }
 
@@ -326,7 +344,8 @@ mod tests {
             .relu()
             .build(3)
             .unwrap();
-        net.move_neurons(&[(0, 0, 1), (0, 4, 2), (5, 2, 1), (5, 7, 2)]).unwrap();
+        net.move_neurons(&[(0, 0, 1), (0, 4, 2), (5, 2, 1), (5, 7, 2)])
+            .unwrap();
         net
     }
 
@@ -336,8 +355,9 @@ mod tests {
         let x = init::uniform(Shape::of(&[3, 6]), -1.0, 1.0, &mut init::rng(5));
         // From-scratch references first (separate clone so caches don't mix).
         let mut scratch = net.clone();
-        let refs: Vec<Tensor> =
-            (0..3).map(|k| scratch.forward(&x, k, false).unwrap()).collect();
+        let refs: Vec<Tensor> = (0..3)
+            .map(|k| scratch.forward(&x, k, false).unwrap())
+            .collect();
         let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
         let s0 = exec.begin(&x).unwrap();
         assert_eq!(s0.logits, refs[0]);
@@ -357,8 +377,9 @@ mod tests {
         }
         let x = init::uniform(Shape::of(&[2, 2, 8, 8]), -1.0, 1.0, &mut init::rng(7));
         let mut scratch = net.clone();
-        let refs: Vec<Tensor> =
-            (0..3).map(|k| scratch.forward(&x, k, false).unwrap()).collect();
+        let refs: Vec<Tensor> = (0..3)
+            .map(|k| scratch.forward(&x, k, false).unwrap())
+            .collect();
         let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
         let steps = exec.run_to(&x, 2).unwrap();
         for (k, step) in steps.iter().enumerate() {
@@ -398,7 +419,10 @@ mod tests {
         exec.begin(&x).unwrap();
         exec.expand().unwrap();
         exec.expand().unwrap();
-        assert!(exec.expand().is_err(), "expanding past the largest subnet must fail");
+        assert!(
+            exec.expand().is_err(),
+            "expanding past the largest subnet must fail"
+        );
         assert!(exec.run_to(&x, 7).is_err());
     }
 
@@ -422,8 +446,9 @@ mod tests {
         let head2_macs = net.head_macs(2);
         let x = init::uniform(Shape::of(&[2, 6]), -1.0, 1.0, &mut init::rng(11));
         let mut scratch = net.clone();
-        let refs: Vec<Tensor> =
-            (0..3).map(|k| scratch.forward(&x, k, false).unwrap()).collect();
+        let refs: Vec<Tensor> = (0..3)
+            .map(|k| scratch.forward(&x, k, false).unwrap())
+            .collect();
         let mut exec = IncrementalExecutor::new(&mut net, 1e-5);
         exec.begin(&x).unwrap();
         exec.expand().unwrap();
@@ -432,12 +457,18 @@ mod tests {
         let down = exec.contract().unwrap();
         assert_eq!(down.subnet, 1);
         assert_eq!(down.logits, refs[1]);
-        assert_eq!(down.step_macs, head1_macs, "contraction should cost only the head");
+        assert_eq!(
+            down.step_macs, head1_macs,
+            "contraction should cost only the head"
+        );
         // re-expansion to the already-computed subnet 2 is also head-only
         let up = exec.expand().unwrap();
         assert_eq!(up.subnet, 2);
         assert_eq!(up.logits, refs[2]);
-        assert_eq!(up.step_macs, head2_macs, "re-expansion should cost only the head");
+        assert_eq!(
+            up.step_macs, head2_macs,
+            "re-expansion should cost only the head"
+        );
         // contract twice more hits the floor
         exec.contract().unwrap();
         exec.contract().unwrap();

@@ -45,6 +45,7 @@ pub mod construct;
 pub mod distill;
 mod error;
 pub mod eval;
+pub mod hook;
 mod incremental;
 mod layout;
 mod masked_conv;
@@ -54,7 +55,9 @@ mod stage;
 pub mod train;
 
 pub use assign::Assignment;
-pub use construct::{construct, ConstructionOptions, ConstructionReport, IterationLog, SelectionCriterion};
+pub use construct::{
+    construct, ConstructionOptions, ConstructionReport, IterationLog, SelectionCriterion,
+};
 pub use distill::{distill, DistillOptions, DistillReport};
 pub use error::SteppingError;
 pub use incremental::{ExpandStep, IncrementalExecutor};

@@ -163,8 +163,15 @@ impl MaskedConv2d {
     /// Flattened `[out, patch]` weight with illegal channel pairs and
     /// inactive filters zeroed.
     fn effective_weight_flat(&self, subnet: usize) -> Result<Tensor> {
-        let (oc_n, ic_n, kk) = (self.out_channels(), self.in_channels(), self.kernel * self.kernel);
-        let mut w = self.weight.value.reshape(Shape::of(&[oc_n, self.patch_len()]))?;
+        let (oc_n, ic_n, kk) = (
+            self.out_channels(),
+            self.in_channels(),
+            self.kernel * self.kernel,
+        );
+        let mut w = self
+            .weight
+            .value
+            .reshape(Shape::of(&[oc_n, self.patch_len()]))?;
         let wd = w.data_mut();
         for oc in 0..oc_n {
             let active = self.out_assign.is_active(oc, subnet);
@@ -227,7 +234,13 @@ impl MaskedConv2d {
             }
         }
         let z = crate::layout::mat_to_nchw(&z_mat, n, oc_n, geom.out_h, geom.out_w);
-        self.cached = Some(CachedForward { cols, z: z.clone(), geom, batch: n, subnet });
+        self.cached = Some(CachedForward {
+            cols,
+            z: z.clone(),
+            geom,
+            batch: n,
+            subnet,
+        });
         Ok(z)
     }
 
@@ -264,7 +277,9 @@ impl MaskedConv2d {
         let od = out.data_mut();
         for (ci, &oc) in channels.iter().enumerate() {
             if oc >= self.out_channels() {
-                return Err(SteppingError::InvalidStructure(format!("channel {oc} out of range")));
+                return Err(SteppingError::InvalidStructure(format!(
+                    "channel {oc} out of range"
+                )));
             }
             if !self.out_assign.is_active(oc, subnet) {
                 continue;
@@ -352,9 +367,9 @@ impl MaskedConv2d {
         let db = stepping_tensor::reduce::sum_rows(&grad_mat)?;
         {
             let bd = self.bias.grad.data_mut();
-            for oc in 0..oc_n {
+            for (oc, b) in bd.iter_mut().enumerate().take(oc_n) {
                 if self.out_assign.is_active(oc, subnet) {
-                    bd[oc] += db.data()[oc];
+                    *b += db.data()[oc];
                 }
             }
         }
@@ -384,7 +399,11 @@ impl MaskedConv2d {
     /// MAC operations of `subnet`: legal, unpruned kernel weights into active
     /// filters, times output positions.
     pub fn macs(&self, subnet: usize, threshold: f32) -> u64 {
-        let (oc_n, ic_n, kk) = (self.out_channels(), self.in_channels(), self.kernel * self.kernel);
+        let (oc_n, ic_n, kk) = (
+            self.out_channels(),
+            self.in_channels(),
+            self.kernel * self.kernel,
+        );
         let patch = self.patch_len();
         let mut count = 0u64;
         for oc in 0..oc_n {
@@ -473,11 +492,20 @@ impl MaskedConv2d {
     /// (`β^(subnet − assign)` per filter; unused filters frozen).
     pub fn apply_lr_suppression(&mut self, subnet: usize, beta: f32) {
         let (oc_n, patch) = (self.out_channels(), self.patch_len());
-        let mut wscale = Tensor::ones(Shape::of(&[oc_n, self.in_channels(), self.kernel, self.kernel]));
+        let mut wscale = Tensor::ones(Shape::of(&[
+            oc_n,
+            self.in_channels(),
+            self.kernel,
+            self.kernel,
+        ]));
         let mut bscale = Tensor::ones(Shape::of(&[oc_n]));
         for oc in 0..oc_n {
             let a = self.out_assign.subnet_of(oc);
-            let s = if a > subnet { 0.0 } else { beta.powi((subnet - a) as i32) };
+            let s = if a > subnet {
+                0.0
+            } else {
+                beta.powi((subnet - a) as i32)
+            };
             bscale.data_mut()[oc] = s;
             for e in 0..patch {
                 wscale.data_mut()[oc * patch + e] = s;
@@ -495,7 +523,10 @@ impl MaskedConv2d {
 
     fn check_subnet(&self, subnet: usize) -> Result<()> {
         if subnet >= self.subnet_count() {
-            return Err(SteppingError::SubnetOutOfRange { subnet, count: self.subnet_count() });
+            return Err(SteppingError::SubnetOutOfRange {
+                subnet,
+                count: self.subnet_count(),
+            });
         }
         Ok(())
     }
@@ -585,9 +616,15 @@ mod tests {
         let patch = 2 * kk;
         for oc in 0..3 {
             for e in 0..kk {
-                assert_eq!(c.weight().grad.data()[oc * patch + kk + e], 0.0, "oc {oc} e {e}");
+                assert_eq!(
+                    c.weight().grad.data()[oc * patch + kk + e],
+                    0.0,
+                    "oc {oc} e {e}"
+                );
             }
-            assert!(c.weight().grad.data()[oc * patch..oc * patch + kk].iter().any(|&g| g != 0.0));
+            assert!(c.weight().grad.data()[oc * patch..oc * patch + kk]
+                .iter()
+                .any(|&g| g != 0.0));
         }
     }
 
@@ -627,9 +664,15 @@ mod tests {
     #[test]
     fn structural_validation() {
         let mut c = conv();
-        assert!(c.forward(&Tensor::zeros(Shape::of(&[1, 3, 4, 4])), 0, true).is_err());
-        assert!(c.forward(&Tensor::zeros(Shape::of(&[1, 2, 4, 4])), 5, true).is_err());
+        assert!(c
+            .forward(&Tensor::zeros(Shape::of(&[1, 3, 4, 4])), 0, true)
+            .is_err());
+        assert!(c
+            .forward(&Tensor::zeros(Shape::of(&[1, 2, 4, 4])), 5, true)
+            .is_err());
         assert!(c.set_in_assign(Assignment::new(7, 3)).is_err());
-        assert!(c.backward(&Tensor::zeros(Shape::of(&[1, 3, 4, 4]))).is_err());
+        assert!(c
+            .backward(&Tensor::zeros(Shape::of(&[1, 3, 4, 4])))
+            .is_err());
     }
 }

@@ -46,8 +46,11 @@ impl MaskedLinear {
     /// neurons start in subnet 0 (the construction flow initialises subnet1
     /// with the whole network).
     pub fn new(in_features: usize, out_features: usize, subnets: usize, rng: &mut StdRng) -> Self {
-        let weight =
-            Param::new(init::kaiming(Shape::of(&[out_features, in_features]), in_features, rng));
+        let weight = Param::new(init::kaiming(
+            Shape::of(&[out_features, in_features]),
+            in_features,
+            rng,
+        ));
         let bias = Param::new(Tensor::zeros(Shape::of(&[out_features])));
         MaskedLinear {
             weight,
@@ -186,7 +189,11 @@ impl MaskedLinear {
                 }
             }
         }
-        self.cached = Some(CachedForward { input: input.clone(), z: z.clone(), subnet });
+        self.cached = Some(CachedForward {
+            input: input.clone(),
+            z: z.clone(),
+            subnet,
+        });
         Ok(z)
     }
 
@@ -212,7 +219,9 @@ impl MaskedLinear {
         let od = out.data_mut();
         for (ri, &o) in rows.iter().enumerate() {
             if o >= self.out_features() {
-                return Err(SteppingError::InvalidStructure(format!("row {o} out of range")));
+                return Err(SteppingError::InvalidStructure(format!(
+                    "row {o} out of range"
+                )));
             }
             if !self.out_assign.is_active(o, subnet) {
                 continue; // inactive rows stay exactly zero, as in `forward`
@@ -258,7 +267,11 @@ impl MaskedLinear {
             )));
         }
         let subnet = cached.subnet;
-        let (n, o_n, i_n) = (cached.input.shape().dims()[0], self.out_features(), self.in_features());
+        let (n, o_n, i_n) = (
+            cached.input.shape().dims()[0],
+            self.out_features(),
+            self.in_features(),
+        );
         // Importance (eq. 2): per neuron, |Σ_b g·z| for the trained subnet.
         for o in 0..o_n {
             if !self.out_assign.is_active(o, subnet) {
@@ -287,9 +300,9 @@ impl MaskedLinear {
         let db = reduce::sum_rows(grad_out)?;
         {
             let bd = self.bias.grad.data_mut();
-            for o in 0..o_n {
+            for (o, b) in bd.iter_mut().enumerate().take(o_n) {
                 if self.out_assign.is_active(o, subnet) {
-                    bd[o] += db.data()[o];
+                    *b += db.data()[o];
                 }
             }
         }
@@ -612,7 +625,10 @@ mod tests {
         let x = Tensor::zeros(Shape::of(&[1, 3]));
         assert!(matches!(
             l.forward(&x, 3, true),
-            Err(SteppingError::SubnetOutOfRange { subnet: 3, count: 3 })
+            Err(SteppingError::SubnetOutOfRange {
+                subnet: 3,
+                count: 3
+            })
         ));
         assert!(l.forward_rows(&x, &[0], 9).is_err());
     }

@@ -86,10 +86,12 @@ impl SteppingNet {
     ///
     /// Returns [`SteppingError::SubnetOutOfRange`].
     pub fn head(&self, subnet: usize) -> Result<&Linear> {
-        self.heads.get(subnet).ok_or(SteppingError::SubnetOutOfRange {
-            subnet,
-            count: self.subnets,
-        })
+        self.heads
+            .get(subnet)
+            .ok_or(SteppingError::SubnetOutOfRange {
+                subnet,
+                count: self.subnets,
+            })
     }
 
     /// Mutable access to all heads (checkpoint restore; keep geometry
@@ -183,7 +185,9 @@ impl SteppingNet {
             }
         }
         if cur != self.feature_assign {
-            return Err(SteppingError::InvalidStructure("stale feature assignment".into()));
+            return Err(SteppingError::InvalidStructure(
+                "stale feature assignment".into(),
+            ));
         }
         Ok(())
     }
@@ -243,7 +247,10 @@ impl SteppingNet {
     /// `[n, features]`.
     pub fn features(&mut self, input: &Tensor, subnet: usize, train: bool) -> Result<Tensor> {
         if subnet >= self.subnets {
-            return Err(SteppingError::SubnetOutOfRange { subnet, count: self.subnets });
+            return Err(SteppingError::SubnetOutOfRange {
+                subnet,
+                count: self.subnets,
+            });
         }
         let mut x = input.clone();
         for stage in &mut self.stages {
@@ -277,9 +284,17 @@ impl SteppingNet {
     /// # Errors
     ///
     /// Propagates head errors.
-    pub fn head_forward(&mut self, features: &Tensor, subnet: usize, train: bool) -> Result<Tensor> {
+    pub fn head_forward(
+        &mut self,
+        features: &Tensor,
+        subnet: usize,
+        train: bool,
+    ) -> Result<Tensor> {
         if subnet >= self.subnets {
-            return Err(SteppingError::SubnetOutOfRange { subnet, count: self.subnets });
+            return Err(SteppingError::SubnetOutOfRange {
+                subnet,
+                count: self.subnets,
+            });
         }
         let mask = self.feature_mask(subnet);
         let mut masked = features.clone();
@@ -302,9 +317,9 @@ impl SteppingNet {
     /// Returns [`SteppingError::ExecutorState`] before any forward, and
     /// propagates stage errors.
     pub fn backward(&mut self, dlogits: &Tensor) -> Result<()> {
-        let subnet = self.last_subnet.ok_or_else(|| {
-            SteppingError::ExecutorState("backward called before forward".into())
-        })?;
+        let subnet = self
+            .last_subnet
+            .ok_or_else(|| SteppingError::ExecutorState("backward called before forward".into()))?;
         let mut dfeat = self.heads[subnet].backward(dlogits)?;
         let mask = self.feature_mask(subnet);
         let f = mask.len();
@@ -329,10 +344,16 @@ impl SteppingNet {
     /// Returns [`SteppingError::SubnetOutOfRange`].
     pub fn params_for(&mut self, subnet: usize) -> Result<Vec<&mut Param>> {
         if subnet >= self.subnets {
-            return Err(SteppingError::SubnetOutOfRange { subnet, count: self.subnets });
+            return Err(SteppingError::SubnetOutOfRange {
+                subnet,
+                count: self.subnets,
+            });
         }
-        let mut params: Vec<&mut Param> =
-            self.stages.iter_mut().flat_map(|s| s.params_mut()).collect();
+        let mut params: Vec<&mut Param> = self
+            .stages
+            .iter_mut()
+            .flat_map(|s| s.params_mut())
+            .collect();
         params.extend(self.heads[subnet].params_mut());
         Ok(params)
     }
@@ -497,15 +518,25 @@ impl SteppingNetBuilder {
     /// or `[features]` for flat inputs), `subnets` subnets, seeded
     /// initialisation.
     ///
+    /// An `input_shape` that is not rank 1 or 3 is reported as
+    /// [`SteppingError::BadConfig`] by [`build`](SteppingNetBuilder::build)
+    /// rather than panicking here.
+    ///
     /// # Panics
     ///
-    /// Panics if `subnets` is zero or `input_shape` is not rank 1 or 3.
+    /// Panics if `subnets` is zero.
     pub fn new(input_shape: Shape, subnets: usize, seed: u64) -> Self {
         assert!(subnets > 0, "at least one subnet required");
+        let mut error = None;
         let shape = match input_shape.dims() {
             [c, h, w] => BuilderShape::Image(*c, *h, *w),
             [f] => BuilderShape::Flat(*f),
-            _ => panic!("input shape must be [c, h, w] or [features], got {input_shape}"),
+            _ => {
+                error = Some(SteppingError::BadConfig(format!(
+                    "input shape must be [c, h, w] or [features], got {input_shape}"
+                )));
+                BuilderShape::Flat(0)
+            }
         };
         SteppingNetBuilder {
             subnets,
@@ -513,7 +544,7 @@ impl SteppingNetBuilder {
             stages: Vec::new(),
             shape,
             input_shape,
-            error: None,
+            error,
             dropout_count: 0,
             seed,
         }
@@ -526,7 +557,13 @@ impl SteppingNetBuilder {
     }
 
     /// Adds a masked convolution (square kernel).
-    pub fn conv(mut self, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+    pub fn conv(
+        mut self,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
         if self.error.is_some() {
             return self;
         }
@@ -578,7 +615,8 @@ impl SteppingNetBuilder {
     /// Adds a ReLU activation.
     pub fn relu(mut self) -> Self {
         if self.error.is_none() {
-            self.stages.push(Stage::Fixed(FixedStage::Relu(Relu::new())));
+            self.stages
+                .push(Stage::Fixed(FixedStage::Relu(Relu::new())));
         }
         self
     }
@@ -586,7 +624,8 @@ impl SteppingNetBuilder {
     /// Adds a tanh activation.
     pub fn tanh(mut self) -> Self {
         if self.error.is_none() {
-            self.stages.push(Stage::Fixed(FixedStage::Tanh(Tanh::new())));
+            self.stages
+                .push(Stage::Fixed(FixedStage::Tanh(Tanh::new())));
         }
         self
     }
@@ -594,7 +633,8 @@ impl SteppingNetBuilder {
     /// Adds a sigmoid activation.
     pub fn sigmoid(mut self) -> Self {
         if self.error.is_none() {
-            self.stages.push(Stage::Fixed(FixedStage::Sigmoid(Sigmoid::new())));
+            self.stages
+                .push(Stage::Fixed(FixedStage::Sigmoid(Sigmoid::new())));
         }
         self
     }
@@ -609,7 +649,9 @@ impl SteppingNetBuilder {
                 match ConvGeometry::new(c, h, w, kernel, kernel, stride, 0) {
                     Ok(geom) => {
                         self.stages
-                            .push(Stage::Fixed(FixedStage::MaxPool(MaxPool2d::new(kernel, stride))));
+                            .push(Stage::Fixed(FixedStage::MaxPool(MaxPool2d::new(
+                                kernel, stride,
+                            ))));
                         self.shape = BuilderShape::Image(c, geom.out_h, geom.out_w);
                     }
                     Err(e) => self.fail(format!("max pool geometry: {e}")),
@@ -630,7 +672,9 @@ impl SteppingNetBuilder {
                 match ConvGeometry::new(c, h, w, kernel, kernel, stride, 0) {
                     Ok(geom) => {
                         self.stages
-                            .push(Stage::Fixed(FixedStage::AvgPool(AvgPool2d::new(kernel, stride))));
+                            .push(Stage::Fixed(FixedStage::AvgPool(AvgPool2d::new(
+                                kernel, stride,
+                            ))));
                         self.shape = BuilderShape::Image(c, geom.out_h, geom.out_w);
                     }
                     Err(e) => self.fail(format!("avg pool geometry: {e}")),
@@ -675,7 +719,8 @@ impl SteppingNetBuilder {
         }
         let seed = self.seed.wrapping_add(0xd0_00 + self.dropout_count);
         self.dropout_count += 1;
-        self.stages.push(Stage::Fixed(FixedStage::Dropout(Dropout::new(p, seed))));
+        self.stages
+            .push(Stage::Fixed(FixedStage::Dropout(Dropout::new(p, seed))));
         self
     }
 
@@ -721,7 +766,9 @@ impl SteppingNetBuilder {
             }
         };
         if !self.stages.iter().any(Stage::is_masked) {
-            return Err(SteppingError::BadConfig("network has no masked stage".into()));
+            return Err(SteppingError::BadConfig(
+                "network has no masked stage".into(),
+            ));
         }
         let heads = (0..self.subnets)
             .map(|_| Linear::new(features, classes, &mut self.rng))
@@ -781,7 +828,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_pipelines() {
-        assert!(SteppingNetBuilder::new(Shape::of(&[4]), 2, 0).conv(3, 3, 1, 1).build(2).is_err());
+        assert!(SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
+            .conv(3, 3, 1, 1)
+            .build(2)
+            .is_err());
         assert!(SteppingNetBuilder::new(Shape::of(&[2, 4, 4]), 2, 0)
             .linear(4)
             .build(2)
@@ -790,8 +840,14 @@ mod tests {
             .conv(3, 3, 1, 1)
             .build(2)
             .is_err()); // not flattened
-        assert!(SteppingNetBuilder::new(Shape::of(&[4]), 2, 0).linear(3).build(0).is_err());
-        assert!(SteppingNetBuilder::new(Shape::of(&[4]), 2, 0).relu().build(2).is_err()); // no masked stage
+        assert!(SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
+            .linear(3)
+            .build(0)
+            .is_err());
+        assert!(SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
+            .relu()
+            .build(2)
+            .is_err()); // no masked stage
     }
 
     #[test]
@@ -926,5 +982,18 @@ mod tests {
         net.move_neuron(2, 0, 3).unwrap(); // unused pool (subnets = 3)
         let macs_before = net.macs(2, 0.0);
         assert!(macs_before < mlp().macs(2, 0.0));
+    }
+
+    #[test]
+    fn bad_input_rank_is_a_typed_error_not_a_panic() {
+        let err = SteppingNetBuilder::new(Shape::of(&[2, 3, 4, 5]), 2, 0)
+            .linear(4)
+            .build(2)
+            .unwrap_err();
+        assert!(matches!(err, SteppingError::BadConfig(_)), "{err:?}");
+        let err = SteppingNetBuilder::new(Shape::of(&[2, 3]), 2, 0)
+            .build(2)
+            .unwrap_err();
+        assert!(matches!(err, SteppingError::BadConfig(_)), "{err:?}");
     }
 }

@@ -110,12 +110,18 @@ impl Stage {
                 // are inactive (masked to zero) in the subnet being trained.
                 if train {
                     match f {
-                        FixedStage::BatchNorm1d { layer, assign: Some(a) } => {
+                        FixedStage::BatchNorm1d {
+                            layer,
+                            assign: Some(a),
+                        } => {
                             layer.set_stat_mask(Some(
                                 (0..a.len()).map(|i| a.is_active(i, subnet)).collect(),
                             ));
                         }
-                        FixedStage::BatchNorm2d { layer, assign: Some(a) } => {
+                        FixedStage::BatchNorm2d {
+                            layer,
+                            assign: Some(a),
+                        } => {
                             layer.set_stat_mask(Some(
                                 (0..a.len()).map(|i| a.is_active(i, subnet)).collect(),
                             ));
@@ -233,7 +239,10 @@ impl Stage {
         match self {
             Stage::Linear(l) => l.set_in_assign(assign),
             Stage::Conv(c) => c.set_in_assign(assign),
-            Stage::Fixed(FixedStage::BatchNorm1d { layer, assign: slot }) => {
+            Stage::Fixed(FixedStage::BatchNorm1d {
+                layer,
+                assign: slot,
+            }) => {
                 if assign.len() != layer.features() {
                     return Err(crate::SteppingError::InvalidStructure(format!(
                         "batch norm over {} features got assignment of {}",
@@ -244,7 +253,10 @@ impl Stage {
                 *slot = Some(assign);
                 Ok(())
             }
-            Stage::Fixed(FixedStage::BatchNorm2d { layer, assign: slot }) => {
+            Stage::Fixed(FixedStage::BatchNorm2d {
+                layer,
+                assign: slot,
+            }) => {
                 if assign.len() != layer.channels() {
                     return Err(crate::SteppingError::InvalidStructure(format!(
                         "batch norm over {} channels got assignment of {}",
@@ -339,7 +351,10 @@ mod tests {
 
     #[test]
     fn flatten_factor_recorded() {
-        let s = Stage::Fixed(FixedStage::Flatten { layer: Flatten::new(), factor: 4 });
+        let s = Stage::Fixed(FixedStage::Flatten {
+            layer: Flatten::new(),
+            factor: 4,
+        });
         match s {
             Stage::Fixed(FixedStage::Flatten { factor, .. }) => assert_eq!(factor, 4),
             _ => unreachable!(),

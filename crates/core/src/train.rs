@@ -13,7 +13,6 @@ use stepping_tensor::{reduce, Tensor};
 
 use crate::{Result, SteppingError, SteppingNet};
 
-
 /// Options for [`train_subnet`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainOptions {
@@ -70,18 +69,26 @@ pub fn train_subnet(
     opts: &TrainOptions,
 ) -> Result<Vec<f32>> {
     if subnet >= net.subnet_count() {
-        return Err(SteppingError::SubnetOutOfRange { subnet, count: net.subnet_count() });
+        return Err(SteppingError::SubnetOutOfRange {
+            subnet,
+            count: net.subnet_count(),
+        });
     }
     if opts.batch_size == 0 || opts.epochs == 0 {
-        return Err(SteppingError::BadConfig("epochs and batch size must be nonzero".into()));
+        return Err(SteppingError::BadConfig(
+            "epochs and batch size must be nonzero".into(),
+        ));
     }
     if !opts.schedule.is_valid() {
-        return Err(SteppingError::BadConfig("invalid learning-rate schedule".into()));
+        return Err(SteppingError::BadConfig(
+            "invalid learning-rate schedule".into(),
+        ));
     }
     let mut sgd = Sgd::new(opts.lr).map_err(SteppingError::Nn)?;
     let mut epoch_losses = Vec::with_capacity(opts.epochs);
     for epoch in 0..opts.epochs {
-        sgd.set_lr(opts.lr * opts.schedule.multiplier(epoch)).map_err(SteppingError::Nn)?;
+        sgd.set_lr(opts.lr * opts.schedule.multiplier(epoch))
+            .map_err(SteppingError::Nn)?;
         let mut total = 0.0;
         let mut batches = 0;
         for batch in BatchIter::new(data, Split::Train, opts.batch_size, epoch as u64, opts.seed) {
@@ -90,7 +97,8 @@ pub fn train_subnet(
             let logits = net.forward(&x, subnet, true)?;
             let (l, dlogits) = loss::cross_entropy(&logits, &y).map_err(SteppingError::Nn)?;
             net.backward(&dlogits)?;
-            sgd.step(&mut net.params_for(subnet)?).map_err(SteppingError::Nn)?;
+            sgd.step(&mut net.params_for(subnet)?)
+                .map_err(SteppingError::Nn)?;
             total += l;
             batches += 1;
         }
@@ -146,9 +154,17 @@ mod tests {
     fn training_reduces_loss() {
         let data = blob_data();
         let mut net = mlp(2);
-        let losses =
-            train_subnet(&mut net, &data, 0, &TrainOptions { epochs: 6, lr: 0.1, ..Default::default() })
-                .unwrap();
+        let losses = train_subnet(
+            &mut net,
+            &data,
+            0,
+            &TrainOptions {
+                epochs: 6,
+                lr: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(losses.last().unwrap() < &losses[0], "losses {losses:?}");
     }
 
@@ -171,7 +187,10 @@ mod tests {
             &mut net,
             &data,
             0,
-            &TrainOptions { batch_size: 0, ..Default::default() }
+            &TrainOptions {
+                batch_size: 0,
+                ..Default::default()
+            }
         )
         .is_err());
     }

@@ -46,7 +46,9 @@ impl InMemory {
     /// Propagates generation errors from the inner dataset.
     pub fn new<D: Dataset + ?Sized>(inner: &D) -> Result<Self> {
         let gen_split = |split: Split| -> Result<Vec<(Tensor, usize)>> {
-            (0..inner.len(split)).map(|i| inner.sample(split, i)).collect()
+            (0..inner.len(split))
+                .map(|i| inner.sample(split, i))
+                .collect()
         };
         Ok(InMemory {
             train: gen_split(Split::Train)?,
@@ -81,7 +83,10 @@ impl Dataset for InMemory {
         self.bank(split)
             .get(index)
             .cloned()
-            .ok_or(DataError::IndexOutOfRange { index, len: self.bank(split).len() })
+            .ok_or(DataError::IndexOutOfRange {
+                index,
+                len: self.bank(split).len(),
+            })
     }
 }
 
@@ -117,15 +122,25 @@ impl<'a, D: Dataset + ?Sized> Subset<'a, D> {
     pub fn new(inner: &'a D, train_indices: Vec<usize>, test_indices: Vec<usize>) -> Result<Self> {
         for &i in &train_indices {
             if i >= inner.len(Split::Train) {
-                return Err(DataError::IndexOutOfRange { index: i, len: inner.len(Split::Train) });
+                return Err(DataError::IndexOutOfRange {
+                    index: i,
+                    len: inner.len(Split::Train),
+                });
             }
         }
         for &i in &test_indices {
             if i >= inner.len(Split::Test) {
-                return Err(DataError::IndexOutOfRange { index: i, len: inner.len(Split::Test) });
+                return Err(DataError::IndexOutOfRange {
+                    index: i,
+                    len: inner.len(Split::Test),
+                });
             }
         }
-        Ok(Subset { inner, train_indices, test_indices })
+        Ok(Subset {
+            inner,
+            train_indices,
+            test_indices,
+        })
     }
 
     fn indices(&self, split: Split) -> &[usize] {
@@ -151,9 +166,10 @@ impl<'a, D: Dataset + ?Sized> Dataset for Subset<'a, D> {
 
     fn sample(&self, split: Split, index: usize) -> Result<(Tensor, usize)> {
         let idx = self.indices(split);
-        let &inner_index = idx
-            .get(index)
-            .ok_or(DataError::IndexOutOfRange { index, len: idx.len() })?;
+        let &inner_index = idx.get(index).ok_or(DataError::IndexOutOfRange {
+            index,
+            len: idx.len(),
+        })?;
         self.inner.sample(split, inner_index)
     }
 }
@@ -177,12 +193,20 @@ impl<'a, D: Dataset + ?Sized> LabelNoise<'a, D> {
     /// the inner dataset has at least two classes.
     pub fn new(inner: &'a D, flip_p: f64, seed: u64) -> Result<Self> {
         if !(0.0..=1.0).contains(&flip_p) {
-            return Err(DataError::BadConfig(format!("flip probability {flip_p} not in [0, 1]")));
+            return Err(DataError::BadConfig(format!(
+                "flip probability {flip_p} not in [0, 1]"
+            )));
         }
         if inner.classes() < 2 {
-            return Err(DataError::BadConfig("label noise requires at least 2 classes".into()));
+            return Err(DataError::BadConfig(
+                "label noise requires at least 2 classes".into(),
+            ));
         }
-        Ok(LabelNoise { inner, flip_p, seed })
+        Ok(LabelNoise {
+            inner,
+            flip_p,
+            seed,
+        })
     }
 }
 
@@ -223,7 +247,11 @@ mod tests {
 
     fn inner() -> GaussianBlobs {
         GaussianBlobs::new(
-            GaussianBlobsConfig { classes: 4, train_per_class: 25, ..Default::default() },
+            GaussianBlobsConfig {
+                classes: 4,
+                train_per_class: 25,
+                ..Default::default()
+            },
             3,
         )
         .unwrap()
@@ -234,8 +262,14 @@ mod tests {
         let d = inner();
         let s = Subset::new(&d, vec![5, 0, 99], vec![2]).unwrap();
         assert_eq!(s.len(Split::Train), 3);
-        assert_eq!(s.sample(Split::Train, 0).unwrap(), d.sample(Split::Train, 5).unwrap());
-        assert_eq!(s.sample(Split::Test, 0).unwrap(), d.sample(Split::Test, 2).unwrap());
+        assert_eq!(
+            s.sample(Split::Train, 0).unwrap(),
+            d.sample(Split::Train, 5).unwrap()
+        );
+        assert_eq!(
+            s.sample(Split::Test, 0).unwrap(),
+            d.sample(Split::Test, 2).unwrap()
+        );
         assert!(s.sample(Split::Train, 3).is_err());
         assert!(Subset::new(&d, vec![100_000], vec![]).is_err());
         assert!(Subset::new(&d, vec![], vec![100_000]).is_err());
@@ -289,7 +323,10 @@ mod tests {
         assert_eq!(m.classes(), d.classes());
         assert_eq!(m.sample_shape(), d.sample_shape());
         for i in [0usize, 7, 42] {
-            assert_eq!(m.sample(Split::Train, i).unwrap(), d.sample(Split::Train, i).unwrap());
+            assert_eq!(
+                m.sample(Split::Train, i).unwrap(),
+                d.sample(Split::Train, i).unwrap()
+            );
         }
         assert!(m.sample(Split::Train, 10_000).is_err());
     }

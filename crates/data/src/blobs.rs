@@ -65,10 +65,14 @@ impl GaussianBlobs {
     /// non-finite scales.
     pub fn new(cfg: GaussianBlobsConfig, seed: u64) -> Result<Self> {
         if cfg.classes == 0 || cfg.features == 0 {
-            return Err(DataError::BadConfig("classes and features must be nonzero".into()));
+            return Err(DataError::BadConfig(
+                "classes and features must be nonzero".into(),
+            ));
         }
         if !(cfg.separation.is_finite() && cfg.noise_std.is_finite() && cfg.noise_std >= 0.0) {
-            return Err(DataError::BadConfig("separation/noise_std must be finite".into()));
+            return Err(DataError::BadConfig(
+                "separation/noise_std must be finite".into(),
+            ));
         }
         let mut rng = StdRng::seed_from_u64(seed ^ 0x1357_9bdf_2468_ace0);
         let centers = (0..cfg.classes)
@@ -165,27 +169,45 @@ mod tests {
     fn determinism_and_split_disjointness() {
         let a = d();
         let b = d();
-        assert_eq!(a.sample(Split::Train, 5).unwrap(), b.sample(Split::Train, 5).unwrap());
-        assert_ne!(a.sample(Split::Train, 0).unwrap().0, a.sample(Split::Test, 0).unwrap().0);
+        assert_eq!(
+            a.sample(Split::Train, 5).unwrap(),
+            b.sample(Split::Train, 5).unwrap()
+        );
+        assert_ne!(
+            a.sample(Split::Train, 0).unwrap().0,
+            a.sample(Split::Test, 0).unwrap().0
+        );
     }
 
     #[test]
     fn samples_cluster_around_their_center() {
         let d = GaussianBlobs::new(
-            GaussianBlobsConfig { separation: 10.0, noise_std: 0.5, ..Default::default() },
+            GaussianBlobsConfig {
+                separation: 10.0,
+                noise_std: 0.5,
+                ..Default::default()
+            },
             3,
         )
         .unwrap();
         for i in 0..d.len(Split::Train) {
             let (x, y) = d.sample(Split::Train, i).unwrap();
-            let own = x.zip(d.center(y).unwrap(), |a, b| (a - b).powi(2)).unwrap().sum();
+            let own = x
+                .zip(d.center(y).unwrap(), |a, b| (a - b).powi(2))
+                .unwrap()
+                .sum();
             for other in 0..d.classes() {
                 if other == y {
                     continue;
                 }
-                let dist =
-                    x.zip(d.center(other).unwrap(), |a, b| (a - b).powi(2)).unwrap().sum();
-                assert!(own < dist, "sample {i} closer to class {other} than its own {y}");
+                let dist = x
+                    .zip(d.center(other).unwrap(), |a, b| (a - b).powi(2))
+                    .unwrap()
+                    .sum();
+                assert!(
+                    own < dist,
+                    "sample {i} closer to class {other} than its own {y}"
+                );
             }
         }
     }
@@ -193,12 +215,18 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(GaussianBlobs::new(
-            GaussianBlobsConfig { classes: 0, ..Default::default() },
+            GaussianBlobsConfig {
+                classes: 0,
+                ..Default::default()
+            },
             0
         )
         .is_err());
         assert!(GaussianBlobs::new(
-            GaussianBlobsConfig { noise_std: f32::NAN, ..Default::default() },
+            GaussianBlobsConfig {
+                noise_std: f32::NAN,
+                ..Default::default()
+            },
             0
         )
         .is_err());

@@ -103,7 +103,10 @@ mod tests {
 
         fn sample(&self, split: Split, index: usize) -> Result<(Tensor, usize)> {
             if index >= self.len(split) {
-                return Err(DataError::IndexOutOfRange { index, len: self.len(split) });
+                return Err(DataError::IndexOutOfRange {
+                    index,
+                    len: self.len(split),
+                });
             }
             let v = index as f32;
             Ok((Tensor::from_vec(Shape::of(&[2]), vec![v, v])?, index % 2))

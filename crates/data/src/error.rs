@@ -52,7 +52,11 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DataError::BadConfig("x".into()).to_string().contains("config"));
-        assert!(DataError::IndexOutOfRange { index: 9, len: 3 }.to_string().contains('9'));
+        assert!(DataError::BadConfig("x".into())
+            .to_string()
+            .contains("config"));
+        assert!(DataError::IndexOutOfRange { index: 9, len: 3 }
+            .to_string()
+            .contains('9'));
     }
 }

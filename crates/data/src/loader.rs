@@ -45,7 +45,13 @@ impl<'a, D: Dataset + ?Sized> BatchIter<'a, D> {
         let mut order: Vec<usize> = (0..dataset.len(split)).collect();
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(epoch));
         order.shuffle(&mut rng);
-        BatchIter { dataset, split, batch_size, order, cursor: 0 }
+        BatchIter {
+            dataset,
+            split,
+            batch_size,
+            order,
+            cursor: 0,
+        }
     }
 
     /// Number of batches this epoch will yield (last one may be short).
@@ -75,7 +81,11 @@ mod tests {
 
     fn data() -> GaussianBlobs {
         GaussianBlobs::new(
-            GaussianBlobsConfig { classes: 2, train_per_class: 10, ..Default::default() },
+            GaussianBlobsConfig {
+                classes: 2,
+                train_per_class: 10,
+                ..Default::default()
+            },
             1,
         )
         .unwrap()

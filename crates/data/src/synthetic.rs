@@ -70,7 +70,9 @@ impl SyntheticImagesConfig {
             )));
         }
         if self.prototype_components == 0 {
-            return Err(DataError::BadConfig("prototype_components must be nonzero".into()));
+            return Err(DataError::BadConfig(
+                "prototype_components must be nonzero".into(),
+            ));
         }
         Ok(())
     }
@@ -141,7 +143,11 @@ impl SyntheticImages {
             }
             prototypes.push(per_channel);
         }
-        Ok(SyntheticImages { cfg, seed, prototypes })
+        Ok(SyntheticImages {
+            cfg,
+            seed,
+            prototypes,
+        })
     }
 
     /// CIFAR-10-sized suite: 10 classes, 3×32×32.
@@ -151,7 +157,11 @@ impl SyntheticImages {
     /// Returns [`DataError::BadConfig`] when per-class counts are zero.
     pub fn cifar10_like(seed: u64, train_per_class: usize, test_per_class: usize) -> Result<Self> {
         Self::new(
-            SyntheticImagesConfig { train_per_class, test_per_class, ..Default::default() },
+            SyntheticImagesConfig {
+                train_per_class,
+                test_per_class,
+                ..Default::default()
+            },
             seed,
         )
     }
@@ -341,7 +351,10 @@ mod tests {
         let cfg = small().cfg;
         let a = SyntheticImages::new(cfg, 1).unwrap();
         let b = SyntheticImages::new(cfg, 2).unwrap();
-        assert_ne!(a.sample(Split::Train, 0).unwrap().0, b.sample(Split::Train, 0).unwrap().0);
+        assert_ne!(
+            a.sample(Split::Train, 0).unwrap().0,
+            b.sample(Split::Train, 0).unwrap().0
+        );
     }
 
     #[test]
@@ -391,16 +404,28 @@ mod tests {
             own += x.dot(&p0).unwrap();
             other += x.dot(&p1).unwrap();
         }
-        assert!(own > other, "class-0 samples should align with prototype 0: {own} vs {other}");
+        assert!(
+            own > other,
+            "class-0 samples should align with prototype 0: {own} vs {other}"
+        );
     }
 
     #[test]
     fn bad_configs_rejected() {
-        let bad = SyntheticImagesConfig { classes: 0, ..Default::default() };
+        let bad = SyntheticImagesConfig {
+            classes: 0,
+            ..Default::default()
+        };
         assert!(SyntheticImages::new(bad, 0).is_err());
-        let bad = SyntheticImagesConfig { max_shift: 32, ..Default::default() };
+        let bad = SyntheticImagesConfig {
+            max_shift: 32,
+            ..Default::default()
+        };
         assert!(SyntheticImages::new(bad, 0).is_err());
-        let bad = SyntheticImagesConfig { noise_std: -1.0, ..Default::default() };
+        let bad = SyntheticImagesConfig {
+            noise_std: -1.0,
+            ..Default::default()
+        };
         assert!(SyntheticImages::new(bad, 0).is_err());
     }
 

@@ -66,15 +66,39 @@ impl Architecture {
             input: Shape::of(&[3, 32, 32]),
             classes,
             layers: vec![
-                LayerSpec::Conv { out: 32, kernel: 5, stride: 1, padding: 2 },
+                LayerSpec::Conv {
+                    out: 32,
+                    kernel: 5,
+                    stride: 1,
+                    padding: 2,
+                },
                 LayerSpec::Relu,
-                LayerSpec::MaxPool { kernel: 2, stride: 2 },
-                LayerSpec::Conv { out: 32, kernel: 5, stride: 1, padding: 2 },
+                LayerSpec::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                },
+                LayerSpec::Conv {
+                    out: 32,
+                    kernel: 5,
+                    stride: 1,
+                    padding: 2,
+                },
                 LayerSpec::Relu,
-                LayerSpec::MaxPool { kernel: 2, stride: 2 },
-                LayerSpec::Conv { out: 64, kernel: 5, stride: 1, padding: 2 },
+                LayerSpec::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                },
+                LayerSpec::Conv {
+                    out: 64,
+                    kernel: 5,
+                    stride: 1,
+                    padding: 2,
+                },
                 LayerSpec::Relu,
-                LayerSpec::MaxPool { kernel: 2, stride: 2 },
+                LayerSpec::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                },
                 LayerSpec::Flatten,
                 LayerSpec::Linear { out: 64 },
                 LayerSpec::Relu,
@@ -89,12 +113,28 @@ impl Architecture {
             input: Shape::of(&[3, 32, 32]),
             classes,
             layers: vec![
-                LayerSpec::Conv { out: 6, kernel: 5, stride: 1, padding: 2 },
+                LayerSpec::Conv {
+                    out: 6,
+                    kernel: 5,
+                    stride: 1,
+                    padding: 2,
+                },
                 LayerSpec::Relu,
-                LayerSpec::MaxPool { kernel: 2, stride: 2 },
-                LayerSpec::Conv { out: 16, kernel: 5, stride: 1, padding: 0 },
+                LayerSpec::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                },
+                LayerSpec::Conv {
+                    out: 16,
+                    kernel: 5,
+                    stride: 1,
+                    padding: 0,
+                },
                 LayerSpec::Relu,
-                LayerSpec::MaxPool { kernel: 2, stride: 2 },
+                LayerSpec::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                },
                 LayerSpec::Flatten,
                 LayerSpec::Linear { out: 120 },
                 LayerSpec::Relu,
@@ -108,20 +148,38 @@ impl Architecture {
     /// (batch-norm variant, 3×32×32 inputs).
     pub fn vgg16(classes: usize) -> Self {
         let mut layers = Vec::new();
-        let blocks: [&[usize]; 5] =
-            [&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+        let blocks: [&[usize]; 5] = [
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256],
+            &[512, 512, 512],
+            &[512, 512, 512],
+        ];
         for block in blocks {
             for &out in block {
-                layers.push(LayerSpec::Conv { out, kernel: 3, stride: 1, padding: 1 });
+                layers.push(LayerSpec::Conv {
+                    out,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                });
                 layers.push(LayerSpec::BatchNorm);
                 layers.push(LayerSpec::Relu);
             }
-            layers.push(LayerSpec::MaxPool { kernel: 2, stride: 2 });
+            layers.push(LayerSpec::MaxPool {
+                kernel: 2,
+                stride: 2,
+            });
         }
         layers.push(LayerSpec::Flatten);
         layers.push(LayerSpec::Linear { out: 512 });
         layers.push(LayerSpec::Relu);
-        Architecture { name: "VGG-16".into(), input: Shape::of(&[3, 32, 32]), classes, layers }
+        Architecture {
+            name: "VGG-16".into(),
+            input: Shape::of(&[3, 32, 32]),
+            classes,
+            layers,
+        }
     }
 
     /// AlexNet adapted to 3×32×32 inputs (the paper's §I motivates the
@@ -132,19 +190,53 @@ impl Architecture {
             input: Shape::of(&[3, 32, 32]),
             classes,
             layers: vec![
-                LayerSpec::Conv { out: 64, kernel: 3, stride: 1, padding: 1 },
+                LayerSpec::Conv {
+                    out: 64,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 LayerSpec::Relu,
-                LayerSpec::MaxPool { kernel: 2, stride: 2 },
-                LayerSpec::Conv { out: 192, kernel: 3, stride: 1, padding: 1 },
+                LayerSpec::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                },
+                LayerSpec::Conv {
+                    out: 192,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 LayerSpec::Relu,
-                LayerSpec::MaxPool { kernel: 2, stride: 2 },
-                LayerSpec::Conv { out: 384, kernel: 3, stride: 1, padding: 1 },
+                LayerSpec::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                },
+                LayerSpec::Conv {
+                    out: 384,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 LayerSpec::Relu,
-                LayerSpec::Conv { out: 256, kernel: 3, stride: 1, padding: 1 },
+                LayerSpec::Conv {
+                    out: 256,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 LayerSpec::Relu,
-                LayerSpec::Conv { out: 256, kernel: 3, stride: 1, padding: 1 },
+                LayerSpec::Conv {
+                    out: 256,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 LayerSpec::Relu,
-                LayerSpec::MaxPool { kernel: 2, stride: 2 },
+                LayerSpec::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                },
                 LayerSpec::Flatten,
                 LayerSpec::Dropout(0.5),
                 LayerSpec::Linear { out: 512 },
@@ -179,7 +271,10 @@ impl Architecture {
     ///
     /// Panics if `ratio` is not positive finite.
     pub fn scaled(&self, ratio: f64) -> Architecture {
-        assert!(ratio.is_finite() && ratio > 0.0, "scale ratio must be positive");
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "scale ratio must be positive"
+        );
         let mut out = self.clone();
         if (ratio - 1.0).abs() > f64::EPSILON {
             out.name = format!("{}@x{ratio}", self.name);
@@ -198,7 +293,10 @@ impl Architecture {
     /// Returns a copy adapted to a different input shape (e.g. smaller
     /// images for CPU-scale experiments).
     pub fn with_input(&self, input: Shape) -> Architecture {
-        Architecture { input, ..self.clone() }
+        Architecture {
+            input,
+            ..self.clone()
+        }
     }
 
     /// Builds a [`SteppingNet`] with `subnets` subnets, seeded weights and
@@ -219,7 +317,12 @@ impl Architecture {
         let mut b = SteppingNetBuilder::new(spec.input.clone(), subnets, seed);
         for l in &spec.layers {
             b = match *l {
-                LayerSpec::Conv { out, kernel, stride, padding } => b.conv(out, kernel, stride, padding),
+                LayerSpec::Conv {
+                    out,
+                    kernel,
+                    stride,
+                    padding,
+                } => b.conv(out, kernel, stride, padding),
                 LayerSpec::Linear { out } => b.linear(out),
                 LayerSpec::Relu => b.relu(),
                 LayerSpec::MaxPool { kernel, stride } => b.max_pool(kernel, stride),
@@ -235,23 +338,34 @@ impl Architecture {
     /// layers plus the classifier) — the denominator of the paper's
     /// `M_i / M_t` ratios.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the architecture geometry is inconsistent (a construction
-    /// bug, not a runtime condition).
-    pub fn reference_macs(&self) -> u64 {
+    /// Returns [`SteppingError::BadConfig`] for inconsistent geometry: an
+    /// input that is not rank 1 or 3, an impossible conv/pool geometry, a
+    /// linear layer before flattening, or an image-shaped output.
+    pub fn reference_macs(&self) -> Result<u64> {
         let mut total = 0u64;
         let dims = self.input.dims();
         let (mut c, mut h, mut w, mut flat) = match dims {
             [c, h, w] => (*c, *h, *w, None),
             [f] => (0, 0, 0, Some(*f)),
-            _ => panic!("architecture input must be [c, h, w] or [features]"),
+            _ => {
+                return Err(SteppingError::BadConfig(format!(
+                    "architecture input must be [c, h, w] or [features], got {}",
+                    self.input
+                )))
+            }
         };
         for l in &self.layers {
             match *l {
-                LayerSpec::Conv { out, kernel, stride, padding } => {
+                LayerSpec::Conv {
+                    out,
+                    kernel,
+                    stride,
+                    padding,
+                } => {
                     let geom = ConvGeometry::new(c, h, w, kernel, kernel, stride, padding)
-                        .expect("conv geometry must be valid");
+                        .map_err(|e| SteppingError::BadConfig(format!("conv geometry: {e}")))?;
                     total += geom.macs(out);
                     c = out;
                     h = geom.out_h;
@@ -259,7 +373,7 @@ impl Architecture {
                 }
                 LayerSpec::MaxPool { kernel, stride } => {
                     let geom = ConvGeometry::new(c, h, w, kernel, kernel, stride, 0)
-                        .expect("pool geometry must be valid");
+                        .map_err(|e| SteppingError::BadConfig(format!("pool geometry: {e}")))?;
                     h = geom.out_h;
                     w = geom.out_w;
                 }
@@ -267,23 +381,34 @@ impl Architecture {
                     flat = Some(c * h * w);
                 }
                 LayerSpec::Linear { out } => {
-                    let f = flat.expect("linear requires flatten first");
+                    let f = flat.ok_or_else(|| {
+                        SteppingError::BadConfig("linear requires flatten first".into())
+                    })?;
                     total += (f * out) as u64;
                     flat = Some(out);
                 }
                 LayerSpec::Relu | LayerSpec::BatchNorm | LayerSpec::Dropout(_) => {}
             }
         }
-        let f = flat.expect("architecture must end flat");
-        total + (f * self.classes) as u64
+        let f = flat.ok_or_else(|| {
+            SteppingError::BadConfig("architecture must end flat (missing Flatten?)".into())
+        })?;
+        Ok(total + (f * self.classes) as u64)
     }
 
     /// Absolute MAC budgets from fractions of
     /// [`reference_macs`](Architecture::reference_macs), e.g. Table I's
     /// `10 %/30 %/50 %/85 %`.
-    pub fn mac_targets(&self, fractions: &[f64]) -> Vec<u64> {
-        let reference = self.reference_macs();
-        fractions.iter().map(|f| (reference as f64 * f).round() as u64).collect()
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`reference_macs`](Architecture::reference_macs) errors.
+    pub fn mac_targets(&self, fractions: &[f64]) -> Result<Vec<u64>> {
+        let reference = self.reference_macs()?;
+        Ok(fractions
+            .iter()
+            .map(|f| (reference as f64 * f).round() as u64)
+            .collect())
     }
 }
 
@@ -300,13 +425,16 @@ mod tests {
         // fc: 16*6*6=576 → 120 → 84 → 10
         let fc = 576 * 120 + 120 * 84 + 84 * 10;
         let arch = Architecture::lenet5(10);
-        assert_eq!(arch.reference_macs(), (conv1 + conv2 + fc) as u64);
+        assert_eq!(arch.reference_macs().unwrap(), (conv1 + conv2 + fc) as u64);
     }
 
     #[test]
     fn mlp_reference_macs() {
         let arch = Architecture::mlp(8, &[16, 4], 3);
-        assert_eq!(arch.reference_macs(), (8 * 16 + 16 * 4 + 4 * 3) as u64);
+        assert_eq!(
+            arch.reference_macs().unwrap(),
+            (8 * 16 + 16 * 4 + 4 * 3) as u64
+        );
     }
 
     #[test]
@@ -315,20 +443,30 @@ mod tests {
         let b = a.scaled(2.0);
         match (&a.layers[0], &b.layers[0]) {
             (
-                LayerSpec::Conv { out: o1, kernel: k1, .. },
-                LayerSpec::Conv { out: o2, kernel: k2, .. },
+                LayerSpec::Conv {
+                    out: o1,
+                    kernel: k1,
+                    ..
+                },
+                LayerSpec::Conv {
+                    out: o2,
+                    kernel: k2,
+                    ..
+                },
             ) => {
                 assert_eq!(*o2, o1 * 2);
                 assert_eq!(k1, k2);
             }
             _ => unreachable!(),
         }
-        assert!(b.reference_macs() > a.reference_macs() * 2);
+        assert!(b.reference_macs().unwrap() > a.reference_macs().unwrap() * 2);
     }
 
     #[test]
     fn build_produces_working_network() {
-        let arch = Architecture::lenet_3c1l(10).with_input(Shape::of(&[3, 8, 8])).scaled(0.25);
+        let arch = Architecture::lenet_3c1l(10)
+            .with_input(Shape::of(&[3, 8, 8]))
+            .scaled(0.25);
         let mut net = arch.build(3, 0, 1.8).unwrap();
         assert_eq!(net.subnet_count(), 3);
         let x = stepping_tensor::Tensor::zeros(Shape::of(&[2, 3, 8, 8]));
@@ -343,25 +481,28 @@ mod tests {
         let net1 = arch.build(2, 0, 1.0).unwrap();
         let net2 = arch.build(2, 0, 2.0).unwrap();
         assert!(net2.full_macs() > net1.full_macs());
-        assert_eq!(net1.full_macs(), arch.reference_macs());
+        assert_eq!(net1.full_macs(), arch.reference_macs().unwrap());
     }
 
     #[test]
     fn mac_targets_scale_with_fractions() {
         let arch = Architecture::mlp(10, &[20], 4);
-        let t = arch.mac_targets(&[0.1, 0.5, 1.0]);
-        assert_eq!(t[2], arch.reference_macs());
+        let t = arch.mac_targets(&[0.1, 0.5, 1.0]).unwrap();
+        assert_eq!(t[2], arch.reference_macs().unwrap());
         assert!(t[0] < t[1] && t[1] < t[2]);
     }
 
     #[test]
     fn vgg16_has_thirteen_convs() {
         let arch = Architecture::vgg16(100);
-        let convs =
-            arch.layers.iter().filter(|l| matches!(l, LayerSpec::Conv { .. })).count();
+        let convs = arch
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Conv { .. }))
+            .count();
         assert_eq!(convs, 13);
         // full VGG-16 on 32x32 ≈ 313M + classifier MACs; sanity band
-        let m = arch.reference_macs();
+        let m = arch.reference_macs().unwrap();
         assert!(m > 300_000_000 && m < 350_000_000, "macs {m}");
     }
 
@@ -375,7 +516,7 @@ mod tests {
         // 5 convs + 2 fcs before the head
         let masked = net.masked_stage_indices().len();
         assert_eq!(masked, 7);
-        assert!(arch.reference_macs() > 0);
+        assert!(arch.reference_macs().unwrap() > 0);
     }
 
     #[test]
@@ -383,5 +524,37 @@ mod tests {
         let arch = Architecture::mlp(4, &[8], 2);
         assert!(arch.build(2, 0, 0.0).is_err());
         assert!(arch.build(2, 0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn inconsistent_geometry_is_a_typed_error_not_a_panic() {
+        // rank-2 input
+        let arch = Architecture::mlp(4, &[8], 2).with_input(Shape::of(&[4, 4]));
+        assert!(matches!(
+            arch.reference_macs(),
+            Err(SteppingError::BadConfig(_))
+        ));
+        // linear before flatten on an image pipeline
+        let arch = Architecture {
+            name: "broken".into(),
+            input: Shape::of(&[3, 8, 8]),
+            classes: 2,
+            layers: vec![LayerSpec::Linear { out: 4 }],
+        };
+        assert!(matches!(
+            arch.reference_macs(),
+            Err(SteppingError::BadConfig(_))
+        ));
+        // image pipeline that never flattens
+        let arch = Architecture {
+            name: "broken".into(),
+            input: Shape::of(&[3, 8, 8]),
+            classes: 2,
+            layers: vec![LayerSpec::Relu],
+        };
+        assert!(matches!(
+            arch.mac_targets(&[0.5]),
+            Err(SteppingError::BadConfig(_))
+        ));
     }
 }

@@ -23,7 +23,7 @@
 //! let arch = Architecture::lenet5(10).scaled(0.25); // CPU-sized variant
 //! let net = arch.build(4, 0, 2.0)?; // 4 subnets, expansion ratio 2.0
 //! assert_eq!(net.classes(), 10);
-//! assert!(net.full_macs() > arch.reference_macs()); // expanded > original
+//! assert!(net.full_macs() > arch.reference_macs()?); // expanded > original
 //! # Ok::<(), stepping_core::SteppingError>(())
 //! ```
 

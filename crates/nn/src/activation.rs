@@ -4,8 +4,9 @@ use crate::{Layer, NnError, Result};
 
 macro_rules! check_backward_shape {
     ($cached:expr, $grad:expr, $name:literal) => {{
-        let cached =
-            $cached.as_ref().ok_or(NnError::BackwardBeforeForward { layer: $name })?;
+        let cached = $cached
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: $name })?;
         if cached.shape() != $grad.shape() {
             return Err(NnError::BadInput(format!(
                 concat!($name, " backward expects {}, got {}"),
@@ -71,7 +72,9 @@ pub struct Tanh {
 impl Tanh {
     /// Creates a tanh layer.
     pub fn new() -> Self {
-        Tanh { cached_output: None }
+        Tanh {
+            cached_output: None,
+        }
     }
 }
 
@@ -105,7 +108,9 @@ pub struct Sigmoid {
 impl Sigmoid {
     /// Creates a sigmoid layer.
     pub fn new() -> Self {
-        Sigmoid { cached_output: None }
+        Sigmoid {
+            cached_output: None,
+        }
     }
 }
 
@@ -159,10 +164,9 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = input.clone();
             xm.data_mut()[i] -= eps;
-            let num =
-                (Tanh::new().forward(&xp, true).unwrap().sum()
-                    - Tanh::new().forward(&xm, true).unwrap().sum())
-                    / (2.0 * eps);
+            let num = (Tanh::new().forward(&xp, true).unwrap().sum()
+                - Tanh::new().forward(&xm, true).unwrap().sum())
+                / (2.0 * eps);
             assert!((num - g.data()[i]).abs() < 1e-3);
         }
     }

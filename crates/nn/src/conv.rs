@@ -59,7 +59,16 @@ impl Conv2d {
             rng,
         ));
         let bias = Param::new(Tensor::zeros(Shape::of(&[out_channels])));
-        Conv2d { in_channels, out_channels, kernel, stride, padding, weight, bias, cached: None }
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight,
+            bias,
+            cached: None,
+        }
     }
 
     /// Input channel count.
@@ -129,7 +138,10 @@ impl Conv2d {
     }
 
     fn weight_flat(&self) -> Result<Tensor> {
-        Ok(self.weight.value.reshape(Shape::of(&[self.out_channels, self.patch_len()]))?)
+        Ok(self
+            .weight
+            .value
+            .reshape(Shape::of(&[self.out_channels, self.patch_len()]))?)
     }
 }
 
@@ -189,13 +201,19 @@ impl Layer for Conv2d {
         let mut out_mat = matmul::matmul_bt(&cols, &wflat)?;
         out_mat.add_rowwise(&self.bias.value)?;
         let out = mat_to_nchw(&out_mat, n, self.out_channels, geom.out_h, geom.out_w);
-        self.cached = Some(CachedForward { cols, geom, batch: n });
+        self.cached = Some(CachedForward {
+            cols,
+            geom,
+            batch: n,
+        });
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let cached =
-            self.cached.as_ref().ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?;
+        let cached = self
+            .cached
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?;
         let (n, geom) = (cached.batch, cached.geom);
         if grad_out.shape().dims() != [n, self.out_channels, geom.out_h, geom.out_w] {
             return Err(NnError::BadInput(format!(
@@ -228,7 +246,12 @@ impl Layer for Conv2d {
             return None;
         }
         let geom = self.geometry(d[2], d[3]).ok()?;
-        Some(Shape::of(&[d[0], self.out_channels, geom.out_h, geom.out_w]))
+        Some(Shape::of(&[
+            d[0],
+            self.out_channels,
+            geom.out_h,
+            geom.out_w,
+        ]))
     }
 }
 
@@ -261,7 +284,10 @@ mod tests {
     fn channel_ordering_is_nchw() {
         // 2 output channels with distinct constant kernels must fill separate planes.
         let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng(0));
-        conv.weight_mut().value.data_mut().copy_from_slice(&[1.0, 10.0]);
+        conv.weight_mut()
+            .value
+            .data_mut()
+            .copy_from_slice(&[1.0, 10.0]);
         let x = Tensor::from_vec(Shape::of(&[1, 1, 1, 2]), vec![1.0, 2.0]).unwrap();
         let y = conv.forward(&x, true).unwrap();
         assert_eq!(y.shape().dims(), &[1, 2, 1, 2]);
@@ -298,7 +324,11 @@ mod tests {
             let lp = conv.forward(&xp, true).unwrap().sum();
             let lm = conv.forward(&xm, true).unwrap().sum();
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - dx.data()[idx]).abs() < 0.05, "x[{idx}]: {num} vs {}", dx.data()[idx]);
+            assert!(
+                (num - dx.data()[idx]).abs() < 0.05,
+                "x[{idx}]: {num} vs {}",
+                dx.data()[idx]
+            );
         }
     }
 
@@ -312,7 +342,11 @@ mod tests {
     #[test]
     fn rejects_wrong_channels_and_backward_before_forward() {
         let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng(0));
-        assert!(conv.forward(&Tensor::zeros(Shape::of(&[1, 2, 8, 8])), true).is_err());
-        assert!(conv.backward(&Tensor::zeros(Shape::of(&[1, 4, 8, 8]))).is_err());
+        assert!(conv
+            .forward(&Tensor::zeros(Shape::of(&[1, 2, 8, 8])), true)
+            .is_err());
+        assert!(conv
+            .backward(&Tensor::zeros(Shape::of(&[1, 4, 8, 8])))
+            .is_err());
     }
 }

@@ -22,8 +22,15 @@ impl Dropout {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
-        Dropout { p, rng: init::rng(seed), cached_mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            rng: init::rng(seed),
+            cached_mask: None,
+        }
     }
 
     /// The drop probability.

@@ -23,7 +23,9 @@ pub struct Flatten {
 impl Flatten {
     /// Creates a flatten layer.
     pub fn new() -> Self {
-        Flatten { cached_in_shape: None }
+        Flatten {
+            cached_in_shape: None,
+        }
     }
 }
 

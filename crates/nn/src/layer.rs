@@ -43,7 +43,11 @@ impl Param {
     /// Wraps a value tensor with a zeroed gradient and uniform LR.
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().clone());
-        Param { value, grad, lr: ParamLr::Uniform }
+        Param {
+            value,
+            grad,
+            lr: ParamLr::Uniform,
+        }
     }
 
     /// Zeroes the accumulated gradient.

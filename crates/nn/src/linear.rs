@@ -29,10 +29,19 @@ pub struct Linear {
 impl Linear {
     /// Creates a layer with Kaiming-initialised weights and zero bias.
     pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
-        let weight =
-            Param::new(init::kaiming(Shape::of(&[out_features, in_features]), in_features, rng));
+        let weight = Param::new(init::kaiming(
+            Shape::of(&[out_features, in_features]),
+            in_features,
+            rng,
+        ));
         let bias = Param::new(Tensor::zeros(Shape::of(&[out_features])));
-        Linear { in_features, out_features, weight, bias, cached_input: None }
+        Linear {
+            in_features,
+            out_features,
+            weight,
+            bias,
+            cached_input: None,
+        }
     }
 
     /// Creates a layer from explicit weight (`[out, in]`) and bias (`[out]`).
@@ -198,7 +207,9 @@ mod tests {
     #[test]
     fn forward_rejects_wrong_width() {
         let mut fc = Linear::new(3, 2, &mut rng(0));
-        assert!(fc.forward(&Tensor::zeros(Shape::of(&[1, 4])), true).is_err());
+        assert!(fc
+            .forward(&Tensor::zeros(Shape::of(&[1, 4])), true)
+            .is_err());
         assert!(fc.forward(&Tensor::zeros(Shape::of(&[3])), true).is_err());
     }
 
@@ -232,7 +243,10 @@ mod tests {
     #[test]
     fn output_shape_static() {
         let fc = Linear::new(3, 2, &mut rng(0));
-        assert_eq!(fc.output_shape(&Shape::of(&[7, 3])), Some(Shape::of(&[7, 2])));
+        assert_eq!(
+            fc.output_shape(&Shape::of(&[7, 3])),
+            Some(Shape::of(&[7, 2]))
+        );
         assert_eq!(fc.output_shape(&Shape::of(&[7, 4])), None);
     }
 }

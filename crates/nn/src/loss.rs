@@ -20,10 +20,15 @@ fn check_targets(logits: &Tensor, targets: &[usize]) -> Result<(usize, usize)> {
     }
     let (n, c) = (logits.shape().dims()[0], logits.shape().dims()[1]);
     if targets.len() != n {
-        return Err(NnError::BadTarget(format!("{} targets for {n} samples", targets.len())));
+        return Err(NnError::BadTarget(format!(
+            "{} targets for {n} samples",
+            targets.len()
+        )));
     }
     if let Some(&bad) = targets.iter().find(|&&t| t >= c) {
-        return Err(NnError::BadTarget(format!("target class {bad} out of range for {c} classes")));
+        return Err(NnError::BadTarget(format!(
+            "target class {bad} out of range for {c} classes"
+        )));
     }
     if n == 0 {
         return Err(NnError::BadTarget("empty batch".into()));
@@ -126,7 +131,9 @@ pub fn distillation(
     gamma: f32,
 ) -> Result<(f32, Tensor)> {
     if !(0.0..=1.0).contains(&gamma) {
-        return Err(NnError::BadHyperParameter(format!("gamma {gamma} must be in [0, 1]")));
+        return Err(NnError::BadHyperParameter(format!(
+            "gamma {gamma} must be in [0, 1]"
+        )));
     }
     let (ce, ce_grad) = cross_entropy(student_logits, targets)?;
     let (kl, kl_grad) = kl_divergence(teacher_probs, student_logits)?;
@@ -231,8 +238,8 @@ mod tests {
     #[test]
     fn distillation_interpolates_between_ce_and_kl() {
         let student = uniform(Shape::of(&[2, 4]), -1.0, 1.0, &mut rng(5));
-        let teacher = reduce::softmax_rows(&uniform(Shape::of(&[2, 4]), -1.0, 1.0, &mut rng(6)))
-            .unwrap();
+        let teacher =
+            reduce::softmax_rows(&uniform(Shape::of(&[2, 4]), -1.0, 1.0, &mut rng(6))).unwrap();
         let targets = [0usize, 2];
         let (ce, _) = cross_entropy(&student, &targets).unwrap();
         let (kl, _) = kl_divergence(&teacher, &student).unwrap();

@@ -33,7 +33,11 @@ pub fn accuracy(logits: &Tensor, targets: &[usize]) -> Result<f32> {
     if preds.is_empty() {
         return Err(NnError::BadTarget("empty batch".into()));
     }
-    let correct = preds.iter().zip(targets.iter()).filter(|(p, t)| p == t).count();
+    let correct = preds
+        .iter()
+        .zip(targets.iter())
+        .filter(|(p, t)| p == t)
+        .count();
     Ok(correct as f32 / preds.len() as f32)
 }
 
@@ -55,14 +59,20 @@ pub fn predictions(logits: &Tensor) -> Result<Vec<usize>> {
 /// count, or for target/batch mismatches.
 pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> Result<f32> {
     if logits.shape().rank() != 2 {
-        return Err(NnError::BadTarget(format!("logits must be [n, classes], got {}", logits.shape())));
+        return Err(NnError::BadTarget(format!(
+            "logits must be [n, classes], got {}",
+            logits.shape()
+        )));
     }
     let (n, c) = (logits.shape().dims()[0], logits.shape().dims()[1]);
     if k == 0 || k > c {
         return Err(NnError::BadTarget(format!("k {k} must be in 1..={c}")));
     }
     if targets.len() != n || n == 0 {
-        return Err(NnError::BadTarget(format!("{} targets for {n} samples", targets.len())));
+        return Err(NnError::BadTarget(format!(
+            "{} targets for {n} samples",
+            targets.len()
+        )));
     }
     let mut correct = 0;
     for (i, &t) in targets.iter().enumerate() {
@@ -84,7 +94,11 @@ pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> Result<f3
 ///
 /// Returns [`NnError::BadTarget`] for target/batch mismatches or
 /// out-of-range classes.
-pub fn confusion_matrix(logits: &Tensor, targets: &[usize], classes: usize) -> Result<Vec<Vec<u32>>> {
+pub fn confusion_matrix(
+    logits: &Tensor,
+    targets: &[usize],
+    classes: usize,
+) -> Result<Vec<Vec<u32>>> {
     let preds = predictions(logits)?;
     if preds.len() != targets.len() {
         return Err(NnError::BadTarget(format!(
@@ -96,7 +110,9 @@ pub fn confusion_matrix(logits: &Tensor, targets: &[usize], classes: usize) -> R
     let mut m = vec![vec![0u32; classes]; classes];
     for (&p, &t) in preds.iter().zip(targets.iter()) {
         if t >= classes || p >= classes {
-            return Err(NnError::BadTarget(format!("class out of range: target {t}, pred {p}")));
+            return Err(NnError::BadTarget(format!(
+                "class out of range: target {t}, pred {p}"
+            )));
         }
         m[t][p] += 1;
     }

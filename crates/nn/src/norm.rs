@@ -100,12 +100,19 @@ impl BatchNormCore {
                 }
             }
         }
-        self.cached = Some(CachedNorm { xhat, inv_std, train });
+        self.cached = Some(CachedNorm {
+            xhat,
+            inv_std,
+            train,
+        });
         Ok(out)
     }
 
     fn backward_mat(&mut self, dy: &Tensor, layer: &'static str) -> Result<Tensor> {
-        let cached = self.cached.as_ref().ok_or(NnError::BackwardBeforeForward { layer })?;
+        let cached = self
+            .cached
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer })?;
         if dy.shape() != cached.xhat.shape() {
             return Err(NnError::BadInput(format!(
                 "batch norm backward expects {}, got {}",
@@ -132,8 +139,7 @@ impl BatchNormCore {
                     let term = mf * dy.data()[idx]
                         - dbeta.data()[j]
                         - cached.xhat.data()[idx] * dgamma.data()[j];
-                    dxd[idx] =
-                        self.gamma.value.data()[j] * cached.inv_std.data()[j] / mf * term;
+                    dxd[idx] = self.gamma.value.data()[j] * cached.inv_std.data()[j] / mf * term;
                 }
             }
         } else {
@@ -163,7 +169,9 @@ pub struct BatchNorm1d {
 impl BatchNorm1d {
     /// Creates a batch-norm layer over `features` columns.
     pub fn new(features: usize) -> Self {
-        BatchNorm1d { core: BatchNormCore::new(features) }
+        BatchNorm1d {
+            core: BatchNormCore::new(features),
+        }
     }
 
     /// Number of normalised features.
@@ -215,7 +223,10 @@ impl BatchNorm1d {
     ///
     /// Panics if the feature counts differ.
     pub fn clone_stats_from(&mut self, other: &BatchNorm1d) {
-        assert_eq!(self.core.features, other.core.features, "feature count mismatch");
+        assert_eq!(
+            self.core.features, other.core.features,
+            "feature count mismatch"
+        );
         self.core.gamma.value = other.core.gamma.value.clone();
         self.core.beta.value = other.core.beta.value.clone();
         self.core.running_mean = other.core.running_mean.clone();
@@ -262,7 +273,10 @@ pub struct BatchNorm2d {
 impl BatchNorm2d {
     /// Creates a batch-norm layer over `channels`.
     pub fn new(channels: usize) -> Self {
-        BatchNorm2d { core: BatchNormCore::new(channels), cached_dims: None }
+        BatchNorm2d {
+            core: BatchNormCore::new(channels),
+            cached_dims: None,
+        }
     }
 
     /// Number of normalised channels.
@@ -364,13 +378,16 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let d = self
-            .cached_dims
-            .ok_or(NnError::BackwardBeforeForward { layer: "BatchNorm2d" })?;
+        let d = self.cached_dims.ok_or(NnError::BackwardBeforeForward {
+            layer: "BatchNorm2d",
+        })?;
         if grad_out.shape().dims() != d {
             return Err(NnError::BadInput(format!(
                 "batch norm 2d backward expects [{}, {}, {}, {}], got {}",
-                d[0], d[1], d[2], d[3],
+                d[0],
+                d[1],
+                d[2],
+                d[3],
                 grad_out.shape()
             )));
         }
@@ -470,8 +487,12 @@ mod tests {
     #[test]
     fn train_requires_two_samples() {
         let mut bn = BatchNorm1d::new(2);
-        assert!(bn.forward(&Tensor::zeros(Shape::of(&[1, 2])), true).is_err());
-        assert!(bn.forward(&Tensor::zeros(Shape::of(&[1, 2])), false).is_ok());
+        assert!(bn
+            .forward(&Tensor::zeros(Shape::of(&[1, 2])), true)
+            .is_err());
+        assert!(bn
+            .forward(&Tensor::zeros(Shape::of(&[1, 2])), false)
+            .is_ok());
     }
 
     #[test]

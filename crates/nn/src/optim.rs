@@ -52,17 +52,26 @@ impl Sgd {
     /// `momentum` outside `[0, 1)`, or negative `weight_decay`.
     pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Result<Self> {
         if !(lr.is_finite() && lr > 0.0) {
-            return Err(NnError::BadHyperParameter(format!("lr {lr} must be positive")));
+            return Err(NnError::BadHyperParameter(format!(
+                "lr {lr} must be positive"
+            )));
         }
         if !(0.0..1.0).contains(&momentum) {
-            return Err(NnError::BadHyperParameter(format!("momentum {momentum} must be in [0, 1)")));
+            return Err(NnError::BadHyperParameter(format!(
+                "momentum {momentum} must be in [0, 1)"
+            )));
         }
         if weight_decay < 0.0 {
             return Err(NnError::BadHyperParameter(format!(
                 "weight decay {weight_decay} must be non-negative"
             )));
         }
-        Ok(Sgd { lr, momentum, weight_decay, velocity: Vec::new() })
+        Ok(Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        })
     }
 
     /// Current base learning rate.
@@ -77,7 +86,9 @@ impl Sgd {
     /// Returns [`NnError::BadHyperParameter`] if `lr` is not positive finite.
     pub fn set_lr(&mut self, lr: f32) -> Result<()> {
         if !(lr.is_finite() && lr > 0.0) {
-            return Err(NnError::BadHyperParameter(format!("lr {lr} must be positive")));
+            return Err(NnError::BadHyperParameter(format!(
+                "lr {lr} must be positive"
+            )));
         }
         self.lr = lr;
         Ok(())
@@ -140,9 +151,19 @@ impl Adam {
     /// Returns [`NnError::BadHyperParameter`] if `lr` is not positive finite.
     pub fn new(lr: f32) -> Result<Self> {
         if !(lr.is_finite() && lr > 0.0) {
-            return Err(NnError::BadHyperParameter(format!("lr {lr} must be positive")));
+            return Err(NnError::BadHyperParameter(format!(
+                "lr {lr} must be positive"
+            )));
         }
-        Ok(Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() })
+        Ok(Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        })
     }
 
     /// Current base learning rate.

@@ -42,7 +42,11 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// Creates a max-pool layer with square `kernel` and `stride`.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        MaxPool2d { kernel, stride, cached_argmax: None }
+        MaxPool2d {
+            kernel,
+            stride,
+            cached_argmax: None,
+        }
     }
 }
 
@@ -125,7 +129,11 @@ pub struct AvgPool2d {
 impl AvgPool2d {
     /// Creates an average-pool layer with square `kernel` and `stride`.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        AvgPool2d { kernel, stride, cached_in_shape: None }
+        AvgPool2d {
+            kernel,
+            stride,
+            cached_in_shape: None,
+        }
     }
 }
 
@@ -238,7 +246,9 @@ mod tests {
         let mut p = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec(Shape::of(&[1, 1, 2, 2]), vec![1., 5., 3., 2.]).unwrap();
         p.forward(&x, true).unwrap();
-        let g = p.backward(&Tensor::from_vec(Shape::of(&[1, 1, 1, 1]), vec![2.0]).unwrap()).unwrap();
+        let g = p
+            .backward(&Tensor::from_vec(Shape::of(&[1, 1, 1, 1]), vec![2.0]).unwrap())
+            .unwrap();
         assert_eq!(g.data(), &[0., 2., 0., 0.]);
     }
 
@@ -248,7 +258,9 @@ mod tests {
         let x = Tensor::from_vec(Shape::of(&[1, 1, 2, 2]), vec![1., 2., 3., 6.]).unwrap();
         let y = p.forward(&x, true).unwrap();
         assert_eq!(y.data(), &[3.0]);
-        let g = p.backward(&Tensor::from_vec(Shape::of(&[1, 1, 1, 1]), vec![4.0]).unwrap()).unwrap();
+        let g = p
+            .backward(&Tensor::from_vec(Shape::of(&[1, 1, 1, 1]), vec![4.0]).unwrap())
+            .unwrap();
         assert_eq!(g.data(), &[1., 1., 1., 1.]);
     }
 
@@ -268,9 +280,13 @@ mod tests {
     fn errors_on_bad_rank_and_premature_backward() {
         let mut p = MaxPool2d::new(2, 2);
         assert!(p.forward(&Tensor::zeros(Shape::of(&[2, 2])), true).is_err());
-        assert!(p.backward(&Tensor::zeros(Shape::of(&[1, 1, 1, 1]))).is_err());
+        assert!(p
+            .backward(&Tensor::zeros(Shape::of(&[1, 1, 1, 1])))
+            .is_err());
         let mut a = AvgPool2d::new(2, 2);
-        assert!(a.backward(&Tensor::zeros(Shape::of(&[1, 1, 1, 1]))).is_err());
+        assert!(a
+            .backward(&Tensor::zeros(Shape::of(&[1, 1, 1, 1])))
+            .is_err());
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! training loops apply them via [`Sgd::set_lr`](crate::optim::Sgd::set_lr).
 
 /// A learning-rate schedule: multiplier per epoch.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LrSchedule {
     /// Constant learning rate.
+    #[default]
     Constant,
     /// Multiply by `factor` every epoch (`factor ∈ (0, 1]`).
     Exponential {
@@ -20,12 +21,6 @@ pub enum LrSchedule {
         /// Epochs between decays.
         every: usize,
     },
-}
-
-impl Default for LrSchedule {
-    fn default() -> Self {
-        LrSchedule::Constant
-    }
 }
 
 impl LrSchedule {
@@ -45,13 +40,10 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant => 1.0,
             LrSchedule::Exponential { factor } => factor.powi(epoch as i32),
-            LrSchedule::Step { factor, every } => {
-                if every == 0 {
-                    1.0
-                } else {
-                    factor.powi((epoch / every) as i32)
-                }
-            }
+            LrSchedule::Step { factor, every } => match epoch.checked_div(every) {
+                Some(steps) => factor.powi(steps as i32),
+                None => 1.0,
+            },
         }
     }
 
@@ -86,13 +78,23 @@ mod tests {
 
     #[test]
     fn step_holds_between_decays() {
-        let s = LrSchedule::Step { factor: 0.1, every: 3 };
+        let s = LrSchedule::Step {
+            factor: 0.1,
+            every: 3,
+        };
         assert_eq!(s.multiplier(2), 1.0);
         assert!((s.multiplier(3) - 0.1).abs() < 1e-7);
         assert!((s.multiplier(5) - 0.1).abs() < 1e-7);
         assert!((s.multiplier(6) - 0.01).abs() < 1e-8);
         // degenerate `every = 0` never decays rather than panicking
-        assert_eq!(LrSchedule::Step { factor: 0.5, every: 0 }.multiplier(9), 1.0);
+        assert_eq!(
+            LrSchedule::Step {
+                factor: 0.5,
+                every: 0
+            }
+            .multiplier(9),
+            1.0
+        );
     }
 
     #[test]
@@ -100,7 +102,11 @@ mod tests {
         assert!(LrSchedule::Constant.is_valid());
         assert!(LrSchedule::Exponential { factor: 1.0 }.is_valid());
         assert!(!LrSchedule::Exponential { factor: 0.0 }.is_valid());
-        assert!(!LrSchedule::Step { factor: 1.5, every: 2 }.is_valid());
+        assert!(!LrSchedule::Step {
+            factor: 1.5,
+            every: 2
+        }
+        .is_valid());
         assert!(!LrSchedule::Exponential { factor: f32::NAN }.is_valid());
     }
 }

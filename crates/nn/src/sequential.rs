@@ -98,7 +98,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn output_shape(&self, input: &Shape) -> Option<Shape> {
@@ -157,7 +160,10 @@ mod tests {
     #[test]
     fn output_shape_composes() {
         let n = net();
-        assert_eq!(n.output_shape(&Shape::of(&[7, 3])), Some(Shape::of(&[7, 2])));
+        assert_eq!(
+            n.output_shape(&Shape::of(&[7, 3])),
+            Some(Shape::of(&[7, 2]))
+        );
         assert_eq!(n.output_shape(&Shape::of(&[7, 9])), None);
     }
 

@@ -17,8 +17,12 @@ fn check_input_grad(
     probes: &[usize],
     tol: f32,
 ) -> Result<(), TestCaseError> {
-    layer.forward(x, true).map_err(|e| TestCaseError::fail(e.to_string()))?;
-    let dx = layer.backward(dy).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    layer
+        .forward(x, true)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let dx = layer
+        .backward(dy)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
     let eps = 1e-2f32;
     for &i in probes {
         let i = i % x.len();

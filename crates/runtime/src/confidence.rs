@@ -100,7 +100,8 @@ mod tests {
             .relu()
             .build(3)
             .unwrap();
-        n.move_neurons(&[(0, 8, 1), (0, 9, 1), (0, 10, 2), (0, 11, 2)]).unwrap();
+        n.move_neurons(&[(0, 8, 1), (0, 9, 1), (0, 10, 2), (0, 11, 2)])
+            .unwrap();
         n
     }
 

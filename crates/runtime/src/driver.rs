@@ -60,7 +60,10 @@ pub struct DriveOutcome {
 pub fn expand_macs(net: &SteppingNet, subnet: usize, prune_threshold: f32) -> Result<u64> {
     let next = subnet + 1;
     if next >= net.subnet_count() {
-        return Err(SteppingError::SubnetOutOfRange { subnet: next, count: net.subnet_count() });
+        return Err(SteppingError::SubnetOutOfRange {
+            subnet: next,
+            count: net.subnet_count(),
+        });
     }
     let mut total = net.head_macs(next);
     for si in net.masked_stage_indices() {
@@ -92,7 +95,9 @@ pub fn drive(
     prune_threshold: f32,
 ) -> Result<DriveOutcome> {
     if trace.is_empty() {
-        return Err(SteppingError::BadConfig("resource trace must be non-empty".into()));
+        return Err(SteppingError::BadConfig(
+            "resource trace must be non-empty".into(),
+        ));
     }
     let subnet_count = net.subnet_count();
     let base_cost = net.macs(0, prune_threshold);
@@ -119,7 +124,11 @@ pub fn drive(
         while next_step < subnet_count && bank >= step_cost[next_step] {
             bank -= step_cost[next_step];
             spent += step_cost[next_step];
-            let step = if next_step == 0 { exec.begin(input)? } else { exec.expand()? };
+            let step = if next_step == 0 {
+                exec.begin(input)?
+            } else {
+                exec.expand()?
+            };
             final_subnet = Some(step.subnet);
             final_logits = Some(step.logits);
             if next_step == 0 {
@@ -128,9 +137,20 @@ pub fn drive(
             next_step += 1;
         }
         total_macs += spent;
-        timeline.push(SliceLog { slice: i, budget, spent, subnet_ready: final_subnet });
+        timeline.push(SliceLog {
+            slice: i,
+            budget,
+            spent,
+            subnet_ready: final_subnet,
+        });
     }
-    Ok(DriveOutcome { timeline, final_subnet, final_logits, total_macs, first_prediction_slice })
+    Ok(DriveOutcome {
+        timeline,
+        final_subnet,
+        final_logits,
+        total_macs,
+        first_prediction_slice,
+    })
 }
 
 /// Runs [`drive`] but stops consuming the trace at `deadline_slice`
@@ -173,7 +193,8 @@ mod tests {
             .relu()
             .build(3)
             .unwrap();
-        n.move_neurons(&[(0, 0, 1), (0, 1, 1), (0, 2, 2), (2, 0, 1), (2, 1, 2)]).unwrap();
+        n.move_neurons(&[(0, 0, 1), (0, 1, 1), (0, 2, 2), (2, 0, 1), (2, 1, 2)])
+            .unwrap();
         n
     }
 
@@ -220,11 +241,14 @@ mod tests {
         let mut n = net();
         let budget = n.macs(0, 0.0) + expand_macs(&n, 0, 0.0).unwrap();
         let trace = ResourceTrace::constant(budget, 1);
-        let inc =
-            drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+        let inc = drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
         let rec = drive(&mut n, &x(), &trace, UpgradePolicy::Recompute, 0.0).unwrap();
         assert_eq!(inc.final_subnet, Some(1));
-        assert_eq!(rec.final_subnet, Some(0), "recompute policy can't afford the upgrade");
+        assert_eq!(
+            rec.final_subnet,
+            Some(0),
+            "recompute policy can't afford the upgrade"
+        );
     }
 
     #[test]
@@ -235,7 +259,12 @@ mod tests {
         let inc = drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
         let rec = drive(&mut n, &x(), &trace, UpgradePolicy::Recompute, 0.0).unwrap();
         assert_eq!(inc.final_subnet, rec.final_subnet);
-        assert!(inc.total_macs < rec.total_macs, "{} !< {}", inc.total_macs, rec.total_macs);
+        assert!(
+            inc.total_macs < rec.total_macs,
+            "{} !< {}",
+            inc.total_macs,
+            rec.total_macs
+        );
     }
 
     #[test]
@@ -243,15 +272,18 @@ mod tests {
         let mut n = net();
         let full = n.macs(2, 0.0);
         let trace = ResourceTrace::constant(full / 3, 9);
-        let early = drive_until_deadline(&mut n, &x(), &trace, 1, UpgradePolicy::Incremental, 0.0)
-            .unwrap();
-        let late = drive_until_deadline(&mut n, &x(), &trace, 9, UpgradePolicy::Incremental, 0.0)
-            .unwrap();
+        let early =
+            drive_until_deadline(&mut n, &x(), &trace, 1, UpgradePolicy::Incremental, 0.0).unwrap();
+        let late =
+            drive_until_deadline(&mut n, &x(), &trace, 9, UpgradePolicy::Incremental, 0.0).unwrap();
         assert!(early.final_subnet <= late.final_subnet);
-        assert!(drive_until_deadline(&mut n, &x(), &trace, 0, UpgradePolicy::Incremental, 0.0)
-            .is_err());
-        assert!(drive_until_deadline(&mut n, &x(), &trace, 10, UpgradePolicy::Incremental, 0.0)
-            .is_err());
+        assert!(
+            drive_until_deadline(&mut n, &x(), &trace, 0, UpgradePolicy::Incremental, 0.0).is_err()
+        );
+        assert!(
+            drive_until_deadline(&mut n, &x(), &trace, 10, UpgradePolicy::Incremental, 0.0)
+                .is_err()
+        );
     }
 
     #[test]

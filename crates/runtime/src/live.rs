@@ -19,13 +19,16 @@ use stepping_tensor::Tensor;
 use crate::driver::{expand_macs, DriveOutcome, SliceLog, UpgradePolicy};
 use crate::ResourceTrace;
 
+/// A published prediction: the subnet level it came from and the logits.
+type Prediction = (usize, Vec<f32>);
+
 /// The most recent prediction published by a live run, shared with observer
 /// threads.
 ///
 /// Cheap to clone (internally an [`Arc`]).
 #[derive(Debug, Clone, Default)]
 pub struct LatestPrediction {
-    inner: Arc<RwLock<Option<(usize, Vec<f32>)>>>,
+    inner: Arc<RwLock<Option<Prediction>>>,
 }
 
 impl LatestPrediction {
@@ -66,7 +69,9 @@ pub fn run_live(
     latest: &LatestPrediction,
 ) -> Result<DriveOutcome> {
     if trace.is_empty() {
-        return Err(SteppingError::BadConfig("resource trace must be non-empty".into()));
+        return Err(SteppingError::BadConfig(
+            "resource trace must be non-empty".into(),
+        ));
     }
     let subnet_count = net.subnet_count();
     let mut step_cost = vec![net.macs(0, prune_threshold)];
@@ -106,7 +111,11 @@ pub fn run_live(
         while next_step < subnet_count && bank >= step_cost[next_step] {
             bank -= step_cost[next_step];
             spent += step_cost[next_step];
-            let step = if next_step == 0 { exec.begin(input)? } else { exec.expand()? };
+            let step = if next_step == 0 {
+                exec.begin(input)?
+            } else {
+                exec.expand()?
+            };
             latest.publish(step.subnet, &step.logits);
             final_subnet = Some(step.subnet);
             final_logits = Some(step.logits);
@@ -116,13 +125,24 @@ pub fn run_live(
             next_step += 1;
         }
         total_macs += spent;
-        timeline.push(SliceLog { slice, budget, spent, subnet_ready: final_subnet });
+        timeline.push(SliceLog {
+            slice,
+            budget,
+            spent,
+            subnet_ready: final_subnet,
+        });
         slice += 1;
     }
-    producer.join().map_err(|_| {
-        SteppingError::ExecutorState("resource producer thread panicked".into())
-    })?;
-    Ok(DriveOutcome { timeline, final_subnet, final_logits, total_macs, first_prediction_slice })
+    producer
+        .join()
+        .map_err(|_| SteppingError::ExecutorState("resource producer thread panicked".into()))?;
+    Ok(DriveOutcome {
+        timeline,
+        final_subnet,
+        final_logits,
+        total_macs,
+        first_prediction_slice,
+    })
 }
 
 #[cfg(test)]

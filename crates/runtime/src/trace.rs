@@ -36,7 +36,9 @@ impl ResourceTrace {
 
     /// Constant budget for `len` slices.
     pub fn constant(budget: u64, len: usize) -> Self {
-        ResourceTrace { slices: vec![budget; len] }
+        ResourceTrace {
+            slices: vec![budget; len],
+        }
     }
 
     /// Alternates `low` and `high` every `period` slices (power-mode
@@ -47,8 +49,15 @@ impl ResourceTrace {
     /// Panics if `period` is zero.
     pub fn step(low: u64, high: u64, period: usize, len: usize) -> Self {
         assert!(period > 0, "period must be nonzero");
-        let slices =
-            (0..len).map(|i| if (i / period) % 2 == 0 { low } else { high }).collect();
+        let slices = (0..len)
+            .map(|i| {
+                if (i / period).is_multiple_of(2) {
+                    low
+                } else {
+                    high
+                }
+            })
+            .collect();
         ResourceTrace { slices }
     }
 
@@ -74,10 +83,19 @@ impl ResourceTrace {
     ///
     /// Panics unless `0.0 <= burst_p <= 1.0`.
     pub fn bursty(seed: u64, base: u64, burst: u64, burst_p: f64, len: usize) -> Self {
-        assert!((0.0..=1.0).contains(&burst_p), "burst probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&burst_p),
+            "burst probability must be in [0, 1]"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let slices = (0..len)
-            .map(|_| if rng.random::<f64>() < burst_p { burst } else { base })
+            .map(|_| {
+                if rng.random::<f64>() < burst_p {
+                    burst
+                } else {
+                    base
+                }
+            })
             .collect();
         ResourceTrace { slices }
     }

@@ -64,10 +64,14 @@ impl ConvGeometry {
         padding: usize,
     ) -> Result<Self> {
         if stride == 0 {
-            return Err(TensorError::InvalidGeometry("stride must be nonzero".into()));
+            return Err(TensorError::InvalidGeometry(
+                "stride must be nonzero".into(),
+            ));
         }
         if kernel_h == 0 || kernel_w == 0 {
-            return Err(TensorError::InvalidGeometry("kernel extents must be nonzero".into()));
+            return Err(TensorError::InvalidGeometry(
+                "kernel extents must be nonzero".into(),
+            ));
         }
         let padded_h = in_h + 2 * padding;
         let padded_w = in_w + 2 * padding;
@@ -118,7 +122,10 @@ impl ConvGeometry {
 pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor> {
     let dims = input.shape().dims();
     if dims.len() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: dims.len() });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: dims.len(),
+        });
     }
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
     if c != geom.in_channels || h != geom.in_h || w != geom.in_w {
@@ -271,7 +278,9 @@ mod tests {
         let cols_shape = Shape::of(&[2 * g.positions(), g.patch_len()]);
         let y = Tensor::from_vec(
             cols_shape.clone(),
-            (0..cols_shape.len()).map(|i| (i as f32 * 0.11).cos()).collect(),
+            (0..cols_shape.len())
+                .map(|i| (i as f32 * 0.11).cos())
+                .collect(),
         )
         .unwrap();
         let ix = im2col(&x, &g).unwrap();

@@ -58,7 +58,10 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch: expected {expected}, got {actual}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: shape implies {expected} elements, buffer has {actual}")
+                write!(
+                    f,
+                    "length mismatch: shape implies {expected} elements, buffer has {actual}"
+                )
             }
             TensorError::AxisOutOfRange { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank {rank}")
@@ -88,9 +91,15 @@ mod tests {
                 expected: Shape::of(&[2, 2]),
                 actual: Shape::of(&[3]),
             },
-            TensorError::LengthMismatch { expected: 4, actual: 3 },
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
             TensorError::AxisOutOfRange { axis: 5, rank: 2 },
-            TensorError::RankMismatch { expected: 4, actual: 2 },
+            TensorError::RankMismatch {
+                expected: 4,
+                actual: 2,
+            },
             TensorError::InnerDimMismatch { left: 3, right: 4 },
             TensorError::InvalidGeometry("kernel 5 exceeds input 3".into()),
             TensorError::InvalidArgument("p must be in (0, 1]".into()),

@@ -24,7 +24,9 @@ pub fn rng(seed: u64) -> StdRng {
 pub fn uniform(shape: Shape, lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
     assert!(lo < hi, "uniform bounds must satisfy lo < hi");
     let len = shape.len();
-    let data = (0..len).map(|_| rng.random::<f32>() * (hi - lo) + lo).collect();
+    let data = (0..len)
+        .map(|_| rng.random::<f32>() * (hi - lo) + lo)
+        .collect();
     Tensor::from_vec(shape, data).expect("length matches by construction")
 }
 
@@ -91,7 +93,12 @@ mod tests {
     fn normal_moments_are_plausible() {
         let t = normal(Shape::of(&[20_000]), 1.5, 2.0, &mut rng(42));
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!((mean - 1.5).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -15,7 +15,11 @@ const PARALLEL_FLOP_THRESHOLD: usize = 4_000_000;
 
 /// Number of worker threads for large products.
 fn worker_count(rows: usize) -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(rows).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(rows)
+        .min(8)
 }
 
 /// Runs `kernel` over disjoint row chunks of `out`, in parallel when the
@@ -25,7 +29,11 @@ fn par_rows<F>(out: &mut [f32], rows: usize, row_width: usize, flops: usize, ker
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
-    let workers = if flops >= PARALLEL_FLOP_THRESHOLD { worker_count(rows) } else { 1 };
+    let workers = if flops >= PARALLEL_FLOP_THRESHOLD {
+        worker_count(rows)
+    } else {
+        1
+    };
     if workers <= 1 || rows == 0 {
         kernel(0, out);
         return;
@@ -41,7 +49,10 @@ where
 
 fn check2(t: &Tensor) -> Result<(usize, usize)> {
     if t.shape().rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: t.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.shape().rank(),
+        });
     }
     Ok((t.shape().dims()[0], t.shape().dims()[1]))
 }
@@ -67,7 +78,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = check2(a)?;
     let (kb, n) = check2(b)?;
     if ka != kb {
-        return Err(TensorError::InnerDimMismatch { left: ka, right: kb });
+        return Err(TensorError::InnerDimMismatch {
+            left: ka,
+            right: kb,
+        });
     }
     let mut out = Tensor::zeros(Shape::of(&[m, n]));
     let (ad, bd) = (a.data(), b.data());
@@ -108,7 +122,10 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = check2(a)?;
     let (n, kb) = check2(b)?;
     if ka != kb {
-        return Err(TensorError::InnerDimMismatch { left: ka, right: kb });
+        return Err(TensorError::InnerDimMismatch {
+            left: ka,
+            right: kb,
+        });
     }
     let mut out = Tensor::zeros(Shape::of(&[m, n]));
     let (ad, bd) = (a.data(), b.data());
@@ -143,7 +160,10 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (ka, m) = check2(a)?;
     let (kb, n) = check2(b)?;
     if ka != kb {
-        return Err(TensorError::InnerDimMismatch { left: ka, right: kb });
+        return Err(TensorError::InnerDimMismatch {
+            left: ka,
+            right: kb,
+        });
     }
     let mut out = Tensor::zeros(Shape::of(&[m, n]));
     let (ad, bd) = (a.data(), b.data());
@@ -172,10 +192,16 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     let (m, k) = check2(a)?;
     if x.shape().rank() != 1 {
-        return Err(TensorError::RankMismatch { expected: 1, actual: x.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: x.shape().rank(),
+        });
     }
     if x.len() != k {
-        return Err(TensorError::InnerDimMismatch { left: k, right: x.len() });
+        return Err(TensorError::InnerDimMismatch {
+            left: k,
+            right: x.len(),
+        });
     }
     let mut out = Tensor::zeros(Shape::of(&[m]));
     let (ad, xd) = (a.data(), x.data());
@@ -209,8 +235,11 @@ mod tests {
 
     fn seq(shape: &[usize]) -> Tensor {
         let len: usize = shape.iter().product();
-        Tensor::from_vec(Shape::of(shape), (0..len).map(|i| (i as f32) * 0.5 - 3.0).collect())
-            .unwrap()
+        Tensor::from_vec(
+            Shape::of(shape),
+            (0..len).map(|i| (i as f32) * 0.5 - 3.0).collect(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -256,7 +285,10 @@ mod tests {
     fn dimension_errors() {
         let a = seq(&[2, 3]);
         let b = seq(&[4, 5]);
-        assert!(matches!(matmul(&a, &b), Err(TensorError::InnerDimMismatch { .. })));
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::InnerDimMismatch { .. })
+        ));
         let v = seq(&[3]);
         assert!(matmul(&a, &v).is_err());
     }

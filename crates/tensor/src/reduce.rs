@@ -7,7 +7,10 @@ use crate::{Result, Shape, Tensor, TensorError};
 
 fn check2(t: &Tensor) -> Result<(usize, usize)> {
     if t.shape().rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: t.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.shape().rank(),
+        });
     }
     Ok((t.shape().dims()[0], t.shape().dims()[1]))
 }
@@ -54,7 +57,9 @@ pub fn mean_rows(t: &Tensor) -> Result<Tensor> {
 pub fn var_rows(t: &Tensor, mean: &Tensor) -> Result<Tensor> {
     let (n, c) = check2(t)?;
     if n == 0 {
-        return Err(TensorError::InvalidArgument("variance over zero rows".into()));
+        return Err(TensorError::InvalidArgument(
+            "variance over zero rows".into(),
+        ));
     }
     if mean.shape().dims() != [c] {
         return Err(TensorError::ShapeMismatch {
@@ -65,9 +70,9 @@ pub fn var_rows(t: &Tensor, mean: &Tensor) -> Result<Tensor> {
     let mut out = Tensor::zeros(Shape::of(&[c]));
     let od = out.data_mut();
     for i in 0..n {
-        for j in 0..c {
+        for (j, o) in od.iter_mut().enumerate() {
             let d = t.data()[i * c + j] - mean.data()[j];
-            od[j] += d * d;
+            *o += d * d;
         }
     }
     for o in od.iter_mut() {
@@ -141,7 +146,9 @@ pub fn log_softmax_rows(t: &Tensor) -> Result<Tensor> {
 pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
     let (n, c) = check2(t)?;
     if c == 0 {
-        return Err(TensorError::InvalidArgument("argmax over zero columns".into()));
+        return Err(TensorError::InvalidArgument(
+            "argmax over zero columns".into(),
+        ));
     }
     let mut out = Vec::with_capacity(n);
     for i in 0..n {

@@ -28,7 +28,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a slice of extents.
     pub fn of(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Creates the rank-0 scalar shape (one element).
@@ -65,7 +67,10 @@ impl Shape {
         self.dims
             .get(axis)
             .copied()
-            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
     }
 
     /// Row-major strides, in elements.
@@ -86,7 +91,10 @@ impl Shape {
     /// is out of bounds.
     pub fn offset(&self, index: &[usize]) -> Result<usize> {
         if index.len() != self.rank() {
-            return Err(TensorError::RankMismatch { expected: self.rank(), actual: index.len() });
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                actual: index.len(),
+            });
         }
         let mut off = 0;
         let strides = self.strides();
@@ -108,7 +116,10 @@ impl Shape {
     /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
     pub fn check_same_len(&self, other: &Shape) -> Result<()> {
         if self.len() != other.len() {
-            return Err(TensorError::ShapeMismatch { expected: self.clone(), actual: other.clone() });
+            return Err(TensorError::ShapeMismatch {
+                expected: self.clone(),
+                actual: other.clone(),
+            });
         }
         Ok(())
     }
@@ -177,8 +188,14 @@ mod tests {
     #[test]
     fn offset_rejects_bad_rank_and_bounds() {
         let s = Shape::of(&[2, 3]);
-        assert!(matches!(s.offset(&[1]), Err(TensorError::RankMismatch { .. })));
-        assert!(matches!(s.offset(&[2, 0]), Err(TensorError::InvalidArgument(_))));
+        assert!(matches!(
+            s.offset(&[1]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+        assert!(matches!(
+            s.offset(&[2, 0]),
+            Err(TensorError::InvalidArgument(_))
+        ));
     }
 
     #[test]
@@ -198,6 +215,9 @@ mod tests {
     fn dim_checks_axis() {
         let s = Shape::of(&[4, 5]);
         assert_eq!(s.dim(1).unwrap(), 5);
-        assert!(matches!(s.dim(2), Err(TensorError::AxisOutOfRange { axis: 2, rank: 2 })));
+        assert!(matches!(
+            s.dim(2),
+            Err(TensorError::AxisOutOfRange { axis: 2, rank: 2 })
+        ));
     }
 }

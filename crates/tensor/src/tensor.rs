@@ -33,7 +33,10 @@ impl Tensor {
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(shape: Shape) -> Self {
         let len = shape.len();
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor of ones with the given shape.
@@ -44,12 +47,18 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: Shape, value: f32) -> Self {
         let len = shape.len();
-        Tensor { shape, data: vec![value; len] }
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -60,7 +69,10 @@ impl Tensor {
     /// `shape.len()`.
     pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self> {
         if data.len() != shape.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -122,7 +134,10 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if element counts differ.
     pub fn reshape(&self, shape: Shape) -> Result<Tensor> {
         self.shape.check_same_len(&shape)?;
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Reshapes in place (same element count).
@@ -138,7 +153,10 @@ impl Tensor {
 
     /// Element-wise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Element-wise map in place.
@@ -155,8 +173,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
         self.check_same_shape(other)?;
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// In-place element-wise combination: `self[i] = f(self[i], other[i])`.
@@ -260,7 +286,12 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn dot(&self, other: &Tensor) -> Result<f32> {
         self.check_same_shape(other)?;
-        Ok(self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).sum())
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a * b)
+            .sum())
     }
 
     /// Returns `true` if every element is finite (no NaN / infinity).
@@ -275,7 +306,10 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
     pub fn transpose2(&self) -> Result<Tensor> {
         if self.shape.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+            });
         }
         let (r, c) = (self.shape.dims()[0], self.shape.dims()[1]);
         let mut out = Tensor::zeros(Shape::of(&[c, r]));
@@ -295,13 +329,21 @@ impl Tensor {
     /// [`TensorError::InvalidArgument`] for an out-of-range row.
     pub fn row(&self, i: usize) -> Result<Tensor> {
         if self.shape.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+            });
         }
         let (r, c) = (self.shape.dims()[0], self.shape.dims()[1]);
         if i >= r {
-            return Err(TensorError::InvalidArgument(format!("row {i} out of range for {r} rows")));
+            return Err(TensorError::InvalidArgument(format!(
+                "row {i} out of range for {r} rows"
+            )));
         }
-        Ok(Tensor { shape: Shape::of(&[c]), data: self.data[i * c..(i + 1) * c].to_vec() })
+        Ok(Tensor {
+            shape: Shape::of(&[c]),
+            data: self.data[i * c..(i + 1) * c].to_vec(),
+        })
     }
 
     /// Adds a rank-1 `bias` to every row of a rank-2 tensor, in place.
@@ -311,7 +353,10 @@ impl Tensor {
     /// Returns a shape error if `self` is not `[n, c]` or `bias` not `[c]`.
     pub fn add_rowwise(&mut self, bias: &Tensor) -> Result<()> {
         if self.shape.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+            });
         }
         let (n, c) = (self.shape.dims()[0], self.shape.dims()[1]);
         if bias.shape.dims() != [c] {
@@ -396,7 +441,8 @@ impl AddAssign<&Tensor> for Tensor {
     ///
     /// Panics if the shapes differ.
     fn add_assign(&mut self, rhs: &Tensor) {
-        self.zip_in_place(rhs, |a, b| a + b).expect("add_assign shape mismatch");
+        self.zip_in_place(rhs, |a, b| a + b)
+            .expect("add_assign shape mismatch");
     }
 }
 
@@ -405,7 +451,8 @@ impl SubAssign<&Tensor> for Tensor {
     ///
     /// Panics if the shapes differ.
     fn sub_assign(&mut self, rhs: &Tensor) {
-        self.zip_in_place(rhs, |a, b| a - b).expect("sub_assign shape mismatch");
+        self.zip_in_place(rhs, |a, b| a - b)
+            .expect("sub_assign shape mismatch");
     }
 }
 

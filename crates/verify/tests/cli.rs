@@ -1,0 +1,114 @@
+//! End-to-end test of the `stepping-verify` CLI binary: verify a real
+//! checkpoint file, a corrupted one, and the JSON output mode.
+
+use std::process::Command;
+
+use stepping_core::checkpoint::save_to_file;
+use stepping_models::Architecture;
+
+const BIN: &str = env!("CARGO_BIN_EXE_stepping-verify");
+
+fn checkpoint(path: &std::path::Path) {
+    let arch = Architecture::mlp(10, &[8, 6], 3);
+    let mut net = arch.build(2, 0, 1.0).unwrap();
+    let stage = net.masked_stage_indices()[0];
+    net.move_neuron(stage, 1, 1).unwrap();
+    save_to_file(&mut net, path).unwrap();
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(BIN).args(args).output().unwrap();
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn clean_checkpoint_passes_with_exit_zero() {
+    let dir = std::env::temp_dir().join("stepping-verify-cli-clean");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("model.snet");
+    checkpoint(&ckpt);
+
+    let (code, stdout, stderr) = run(&[
+        "--arch",
+        "mlp:10:8,6",
+        "--classes",
+        "3",
+        "--subnets",
+        "2",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("ok: all invariants hold"), "{stdout}");
+
+    // JSON mode carries the same verdict machine-readably.
+    let (code, stdout, _) = run(&[
+        "--arch",
+        "mlp:10:8,6",
+        "--classes",
+        "3",
+        "--subnets",
+        "2",
+        "--json",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("\"errors\": 0"), "{stdout}");
+}
+
+#[test]
+fn corrupt_checkpoint_fails_with_r6() {
+    let dir = std::env::temp_dir().join("stepping-verify-cli-corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("model.snet");
+    checkpoint(&ckpt);
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    bytes[0] ^= 0xFF; // destroy the magic
+    std::fs::write(&ckpt, &bytes).unwrap();
+
+    let (code, stdout, _) = run(&[
+        "--arch",
+        "mlp:10:8,6",
+        "--classes",
+        "3",
+        "--subnets",
+        "2",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("error[R6]"), "{stdout}");
+}
+
+#[test]
+fn budget_overrun_fails_with_r3() {
+    let dir = std::env::temp_dir().join("stepping-verify-cli-budget");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("model.snet");
+    checkpoint(&ckpt);
+
+    let (code, stdout, _) = run(&[
+        "--arch",
+        "mlp:10:8,6",
+        "--classes",
+        "3",
+        "--subnets",
+        "2",
+        "--budgets",
+        "1,1",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("error[R3]"), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let (code, _, stderr) = run(&["--arch", "nope", "missing.snet"]);
+    assert_eq!(code, 2, "{stderr}");
+    let (code, _, stderr) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

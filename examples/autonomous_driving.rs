@@ -44,7 +44,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build(5)?;
 
     println!("pretraining perception network…");
-    train_subnet(&mut net, &data, 0, &TrainOptions { epochs: 6, lr: 0.05, ..Default::default() })?;
+    train_subnet(
+        &mut net,
+        &data,
+        0,
+        &TrainOptions {
+            epochs: 6,
+            lr: 0.05,
+            ..Default::default()
+        },
+    )?;
 
     let full = net.full_macs();
     let opts = ConstructionOptions {
@@ -62,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     construct(&mut net, &data, &opts)?;
 
     let accs = evaluate_all(&mut net, &data, Split::Test, 32)?;
-    println!("subnet accuracies: {:?}", accs.iter().map(|a| (a * 100.0).round()).collect::<Vec<_>>());
+    println!(
+        "subnet accuracies: {:?}",
+        accs.iter().map(|a| (a * 100.0).round()).collect::<Vec<_>>()
+    );
 
     // The ECU grants a fixed MAC budget per 1-ms control slice.
     let device = DeviceModel::embedded();
@@ -71,7 +83,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (x, label) = data.batch(Split::Test, &[3])?;
     println!(
         "\nper-slice budget: {per_slice} MACs; subnet costs: {:?}",
-        (0..3).map(|k| net.macs(k, opts.prune_threshold)).collect::<Vec<_>>()
+        (0..3)
+            .map(|k| net.macs(k, opts.prune_threshold))
+            .collect::<Vec<_>>()
     );
     println!("deadline sweep (true class {}):", label[0]);
     for deadline in [1usize, 2, 4, 8, 16, 32, 64] {

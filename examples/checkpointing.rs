@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut server_net,
         &data,
         0,
-        &TrainOptions { epochs: 10, lr: 0.1, ..Default::default() },
+        &TrainOptions {
+            epochs: 10,
+            lr: 0.1,
+            ..Default::default()
+        },
     )?;
     let full = server_net.full_macs();
     construct(
@@ -81,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (x, label) = data.batch(Split::Test, &[7])?;
     let mut exec = IncrementalExecutor::new(&mut device_net, 1e-5);
     let mut step = exec.begin(&x)?;
-    println!("device: anytime inference on one sample (true class {}):", label[0]);
+    println!(
+        "device: anytime inference on one sample (true class {}):",
+        label[0]
+    );
     loop {
         println!(
             "  subnet {} predicts {} ({} MACs this step)",

@@ -9,16 +9,23 @@ use steppingnet::tensor::Shape;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cases = [
-        (Architecture::lenet_3c1l(10), 1.8, vec![0.10, 0.30, 0.50, 0.85]),
+        (
+            Architecture::lenet_3c1l(10),
+            1.8,
+            vec![0.10, 0.30, 0.50, 0.85],
+        ),
         (Architecture::lenet5(10), 2.0, vec![0.15, 0.30, 0.60, 0.85]),
         (Architecture::vgg16(100), 1.8, vec![0.20, 0.40, 0.50, 0.70]),
     ];
     for (arch, expansion, budgets) in &cases {
-        let reference = arch.reference_macs();
-        println!("\n{} ({} classes, input {})", arch.name, arch.classes, arch.input);
+        let reference = arch.reference_macs()?;
+        println!(
+            "\n{} ({} classes, input {})",
+            arch.name, arch.classes, arch.input
+        );
         println!("  M_t (unexpanded reference): {reference} MACs");
         println!("  paper expansion ratio: {expansion}");
-        let targets = arch.mac_targets(budgets);
+        let targets = arch.mac_targets(budgets)?;
         for (f, t) in budgets.iter().zip(targets.iter()) {
             println!("  subnet budget {:>4.0}% → {t} MACs", f * 100.0);
         }
@@ -38,9 +45,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\ncustom {} : reference {} MACs",
         custom.name,
-        custom.reference_macs()
+        custom.reference_macs()?
     );
-    let tiny = Architecture::lenet5(10).with_input(Shape::of(&[3, 20, 20])).scaled(0.5);
-    println!("resized {}: reference {} MACs", tiny.name, tiny.reference_macs());
+    let tiny = Architecture::lenet5(10)
+        .with_input(Shape::of(&[3, 20, 20]))
+        .scaled(0.5);
+    println!(
+        "resized {}: reference {} MACs",
+        tiny.name,
+        tiny.reference_macs()?
+    );
     Ok(())
 }

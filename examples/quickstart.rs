@@ -40,10 +40,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .linear(64)
         .relu()
         .build(6)?;
-    println!("original (expanded) network: {} MACs capacity", net.full_macs());
+    println!(
+        "original (expanded) network: {} MACs capacity",
+        net.full_macs()
+    );
 
     println!("pretraining…");
-    train_subnet(&mut net, &data, 0, &TrainOptions { epochs: 10, lr: 0.1, ..Default::default() })?;
+    train_subnet(
+        &mut net,
+        &data,
+        0,
+        &TrainOptions {
+            epochs: 10,
+            lr: 0.1,
+            ..Default::default()
+        },
+    )?;
     let teacher = net.clone(); // frozen pretrained original = KD teacher
 
     // Budgets: 10 / 30 / 55 / 85 % of the full capacity.
@@ -71,7 +83,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("retraining with knowledge distillation…");
     let mut teacher = teacher;
-    distill(&mut net, &mut teacher, 0, &data, &DistillOptions { epochs: 8, ..Default::default() })?;
+    distill(
+        &mut net,
+        &mut teacher,
+        0,
+        &data,
+        &DistillOptions {
+            epochs: 8,
+            ..Default::default()
+        },
+    )?;
 
     let accs = evaluate_all(&mut net, &data, Split::Test, 32)?;
     println!("\nsubnet | MACs    | share  | test accuracy");
@@ -88,7 +109,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (x, label) = data.batch(Split::Test, &[0])?;
     let mut exec = IncrementalExecutor::new(&mut net, opts.prune_threshold);
     let mut step = exec.begin(&x)?;
-    println!("\nanytime inference on one sample (true class {}):", label[0]);
+    println!(
+        "\nanytime inference on one sample (true class {}):",
+        label[0]
+    );
     loop {
         let pred = step.logits.argmax();
         println!(

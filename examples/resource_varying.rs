@@ -14,9 +14,7 @@ use std::time::Duration;
 
 use steppingnet::baselines::regular_assign;
 use steppingnet::core::SteppingNetBuilder;
-use steppingnet::runtime::{
-    drive, run_live, LatestPrediction, ResourceTrace, UpgradePolicy,
-};
+use steppingnet::runtime::{drive, run_live, LatestPrediction, ResourceTrace, UpgradePolicy};
 use steppingnet::tensor::{init, Shape};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     regular_assign(&mut net, &[0.25, 0.5, 0.75, 1.0])?;
 
     let full = net.macs(3, 0.0);
-    println!("subnet costs: {:?}", (0..4).map(|k| net.macs(k, 0.0)).collect::<Vec<_>>());
+    println!(
+        "subnet costs: {:?}",
+        (0..4).map(|k| net.macs(k, 0.0)).collect::<Vec<_>>()
+    );
 
     // Bursty budget: mostly starved, occasionally a big grant (a co-running
     // task finished).

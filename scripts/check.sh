@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Lint + test gate: formatting, clippy (warnings are errors), tier-1 tests.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets --all-features -- -D warnings"
+cargo clippy --all-targets --all-features -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "check.sh: all gates passed"

@@ -13,7 +13,9 @@
 //!   inference,
 //! * [`models`] — LeNet-3C1L, LeNet-5, VGG-16 and width expansion,
 //! * [`baselines`] — the any-width and slimmable comparison networks,
-//! * [`runtime`] — the resource-varying platform simulator.
+//! * [`runtime`] — the resource-varying platform simulator,
+//! * [`verify`] — the static invariant analyzer (rules R1–R6) and the
+//!   `stepping-verify` checkpoint lint CLI.
 //!
 //! See `README.md` for a tour and `examples/` for runnable end-to-end
 //! programs; `DESIGN.md` documents the architecture and every substitution
@@ -43,3 +45,4 @@ pub use stepping_models as models;
 pub use stepping_nn as nn;
 pub use stepping_runtime as runtime;
 pub use stepping_tensor as tensor;
+pub use stepping_verify as verify;

@@ -41,13 +41,27 @@ fn any_width_meets_budgets_and_learns() {
     for (k, t) in targets.iter().enumerate() {
         assert!(net.macs(k, 1e-5) <= *t);
     }
-    train_joint(&mut net, &d, &JointTrainOptions { epochs: 8, lr: 0.1, ..Default::default() })
-        .unwrap();
+    train_joint(
+        &mut net,
+        &d,
+        &JointTrainOptions {
+            epochs: 8,
+            lr: 0.1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let accs = evaluate_all(&mut net, &d, Split::Test, 32).unwrap();
     let chance = 1.0 / d.classes() as f32;
     // the largest subnet must clearly learn; smaller ones at least near chance
-    assert!(accs[2] > chance + 0.2, "any-width failed to learn: {accs:?}");
-    assert!(accs[2] >= accs[0] - 0.1, "accuracy should not collapse with size: {accs:?}");
+    assert!(
+        accs[2] > chance + 0.2,
+        "any-width failed to learn: {accs:?}"
+    );
+    assert!(
+        accs[2] >= accs[0] - 0.1,
+        "accuracy should not collapse with size: {accs:?}"
+    );
 }
 
 #[test]
@@ -66,11 +80,21 @@ fn slimmable_meets_budgets_and_learns() {
     for (k, t) in targets.iter().enumerate() {
         assert!(slim.macs(k).unwrap() <= *t);
     }
-    slim.train_joint(&d, &JointTrainOptions { epochs: 8, lr: 0.1, ..Default::default() })
-        .unwrap();
+    slim.train_joint(
+        &d,
+        &JointTrainOptions {
+            epochs: 8,
+            lr: 0.1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let acc_large = slim.evaluate(&d, Split::Test, 2, 32).unwrap();
     let chance = 1.0 / d.classes() as f32;
-    assert!(acc_large > chance + 0.2, "slimmable failed to learn: {acc_large}");
+    assert!(
+        acc_large > chance + 0.2,
+        "slimmable failed to learn: {acc_large}"
+    );
 }
 
 #[test]
@@ -98,10 +122,10 @@ fn matched_budgets_are_comparable_across_methods() {
         .unwrap();
     slim.fit_switches_to_macs(&targets).unwrap();
 
-    for k in 0..2 {
+    for (k, &target) in targets.iter().enumerate().take(2) {
         let a = any.macs(k, 1e-5) as f64;
         let s = slim.macs(k).unwrap() as f64;
-        let t = targets[k] as f64;
+        let t = target as f64;
         assert!(a <= t && s <= t);
         // both land within a reasonable band below the target
         assert!(a > t * 0.4, "any-width too far below target: {a} vs {t}");

@@ -45,8 +45,17 @@ fn cnn_pipeline_with_batchnorm_end_to_end() {
         .relu()
         .build(4)
         .unwrap();
-    train_subnet(&mut net, &d, 0, &TrainOptions { epochs: 4, lr: 0.05, ..Default::default() })
-        .unwrap();
+    train_subnet(
+        &mut net,
+        &d,
+        0,
+        &TrainOptions {
+            epochs: 4,
+            lr: 0.05,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let mut teacher = net.clone();
     let full = net.full_macs();
     let opts = ConstructionOptions {
@@ -62,8 +71,18 @@ fn cnn_pipeline_with_batchnorm_end_to_end() {
     };
     let report = construct(&mut net, &d, &opts).unwrap();
     assert!(report.satisfied, "budgets unmet: {:?}", report.final_macs);
-    distill(&mut net, &mut teacher, 0, &d, &DistillOptions { epochs: 12, lr: 0.03, ..Default::default() })
-        .unwrap();
+    distill(
+        &mut net,
+        &mut teacher,
+        0,
+        &d,
+        &DistillOptions {
+            epochs: 12,
+            lr: 0.03,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     net.check_invariants().unwrap();
 
     // accuracy above chance for the largest subnet
@@ -73,7 +92,9 @@ fn cnn_pipeline_with_batchnorm_end_to_end() {
     // incremental equivalence survives construction + BN running stats
     let (x, _) = d.batch(Split::Test, &[0, 1]).unwrap();
     let mut scratch = net.clone();
-    let refs: Vec<_> = (0..3).map(|k| scratch.forward(&x, k, false).unwrap()).collect();
+    let refs: Vec<_> = (0..3)
+        .map(|k| scratch.forward(&x, k, false).unwrap())
+        .collect();
     let mut exec = IncrementalExecutor::new(&mut net, opts.prune_threshold);
     let steps = exec.run_to(&x, 2).unwrap();
     for (k, step) in steps.iter().enumerate() {

@@ -5,8 +5,8 @@
 use steppingnet::core::eval::{evaluate, evaluate_all};
 use steppingnet::core::train::{train_subnet, TrainOptions};
 use steppingnet::core::{
-    construct, distill, ConstructionOptions, DistillOptions, IncrementalExecutor,
-    SteppingNet, SteppingNetBuilder,
+    construct, distill, ConstructionOptions, DistillOptions, IncrementalExecutor, SteppingNet,
+    SteppingNetBuilder,
 };
 use steppingnet::data::{Dataset, GaussianBlobs, GaussianBlobsConfig, Split};
 use steppingnet::tensor::Shape;
@@ -35,8 +35,17 @@ fn pipeline() -> (SteppingNet, ConstructionOptions) {
         .relu()
         .build(5)
         .unwrap();
-    train_subnet(&mut net, &d, 0, &TrainOptions { epochs: 8, lr: 0.1, ..Default::default() })
-        .unwrap();
+    train_subnet(
+        &mut net,
+        &d,
+        0,
+        &TrainOptions {
+            epochs: 8,
+            lr: 0.1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let mut teacher = net.clone();
     let full = net.full_macs();
     let opts = ConstructionOptions {
@@ -54,8 +63,17 @@ fn pipeline() -> (SteppingNet, ConstructionOptions) {
     };
     let report = construct(&mut net, &d, &opts).unwrap();
     assert!(report.satisfied, "budgets unmet: {:?}", report.final_macs);
-    distill(&mut net, &mut teacher, 0, &d, &DistillOptions { epochs: 6, ..Default::default() })
-        .unwrap();
+    distill(
+        &mut net,
+        &mut teacher,
+        0,
+        &d,
+        &DistillOptions {
+            epochs: 6,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     (net, opts)
 }
 
@@ -77,7 +95,10 @@ fn full_pipeline_produces_budgeted_accurate_subnets() {
     let accs = evaluate_all(&mut net, &d, Split::Test, 32).unwrap();
     let chance = 1.0 / d.classes() as f32;
     for (k, a) in accs.iter().enumerate() {
-        assert!(*a > chance + 0.1, "subnet {k} accuracy {a} barely beats chance");
+        assert!(
+            *a > chance + 0.1,
+            "subnet {k} accuracy {a} barely beats chance"
+        );
     }
     assert!(
         accs[3] >= accs[0] - 0.05,
@@ -91,16 +112,21 @@ fn incremental_execution_matches_from_scratch_after_pipeline() {
     let (mut net, opts) = pipeline();
     let (x, _) = d.batch(Split::Test, &[0, 1, 2, 3]).unwrap();
     let mut scratch = net.clone();
-    let refs: Vec<_> = (0..4).map(|k| scratch.forward(&x, k, false).unwrap()).collect();
+    let refs: Vec<_> = (0..4)
+        .map(|k| scratch.forward(&x, k, false).unwrap())
+        .collect();
     let mut exec = IncrementalExecutor::new(&mut net, opts.prune_threshold);
     let steps = exec.run_to(&x, 3).unwrap();
     assert_eq!(steps.len(), 4);
     for (k, step) in steps.iter().enumerate() {
-        assert_eq!(step.logits, refs[k], "subnet {k} incremental/from-scratch mismatch");
+        assert_eq!(
+            step.logits, refs[k],
+            "subnet {k} incremental/from-scratch mismatch"
+        );
     }
     // Reuse is real: every expansion is cheaper than its from-scratch run.
-    for k in 1..4 {
-        assert!(steps[k].step_macs < net.macs(k, opts.prune_threshold));
+    for (k, step) in steps.iter().enumerate().skip(1) {
+        assert!(step.step_macs < net.macs(k, opts.prune_threshold));
     }
 }
 
@@ -112,8 +138,17 @@ fn distillation_teacher_remains_functional() {
         .relu()
         .build(5)
         .unwrap();
-    train_subnet(&mut net, &d, 0, &TrainOptions { epochs: 6, lr: 0.1, ..Default::default() })
-        .unwrap();
+    train_subnet(
+        &mut net,
+        &d,
+        0,
+        &TrainOptions {
+            epochs: 6,
+            lr: 0.1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let mut teacher = net.clone();
     let before = evaluate(&mut teacher, &d, Split::Test, 0, 32).unwrap();
     // construct + distill the student; teacher weights must be untouched
@@ -130,10 +165,22 @@ fn distillation_teacher_remains_functional() {
         },
     )
     .unwrap();
-    distill(&mut net, &mut teacher, 0, &d, &DistillOptions { epochs: 3, ..Default::default() })
-        .unwrap();
+    distill(
+        &mut net,
+        &mut teacher,
+        0,
+        &d,
+        &DistillOptions {
+            epochs: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let after = evaluate(&mut teacher, &d, Split::Test, 0, 32).unwrap();
-    assert_eq!(before, after, "teacher accuracy changed during distillation");
+    assert_eq!(
+        before, after,
+        "teacher accuracy changed during distillation"
+    );
 }
 
 #[test]
@@ -148,6 +195,9 @@ fn pipeline_is_deterministic() {
             b.forward(&x, k, false).unwrap(),
             "subnet {k} differs between identical runs"
         );
-        assert_eq!(a.macs(k, opts.prune_threshold), b.macs(k, opts.prune_threshold));
+        assert_eq!(
+            a.macs(k, opts.prune_threshold),
+            b.macs(k, opts.prune_threshold)
+        );
     }
 }

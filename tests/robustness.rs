@@ -32,8 +32,17 @@ fn pipeline_survives_heavy_label_noise() {
         .relu()
         .build(4)
         .unwrap();
-    train_subnet(&mut net, &noisy, 0, &TrainOptions { epochs: 5, lr: 0.05, ..Default::default() })
-        .unwrap();
+    train_subnet(
+        &mut net,
+        &noisy,
+        0,
+        &TrainOptions {
+            epochs: 5,
+            lr: 0.05,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let full = net.full_macs();
     let report = construct(
         &mut net,
@@ -94,8 +103,17 @@ fn tiny_subset_still_trains_and_evaluates() {
         .relu()
         .build(4)
         .unwrap();
-    train_subnet(&mut net, &sub, 0, &TrainOptions { epochs: 3, batch_size: 4, ..Default::default() })
-        .unwrap();
+    train_subnet(
+        &mut net,
+        &sub,
+        0,
+        &TrainOptions {
+            epochs: 3,
+            batch_size: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let accs = evaluate_all(&mut net, &sub, Split::Test, 4).unwrap();
     assert_eq!(accs.len(), 2);
 }
@@ -117,7 +135,10 @@ fn non_finite_input_does_not_corrupt_network_state() {
     poisoned.data_mut()[0] = f32::NAN;
     let _ = net.forward(&poisoned, 0, false).unwrap();
     let after = net.forward(&clean, 0, false).unwrap();
-    assert_eq!(before, after, "weights/caches must not be corrupted by NaN inputs");
+    assert_eq!(
+        before, after,
+        "weights/caches must not be corrupted by NaN inputs"
+    );
 }
 
 #[test]

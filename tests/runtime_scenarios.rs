@@ -44,10 +44,17 @@ fn anytime_subnet_grows_with_deadline() {
             0.0,
         )
         .unwrap();
-        assert!(out.final_subnet >= last, "subnet shrank with a later deadline");
+        assert!(
+            out.final_subnet >= last,
+            "subnet shrank with a later deadline"
+        );
         last = out.final_subnet;
     }
-    assert_eq!(last, Some(3), "the full trace should afford the largest subnet");
+    assert_eq!(
+        last,
+        Some(3),
+        "the full trace should afford the largest subnet"
+    );
 }
 
 #[test]
@@ -97,7 +104,10 @@ fn device_model_orders_subnet_latencies() {
     let n = net();
     let dev = DeviceModel::mobile();
     let lat: Vec<f64> = (0..4).map(|k| dev.latency_us(n.macs(k, 0.0))).collect();
-    assert!(lat.windows(2).all(|w| w[0] < w[1]), "latencies not ascending: {lat:?}");
+    assert!(
+        lat.windows(2).all(|w| w[0] < w[1]),
+        "latencies not ascending: {lat:?}"
+    );
 }
 
 #[test]
@@ -110,8 +120,14 @@ fn confidence_gating_spends_less_on_easy_inputs() {
     let x = input();
     let strict = infer_until_confident(&mut n, &x, 1.0, 0.0).unwrap();
     let lax = infer_until_confident(&mut n, &x, 0.05, 0.0).unwrap();
-    assert_eq!(strict.subnet, 3, "threshold 1.0 must run to the largest subnet");
-    assert_eq!(lax.subnet, 0, "threshold 0.05 must accept the first prediction");
+    assert_eq!(
+        strict.subnet, 3,
+        "threshold 1.0 must run to the largest subnet"
+    );
+    assert_eq!(
+        lax.subnet, 0,
+        "threshold 0.05 must accept the first prediction"
+    );
     assert!(lax.total_macs < strict.total_macs);
     assert!(lax.early_exit);
 }
@@ -122,5 +138,8 @@ fn random_walk_trace_eventually_serves_first_prediction() {
     let small = n.macs(0, 0.0);
     let trace = ResourceTrace::random_walk(5, small / 4, small / 8, small, 64);
     let out = drive(&mut n, &input(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
-    assert!(out.first_prediction_slice.is_some(), "never produced a prediction");
+    assert!(
+        out.first_prediction_slice.is_some(),
+        "never produced a prediction"
+    );
 }

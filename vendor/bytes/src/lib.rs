@@ -1,0 +1,257 @@
+//! Offline stand-in for the [`bytes`](https://crates.io/crates/bytes) crate.
+//!
+//! Implements exactly the surface the checkpoint codec uses: an append-only
+//! [`BytesMut`] builder, an immutable cursor-style [`Bytes`] view, and the
+//! [`Buf`]/[`BufMut`] traits with the little-endian accessors. Unlike the
+//! real crate there is no refcounted zero-copy sharing — `Bytes` owns a
+//! `Vec<u8>` — which is irrelevant for checkpoint-sized blobs.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Read-side cursor trait (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// True while any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.get_u32_le().to_le_bytes())
+    }
+}
+
+/// Write-side trait (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Immutable byte buffer with an internal read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Unread bytes in the current view.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True if nothing is left to read.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the unread remainder into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// A new `Bytes` covering `range` of the unread remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            start <= end && end <= len,
+            "slice {start}..{end} out of bounds for {len} bytes"
+        );
+        Bytes {
+            data: self.data[self.pos + start..self.pos + end].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.remaining(),
+            "copy_to_slice past end of buffer"
+        );
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+/// Growable byte builder; [`BytesMut::freeze`] converts it into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder pre-sized for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le_values() {
+        let mut w = BytesMut::new();
+        w.put_slice(b"SNET");
+        w.put_u32_le(7);
+        w.put_u16_le(300);
+        w.put_f32_le(-1.5);
+        w.put_u64_le(u64::MAX - 1);
+        let mut r = w.freeze();
+        let mut magic = [0u8; 4];
+        r.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"SNET");
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_u16_le(), 300);
+        assert_eq!(r.get_f32_le(), -1.5);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_is_relative_to_cursor() {
+        let mut b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let _ = b.get_u16_le(); // consume two bytes
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.slice(..2).to_vec(), vec![2, 3]);
+        assert_eq!(b.slice(1..=2).to_vec(), vec![3, 4]);
+        assert_eq!(b.slice(..).to_vec(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![1u8, 2]);
+        let _ = b.get_u32_le();
+    }
+}

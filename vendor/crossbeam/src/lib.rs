@@ -1,0 +1,62 @@
+//! Offline stand-in for the `crossbeam` crate: only the bounded MPSC
+//! channel surface the runtime uses, implemented over `std::sync::mpsc`.
+//! Semantics for a single producer/single consumer are identical
+//! (rendezvous-free bounded queue, `Err` on disconnect).
+
+/// Channel primitives (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when sending into a channel with no receiver.
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Creates a bounded channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued; `Err` if disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; `Err` once senders are gone and
+        /// the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_channel_delivers_in_order() {
+        let (tx, rx) = channel::bounded::<u64>(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10u64 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

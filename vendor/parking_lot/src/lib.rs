@@ -1,0 +1,72 @@
+//! Offline stand-in for `parking_lot`: an `RwLock` matching parking_lot's
+//! poison-free API (`read`/`write` return guards directly, no `Result`),
+//! implemented over `std::sync::RwLock`. A poisoned std lock is recovered
+//! transparently, mirroring parking_lot's no-poisoning behaviour.
+
+use std::sync::RwLock as StdRwLock;
+pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// Reader-writer lock with parking_lot's panic-free locking API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps `value` in a new lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RwLock;
+
+    #[test]
+    fn read_write_round_trip() {
+        let lock: RwLock<Option<u32>> = RwLock::default();
+        assert_eq!(*lock.read(), None);
+        *lock.write() = Some(5);
+        assert_eq!(*lock.read(), Some(5));
+        assert_eq!(lock.into_inner(), Some(5));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let lock = std::sync::Arc::new(RwLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = lock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        *l.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.read(), 400);
+    }
+}

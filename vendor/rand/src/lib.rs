@@ -1,0 +1,288 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors the tiny API subset it actually uses: a seedable
+//! deterministic generator ([`rngs::StdRng`]), the [`Rng`] extension trait
+//! with `random` / `random_range`, [`SeedableRng::seed_from_u64`], and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — not the real
+//! crate's ChaCha12, so random streams differ from upstream `rand`, but every
+//! consumer in this workspace only relies on *determinism per seed*, which
+//! this provides bit-for-bit across platforms.
+
+/// Core generator trait: an infinite stream of `u64`s plus convenience
+/// sampling methods mirroring `rand` 0.9's `Rng`.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of a type with a standard-uniform distribution
+    /// (`f32`/`f64` in `[0, 1)`, full range for integers, fair `bool`).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Types samplable from the standard-uniform distribution.
+pub trait Standard: Sized {
+    /// Draws one sample from `rng`.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 24 high bits → uniform in [0, 1) with full f32 mantissa precision.
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1) with full f64 mantissa precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to `u64` preserving order within the sampled range.
+    fn to_u64(self) -> u64;
+    /// Inverse of [`UniformInt::to_u64`].
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                // Shift signed values into unsigned order-preserving space.
+                (self as i64).wrapping_sub(<$t>::MIN as i64) as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                (v as i64).wrapping_add(<$t>::MIN as i64) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, i8, i16, i32, i64);
+
+impl UniformInt for u64 {
+    fn to_u64(self) -> u64 {
+        self
+    }
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+}
+
+impl UniformInt for usize {
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    fn from_u64(v: u64) -> Self {
+        v as usize
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value inside the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+fn sample_below<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Debiased multiply-shift rejection sampling (Lemire).
+    loop {
+        let v = rng.next_u64();
+        let hi = ((v as u128 * span as u128) >> 64) as u64;
+        let lo = (v as u128 * span as u128) as u64;
+        if lo >= span || lo >= span.wrapping_neg() % span {
+            return hi;
+        }
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "cannot sample from empty range");
+        T::from_u64(lo + sample_below(rng, hi - lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "cannot sample from empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + sample_below(rng, span + 1))
+    }
+}
+
+/// Seedable generators (the workspace only uses `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator — the stand-in for `rand`'s
+    /// `StdRng`. Fast, passes BigCrush, and fully reproducible per seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling, mirroring `rand`'s `SliceRandom`.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f32 = r.random();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = r.random();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v: usize = r.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: i32 = r.random_range(-4..=4);
+            assert!((-4..=4).contains(&w));
+        }
+        // degenerate inclusive range
+        let v: u8 = r.random_range(9..=9);
+        assert_eq!(v, 9);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 50 elements should not be identity");
+    }
+}

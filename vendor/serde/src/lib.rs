@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on value types purely as
+//! a forward-compatibility tag — nothing actually serializes through serde
+//! (checkpoints use a hand-rolled binary format). This stub provides the
+//! trait names and re-exports the no-op derives so those annotations keep
+//! compiling without network access.
+
+/// Marker stand-in for serde's `Serialize` trait.
+pub trait Serialize {}
+
+/// Marker stand-in for serde's `Deserialize` trait.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace only *tags* types with `#[derive(Serialize, Deserialize)]`
+//! for forward compatibility; no code path performs serde serialization, so
+//! empty expansions are sufficient (and keep the build entirely offline).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
