@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use stepping_bench::observe::{self, report_text};
 use stepping_bench::{format_pct, print_table};
 use stepping_core::eval::evaluate_all;
 use stepping_core::train::{train_subnet, TrainOptions};
@@ -112,6 +113,7 @@ fn baseline() -> Knobs {
 }
 
 fn main() {
+    observe::init("ablations");
     let start = Instant::now();
     let mut rows = Vec::new();
     let mut push = |label: String, accs: Vec<f32>| {
@@ -164,7 +166,8 @@ fn main() {
         }),
     );
 
-    println!("\nABLATIONS: subnet accuracy under hyper-parameter variations");
+    report_text("\nABLATIONS: subnet accuracy under hyper-parameter variations");
     print_table(&["config", "A_1", "A_2", "A_3", "A_4"], &rows);
-    println!("\ntotal wall time: {:.1?}", start.elapsed());
+    report_text(&format!("\ntotal wall time: {:.1?}", start.elapsed()));
+    observe::finish();
 }

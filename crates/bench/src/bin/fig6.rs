@@ -6,6 +6,7 @@
 
 use std::time::Instant;
 
+use stepping_bench::observe::{self, progress, report_text};
 use stepping_bench::{
     ascii_plot, format_pct, print_table, run_any_width, run_slimmable, run_steppingnet,
     ExperimentScale, Series, TestCase,
@@ -25,6 +26,7 @@ fn points_for(case: &TestCase) -> Vec<f64> {
 }
 
 fn main() {
+    observe::init("fig6");
     let scale = ExperimentScale::from_env();
     // VGG's three-method comparison is included beyond quick scale; at quick
     // scale its pipelines dominate wall time without adding shape signal.
@@ -36,7 +38,7 @@ fn main() {
     };
     let start = Instant::now();
     for case in &cases {
-        eprintln!("fig6: {} ({})", case.name, case.dataset_name);
+        progress(&format!("fig6: {} ({})", case.name, case.dataset_name));
         let t = Instant::now();
         let points = points_for(case);
         let stepping = run_steppingnet(case, Some(&points), true, true);
@@ -61,7 +63,7 @@ fn main() {
                     points: pts,
                 });
             }
-            Err(e) => eprintln!("  steppingnet failed: {e}"),
+            Err(e) => progress(&format!("  steppingnet failed: {e}")),
         }
         for b in [any, slim] {
             match b {
@@ -88,14 +90,18 @@ fn main() {
                         points: pts,
                     });
                 }
-                Err(e) => eprintln!("  baseline failed: {e}"),
+                Err(e) => progress(&format!("  baseline failed: {e}")),
             }
         }
-        println!("\nFIG. 6 series — {} on {}", case.name, case.dataset_name);
+        report_text(&format!(
+            "\nFIG. 6 series — {} on {}",
+            case.name, case.dataset_name
+        ));
         print_table(&["method", "point", "MACs/M_t", "accuracy"], &rows);
-        println!();
-        print!("{}", ascii_plot(&series, "MACs/M_t", "accuracy"));
-        eprintln!("  {} finished in {:.1?}", case.name, t.elapsed());
+        report_text("");
+        report_text(ascii_plot(&series, "MACs/M_t", "accuracy").trim_end_matches('\n'));
+        progress(&format!("  {} finished in {:.1?}", case.name, t.elapsed()));
     }
-    println!("\ntotal wall time: {:.1?}", start.elapsed());
+    report_text(&format!("\ntotal wall time: {:.1?}", start.elapsed()));
+    observe::finish();
 }

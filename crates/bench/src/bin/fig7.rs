@@ -6,11 +6,13 @@
 
 use std::time::Instant;
 
+use stepping_bench::observe::{self, progress, report_text};
 use stepping_bench::{format_pct, print_table, run_steppingnet, ExperimentScale, TestCase};
 
 const RATIOS: [f64; 4] = [1.0, 1.4, 1.8, 2.2];
 
 fn main() {
+    observe::init("fig7");
     let scale = ExperimentScale::from_env();
     // VGG is included beyond quick scale; its pipeline dominates wall time.
     let cases = match scale {
@@ -21,7 +23,10 @@ fn main() {
     };
     let start = Instant::now();
     for case in &cases {
-        println!("\nFIG. 7 series — {} on {}", case.name, case.dataset_name);
+        report_text(&format!(
+            "\nFIG. 7 series — {} on {}",
+            case.name, case.dataset_name
+        ));
         let mut rows = Vec::new();
         for ratio in RATIOS {
             let mut c = case.clone();
@@ -37,10 +42,11 @@ fn main() {
                         ]);
                     }
                 }
-                Err(e) => eprintln!("  expansion {ratio} failed: {e}"),
+                Err(e) => progress(&format!("  expansion {ratio} failed: {e}")),
             }
         }
         print_table(&["expansion", "subnet", "MACs/M_t", "accuracy"], &rows);
     }
-    println!("\ntotal wall time: {:.1?}", start.elapsed());
+    report_text(&format!("\ntotal wall time: {:.1?}", start.elapsed()));
+    observe::finish();
 }

@@ -6,9 +6,11 @@
 
 use std::time::Instant;
 
+use stepping_bench::observe::{self, progress, report_text};
 use stepping_bench::{format_pct, print_table, run_steppingnet, ExperimentScale, TestCase};
 
 fn main() {
+    observe::init("fig8");
     let scale = ExperimentScale::from_env();
     let cases = match scale {
         ExperimentScale::Quick => {
@@ -24,7 +26,10 @@ fn main() {
     ];
     let start = Instant::now();
     for case in &cases {
-        println!("\nFIG. 8 ablation — {} on {}", case.name, case.dataset_name);
+        report_text(&format!(
+            "\nFIG. 8 ablation — {} on {}",
+            case.name, case.dataset_name
+        ));
         let mut rows = Vec::new();
         for (label, suppress, kd) in configs {
             match run_steppingnet(case, None, suppress, kd) {
@@ -35,10 +40,11 @@ fn main() {
                     }
                     rows.push(row);
                 }
-                Err(e) => eprintln!("  config '{label}' failed: {e}"),
+                Err(e) => progress(&format!("  config '{label}' failed: {e}")),
             }
         }
         print_table(&["config", "A_1", "A_2", "A_3", "A_4"], &rows);
     }
-    println!("\ntotal wall time: {:.1?}", start.elapsed());
+    report_text(&format!("\ntotal wall time: {:.1?}", start.elapsed()));
+    observe::finish();
 }

@@ -5,12 +5,14 @@
 //!
 //! Run with `cargo run --release -p stepping-bench --bin reuse`.
 
+use stepping_bench::observe::{self, progress, report_text};
 use stepping_bench::{print_table, ExperimentScale, TestCase};
 use stepping_core::{construct, train::train_subnet, IncrementalExecutor};
 use stepping_data::{Dataset, Split};
 use stepping_runtime::{drive, expand_macs, DeviceModel, ResourceTrace, UpgradePolicy};
 
 fn main() {
+    observe::init("reuse");
     let scale = ExperimentScale::from_env();
     let case = TestCase::lenet_3c1l(scale);
     let data = case.dataset().expect("dataset");
@@ -21,7 +23,7 @@ fn main() {
     train_subnet(&mut net, &data, 0, &case.pretrain_options()).expect("pretrain");
     let copts = case.construction_options();
     let report = construct(&mut net, &data, &copts).expect("construct");
-    eprintln!("constructed; budgets met: {}", report.satisfied);
+    progress(&format!("constructed; budgets met: {}", report.satisfied));
 
     let thr = copts.prune_threshold;
     let device = DeviceModel::embedded();
@@ -42,7 +44,7 @@ fn main() {
             format!("{:.1}us", device.latency_us(step)),
         ]);
     }
-    println!("\nREUSE: incremental expansion vs from-scratch execution");
+    report_text("\nREUSE: incremental expansion vs from-scratch execution");
     print_table(
         &[
             "subnet",
@@ -63,21 +65,21 @@ fn main() {
     for _ in 1..subnets {
         exec.expand().expect("expand");
     }
-    println!(
+    report_text(&format!(
         "\nexecutor cumulative MACs after final step: {}",
         exec.cumulative_macs()
-    );
+    ));
 
     // anytime drive over a bursty trace: incremental vs recompute policies
     let full = net.macs(net.subnet_count() - 1, thr);
     let trace = ResourceTrace::bursty(7, full / 8, full / 2, 0.3, 12);
     let inc = drive(&mut net, &x, &trace, UpgradePolicy::Incremental, thr).expect("drive");
     let rec = drive(&mut net, &x, &trace, UpgradePolicy::Recompute, thr).expect("drive");
-    println!(
+    report_text(&format!(
         "\nANYTIME drive over bursty trace ({} slices, {} total MACs):",
         trace.len(),
         trace.total()
-    );
+    ));
     print_table(
         &["policy", "final subnet", "total MACs", "first prediction"],
         &[
@@ -95,4 +97,5 @@ fn main() {
             ],
         ],
     );
+    observe::finish();
 }

@@ -8,12 +8,14 @@
 
 use std::time::Instant;
 
+use stepping_bench::observe::{self, progress, report_text};
 use stepping_bench::{format_pct, print_table, run_steppingnet, ExperimentScale, TestCase};
 
 fn main() {
+    observe::init("table1");
     let scale = ExperimentScale::from_env();
     let cases = TestCase::all(scale);
-    eprintln!("table1: scale {scale:?}, {} cases", cases.len());
+    progress(&format!("table1: scale {scale:?}, {} cases", cases.len()));
     let start = Instant::now();
 
     // The three cases are independent; run them on separate threads.
@@ -24,7 +26,7 @@ fn main() {
                 s.spawn(move || {
                     let t = Instant::now();
                     let r = run_steppingnet(case, None, true, true);
-                    eprintln!("  {} finished in {:.1?}", case.name, t.elapsed());
+                    progress(&format!("  {} finished in {:.1?}", case.name, t.elapsed()));
                     r
                 })
             })
@@ -40,7 +42,7 @@ fn main() {
         let r = match r {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("case failed: {e}");
+                progress(&format!("case failed: {e}"));
                 continue;
             }
         };
@@ -60,7 +62,7 @@ fn main() {
         });
         rows.push(row);
     }
-    println!("\nTABLE I: Results of SteppingNet (reproduction)");
+    report_text("\nTABLE I: Results of SteppingNet (reproduction)");
     print_table(
         &[
             "Network",
@@ -78,5 +80,6 @@ fn main() {
         ],
         &rows,
     );
-    println!("\ntotal wall time: {:.1?}", start.elapsed());
+    report_text(&format!("\ntotal wall time: {:.1?}", start.elapsed()));
+    observe::finish();
 }

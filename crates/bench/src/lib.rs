@@ -20,9 +20,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cases;
+pub mod observe;
 pub mod pipeline;
 pub mod report;
 
 pub use cases::{ExperimentScale, TestCase};
 pub use pipeline::{run_any_width, run_slimmable, run_steppingnet, BaselineResult, PipelineResult};
-pub use report::{ascii_plot, format_pct, print_table, Series};
+pub use report::{ascii_plot, format_pct, print_table, render_table, Series};

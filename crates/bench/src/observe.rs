@@ -1,0 +1,54 @@
+//! Observability wiring for the experiment binaries.
+//!
+//! [`init`] installs the process-wide observer with a [`ConsoleSink`]
+//! (stdout/stderr, preserving the classic terminal output) plus a
+//! [`JsonlSink`] writing `results/<bin>.events.jsonl`, so one run drives
+//! both the human-readable report and the `stepping-obs-report` pipeline.
+//! Tables and progress notes go through [`report_text`] / [`progress`] —
+//! a single code path whether or not an observer is installed.
+//!
+//! Telemetry spans from construction/training/inference additionally flow
+//! when the binary is built with `--features obs` (which enables
+//! `stepping-core/obs`); without it only report/progress events are
+//! recorded.
+//!
+//! [`ConsoleSink`]: stepping_obs::ConsoleSink
+//! [`JsonlSink`]: stepping_obs::JsonlSink
+
+use std::path::PathBuf;
+
+pub use stepping_obs::{progress, report_text};
+
+/// Installs the observer with console + JSONL sinks for binary `bin`.
+///
+/// The JSONL sink writes to `results/<bin>.events.jsonl` (directory created
+/// if missing); set `STEPPING_EVENTS=0` to skip the file, e.g. for runs in
+/// read-only checkouts. Returns the events path if one was opened. Safe to
+/// call once per process; I/O failures downgrade to a warning.
+pub fn init(bin: &str) -> Option<PathBuf> {
+    stepping_obs::add_sink(Box::new(stepping_obs::ConsoleSink::new()));
+    let want_file = std::env::var("STEPPING_EVENTS").ok().as_deref() != Some("0");
+    let opened = want_file
+        .then(|| PathBuf::from(format!("results/{bin}.events.jsonl")))
+        .and_then(|p| match stepping_obs::JsonlSink::create(&p) {
+            Ok(sink) => {
+                stepping_obs::add_sink(Box::new(sink));
+                Some(p)
+            }
+            Err(e) => {
+                eprintln!("warning: cannot open {}: {e}", p.display());
+                None
+            }
+        });
+    stepping_obs::install();
+    if let Some(p) = &opened {
+        progress(&format!("events -> {}", p.display()));
+    }
+    opened
+}
+
+/// Flushes every sink (in particular the buffered JSONL writer); call at
+/// the end of `main`.
+pub fn finish() {
+    stepping_obs::flush();
+}

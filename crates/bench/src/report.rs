@@ -5,7 +5,51 @@ pub fn format_pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
 }
 
-/// Prints an aligned text table with a header row.
+/// Renders an aligned text table with a header row (no trailing newline).
+///
+/// # Example
+///
+/// ```
+/// let t = stepping_bench::render_table(
+///     &["net", "acc"],
+///     &[vec!["LeNet-5".to_string(), "74.96%".to_string()]],
+/// );
+/// assert!(t.starts_with("net"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| cells.into_iter().collect::<Vec<_>>().join("  ");
+    let mut out = Vec::with_capacity(rows.len() + 2);
+    let header: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
+        .collect();
+    out.push(line(header));
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push(line(rule));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .take(cols)
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
+        out.push(line(cells));
+    }
+    out.join("\n")
+}
+
+/// Prints an aligned text table through the observability report channel:
+/// with an observer installed (see [`crate::observe`]) the table is one
+/// `report`/`text` event — stdout via the console sink, recorded verbatim
+/// in JSONL — otherwise it falls back to plain `println!`.
 ///
 /// # Example
 ///
@@ -16,31 +60,7 @@ pub fn format_pct(x: f64) -> String {
 /// );
 /// ```
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
-    let cols = headers.len();
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate().take(cols) {
-            widths[i] = widths[i].max(cell.len());
-        }
-    }
-    let line = |cells: Vec<String>| cells.into_iter().collect::<Vec<_>>().join("  ");
-    let header: Vec<String> = headers
-        .iter()
-        .enumerate()
-        .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
-        .collect();
-    println!("{}", line(header));
-    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-    println!("{}", line(rule));
-    for row in rows {
-        let cells: Vec<String> = row
-            .iter()
-            .enumerate()
-            .take(cols)
-            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
-            .collect();
-        println!("{}", line(cells));
-    }
+    stepping_obs::report_text(&render_table(headers, rows));
 }
 
 /// One labelled series of `(x, y)` points for [`ascii_plot`].
@@ -140,6 +160,15 @@ mod tests {
         assert_eq!(format_pct(0.8336), "83.36%");
         assert_eq!(format_pct(1.0), "100.00%");
         assert_eq!(format_pct(0.0965), "9.65%");
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(&["a", "bbb"], &[vec!["11".into(), "2".into()]]);
+        let lines: Vec<_> = t.lines().collect();
+        assert_eq!(lines[0], "a   bbb");
+        assert_eq!(lines[1], "--  ---");
+        assert_eq!(lines[2], "11  2  ");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use stepping_data::{BatchIter, Dataset, Split};
 use stepping_nn::{loss, optim::Sgd};
 
+use crate::telemetry::{self, Value};
 use crate::{Result, SteppingError, SteppingNet};
 
 /// Which neuron-selection criterion drives reallocation.
@@ -111,6 +112,12 @@ pub struct IterationLog {
     pub moved: Vec<usize>,
     /// Mean training loss per subnet this iteration.
     pub train_loss: Vec<f32>,
+    /// Synapses revived this iteration: weights zeroed by an earlier prune
+    /// that regrew to `>= prune_threshold` during this round's training.
+    pub revived: usize,
+    /// Per-subnet budget slack `target_k − macs_k` after this iteration's
+    /// moves (negative while a subnet is still over budget).
+    pub budget_slack: Vec<i64>,
 }
 
 /// Result of [`construct`].
@@ -124,20 +131,31 @@ pub struct ConstructionReport {
     pub satisfied: bool,
     /// Total weights zeroed by pruning over the whole run.
     pub pruned_weights: usize,
+    /// Total synapses revived (pruned weights that regrew above the
+    /// threshold) over the whole run.
+    pub revived_weights: usize,
+    /// Final per-subnet budget slack `target_k − macs_k` (post final prune;
+    /// non-negative iff `satisfied`).
+    pub final_slack: Vec<i64>,
 }
 
 impl std::fmt::Display for ConstructionReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "construction: {} iterations, budgets {}, {} weights pruned",
+            "construction: {} iterations, budgets {}, {} weights pruned, {} revived",
             self.iterations.len(),
             if self.satisfied { "met" } else { "NOT met" },
-            self.pruned_weights
+            self.pruned_weights,
+            self.revived_weights
         )?;
         write!(f, "final MACs per subnet:")?;
         for m in &self.final_macs {
             write!(f, " {m}")?;
+        }
+        write!(f, "\nfinal budget slack per subnet:")?;
+        for s in &self.final_slack {
+            write!(f, " {s}")?;
         }
         Ok(())
     }
@@ -221,6 +239,24 @@ fn train_round(
             count += 1;
         }
         *loss = total / count.max(1) as f32;
+        telemetry::counter(
+            "construction",
+            "construct.train_batches",
+            count as u64,
+            &[
+                ("iteration", Value::U64(iteration as u64)),
+                ("subnet", Value::U64(k as u64)),
+                ("loss", Value::F64(f64::from(*loss))),
+                (
+                    "beta",
+                    Value::F64(if opts.suppress_updates {
+                        f64::from(opts.beta)
+                    } else {
+                        1.0
+                    }),
+                ),
+            ],
+        );
     }
     net.clear_lr_suppression();
     Ok(losses)
@@ -287,6 +323,22 @@ fn move_round(
 ) -> Result<usize> {
     let target = subnet + 1; // == subnet_count means the unused pool
     let cands = candidates(net, subnet, alpha, opts.prune_threshold, opts.criterion);
+    if telemetry::enabled() && !cands.is_empty() {
+        let n = cands.len() as f64;
+        let mean = cands.iter().map(|c| c.score).sum::<f64>() / n;
+        telemetry::point(
+            "construction",
+            "construct.importance",
+            &[
+                ("subnet", Value::U64(subnet as u64)),
+                ("candidates", Value::U64(cands.len() as u64)),
+                ("score_min", Value::F64(cands[0].score)),
+                ("score_mean", Value::F64(mean)),
+                ("score_max", Value::F64(cands[cands.len() - 1].score)),
+                ("move_mass", Value::U64(move_mass)),
+            ],
+        );
+    }
     // How many neurons each stage may still give away from this subnet.
     let mut stage_budget: std::collections::HashMap<usize, usize> =
         std::collections::HashMap::new();
@@ -338,6 +390,7 @@ pub fn construct(
     opts: &ConstructionOptions,
 ) -> Result<ConstructionReport> {
     validate(net, opts)?;
+    let run_span = telemetry::span("construction", "construct.run");
     if opts.warm_start_heads {
         net.warm_start_heads();
     }
@@ -348,6 +401,13 @@ pub fn construct(
     let quota = ((full.saturating_sub(opts.mac_targets[0])) / opts.iterations as u64).max(1);
     let mut logs: Vec<IterationLog> = Vec::new();
     let mut pruned_weights = 0usize;
+    let mut revived_weights = 0usize;
+    let slack_of = |macs: &[u64], targets: &[u64]| -> Vec<i64> {
+        macs.iter()
+            .zip(targets.iter())
+            .map(|(&m, &t)| t as i64 - m as i64)
+            .collect()
+    };
 
     let allowed_inc = |k: usize| -> u64 {
         if k == 0 {
@@ -372,9 +432,14 @@ pub fn construct(
 
     let mut satisfied = false;
     for it in 0..opts.iterations {
+        let iter_span = telemetry::span("construction", "construct.iteration");
+        let zeroed_before = net.zeroed_weight_masks();
         net.reset_importance();
         let train_loss = train_round(net, data, opts, it)?;
-        pruned_weights += net.prune(opts.prune_threshold);
+        let iter_pruned = net.prune(opts.prune_threshold);
+        pruned_weights += iter_pruned;
+        let revived = net.count_revived(&zeroed_before, opts.prune_threshold);
+        revived_weights += revived;
 
         let mut moved = vec![0usize; n];
         for k in 0..n {
@@ -388,11 +453,30 @@ pub fn construct(
         }
 
         let macs: Vec<u64> = (0..n).map(|k| net.macs(k, opts.prune_threshold)).collect();
+        let budget_slack = slack_of(&macs, &opts.mac_targets);
+        if telemetry::enabled() {
+            for k in 0..n {
+                telemetry::point(
+                    "construction",
+                    "construct.subnet",
+                    &[
+                        ("iteration", Value::U64(it as u64)),
+                        ("subnet", Value::U64(k as u64)),
+                        ("macs", Value::U64(macs[k])),
+                        ("target", Value::U64(opts.mac_targets[k])),
+                        ("slack", Value::I64(budget_slack[k])),
+                        ("moved", Value::U64(moved[k] as u64)),
+                    ],
+                );
+            }
+        }
         logs.push(IterationLog {
             iteration: it,
             macs: macs.clone(),
-            moved,
-            train_loss,
+            moved: moved.clone(),
+            train_loss: train_loss.clone(),
+            revived,
+            budget_slack,
         });
 
         // With the `verify-invariants` feature, re-verify the stepping
@@ -403,6 +487,22 @@ pub fn construct(
             .iter()
             .zip(opts.mac_targets.iter())
             .all(|(m, t)| m <= t);
+        iter_span.end(&[
+            ("iteration", Value::U64(it as u64)),
+            (
+                "neurons_moved",
+                Value::U64(moved.iter().sum::<usize>() as u64),
+            ),
+            ("synapses_pruned", Value::U64(iter_pruned as u64)),
+            ("synapses_revived", Value::U64(revived as u64)),
+            (
+                "loss_mean",
+                Value::F64(
+                    f64::from(train_loss.iter().sum::<f32>()) / train_loss.len().max(1) as f64,
+                ),
+            ),
+            ("satisfied", Value::Bool(satisfied)),
+        ]);
         if satisfied {
             break;
         }
@@ -440,11 +540,21 @@ pub fn construct(
         .iter()
         .zip(opts.mac_targets.iter())
         .all(|(m, t)| m <= t);
+    let final_slack = slack_of(&final_macs, &opts.mac_targets);
+    run_span.end(&[
+        ("iterations", Value::U64(logs.len() as u64)),
+        ("fixup_rounds", Value::U64(fixup as u64)),
+        ("satisfied", Value::Bool(satisfied)),
+        ("pruned_weights", Value::U64(pruned_weights as u64)),
+        ("revived_weights", Value::U64(revived_weights as u64)),
+    ]);
     Ok(ConstructionReport {
         iterations: logs,
         final_macs,
         satisfied,
         pruned_weights,
+        revived_weights,
+        final_slack,
     })
 }
 
@@ -578,6 +688,22 @@ mod tests {
         let log = &report.iterations[0];
         assert_eq!(log.macs.len(), 2);
         assert_eq!(log.train_loss.len(), 2);
+        assert_eq!(log.budget_slack.len(), 2);
+        for log in &report.iterations {
+            for (k, slack) in log.budget_slack.iter().enumerate() {
+                assert_eq!(*slack, o.mac_targets[k] as i64 - log.macs[k] as i64);
+            }
+        }
+        assert_eq!(report.final_slack.len(), 2);
+        assert_eq!(
+            report.satisfied,
+            report.final_slack.iter().all(|s| *s >= 0),
+            "satisfied must match non-negative final slack"
+        );
+        assert_eq!(
+            report.revived_weights,
+            report.iterations.iter().map(|l| l.revived).sum::<usize>()
+        );
     }
 
     #[test]
@@ -628,9 +754,12 @@ mod tests {
             final_macs: vec![10, 20],
             satisfied: true,
             pruned_weights: 3,
+            revived_weights: 2,
+            final_slack: vec![5, -1],
         };
         let s = r.to_string();
         assert!(s.contains("met") && s.contains("10 20") && s.contains('3'));
+        assert!(s.contains("2 revived") && s.contains("5 -1"), "{s}");
         let r2 = ConstructionReport {
             satisfied: false,
             ..r

@@ -11,6 +11,7 @@ use stepping_nn::schedule::LrSchedule;
 use stepping_nn::{loss, optim::Sgd};
 use stepping_tensor::reduce;
 
+use crate::telemetry::{self, Value};
 use crate::{Result, SteppingError, SteppingNet};
 
 /// Options for [`distill`].
@@ -112,13 +113,19 @@ pub fn distill(
         )));
     }
     let n = net.subnet_count();
+    let run_span = telemetry::span("training", "distill.run");
     let mut sgd = Sgd::new(opts.lr).map_err(SteppingError::Nn)?;
     let mut losses = Vec::with_capacity(opts.epochs);
     for epoch in 0..opts.epochs {
+        let epoch_span = telemetry::span("training", "distill.epoch");
         sgd.set_lr(opts.lr * opts.schedule.multiplier(epoch))
             .map_err(SteppingError::Nn)?;
         let mut epoch_losses = vec![0.0f32; n];
         let mut batch_counts = vec![0usize; n];
+        // Cross-entropy component per subnet, accumulated only while an
+        // observer listens (the KL component follows from eq. 4:
+        // `L' = γ·CE + (1−γ)·KL`).
+        let mut ce_sums = vec![0.0f64; n];
         for batch in BatchIter::new(data, Split::Train, opts.batch_size, epoch as u64, opts.seed) {
             let (x, y) = batch?;
             let teacher_probs = if opts.use_distillation {
@@ -136,6 +143,10 @@ pub fn distill(
                 }
                 net.zero_grad();
                 let logits = net.forward(&x, k, true)?;
+                if telemetry::enabled() {
+                    let (ce, _) = loss::cross_entropy(&logits, &y).map_err(SteppingError::Nn)?;
+                    ce_sums[k] += f64::from(ce);
+                }
                 let (l, dlogits) = match &teacher_probs {
                     Some(tp) => loss::distillation(&logits, tp, &y, opts.gamma)
                         .map_err(SteppingError::Nn)?,
@@ -151,9 +162,65 @@ pub fn distill(
         for (l, c) in epoch_losses.iter_mut().zip(batch_counts.iter()) {
             *l /= (*c).max(1) as f32;
         }
+        if telemetry::enabled() {
+            let gamma = f64::from(opts.gamma);
+            for k in 0..n {
+                let combined = f64::from(epoch_losses[k]);
+                let ce = ce_sums[k] / batch_counts[k].max(1) as f64;
+                // eq. 4 decomposition; without KD (or at γ = 1) the combined
+                // loss is pure cross-entropy.
+                let kl = if opts.use_distillation && gamma < 1.0 {
+                    (combined - gamma * ce) / (1.0 - gamma)
+                } else {
+                    0.0
+                };
+                // The strongest update suppression actually applied while
+                // training subnet k: β^(j−i) for the largest subnet j.
+                let min_factor = if opts.suppress_updates {
+                    f64::from(opts.beta).powi((n - 1 - k) as i32)
+                } else {
+                    1.0
+                };
+                telemetry::point(
+                    "training",
+                    "distill.subnet",
+                    &[
+                        ("epoch", Value::U64(epoch as u64)),
+                        ("subnet", Value::U64(k as u64)),
+                        ("loss", Value::F64(combined)),
+                        ("loss_ce", Value::F64(ce)),
+                        ("loss_kl", Value::F64(kl)),
+                        ("gamma", Value::F64(gamma)),
+                        ("suppression_min_factor", Value::F64(min_factor)),
+                    ],
+                );
+                telemetry::counter(
+                    "training",
+                    "distill.batches",
+                    batch_counts[k] as u64,
+                    &[("subnet", Value::U64(k as u64))],
+                );
+            }
+        }
+        epoch_span.end(&[
+            ("epoch", Value::U64(epoch as u64)),
+            (
+                "loss_mean",
+                Value::F64(
+                    epoch_losses.iter().map(|l| f64::from(*l)).sum::<f64>() / n.max(1) as f64,
+                ),
+            ),
+        ]);
         losses.push(epoch_losses);
     }
     net.clear_lr_suppression();
+    run_span.end(&[
+        ("epochs", Value::U64(opts.epochs as u64)),
+        ("gamma", Value::F64(f64::from(opts.gamma))),
+        ("beta", Value::F64(f64::from(opts.beta))),
+        ("kd", Value::Bool(opts.use_distillation)),
+        ("suppressed", Value::Bool(opts.suppress_updates)),
+    ]);
     Ok(DistillReport { losses })
 }
 

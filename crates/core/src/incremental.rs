@@ -12,6 +12,7 @@
 
 use stepping_tensor::Tensor;
 
+use crate::telemetry::{self, Value};
 use crate::{FixedStage, Result, Stage, SteppingError, SteppingNet};
 
 /// Outcome of one executor step ([`IncrementalExecutor::begin`] or
@@ -89,6 +90,7 @@ impl<'a> IncrementalExecutor<'a> {
     ///
     /// Propagates forward errors.
     pub fn begin(&mut self, input: &Tensor) -> Result<ExpandStep> {
+        let span = telemetry::span("inference", "exec.begin");
         self.acts.clear();
         self.acts.push(input.clone());
         for si in 0..self.net.stages().len() {
@@ -102,6 +104,11 @@ impl<'a> IncrementalExecutor<'a> {
         self.current = Some(0);
         self.computed = 0;
         self.cumulative_macs = step_macs;
+        span.end(&[
+            ("subnet", Value::U64(0)),
+            ("step_macs", Value::U64(step_macs)),
+            ("cached_stages", Value::U64(self.acts.len() as u64 - 1)),
+        ]);
         Ok(ExpandStep {
             subnet: 0,
             logits,
@@ -127,6 +134,7 @@ impl<'a> IncrementalExecutor<'a> {
                 "already at largest subnet {cur}"
             )));
         }
+        let span = telemetry::span("inference", "exec.expand");
         if k <= self.computed {
             // The caches already hold every neuron of subnet `k` (we
             // contracted earlier) — only the head needs to run.
@@ -135,6 +143,19 @@ impl<'a> IncrementalExecutor<'a> {
             let step_macs = self.net.head_macs(k);
             self.current = Some(k);
             self.cumulative_macs += step_macs;
+            if span.is_active() {
+                let scratch = self.net.macs(k, self.prune_threshold);
+                span.end(&[
+                    ("subnet", Value::U64(k as u64)),
+                    ("step_macs", Value::U64(step_macs)),
+                    ("cumulative_macs", Value::U64(self.cumulative_macs)),
+                    ("head_only", Value::Bool(true)),
+                    (
+                        "reuse_ratio",
+                        Value::F64(1.0 - step_macs as f64 / scratch.max(1) as f64),
+                    ),
+                ]);
+            }
             return Ok(ExpandStep {
                 subnet: k,
                 logits,
@@ -181,6 +202,21 @@ impl<'a> IncrementalExecutor<'a> {
         self.current = Some(k);
         self.computed = k;
         self.cumulative_macs += step_macs;
+        if span.is_active() {
+            // Reuse ratio: fraction of the from-scratch subnet-k cost that
+            // cached activations made unnecessary.
+            let scratch = self.net.macs(k, self.prune_threshold);
+            span.end(&[
+                ("subnet", Value::U64(k as u64)),
+                ("step_macs", Value::U64(step_macs)),
+                ("cumulative_macs", Value::U64(self.cumulative_macs)),
+                ("head_only", Value::Bool(false)),
+                (
+                    "reuse_ratio",
+                    Value::F64(1.0 - step_macs as f64 / scratch.max(1) as f64),
+                ),
+            ]);
+        }
         Ok(ExpandStep {
             subnet: k,
             logits,
@@ -208,12 +244,19 @@ impl<'a> IncrementalExecutor<'a> {
                 "already at smallest subnet".into(),
             ));
         }
+        let span = telemetry::span("inference", "exec.contract");
         let k = cur - 1;
         let features = self.acts.last().expect("acts nonempty").clone();
         let logits = self.net.head_forward(&features, k, false)?;
         let step_macs = self.net.head_macs(k);
         self.current = Some(k);
         self.cumulative_macs += step_macs;
+        span.end(&[
+            ("subnet", Value::U64(k as u64)),
+            ("step_macs", Value::U64(step_macs)),
+            ("cumulative_macs", Value::U64(self.cumulative_macs)),
+            ("computed_level", Value::U64(self.computed as u64)),
+        ]);
         Ok(ExpandStep {
             subnet: k,
             logits,

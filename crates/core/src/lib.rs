@@ -52,6 +52,7 @@ mod masked_conv;
 mod masked_linear;
 mod net;
 mod stage;
+pub mod telemetry;
 pub mod train;
 
 pub use assign::Assignment;

@@ -396,6 +396,26 @@ impl MaskedConv2d {
         pruned
     }
 
+    /// Boolean mask of currently-zeroed kernel weights (`true` = exactly
+    /// zero), flattened in weight order (see
+    /// [`MaskedLinear::zeroed_weights`](crate::MaskedLinear::zeroed_weights)).
+    pub fn zeroed_weights(&self) -> Vec<bool> {
+        self.weight.value.data().iter().map(|w| *w == 0.0).collect()
+    }
+
+    /// Counts kernel weights zero in `before` that now carry magnitude
+    /// `>= threshold` (see
+    /// [`MaskedLinear::count_revived`](crate::MaskedLinear::count_revived)).
+    pub fn count_revived(&self, before: &[bool], threshold: f32) -> usize {
+        self.weight
+            .value
+            .data()
+            .iter()
+            .zip(before.iter())
+            .filter(|(w, was_zero)| **was_zero && w.abs() >= threshold)
+            .count()
+    }
+
     /// MAC operations of `subnet`: legal, unpruned kernel weights into active
     /// filters, times output positions.
     pub fn macs(&self, subnet: usize, threshold: f32) -> u64 {

@@ -329,6 +329,26 @@ impl MaskedLinear {
         pruned
     }
 
+    /// Boolean mask of currently-zeroed weights (`true` = exactly zero),
+    /// flattened in weight order. Snapshot before a training round to count
+    /// revivals with [`count_revived`](Self::count_revived).
+    pub fn zeroed_weights(&self) -> Vec<bool> {
+        self.weight.value.data().iter().map(|w| *w == 0.0).collect()
+    }
+
+    /// Counts weights that were zero in `before` (a
+    /// [`zeroed_weights`](Self::zeroed_weights) snapshot) and now carry
+    /// magnitude `>= threshold` — synapses revived by non-permanent pruning.
+    pub fn count_revived(&self, before: &[bool], threshold: f32) -> usize {
+        self.weight
+            .value
+            .data()
+            .iter()
+            .zip(before.iter())
+            .filter(|(w, was_zero)| **was_zero && w.abs() >= threshold)
+            .count()
+    }
+
     /// MAC operations of `subnet`: legal, unpruned weights into active
     /// neurons. `threshold` is the pruning threshold used for counting.
     pub fn macs(&self, subnet: usize, threshold: f32) -> u64 {

@@ -423,6 +423,24 @@ impl SteppingNet {
         self.stages.iter_mut().map(|s| s.prune(threshold)).sum()
     }
 
+    /// Per-stage snapshots of which weights are currently zero, for revival
+    /// tracking across a training round (fixed stages yield empty masks).
+    pub fn zeroed_weight_masks(&self) -> Vec<Vec<bool>> {
+        self.stages.iter().map(|s| s.zeroed_weights()).collect()
+    }
+
+    /// Counts synapses that were zero in `before` (a
+    /// [`zeroed_weight_masks`](Self::zeroed_weight_masks) snapshot) and now
+    /// carry magnitude `>= threshold` — weights revived after non-permanent
+    /// pruning.
+    pub fn count_revived(&self, before: &[Vec<bool>], threshold: f32) -> usize {
+        self.stages
+            .iter()
+            .zip(before.iter())
+            .map(|(s, b)| s.count_revived(b, threshold))
+            .sum()
+    }
+
     /// Clears accumulated importance on every masked stage.
     pub fn reset_importance(&mut self) {
         for s in &mut self.stages {

@@ -280,6 +280,26 @@ impl Stage {
         }
     }
 
+    /// Boolean mask of currently-zeroed weights on masked stages (empty for
+    /// fixed stages), for revival tracking across a training round.
+    pub fn zeroed_weights(&self) -> Vec<bool> {
+        match self {
+            Stage::Linear(l) => l.zeroed_weights(),
+            Stage::Conv(c) => c.zeroed_weights(),
+            Stage::Fixed(_) => Vec::new(),
+        }
+    }
+
+    /// Counts weights zero in `before` now at magnitude `>= threshold`
+    /// (always `0` for fixed stages).
+    pub fn count_revived(&self, before: &[bool], threshold: f32) -> usize {
+        match self {
+            Stage::Linear(l) => l.count_revived(before, threshold),
+            Stage::Conv(c) => c.count_revived(before, threshold),
+            Stage::Fixed(_) => 0,
+        }
+    }
+
     /// Clears accumulated importance on masked stages.
     pub fn reset_importance(&mut self) {
         match self {

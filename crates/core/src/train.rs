@@ -11,6 +11,7 @@ use stepping_nn::schedule::LrSchedule;
 use stepping_nn::{loss, optim::Sgd};
 use stepping_tensor::{reduce, Tensor};
 
+use crate::telemetry::{self, Value};
 use crate::{Result, SteppingError, SteppingNet};
 
 /// Options for [`train_subnet`].
@@ -84,11 +85,13 @@ pub fn train_subnet(
             "invalid learning-rate schedule".into(),
         ));
     }
+    let run_span = telemetry::span("training", "train.subnet");
     let mut sgd = Sgd::new(opts.lr).map_err(SteppingError::Nn)?;
     let mut epoch_losses = Vec::with_capacity(opts.epochs);
     for epoch in 0..opts.epochs {
-        sgd.set_lr(opts.lr * opts.schedule.multiplier(epoch))
-            .map_err(SteppingError::Nn)?;
+        let epoch_span = telemetry::span("training", "train.epoch");
+        let lr = opts.lr * opts.schedule.multiplier(epoch);
+        sgd.set_lr(lr).map_err(SteppingError::Nn)?;
         let mut total = 0.0;
         let mut batches = 0;
         for batch in BatchIter::new(data, Split::Train, opts.batch_size, epoch as u64, opts.seed) {
@@ -102,8 +105,33 @@ pub fn train_subnet(
             total += l;
             batches += 1;
         }
-        epoch_losses.push(total / batches.max(1) as f32);
+        let mean = total / batches.max(1) as f32;
+        epoch_losses.push(mean);
+        telemetry::counter(
+            "training",
+            "train.batches",
+            batches as u64,
+            &[
+                ("subnet", Value::U64(subnet as u64)),
+                ("epoch", Value::U64(epoch as u64)),
+            ],
+        );
+        epoch_span.end(&[
+            ("subnet", Value::U64(subnet as u64)),
+            ("epoch", Value::U64(epoch as u64)),
+            ("batches", Value::U64(batches as u64)),
+            ("loss", Value::F64(f64::from(mean))),
+            ("lr", Value::F64(f64::from(lr))),
+        ]);
     }
+    run_span.end(&[
+        ("subnet", Value::U64(subnet as u64)),
+        ("epochs", Value::U64(opts.epochs as u64)),
+        (
+            "final_loss",
+            Value::F64(f64::from(epoch_losses.last().copied().unwrap_or(0.0))),
+        ),
+    ]);
     Ok(epoch_losses)
 }
 

@@ -1,0 +1,50 @@
+//! `stepping-obs-report` — summarize a JSONL event file produced by
+//! [`stepping_obs::JsonlSink`].
+//!
+//! ```text
+//! stepping-obs-report results/run.events.jsonl
+//! stepping-obs-report -          # read JSONL from stdin
+//! ```
+//!
+//! Renders per-phase event/span totals, construction/training/inference
+//! roll-ups, a budget-utilization histogram, and the slowest spans.
+//! Exits 0 on success, 2 on usage, I/O, or parse errors.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use stepping_obs::{parse_jsonl, summarize};
+
+const USAGE: &str = "usage: stepping-obs-report <events.jsonl | ->";
+
+fn run() -> Result<String, String> {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().ok_or(USAGE.to_string())?;
+    if args.next().is_some() || path == "--help" || path == "-h" {
+        return Err(USAGE.to_string());
+    }
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?
+    };
+    let events = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(summarize(&events).to_string())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! In-process aggregation: span statistics, counter totals, and a small
+//! fixed-bucket histogram used for budget-utilization summaries.
+
+use std::collections::BTreeMap;
+
+use stepping_core::telemetry::{Event, EventKind};
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Sum of elapsed times.
+    pub total_ns: u64,
+    /// Fastest span (`u64::MAX` while `count == 0`; use accessors).
+    pub min_ns: u64,
+    /// Slowest span.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Folds one completed span's elapsed time into the stats.
+    pub fn observe(&mut self, elapsed_ns: u64) {
+        if self.count == 0 {
+            self.min_ns = elapsed_ns;
+            self.max_ns = elapsed_ns;
+        } else {
+            self.min_ns = self.min_ns.min(elapsed_ns);
+            self.max_ns = self.max_ns.max(elapsed_ns);
+        }
+        self.count += 1;
+        self.total_ns += elapsed_ns;
+    }
+
+    /// Mean elapsed nanoseconds (0 when no spans were observed).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregated increments for one counter name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterStats {
+    /// Number of `counter` events observed.
+    pub increments: u64,
+    /// Sum of deltas.
+    pub total: u64,
+}
+
+/// Running aggregates over every event dispatched through the registry,
+/// keyed by `(phase, name)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Aggregates {
+    /// Completed spans.
+    pub spans: BTreeMap<(String, String), SpanStats>,
+    /// Counters.
+    pub counters: BTreeMap<(String, String), CounterStats>,
+    /// Point-event occurrence counts.
+    pub points: BTreeMap<(String, String), u64>,
+}
+
+impl Aggregates {
+    /// Folds one event into the aggregates.
+    pub fn observe(&mut self, ev: &Event<'_>) {
+        let key = (ev.phase.to_string(), ev.name.to_string());
+        match ev.kind {
+            EventKind::Point => *self.points.entry(key).or_insert(0) += 1,
+            EventKind::SpanEnd { elapsed_ns } => {
+                self.spans.entry(key).or_default().observe(elapsed_ns);
+            }
+            EventKind::Counter { delta } => {
+                let c = self.counters.entry(key).or_default();
+                c.increments += 1;
+                c.total += delta;
+            }
+        }
+    }
+
+    /// Counter total for `(phase, name)`, 0 if never incremented.
+    pub fn counter_total(&self, phase: &str, name: &str) -> u64 {
+        self.counters
+            .get(&(phase.to_string(), name.to_string()))
+            .map_or(0, |c| c.total)
+    }
+
+    /// Span stats for `(phase, name)`, if any span completed.
+    pub fn span(&self, phase: &str, name: &str) -> Option<&SpanStats> {
+        self.spans.get(&(phase.to_string(), name.to_string()))
+    }
+}
+
+/// A fixed-bucket histogram over `[0, 1+)` ratios, rendered as an ASCII bar
+/// chart. Used for budget-utilization (`spent / budget`) distributions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RatioHistogram {
+    /// Bucket counts: ten `[k/10, (k+1)/10)` buckets plus a final `>= 1.0`
+    /// overflow bucket.
+    pub buckets: [u64; 11],
+    /// Total samples.
+    pub samples: u64,
+}
+
+impl RatioHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one ratio; negative/NaN values clamp to the first bucket,
+    /// values `>= 1.0` land in the overflow bucket.
+    pub fn record(&mut self, ratio: f64) {
+        let idx = if ratio.is_nan() || ratio <= 0.0 {
+            0
+        } else if ratio >= 1.0 {
+            10
+        } else {
+            (ratio * 10.0) as usize
+        };
+        self.buckets[idx] += 1;
+        self.samples += 1;
+    }
+
+    /// Renders the histogram as aligned ASCII rows (`label | bar count`).
+    pub fn render(&self) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let label = if i < 10 {
+                format!("{:>3}-{:>3}%", i * 10, (i + 1) * 10)
+            } else {
+                "  >=100%".to_string()
+            };
+            let width = ((n as f64 / max as f64) * 40.0).round() as usize;
+            out.push_str(&format!("  {label} | {:<40} {n}\n", "#".repeat(width)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stepping_core::telemetry::Value;
+
+    fn ev(phase: &'static str, name: &'static str, kind: EventKind) -> Event<'static> {
+        Event {
+            phase,
+            name,
+            kind,
+            fields: &[],
+        }
+    }
+
+    #[test]
+    fn span_stats_track_min_mean_max() {
+        let mut agg = Aggregates::default();
+        for ns in [10, 30, 20] {
+            agg.observe(&ev(
+                "inference",
+                "drive.slice",
+                EventKind::SpanEnd { elapsed_ns: ns },
+            ));
+        }
+        let s = agg.span("inference", "drive.slice").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 30);
+        assert_eq!(s.total_ns, 60);
+        assert!((s.mean_ns() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_sum_deltas_and_count_increments() {
+        let mut agg = Aggregates::default();
+        for d in [2, 3, 5] {
+            agg.observe(&ev(
+                "training",
+                "train.batches",
+                EventKind::Counter { delta: d },
+            ));
+        }
+        let c = agg
+            .counters
+            .get(&("training".to_string(), "train.batches".to_string()))
+            .unwrap();
+        assert_eq!(c.increments, 3);
+        assert_eq!(c.total, 10);
+        assert_eq!(agg.counter_total("training", "train.batches"), 10);
+        assert_eq!(agg.counter_total("training", "missing"), 0);
+    }
+
+    #[test]
+    fn points_are_counted_per_name() {
+        let mut agg = Aggregates::default();
+        let fields = [("x", Value::U64(1))];
+        let e = Event {
+            phase: "inference",
+            name: "drive.upgrade",
+            kind: EventKind::Point,
+            fields: &fields,
+        };
+        agg.observe(&e);
+        agg.observe(&e);
+        assert_eq!(
+            agg.points
+                .get(&("inference".to_string(), "drive.upgrade".to_string())),
+            Some(&2)
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = RatioHistogram::new();
+        h.record(0.0);
+        h.record(0.05);
+        h.record(0.55);
+        h.record(0.999);
+        h.record(1.0);
+        h.record(2.5);
+        h.record(f64::NAN);
+        assert_eq!(h.samples, 7);
+        assert_eq!(h.buckets[0], 3); // 0.0, 0.05, NaN
+        assert_eq!(h.buckets[5], 1);
+        assert_eq!(h.buckets[9], 1);
+        assert_eq!(h.buckets[10], 2);
+        let render = h.render();
+        assert!(render.contains(">=100%"));
+        assert!(render.lines().count() == 11);
+    }
+}

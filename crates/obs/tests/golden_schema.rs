@@ -1,0 +1,120 @@
+//! Golden-file test for the JSONL event schema.
+//!
+//! Events with pinned sequence numbers, timestamps, and elapsed times are
+//! fed straight to a [`JsonlSink`] (bypassing the registry, which would
+//! stamp real wall-clock values); the bytes must match
+//! `tests/golden/events.jsonl` exactly. Any change to the line format is a
+//! consumer-visible schema change and must update the golden file
+//! deliberately.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use stepping_core::telemetry::{Event, EventKind, Value};
+use stepping_obs::{parse_jsonl, JsonlSink, Sink, Stamped};
+
+const GOLDEN: &str = include_str!("golden/events.jsonl");
+
+#[derive(Clone, Default)]
+struct Shared(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Shared {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn fixture_events() -> Vec<(u64, u64, Event<'static>)> {
+    vec![
+        (
+            0,
+            1000,
+            Event {
+                phase: "construction",
+                name: "construct.importance",
+                kind: EventKind::Point,
+                fields: &[
+                    ("subnet", Value::U64(1)),
+                    ("score_mean", Value::F64(0.5)),
+                    ("note", Value::Str("q\"uote")),
+                    ("flag", Value::Bool(true)),
+                ],
+            },
+        ),
+        (
+            1,
+            2000,
+            Event {
+                phase: "inference",
+                name: "drive.slice",
+                kind: EventKind::SpanEnd { elapsed_ns: 123456 },
+                fields: &[
+                    ("slice", Value::U64(0)),
+                    ("budget", Value::U64(100)),
+                    ("spent", Value::U64(75)),
+                    ("bank", Value::I64(-5)),
+                ],
+            },
+        ),
+        (
+            2,
+            3000,
+            Event {
+                phase: "training",
+                name: "train.batches",
+                kind: EventKind::Counter { delta: 8 },
+                fields: &[("subnet", Value::U64(2)), ("epoch", Value::U64(1))],
+            },
+        ),
+        (
+            3,
+            4000,
+            Event {
+                phase: "training",
+                name: "distill.subnet",
+                kind: EventKind::Point,
+                fields: &[("loss", Value::F64(f64::NAN)), ("gamma", Value::F64(0.7))],
+            },
+        ),
+    ]
+}
+
+#[test]
+fn jsonl_output_matches_golden_file() {
+    let shared = Shared::default();
+    let mut sink = JsonlSink::new(Box::new(shared.clone()));
+    for (seq, ts_ns, event) in &fixture_events() {
+        sink.record(&Stamped {
+            seq: *seq,
+            ts_ns: *ts_ns,
+            event,
+        });
+    }
+    sink.flush();
+    let produced = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+    assert_eq!(
+        produced, GOLDEN,
+        "JSONL schema drifted from tests/golden/events.jsonl — if intentional, update the golden file"
+    );
+}
+
+#[test]
+fn golden_file_parses_back_losslessly() {
+    let events = parse_jsonl(GOLDEN).unwrap();
+    assert_eq!(events.len(), 4);
+    assert_eq!(events[0].kind, "point");
+    assert_eq!(events[1].kind, "span");
+    assert_eq!(events[1].elapsed_ns, Some(123456));
+    assert_eq!(events[2].kind, "counter");
+    assert_eq!(events[2].delta, Some(8));
+    // the string field survives escaping round-trip
+    let note = events[0].field("note").unwrap();
+    assert_eq!(note, &stepping_obs::OwnedValue::Str("q\"uote".into()));
+    // NaN was nulled on write and dropped on read
+    assert!(events[3].field("loss").is_none());
+    assert!(events[3].field("gamma").is_some());
+}

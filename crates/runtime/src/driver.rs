@@ -11,6 +11,7 @@
 //!   subnet discards intermediate results and pays its full MAC count.
 
 use serde::{Deserialize, Serialize};
+use stepping_core::telemetry::{self, Value};
 use stepping_core::{IncrementalExecutor, Result, Stage, SteppingError, SteppingNet};
 use stepping_tensor::Tensor;
 
@@ -23,6 +24,16 @@ pub enum UpgradePolicy {
     Incremental,
     /// Recompute the larger subnet from scratch (baseline behaviour).
     Recompute,
+}
+
+impl UpgradePolicy {
+    /// Short label used in telemetry events.
+    pub fn label(self) -> &'static str {
+        match self {
+            UpgradePolicy::Incremental => "incremental",
+            UpgradePolicy::Recompute => "recompute",
+        }
+    }
 }
 
 /// Log of one timeslice of a drive.
@@ -110,6 +121,7 @@ pub fn drive(
         };
         step_cost.push(cost);
     }
+    let run_span = telemetry::span("inference", "drive.run");
     let mut exec = IncrementalExecutor::new(net, prune_threshold);
     let mut timeline = Vec::with_capacity(trace.len());
     let mut bank = 0u64;
@@ -119,9 +131,22 @@ pub fn drive(
     let mut total_macs = 0u64;
     let mut first_prediction_slice = None;
     for (i, &budget) in trace.budgets().iter().enumerate() {
+        let slice_span = telemetry::span("inference", "drive.slice");
         bank += budget;
         let mut spent = 0u64;
+        let mut upgrades = 0u64;
         while next_step < subnet_count && bank >= step_cost[next_step] {
+            telemetry::point(
+                "inference",
+                "drive.upgrade",
+                &[
+                    ("slice", Value::U64(i as u64)),
+                    ("to_subnet", Value::U64(next_step as u64)),
+                    ("cost", Value::U64(step_cost[next_step])),
+                    ("bank_before", Value::U64(bank)),
+                    ("policy", Value::Str(policy.label())),
+                ],
+            );
             bank -= step_cost[next_step];
             spent += step_cost[next_step];
             let step = if next_step == 0 {
@@ -135,8 +160,20 @@ pub fn drive(
                 first_prediction_slice = Some(i);
             }
             next_step += 1;
+            upgrades += 1;
         }
         total_macs += spent;
+        slice_span.end(&[
+            ("slice", Value::U64(i as u64)),
+            ("budget", Value::U64(budget)),
+            ("spent", Value::U64(spent)),
+            ("bank", Value::U64(bank)),
+            ("upgrades", Value::U64(upgrades)),
+            (
+                "subnet_ready",
+                Value::I64(final_subnet.map(|s| s as i64).unwrap_or(-1)),
+            ),
+        ]);
         timeline.push(SliceLog {
             slice: i,
             budget,
@@ -144,6 +181,19 @@ pub fn drive(
             subnet_ready: final_subnet,
         });
     }
+    run_span.end(&[
+        ("slices", Value::U64(trace.len() as u64)),
+        ("total_macs", Value::U64(total_macs)),
+        ("policy", Value::Str(policy.label())),
+        (
+            "final_subnet",
+            Value::I64(final_subnet.map(|s| s as i64).unwrap_or(-1)),
+        ),
+        (
+            "first_prediction_slice",
+            Value::I64(first_prediction_slice.map(|s| s as i64).unwrap_or(-1)),
+        ),
+    ]);
     Ok(DriveOutcome {
         timeline,
         final_subnet,
@@ -175,6 +225,14 @@ pub fn drive_until_deadline(
             trace.len()
         )));
     }
+    telemetry::point(
+        "inference",
+        "drive.deadline",
+        &[
+            ("deadline_slice", Value::U64(deadline_slice as u64)),
+            ("trace_len", Value::U64(trace.len() as u64)),
+        ],
+    );
     let truncated = ResourceTrace::from_budgets(trace.budgets()[..deadline_slice].to_vec());
     drive(net, input, &truncated, policy, prune_threshold)
 }

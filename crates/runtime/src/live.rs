@@ -13,6 +13,7 @@ use std::time::Duration;
 
 use crossbeam::channel;
 use parking_lot::RwLock;
+use stepping_core::telemetry::{self, Value};
 use stepping_core::{IncrementalExecutor, Result, SteppingError, SteppingNet};
 use stepping_tensor::Tensor;
 
@@ -117,6 +118,17 @@ pub fn run_live(
                 exec.expand()?
             };
             latest.publish(step.subnet, &step.logits);
+            telemetry::point(
+                "inference",
+                "live.prediction",
+                &[
+                    ("slice", Value::U64(slice as u64)),
+                    ("subnet", Value::U64(step.subnet as u64)),
+                    ("step_macs", Value::U64(step.step_macs)),
+                    ("cumulative_macs", Value::U64(step.cumulative_macs)),
+                    ("policy", Value::Str(policy.label())),
+                ],
+            );
             final_subnet = Some(step.subnet);
             final_logits = Some(step.logits);
             if next_step == 0 {

@@ -14,4 +14,15 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+# Feature matrix: telemetry compiled in, alone and combined with the
+# invariant gate, must not change any test outcome.
+echo "==> feature matrix: --features obs"
+cargo test -q --features obs
+
+echo "==> feature matrix: --features 'obs verify-invariants'"
+cargo test -q --features "obs verify-invariants"
+
+echo "==> stepping-obs crate tests"
+cargo test -q -p stepping-obs
+
 echo "check.sh: all gates passed"

@@ -15,7 +15,11 @@
 //! * [`baselines`] — the any-width and slimmable comparison networks,
 //! * [`runtime`] — the resource-varying platform simulator,
 //! * [`verify`] — the static invariant analyzer (rules R1–R6) and the
-//!   `stepping-verify` checkpoint lint CLI.
+//!   `stepping-verify` checkpoint lint CLI,
+//! * [`obs`] — structured observability: event sinks (console + JSONL),
+//!   aggregation, and the `stepping-obs-report` summary CLI. Build with
+//!   `--features obs` to compile telemetry emission into core (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! See `README.md` for a tour and `examples/` for runnable end-to-end
 //! programs; `DESIGN.md` documents the architecture and every substitution
@@ -43,6 +47,7 @@ pub use stepping_core as core;
 pub use stepping_data as data;
 pub use stepping_models as models;
 pub use stepping_nn as nn;
+pub use stepping_obs as obs;
 pub use stepping_runtime as runtime;
 pub use stepping_tensor as tensor;
 pub use stepping_verify as verify;

@@ -1,0 +1,73 @@
+//! Umbrella-crate observability integration: with `--features obs` the
+//! instrumented pipeline emits construction and inference events through
+//! the installed observer (exercised by scripts/check.sh's feature matrix).
+
+#![cfg(feature = "obs")]
+
+use steppingnet::core::{construct, ConstructionOptions, SteppingNetBuilder};
+use steppingnet::data::{GaussianBlobs, GaussianBlobsConfig};
+use steppingnet::obs::CaptureSink;
+use steppingnet::runtime::{drive, ResourceTrace, UpgradePolicy};
+use steppingnet::tensor::{init, Shape};
+
+#[test]
+fn pipeline_emits_events_through_umbrella_reexport() {
+    let sink = CaptureSink::new();
+    let handle = sink.handle();
+    steppingnet::obs::add_sink(Box::new(sink));
+    assert!(steppingnet::obs::install());
+    assert!(steppingnet::core::telemetry::enabled());
+
+    let d = GaussianBlobs::new(
+        GaussianBlobsConfig {
+            classes: 3,
+            features: 8,
+            train_per_class: 20,
+            test_per_class: 5,
+            separation: 2.0,
+            noise_std: 1.0,
+        },
+        21,
+    )
+    .unwrap();
+    let mut net = SteppingNetBuilder::new(Shape::of(&[8]), 2, 6)
+        .linear(16)
+        .relu()
+        .build(3)
+        .unwrap();
+    let full = net.full_macs();
+    let opts = ConstructionOptions {
+        mac_targets: vec![(full as f64 * 0.3) as u64, (full as f64 * 0.8) as u64],
+        iterations: 3,
+        batches_per_iter: 2,
+        batch_size: 16,
+        lr: 0.05,
+        ..Default::default()
+    };
+    let report = construct(&mut net, &d, &opts).unwrap();
+    let x = init::uniform(Shape::of(&[1, 8]), -1.0, 1.0, &mut init::rng(1));
+    let trace = ResourceTrace::constant(full, 2);
+    drive(
+        &mut net,
+        &x,
+        &trace,
+        UpgradePolicy::Incremental,
+        opts.prune_threshold,
+    )
+    .unwrap();
+
+    let events = handle.lock().unwrap();
+    let iterations = events
+        .iter()
+        .filter(|e| e.name == "construct.iteration")
+        .count();
+    assert_eq!(iterations, report.iterations.len());
+    assert!(events.iter().any(|e| e.name == "construct.run"));
+    assert!(events.iter().any(|e| e.name == "drive.slice"));
+    drop(events);
+
+    // aggregates saw the same events
+    let agg = steppingnet::obs::snapshot();
+    assert!(agg.span("inference", "drive.run").is_some());
+    assert!(agg.span("construction", "construct.run").is_some());
+}
