@@ -9,7 +9,9 @@ use stepping_bench::observe::{self, progress, report_text};
 use stepping_bench::{print_table, ExperimentScale, TestCase};
 use stepping_core::{construct, train::train_subnet, IncrementalExecutor};
 use stepping_data::{Dataset, Split};
-use stepping_runtime::{drive, expand_macs, DeviceModel, ResourceTrace, UpgradePolicy};
+use stepping_runtime::{
+    expand_macs, DeviceModel, ResourceTrace, Session, SessionConfig, UpgradePolicy,
+};
 
 fn main() {
     observe::init("reuse");
@@ -73,8 +75,12 @@ fn main() {
     // anytime drive over a bursty trace: incremental vs recompute policies
     let full = net.macs(net.subnet_count() - 1, thr);
     let trace = ResourceTrace::bursty(7, full / 8, full / 2, 0.3, 12);
-    let inc = drive(&mut net, &x, &trace, UpgradePolicy::Incremental, thr).expect("drive");
-    let rec = drive(&mut net, &x, &trace, UpgradePolicy::Recompute, thr).expect("drive");
+    let inc_cfg = SessionConfig::new()
+        .trace(trace.clone())
+        .prune_threshold(thr);
+    let rec_cfg = inc_cfg.clone().policy(UpgradePolicy::Recompute);
+    let inc = Session::new(&mut net, inc_cfg).run(&x).expect("drive");
+    let rec = Session::new(&mut net, rec_cfg).run(&x).expect("drive");
     report_text(&format!(
         "\nANYTIME drive over bursty trace ({} slices, {} total MACs):",
         trace.len(),

@@ -1,0 +1,200 @@
+//! Serving-throughput benchmark for the `stepping-serve` engine.
+//!
+//! Two experiments over the same closed-loop client population:
+//!
+//! 1. **worker sweep** — throughput as the worker pool grows with
+//!    micro-batching enabled,
+//! 2. **batch vs sequential** — micro-batching (`max_batch = 8`) against a
+//!    degenerate one-job-per-batch server (`max_batch = 1`) at the same
+//!    worker count, reporting throughput and client-observed latency
+//!    percentiles.
+//!
+//! Results are printed as tables and written to `results/BENCH_serve.json`.
+//!
+//! Run with `cargo run --release -p stepping-bench --bin serve`.
+
+use std::fs;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stepping_baselines::regular_assign;
+use stepping_bench::observe::{self, progress, report_text};
+use stepping_bench::print_table;
+use stepping_core::{SteppingNet, SteppingNetBuilder};
+use stepping_runtime::{DeviceModel, SessionConfig};
+use stepping_serve::{Request, ServeConfig, Server};
+use stepping_tensor::{init, Shape};
+
+/// Concurrent closed-loop clients; the batching claim is made at this level.
+const CLIENTS: usize = 8;
+/// Requests each client issues back-to-back.
+const PER_CLIENT: usize = 60;
+
+/// A network large enough that the forward pass, not queue bookkeeping,
+/// dominates: ~330k MACs per row at the full subnet.
+fn serving_net() -> SteppingNet {
+    let mut net = SteppingNetBuilder::new(Shape::of(&[128]), 2, 3)
+        .linear(512)
+        .relu()
+        .linear(512)
+        .relu()
+        .build(10)
+        .expect("build");
+    regular_assign(&mut net, &[0.5, 1.0]).expect("assign");
+    net
+}
+
+struct RunResult {
+    workers: usize,
+    max_batch: usize,
+    throughput_rps: f64,
+    mean_batch: f64,
+    largest_batch: u64,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs `CLIENTS` closed-loop producers against one server configuration and
+/// measures wall-clock throughput plus client-observed latency percentiles.
+fn run_config(net: &SteppingNet, workers: usize, max_batch: usize) -> RunResult {
+    let config = ServeConfig::new()
+        .workers(workers)
+        .max_batch(max_batch)
+        .max_wait(Duration::from_micros(150))
+        .session(SessionConfig::new().device(DeviceModel::embedded()));
+    let server = Arc::new(Server::new(net, config).expect("server"));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(PER_CLIENT);
+                for j in 0..PER_CLIENT {
+                    let seed = (c * PER_CLIENT + j) as u64;
+                    let x = init::uniform(Shape::of(&[1, 128]), -1.0, 1.0, &mut init::rng(seed));
+                    let sent = Instant::now();
+                    let response = server
+                        .submit(Request::full(x))
+                        .expect("submit")
+                        .wait()
+                        .expect("response");
+                    latencies.push(sent.elapsed().as_secs_f64() * 1e6);
+                    server.release(response.session);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.requests, (CLIENTS * PER_CLIENT) as u64);
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    RunResult {
+        workers,
+        max_batch,
+        throughput_rps: stats.requests as f64 / elapsed,
+        mean_batch: stats.mean_batch(),
+        largest_batch: stats.max_batch,
+        p50_us: percentile(&latencies, 0.50),
+        p90_us: percentile(&latencies, 0.90),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+fn row(r: &RunResult) -> Vec<String> {
+    vec![
+        r.workers.to_string(),
+        r.max_batch.to_string(),
+        format!("{:.0}", r.throughput_rps),
+        format!("{:.2}", r.mean_batch),
+        r.largest_batch.to_string(),
+        format!("{:.0}", r.p50_us),
+        format!("{:.0}", r.p90_us),
+        format!("{:.0}", r.p99_us),
+    ]
+}
+
+fn json_entry(r: &RunResult) -> String {
+    format!(
+        "{{\"workers\": {}, \"max_batch\": {}, \"throughput_rps\": {:.1}, \
+         \"mean_batch\": {:.3}, \"largest_batch\": {}, \"p50_us\": {:.1}, \
+         \"p90_us\": {:.1}, \"p99_us\": {:.1}}}",
+        r.workers,
+        r.max_batch,
+        r.throughput_rps,
+        r.mean_batch,
+        r.largest_batch,
+        r.p50_us,
+        r.p90_us,
+        r.p99_us,
+    )
+}
+
+fn main() {
+    observe::init("serve");
+    let net = serving_net();
+    progress(&format!(
+        "{CLIENTS} closed-loop clients x {PER_CLIENT} requests, full subnet"
+    ));
+
+    // warm-up so page faults and lazy allocations don't skew the first config
+    let _ = run_config(&net, 1, 8);
+
+    report_text("\nSERVE: throughput vs worker count (micro-batching on)");
+    let sweep: Vec<RunResult> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| run_config(&net, w, 8))
+        .collect();
+    let headers = [
+        "workers",
+        "max_batch",
+        "req/s",
+        "mean batch",
+        "largest",
+        "p50 us",
+        "p90 us",
+        "p99 us",
+    ];
+    print_table(&headers, &sweep.iter().map(row).collect::<Vec<_>>());
+
+    report_text("\nSERVE: micro-batching vs sequential (one job per batch)");
+    let batched = run_config(&net, 2, 8);
+    let sequential = run_config(&net, 2, 1);
+    print_table(&headers, &[row(&batched), row(&sequential)]);
+    let speedup = batched.throughput_rps / sequential.throughput_rps;
+    report_text(&format!(
+        "micro-batching throughput speedup at {CLIENTS} clients: {speedup:.2}x"
+    ));
+
+    let sweep_json: Vec<String> = sweep.iter().map(json_entry).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"clients\": {CLIENTS},\n  \
+         \"requests_per_client\": {PER_CLIENT},\n  \"net_macs_full\": {},\n  \
+         \"worker_sweep\": [\n    {}\n  ],\n  \"batching\": {{\n    \
+         \"batched\": {},\n    \"sequential\": {},\n    \
+         \"throughput_speedup\": {:.3}\n  }}\n}}\n",
+        net.full_macs(),
+        sweep_json.join(",\n    "),
+        json_entry(&batched),
+        json_entry(&sequential),
+        speedup,
+    );
+    fs::create_dir_all("results").expect("results dir");
+    fs::write("results/BENCH_serve.json", json).expect("write BENCH_serve.json");
+    report_text("wrote results/BENCH_serve.json");
+    observe::finish();
+}

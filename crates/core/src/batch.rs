@@ -1,0 +1,707 @@
+//! Batched cached-activation execution — the serving-side counterpart of
+//! [`IncrementalExecutor`](crate::IncrementalExecutor).
+//!
+//! A serving engine handles many concurrent requests whose anytime state
+//! must outlive any single executor borrow. This module therefore splits
+//! the executor into two pieces:
+//!
+//! * [`ActivationCache`] — the per-request state (stage activations, the
+//!   subnet currently answered, the largest subnet materialised in the
+//!   caches, cumulative MACs). It is plain data: it can be stored in a
+//!   session table, shipped between worker threads, and upgraded later.
+//! * [`BatchExecutor`] — a short-lived borrow of the net that runs **one
+//!   batched stage pass for several requests at once**: inputs (or cached
+//!   activations) are stacked along the batch dimension, every stage runs
+//!   once, and the results are split back into the per-request caches.
+//!
+//! Because every kernel in this workspace computes each batch row
+//! independently (row-major loops, per-sample `im2col`, inference-mode
+//! batch norm via running statistics), batched execution is **bit-identical**
+//! to running each request alone — the property the serve crate's tests
+//! assert exhaustively.
+
+use stepping_tensor::{Shape, Tensor};
+
+use crate::telemetry::{self, Value};
+use crate::{ExpandStep, FixedStage, Result, Stage, SteppingError, SteppingNet};
+
+/// Per-request anytime-inference state, detached from any executor borrow.
+///
+/// `acts[i]` is the input of stage `i`; `acts[stages]` is the feature tensor
+/// feeding the heads. An empty cache (before any `begin`) holds no
+/// activations.
+#[derive(Debug, Clone, Default)]
+pub struct ActivationCache {
+    pub(crate) acts: Vec<Tensor>,
+    pub(crate) current: Option<usize>,
+    pub(crate) computed: usize,
+    pub(crate) cumulative_macs: u64,
+}
+
+impl ActivationCache {
+    /// An empty cache; populate it with [`BatchExecutor::begin`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The subnet most recently answered from this cache, if any.
+    pub fn current_subnet(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// Largest subnet whose neurons are materialised in the cached
+    /// activations; re-expanding up to this level costs only the head.
+    pub fn computed_level(&self) -> usize {
+        self.computed
+    }
+
+    /// Total MACs charged to this request since its `begin`.
+    pub fn cumulative_macs(&self) -> u64 {
+        self.cumulative_macs
+    }
+
+    /// Whether `begin` has populated this cache.
+    pub fn is_initialised(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Number of batch rows held by this cache (0 before `begin`).
+    pub fn rows(&self) -> usize {
+        self.acts.first().map(|a| a.shape().dims()[0]).unwrap_or(0)
+    }
+}
+
+/// Runs the full stage stack plus the head of `subnet` on `input`
+/// (inference mode), returning every intermediate activation and the
+/// logits. Shared by the incremental executor's `begin` and the batched
+/// path.
+pub(crate) fn full_pass(
+    net: &mut SteppingNet,
+    input: &Tensor,
+    subnet: usize,
+) -> Result<(Vec<Tensor>, Tensor)> {
+    let mut acts = Vec::with_capacity(net.stages().len() + 1);
+    acts.push(input.clone());
+    for si in 0..net.stages().len() {
+        let prev = acts[si].clone();
+        let out = net.stages_mut()[si].forward(&prev, subnet, false)?;
+        acts.push(out);
+    }
+    let features = acts.last().expect("acts nonempty").clone();
+    let logits = net.head_forward(&features, subnet, false)?;
+    Ok((acts, logits))
+}
+
+/// Expands cached activations from subnet `k - 1` to `k`, computing only
+/// the newly added neurons plus subnet `k`'s head. Mutates `acts` in place
+/// and returns the logits and the MACs spent (per sample). Shared by the
+/// incremental executor's `expand` and the batched path.
+pub(crate) fn expand_pass(
+    net: &mut SteppingNet,
+    acts: &mut [Tensor],
+    k: usize,
+    prune_threshold: f32,
+) -> Result<(Tensor, u64)> {
+    let mut step_macs = 0u64;
+    for si in 0..net.stages().len() {
+        let input = acts[si].clone();
+        match &mut net.stages_mut()[si] {
+            Stage::Linear(l) => {
+                let rows = l.out_assign().members(k);
+                if !rows.is_empty() {
+                    for &o in &rows {
+                        step_macs += l.neuron_macs(o, prune_threshold);
+                    }
+                    let fresh = l.forward_rows(&input, &rows, k)?;
+                    splice_columns(&mut acts[si + 1], &fresh, &rows)?;
+                }
+            }
+            Stage::Conv(c) => {
+                let chans = c.out_assign().members(k);
+                if !chans.is_empty() {
+                    for &oc in &chans {
+                        step_macs += c.neuron_macs(oc, prune_threshold);
+                    }
+                    let fresh = c.forward_channels(&input, &chans, k)?;
+                    splice_channels(&mut acts[si + 1], &fresh, &chans)?;
+                }
+            }
+            Stage::Fixed(f) => {
+                // Fixed stages are pure per-channel/per-element maps in
+                // inference mode; recompute on the updated input (no
+                // MACs). Cached channels keep their exact old values.
+                let out = fixed_forward(f, &input)?;
+                acts[si + 1] = out;
+            }
+        }
+    }
+    let features = acts.last().expect("acts nonempty").clone();
+    let logits = net.head_forward(&features, k, false)?;
+    step_macs += net.head_macs(k);
+    Ok((logits, step_macs))
+}
+
+pub(crate) fn fixed_forward(f: &mut FixedStage, input: &Tensor) -> Result<Tensor> {
+    use stepping_nn::Layer as _;
+    Ok(match f {
+        FixedStage::Relu(l) => l.forward(input, false)?,
+        FixedStage::Tanh(l) => l.forward(input, false)?,
+        FixedStage::Sigmoid(l) => l.forward(input, false)?,
+        FixedStage::MaxPool(l) => l.forward(input, false)?,
+        FixedStage::AvgPool(l) => l.forward(input, false)?,
+        FixedStage::BatchNorm1d { layer, .. } => layer.forward(input, false)?,
+        FixedStage::BatchNorm2d { layer, .. } => layer.forward(input, false)?,
+        FixedStage::Flatten { layer, .. } => layer.forward(input, false)?,
+        FixedStage::Dropout(l) => l.forward(input, false)?,
+    })
+}
+
+/// Writes `fresh` (`[n, cols.len()]`) into columns `cols` of `target`
+/// (`[n, width]`).
+pub(crate) fn splice_columns(target: &mut Tensor, fresh: &Tensor, cols: &[usize]) -> Result<()> {
+    let dims = target.shape().dims().to_vec();
+    if dims.len() != 2 {
+        return Err(SteppingError::InvalidStructure(format!(
+            "column splice expects a matrix, got {}",
+            target.shape()
+        )));
+    }
+    let (n, width) = (dims[0], dims[1]);
+    if fresh.shape().dims() != [n, cols.len()] {
+        return Err(SteppingError::InvalidStructure(format!(
+            "fresh columns {} do not match [{n}, {}]",
+            fresh.shape(),
+            cols.len()
+        )));
+    }
+    let td = target.data_mut();
+    for b in 0..n {
+        for (ci, &c) in cols.iter().enumerate() {
+            td[b * width + c] = fresh.data()[b * cols.len() + ci];
+        }
+    }
+    Ok(())
+}
+
+/// Writes `fresh` (`[n, chans.len(), h, w]`) into channels `chans` of
+/// `target` (`[n, c, h, w]`).
+pub(crate) fn splice_channels(target: &mut Tensor, fresh: &Tensor, chans: &[usize]) -> Result<()> {
+    let dims = target.shape().dims().to_vec();
+    if dims.len() != 4 {
+        return Err(SteppingError::InvalidStructure(format!(
+            "channel splice expects NCHW, got {}",
+            target.shape()
+        )));
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let hw = h * w;
+    if fresh.shape().dims() != [n, chans.len(), h, w] {
+        return Err(SteppingError::InvalidStructure(format!(
+            "fresh channels {} do not match [{n}, {}, {h}, {w}]",
+            fresh.shape(),
+            chans.len()
+        )));
+    }
+    let td = target.data_mut();
+    for b in 0..n {
+        for (ci, &ch) in chans.iter().enumerate() {
+            let src = &fresh.data()[(b * chans.len() + ci) * hw..][..hw];
+            td[(b * c + ch) * hw..][..hw].copy_from_slice(src);
+        }
+    }
+    Ok(())
+}
+
+/// Concatenates tensors along the batch (first) dimension. A single part is
+/// returned as a cheap clone.
+fn stack_rows(parts: &[&Tensor]) -> Result<Tensor> {
+    let first = parts
+        .first()
+        .ok_or_else(|| SteppingError::BadConfig("cannot stack an empty batch".into()))?;
+    if parts.len() == 1 {
+        return Ok((*first).clone());
+    }
+    let trailing = &first.shape().dims()[1..];
+    let mut rows = 0usize;
+    for p in parts {
+        if p.shape().rank() != first.shape().rank() || &p.shape().dims()[1..] != trailing {
+            return Err(SteppingError::InvalidStructure(format!(
+                "batch members disagree on shape: {} vs {}",
+                first.shape(),
+                p.shape()
+            )));
+        }
+        rows += p.shape().dims()[0];
+    }
+    let mut dims = first.shape().dims().to_vec();
+    dims[0] = rows;
+    let mut data = Vec::with_capacity(dims.iter().product());
+    for p in parts {
+        data.extend_from_slice(p.data());
+    }
+    Ok(Tensor::from_vec(Shape::of(&dims), data)?)
+}
+
+/// Splits `t` back into parts of `row_counts` batch rows each.
+fn split_rows(t: &Tensor, row_counts: &[usize]) -> Result<Vec<Tensor>> {
+    if row_counts.len() == 1 {
+        return Ok(vec![t.clone()]);
+    }
+    let dims = t.shape().dims();
+    let total: usize = row_counts.iter().sum();
+    if dims[0] != total {
+        return Err(SteppingError::InvalidStructure(format!(
+            "cannot split {} rows into {total}",
+            dims[0]
+        )));
+    }
+    let row_len: usize = dims[1..].iter().product::<usize>().max(1);
+    let mut out = Vec::with_capacity(row_counts.len());
+    let mut offset = 0usize;
+    for &rc in row_counts {
+        let mut part_dims = dims.to_vec();
+        part_dims[0] = rc;
+        let data = t.data()[offset * row_len..(offset + rc) * row_len].to_vec();
+        out.push(Tensor::from_vec(Shape::of(&part_dims), data)?);
+        offset += rc;
+    }
+    Ok(out)
+}
+
+/// Executes micro-batches of requests over a [`SteppingNet`], one batched
+/// stage pass per step, maintaining each request's [`ActivationCache`].
+///
+/// All requests in a batch must sit at the **same subnet level** (the serve
+/// scheduler's compatibility rule); the executor validates this and rejects
+/// mixed batches.
+///
+/// # Example
+///
+/// ```
+/// use stepping_core::{batch::BatchExecutor, SteppingNetBuilder};
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let mut net = SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
+///     .linear(6).relu().build(3)?;
+/// net.move_neuron(0, 5, 1)?;
+/// let inputs = vec![Tensor::zeros(Shape::of(&[1, 4])), Tensor::ones(Shape::of(&[1, 4]))];
+/// let mut exec = BatchExecutor::new(&mut net, 0.0);
+/// let mut started = exec.begin(&inputs, 0)?;
+/// let mut caches: Vec<_> = started.drain(..).map(|(c, _)| c).collect();
+/// let steps = exec.expand(&mut caches)?; // both requests step to subnet 1 in one pass
+/// assert_eq!(steps.len(), 2);
+/// # Ok::<(), stepping_core::SteppingError>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchExecutor<'a> {
+    net: &'a mut SteppingNet,
+    prune_threshold: f32,
+}
+
+impl<'a> BatchExecutor<'a> {
+    /// Creates a batch executor over `net`; `prune_threshold` is the
+    /// magnitude threshold used for MAC accounting.
+    pub fn new(net: &'a mut SteppingNet, prune_threshold: f32) -> Self {
+        BatchExecutor {
+            net,
+            prune_threshold,
+        }
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &SteppingNet {
+        self.net
+    }
+
+    /// Runs subnet `subnet` for every input in **one** batched stage pass,
+    /// returning each request's freshly populated cache and step outcome.
+    ///
+    /// Each request's `step_macs` is the per-sample cost `macs(subnet)` —
+    /// identical to what a lone
+    /// [`IncrementalExecutor`](crate::IncrementalExecutor) would charge.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty batch, an out-of-range subnet, and shape-mismatched
+    /// inputs; propagates forward errors.
+    pub fn begin(
+        &mut self,
+        inputs: &[Tensor],
+        subnet: usize,
+    ) -> Result<Vec<(ActivationCache, ExpandStep)>> {
+        if inputs.is_empty() {
+            return Err(SteppingError::BadConfig(
+                "cannot begin an empty batch".into(),
+            ));
+        }
+        if subnet >= self.net.subnet_count() {
+            return Err(SteppingError::SubnetOutOfRange {
+                subnet,
+                count: self.net.subnet_count(),
+            });
+        }
+        let span = telemetry::span("inference", "exec.batch_begin");
+        let row_counts: Vec<usize> = inputs.iter().map(|t| t.shape().dims()[0]).collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let stacked = stack_rows(&refs)?;
+        let (acts, logits) = full_pass(self.net, &stacked, subnet)?;
+        let step_macs = self.net.macs(subnet, self.prune_threshold);
+        // Transpose [level][request] slices back into per-request caches.
+        let mut per_req: Vec<Vec<Tensor>> = (0..inputs.len())
+            .map(|_| Vec::with_capacity(acts.len()))
+            .collect();
+        for level in &acts {
+            for (i, part) in split_rows(level, &row_counts)?.into_iter().enumerate() {
+                per_req[i].push(part);
+            }
+        }
+        let logit_parts = split_rows(&logits, &row_counts)?;
+        span.end(&[
+            ("batch", Value::U64(inputs.len() as u64)),
+            ("subnet", Value::U64(subnet as u64)),
+            ("step_macs", Value::U64(step_macs)),
+        ]);
+        Ok(per_req
+            .into_iter()
+            .zip(logit_parts)
+            .map(|(req_acts, req_logits)| {
+                (
+                    ActivationCache {
+                        acts: req_acts,
+                        current: Some(subnet),
+                        computed: subnet,
+                        cumulative_macs: step_macs,
+                    },
+                    ExpandStep {
+                        subnet,
+                        logits: req_logits,
+                        step_macs,
+                        cumulative_macs: step_macs,
+                    },
+                )
+            })
+            .collect())
+    }
+
+    /// Steps every cache to the next larger subnet in **one** batched pass.
+    ///
+    /// All caches must sit at the same current subnet. When every cache
+    /// already materialises the target level (after contractions) only the
+    /// head runs; otherwise the pass computes exactly the newly added
+    /// neurons, splicing them into each request's cached activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::ExecutorState`] for an uninitialised cache,
+    /// mixed levels, or a batch already at the largest subnet; propagates
+    /// forward errors.
+    pub fn expand(&mut self, caches: &mut [ActivationCache]) -> Result<Vec<ExpandStep>> {
+        if caches.is_empty() {
+            return Ok(Vec::new());
+        }
+        let cur = caches[0].current.ok_or_else(|| {
+            SteppingError::ExecutorState("batch expand called before begin".into())
+        })?;
+        if caches.iter().any(|c| c.current != Some(cur)) {
+            return Err(SteppingError::ExecutorState(
+                "batch members sit at different subnet levels".into(),
+            ));
+        }
+        let k = cur + 1;
+        if k >= self.net.subnet_count() {
+            return Err(SteppingError::ExecutorState(format!(
+                "already at largest subnet {cur}"
+            )));
+        }
+        let head_only = caches.iter().all(|c| k <= c.computed);
+        if !head_only && caches.iter().any(|c| k <= c.computed) {
+            return Err(SteppingError::ExecutorState(
+                "batch mixes head-only and fresh expansions".into(),
+            ));
+        }
+        let span = telemetry::span("inference", "exec.batch_expand");
+        let row_counts: Vec<usize> = caches.iter().map(|c| c.rows()).collect();
+        let (logits, step_macs) = if head_only {
+            let feats: Vec<&Tensor> = caches
+                .iter()
+                .map(|c| c.acts.last().expect("initialised cache"))
+                .collect();
+            let features = stack_rows(&feats)?;
+            let logits = self.net.head_forward(&features, k, false)?;
+            (logits, self.net.head_macs(k))
+        } else {
+            let levels = caches[0].acts.len();
+            let mut stacked = Vec::with_capacity(levels);
+            for li in 0..levels {
+                let parts: Vec<&Tensor> = caches.iter().map(|c| &c.acts[li]).collect();
+                stacked.push(stack_rows(&parts)?);
+            }
+            let (logits, step_macs) = expand_pass(self.net, &mut stacked, k, self.prune_threshold)?;
+            for (li, level) in stacked.iter().enumerate() {
+                for (i, part) in split_rows(level, &row_counts)?.into_iter().enumerate() {
+                    caches[i].acts[li] = part;
+                }
+            }
+            (logits, step_macs)
+        };
+        let logit_parts = split_rows(&logits, &row_counts)?;
+        let mut steps = Vec::with_capacity(caches.len());
+        for (cache, req_logits) in caches.iter_mut().zip(logit_parts) {
+            cache.current = Some(k);
+            if !head_only {
+                cache.computed = k;
+            }
+            cache.cumulative_macs += step_macs;
+            steps.push(ExpandStep {
+                subnet: k,
+                logits: req_logits,
+                step_macs,
+                cumulative_macs: cache.cumulative_macs,
+            });
+        }
+        span.end(&[
+            ("batch", Value::U64(caches.len() as u64)),
+            ("subnet", Value::U64(k as u64)),
+            ("step_macs", Value::U64(step_macs)),
+            ("head_only", Value::Bool(head_only)),
+        ]);
+        Ok(steps)
+    }
+
+    /// Steps every cache down to the next smaller subnet — head-only, the
+    /// cached larger-subnet activations are reused verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::ExecutorState`] for uninitialised caches,
+    /// mixed levels, or a batch already at subnet 0.
+    pub fn contract(&mut self, caches: &mut [ActivationCache]) -> Result<Vec<ExpandStep>> {
+        if caches.is_empty() {
+            return Ok(Vec::new());
+        }
+        let cur = caches[0].current.ok_or_else(|| {
+            SteppingError::ExecutorState("batch contract called before begin".into())
+        })?;
+        if caches.iter().any(|c| c.current != Some(cur)) {
+            return Err(SteppingError::ExecutorState(
+                "batch members sit at different subnet levels".into(),
+            ));
+        }
+        if cur == 0 {
+            return Err(SteppingError::ExecutorState(
+                "already at smallest subnet".into(),
+            ));
+        }
+        let k = cur - 1;
+        let row_counts: Vec<usize> = caches.iter().map(|c| c.rows()).collect();
+        let feats: Vec<&Tensor> = caches
+            .iter()
+            .map(|c| c.acts.last().expect("initialised cache"))
+            .collect();
+        let features = stack_rows(&feats)?;
+        let logits = self.net.head_forward(&features, k, false)?;
+        let step_macs = self.net.head_macs(k);
+        let logit_parts = split_rows(&logits, &row_counts)?;
+        let mut steps = Vec::with_capacity(caches.len());
+        for (cache, req_logits) in caches.iter_mut().zip(logit_parts) {
+            cache.current = Some(k);
+            cache.cumulative_macs += step_macs;
+            steps.push(ExpandStep {
+                subnet: k,
+                logits: req_logits,
+                step_macs,
+                cumulative_macs: cache.cumulative_macs,
+            });
+        }
+        Ok(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IncrementalExecutor, SteppingNetBuilder};
+    use stepping_tensor::init;
+
+    fn mlp() -> SteppingNet {
+        let mut net = SteppingNetBuilder::new(Shape::of(&[6]), 3, 1)
+            .linear(10)
+            .relu()
+            .linear(8)
+            .relu()
+            .build(4)
+            .unwrap();
+        net.move_neurons(&[(0, 1, 1), (0, 2, 2), (0, 3, 1), (2, 0, 1), (2, 5, 2)])
+            .unwrap();
+        net
+    }
+
+    fn cnn() -> SteppingNet {
+        let mut net = SteppingNetBuilder::new(Shape::of(&[2, 8, 8]), 3, 2)
+            .conv(5, 3, 1, 1)
+            .batch_norm()
+            .relu()
+            .max_pool(2, 2)
+            .flatten()
+            .linear(9)
+            .relu()
+            .build(3)
+            .unwrap();
+        net.move_neurons(&[(0, 0, 1), (0, 4, 2), (5, 2, 1), (5, 7, 2)])
+            .unwrap();
+        net
+    }
+
+    fn samples(n: usize, dims: &[usize], seed: u64) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| {
+                let mut d = vec![1usize];
+                d.extend_from_slice(dims);
+                init::uniform(Shape::of(&d), -1.0, 1.0, &mut init::rng(seed + i as u64))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_begin_and_expand_match_lone_executor_bitwise() {
+        let inputs = samples(5, &[6], 20);
+        let mut net = mlp();
+        let mut batch = BatchExecutor::new(&mut net, 1e-5);
+        let mut started = batch.begin(&inputs, 0).unwrap();
+        let mut caches: Vec<ActivationCache> = Vec::new();
+        let mut batch_logits: Vec<Vec<Tensor>> = Vec::new();
+        for (c, s) in started.drain(..) {
+            caches.push(c);
+            batch_logits.push(vec![s.logits]);
+        }
+        for _ in 0..2 {
+            for (i, s) in batch.expand(&mut caches).unwrap().into_iter().enumerate() {
+                batch_logits[i].push(s.logits);
+            }
+        }
+        for (i, x) in inputs.iter().enumerate() {
+            let mut lone_net = mlp();
+            let mut lone = IncrementalExecutor::new(&mut lone_net, 1e-5);
+            let steps = lone.run_to(x, 2).unwrap();
+            for (k, step) in steps.iter().enumerate() {
+                assert_eq!(
+                    step.logits, batch_logits[i][k],
+                    "request {i} subnet {k} differs"
+                );
+            }
+            assert_eq!(caches[i].cumulative_macs(), lone.cumulative_macs());
+        }
+    }
+
+    #[test]
+    fn batched_cnn_matches_from_scratch() {
+        let mut net = cnn();
+        let warm = init::uniform(Shape::of(&[4, 2, 8, 8]), -1.0, 1.0, &mut init::rng(6));
+        for _ in 0..3 {
+            net.forward(&warm, 2, true).unwrap();
+        }
+        let inputs = samples(3, &[2, 8, 8], 30);
+        let mut scratch = net.clone();
+        let mut batch = BatchExecutor::new(&mut net, 1e-5);
+        let mut caches: Vec<ActivationCache> = batch
+            .begin(&inputs, 0)
+            .unwrap()
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
+        batch.expand(&mut caches).unwrap();
+        let final_steps = batch.expand(&mut caches).unwrap();
+        for (i, x) in inputs.iter().enumerate() {
+            let reference = scratch.forward(x, 2, false).unwrap();
+            assert_eq!(final_steps[i].logits, reference, "request {i} differs");
+        }
+    }
+
+    #[test]
+    fn begin_at_larger_subnet_skips_smaller_heads() {
+        let inputs = samples(2, &[6], 40);
+        let mut net = mlp();
+        let expected = net.macs(1, 0.0);
+        let mut batch = BatchExecutor::new(&mut net, 0.0);
+        let started = batch.begin(&inputs, 1).unwrap();
+        for (cache, step) in &started {
+            assert_eq!(step.subnet, 1);
+            assert_eq!(step.step_macs, expected);
+            assert_eq!(cache.computed_level(), 1);
+        }
+        // and the logits equal a from-scratch subnet-1 forward
+        let mut scratch = mlp();
+        for (i, x) in inputs.iter().enumerate() {
+            let reference = scratch.forward(x, 1, false).unwrap();
+            assert_eq!(started[i].1.logits, reference);
+        }
+    }
+
+    #[test]
+    fn contract_then_head_only_reexpand() {
+        let inputs = samples(3, &[6], 50);
+        let mut net = mlp();
+        let head1 = net.head_macs(1);
+        let head2 = net.head_macs(2);
+        let mut batch = BatchExecutor::new(&mut net, 0.0);
+        let mut caches: Vec<ActivationCache> = batch
+            .begin(&inputs, 0)
+            .unwrap()
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
+        batch.expand(&mut caches).unwrap();
+        batch.expand(&mut caches).unwrap();
+        let down = batch.contract(&mut caches).unwrap();
+        assert!(down.iter().all(|s| s.subnet == 1 && s.step_macs == head1));
+        let up = batch.expand(&mut caches).unwrap();
+        assert!(up.iter().all(|s| s.subnet == 2 && s.step_macs == head2));
+    }
+
+    #[test]
+    fn mixed_levels_rejected() {
+        let inputs = samples(2, &[6], 60);
+        let mut net = mlp();
+        let mut batch = BatchExecutor::new(&mut net, 0.0);
+        let mut caches: Vec<ActivationCache> = batch
+            .begin(&inputs, 0)
+            .unwrap()
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
+        // advance only the first cache
+        let mut first = vec![caches.remove(0)];
+        batch.expand(&mut first).unwrap();
+        caches.insert(0, first.remove(0));
+        assert!(batch.expand(&mut caches).is_err());
+    }
+
+    #[test]
+    fn validates_batch_shape_and_bounds() {
+        let mut net = mlp();
+        let mut batch = BatchExecutor::new(&mut net, 0.0);
+        assert!(batch.begin(&[], 0).is_err());
+        let x = Tensor::zeros(Shape::of(&[1, 6]));
+        assert!(batch.begin(&[x.clone()], 9).is_err());
+        let bad = Tensor::zeros(Shape::of(&[1, 5]));
+        assert!(batch.begin(&[x, bad], 0).is_err());
+        let mut empty: Vec<ActivationCache> = vec![ActivationCache::new()];
+        assert!(batch.expand(&mut empty).is_err());
+        assert!(batch.contract(&mut empty).is_err());
+    }
+
+    #[test]
+    fn stack_and_split_round_trip() {
+        let a = Tensor::from_vec(Shape::of(&[1, 2]), vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(Shape::of(&[2, 2]), vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let stacked = stack_rows(&[&a, &b]).unwrap();
+        assert_eq!(stacked.shape().dims(), &[3, 2]);
+        let parts = split_rows(&stacked, &[1, 2]).unwrap();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+        assert!(stack_rows(&[]).is_err());
+        let c = Tensor::zeros(Shape::of(&[1, 3]));
+        assert!(stack_rows(&[&a, &c]).is_err());
+        assert!(split_rows(&stacked, &[1, 1]).is_err());
+    }
+}

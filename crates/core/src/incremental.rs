@@ -12,8 +12,9 @@
 
 use stepping_tensor::Tensor;
 
+use crate::batch::{self, ActivationCache};
 use crate::telemetry::{self, Value};
-use crate::{FixedStage, Result, Stage, SteppingError, SteppingNet};
+use crate::{Result, SteppingError, SteppingNet};
 
 /// Outcome of one executor step ([`IncrementalExecutor::begin`] or
 /// [`IncrementalExecutor::expand`]).
@@ -50,14 +51,7 @@ pub struct ExpandStep {
 pub struct IncrementalExecutor<'a> {
     net: &'a mut SteppingNet,
     prune_threshold: f32,
-    /// `acts[i]` is the input of stage `i`; `acts[stages]` is the feature
-    /// tensor feeding the heads.
-    acts: Vec<Tensor>,
-    current: Option<usize>,
-    /// Largest subnet whose neurons are present in the caches; re-expanding
-    /// up to this level after a contraction costs only the head.
-    computed: usize,
-    cumulative_macs: u64,
+    cache: ActivationCache,
 }
 
 impl<'a> IncrementalExecutor<'a> {
@@ -67,21 +61,30 @@ impl<'a> IncrementalExecutor<'a> {
         IncrementalExecutor {
             net,
             prune_threshold,
-            acts: Vec::new(),
-            current: None,
-            computed: 0,
-            cumulative_macs: 0,
+            cache: ActivationCache::new(),
         }
     }
 
     /// The subnet most recently executed, if any.
     pub fn current_subnet(&self) -> Option<usize> {
-        self.current
+        self.cache.current_subnet()
     }
 
     /// Total MACs executed since the last `begin`.
     pub fn cumulative_macs(&self) -> u64 {
-        self.cumulative_macs
+        self.cache.cumulative_macs()
+    }
+
+    /// The per-request activation cache (e.g. to persist across a serving
+    /// session and upgrade later via
+    /// [`BatchExecutor`](crate::batch::BatchExecutor)).
+    pub fn cache(&self) -> &ActivationCache {
+        &self.cache
+    }
+
+    /// Consumes the executor, releasing its cache for external storage.
+    pub fn into_cache(self) -> ActivationCache {
+        self.cache
     }
 
     /// Runs subnet 0 on `input` (inference mode), caching all activations.
@@ -90,27 +93,42 @@ impl<'a> IncrementalExecutor<'a> {
     ///
     /// Propagates forward errors.
     pub fn begin(&mut self, input: &Tensor) -> Result<ExpandStep> {
-        let span = telemetry::span("inference", "exec.begin");
-        self.acts.clear();
-        self.acts.push(input.clone());
-        for si in 0..self.net.stages().len() {
-            let prev = self.acts[si].clone();
-            let out = self.net.stages_mut()[si].forward(&prev, 0, false)?;
-            self.acts.push(out);
+        self.begin_at(input, 0)
+    }
+
+    /// Runs subnet `subnet` directly on `input` (inference mode), caching
+    /// all activations — the client skips the smaller subnets entirely and
+    /// pays `macs(subnet)` up front; later [`expand`](Self::expand) calls
+    /// still reuse the caches incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::SubnetOutOfRange`] and propagates forward
+    /// errors.
+    pub fn begin_at(&mut self, input: &Tensor, subnet: usize) -> Result<ExpandStep> {
+        if subnet >= self.net.subnet_count() {
+            return Err(SteppingError::SubnetOutOfRange {
+                subnet,
+                count: self.net.subnet_count(),
+            });
         }
-        let features = self.acts.last().expect("acts nonempty").clone();
-        let logits = self.net.head_forward(&features, 0, false)?;
-        let step_macs = self.net.macs(0, self.prune_threshold);
-        self.current = Some(0);
-        self.computed = 0;
-        self.cumulative_macs = step_macs;
+        let span = telemetry::span("inference", "exec.begin");
+        let (acts, logits) = batch::full_pass(self.net, input, subnet)?;
+        let step_macs = self.net.macs(subnet, self.prune_threshold);
+        let cached_stages = acts.len() as u64 - 1;
+        self.cache = ActivationCache {
+            acts,
+            current: Some(subnet),
+            computed: subnet,
+            cumulative_macs: step_macs,
+        };
         span.end(&[
-            ("subnet", Value::U64(0)),
+            ("subnet", Value::U64(subnet as u64)),
             ("step_macs", Value::U64(step_macs)),
-            ("cached_stages", Value::U64(self.acts.len() as u64 - 1)),
+            ("cached_stages", Value::U64(cached_stages)),
         ]);
         Ok(ExpandStep {
-            subnet: 0,
+            subnet,
             logits,
             step_macs,
             cumulative_macs: step_macs,
@@ -126,6 +144,7 @@ impl<'a> IncrementalExecutor<'a> {
     /// largest subnet, and propagates forward errors.
     pub fn expand(&mut self) -> Result<ExpandStep> {
         let cur = self
+            .cache
             .current
             .ok_or_else(|| SteppingError::ExecutorState("expand called before begin".into()))?;
         let k = cur + 1;
@@ -135,73 +154,21 @@ impl<'a> IncrementalExecutor<'a> {
             )));
         }
         let span = telemetry::span("inference", "exec.expand");
-        if k <= self.computed {
+        let head_only = k <= self.cache.computed;
+        let (logits, step_macs) = if head_only {
             // The caches already hold every neuron of subnet `k` (we
             // contracted earlier) — only the head needs to run.
-            let features = self.acts.last().expect("acts nonempty").clone();
+            let features = self.cache.acts.last().expect("acts nonempty").clone();
             let logits = self.net.head_forward(&features, k, false)?;
-            let step_macs = self.net.head_macs(k);
-            self.current = Some(k);
-            self.cumulative_macs += step_macs;
-            if span.is_active() {
-                let scratch = self.net.macs(k, self.prune_threshold);
-                span.end(&[
-                    ("subnet", Value::U64(k as u64)),
-                    ("step_macs", Value::U64(step_macs)),
-                    ("cumulative_macs", Value::U64(self.cumulative_macs)),
-                    ("head_only", Value::Bool(true)),
-                    (
-                        "reuse_ratio",
-                        Value::F64(1.0 - step_macs as f64 / scratch.max(1) as f64),
-                    ),
-                ]);
-            }
-            return Ok(ExpandStep {
-                subnet: k,
-                logits,
-                step_macs,
-                cumulative_macs: self.cumulative_macs,
-            });
+            (logits, self.net.head_macs(k))
+        } else {
+            batch::expand_pass(self.net, &mut self.cache.acts, k, self.prune_threshold)?
+        };
+        self.cache.current = Some(k);
+        if !head_only {
+            self.cache.computed = k;
         }
-        let mut step_macs = 0u64;
-        for si in 0..self.net.stages().len() {
-            let input = self.acts[si].clone();
-            match &mut self.net.stages_mut()[si] {
-                Stage::Linear(l) => {
-                    let rows = l.out_assign().members(k);
-                    if !rows.is_empty() {
-                        for &o in &rows {
-                            step_macs += l.neuron_macs(o, self.prune_threshold);
-                        }
-                        let fresh = l.forward_rows(&input, &rows, k)?;
-                        splice_columns(&mut self.acts[si + 1], &fresh, &rows)?;
-                    }
-                }
-                Stage::Conv(c) => {
-                    let chans = c.out_assign().members(k);
-                    if !chans.is_empty() {
-                        for &oc in &chans {
-                            step_macs += c.neuron_macs(oc, self.prune_threshold);
-                        }
-                        let fresh = c.forward_channels(&input, &chans, k)?;
-                        splice_channels(&mut self.acts[si + 1], &fresh, &chans)?;
-                    }
-                }
-                Stage::Fixed(f) => {
-                    // Fixed stages are pure per-channel/per-element maps in
-                    // inference mode; recompute on the updated input (no
-                    // MACs). Cached channels keep their exact old values.
-                    let out = fixed_forward(f, &input)?;
-                    self.acts[si + 1] = out;
-                }
-            }
-        }
-        let features = self.acts.last().expect("acts nonempty").clone();
-        let logits = self.net.head_forward(&features, k, false)?;
-        step_macs += self.net.head_macs(k);
-        self.current = Some(k);
-        self.computed = k;
-        self.cumulative_macs += step_macs;
+        self.cache.cumulative_macs += step_macs;
         if span.is_active() {
             // Reuse ratio: fraction of the from-scratch subnet-k cost that
             // cached activations made unnecessary.
@@ -209,8 +176,8 @@ impl<'a> IncrementalExecutor<'a> {
             span.end(&[
                 ("subnet", Value::U64(k as u64)),
                 ("step_macs", Value::U64(step_macs)),
-                ("cumulative_macs", Value::U64(self.cumulative_macs)),
-                ("head_only", Value::Bool(false)),
+                ("cumulative_macs", Value::U64(self.cache.cumulative_macs)),
+                ("head_only", Value::Bool(head_only)),
                 (
                     "reuse_ratio",
                     Value::F64(1.0 - step_macs as f64 / scratch.max(1) as f64),
@@ -221,7 +188,7 @@ impl<'a> IncrementalExecutor<'a> {
             subnet: k,
             logits,
             step_macs,
-            cumulative_macs: self.cumulative_macs,
+            cumulative_macs: self.cache.cumulative_macs,
         })
     }
 
@@ -237,6 +204,7 @@ impl<'a> IncrementalExecutor<'a> {
     /// subnet 0.
     pub fn contract(&mut self) -> Result<ExpandStep> {
         let cur = self
+            .cache
             .current
             .ok_or_else(|| SteppingError::ExecutorState("contract called before begin".into()))?;
         if cur == 0 {
@@ -246,22 +214,22 @@ impl<'a> IncrementalExecutor<'a> {
         }
         let span = telemetry::span("inference", "exec.contract");
         let k = cur - 1;
-        let features = self.acts.last().expect("acts nonempty").clone();
+        let features = self.cache.acts.last().expect("acts nonempty").clone();
         let logits = self.net.head_forward(&features, k, false)?;
         let step_macs = self.net.head_macs(k);
-        self.current = Some(k);
-        self.cumulative_macs += step_macs;
+        self.cache.current = Some(k);
+        self.cache.cumulative_macs += step_macs;
         span.end(&[
             ("subnet", Value::U64(k as u64)),
             ("step_macs", Value::U64(step_macs)),
-            ("cumulative_macs", Value::U64(self.cumulative_macs)),
-            ("computed_level", Value::U64(self.computed as u64)),
+            ("cumulative_macs", Value::U64(self.cache.cumulative_macs)),
+            ("computed_level", Value::U64(self.cache.computed as u64)),
         ]);
         Ok(ExpandStep {
             subnet: k,
             logits,
             step_macs,
-            cumulative_macs: self.cumulative_macs,
+            cumulative_macs: self.cache.cumulative_macs,
         })
     }
 
@@ -278,82 +246,11 @@ impl<'a> IncrementalExecutor<'a> {
             });
         }
         let mut steps = vec![self.begin(input)?];
-        while self.current != Some(subnet) {
+        while self.cache.current != Some(subnet) {
             steps.push(self.expand()?);
         }
         Ok(steps)
     }
-}
-
-fn fixed_forward(f: &mut FixedStage, input: &Tensor) -> Result<Tensor> {
-    use stepping_nn::Layer as _;
-    Ok(match f {
-        FixedStage::Relu(l) => l.forward(input, false)?,
-        FixedStage::Tanh(l) => l.forward(input, false)?,
-        FixedStage::Sigmoid(l) => l.forward(input, false)?,
-        FixedStage::MaxPool(l) => l.forward(input, false)?,
-        FixedStage::AvgPool(l) => l.forward(input, false)?,
-        FixedStage::BatchNorm1d { layer, .. } => layer.forward(input, false)?,
-        FixedStage::BatchNorm2d { layer, .. } => layer.forward(input, false)?,
-        FixedStage::Flatten { layer, .. } => layer.forward(input, false)?,
-        FixedStage::Dropout(l) => l.forward(input, false)?,
-    })
-}
-
-/// Writes `fresh` (`[n, cols.len()]`) into columns `cols` of `target`
-/// (`[n, width]`).
-fn splice_columns(target: &mut Tensor, fresh: &Tensor, cols: &[usize]) -> Result<()> {
-    let dims = target.shape().dims().to_vec();
-    if dims.len() != 2 {
-        return Err(SteppingError::InvalidStructure(format!(
-            "column splice expects a matrix, got {}",
-            target.shape()
-        )));
-    }
-    let (n, width) = (dims[0], dims[1]);
-    if fresh.shape().dims() != [n, cols.len()] {
-        return Err(SteppingError::InvalidStructure(format!(
-            "fresh columns {} do not match [{n}, {}]",
-            fresh.shape(),
-            cols.len()
-        )));
-    }
-    let td = target.data_mut();
-    for b in 0..n {
-        for (ci, &c) in cols.iter().enumerate() {
-            td[b * width + c] = fresh.data()[b * cols.len() + ci];
-        }
-    }
-    Ok(())
-}
-
-/// Writes `fresh` (`[n, chans.len(), h, w]`) into channels `chans` of
-/// `target` (`[n, c, h, w]`).
-fn splice_channels(target: &mut Tensor, fresh: &Tensor, chans: &[usize]) -> Result<()> {
-    let dims = target.shape().dims().to_vec();
-    if dims.len() != 4 {
-        return Err(SteppingError::InvalidStructure(format!(
-            "channel splice expects NCHW, got {}",
-            target.shape()
-        )));
-    }
-    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-    let hw = h * w;
-    if fresh.shape().dims() != [n, chans.len(), h, w] {
-        return Err(SteppingError::InvalidStructure(format!(
-            "fresh channels {} do not match [{n}, {}, {h}, {w}]",
-            fresh.shape(),
-            chans.len()
-        )));
-    }
-    let td = target.data_mut();
-    for b in 0..n {
-        for (ci, &ch) in chans.iter().enumerate() {
-            let src = &fresh.data()[(b * chans.len() + ci) * hw..][..hw];
-            td[(b * c + ch) * hw..][..hw].copy_from_slice(src);
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -527,6 +424,7 @@ mod tests {
 
     #[test]
     fn splice_helpers_validate_shapes() {
+        use crate::batch::{splice_channels, splice_columns};
         let mut t = Tensor::zeros(Shape::of(&[2, 3]));
         let fresh = Tensor::ones(Shape::of(&[2, 1]));
         splice_columns(&mut t, &fresh, &[1]).unwrap();

@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 mod assign;
+pub mod batch;
 pub mod checkpoint;
 pub mod construct;
 pub mod distill;
@@ -56,6 +57,7 @@ pub mod telemetry;
 pub mod train;
 
 pub use assign::Assignment;
+pub use batch::{ActivationCache, BatchExecutor};
 pub use construct::{
     construct, ConstructionOptions, ConstructionReport, IterationLog, SelectionCriterion,
 };

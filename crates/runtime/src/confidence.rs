@@ -8,9 +8,16 @@
 //! only while the softmax confidence stays below a threshold. Combined with
 //! computational reuse, each *additional* opinion costs only the new
 //! neurons.
+//!
+//! The loop itself lives in
+//! [`Session::run_until_confident`](crate::Session::run_until_confident);
+//! this module keeps the [`ConfidentOutcome`] type and the original free
+//! function as a thin deprecated wrapper.
 
-use stepping_core::{IncrementalExecutor, Result, SteppingError, SteppingNet};
-use stepping_tensor::{reduce, Tensor};
+use stepping_core::{Result, SteppingNet};
+use stepping_tensor::Tensor;
+
+use crate::session::{Session, SessionConfig};
 
 /// Outcome of a confidence-gated run on one input.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,64 +35,26 @@ pub struct ConfidentOutcome {
     pub early_exit: bool,
 }
 
-/// Runs anytime inference on a single sample (`[1, …]` input), expanding
-/// until the top-class softmax probability reaches `threshold` or the
-/// largest subnet is exhausted.
+/// Runs anytime inference on a single sample, expanding until the top-class
+/// softmax probability reaches `threshold` or the largest subnet is
+/// exhausted.
 ///
-/// # Errors
-///
-/// Returns [`SteppingError::BadConfig`] unless `0 < threshold <= 1` and the
-/// input has batch size 1, and propagates executor errors.
-///
-/// # Example
-///
-/// ```
-/// use stepping_core::SteppingNetBuilder;
-/// use stepping_runtime::infer_until_confident;
-/// use stepping_tensor::{Shape, Tensor};
-///
-/// let mut net = SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
-///     .linear(6).relu().build(3)?;
-/// net.move_neuron(0, 5, 1)?;
-/// let out = infer_until_confident(&mut net, &Tensor::ones(Shape::of(&[1, 4])), 0.99, 1e-5)?;
-/// assert!(out.subnet < 2);
-/// # Ok::<(), stepping_core::SteppingError>(())
-/// ```
+/// Deprecated positional-argument wrapper around
+/// [`Session::run_until_confident`](crate::Session::run_until_confident).
+#[deprecated(
+    since = "0.3.0",
+    note = "build a `SessionConfig` with `.confidence(..)` and call `Session::run_until_confident` instead"
+)]
 pub fn infer_until_confident(
     net: &mut SteppingNet,
     input: &Tensor,
     threshold: f32,
     prune_threshold: f32,
 ) -> Result<ConfidentOutcome> {
-    if !(threshold > 0.0 && threshold <= 1.0) {
-        return Err(SteppingError::BadConfig(format!(
-            "confidence threshold {threshold} must be in (0, 1]"
-        )));
-    }
-    if input.shape().dims().first() != Some(&1) {
-        return Err(SteppingError::BadConfig(
-            "confidence-gated inference expects a single sample (batch 1)".into(),
-        ));
-    }
-    let subnets = net.subnet_count();
-    let mut exec = IncrementalExecutor::new(net, prune_threshold);
-    let mut step = exec.begin(input)?;
-    loop {
-        let probs = reduce::softmax_rows(&step.logits)?;
-        let prediction = probs.argmax();
-        let confidence = probs.data()[prediction];
-        let at_top = step.subnet + 1 >= subnets;
-        if confidence >= threshold || at_top {
-            return Ok(ConfidentOutcome {
-                subnet: step.subnet,
-                prediction,
-                confidence,
-                total_macs: exec.cumulative_macs(),
-                early_exit: confidence >= threshold,
-            });
-        }
-        step = exec.expand()?;
-    }
+    let config = SessionConfig::new()
+        .confidence(threshold)
+        .prune_threshold(prune_threshold);
+    Session::new(net, config).run_until_confident(input)
 }
 
 #[cfg(test)]
@@ -109,10 +78,14 @@ mod tests {
         init::uniform(Shape::of(&[1, 6]), -1.0, 1.0, &mut init::rng(3))
     }
 
+    fn confident(n: &mut SteppingNet, input: &Tensor, threshold: f32) -> Result<ConfidentOutcome> {
+        Session::new(n, SessionConfig::new().confidence(threshold)).run_until_confident(input)
+    }
+
     #[test]
     fn tiny_threshold_exits_at_first_subnet() {
         let mut n = net();
-        let out = infer_until_confident(&mut n, &x(), 1e-6, 0.0).unwrap();
+        let out = confident(&mut n, &x(), 1e-6).unwrap();
         assert_eq!(out.subnet, 0);
         assert!(out.early_exit);
         assert_eq!(out.total_macs, n.macs(0, 0.0));
@@ -121,7 +94,7 @@ mod tests {
     #[test]
     fn impossible_threshold_runs_to_largest() {
         let mut n = net();
-        let out = infer_until_confident(&mut n, &x(), 1.0, 0.0).unwrap();
+        let out = confident(&mut n, &x(), 1.0).unwrap();
         assert_eq!(out.subnet, 2);
         assert!(!out.early_exit || out.confidence >= 1.0);
         // reuse means total < sum of from-scratch costs
@@ -132,7 +105,7 @@ mod tests {
     #[test]
     fn confidence_is_a_probability() {
         let mut n = net();
-        let out = infer_until_confident(&mut n, &x(), 0.5, 0.0).unwrap();
+        let out = confident(&mut n, &x(), 0.5).unwrap();
         assert!((0.0..=1.0).contains(&out.confidence));
         assert!(out.prediction < 3);
     }
@@ -140,9 +113,19 @@ mod tests {
     #[test]
     fn validates_inputs() {
         let mut n = net();
-        assert!(infer_until_confident(&mut n, &x(), 0.0, 0.0).is_err());
-        assert!(infer_until_confident(&mut n, &x(), 1.5, 0.0).is_err());
+        assert!(confident(&mut n, &x(), 0.0).is_err());
+        assert!(confident(&mut n, &x(), 1.5).is_err());
         let batch = init::uniform(Shape::of(&[2, 6]), -1.0, 1.0, &mut init::rng(4));
-        assert!(infer_until_confident(&mut n, &batch, 0.5, 0.0).is_err());
+        assert!(confident(&mut n, &batch, 0.5).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_matches_session() {
+        let mut n1 = net();
+        let via_fn = infer_until_confident(&mut n1, &x(), 0.5, 0.0).unwrap();
+        let mut n2 = net();
+        let via_session = confident(&mut n2, &x(), 0.5).unwrap();
+        assert_eq!(via_fn, via_session);
     }
 }

@@ -1,20 +1,24 @@
-//! Anytime-inference driver: decides on the fly whether to enhance accuracy
-//! by expanding to the next subnet, as resources accumulate over a
-//! [`ResourceTrace`](crate::ResourceTrace).
+//! Anytime-inference driver types and the deprecated free-function entry
+//! points.
+//!
+//! The drive loop itself lives in [`Session`](crate::Session); this module
+//! keeps its vocabulary types ([`UpgradePolicy`], [`SliceLog`],
+//! [`DriveOutcome`], [`expand_macs`]) and the original free functions as
+//! thin deprecated wrappers.
 //!
 //! Two upgrade policies are supported so the cost of recomputation can be
 //! measured directly:
 //!
 //! * [`UpgradePolicy::Incremental`] — SteppingNet-style: pay only the new
-//!   neurons (the [`IncrementalExecutor`] path);
+//!   neurons (the incremental-executor path);
 //! * [`UpgradePolicy::Recompute`] — slimmable-style: switching to a larger
 //!   subnet discards intermediate results and pays its full MAC count.
 
 use serde::{Deserialize, Serialize};
-use stepping_core::telemetry::{self, Value};
-use stepping_core::{IncrementalExecutor, Result, Stage, SteppingError, SteppingNet};
+use stepping_core::{Result, Stage, SteppingError, SteppingNet};
 use stepping_tensor::Tensor;
 
+use crate::session::{Session, SessionConfig};
 use crate::ResourceTrace;
 
 /// How subnet upgrades are charged.
@@ -89,15 +93,12 @@ pub fn expand_macs(net: &SteppingNet, subnet: usize, prune_threshold: f32) -> Re
 
 /// Drives anytime inference of `input` over `trace`.
 ///
-/// Budget accumulates across slices; work is performed greedily: first the
-/// smallest subnet, then an upgrade whenever the accumulated budget covers
-/// the next step's cost under `policy`. This is the paper's deployment
-/// story: "decide on-the-fly whether to enhance the inference accuracy by
-/// executing further MAC operations".
-///
-/// # Errors
-///
-/// Propagates executor errors; rejects an empty trace.
+/// Deprecated positional-argument wrapper around
+/// [`Session::run`](crate::Session::run).
+#[deprecated(
+    since = "0.3.0",
+    note = "build a `SessionConfig` and call `Session::run` instead"
+)]
 pub fn drive(
     net: &mut SteppingNet,
     input: &Tensor,
@@ -105,112 +106,22 @@ pub fn drive(
     policy: UpgradePolicy,
     prune_threshold: f32,
 ) -> Result<DriveOutcome> {
-    if trace.is_empty() {
-        return Err(SteppingError::BadConfig(
-            "resource trace must be non-empty".into(),
-        ));
-    }
-    let subnet_count = net.subnet_count();
-    let base_cost = net.macs(0, prune_threshold);
-    // Pre-compute step costs to avoid borrowing the net inside the loop.
-    let mut step_cost = vec![base_cost];
-    for k in 0..subnet_count - 1 {
-        let cost = match policy {
-            UpgradePolicy::Incremental => expand_macs(net, k, prune_threshold)?,
-            UpgradePolicy::Recompute => net.macs(k + 1, prune_threshold),
-        };
-        step_cost.push(cost);
-    }
-    let run_span = telemetry::span("inference", "drive.run");
-    let mut exec = IncrementalExecutor::new(net, prune_threshold);
-    let mut timeline = Vec::with_capacity(trace.len());
-    let mut bank = 0u64;
-    let mut next_step = 0usize; // 0 = begin, k>0 = expand to subnet k
-    let mut final_subnet = None;
-    let mut final_logits = None;
-    let mut total_macs = 0u64;
-    let mut first_prediction_slice = None;
-    for (i, &budget) in trace.budgets().iter().enumerate() {
-        let slice_span = telemetry::span("inference", "drive.slice");
-        bank += budget;
-        let mut spent = 0u64;
-        let mut upgrades = 0u64;
-        while next_step < subnet_count && bank >= step_cost[next_step] {
-            telemetry::point(
-                "inference",
-                "drive.upgrade",
-                &[
-                    ("slice", Value::U64(i as u64)),
-                    ("to_subnet", Value::U64(next_step as u64)),
-                    ("cost", Value::U64(step_cost[next_step])),
-                    ("bank_before", Value::U64(bank)),
-                    ("policy", Value::Str(policy.label())),
-                ],
-            );
-            bank -= step_cost[next_step];
-            spent += step_cost[next_step];
-            let step = if next_step == 0 {
-                exec.begin(input)?
-            } else {
-                exec.expand()?
-            };
-            final_subnet = Some(step.subnet);
-            final_logits = Some(step.logits);
-            if next_step == 0 {
-                first_prediction_slice = Some(i);
-            }
-            next_step += 1;
-            upgrades += 1;
-        }
-        total_macs += spent;
-        slice_span.end(&[
-            ("slice", Value::U64(i as u64)),
-            ("budget", Value::U64(budget)),
-            ("spent", Value::U64(spent)),
-            ("bank", Value::U64(bank)),
-            ("upgrades", Value::U64(upgrades)),
-            (
-                "subnet_ready",
-                Value::I64(final_subnet.map(|s| s as i64).unwrap_or(-1)),
-            ),
-        ]);
-        timeline.push(SliceLog {
-            slice: i,
-            budget,
-            spent,
-            subnet_ready: final_subnet,
-        });
-    }
-    run_span.end(&[
-        ("slices", Value::U64(trace.len() as u64)),
-        ("total_macs", Value::U64(total_macs)),
-        ("policy", Value::Str(policy.label())),
-        (
-            "final_subnet",
-            Value::I64(final_subnet.map(|s| s as i64).unwrap_or(-1)),
-        ),
-        (
-            "first_prediction_slice",
-            Value::I64(first_prediction_slice.map(|s| s as i64).unwrap_or(-1)),
-        ),
-    ]);
-    Ok(DriveOutcome {
-        timeline,
-        final_subnet,
-        final_logits,
-        total_macs,
-        first_prediction_slice,
-    })
+    let config = SessionConfig::new()
+        .trace(trace.clone())
+        .policy(policy)
+        .prune_threshold(prune_threshold);
+    Session::new(net, config).run(input)
 }
 
-/// Runs [`drive`] but stops consuming the trace at `deadline_slice`
-/// (exclusive), returning whatever prediction is ready — the paper's
-/// "preliminary decision made early, refined with more resources" scenario.
+/// Runs the drive loop but stops consuming the trace at `deadline_slice`
+/// (exclusive).
 ///
-/// # Errors
-///
-/// Propagates [`drive`] errors; rejects a deadline of zero or beyond the
-/// trace.
+/// Deprecated positional-argument wrapper around
+/// [`Session::run_until_deadline`](crate::Session::run_until_deadline).
+#[deprecated(
+    since = "0.3.0",
+    note = "build a `SessionConfig` and call `Session::run_until_deadline` instead"
+)]
 pub fn drive_until_deadline(
     net: &mut SteppingNet,
     input: &Tensor,
@@ -219,22 +130,11 @@ pub fn drive_until_deadline(
     policy: UpgradePolicy,
     prune_threshold: f32,
 ) -> Result<DriveOutcome> {
-    if deadline_slice == 0 || deadline_slice > trace.len() {
-        return Err(SteppingError::BadConfig(format!(
-            "deadline {deadline_slice} must be within 1..={}",
-            trace.len()
-        )));
-    }
-    telemetry::point(
-        "inference",
-        "drive.deadline",
-        &[
-            ("deadline_slice", Value::U64(deadline_slice as u64)),
-            ("trace_len", Value::U64(trace.len() as u64)),
-        ],
-    );
-    let truncated = ResourceTrace::from_budgets(trace.budgets()[..deadline_slice].to_vec());
-    drive(net, input, &truncated, policy, prune_threshold)
+    let config = SessionConfig::new()
+        .trace(trace.clone())
+        .policy(policy)
+        .prune_threshold(prune_threshold);
+    Session::new(net, config).run_until_deadline(input, deadline_slice)
 }
 
 #[cfg(test)]
@@ -260,6 +160,10 @@ mod tests {
         init::uniform(Shape::of(&[1, 6]), -1.0, 1.0, &mut init::rng(0))
     }
 
+    fn session_cfg(trace: ResourceTrace, policy: UpgradePolicy) -> SessionConfig {
+        SessionConfig::new().trace(trace).policy(policy)
+    }
+
     #[test]
     fn expand_macs_is_cheaper_than_recompute() {
         let n = net();
@@ -276,7 +180,8 @@ mod tests {
         let mut n = net();
         let full = n.macs(2, 0.0);
         let trace = ResourceTrace::constant(full, 4);
-        let out = drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+        let cfg = session_cfg(trace, UpgradePolicy::Incremental);
+        let out = Session::new(&mut n, cfg).run(&x()).unwrap();
         assert_eq!(out.final_subnet, Some(2));
         assert_eq!(out.first_prediction_slice, Some(0));
         assert!(out.final_logits.is_some());
@@ -289,7 +194,8 @@ mod tests {
         // just enough for subnet 0 over the whole trace, never more
         let per_slice = small / 4 + 1;
         let trace = ResourceTrace::constant(per_slice, 5);
-        let out = drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+        let cfg = session_cfg(trace, UpgradePolicy::Incremental);
+        let out = Session::new(&mut n, cfg).run(&x()).unwrap();
         assert_eq!(out.final_subnet, Some(0));
         assert!(out.first_prediction_slice.unwrap() > 0);
     }
@@ -299,8 +205,15 @@ mod tests {
         let mut n = net();
         let budget = n.macs(0, 0.0) + expand_macs(&n, 0, 0.0).unwrap();
         let trace = ResourceTrace::constant(budget, 1);
-        let inc = drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
-        let rec = drive(&mut n, &x(), &trace, UpgradePolicy::Recompute, 0.0).unwrap();
+        let inc = Session::new(
+            &mut n,
+            session_cfg(trace.clone(), UpgradePolicy::Incremental),
+        )
+        .run(&x())
+        .unwrap();
+        let rec = Session::new(&mut n, session_cfg(trace, UpgradePolicy::Recompute))
+            .run(&x())
+            .unwrap();
         assert_eq!(inc.final_subnet, Some(1));
         assert_eq!(
             rec.final_subnet,
@@ -314,8 +227,15 @@ mod tests {
         let mut n = net();
         let full = n.macs(2, 0.0);
         let trace = ResourceTrace::constant(full, 6);
-        let inc = drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
-        let rec = drive(&mut n, &x(), &trace, UpgradePolicy::Recompute, 0.0).unwrap();
+        let inc = Session::new(
+            &mut n,
+            session_cfg(trace.clone(), UpgradePolicy::Incremental),
+        )
+        .run(&x())
+        .unwrap();
+        let rec = Session::new(&mut n, session_cfg(trace, UpgradePolicy::Recompute))
+            .run(&x())
+            .unwrap();
         assert_eq!(inc.final_subnet, rec.final_subnet);
         assert!(
             inc.total_macs < rec.total_macs,
@@ -330,24 +250,54 @@ mod tests {
         let mut n = net();
         let full = n.macs(2, 0.0);
         let trace = ResourceTrace::constant(full / 3, 9);
-        let early =
-            drive_until_deadline(&mut n, &x(), &trace, 1, UpgradePolicy::Incremental, 0.0).unwrap();
-        let late =
-            drive_until_deadline(&mut n, &x(), &trace, 9, UpgradePolicy::Incremental, 0.0).unwrap();
+        let cfg = session_cfg(trace, UpgradePolicy::Incremental);
+        let early = Session::new(&mut n, cfg.clone())
+            .run_until_deadline(&x(), 1)
+            .unwrap();
+        let late = Session::new(&mut n, cfg.clone())
+            .run_until_deadline(&x(), 9)
+            .unwrap();
         assert!(early.final_subnet <= late.final_subnet);
-        assert!(
-            drive_until_deadline(&mut n, &x(), &trace, 0, UpgradePolicy::Incremental, 0.0).is_err()
-        );
-        assert!(
-            drive_until_deadline(&mut n, &x(), &trace, 10, UpgradePolicy::Incremental, 0.0)
-                .is_err()
-        );
+        assert!(Session::new(&mut n, cfg.clone())
+            .run_until_deadline(&x(), 0)
+            .is_err());
+        assert!(Session::new(&mut n, cfg)
+            .run_until_deadline(&x(), 10)
+            .is_err());
     }
 
     #[test]
     fn empty_trace_rejected() {
         let mut n = net();
         let trace = ResourceTrace::from_budgets(vec![]);
-        assert!(drive(&mut n, &x(), &trace, UpgradePolicy::Incremental, 0.0).is_err());
+        let cfg = session_cfg(trace, UpgradePolicy::Incremental);
+        assert!(Session::new(&mut n, cfg).run(&x()).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_session() {
+        let trace = ResourceTrace::constant(net().macs(2, 0.0) / 3, 6);
+        let mut n1 = net();
+        let via_fn = drive(&mut n1, &x(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+        let mut n2 = net();
+        let via_session = Session::new(
+            &mut n2,
+            session_cfg(trace.clone(), UpgradePolicy::Incremental),
+        )
+        .run(&x())
+        .unwrap();
+        assert_eq!(via_fn, via_session);
+
+        let mut n3 = net();
+        let fn_deadline =
+            drive_until_deadline(&mut n3, &x(), &trace, 3, UpgradePolicy::Incremental, 0.0)
+                .unwrap();
+        let mut n4 = net();
+        let session_deadline =
+            Session::new(&mut n4, session_cfg(trace, UpgradePolicy::Incremental))
+                .run_until_deadline(&x(), 3)
+                .unwrap();
+        assert_eq!(fn_deadline, session_deadline);
     }
 }

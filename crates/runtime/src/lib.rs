@@ -10,31 +10,41 @@
 //! * [`ResourceTrace`] — deterministic per-timeslice MAC budgets (constant,
 //!   power-mode steps, random walk, bursty),
 //! * [`DeviceModel`] — MACs → latency conversion,
-//! * [`drive`] / [`drive_until_deadline`] — the on-the-fly decision loop:
-//!   bank budget, produce the smallest subnet's prediction early, and expand
-//!   whenever the next step becomes affordable, under either the
-//!   reuse-everything [`UpgradePolicy::Incremental`] or the baseline
-//!   [`UpgradePolicy::Recompute`],
-//! * [`run_live`] — the same loop against a *threaded* resource producer
-//!   with a lock-protected [`LatestPrediction`] cell for concurrent
-//!   observers,
-//! * [`infer_until_confident`] — confidence-gated early exit (the
-//!   BranchyNet-style policy), which composes naturally with the stepping
-//!   structure because each additional opinion costs only the new neurons.
+//! * [`SessionConfig`] / [`Session`] — the unified inference API. One
+//!   builder configures prune threshold, upgrade policy, device model,
+//!   resource trace, confidence threshold, and start subnet; one
+//!   [`Session`] then exposes every run mode:
+//!   [`run`](Session::run) / [`run_until_deadline`](Session::run_until_deadline)
+//!   — the on-the-fly decision loop: bank budget, produce the smallest
+//!   subnet's prediction early, and expand whenever the next step becomes
+//!   affordable, under either the reuse-everything
+//!   [`UpgradePolicy::Incremental`] or the baseline
+//!   [`UpgradePolicy::Recompute`];
+//!   [`run_live`](Session::run_live) — the same loop against a *threaded*
+//!   resource producer with a lock-protected [`LatestPrediction`] cell for
+//!   concurrent observers;
+//!   [`run_until_confident`](Session::run_until_confident) —
+//!   confidence-gated early exit (the BranchyNet-style policy), which
+//!   composes naturally with the stepping structure because each additional
+//!   opinion costs only the new neurons.
+//!
+//! The original free functions (`drive`, `drive_until_deadline`,
+//! `run_live`, `infer_until_confident`) remain as deprecated wrappers.
 //!
 //! ## Example
 //!
 //! ```
 //! use stepping_core::SteppingNetBuilder;
-//! use stepping_runtime::{drive, ResourceTrace, UpgradePolicy};
+//! use stepping_runtime::{ResourceTrace, Session, SessionConfig};
 //! use stepping_tensor::{Shape, Tensor};
 //!
 //! let mut net = SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
 //!     .linear(6).relu().build(3)?;
 //! net.move_neuron(0, 5, 1)?;
-//! let trace = ResourceTrace::constant(net.macs(1, 0.0), 3);
-//! let out = drive(&mut net, &Tensor::zeros(Shape::of(&[1, 4])), &trace,
-//!                 UpgradePolicy::Incremental, 0.0)?;
+//! let config = SessionConfig::new()
+//!     .trace(ResourceTrace::constant(net.macs(1, 0.0), 3));
+//! let out = Session::new(&mut net, config)
+//!     .run(&Tensor::zeros(Shape::of(&[1, 4])))?;
 //! assert_eq!(out.final_subnet, Some(1));
 //! # Ok::<(), stepping_core::SteppingError>(())
 //! ```
@@ -46,10 +56,19 @@ mod confidence;
 mod device;
 mod driver;
 mod live;
+mod session;
 mod trace;
 
-pub use confidence::{infer_until_confident, ConfidentOutcome};
+pub use confidence::ConfidentOutcome;
 pub use device::DeviceModel;
-pub use driver::{drive, drive_until_deadline, expand_macs, DriveOutcome, SliceLog, UpgradePolicy};
-pub use live::{run_live, LatestPrediction};
+pub use driver::{expand_macs, DriveOutcome, SliceLog, UpgradePolicy};
+pub use live::LatestPrediction;
+pub use session::{Session, SessionConfig};
 pub use trace::ResourceTrace;
+
+#[allow(deprecated)]
+pub use confidence::infer_until_confident;
+#[allow(deprecated)]
+pub use driver::{drive, drive_until_deadline};
+#[allow(deprecated)]
+pub use live::run_live;

@@ -1,23 +1,23 @@
 //! Live (threaded) simulation of a resource-varying platform.
 //!
-//! A producer thread plays a [`ResourceTrace`](crate::ResourceTrace) over a
-//! crossbeam channel — the "computing system" granting resources tick by
-//! tick — while the caller's thread runs anytime inference, publishing every
-//! refined prediction into a shared [`LatestPrediction`] cell that a
-//! controller (e.g. the vehicle's planner) can poll at any moment without
-//! blocking inference.
+//! The live loop itself lives in [`Session::run_live`](crate::Session::run_live):
+//! a producer thread plays a [`ResourceTrace`](crate::ResourceTrace) over a
+//! channel — the "computing system" granting resources tick by tick — while
+//! the caller's thread runs anytime inference, publishing every refined
+//! prediction into a shared [`LatestPrediction`] cell that a controller
+//! (e.g. the vehicle's planner) can poll at any moment without blocking
+//! inference. This module keeps the [`LatestPrediction`] cell and the
+//! original free function as a thin deprecated wrapper.
 
 use std::sync::Arc;
-use std::thread;
 use std::time::Duration;
 
-use crossbeam::channel;
 use parking_lot::RwLock;
-use stepping_core::telemetry::{self, Value};
-use stepping_core::{IncrementalExecutor, Result, SteppingError, SteppingNet};
+use stepping_core::{Result, SteppingNet};
 use stepping_tensor::Tensor;
 
-use crate::driver::{expand_macs, DriveOutcome, SliceLog, UpgradePolicy};
+use crate::driver::{DriveOutcome, UpgradePolicy};
+use crate::session::{Session, SessionConfig};
 use crate::ResourceTrace;
 
 /// A published prediction: the subnet level it came from and the logits.
@@ -43,23 +43,19 @@ impl LatestPrediction {
         self.inner.read().clone()
     }
 
-    fn publish(&self, subnet: usize, logits: &Tensor) {
+    pub(crate) fn publish(&self, subnet: usize, logits: &Tensor) {
         *self.inner.write() = Some((subnet, logits.data().to_vec()));
     }
 }
 
-/// Runs anytime inference live: a producer thread emits one budget tick per
-/// `tick` interval; the calling thread banks budget and performs
-/// begin/expand steps as they become affordable, publishing each new
-/// prediction into `latest`.
+/// Runs anytime inference live against a threaded resource producer.
 ///
-/// Semantics match [`drive`](crate::drive) with
-/// [`UpgradePolicy::Incremental`]; `policy` is configurable for comparison
-/// runs.
-///
-/// # Errors
-///
-/// Propagates executor errors; rejects an empty trace.
+/// Deprecated positional-argument wrapper around
+/// [`Session::run_live`](crate::Session::run_live).
+#[deprecated(
+    since = "0.3.0",
+    note = "build a `SessionConfig` and call `Session::run_live` instead"
+)]
 pub fn run_live(
     net: &mut SteppingNet,
     input: &Tensor,
@@ -69,98 +65,18 @@ pub fn run_live(
     tick: Duration,
     latest: &LatestPrediction,
 ) -> Result<DriveOutcome> {
-    if trace.is_empty() {
-        return Err(SteppingError::BadConfig(
-            "resource trace must be non-empty".into(),
-        ));
-    }
-    let subnet_count = net.subnet_count();
-    let mut step_cost = vec![net.macs(0, prune_threshold)];
-    for k in 0..subnet_count - 1 {
-        let cost = match policy {
-            UpgradePolicy::Incremental => expand_macs(net, k, prune_threshold)?,
-            UpgradePolicy::Recompute => net.macs(k + 1, prune_threshold),
-        };
-        step_cost.push(cost);
-    }
-
-    let (tx, rx) = channel::bounded::<u64>(4);
-    let budgets = trace.budgets().to_vec();
-    let producer = thread::spawn(move || {
-        for b in budgets {
-            if tx.send(b).is_err() {
-                break;
-            }
-            if !tick.is_zero() {
-                thread::sleep(tick);
-            }
-        }
-    });
-
-    let mut exec = IncrementalExecutor::new(net, prune_threshold);
-    let mut timeline = Vec::with_capacity(trace.len());
-    let mut bank = 0u64;
-    let mut next_step = 0usize;
-    let mut final_subnet = None;
-    let mut final_logits: Option<Tensor> = None;
-    let mut total_macs = 0u64;
-    let mut first_prediction_slice = None;
-    let mut slice = 0usize;
-    while let Ok(budget) = rx.recv() {
-        bank += budget;
-        let mut spent = 0u64;
-        while next_step < subnet_count && bank >= step_cost[next_step] {
-            bank -= step_cost[next_step];
-            spent += step_cost[next_step];
-            let step = if next_step == 0 {
-                exec.begin(input)?
-            } else {
-                exec.expand()?
-            };
-            latest.publish(step.subnet, &step.logits);
-            telemetry::point(
-                "inference",
-                "live.prediction",
-                &[
-                    ("slice", Value::U64(slice as u64)),
-                    ("subnet", Value::U64(step.subnet as u64)),
-                    ("step_macs", Value::U64(step.step_macs)),
-                    ("cumulative_macs", Value::U64(step.cumulative_macs)),
-                    ("policy", Value::Str(policy.label())),
-                ],
-            );
-            final_subnet = Some(step.subnet);
-            final_logits = Some(step.logits);
-            if next_step == 0 {
-                first_prediction_slice = Some(slice);
-            }
-            next_step += 1;
-        }
-        total_macs += spent;
-        timeline.push(SliceLog {
-            slice,
-            budget,
-            spent,
-            subnet_ready: final_subnet,
-        });
-        slice += 1;
-    }
-    producer
-        .join()
-        .map_err(|_| SteppingError::ExecutorState("resource producer thread panicked".into()))?;
-    Ok(DriveOutcome {
-        timeline,
-        final_subnet,
-        final_logits,
-        total_macs,
-        first_prediction_slice,
-    })
+    let config = SessionConfig::new()
+        .trace(trace.clone())
+        .policy(policy)
+        .prune_threshold(prune_threshold)
+        .tick(tick);
+    Session::new(net, config).run_live(input, latest)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::drive;
+    use std::thread;
     use stepping_core::SteppingNetBuilder;
     use stepping_tensor::{init, Shape};
 
@@ -179,19 +95,13 @@ mod tests {
         let x = init::uniform(Shape::of(&[1, 5]), -1.0, 1.0, &mut init::rng(2));
         let trace = ResourceTrace::constant(net().macs(1, 0.0), 3);
         let latest = LatestPrediction::new();
+        let cfg = SessionConfig::new().trace(trace);
         let mut n1 = net();
-        let live = run_live(
-            &mut n1,
-            &x,
-            &trace,
-            UpgradePolicy::Incremental,
-            0.0,
-            Duration::ZERO,
-            &latest,
-        )
-        .unwrap();
+        let live = Session::new(&mut n1, cfg.clone())
+            .run_live(&x, &latest)
+            .unwrap();
         let mut n2 = net();
-        let offline = drive(&mut n2, &x, &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+        let offline = Session::new(&mut n2, cfg).run(&x).unwrap();
         assert_eq!(live.final_subnet, offline.final_subnet);
         assert_eq!(live.total_macs, offline.total_macs);
         assert_eq!(live.timeline, offline.timeline);
@@ -218,33 +128,36 @@ mod tests {
             false
         });
         let mut n = net();
-        run_live(
-            &mut n,
-            &x,
-            &trace,
-            UpgradePolicy::Incremental,
-            0.0,
-            Duration::from_micros(100),
-            &latest,
-        )
-        .unwrap();
+        let cfg = SessionConfig::new()
+            .trace(trace)
+            .tick(Duration::from_micros(100));
+        Session::new(&mut n, cfg).run_live(&x, &latest).unwrap();
         assert!(observer.join().unwrap(), "observer never saw a prediction");
     }
 
     #[test]
-    fn empty_trace_rejected() {
-        let mut n = net();
-        let x = init::uniform(Shape::of(&[1, 5]), -1.0, 1.0, &mut init::rng(4));
-        let latest = LatestPrediction::new();
-        assert!(run_live(
-            &mut n,
+    #[allow(deprecated)]
+    fn deprecated_wrapper_matches_session() {
+        let x = init::uniform(Shape::of(&[1, 5]), -1.0, 1.0, &mut init::rng(5));
+        let trace = ResourceTrace::constant(net().macs(1, 0.0), 3);
+        let latest_fn = LatestPrediction::new();
+        let mut n1 = net();
+        let via_fn = run_live(
+            &mut n1,
             &x,
-            &ResourceTrace::from_budgets(vec![]),
+            &trace,
             UpgradePolicy::Incremental,
             0.0,
             Duration::ZERO,
-            &latest,
+            &latest_fn,
         )
-        .is_err());
+        .unwrap();
+        let latest_session = LatestPrediction::new();
+        let mut n2 = net();
+        let via_session = Session::new(&mut n2, SessionConfig::new().trace(trace))
+            .run_live(&x, &latest_session)
+            .unwrap();
+        assert_eq!(via_fn, via_session);
+        assert_eq!(latest_fn.get(), latest_session.get());
     }
 }

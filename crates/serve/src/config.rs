@@ -1,0 +1,90 @@
+//! Server configuration: a thin layer of serving knobs (workers, batching
+//! window) on top of the runtime's [`SessionConfig`].
+
+use std::time::Duration;
+
+use stepping_runtime::SessionConfig;
+
+/// Configuration of a [`Server`](crate::Server).
+///
+/// Embeds a [`SessionConfig`] for the inference-side knobs (prune
+/// threshold, device model, start subnet) and adds the serving-side ones:
+/// how many worker threads, how large a micro-batch may grow, and how long
+/// the scheduler may hold a request waiting for batch-mates.
+///
+/// Defaults: 2 workers, `max_batch` 8, `max_wait` 200 µs, default
+/// [`SessionConfig`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    workers: usize,
+    max_batch: usize,
+    max_wait: Duration,
+    session: SessionConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+            session: SessionConfig::new(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A configuration with the defaults above.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of worker threads, each owning a replica of the network.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Largest number of requests fused into one batched pass. `1` disables
+    /// micro-batching (every request runs alone).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Longest time the scheduler holds an incomplete batch open waiting
+    /// for compatible requests before flushing it.
+    pub fn max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Inference-side configuration (prune threshold, device model, start
+    /// subnet). The device model is required by
+    /// [`Server::new`](crate::Server::new) — it is what turns a request's
+    /// microsecond budget into a MAC budget.
+    pub fn session(mut self, session: SessionConfig) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Configured worker count.
+    pub fn get_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Configured batch-size limit.
+    pub fn get_max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Configured batching window.
+    pub fn get_max_wait(&self) -> Duration {
+        self.max_wait
+    }
+
+    /// Configured inference-side session configuration.
+    pub fn get_session(&self) -> &SessionConfig {
+        &self.session
+    }
+}

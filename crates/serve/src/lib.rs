@@ -1,0 +1,46 @@
+//! # stepping-serve
+//!
+//! A multi-threaded, deadline-aware serving engine for the SteppingNet
+//! (DATE 2023) reproduction — the deployment story the paper motivates,
+//! turned into a server:
+//!
+//! * **Concurrency** — a [`Server`] owns a pool of worker threads, each
+//!   holding a replica of the [`SteppingNet`](stepping_core::SteppingNet);
+//!   clients [`submit`](Server::submit) from any number of threads and
+//!   block only on their own [`Ticket`].
+//! * **Deadlines** — a [`Request::with_budget`] carries a microsecond
+//!   budget; the scheduler converts it to a MAC budget via the configured
+//!   [`DeviceModel`](stepping_runtime::DeviceModel) and picks the largest
+//!   subnet that fits (best-effort smallest subnet, flagged
+//!   `deadline_met == false`, when nothing does).
+//! * **Micro-batching** — compatible requests (same target subnet, or the
+//!   same upgrade step) are fused into **one** batched pass over the
+//!   network. Every kernel in this workspace computes batch rows
+//!   independently, so each request's logits stay bit-identical to running
+//!   it alone — batching buys throughput without changing a single answer.
+//! * **Incremental upgrades** — every response retains the request's
+//!   activation cache in a session table;
+//!   [`upgrade`](Server::upgrade) steps a session to a larger subnet
+//!   paying only the newly added neurons plus the new head (the paper's
+//!   incremental property, per request). The response reports the
+//!   cache-reuse ratio.
+//!
+//! Configuration is two-layered: the runtime's
+//! [`SessionConfig`](stepping_runtime::SessionConfig) supplies the
+//! inference-side knobs; [`ServeConfig`] adds workers, `max_batch`, and the
+//! `max_wait` batching window. See `docs/SERVING.md` for the architecture
+//! and the deadline math.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod queue;
+mod request;
+mod server;
+mod stats;
+
+pub use config::ServeConfig;
+pub use request::{Request, Response, Ticket};
+pub use server::Server;
+pub use stats::ServerStats;

@@ -1,0 +1,174 @@
+//! The batch-forming job queue: a [`Mutex`]/[`Condvar`]-protected deque
+//! from which workers extract micro-batches of *compatible* jobs.
+//!
+//! Two jobs are compatible when they need the same batched pass: initial
+//! runs targeting the same subnet, or upgrades stepping between the same
+//! pair of levels. A worker flushes a batch when it reaches
+//! `max_batch` jobs, when the oldest job has waited `max_wait`, or when the
+//! queue is draining for shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use stepping_core::batch::ActivationCache;
+use stepping_core::Result;
+use stepping_tensor::Tensor;
+
+use crate::request::Response;
+
+/// The batched pass a job needs — the batching compatibility key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BatchKey {
+    /// Full run of `subnet` from the input.
+    Begin {
+        /// Target subnet.
+        subnet: usize,
+    },
+    /// Incremental expansion of cached activations.
+    Upgrade {
+        /// Level the caches currently sit at.
+        from: usize,
+        /// Level to reach.
+        to: usize,
+    },
+}
+
+/// Work payload of a job.
+#[derive(Debug)]
+pub(crate) enum Work {
+    Begin {
+        input: Tensor,
+        subnet: usize,
+    },
+    Upgrade {
+        session: u64,
+        cache: ActivationCache,
+        target: usize,
+    },
+}
+
+/// One queued request with its reply channel and bookkeeping.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub id: u64,
+    pub work: Work,
+    /// Budget the target subnet was chosen against, if deadline-driven.
+    pub budget_us: Option<f64>,
+    pub submitted: Instant,
+    pub reply: std::sync::mpsc::Sender<Result<Response>>,
+}
+
+impl Job {
+    pub fn key(&self) -> BatchKey {
+        match &self.work {
+            Work::Begin { subnet, .. } => BatchKey::Begin { subnet: *subnet },
+            Work::Upgrade { cache, target, .. } => BatchKey::Upgrade {
+                from: cache.current_subnet().expect("upgrade cache initialised"),
+                to: *target,
+            },
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueueState {
+    pending: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The shared batch-forming queue.
+#[derive(Debug)]
+pub(crate) struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    max_batch: usize,
+    max_wait: Duration,
+}
+
+impl JobQueue {
+    pub fn new(max_batch: usize, max_wait: Duration) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            max_batch,
+            max_wait,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues a job; once the queue is draining the job is handed back so
+    /// the caller can recover its payload (e.g. an upgrade's cache).
+    #[allow(clippy::result_large_err)] // Err carries the job back by design
+    pub fn push(&self, job: Job) -> std::result::Result<(), Job> {
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(job);
+        }
+        st.pending.push_back(job);
+        drop(st);
+        self.available.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until a batch is ready and extracts it; `None` once the queue
+    /// is draining *and* empty (worker should exit).
+    ///
+    /// The batch is built around the oldest pending job: up to `max_batch`
+    /// jobs sharing its [`BatchKey`], flushed early if the oldest has
+    /// already waited `max_wait` or the queue is draining.
+    pub fn take_batch(&self) -> Option<Vec<Job>> {
+        let mut st = self.lock();
+        loop {
+            if let Some(oldest) = st.pending.front() {
+                let key = oldest.key();
+                let matching = st.pending.iter().filter(|j| j.key() == key).count();
+                let age = oldest.submitted.elapsed();
+                if matching >= self.max_batch || age >= self.max_wait || st.shutdown {
+                    let mut batch = Vec::with_capacity(matching.min(self.max_batch));
+                    let mut rest = VecDeque::with_capacity(st.pending.len());
+                    for job in st.pending.drain(..) {
+                        if batch.len() < self.max_batch && job.key() == key {
+                            batch.push(job);
+                        } else {
+                            rest.push_back(job);
+                        }
+                    }
+                    st.pending = rest;
+                    let more = !st.pending.is_empty();
+                    drop(st);
+                    if more {
+                        // other workers may be able to start on the rest
+                        self.available.notify_all();
+                    }
+                    return Some(batch);
+                }
+                let (guard, _) = self
+                    .available
+                    .wait_timeout(st, self.max_wait - age)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            } else if st.shutdown {
+                return None;
+            } else {
+                st = self
+                    .available
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Starts draining: no new jobs are accepted, queued jobs are still
+    /// served, and idle workers are woken so they can observe the flag.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.available.notify_all();
+    }
+}

@@ -1,0 +1,120 @@
+//! Client-facing request/response types and the [`Ticket`] future.
+
+use std::sync::mpsc;
+
+use stepping_core::{Result, SteppingError};
+use stepping_tensor::Tensor;
+
+/// How far a request wants the stepping network driven.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum TargetSpec {
+    /// Run the largest subnet whose modeled latency fits in this many
+    /// microseconds (best-effort smallest subnet if none fits).
+    BudgetUs(f64),
+    /// Run exactly this subnet.
+    Subnet(usize),
+    /// Run the largest subnet.
+    Full,
+}
+
+/// One inference request: an input sample (or batch of rows) plus a target
+/// specification.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub(crate) input: Tensor,
+    pub(crate) target: TargetSpec,
+}
+
+impl Request {
+    /// A deadline-driven request: the server picks the largest subnet whose
+    /// modeled latency (via the configured
+    /// [`DeviceModel`](stepping_runtime::DeviceModel)) fits within
+    /// `budget_us` microseconds. If not even the smallest subnet fits, it
+    /// runs best-effort and the response reports `deadline_met == false`.
+    pub fn with_budget(input: Tensor, budget_us: f64) -> Self {
+        Request {
+            input,
+            target: TargetSpec::BudgetUs(budget_us),
+        }
+    }
+
+    /// A request pinned to an exact subnet.
+    pub fn at_subnet(input: Tensor, subnet: usize) -> Self {
+        Request {
+            input,
+            target: TargetSpec::Subnet(subnet),
+        }
+    }
+
+    /// A request for the largest (most accurate) subnet.
+    pub fn full(input: Tensor) -> Self {
+        Request {
+            input,
+            target: TargetSpec::Full,
+        }
+    }
+}
+
+/// Outcome of one served request (an initial run or an upgrade).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Server-assigned request id.
+    pub id: u64,
+    /// Session handle for later [`Server::upgrade`](crate::Server::upgrade)
+    /// calls; the request's activation cache is retained under this key.
+    pub session: u64,
+    /// Subnet whose prediction this response carries.
+    pub subnet: usize,
+    /// Logits of that subnet — bit-identical to running the request alone.
+    pub logits: Tensor,
+    /// MACs newly executed for this response (per sample).
+    pub step_macs: u64,
+    /// Cumulative MACs charged to the session across begin + upgrades.
+    pub total_macs: u64,
+    /// Device-modeled latency of `step_macs`.
+    pub modeled_latency_us: f64,
+    /// Measured wall-clock latency from submit to reply, in microseconds.
+    pub latency_us: f64,
+    /// Whether the modeled cost of the chosen subnet fit the request's
+    /// budget (always `true` for exact-subnet and full requests).
+    pub deadline_met: bool,
+    /// Number of requests fused into the batched pass that produced this
+    /// response (1 = ran alone, 0 = answered from cache without compute).
+    pub batch_size: usize,
+    /// Fraction of the session's cumulative MACs that were reused from the
+    /// cache rather than recomputed by this call (0 for an initial run).
+    pub cache_reuse: f64,
+}
+
+impl Response {
+    /// Predicted class (argmax over logits).
+    pub fn prediction(&self) -> usize {
+        self.logits.argmax()
+    }
+}
+
+/// A pending response: returned by
+/// [`Server::submit`](crate::Server::submit) /
+/// [`Server::upgrade`](crate::Server::upgrade), redeemed with
+/// [`wait`](Ticket::wait).
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) rx: mpsc::Receiver<Result<Response>>,
+}
+
+impl Ticket {
+    /// Blocks until the server answers this request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the worker-side error, or reports
+    /// [`SteppingError::ExecutorState`] if the server dropped the request
+    /// (worker panic during shutdown).
+    pub fn wait(self) -> Result<Response> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(SteppingError::ExecutorState(
+                "server dropped the request before answering".into(),
+            ))
+        })
+    }
+}

@@ -1,0 +1,561 @@
+//! The serving engine: worker pool, deadline math, session table, and the
+//! micro-batching dispatch loop.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use stepping_core::batch::{ActivationCache, BatchExecutor};
+use stepping_core::telemetry::{self, Value};
+use stepping_core::{Result, SteppingError, SteppingNet};
+use stepping_runtime::{expand_macs, DeviceModel};
+use stepping_tensor::Tensor;
+
+use crate::config::ServeConfig;
+use crate::queue::{BatchKey, Job, JobQueue, Work};
+use crate::request::{Request, Response, TargetSpec, Ticket};
+use crate::stats::{ServerStats, StatsInner};
+
+/// Retained per-request state between an initial run and later upgrades.
+#[derive(Debug)]
+struct SessionEntry {
+    cache: ActivationCache,
+    last_subnet: usize,
+    last_logits: Tensor,
+}
+
+/// State shared between the client-facing handle and the workers.
+#[derive(Debug)]
+struct Shared {
+    queue: JobQueue,
+    device: DeviceModel,
+    prune_threshold: f32,
+    start_subnet: usize,
+    /// `direct_cost[k]`: per-sample MACs of running subnet `k` from the
+    /// input (what an initial run pays).
+    direct_cost: Vec<u64>,
+    /// `expand_cost[k]` (`k >= 1`): per-sample MACs of stepping from
+    /// `k - 1` to `k` with cached activations (what an upgrade pays per
+    /// level); `expand_cost[0] == 0`.
+    expand_cost: Vec<u64>,
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    next_id: AtomicU64,
+    next_session: AtomicU64,
+    stats: StatsInner,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn subnet_count(&self) -> usize {
+        self.direct_cost.len()
+    }
+
+    /// Largest subnet (≥ the configured start subnet) whose direct cost
+    /// fits `mac_budget`; falls back to the start subnet (best effort).
+    fn largest_direct_within(&self, mac_budget: u64) -> usize {
+        let mut best = self.start_subnet;
+        for k in self.start_subnet..self.subnet_count() {
+            if self.direct_cost[k] <= mac_budget {
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Largest subnet reachable from `cur` whose *incremental* cost fits
+    /// `mac_budget`; `cur` itself if not even one step fits.
+    fn largest_upgrade_within(&self, cur: usize, mac_budget: u64) -> usize {
+        let mut best = cur;
+        let mut spent = 0u64;
+        for k in cur + 1..self.subnet_count() {
+            spent += self.expand_cost[k];
+            if spent <= mac_budget {
+                best = k;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// A concurrent, deadline-aware inference server over one [`SteppingNet`].
+///
+/// `workers` threads each own a replica of the network and pull
+/// micro-batches of *compatible* requests (same target subnet, or same
+/// upgrade step) from a shared queue, running one batched pass per batch.
+/// Because every kernel in the workspace computes batch rows independently,
+/// each request's logits are **bit-identical** to running it alone.
+///
+/// Every answered request leaves its activation cache in a session table;
+/// [`upgrade`](Server::upgrade) later steps it to a larger subnet paying
+/// only the newly added neurons plus the new head — the paper's incremental
+/// property, applied per request.
+///
+/// # Example
+///
+/// ```
+/// use stepping_core::SteppingNetBuilder;
+/// use stepping_runtime::{DeviceModel, SessionConfig};
+/// use stepping_serve::{Request, ServeConfig, Server};
+/// use stepping_tensor::{Shape, Tensor};
+///
+/// let mut net = SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
+///     .linear(6).relu().build(3)?;
+/// net.move_neuron(0, 5, 1)?;
+/// let config = ServeConfig::new()
+///     .workers(2)
+///     .session(SessionConfig::new().device(DeviceModel::mobile()));
+/// let server = Server::new(&net, config)?;
+/// let ticket = server.submit(Request::full(Tensor::ones(Shape::of(&[1, 4]))))?;
+/// let response = ticket.wait()?;
+/// assert_eq!(response.subnet, 1); // the largest of the 2 subnets
+/// server.shutdown();
+/// # Ok::<(), stepping_core::SteppingError>(())
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Builds the cost tables, spawns the worker pool (each worker clones
+    /// `net`), and starts accepting requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::BadConfig`] for zero workers, a zero
+    /// `max_batch`, a missing device model, or an out-of-range start
+    /// subnet.
+    pub fn new(net: &SteppingNet, config: ServeConfig) -> Result<Server> {
+        if config.get_workers() == 0 {
+            return Err(SteppingError::BadConfig(
+                "server needs at least one worker".into(),
+            ));
+        }
+        if config.get_max_batch() == 0 {
+            return Err(SteppingError::BadConfig(
+                "max_batch must be at least 1".into(),
+            ));
+        }
+        let session = config.get_session();
+        let device = session.get_device().ok_or_else(|| {
+            SteppingError::BadConfig(
+                "serving needs a device model; set SessionConfig::device".into(),
+            )
+        })?;
+        let thr = session.get_prune_threshold();
+        let start = session.get_start_subnet();
+        let subnets = net.subnet_count();
+        if start >= subnets {
+            return Err(SteppingError::SubnetOutOfRange {
+                subnet: start,
+                count: subnets,
+            });
+        }
+        let direct_cost: Vec<u64> = (0..subnets).map(|k| net.macs(k, thr)).collect();
+        let mut expand_cost = vec![0u64];
+        for k in 0..subnets - 1 {
+            expand_cost.push(expand_macs(net, k, thr)?);
+        }
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.get_max_batch(), config.get_max_wait()),
+            device,
+            prune_threshold: thr,
+            start_subnet: start,
+            direct_cost,
+            expand_cost,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
+            stats: StatsInner::default(),
+        });
+        let workers = (0..config.get_workers())
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let replica = net.clone();
+                std::thread::spawn(move || worker_loop(shared, replica))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Submits a request; returns immediately with a [`Ticket`].
+    ///
+    /// The target subnet is resolved now: for a budget request, the largest
+    /// subnet whose modeled latency
+    /// ([`DeviceModel::budget_for_us`]) covers its direct MAC cost, floored
+    /// at the configured start subnet (best effort when nothing fits).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a shut-down server, an out-of-range subnet, a non-positive
+    /// budget, and an input whose trailing dimensions do not match the
+    /// network.
+    pub fn submit(&self, request: Request) -> Result<Ticket> {
+        let (subnet, budget_us) = self.resolve_begin(request.target)?;
+        let dims = request.input.shape().dims();
+        if dims.is_empty() || dims[0] == 0 {
+            return Err(SteppingError::BadConfig(
+                "request input must have at least one batch row".into(),
+            ));
+        }
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+            work: Work::Begin {
+                input: request.input,
+                subnet,
+            },
+            budget_us,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        self.shared
+            .queue
+            .push(job)
+            .map_err(|_| SteppingError::BadConfig("server is shut down".into()))?;
+        Ok(Ticket { rx })
+    }
+
+    /// Upgrades an answered request to a larger subnet, reusing its cached
+    /// activations: with `extra_budget_us` the largest subnet whose
+    /// *incremental* cost fits the extra budget is chosen; with `None` the
+    /// largest subnet. If not even one step is affordable, the cached
+    /// prediction is returned immediately with zero new MACs
+    /// (`batch_size == 0`, `cache_reuse == 1.0`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an unknown session, a non-positive budget, and a shut-down
+    /// server.
+    pub fn upgrade(&self, session: u64, extra_budget_us: Option<f64>) -> Result<Ticket> {
+        if let Some(b) = extra_budget_us {
+            if !(b.is_finite() && b > 0.0) {
+                return Err(SteppingError::BadConfig(format!(
+                    "budget {b} must be positive finite microseconds"
+                )));
+            }
+        }
+        let entry = lock(&self.shared.sessions)
+            .remove(&session)
+            .ok_or_else(|| SteppingError::BadConfig(format!("unknown session {session}")))?;
+        let cur = entry.last_subnet;
+        let target = match extra_budget_us {
+            None => self.shared.subnet_count() - 1,
+            Some(b) => self
+                .shared
+                .largest_upgrade_within(cur, self.shared.device.budget_for_us(b)),
+        };
+        let (tx, rx) = mpsc::channel();
+        if target <= cur {
+            // nothing affordable (or already at the top): answer from cache
+            let response = Response {
+                id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+                session,
+                subnet: cur,
+                logits: entry.last_logits.clone(),
+                step_macs: 0,
+                total_macs: entry.cache.cumulative_macs(),
+                modeled_latency_us: 0.0,
+                latency_us: 0.0,
+                deadline_met: true,
+                batch_size: 0,
+                cache_reuse: 1.0,
+            };
+            self.shared.stats.record_cache_hit();
+            telemetry::point(
+                "serving",
+                "serve.cache_hit",
+                &[
+                    ("session", Value::U64(session)),
+                    ("subnet", Value::U64(cur as u64)),
+                ],
+            );
+            lock(&self.shared.sessions).insert(session, entry);
+            let _ = tx.send(Ok(response));
+            return Ok(Ticket { rx });
+        }
+        let job = Job {
+            id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+            work: Work::Upgrade {
+                session,
+                cache: entry.cache,
+                target,
+            },
+            budget_us: extra_budget_us,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        if let Err(job) = self.shared.queue.push(job) {
+            // restore the session so the cache is not lost
+            if let Work::Upgrade { cache, .. } = job.work {
+                lock(&self.shared.sessions).insert(
+                    session,
+                    SessionEntry {
+                        cache,
+                        last_subnet: entry.last_subnet,
+                        last_logits: entry.last_logits,
+                    },
+                );
+            }
+            return Err(SteppingError::BadConfig("server is shut down".into()));
+        }
+        Ok(Ticket { rx })
+    }
+
+    /// Forgets a session, freeing its activation cache. Unknown sessions
+    /// are ignored.
+    pub fn release(&self, session: u64) {
+        lock(&self.shared.sessions).remove(&session);
+    }
+
+    /// Number of sessions currently retained.
+    pub fn session_count(&self) -> usize {
+        lock(&self.shared.sessions).len()
+    }
+
+    /// Per-sample direct MAC cost of each subnet (index = subnet).
+    pub fn subnet_costs(&self) -> &[u64] {
+        &self.shared.direct_cost
+    }
+
+    /// Aggregate serving statistics so far.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stops accepting requests, drains the queue (every
+    /// queued request is still answered), and joins the workers.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.queue.shutdown();
+        let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn resolve_begin(&self, target: TargetSpec) -> Result<(usize, Option<f64>)> {
+        let n = self.shared.subnet_count();
+        match target {
+            TargetSpec::Full => Ok((n - 1, None)),
+            TargetSpec::Subnet(k) => {
+                if k >= n {
+                    Err(SteppingError::SubnetOutOfRange {
+                        subnet: k,
+                        count: n,
+                    })
+                } else {
+                    Ok((k, None))
+                }
+            }
+            TargetSpec::BudgetUs(b) => {
+                if !(b.is_finite() && b > 0.0) {
+                    return Err(SteppingError::BadConfig(format!(
+                        "budget {b} must be positive finite microseconds"
+                    )));
+                }
+                let mac_budget = self.shared.device.budget_for_us(b);
+                Ok((self.shared.largest_direct_within(mac_budget), Some(b)))
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, mut net: SteppingNet) {
+    while let Some(batch) = shared.queue.take_batch() {
+        let key = batch[0].key();
+        match key {
+            BatchKey::Begin { subnet } => run_begin_batch(&shared, &mut net, batch, subnet),
+            BatchKey::Upgrade { from, to } => run_upgrade_batch(&shared, &mut net, batch, from, to),
+        }
+    }
+}
+
+fn respond_error(jobs: Vec<Job>, err: SteppingError) {
+    for job in jobs {
+        let _ = job.reply.send(Err(err.clone()));
+    }
+}
+
+fn run_begin_batch(shared: &Shared, net: &mut SteppingNet, jobs: Vec<Job>, subnet: usize) {
+    let span = telemetry::span("serving", "serve.batch");
+    let inputs: Vec<Tensor> = jobs
+        .iter()
+        .map(|j| match &j.work {
+            Work::Begin { input, .. } => input.clone(),
+            Work::Upgrade { .. } => unreachable!("begin batch holds only begin jobs"),
+        })
+        .collect();
+    let mut exec = BatchExecutor::new(net, shared.prune_threshold);
+    let results = match exec.begin(&inputs, subnet) {
+        Ok(r) => r,
+        Err(e) => {
+            span.end(&[("error", Value::Bool(true))]);
+            respond_error(jobs, e);
+            return;
+        }
+    };
+    let batch_size = jobs.len();
+    let mut batch_macs = 0u64;
+    let mut misses = 0u64;
+    // stats and session entries must be visible before any reply is sent,
+    // so sends are buffered until all bookkeeping is done
+    let mut outbox = Vec::with_capacity(batch_size);
+    for (job, (cache, step)) in jobs.into_iter().zip(results) {
+        let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let modeled = shared.device.latency_us(step.step_macs);
+        let deadline_met = job.budget_us.is_none_or(|b| modeled <= b);
+        if !deadline_met {
+            misses += 1;
+        }
+        batch_macs += step.step_macs;
+        let response = Response {
+            id: job.id,
+            session,
+            subnet: step.subnet,
+            logits: step.logits.clone(),
+            step_macs: step.step_macs,
+            total_macs: step.cumulative_macs,
+            modeled_latency_us: modeled,
+            latency_us: job.submitted.elapsed().as_secs_f64() * 1e6,
+            deadline_met,
+            batch_size,
+            cache_reuse: 0.0,
+        };
+        lock(&shared.sessions).insert(
+            session,
+            SessionEntry {
+                cache,
+                last_subnet: step.subnet,
+                last_logits: step.logits,
+            },
+        );
+        outbox.push((job.reply, response));
+    }
+    shared
+        .stats
+        .record_batch(batch_size as u64, batch_macs, misses);
+    for (reply, response) in outbox {
+        let _ = reply.send(Ok(response));
+    }
+    span.end(&[
+        ("kind", Value::Str("begin")),
+        ("batch", Value::U64(batch_size as u64)),
+        ("subnet", Value::U64(subnet as u64)),
+        ("macs", Value::U64(batch_macs)),
+    ]);
+}
+
+fn run_upgrade_batch(
+    shared: &Shared,
+    net: &mut SteppingNet,
+    jobs: Vec<Job>,
+    from: usize,
+    to: usize,
+) {
+    let span = telemetry::span("serving", "serve.batch");
+    let mut sessions_meta = Vec::with_capacity(jobs.len());
+    let mut caches = Vec::with_capacity(jobs.len());
+    let mut replies = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        match job.work {
+            Work::Upgrade { session, cache, .. } => {
+                sessions_meta.push(session);
+                caches.push(cache);
+                replies.push((job.id, job.budget_us, job.submitted, job.reply));
+            }
+            Work::Begin { .. } => unreachable!("upgrade batch holds only upgrade jobs"),
+        }
+    }
+    let mut exec = BatchExecutor::new(net, shared.prune_threshold);
+    let mut new_macs = 0u64;
+    let mut last_steps = None;
+    for _ in from..to {
+        match exec.expand(&mut caches) {
+            Ok(steps) => {
+                new_macs += steps[0].step_macs;
+                last_steps = Some(steps);
+            }
+            Err(e) => {
+                span.end(&[("error", Value::Bool(true))]);
+                for (_, _, _, reply) in replies {
+                    let _ = reply.send(Err(e.clone()));
+                }
+                return;
+            }
+        }
+    }
+    let steps = last_steps.expect("to > from guarantees at least one expand");
+    let batch_size = replies.len();
+    let mut misses = 0u64;
+    let mut outbox = Vec::with_capacity(batch_size);
+    for (((session, cache), step), (id, budget_us, submitted, reply)) in sessions_meta
+        .into_iter()
+        .zip(caches)
+        .zip(steps)
+        .zip(replies)
+    {
+        let modeled = shared.device.latency_us(new_macs);
+        let deadline_met = budget_us.is_none_or(|b| modeled <= b);
+        if !deadline_met {
+            misses += 1;
+        }
+        let total = cache.cumulative_macs();
+        let response = Response {
+            id,
+            session,
+            subnet: step.subnet,
+            logits: step.logits.clone(),
+            step_macs: new_macs,
+            total_macs: total,
+            modeled_latency_us: modeled,
+            latency_us: submitted.elapsed().as_secs_f64() * 1e6,
+            deadline_met,
+            batch_size,
+            cache_reuse: if total == 0 {
+                0.0
+            } else {
+                1.0 - new_macs as f64 / total as f64
+            },
+        };
+        lock(&shared.sessions).insert(
+            session,
+            SessionEntry {
+                cache,
+                last_subnet: step.subnet,
+                last_logits: step.logits,
+            },
+        );
+        outbox.push((reply, response));
+    }
+    shared
+        .stats
+        .record_batch(batch_size as u64, new_macs * batch_size as u64, misses);
+    for (reply, response) in outbox {
+        let _ = reply.send(Ok(response));
+    }
+    span.end(&[
+        ("kind", Value::Str("upgrade")),
+        ("batch", Value::U64(batch_size as u64)),
+        ("from", Value::U64(from as u64)),
+        ("to", Value::U64(to as u64)),
+        ("macs", Value::U64(new_macs * batch_size as u64)),
+    ]);
+}

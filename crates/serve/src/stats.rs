@@ -1,0 +1,75 @@
+//! Lock-free serving counters, snapshotted as [`ServerStats`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate serving statistics since server start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests answered (initial runs and upgrades, including cache hits).
+    pub requests: u64,
+    /// Batched passes executed by workers.
+    pub batches: u64,
+    /// Requests that shared a pass with at least one other request.
+    pub batched_requests: u64,
+    /// Largest batch fused into a single pass.
+    pub max_batch: u64,
+    /// Upgrades answered entirely from cache (no compute).
+    pub cache_hits: u64,
+    /// Per-sample MACs executed across all requests.
+    pub total_macs: u64,
+    /// Responses whose modeled cost exceeded the request's budget.
+    pub deadline_misses: u64,
+}
+
+impl ServerStats {
+    /// Mean number of requests per executed batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            // cache hits never reach a worker pass
+            (self.requests - self.cache_hits) as f64 / self.batches as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch: AtomicU64,
+    cache_hits: AtomicU64,
+    total_macs: AtomicU64,
+    deadline_misses: AtomicU64,
+}
+
+impl StatsInner {
+    pub fn record_batch(&self, size: u64, macs: u64, misses: u64) {
+        self.requests.fetch_add(size, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if size > 1 {
+            self.batched_requests.fetch_add(size, Ordering::Relaxed);
+        }
+        self.max_batch.fetch_max(size, Ordering::Relaxed);
+        self.total_macs.fetch_add(macs, Ordering::Relaxed);
+        self.deadline_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_hit(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            total_macs: self.total_macs.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Functional tests of the serving engine: batched bit-identity, deadline
+//! math, incremental upgrades, cache hits, validation, and graceful
+//! shutdown.
+
+use std::time::Duration;
+
+use stepping_baselines::regular_assign;
+use stepping_core::{SteppingNet, SteppingNetBuilder};
+use stepping_runtime::{DeviceModel, SessionConfig};
+use stepping_serve::{Request, ServeConfig, Server};
+use stepping_tensor::{init, Shape, Tensor};
+
+fn net() -> SteppingNet {
+    let mut n = SteppingNetBuilder::new(Shape::of(&[6]), 3, 11)
+        .linear(16)
+        .relu()
+        .linear(12)
+        .relu()
+        .build(4)
+        .unwrap();
+    regular_assign(&mut n, &[0.3, 0.6, 1.0]).unwrap();
+    n
+}
+
+fn sample(seed: u64) -> Tensor {
+    init::uniform(Shape::of(&[1, 6]), -1.0, 1.0, &mut init::rng(seed))
+}
+
+fn server(workers: usize, max_batch: usize, max_wait: Duration) -> Server {
+    let config = ServeConfig::new()
+        .workers(workers)
+        .max_batch(max_batch)
+        .max_wait(max_wait)
+        .session(SessionConfig::new().device(DeviceModel::new(1000.0)));
+    Server::new(&net(), config).unwrap()
+}
+
+#[test]
+fn batched_logits_bit_identical_to_lone_forward() {
+    let srv = server(1, 4, Duration::from_millis(100));
+    let inputs: Vec<Tensor> = (0..4).map(|i| sample(100 + i)).collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|x| srv.submit(Request::at_subnet(x.clone(), 1)).unwrap())
+        .collect();
+    let mut scratch = net();
+    let mut saw_fused_batch = false;
+    for (x, t) in inputs.iter().zip(tickets) {
+        let resp = t.wait().unwrap();
+        assert_eq!(resp.subnet, 1);
+        let reference = scratch.forward(x, 1, false).unwrap();
+        assert_eq!(
+            resp.logits, reference,
+            "batched logits differ from lone run"
+        );
+        assert_eq!(resp.prediction(), reference.argmax());
+        saw_fused_batch |= resp.batch_size > 1;
+    }
+    assert!(
+        saw_fused_batch,
+        "with one worker and a 100ms window, requests should have batched"
+    );
+    srv.shutdown();
+    let stats = srv.stats();
+    assert_eq!(stats.requests, 4);
+    assert!(stats.max_batch >= 2);
+}
+
+#[test]
+fn deadline_budget_picks_largest_affordable_subnet() {
+    let srv = server(2, 4, Duration::from_micros(100));
+    let costs = srv.subnet_costs().to_vec();
+    let device = DeviceModel::new(1000.0);
+    assert!(costs.windows(2).all(|w| w[0] < w[1]));
+
+    // budget exactly covering subnet 1 but not subnet 2
+    let budget = (costs[1] as f64 + 0.5) / device.macs_per_us();
+    let resp = srv
+        .submit(Request::with_budget(sample(1), budget))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(resp.subnet, 1);
+    assert!(resp.deadline_met);
+    assert!(resp.modeled_latency_us <= budget);
+
+    // budget too small even for subnet 0: best-effort, flagged as a miss
+    let starved = (costs[0] as f64 - 0.5) / device.macs_per_us();
+    let resp = srv
+        .submit(Request::with_budget(sample(2), starved))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(resp.subnet, 0);
+    assert!(!resp.deadline_met);
+    assert_eq!(srv.stats().deadline_misses, 1);
+
+    // a generous budget affords the largest subnet
+    let generous = (costs[2] as f64 + 1.0) / device.macs_per_us();
+    let resp = srv
+        .submit(Request::with_budget(sample(3), generous))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(resp.subnet, 2);
+    srv.shutdown();
+}
+
+#[test]
+fn upgrade_reuses_cache_and_matches_scratch() {
+    let srv = server(2, 4, Duration::from_micros(100));
+    let x = sample(7);
+    let first = srv
+        .submit(Request::at_subnet(x.clone(), 0))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(first.subnet, 0);
+    assert_eq!(first.cache_reuse, 0.0);
+    assert_eq!(srv.session_count(), 1);
+
+    let upgraded = srv.upgrade(first.session, None).unwrap().wait().unwrap();
+    assert_eq!(upgraded.subnet, 2);
+    assert_eq!(upgraded.session, first.session);
+    let mut scratch = net();
+    let reference = scratch.forward(&x, 2, false).unwrap();
+    assert_eq!(upgraded.logits, reference, "upgraded logits differ");
+    // incremental upgrade is cheaper than recomputing subnet 2 directly
+    assert!(upgraded.step_macs < srv.subnet_costs()[2]);
+    assert_eq!(upgraded.total_macs, first.step_macs + upgraded.step_macs);
+    assert!(upgraded.cache_reuse > 0.0 && upgraded.cache_reuse < 1.0);
+    srv.shutdown();
+}
+
+#[test]
+fn unaffordable_upgrade_is_answered_from_cache() {
+    let srv = server(1, 2, Duration::from_micros(100));
+    let x = sample(9);
+    let first = srv
+        .submit(Request::at_subnet(x, 1))
+        .unwrap()
+        .wait()
+        .unwrap();
+    // an extra budget too small for even one expansion step
+    let resp = srv
+        .upgrade(first.session, Some(0.001))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(resp.subnet, 1);
+    assert_eq!(resp.step_macs, 0);
+    assert_eq!(resp.batch_size, 0);
+    assert_eq!(resp.cache_reuse, 1.0);
+    assert_eq!(resp.logits, first.logits);
+    assert_eq!(srv.stats().cache_hits, 1);
+    // the session survives a cache hit and can still be upgraded for real
+    let real = srv.upgrade(first.session, None).unwrap().wait().unwrap();
+    assert_eq!(real.subnet, 2);
+    srv.shutdown();
+}
+
+#[test]
+fn validates_configuration_and_requests() {
+    // no device model
+    let err = Server::new(&net(), ServeConfig::new());
+    assert!(err.is_err());
+    // zero workers / zero batch
+    let session = SessionConfig::new().device(DeviceModel::mobile());
+    assert!(Server::new(
+        &net(),
+        ServeConfig::new().workers(0).session(session.clone())
+    )
+    .is_err());
+    assert!(Server::new(
+        &net(),
+        ServeConfig::new().max_batch(0).session(session.clone())
+    )
+    .is_err());
+    // out-of-range start subnet
+    assert!(Server::new(
+        &net(),
+        ServeConfig::new().session(session.clone().start_subnet(9))
+    )
+    .is_err());
+
+    let srv = server(1, 2, Duration::from_micros(50));
+    // out-of-range subnet, bad budgets, empty input
+    assert!(srv.submit(Request::at_subnet(sample(1), 9)).is_err());
+    assert!(srv.submit(Request::with_budget(sample(1), -1.0)).is_err());
+    assert!(srv
+        .submit(Request::with_budget(sample(1), f64::NAN))
+        .is_err());
+    assert!(srv
+        .submit(Request::full(Tensor::zeros(Shape::of(&[0, 6]))))
+        .is_err());
+    // unknown session
+    assert!(srv.upgrade(999, None).is_err());
+    assert!(srv.upgrade(999, Some(-3.0)).is_err());
+    srv.shutdown();
+    // post-shutdown submissions are rejected
+    assert!(srv.submit(Request::full(sample(1))).is_err());
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    let srv = server(1, 4, Duration::from_millis(50));
+    let tickets: Vec<_> = (0..6)
+        .map(|i| srv.submit(Request::at_subnet(sample(200 + i), 0)).unwrap())
+        .collect();
+    srv.shutdown();
+    for t in tickets {
+        let resp = t.wait().expect("queued request dropped during shutdown");
+        assert_eq!(resp.subnet, 0);
+    }
+    assert_eq!(srv.stats().requests, 6);
+}
+
+#[test]
+fn release_frees_sessions() {
+    let srv = server(1, 2, Duration::from_micros(50));
+    let a = srv
+        .submit(Request::at_subnet(sample(31), 0))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let b = srv
+        .submit(Request::at_subnet(sample(32), 0))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(srv.session_count(), 2);
+    srv.release(a.session);
+    assert_eq!(srv.session_count(), 1);
+    assert!(
+        srv.upgrade(a.session, None).is_err(),
+        "released session gone"
+    );
+    assert!(srv.upgrade(b.session, None).is_ok());
+    srv.release(12345); // unknown: ignored
+    srv.shutdown();
+}
+
+#[test]
+fn batch_rows_per_request_are_preserved() {
+    // a request may carry several rows; they stay together through batching
+    let srv = server(1, 3, Duration::from_millis(50));
+    let wide = init::uniform(Shape::of(&[3, 6]), -1.0, 1.0, &mut init::rng(77));
+    let narrow = sample(78);
+    let t1 = srv.submit(Request::at_subnet(wide.clone(), 2)).unwrap();
+    let t2 = srv.submit(Request::at_subnet(narrow.clone(), 2)).unwrap();
+    let r1 = t1.wait().unwrap();
+    let r2 = t2.wait().unwrap();
+    assert_eq!(r1.logits.shape().dims(), &[3, 4]);
+    assert_eq!(r2.logits.shape().dims(), &[1, 4]);
+    let mut scratch = net();
+    assert_eq!(r1.logits, scratch.forward(&wide, 2, false).unwrap());
+    assert_eq!(r2.logits, scratch.forward(&narrow, 2, false).unwrap());
+    srv.shutdown();
+}

@@ -1,0 +1,135 @@
+//! Multi-threaded stress test: N producer threads × M requests each, mixed
+//! targets, all completing with the correct subnet for their budget and
+//! logits bit-identical to lone execution.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use stepping_baselines::regular_assign;
+use stepping_core::{SteppingNet, SteppingNetBuilder};
+use stepping_runtime::{DeviceModel, SessionConfig};
+use stepping_serve::{Request, ServeConfig, Server};
+use stepping_tensor::{init, Shape};
+
+const PRODUCERS: usize = 8;
+const PER_PRODUCER: usize = 24;
+
+fn net() -> SteppingNet {
+    let mut n = SteppingNetBuilder::new(Shape::of(&[6]), 3, 41)
+        .linear(18)
+        .relu()
+        .linear(12)
+        .relu()
+        .build(4)
+        .unwrap();
+    regular_assign(&mut n, &[0.3, 0.6, 1.0]).unwrap();
+    n
+}
+
+#[test]
+fn concurrent_producers_all_complete_with_correct_subnets() {
+    let device = DeviceModel::new(1000.0);
+    let config = ServeConfig::new()
+        .workers(4)
+        .max_batch(8)
+        .max_wait(Duration::from_micros(300))
+        .session(SessionConfig::new().device(device));
+    let srv = Arc::new(Server::new(&net(), config).unwrap());
+    let costs = srv.subnet_costs().to_vec();
+
+    let handles: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let srv = Arc::clone(&srv);
+            let costs = costs.clone();
+            std::thread::spawn(move || {
+                let mut scratch = net();
+                for j in 0..PER_PRODUCER {
+                    let seed = (p * PER_PRODUCER + j) as u64;
+                    let x = init::uniform(Shape::of(&[1, 6]), -1.0, 1.0, &mut init::rng(seed));
+                    // mix exact-subnet, budget-driven, and full requests
+                    let (request, expected): (Request, Option<usize>) = match j % 3 {
+                        0 => {
+                            let k = j % costs.len();
+                            (Request::at_subnet(x.clone(), k), Some(k))
+                        }
+                        1 => {
+                            let k = (p + j) % costs.len();
+                            let budget = (costs[k] as f64 + 0.5) / device.macs_per_us();
+                            (Request::with_budget(x.clone(), budget), Some(k))
+                        }
+                        _ => (Request::full(x.clone()), Some(costs.len() - 1)),
+                    };
+                    let resp = srv.submit(request).unwrap().wait().unwrap();
+                    if let Some(k) = expected {
+                        assert_eq!(resp.subnet, k, "producer {p} request {j} wrong subnet");
+                    }
+                    // budget responses never exceed their MAC budget
+                    assert!(
+                        resp.deadline_met,
+                        "producer {p} request {j} missed deadline"
+                    );
+                    // bit-identical to running this input alone, whatever
+                    // batch it was fused into
+                    let reference = scratch.forward(&x, resp.subnet, false).unwrap();
+                    assert_eq!(
+                        resp.logits, reference,
+                        "producer {p} request {j} logits differ"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("producer panicked");
+    }
+    srv.shutdown();
+    let stats = srv.stats();
+    assert_eq!(stats.requests, (PRODUCERS * PER_PRODUCER) as u64);
+    assert!(stats.batches > 0);
+    assert_eq!(stats.deadline_misses, 0);
+}
+
+#[test]
+fn concurrent_upgrades_race_safely() {
+    let config = ServeConfig::new()
+        .workers(3)
+        .max_batch(4)
+        .max_wait(Duration::from_micros(200))
+        .session(SessionConfig::new().device(DeviceModel::new(1000.0)));
+    let srv = Arc::new(Server::new(&net(), config).unwrap());
+
+    // phase 1: everyone gets a subnet-0 answer and a session
+    let mut sessions = Vec::new();
+    let mut inputs = Vec::new();
+    for i in 0..12u64 {
+        let x = init::uniform(Shape::of(&[1, 6]), -1.0, 1.0, &mut init::rng(500 + i));
+        let resp = srv
+            .submit(Request::at_subnet(x.clone(), 0))
+            .unwrap()
+            .wait()
+            .unwrap();
+        sessions.push(resp.session);
+        inputs.push(x);
+    }
+    // phase 2: all sessions upgrade concurrently from many threads
+    let handles: Vec<_> = sessions
+        .iter()
+        .zip(&inputs)
+        .map(|(&session, x)| {
+            let srv = Arc::clone(&srv);
+            let x = x.clone();
+            std::thread::spawn(move || {
+                let resp = srv.upgrade(session, None).unwrap().wait().unwrap();
+                assert_eq!(resp.subnet, 2);
+                let mut scratch = net();
+                assert_eq!(resp.logits, scratch.forward(&x, 2, false).unwrap());
+                assert!(resp.cache_reuse > 0.0);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("upgrader panicked");
+    }
+    assert_eq!(srv.session_count(), 12);
+    srv.shutdown();
+}

@@ -3,6 +3,14 @@
 //! These are the hot loops behind every [`Linear`](../../stepping_nn) layer
 //! and the `im2col` formulation of convolution. All kernels operate on
 //! rank-2 [`Tensor`]s and are cache-blocked over the inner dimension.
+//!
+//! One general kernel, [`gemm`], handles every transpose combination via a
+//! [`GemmSpec`]; the historical entry points [`matmul`], [`matmul_bt`] and
+//! [`matmul_at`] are documented thin wrappers kept for their
+//! self-explanatory names. Each transpose combination preserves the exact
+//! loop structure (and therefore the exact floating-point rounding) of the
+//! original per-function kernels — the incremental-property tests depend on
+//! bit-identical results.
 
 use crate::{Result, Shape, Tensor, TensorError};
 
@@ -57,26 +65,83 @@ fn check2(t: &Tensor) -> Result<(usize, usize)> {
     Ok((t.shape().dims()[0], t.shape().dims()[1]))
 }
 
-/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+/// Transpose flags for [`gemm`]: which operands are read transposed.
 ///
-/// # Errors
-///
-/// Returns [`TensorError::RankMismatch`] for non-matrices and
-/// [`TensorError::InnerDimMismatch`] if `A`'s columns differ from `B`'s rows.
+/// The default (`NN`) multiplies the operands as stored. Construct via
+/// struct literal or the named presets.
 ///
 /// # Example
 ///
 /// ```
-/// use stepping_tensor::{matmul::matmul, Shape, Tensor};
+/// use stepping_tensor::matmul::GemmSpec;
+///
+/// assert_eq!(GemmSpec::NT, GemmSpec { trans_a: false, trans_b: true });
+/// assert_eq!(GemmSpec::default(), GemmSpec::NN);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GemmSpec {
+    /// Read `A` transposed (`Aᵀ`).
+    pub trans_a: bool,
+    /// Read `B` transposed (`Bᵀ`).
+    pub trans_b: bool,
+}
+
+impl GemmSpec {
+    /// `C = A · B` (no transposition).
+    pub const NN: GemmSpec = GemmSpec {
+        trans_a: false,
+        trans_b: false,
+    };
+    /// `C = A · Bᵀ` — the `Linear` forward layout (`W: [out, in]`).
+    pub const NT: GemmSpec = GemmSpec {
+        trans_a: false,
+        trans_b: true,
+    };
+    /// `C = Aᵀ · B` — the weight-gradient layout (`dW = xᵀ · dy`).
+    pub const TN: GemmSpec = GemmSpec {
+        trans_a: true,
+        trans_b: false,
+    };
+    /// `C = Aᵀ · Bᵀ`.
+    pub const TT: GemmSpec = GemmSpec {
+        trans_a: true,
+        trans_b: true,
+    };
+}
+
+/// General matrix multiply `C = op(A) · op(B)` where `op` optionally
+/// transposes each operand per `spec`.
+///
+/// Expected shapes (with result `[m, n]` and inner dimension `k`):
+///
+/// | spec | `A` | `B` |
+/// |---|---|---|
+/// | [`GemmSpec::NN`] | `[m, k]` | `[k, n]` |
+/// | [`GemmSpec::NT`] | `[m, k]` | `[n, k]` |
+/// | [`GemmSpec::TN`] | `[k, m]` | `[k, n]` |
+/// | [`GemmSpec::TT`] | `[k, m]` | `[n, k]` |
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrices and
+/// [`TensorError::InnerDimMismatch`] if the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use stepping_tensor::matmul::{gemm, GemmSpec};
+/// use stepping_tensor::{Shape, Tensor};
 ///
 /// let a = Tensor::from_vec(Shape::of(&[1, 2]), vec![1.0, 2.0])?;
-/// let b = Tensor::from_vec(Shape::of(&[2, 1]), vec![3.0, 4.0])?;
-/// assert_eq!(matmul(&a, &b)?.data(), &[11.0]);
+/// let b = Tensor::from_vec(Shape::of(&[1, 2]), vec![3.0, 4.0])?;
+/// assert_eq!(gemm(&a, &b, GemmSpec::NT)?.data(), &[11.0]);
 /// # Ok::<(), stepping_tensor::TensorError>(())
 /// ```
-pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, ka) = check2(a)?;
-    let (kb, n) = check2(b)?;
+pub fn gemm(a: &Tensor, b: &Tensor, spec: GemmSpec) -> Result<Tensor> {
+    let (a0, a1) = check2(a)?;
+    let (b0, b1) = check2(b)?;
+    let (m, ka) = if spec.trans_a { (a1, a0) } else { (a0, a1) };
+    let (kb, n) = if spec.trans_b { (b1, b0) } else { (b0, b1) };
     if ka != kb {
         return Err(TensorError::InnerDimMismatch {
             left: ka,
@@ -86,6 +151,17 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out = Tensor::zeros(Shape::of(&[m, n]));
     let (ad, bd) = (a.data(), b.data());
     let od = out.data_mut();
+    match (spec.trans_a, spec.trans_b) {
+        (false, false) => nn_kernel(ad, bd, od, m, ka, n),
+        (false, true) => nt_kernel(ad, bd, od, m, ka, n),
+        (true, false) => tn_kernel(ad, bd, od, m, ka, n),
+        (true, true) => tt_kernel(ad, bd, od, m, ka, n),
+    }
+    Ok(out)
+}
+
+/// `C = A · B`: k-blocked, row-parallel, skipping zero `A` entries.
+fn nn_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: usize, n: usize) {
     par_rows(od, m, n, m * ka * n, |row0, chunk| {
         let rows = chunk.len() / n;
         for k0 in (0..ka).step_by(BLOCK) {
@@ -107,36 +183,17 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     });
-    Ok(out)
 }
 
-/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`.
-///
-/// This variant is the natural layout for `Linear` forward passes where the
-/// weight matrix is stored `[out, in]`.
-///
-/// # Errors
-///
-/// Same conditions as [`matmul`].
-pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, ka) = check2(a)?;
-    let (n, kb) = check2(b)?;
-    if ka != kb {
-        return Err(TensorError::InnerDimMismatch {
-            left: ka,
-            right: kb,
-        });
-    }
-    let mut out = Tensor::zeros(Shape::of(&[m, n]));
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
+/// `C = A · Bᵀ`: both operands row-major over `k`, dot-product form.
+fn nt_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: usize, n: usize) {
     par_rows(od, m, n, m * ka * n, |row0, chunk| {
         let rows = chunk.len() / n;
         for r in 0..rows {
             let i = row0 + r;
             let arow = &ad[i * ka..(i + 1) * ka];
             for j in 0..n {
-                let brow = &bd[j * kb..(j + 1) * kb];
+                let brow = &bd[j * ka..(j + 1) * ka];
                 let mut acc = 0.0f32;
                 for (&av, &bv) in arow.iter().zip(brow.iter()) {
                     acc += av * bv;
@@ -145,29 +202,11 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     });
-    Ok(out)
 }
 
-/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`.
-///
-/// This variant computes weight gradients (`dW = xᵀ · dy`) without explicit
-/// transposition.
-///
-/// # Errors
-///
-/// Same conditions as [`matmul`].
-pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (ka, m) = check2(a)?;
-    let (kb, n) = check2(b)?;
-    if ka != kb {
-        return Err(TensorError::InnerDimMismatch {
-            left: ka,
-            right: kb,
-        });
-    }
-    let mut out = Tensor::zeros(Shape::of(&[m, n]));
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
+/// `C = Aᵀ · B`: outer-product accumulation over `k`, skipping zero `A`
+/// entries (gradient layout; `m`/`n` are small, `k` is the batch).
+fn tn_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: usize, n: usize) {
     for k in 0..ka {
         let arow = &ad[k * m..(k + 1) * m];
         let brow = &bd[k * n..(k + 1) * n];
@@ -181,7 +220,68 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     }
-    Ok(out)
+}
+
+/// `C = Aᵀ · Bᵀ`: column gather on `A`, strided reads on `B`.
+fn tt_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let brow = &bd[j * ka..(j + 1) * ka];
+            let mut acc = 0.0f32;
+            for (k, &bv) in brow.iter().enumerate() {
+                acc += ad[k * m + i] * bv;
+            }
+            od[i * n + j] = acc;
+        }
+    }
+}
+
+/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// Thin wrapper over [`gemm`] with [`GemmSpec::NN`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrices and
+/// [`TensorError::InnerDimMismatch`] if `A`'s columns differ from `B`'s rows.
+///
+/// # Example
+///
+/// ```
+/// use stepping_tensor::{matmul::matmul, Shape, Tensor};
+///
+/// let a = Tensor::from_vec(Shape::of(&[1, 2]), vec![1.0, 2.0])?;
+/// let b = Tensor::from_vec(Shape::of(&[2, 1]), vec![3.0, 4.0])?;
+/// assert_eq!(matmul(&a, &b)?.data(), &[11.0]);
+/// # Ok::<(), stepping_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    gemm(a, b, GemmSpec::NN)
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`.
+///
+/// This variant is the natural layout for `Linear` forward passes where the
+/// weight matrix is stored `[out, in]`. Thin wrapper over [`gemm`] with
+/// [`GemmSpec::NT`].
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    gemm(a, b, GemmSpec::NT)
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`.
+///
+/// This variant computes weight gradients (`dW = xᵀ · dy`) without explicit
+/// transposition. Thin wrapper over [`gemm`] with [`GemmSpec::TN`].
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    gemm(a, b, GemmSpec::TN)
 }
 
 /// Matrix–vector product `y = A · x` for `A: [m, k]`, `x: [k]`.
@@ -307,6 +407,137 @@ mod tests {
         let bt = matmul_bt(&a, &bt_b).unwrap();
         let via = matmul(&a, &bt_b.transpose2().unwrap()).unwrap();
         assert_eq!(bt, via);
+    }
+
+    /// The pre-`gemm` `matmul` kernel, kept verbatim as a reference.
+    fn old_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, ka) = (a.shape().dims()[0], a.shape().dims()[1]);
+        let n = b.shape().dims()[1];
+        let mut out = Tensor::zeros(Shape::of(&[m, n]));
+        let (ad, bd) = (a.data(), b.data());
+        let od = out.data_mut();
+        par_rows(od, m, n, m * ka * n, |row0, chunk| {
+            let rows = chunk.len() / n;
+            for k0 in (0..ka).step_by(BLOCK) {
+                let k1 = (k0 + BLOCK).min(ka);
+                for r in 0..rows {
+                    let i = row0 + r;
+                    let arow = &ad[i * ka..(i + 1) * ka];
+                    let orow = &mut chunk[r * n..(r + 1) * n];
+                    for k in k0..k1 {
+                        let aik = arow[k];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &bd[k * n..(k + 1) * n];
+                        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                            *o += aik * bv;
+                        }
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// The pre-`gemm` `matmul_bt` kernel, kept verbatim as a reference.
+    fn old_matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, ka) = (a.shape().dims()[0], a.shape().dims()[1]);
+        let n = b.shape().dims()[0];
+        let mut out = Tensor::zeros(Shape::of(&[m, n]));
+        let (ad, bd) = (a.data(), b.data());
+        let od = out.data_mut();
+        par_rows(od, m, n, m * ka * n, |row0, chunk| {
+            let rows = chunk.len() / n;
+            for r in 0..rows {
+                let i = row0 + r;
+                let arow = &ad[i * ka..(i + 1) * ka];
+                for j in 0..n {
+                    let brow = &bd[j * ka..(j + 1) * ka];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                        acc += av * bv;
+                    }
+                    chunk[r * n + j] = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// The pre-`gemm` `matmul_at` kernel, kept verbatim as a reference.
+    fn old_matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+        let (ka, m) = (a.shape().dims()[0], a.shape().dims()[1]);
+        let n = b.shape().dims()[1];
+        let mut out = Tensor::zeros(Shape::of(&[m, n]));
+        let (ad, bd) = (a.data(), b.data());
+        let od = out.data_mut();
+        for k in 0..ka {
+            let arow = &ad[k * m..(k + 1) * m];
+            let brow = &bd[k * n..(k + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut od[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn wrappers_bit_identical_to_old_kernels() {
+        // small (serial) and large (parallel-path) problem sizes
+        for &(m, k, n) in &[(3usize, 5usize, 4usize), (300, 200, 100)] {
+            let a = seq(&[m, k]);
+            let b = seq(&[k, n]);
+            assert_eq!(
+                matmul(&a, &b).unwrap(),
+                old_matmul(&a, &b),
+                "NN {m}x{k}x{n}"
+            );
+            let bt = seq(&[n, k]);
+            assert_eq!(
+                matmul_bt(&a, &bt).unwrap(),
+                old_matmul_bt(&a, &bt),
+                "NT {m}x{k}x{n}"
+            );
+            let at = seq(&[k, m]);
+            assert_eq!(
+                matmul_at(&at, &b).unwrap(),
+                old_matmul_at(&at, &b),
+                "TN {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_tt_equals_double_transpose() {
+        let a = seq(&[6, 4]); // Aᵀ: [4, 6]
+        let b = seq(&[3, 6]); // Bᵀ: [6, 3]
+        let direct = gemm(&a, &b, GemmSpec::TT).unwrap();
+        let via_t = matmul(&a.transpose2().unwrap(), &b.transpose2().unwrap()).unwrap();
+        assert_eq!(direct.shape().dims(), &[4, 3]);
+        for (x, y) in direct.data().iter().zip(via_t.data().iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_validates_all_spec_shapes() {
+        let a = seq(&[2, 3]);
+        let b = seq(&[4, 5]);
+        for spec in [GemmSpec::NN, GemmSpec::NT, GemmSpec::TN, GemmSpec::TT] {
+            assert!(matches!(
+                gemm(&a, &b, spec),
+                Err(TensorError::InnerDimMismatch { .. })
+            ));
+        }
+        let v = seq(&[3]);
+        assert!(gemm(&a, &v, GemmSpec::NN).is_err());
     }
 
     #[test]

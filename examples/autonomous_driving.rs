@@ -8,12 +8,8 @@
 //!
 //! Run with `cargo run --release --example autonomous_driving`.
 
-use steppingnet::core::eval::evaluate_all;
-use steppingnet::core::train::{train_subnet, TrainOptions};
-use steppingnet::core::{construct, ConstructionOptions, SteppingNetBuilder};
-use steppingnet::data::{Dataset, Split, SyntheticImages, SyntheticImagesConfig};
-use steppingnet::runtime::{drive_until_deadline, DeviceModel, ResourceTrace, UpgradePolicy};
-use steppingnet::tensor::Shape;
+use steppingnet::data::{SyntheticImages, SyntheticImagesConfig};
+use steppingnet::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5 "hazard classes" of synthetic camera frames.
@@ -88,15 +84,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect::<Vec<_>>()
     );
     println!("deadline sweep (true class {}):", label[0]);
+    let cfg = SessionConfig::new()
+        .trace(trace)
+        .device(device)
+        .prune_threshold(opts.prune_threshold);
     for deadline in [1usize, 2, 4, 8, 16, 32, 64] {
-        let out = drive_until_deadline(
-            &mut net,
-            &x,
-            &trace,
-            deadline,
-            UpgradePolicy::Incremental,
-            opts.prune_threshold,
-        )?;
+        let out = Session::new(&mut net, cfg.clone()).run_until_deadline(&x, deadline)?;
         match (out.final_subnet, &out.final_logits) {
             (Some(k), Some(logits)) => println!(
                 "  deadline {deadline:>2} slices → subnet {k} ready, predicts class {} \

@@ -5,16 +5,12 @@
 //! Run with `cargo run --release --example checkpointing`.
 
 use steppingnet::core::checkpoint::{load_state, save_state};
-use steppingnet::core::eval::evaluate_all;
-use steppingnet::core::train::{train_subnet, TrainOptions};
-use steppingnet::core::{
-    construct, ConstructionOptions, IncrementalExecutor, SteppingNet, SteppingNetBuilder,
-};
-use steppingnet::data::{Dataset, GaussianBlobs, GaussianBlobsConfig, Split};
-use steppingnet::tensor::Shape;
+use steppingnet::core::IncrementalExecutor;
+use steppingnet::data::{GaussianBlobs, GaussianBlobsConfig};
+use steppingnet::prelude::*;
 
 /// The architecture both the "build server" and the "device" agree on.
-fn architecture() -> Result<SteppingNet, steppingnet::core::SteppingError> {
+fn architecture() -> Result<SteppingNet, SteppingError> {
     SteppingNetBuilder::new(Shape::of(&[16]), 3, 21)
         .linear(40)
         .relu()

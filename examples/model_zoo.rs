@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example model_zoo`.
 
 use steppingnet::models::Architecture;
-use steppingnet::tensor::Shape;
+use steppingnet::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cases = [

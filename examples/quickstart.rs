@@ -9,14 +9,9 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use steppingnet::core::eval::evaluate_all;
-use steppingnet::core::train::{train_subnet, TrainOptions};
-use steppingnet::core::{
-    construct, distill, ConstructionOptions, DistillOptions, IncrementalExecutor,
-    SteppingNetBuilder,
-};
-use steppingnet::data::{Dataset, GaussianBlobs, GaussianBlobsConfig, Split};
-use steppingnet::tensor::Shape;
+use steppingnet::core::{distill, DistillOptions, IncrementalExecutor};
+use steppingnet::data::{GaussianBlobs, GaussianBlobsConfig};
+use steppingnet::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 6-class Gaussian-blob task: fast, deterministic, capacity-sensitive.

@@ -12,10 +12,8 @@
 
 use std::time::Duration;
 
-use steppingnet::baselines::regular_assign;
-use steppingnet::core::SteppingNetBuilder;
-use steppingnet::runtime::{drive, run_live, LatestPrediction, ResourceTrace, UpgradePolicy};
-use steppingnet::tensor::{init, Shape};
+use steppingnet::prelude::*;
+use steppingnet::runtime::LatestPrediction;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An untrained net suffices here: this example is about scheduling and
@@ -44,8 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = ResourceTrace::bursty(11, full / 10, full / 2, 0.25, 24);
     let x = init::uniform(Shape::of(&[1, 3, 16, 16]), -1.0, 1.0, &mut init::rng(5));
 
-    let inc = drive(&mut net, &x, &trace, UpgradePolicy::Incremental, 0.0)?;
-    let rec = drive(&mut net, &x, &trace, UpgradePolicy::Recompute, 0.0)?;
+    let inc_cfg = SessionConfig::new().trace(trace.clone());
+    let rec_cfg = inc_cfg.clone().policy(UpgradePolicy::Recompute);
+    let inc = Session::new(&mut net, inc_cfg.clone()).run(&x)?;
+    let rec = Session::new(&mut net, rec_cfg).run(&x)?;
     println!("\npolicy comparison over the same bursty trace:");
     println!(
         "  incremental: reached subnet {:?} spending {} MACs (first prediction at slice {:?})",
@@ -80,15 +80,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         seen
     });
-    run_live(
-        &mut net,
-        &x,
-        &trace,
-        UpgradePolicy::Incremental,
-        0.0,
-        Duration::from_millis(1),
-        &latest,
-    )?;
+    let live_cfg = inc_cfg.tick(Duration::from_millis(1));
+    Session::new(&mut net, live_cfg).run_live(&x, &latest)?;
     let seen = observer.join().expect("observer panicked");
     println!("observer saw refinement sequence: {seen:?}");
     Ok(())

@@ -25,4 +25,12 @@ cargo test -q --features "obs verify-invariants"
 echo "==> stepping-obs crate tests"
 cargo test -q -p stepping-obs
 
+# Serving engine: functional + property suite, then the multi-threaded
+# stress test under --release where thread interleavings are most hostile.
+echo "==> stepping-serve crate tests"
+cargo test -q -p stepping-serve
+
+echo "==> stepping-serve release stress"
+cargo test -q --release -p stepping-serve --test stress
+
 echo "check.sh: all gates passed"

@@ -13,7 +13,9 @@
 //!   inference,
 //! * [`models`] — LeNet-3C1L, LeNet-5, VGG-16 and width expansion,
 //! * [`baselines`] — the any-width and slimmable comparison networks,
-//! * [`runtime`] — the resource-varying platform simulator,
+//! * [`runtime`] — the resource-varying platform simulator and the
+//!   [`runtime::Session`] inference API,
+//! * [`serve`] — the concurrent, deadline-aware batched serving engine,
 //! * [`verify`] — the static invariant analyzer (rules R1–R6) and the
 //!   `stepping-verify` checkpoint lint CLI,
 //! * [`obs`] — structured observability: event sinks (console + JSONL),
@@ -49,5 +51,33 @@ pub use stepping_models as models;
 pub use stepping_nn as nn;
 pub use stepping_obs as obs;
 pub use stepping_runtime as runtime;
+pub use stepping_serve as serve;
 pub use stepping_tensor as tensor;
 pub use stepping_verify as verify;
+
+/// One-line import of the types most programs need.
+///
+/// ```
+/// use steppingnet::prelude::*;
+///
+/// let net = SteppingNetBuilder::new(Shape::of(&[8]), 2, 0)
+///     .linear(16)
+///     .relu()
+///     .build(4)?;
+/// assert_eq!(net.subnet_count(), 2);
+/// # Ok::<(), SteppingError>(())
+/// ```
+pub mod prelude {
+    pub use stepping_baselines::regular_assign;
+    pub use stepping_core::eval::evaluate_all;
+    pub use stepping_core::train::{train_subnet, TrainOptions};
+    // `core::Result` is deliberately left out: re-exporting it would shadow
+    // `std::result::Result` for any program that glob-imports the prelude.
+    pub use stepping_core::{
+        construct, ConstructionOptions, SteppingError, SteppingNet, SteppingNetBuilder,
+    };
+    pub use stepping_data::{Dataset, Split};
+    pub use stepping_runtime::{DeviceModel, ResourceTrace, Session, SessionConfig, UpgradePolicy};
+    pub use stepping_serve::{Request, Response, ServeConfig, Server, Ticket};
+    pub use stepping_tensor::{init, Shape, Tensor};
+}

@@ -7,7 +7,7 @@
 use steppingnet::core::{construct, ConstructionOptions, SteppingNetBuilder};
 use steppingnet::data::{GaussianBlobs, GaussianBlobsConfig};
 use steppingnet::obs::CaptureSink;
-use steppingnet::runtime::{drive, ResourceTrace, UpgradePolicy};
+use steppingnet::runtime::{ResourceTrace, Session, SessionConfig};
 use steppingnet::tensor::{init, Shape};
 
 #[test]
@@ -47,14 +47,10 @@ fn pipeline_emits_events_through_umbrella_reexport() {
     let report = construct(&mut net, &d, &opts).unwrap();
     let x = init::uniform(Shape::of(&[1, 8]), -1.0, 1.0, &mut init::rng(1));
     let trace = ResourceTrace::constant(full, 2);
-    drive(
-        &mut net,
-        &x,
-        &trace,
-        UpgradePolicy::Incremental,
-        opts.prune_threshold,
-    )
-    .unwrap();
+    let cfg = SessionConfig::new()
+        .trace(trace)
+        .prune_threshold(opts.prune_threshold);
+    Session::new(&mut net, cfg).run(&x).unwrap();
 
     let events = handle.lock().unwrap();
     let iterations = events

@@ -1,14 +1,12 @@
 //! Integration tests of the resource-varying runtime against constructed
 //! stepping networks: anytime upgrades, deadline behaviour, policy costs,
-//! and live/offline agreement.
-
-use std::time::Duration;
+//! and live/offline agreement — all through the unified [`Session`] API.
 
 use steppingnet::baselines::regular_assign;
 use steppingnet::core::{SteppingNet, SteppingNetBuilder};
 use steppingnet::runtime::{
-    drive, drive_until_deadline, expand_macs, run_live, DeviceModel, LatestPrediction,
-    ResourceTrace, UpgradePolicy,
+    expand_macs, DeviceModel, LatestPrediction, ResourceTrace, Session, SessionConfig,
+    UpgradePolicy,
 };
 use steppingnet::tensor::{init, Shape, Tensor};
 
@@ -33,17 +31,12 @@ fn anytime_subnet_grows_with_deadline() {
     let mut n = net();
     let full = n.macs(3, 0.0);
     let trace = ResourceTrace::constant(full / 6 + 1, 24);
+    let cfg = SessionConfig::new().trace(trace);
     let mut last = None;
     for deadline in [1usize, 4, 8, 16, 24] {
-        let out = drive_until_deadline(
-            &mut n,
-            &input(),
-            &trace,
-            deadline,
-            UpgradePolicy::Incremental,
-            0.0,
-        )
-        .unwrap();
+        let out = Session::new(&mut n, cfg.clone())
+            .run_until_deadline(&input(), deadline)
+            .unwrap();
         assert!(
             out.final_subnet >= last,
             "subnet shrank with a later deadline"
@@ -66,8 +59,17 @@ fn incremental_policy_dominates_recompute_everywhere() {
     }
     // and over a whole generous trace the incremental run spends fewer MACs
     let trace = ResourceTrace::constant(n.macs(3, 0.0), 6);
-    let inc = drive(&mut n, &input(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
-    let rec = drive(&mut n, &input(), &trace, UpgradePolicy::Recompute, 0.0).unwrap();
+    let inc = Session::new(&mut n, SessionConfig::new().trace(trace.clone()))
+        .run(&input())
+        .unwrap();
+    let rec = Session::new(
+        &mut n,
+        SessionConfig::new()
+            .trace(trace)
+            .policy(UpgradePolicy::Recompute),
+    )
+    .run(&input())
+    .unwrap();
     assert_eq!(inc.final_subnet, Some(3));
     assert_eq!(rec.final_subnet, Some(3));
     assert!(inc.total_macs < rec.total_macs);
@@ -78,20 +80,14 @@ fn incremental_policy_dominates_recompute_everywhere() {
 #[test]
 fn live_run_agrees_with_offline_and_publishes() {
     let trace = ResourceTrace::step(1_000, 50_000, 2, 10);
+    let cfg = SessionConfig::new().trace(trace);
     let latest = LatestPrediction::new();
     let mut n1 = net();
-    let live = run_live(
-        &mut n1,
-        &input(),
-        &trace,
-        UpgradePolicy::Incremental,
-        0.0,
-        Duration::ZERO,
-        &latest,
-    )
-    .unwrap();
+    let live = Session::new(&mut n1, cfg.clone())
+        .run_live(&input(), &latest)
+        .unwrap();
     let mut n2 = net();
-    let off = drive(&mut n2, &input(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+    let off = Session::new(&mut n2, cfg).run(&input()).unwrap();
     assert_eq!(live.timeline, off.timeline);
     assert_eq!(live.final_subnet, off.final_subnet);
     if let Some(k) = live.final_subnet {
@@ -112,14 +108,16 @@ fn device_model_orders_subnet_latencies() {
 
 #[test]
 fn confidence_gating_spends_less_on_easy_inputs() {
-    use steppingnet::runtime::infer_until_confident;
-
     let mut n = net();
     // an "easy" input: whatever the net already maps far from the decision
     // boundary will exit earlier than a threshold-1.0 (impossible) run
     let x = input();
-    let strict = infer_until_confident(&mut n, &x, 1.0, 0.0).unwrap();
-    let lax = infer_until_confident(&mut n, &x, 0.05, 0.0).unwrap();
+    let strict = Session::new(&mut n, SessionConfig::new().confidence(1.0))
+        .run_until_confident(&x)
+        .unwrap();
+    let lax = Session::new(&mut n, SessionConfig::new().confidence(0.05))
+        .run_until_confident(&x)
+        .unwrap();
     assert_eq!(
         strict.subnet, 3,
         "threshold 1.0 must run to the largest subnet"
@@ -137,9 +135,24 @@ fn random_walk_trace_eventually_serves_first_prediction() {
     let mut n = net();
     let small = n.macs(0, 0.0);
     let trace = ResourceTrace::random_walk(5, small / 4, small / 8, small, 64);
-    let out = drive(&mut n, &input(), &trace, UpgradePolicy::Incremental, 0.0).unwrap();
+    let out = Session::new(&mut n, SessionConfig::new().trace(trace))
+        .run(&input())
+        .unwrap();
     assert!(
         out.first_prediction_slice.is_some(),
         "never produced a prediction"
     );
+}
+
+#[test]
+fn start_subnet_session_skips_ahead() {
+    let mut n = net();
+    let trace = ResourceTrace::constant(n.macs(3, 0.0), 4);
+    let cfg = SessionConfig::new().trace(trace).start_subnet(2);
+    let out = Session::new(&mut n, cfg).run(&input()).unwrap();
+    assert_eq!(out.final_subnet, Some(3));
+    assert!(out
+        .timeline
+        .iter()
+        .all(|l| l.subnet_ready.is_none() || l.subnet_ready >= Some(2)));
 }
