@@ -72,9 +72,10 @@ impl ActivationCache {
 }
 
 /// Runs the full stage stack plus the head of `subnet` on `input`
-/// (inference mode), returning every intermediate activation and the
-/// logits. Shared by the incremental executor's `begin` and the batched
-/// path.
+/// (inference mode) through the packed execution plans, returning every
+/// intermediate activation and the logits. Shared by the incremental
+/// executor's `begin` and the batched path. Bit-identical (under `f32 ==`)
+/// to the masked reference pass — see [`crate::plan`].
 pub(crate) fn full_pass(
     net: &mut SteppingNet,
     input: &Tensor,
@@ -83,12 +84,11 @@ pub(crate) fn full_pass(
     let mut acts = Vec::with_capacity(net.stages().len() + 1);
     acts.push(input.clone());
     for si in 0..net.stages().len() {
-        let prev = acts[si].clone();
-        let out = net.stages_mut()[si].forward(&prev, subnet, false)?;
+        let out = net.stages_mut()[si].forward_packed(&acts[si], subnet)?;
         acts.push(out);
     }
     let features = acts.last().expect("acts nonempty").clone();
-    let logits = net.head_forward(&features, subnet, false)?;
+    let logits = net.head_forward_packed(&features, subnet)?;
     Ok((acts, logits))
 }
 
@@ -104,7 +104,9 @@ pub(crate) fn expand_pass(
 ) -> Result<(Tensor, u64)> {
     let mut step_macs = 0u64;
     for si in 0..net.stages().len() {
-        let input = acts[si].clone();
+        let (done, rest) = acts.split_at_mut(si + 1);
+        let input = &done[si];
+        let target = &mut rest[0];
         match &mut net.stages_mut()[si] {
             Stage::Linear(l) => {
                 let rows = l.out_assign().members(k);
@@ -112,8 +114,8 @@ pub(crate) fn expand_pass(
                     for &o in &rows {
                         step_macs += l.neuron_macs(o, prune_threshold);
                     }
-                    let fresh = l.forward_rows(&input, &rows, k)?;
-                    splice_columns(&mut acts[si + 1], &fresh, &rows)?;
+                    let fresh = l.forward_step_packed(input, k)?;
+                    splice_columns(target, &fresh, &rows)?;
                 }
             }
             Stage::Conv(c) => {
@@ -122,21 +124,20 @@ pub(crate) fn expand_pass(
                     for &oc in &chans {
                         step_macs += c.neuron_macs(oc, prune_threshold);
                     }
-                    let fresh = c.forward_channels(&input, &chans, k)?;
-                    splice_channels(&mut acts[si + 1], &fresh, &chans)?;
+                    let fresh = c.forward_step_packed(input, k)?;
+                    splice_channels(target, &fresh, &chans)?;
                 }
             }
             Stage::Fixed(f) => {
                 // Fixed stages are pure per-channel/per-element maps in
                 // inference mode; recompute on the updated input (no
                 // MACs). Cached channels keep their exact old values.
-                let out = fixed_forward(f, &input)?;
-                acts[si + 1] = out;
+                *target = fixed_forward(f, input)?;
             }
         }
     }
     let features = acts.last().expect("acts nonempty").clone();
-    let logits = net.head_forward(&features, k, false)?;
+    let logits = net.head_forward_packed(&features, k)?;
     step_macs += net.head_macs(k);
     Ok((logits, step_macs))
 }
@@ -427,7 +428,7 @@ impl<'a> BatchExecutor<'a> {
                 .map(|c| c.acts.last().expect("initialised cache"))
                 .collect();
             let features = stack_rows(&feats)?;
-            let logits = self.net.head_forward(&features, k, false)?;
+            let logits = self.net.head_forward_packed(&features, k)?;
             (logits, self.net.head_macs(k))
         } else {
             let levels = caches[0].acts.len();
@@ -499,7 +500,7 @@ impl<'a> BatchExecutor<'a> {
             .map(|c| c.acts.last().expect("initialised cache"))
             .collect();
         let features = stack_rows(&feats)?;
-        let logits = self.net.head_forward(&features, k, false)?;
+        let logits = self.net.head_forward_packed(&features, k)?;
         let step_macs = self.net.head_macs(k);
         let logit_parts = split_rows(&logits, &row_counts)?;
         let mut steps = Vec::with_capacity(caches.len());

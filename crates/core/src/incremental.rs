@@ -159,7 +159,7 @@ impl<'a> IncrementalExecutor<'a> {
             // The caches already hold every neuron of subnet `k` (we
             // contracted earlier) — only the head needs to run.
             let features = self.cache.acts.last().expect("acts nonempty").clone();
-            let logits = self.net.head_forward(&features, k, false)?;
+            let logits = self.net.head_forward_packed(&features, k)?;
             (logits, self.net.head_macs(k))
         } else {
             batch::expand_pass(self.net, &mut self.cache.acts, k, self.prune_threshold)?
@@ -215,7 +215,7 @@ impl<'a> IncrementalExecutor<'a> {
         let span = telemetry::span("inference", "exec.contract");
         let k = cur - 1;
         let features = self.cache.acts.last().expect("acts nonempty").clone();
-        let logits = self.net.head_forward(&features, k, false)?;
+        let logits = self.net.head_forward_packed(&features, k)?;
         let step_macs = self.net.head_macs(k);
         self.cache.current = Some(k);
         self.cache.cumulative_macs += step_macs;

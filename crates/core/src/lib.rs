@@ -52,6 +52,7 @@ mod layout;
 mod masked_conv;
 mod masked_linear;
 mod net;
+mod plan;
 mod stage;
 pub mod telemetry;
 pub mod train;

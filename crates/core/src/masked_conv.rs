@@ -1,8 +1,10 @@
 use rand::rngs::StdRng;
 use stepping_nn::{Param, ParamLr};
 use stepping_tensor::conv::{col2im, im2col, ConvGeometry};
+use stepping_tensor::pack::{self, PackScratch};
 use stepping_tensor::{init, matmul, Shape, Tensor};
 
+use crate::plan::{self, ConvPlan, PlanSet};
 use crate::{Assignment, Result, SteppingError};
 
 /// A 2-D convolution whose filters (output channels) carry subnet
@@ -29,6 +31,11 @@ pub struct MaskedConv2d {
     /// Accumulated `|∂L_k/∂r_j^k|`, flattened `[subnet][out_channel]`.
     importance: Vec<f64>,
     cached: Option<CachedForward>,
+    /// Compiled packed panels per subnet, dropped whenever weights or
+    /// assignments change (see [`crate::plan`]).
+    plans: PlanSet<ConvPlan>,
+    /// Reusable im2col/GEMM buffers for the packed path.
+    scratch: PackScratch,
 }
 
 #[derive(Debug, Clone)]
@@ -74,6 +81,8 @@ impl MaskedConv2d {
             positions,
             importance: vec![0.0; subnets * out_channels],
             cached: None,
+            plans: PlanSet::default(),
+            scratch: PackScratch::new(),
         }
     }
 
@@ -129,6 +138,7 @@ impl MaskedConv2d {
             )));
         }
         self.in_assign = assign;
+        self.plans.invalidate("conv");
         Ok(())
     }
 
@@ -138,7 +148,9 @@ impl MaskedConv2d {
     ///
     /// Propagates [`Assignment::move_neuron`] errors.
     pub fn move_out_neuron(&mut self, oc: usize, target: usize) -> Result<()> {
-        self.out_assign.move_neuron(oc, target)
+        self.out_assign.move_neuron(oc, target)?;
+        self.plans.invalidate("conv");
+        Ok(())
     }
 
     /// Read access to the weight parameter (`[out, in, k, k]`).
@@ -146,8 +158,11 @@ impl MaskedConv2d {
         &self.weight
     }
 
-    /// Mutable access to the weight parameter.
+    /// Mutable access to the weight parameter. Handing out the borrow
+    /// conservatively invalidates compiled plans — the caller may rewrite
+    /// weight values.
     pub fn weight_mut(&mut self) -> &mut Param {
+        self.plans.invalidate("conv");
         &mut self.weight
     }
 
@@ -204,7 +219,7 @@ impl MaskedConv2d {
     /// # Errors
     ///
     /// Returns structural errors for a bad subnet index or input shape.
-    pub fn forward(&mut self, input: &Tensor, subnet: usize, _train: bool) -> Result<Tensor> {
+    pub fn forward(&mut self, input: &Tensor, subnet: usize, train: bool) -> Result<Tensor> {
         self.check_subnet(subnet)?;
         let dims = input.shape().dims();
         if dims.len() != 4 || dims[1] != self.in_channels() {
@@ -234,14 +249,212 @@ impl MaskedConv2d {
             }
         }
         let z = crate::layout::mat_to_nchw(&z_mat, n, oc_n, geom.out_h, geom.out_w);
-        self.cached = Some(CachedForward {
-            cols,
-            z: z.clone(),
-            geom,
-            batch: n,
-            subnet,
-        });
+        if train {
+            self.cached = Some(CachedForward {
+                cols,
+                z: z.clone(),
+                geom,
+                batch: n,
+                subnet,
+            });
+        } else {
+            // Inference never backpropagates: skip the clone and drop any
+            // stale cache so a later `backward` fails loudly instead of
+            // silently using old activations.
+            self.cached = None;
+        }
         Ok(z)
+    }
+
+    /// Packed forward pass for `subnet`: computes the same result as
+    /// [`MaskedConv2d::forward`] (equal under `f32 ==`; see
+    /// [`crate::plan`]) but unfolds only the active input channels and runs
+    /// a dense GEMM over only the active filter panel, compiled on demand
+    /// and cached until the next weight or assignment change.
+    /// Inference-only: the backward cache is not populated.
+    ///
+    /// # Errors
+    ///
+    /// Returns structural errors for a bad subnet index or input shape.
+    pub fn forward_packed(&mut self, input: &Tensor, subnet: usize) -> Result<Tensor> {
+        self.check_subnet(subnet)?;
+        let dims = input.shape().dims();
+        if dims.len() != 4 || dims[1] != self.in_channels() {
+            return Err(SteppingError::InvalidStructure(format!(
+                "masked conv expects [n, {}, h, w], got {}",
+                self.in_channels(),
+                input.shape()
+            )));
+        }
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let geom = self.geometry(h, w)?;
+        let positions = geom.positions();
+        let oc_n = self.out_channels();
+        self.ensure_full_plan(subnet);
+        let plan = self.plans.full(subnet).expect("plan compiled above");
+        let (oc_len, ic_len) = (plan.oc_idx.len(), plan.ic_idx.len());
+        let kk = self.kernel * self.kernel;
+        pack::im2col_channels_into(input, &geom, &plan.ic_idx, &mut self.scratch.input)?;
+        pack::gemm_nt_into(
+            &self.scratch.input,
+            &plan.weight,
+            &mut self.scratch.out,
+            n * positions,
+            ic_len * kk,
+            oc_len,
+        );
+        for r in 0..n * positions {
+            let orow = &mut self.scratch.out[r * oc_len..(r + 1) * oc_len];
+            for (v, &bv) in orow.iter_mut().zip(plan.bias.iter()) {
+                *v += bv;
+            }
+        }
+        let mut z = Tensor::zeros(Shape::of(&[n, oc_n, geom.out_h, geom.out_w]));
+        pack::scatter_mat_to_nchw(
+            &self.scratch.out,
+            n,
+            positions,
+            &plan.oc_idx,
+            oc_n,
+            z.data_mut(),
+        );
+        Ok(z)
+    }
+
+    /// Packed equivalent of [`MaskedConv2d::forward_channels`] for the
+    /// filters assigned exactly to subnet `k` (the incremental expand
+    /// step). Returns `[n, members(k).len(), oh, ow]`, channel order
+    /// matching `out_assign().members(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns structural errors for a bad subnet index or input shape.
+    pub fn forward_step_packed(&mut self, input: &Tensor, k: usize) -> Result<Tensor> {
+        self.check_subnet(k)?;
+        let dims = input.shape().dims();
+        if dims.len() != 4 || dims[1] != self.in_channels() {
+            return Err(SteppingError::InvalidStructure(format!(
+                "masked conv expects [n, {}, h, w], got {}",
+                self.in_channels(),
+                input.shape()
+            )));
+        }
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let geom = self.geometry(h, w)?;
+        let positions = geom.positions();
+        self.ensure_step_plan(k);
+        let plan = self.plans.step(k).expect("plan compiled above");
+        let (oc_len, ic_len) = (plan.oc_idx.len(), plan.ic_idx.len());
+        let kk = self.kernel * self.kernel;
+        let mut out = Tensor::zeros(Shape::of(&[n, oc_len, geom.out_h, geom.out_w]));
+        if oc_len == 0 {
+            return Ok(out);
+        }
+        pack::im2col_channels_into(input, &geom, &plan.ic_idx, &mut self.scratch.input)?;
+        pack::gemm_nt_into(
+            &self.scratch.input,
+            &plan.weight,
+            &mut self.scratch.out,
+            n * positions,
+            ic_len * kk,
+            oc_len,
+        );
+        for r in 0..n * positions {
+            let orow = &mut self.scratch.out[r * oc_len..(r + 1) * oc_len];
+            for (v, &bv) in orow.iter_mut().zip(plan.bias.iter()) {
+                *v += bv;
+            }
+        }
+        let dense: Vec<usize> = (0..oc_len).collect();
+        pack::scatter_mat_to_nchw(
+            &self.scratch.out,
+            n,
+            positions,
+            &dense,
+            oc_len,
+            out.data_mut(),
+        );
+        Ok(out)
+    }
+
+    /// Current plan-cache epoch; advances on every weight or assignment
+    /// mutation. Exposed for invalidation tests and diagnostics.
+    pub fn plan_epoch(&self) -> u64 {
+        self.plans.epoch()
+    }
+
+    /// MAC operations the packed path actually executes for `subnet`: the
+    /// dense panel extent `active_oc × active_ic × k² × positions`
+    /// (pruned-but-legal entries still occupy panel slots).
+    pub fn packed_macs(&self, subnet: usize) -> u64 {
+        (self.out_assign.active_count(subnet)
+            * self.in_assign.active_count(subnet)
+            * self.kernel
+            * self.kernel
+            * self.positions) as u64
+    }
+
+    /// Compiles (or confirms) the full plan for `subnet`.
+    fn ensure_full_plan(&mut self, subnet: usize) {
+        if self.plans.full(subnet).is_some() {
+            plan::note_hit("conv", subnet);
+            return;
+        }
+        let plan = self.compile(
+            self.out_assign.active_members(subnet),
+            self.in_assign.active_members(subnet),
+            true,
+        );
+        plan::note_compile("conv", subnet, plan.oc_idx.len(), plan.ic_idx.len());
+        self.plans.put_full(subnet, plan);
+    }
+
+    /// Compiles (or confirms) the step plan for subnet `k` (filters
+    /// assigned exactly to `k`; every active input channel at `k` is legal
+    /// for them).
+    fn ensure_step_plan(&mut self, k: usize) {
+        if self.plans.step(k).is_some() {
+            plan::note_hit("conv", k);
+            return;
+        }
+        let plan = self.compile(
+            self.out_assign.members(k),
+            self.in_assign.active_members(k),
+            false,
+        );
+        plan::note_compile("conv", k, plan.oc_idx.len(), plan.ic_idx.len());
+        self.plans.put_step(k, plan);
+    }
+
+    fn compile(&self, oc_idx: Vec<usize>, ic_idx: Vec<usize>, mask_rows: bool) -> ConvPlan {
+        let kk = self.kernel * self.kernel;
+        let patch = self.patch_len();
+        let wd = self.weight.value.data();
+        let mut weight = vec![0.0f32; oc_idx.len() * ic_idx.len() * kk];
+        for (r, &oc) in oc_idx.iter().enumerate() {
+            let oa = self.out_assign.subnet_of(oc);
+            for (ci, &ic) in ic_idx.iter().enumerate() {
+                // Mirror `effective_weight_flat`: channel blocks from inputs
+                // of a larger subnet than this row's owner stay zero. Step
+                // plans never need this (all rows own subnet `k` exactly).
+                if mask_rows && self.in_assign.subnet_of(ic) > oa {
+                    continue;
+                }
+                let src = &wd[oc * patch + ic * kk..oc * patch + (ic + 1) * kk];
+                let dst_base = (r * ic_idx.len() + ci) * kk;
+                weight[dst_base..dst_base + kk].copy_from_slice(src);
+            }
+        }
+        let bias: Vec<f32> = oc_idx
+            .iter()
+            .map(|&oc| self.bias.value.data()[oc])
+            .collect();
+        ConvPlan {
+            oc_idx,
+            ic_idx,
+            weight,
+            bias,
+        }
     }
 
     /// Computes only the given output `channels` against `input`, with the
@@ -378,8 +591,11 @@ impl MaskedConv2d {
         Ok(col2im(&dcols, n, &geom)?)
     }
 
-    /// Trainable parameters (weight then bias).
+    /// Trainable parameters (weight then bias). Handing out the borrows
+    /// invalidates compiled plans — an optimizer step will rewrite the
+    /// values.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.plans.invalidate("conv");
         vec![&mut self.weight, &mut self.bias]
     }
 
@@ -392,6 +608,9 @@ impl MaskedConv2d {
                 *w = 0.0;
                 pruned += 1;
             }
+        }
+        if pruned > 0 {
+            self.plans.invalidate("conv");
         }
         pruned
     }

@@ -1,7 +1,9 @@
 use rand::rngs::StdRng;
 use stepping_nn::{Param, ParamLr};
+use stepping_tensor::pack::{self, PackScratch};
 use stepping_tensor::{init, reduce, Shape, Tensor};
 
+use crate::plan::{self, LinearPlan, PlanSet};
 use crate::{Assignment, Result, SteppingError};
 
 /// A fully-connected layer whose output neurons carry subnet assignments —
@@ -32,6 +34,11 @@ pub struct MaskedLinear {
     /// Accumulated `|∂L_k/∂r_j^k|`, flattened `[subnet][out]`.
     importance: Vec<f64>,
     cached: Option<CachedForward>,
+    /// Compiled packed panels per subnet, dropped whenever weights or
+    /// assignments change (see [`crate::plan`]).
+    plans: PlanSet<LinearPlan>,
+    /// Reusable gather/GEMM buffers for the packed path.
+    scratch: PackScratch,
 }
 
 #[derive(Debug, Clone)]
@@ -59,6 +66,8 @@ impl MaskedLinear {
             out_assign: Assignment::new(out_features, subnets),
             importance: vec![0.0; subnets * out_features],
             cached: None,
+            plans: PlanSet::default(),
+            scratch: PackScratch::new(),
         }
     }
 
@@ -105,6 +114,7 @@ impl MaskedLinear {
             )));
         }
         self.in_assign = assign;
+        self.plans.invalidate("linear");
         Ok(())
     }
 
@@ -114,7 +124,9 @@ impl MaskedLinear {
     ///
     /// Propagates [`Assignment::move_neuron`] errors.
     pub fn move_out_neuron(&mut self, o: usize, target: usize) -> Result<()> {
-        self.out_assign.move_neuron(o, target)
+        self.out_assign.move_neuron(o, target)?;
+        self.plans.invalidate("linear");
+        Ok(())
     }
 
     /// Read access to the weight parameter (`[out, in]`).
@@ -122,8 +134,11 @@ impl MaskedLinear {
         &self.weight
     }
 
-    /// Mutable access to the weight parameter.
+    /// Mutable access to the weight parameter. Handing out the borrow
+    /// conservatively invalidates compiled plans — the caller may rewrite
+    /// weight values.
     pub fn weight_mut(&mut self) -> &mut Param {
+        self.plans.invalidate("linear");
         &mut self.weight
     }
 
@@ -164,7 +179,7 @@ impl MaskedLinear {
     ///
     /// Returns an error for a subnet index out of range or an input of the
     /// wrong width.
-    pub fn forward(&mut self, input: &Tensor, subnet: usize, _train: bool) -> Result<Tensor> {
+    pub fn forward(&mut self, input: &Tensor, subnet: usize, train: bool) -> Result<Tensor> {
         self.check_subnet(subnet)?;
         if input.shape().rank() != 2 || input.shape().dims()[1] != self.in_features() {
             return Err(SteppingError::InvalidStructure(format!(
@@ -189,12 +204,187 @@ impl MaskedLinear {
                 }
             }
         }
-        self.cached = Some(CachedForward {
-            input: input.clone(),
-            z: z.clone(),
-            subnet,
-        });
+        if train {
+            self.cached = Some(CachedForward {
+                input: input.clone(),
+                z: z.clone(),
+                subnet,
+            });
+        } else {
+            // Inference never backpropagates: skip the two clones and drop
+            // any stale cache so a later `backward` fails loudly instead of
+            // silently using old activations.
+            self.cached = None;
+        }
         Ok(z)
+    }
+
+    /// Packed forward pass for `subnet`: computes the same result as
+    /// [`MaskedLinear::forward`] (equal under `f32 ==`; see
+    /// [`crate::plan`]) but runs a dense GEMM over only the active panel,
+    /// compiled on demand and cached until the next weight or assignment
+    /// change. Inference-only: the backward cache is not populated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a subnet index out of range or an input of the
+    /// wrong width.
+    pub fn forward_packed(&mut self, input: &Tensor, subnet: usize) -> Result<Tensor> {
+        self.check_subnet(subnet)?;
+        let i_n = self.in_features();
+        if input.shape().rank() != 2 || input.shape().dims()[1] != i_n {
+            return Err(SteppingError::InvalidStructure(format!(
+                "masked linear expects [n, {i_n}], got {}",
+                input.shape()
+            )));
+        }
+        let n = input.shape().dims()[0];
+        let o_n = self.out_features();
+        self.ensure_full_plan(subnet);
+        let plan = self.plans.full(subnet).expect("plan compiled above");
+        let (rows, cols) = (plan.out_idx.len(), plan.in_idx.len());
+        pack::gather_columns(input.data(), n, i_n, &plan.in_idx, &mut self.scratch.input);
+        pack::gemm_nt_into(
+            &self.scratch.input,
+            &plan.weight,
+            &mut self.scratch.out,
+            n,
+            cols,
+            rows,
+        );
+        for b in 0..n {
+            let orow = &mut self.scratch.out[b * rows..(b + 1) * rows];
+            for (v, &bv) in orow.iter_mut().zip(plan.bias.iter()) {
+                *v += bv;
+            }
+        }
+        let mut z = Tensor::zeros(Shape::of(&[n, o_n]));
+        pack::scatter_columns(&self.scratch.out, n, &plan.out_idx, z.data_mut(), o_n);
+        Ok(z)
+    }
+
+    /// Packed equivalent of [`MaskedLinear::forward_rows`] for the rows
+    /// assigned exactly to subnet `k` (the incremental expand step).
+    /// Returns `[n, members(k).len()]`, column order matching
+    /// `out_assign().members(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a subnet index out of range or an input of the
+    /// wrong width.
+    pub fn forward_step_packed(&mut self, input: &Tensor, k: usize) -> Result<Tensor> {
+        self.check_subnet(k)?;
+        let i_n = self.in_features();
+        if input.shape().rank() != 2 || input.shape().dims()[1] != i_n {
+            return Err(SteppingError::InvalidStructure(format!(
+                "masked linear expects [n, {i_n}], got {}",
+                input.shape()
+            )));
+        }
+        let n = input.shape().dims()[0];
+        self.ensure_step_plan(k);
+        let plan = self.plans.step(k).expect("plan compiled above");
+        let (rows, cols) = (plan.out_idx.len(), plan.in_idx.len());
+        let mut out = Tensor::zeros(Shape::of(&[n, rows]));
+        if rows == 0 {
+            return Ok(out);
+        }
+        pack::gather_columns(input.data(), n, i_n, &plan.in_idx, &mut self.scratch.input);
+        pack::gemm_nt_slice(
+            &self.scratch.input,
+            &plan.weight,
+            out.data_mut(),
+            n,
+            cols,
+            rows,
+        );
+        let od = out.data_mut();
+        for b in 0..n {
+            let orow = &mut od[b * rows..(b + 1) * rows];
+            for (v, &bv) in orow.iter_mut().zip(plan.bias.iter()) {
+                *v += bv;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Current plan-cache epoch; advances on every weight or assignment
+    /// mutation. Exposed for invalidation tests and diagnostics.
+    pub fn plan_epoch(&self) -> u64 {
+        self.plans.epoch()
+    }
+
+    /// MAC operations the packed path actually executes for `subnet`: the
+    /// dense panel extent `active_out × active_in` (pruned-but-legal
+    /// entries still occupy panel slots).
+    pub fn packed_macs(&self, subnet: usize) -> u64 {
+        (self.out_assign.active_count(subnet) * self.in_assign.active_count(subnet)) as u64
+    }
+
+    /// Compiles (or confirms) the full plan for `subnet`.
+    fn ensure_full_plan(&mut self, subnet: usize) {
+        if self.plans.full(subnet).is_some() {
+            plan::note_hit("linear", subnet);
+            return;
+        }
+        let i_n = self.in_features();
+        let out_idx = self.out_assign.active_members(subnet);
+        let in_idx = self.in_assign.active_members(subnet);
+        let wd = self.weight.value.data();
+        let mut weight = vec![0.0f32; out_idx.len() * in_idx.len()];
+        for (r, &o) in out_idx.iter().enumerate() {
+            let oa = self.out_assign.subnet_of(o);
+            let dst = &mut weight[r * in_idx.len()..(r + 1) * in_idx.len()];
+            for (d, &i) in dst.iter_mut().zip(in_idx.iter()) {
+                // Mirror `effective_weight`: entries from inputs of a larger
+                // subnet than this row's owner stay zero.
+                if self.in_assign.subnet_of(i) <= oa {
+                    *d = wd[o * i_n + i];
+                }
+            }
+        }
+        let bias: Vec<f32> = out_idx.iter().map(|&o| self.bias.value.data()[o]).collect();
+        plan::note_compile("linear", subnet, out_idx.len(), in_idx.len());
+        self.plans.put_full(
+            subnet,
+            LinearPlan {
+                out_idx,
+                in_idx,
+                weight,
+                bias,
+            },
+        );
+    }
+
+    /// Compiles (or confirms) the step plan for subnet `k` (rows assigned
+    /// exactly to `k`; every active input at `k` is legal for them).
+    fn ensure_step_plan(&mut self, k: usize) {
+        if self.plans.step(k).is_some() {
+            plan::note_hit("linear", k);
+            return;
+        }
+        let i_n = self.in_features();
+        let out_idx = self.out_assign.members(k);
+        let in_idx = self.in_assign.active_members(k);
+        let wd = self.weight.value.data();
+        let mut weight = vec![0.0f32; out_idx.len() * in_idx.len()];
+        for (r, &o) in out_idx.iter().enumerate() {
+            let dst = &mut weight[r * in_idx.len()..(r + 1) * in_idx.len()];
+            for (d, &i) in dst.iter_mut().zip(in_idx.iter()) {
+                *d = wd[o * i_n + i];
+            }
+        }
+        let bias: Vec<f32> = out_idx.iter().map(|&o| self.bias.value.data()[o]).collect();
+        plan::note_compile("linear", k, out_idx.len(), in_idx.len());
+        self.plans.put_step(
+            k,
+            LinearPlan {
+                out_idx,
+                in_idx,
+                weight,
+                bias,
+            },
+        );
     }
 
     /// Computes only the given output `rows` against `input`, using exactly
@@ -310,8 +500,11 @@ impl MaskedLinear {
         Ok(stepping_tensor::matmul::matmul(grad_out, &w_eff)?)
     }
 
-    /// Trainable parameters (weight then bias), for the optimizer.
+    /// Trainable parameters (weight then bias), for the optimizer. Handing
+    /// out the borrows invalidates compiled plans — an optimizer step will
+    /// rewrite the values.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.plans.invalidate("linear");
         vec![&mut self.weight, &mut self.bias]
     }
 
@@ -325,6 +518,9 @@ impl MaskedLinear {
                 *w = 0.0;
                 pruned += 1;
             }
+        }
+        if pruned > 0 {
+            self.plans.invalidate("linear");
         }
         pruned
     }

@@ -4,8 +4,10 @@ use stepping_nn::{
     Sigmoid, Tanh,
 };
 use stepping_tensor::conv::ConvGeometry;
+use stepping_tensor::pack::{self, PackScratch};
 use stepping_tensor::{init, Shape, Tensor};
 
+use crate::plan::{self, HeadPlan, PlanSet};
 use crate::{Assignment, FixedStage, MaskedConv2d, MaskedLinear, Result, Stage, SteppingError};
 
 /// A stepping neural network: a stack of [`Stage`]s plus one lightweight
@@ -36,6 +38,11 @@ pub struct SteppingNet {
     input_shape: Shape,
     feature_assign: Assignment,
     last_subnet: Option<usize>,
+    /// Compiled packed head panels per subnet, dropped whenever head
+    /// weights or the feature assignment change (see [`crate::plan`]).
+    head_plans: PlanSet<HeadPlan>,
+    /// Reusable gather buffer for the packed head path.
+    head_scratch: PackScratch,
 }
 
 impl SteppingNet {
@@ -95,8 +102,10 @@ impl SteppingNet {
     }
 
     /// Mutable access to all heads (checkpoint restore; keep geometry
-    /// intact).
+    /// intact). Handing out the borrow conservatively invalidates compiled
+    /// head plans.
     pub fn heads_mut(&mut self) -> &mut [Linear] {
+        self.head_plans.invalidate("head");
         &mut self.heads
     }
 
@@ -140,6 +149,7 @@ impl SteppingNet {
             )));
         }
         self.feature_assign = cur;
+        self.head_plans.invalidate("head");
         Ok(())
     }
 
@@ -308,6 +318,104 @@ impl SteppingNet {
         Ok(self.heads[subnet].forward(&masked, train)?)
     }
 
+    /// Packed equivalent of [`SteppingNet::head_forward`] (inference only):
+    /// gathers the features active at `subnet` and multiplies against a
+    /// compiled `[classes, active]` head panel instead of masking the full
+    /// feature vector. Results equal the masked path under `f32 ==` (see
+    /// [`crate::plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates head errors and subnet-range errors.
+    pub fn head_forward_packed(&mut self, features: &Tensor, subnet: usize) -> Result<Tensor> {
+        if subnet >= self.subnets {
+            return Err(SteppingError::SubnetOutOfRange {
+                subnet,
+                count: self.subnets,
+            });
+        }
+        let f = self.feature_assign.len();
+        if features.shape().rank() != 2 || features.shape().dims()[1] != f {
+            return Err(SteppingError::InvalidStructure(format!(
+                "head expects [n, {f}], got {}",
+                features.shape()
+            )));
+        }
+        let n = features.shape().dims()[0];
+        self.ensure_head_plan(subnet);
+        let plan = self.head_plans.full(subnet).expect("plan compiled above");
+        pack::gather_columns(
+            features.data(),
+            n,
+            f,
+            &plan.feat_idx,
+            &mut self.head_scratch.input,
+        );
+        let mut out = Tensor::zeros(Shape::of(&[n, self.classes]));
+        pack::gemm_nt_slice(
+            &self.head_scratch.input,
+            &plan.weight,
+            out.data_mut(),
+            n,
+            plan.feat_idx.len(),
+            self.classes,
+        );
+        out.add_rowwise(&self.heads[subnet].bias().value)?;
+        Ok(out)
+    }
+
+    /// Full packed inference pass: every stage and the head run their
+    /// compiled plans. Equal to `forward(input, subnet, false)` under
+    /// `f32 ==`; does not populate backward caches or `last_subnet`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage/head errors.
+    pub fn forward_packed(&mut self, input: &Tensor, subnet: usize) -> Result<Tensor> {
+        if subnet >= self.subnets {
+            return Err(SteppingError::SubnetOutOfRange {
+                subnet,
+                count: self.subnets,
+            });
+        }
+        let mut x = input.clone();
+        for stage in &mut self.stages {
+            x = stage.forward_packed(&x, subnet)?;
+        }
+        self.head_forward_packed(&x, subnet)
+    }
+
+    /// MAC operations the packed path actually executes for `subnet`: dense
+    /// panel extents of every stage plus the head. Compare against
+    /// [`SteppingNet::macs`] (the paper's budget accounting) to see how
+    /// tightly execution tracks the `P_i` budgets.
+    pub fn packed_macs(&self, subnet: usize) -> u64 {
+        let stage_macs: u64 = self.stages.iter().map(|s| s.packed_macs(subnet)).sum();
+        stage_macs + self.head_macs(subnet)
+    }
+
+    /// Compiles (or confirms) the packed head panel for `subnet`.
+    fn ensure_head_plan(&mut self, subnet: usize) {
+        if self.head_plans.full(subnet).is_some() {
+            plan::note_hit("head", subnet);
+            return;
+        }
+        let f = self.feature_assign.len();
+        let feat_idx = self.feature_assign.active_members(subnet);
+        let wd = self.heads[subnet].weight().value.data();
+        let cols = feat_idx.len();
+        let mut weight = vec![0.0f32; self.classes * cols];
+        for r in 0..self.classes {
+            let dst = &mut weight[r * cols..(r + 1) * cols];
+            for (d, &i) in dst.iter_mut().zip(feat_idx.iter()) {
+                *d = wd[r * f + i];
+            }
+        }
+        plan::note_compile("head", subnet, self.classes, cols);
+        self.head_plans
+            .put_full(subnet, HeadPlan { feat_idx, weight });
+    }
+
     /// Back-propagates a logits gradient through the head used by the last
     /// [`SteppingNet::forward`] and the whole stage stack, accumulating
     /// parameter gradients.
@@ -349,6 +457,7 @@ impl SteppingNet {
                 count: self.subnets,
             });
         }
+        self.head_plans.invalidate("head");
         let mut params: Vec<&mut Param> = self
             .stages
             .iter_mut()
@@ -366,6 +475,7 @@ impl SteppingNet {
     /// pretrained head gives every subnet a sensible classifier to refine —
     /// the paper's single-output-layer formulation gets this for free.
     pub fn warm_start_heads(&mut self) {
+        self.head_plans.invalidate("head");
         let (first, rest) = self.heads.split_first_mut().expect("at least one head");
         let w = first.weight().value.clone();
         let b = first.bias().value.clone();
@@ -799,6 +909,8 @@ impl SteppingNetBuilder {
             input_shape: self.input_shape,
             feature_assign: Assignment::new(features, self.subnets),
             last_subnet: None,
+            head_plans: PlanSet::default(),
+            head_scratch: PackScratch::new(),
         };
         net.sync_assignments()?;
         Ok(net)

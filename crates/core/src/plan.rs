@@ -1,0 +1,212 @@
+//! Compiled subnet execution plans: packed active-neuron panels.
+//!
+//! The masked reference path (`MaskedLinear::forward`,
+//! `MaskedConv2d::forward`) multiplies full-width matrices in which every
+//! inactive or illegal entry is zero, so a subnet at a 25% MAC budget still
+//! pays >100% of the dense FLOPs plus an `O(out × in)` re-masking
+//! allocation per call. A *plan* compiles the surviving structure of one
+//! `(layer, subnet)` pair once — the active output neurons, the active
+//! input neurons, and a contiguous weight panel over exactly those — so
+//! inference runs a small dense GEMM and scatters the result back to the
+//! full-width activation (inactive outputs stay exactly zero).
+//!
+//! ## Bit-identity
+//!
+//! Panels keep surviving terms in ascending index order and run the same NT
+//! kernel as the dense path (`stepping_tensor::pack::gemm_nt_into`), and
+//! per-row entries that are *legal at the subnet but illegal for that
+//! particular row* (`assign(in) > assign(out)`) are stored as `0.0`,
+//! mirroring `effective_weight`. The only dropped terms are products with
+//! an exact-zero activation and an exact-zero masked weight, which can
+//! never change a nonzero accumulator. Packed results therefore compare
+//! equal (`f32 ==`) to masked results; the property suites assert this.
+//!
+//! ## Invalidation
+//!
+//! Plans are keyed by a per-layer *epoch* counter. Every mutation that can
+//! change weights or assignments bumps the epoch and drops compiled plans:
+//! handing out `&mut Param` (optimizer steps, checkpoint restore), pruning,
+//! neuron moves, and in-assignment replacement. Handing out a mutable
+//! borrow invalidates conservatively — a caller that only reads pays one
+//! recompile, while a missed invalidation would silently serve stale
+//! weights, which the tests in `crates/core/tests/packed_plans.rs` guard
+//! against.
+
+use crate::telemetry::{self, Value};
+
+/// Packed panel for one `(masked-linear layer, subnet)` pair.
+#[derive(Debug, Clone)]
+pub(crate) struct LinearPlan {
+    /// Output neuron indices covered by this plan, ascending. For a *full*
+    /// plan these are the neurons active at the subnet; for a *step* plan
+    /// they are the neurons assigned exactly to the subnet.
+    pub out_idx: Vec<usize>,
+    /// Input indices active at the subnet, ascending.
+    pub in_idx: Vec<usize>,
+    /// Weight panel `[out_idx.len(), in_idx.len()]`; entries illegal for
+    /// their row (`assign(in) > assign(out)`) are `0.0`.
+    pub weight: Vec<f32>,
+    /// Bias gathered over `out_idx`.
+    pub bias: Vec<f32>,
+}
+
+/// Packed panel for one `(masked-conv layer, subnet)` pair.
+#[derive(Debug, Clone)]
+pub(crate) struct ConvPlan {
+    /// Output channel indices covered by this plan, ascending (see
+    /// [`LinearPlan::out_idx`] for full vs. step semantics).
+    pub oc_idx: Vec<usize>,
+    /// Input channel indices active at the subnet, ascending.
+    pub ic_idx: Vec<usize>,
+    /// Weight panel `[oc_idx.len(), ic_idx.len() * kh * kw]`; channel
+    /// blocks illegal for their row are `0.0`.
+    pub weight: Vec<f32>,
+    /// Bias gathered over `oc_idx`.
+    pub bias: Vec<f32>,
+}
+
+/// Packed head panel: the classifier head of one subnet restricted to the
+/// features active at that subnet.
+#[derive(Debug, Clone)]
+pub(crate) struct HeadPlan {
+    /// Feature indices active at the subnet, ascending.
+    pub feat_idx: Vec<usize>,
+    /// Weight panel `[classes, feat_idx.len()]`.
+    pub weight: Vec<f32>,
+}
+
+/// Per-layer cache of compiled plans, keyed by a weight/assignment epoch.
+///
+/// `full` plans cover every neuron active at a subnet (direct execution);
+/// `step` plans cover only the neurons assigned exactly to a subnet (the
+/// incremental expand path). Both are dropped — and the epoch advances —
+/// on [`PlanSet::invalidate`]; a surviving entry is additionally epoch-
+/// checked on read so a stale plan can never be served.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanSet<P> {
+    epoch: u64,
+    full: Vec<Option<(u64, P)>>,
+    step: Vec<Option<(u64, P)>>,
+}
+
+impl<P> Default for PlanSet<P> {
+    fn default() -> Self {
+        PlanSet {
+            epoch: 0,
+            full: Vec::new(),
+            step: Vec::new(),
+        }
+    }
+}
+
+impl<P> PlanSet<P> {
+    /// Current weight/assignment epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the epoch and drops every compiled plan. `kind` labels the
+    /// owning layer in the `plan.invalidate` telemetry event (emitted only
+    /// when plans were actually dropped, so construction-time churn on
+    /// never-executed layers stays silent).
+    pub fn invalidate(&mut self, kind: &'static str) {
+        self.epoch = self.epoch.wrapping_add(1);
+        let had = self.full.iter().any(Option::is_some) || self.step.iter().any(Option::is_some);
+        if had {
+            self.full.clear();
+            self.step.clear();
+            telemetry::counter("plan", "plan.invalidate", 1, &[("layer", Value::Str(kind))]);
+        }
+    }
+
+    /// The compiled full plan for `subnet`, if current.
+    pub fn full(&self, subnet: usize) -> Option<&P> {
+        Self::get(&self.full, subnet, self.epoch)
+    }
+
+    /// The compiled step plan for `subnet`, if current.
+    pub fn step(&self, subnet: usize) -> Option<&P> {
+        Self::get(&self.step, subnet, self.epoch)
+    }
+
+    /// Stores the full plan for `subnet` at the current epoch.
+    pub fn put_full(&mut self, subnet: usize, plan: P) {
+        Self::put(&mut self.full, subnet, self.epoch, plan);
+    }
+
+    /// Stores the step plan for `subnet` at the current epoch.
+    pub fn put_step(&mut self, subnet: usize, plan: P) {
+        Self::put(&mut self.step, subnet, self.epoch, plan);
+    }
+
+    fn get(slots: &[Option<(u64, P)>], subnet: usize, epoch: u64) -> Option<&P> {
+        match slots.get(subnet).and_then(Option::as_ref) {
+            Some((e, p)) if *e == epoch => Some(p),
+            _ => None,
+        }
+    }
+
+    fn put(slots: &mut Vec<Option<(u64, P)>>, subnet: usize, epoch: u64, plan: P) {
+        if slots.len() <= subnet {
+            slots.resize_with(subnet + 1, || None);
+        }
+        slots[subnet] = Some((epoch, plan));
+    }
+}
+
+/// Emits the `plan.compile` telemetry point for a freshly compiled plan.
+pub(crate) fn note_compile(kind: &'static str, subnet: usize, rows: usize, cols: usize) {
+    telemetry::point(
+        "plan",
+        "plan.compile",
+        &[
+            ("layer", Value::Str(kind)),
+            ("subnet", Value::U64(subnet as u64)),
+            ("rows", Value::U64(rows as u64)),
+            ("cols", Value::U64(cols as u64)),
+        ],
+    );
+}
+
+/// Emits the `plan.cache_hit` telemetry counter.
+pub(crate) fn note_hit(kind: &'static str, subnet: usize) {
+    telemetry::counter(
+        "plan",
+        "plan.cache_hit",
+        1,
+        &[
+            ("layer", Value::Str(kind)),
+            ("subnet", Value::U64(subnet as u64)),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_survive_until_invalidated() {
+        let mut set: PlanSet<u32> = PlanSet::default();
+        assert_eq!(set.epoch(), 0);
+        assert!(set.full(1).is_none());
+        set.put_full(1, 42);
+        set.put_step(0, 7);
+        assert_eq!(set.full(1), Some(&42));
+        assert_eq!(set.step(0), Some(&7));
+        set.invalidate("test");
+        assert_eq!(set.epoch(), 1);
+        assert!(set.full(1).is_none());
+        assert!(set.step(0).is_none());
+    }
+
+    #[test]
+    fn stale_epoch_entries_are_never_served() {
+        // Even if a slot survived a clear (belt and braces), the stored
+        // epoch must match the current one.
+        let mut set: PlanSet<u32> = PlanSet::default();
+        set.put_full(0, 1);
+        set.epoch = set.epoch.wrapping_add(1); // bump without clearing
+        assert!(set.full(0).is_none());
+    }
+}

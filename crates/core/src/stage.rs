@@ -134,6 +134,34 @@ impl Stage {
         }
     }
 
+    /// Runs the stage forward for `subnet` on the packed inference path:
+    /// masked stages execute their compiled plan
+    /// ([`MaskedLinear::forward_packed`] /
+    /// [`MaskedConv2d::forward_packed`]), fixed stages run a plain
+    /// inference forward. Results equal [`Stage::forward`] with
+    /// `train == false` under `f32 ==` (see [`crate::plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn forward_packed(&mut self, x: &Tensor, subnet: usize) -> Result<Tensor> {
+        match self {
+            Stage::Linear(l) => l.forward_packed(x, subnet),
+            Stage::Conv(c) => c.forward_packed(x, subnet),
+            Stage::Fixed(f) => Ok(f.layer_mut().forward(x, false)?),
+        }
+    }
+
+    /// MAC operations the packed path actually executes for `subnet` (panel
+    /// extents; 0 for fixed stages).
+    pub fn packed_macs(&self, subnet: usize) -> u64 {
+        match self {
+            Stage::Linear(l) => l.packed_macs(subnet),
+            Stage::Conv(c) => c.packed_macs(subnet),
+            Stage::Fixed(_) => 0,
+        }
+    }
+
     /// Back-propagates through the stage (subnet context is whatever the last
     /// forward used).
     ///

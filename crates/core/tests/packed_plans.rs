@@ -1,0 +1,270 @@
+//! Packed execution plans: bit-identity with the masked reference path and
+//! cache-invalidation guarantees, exercised at the layer level.
+//!
+//! * `forward_packed` / `forward_step_packed` must equal the masked
+//!   `forward` / `forward_rows` / `forward_channels` under `f32 ==` for
+//!   arbitrary assignments, subnet indices, and batch sizes — including
+//!   right after a weight update invalidated the cached plans.
+//! * Every structural or weight mutator must advance the plan epoch, so a
+//!   stale plan is never served.
+
+use proptest::prelude::*;
+use stepping_core::{Assignment, MaskedConv2d, MaskedLinear, SteppingNetBuilder};
+use stepping_nn::optim::Sgd;
+use stepping_tensor::{init, Shape};
+
+const SUBNETS: usize = 3;
+const IN_F: usize = 10;
+const OUT_F: usize = 12;
+
+/// Linear layer with arbitrary out/in assignments (targets may hit the
+/// unused pool; legality is the masking rule, not a constructor invariant).
+fn random_linear(seed: u64, out_moves: &[(u8, u8)], in_moves: &[(u8, u8)]) -> MaskedLinear {
+    let mut l = MaskedLinear::new(IN_F, OUT_F, SUBNETS, &mut init::rng(seed));
+    for &(n, t) in out_moves {
+        l.move_out_neuron(n as usize % OUT_F, t as usize % (SUBNETS + 1))
+            .unwrap();
+    }
+    let mut ia = Assignment::new(IN_F, SUBNETS);
+    for &(n, t) in in_moves {
+        ia.move_neuron(n as usize % IN_F, t as usize % (SUBNETS + 1))
+            .unwrap();
+    }
+    l.set_in_assign(ia).unwrap();
+    l
+}
+
+const IN_C: usize = 3;
+const OUT_C: usize = 6;
+const EXTENT: usize = 6; // 3x3 kernel, stride 1, padding 1 -> 6x6 out
+
+fn random_conv(seed: u64, out_moves: &[(u8, u8)], in_moves: &[(u8, u8)]) -> MaskedConv2d {
+    let mut c = MaskedConv2d::new(
+        IN_C,
+        OUT_C,
+        3,
+        1,
+        1,
+        EXTENT * EXTENT,
+        SUBNETS,
+        &mut init::rng(seed),
+    );
+    for &(n, t) in out_moves {
+        c.move_out_neuron(n as usize % OUT_C, t as usize % (SUBNETS + 1))
+            .unwrap();
+    }
+    let mut ia = Assignment::new(IN_C, SUBNETS);
+    for &(n, t) in in_moves {
+        ia.move_neuron(n as usize % IN_C, t as usize % (SUBNETS + 1))
+            .unwrap();
+    }
+    c.set_in_assign(ia).unwrap();
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn linear_packed_bit_identical_to_masked(
+        out_moves in proptest::collection::vec((0u8..64, 0u8..8), 0..12),
+        in_moves in proptest::collection::vec((0u8..64, 0u8..8), 0..12),
+        seed in 0u64..1000,
+        batch in 1usize..5,
+    ) {
+        let mut l = random_linear(seed, &out_moves, &in_moves);
+        let x = init::uniform(
+            Shape::of(&[batch, IN_F]), -2.0, 2.0, &mut init::rng(seed ^ 1),
+        );
+        for s in 0..SUBNETS {
+            let masked = l.forward(&x, s, false).unwrap();
+            let packed = l.forward_packed(&x, s).unwrap();
+            prop_assert_eq!(&packed, &masked, "subnet {} full plan differs", s);
+            // second call serves the cached plan — must still match
+            let cached = l.forward_packed(&x, s).unwrap();
+            prop_assert_eq!(&cached, &masked, "subnet {} cached plan differs", s);
+
+            let rows = l.out_assign().members(s);
+            if !rows.is_empty() {
+                let reference = l.forward_rows(&x, &rows, s).unwrap();
+                let stepped = l.forward_step_packed(&x, s).unwrap();
+                prop_assert_eq!(&stepped, &reference, "subnet {} step plan differs", s);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_packed_matches_after_weight_update(
+        out_moves in proptest::collection::vec((0u8..64, 0u8..8), 0..12),
+        seed in 0u64..1000,
+        delta in -1.0f32..1.0,
+    ) {
+        let mut l = random_linear(seed, &out_moves, &[]);
+        let x = init::uniform(Shape::of(&[3, IN_F]), -1.0, 1.0, &mut init::rng(seed ^ 2));
+        // compile and serve plans for every subnet
+        for s in 0..SUBNETS {
+            let _ = l.forward_packed(&x, s).unwrap();
+            let _ = l.forward_step_packed(&x, s).unwrap();
+        }
+        let before = l.plan_epoch();
+        for w in l.weight_mut().value.data_mut() {
+            *w += delta;
+        }
+        prop_assert!(l.plan_epoch() != before, "weight_mut must advance the epoch");
+        for s in 0..SUBNETS {
+            let masked = l.forward(&x, s, false).unwrap();
+            let packed = l.forward_packed(&x, s).unwrap();
+            prop_assert_eq!(&packed, &masked, "stale full plan served for subnet {}", s);
+            let rows = l.out_assign().members(s);
+            if !rows.is_empty() {
+                let reference = l.forward_rows(&x, &rows, s).unwrap();
+                let stepped = l.forward_step_packed(&x, s).unwrap();
+                prop_assert_eq!(&stepped, &reference, "stale step plan served for subnet {}", s);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_packed_bit_identical_to_masked(
+        out_moves in proptest::collection::vec((0u8..64, 0u8..8), 0..8),
+        in_moves in proptest::collection::vec((0u8..64, 0u8..8), 0..8),
+        seed in 0u64..1000,
+        batch in 1usize..4,
+    ) {
+        let mut c = random_conv(seed, &out_moves, &in_moves);
+        let x = init::uniform(
+            Shape::of(&[batch, IN_C, EXTENT, EXTENT]), -2.0, 2.0, &mut init::rng(seed ^ 3),
+        );
+        for s in 0..SUBNETS {
+            let masked = c.forward(&x, s, false).unwrap();
+            let packed = c.forward_packed(&x, s).unwrap();
+            prop_assert_eq!(&packed, &masked, "subnet {} full plan differs", s);
+
+            let chans = c.out_assign().members(s);
+            if !chans.is_empty() {
+                let reference = c.forward_channels(&x, &chans, s).unwrap();
+                let stepped = c.forward_step_packed(&x, s).unwrap();
+                prop_assert_eq!(&stepped, &reference, "subnet {} step plan differs", s);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_packed_matches_after_weight_update(
+        out_moves in proptest::collection::vec((0u8..64, 0u8..8), 0..8),
+        seed in 0u64..1000,
+        delta in -1.0f32..1.0,
+    ) {
+        let mut c = random_conv(seed, &out_moves, &[]);
+        let x = init::uniform(
+            Shape::of(&[2, IN_C, EXTENT, EXTENT]), -1.0, 1.0, &mut init::rng(seed ^ 4),
+        );
+        for s in 0..SUBNETS {
+            let _ = c.forward_packed(&x, s).unwrap();
+        }
+        let before = c.plan_epoch();
+        for w in c.weight_mut().value.data_mut() {
+            *w += delta;
+        }
+        prop_assert!(c.plan_epoch() != before, "weight_mut must advance the epoch");
+        for s in 0..SUBNETS {
+            let masked = c.forward(&x, s, false).unwrap();
+            let packed = c.forward_packed(&x, s).unwrap();
+            prop_assert_eq!(&packed, &masked, "stale full plan served for subnet {}", s);
+        }
+    }
+}
+
+#[test]
+fn every_linear_mutator_advances_the_plan_epoch() {
+    let mut l = random_linear(7, &[(3, 1), (5, 2)], &[(1, 1)]);
+    let x = init::uniform(Shape::of(&[2, IN_F]), -1.0, 1.0, &mut init::rng(8));
+    let _ = l.forward_packed(&x, 1).unwrap();
+
+    let e0 = l.plan_epoch();
+    l.weight_mut();
+    let e1 = l.plan_epoch();
+    assert_ne!(e0, e1, "weight_mut");
+
+    l.params_mut();
+    let e2 = l.plan_epoch();
+    assert_ne!(e1, e2, "params_mut");
+
+    l.move_out_neuron(0, 2).unwrap();
+    let e3 = l.plan_epoch();
+    assert_ne!(e2, e3, "move_out_neuron");
+
+    l.set_in_assign(Assignment::new(IN_F, SUBNETS)).unwrap();
+    let e4 = l.plan_epoch();
+    assert_ne!(e3, e4, "set_in_assign");
+
+    // prune with an enormous threshold zeroes weights -> must invalidate
+    let pruned = l.prune(f32::INFINITY);
+    assert!(pruned > 0, "test needs at least one pruned weight");
+    let e5 = l.plan_epoch();
+    assert_ne!(e4, e5, "prune");
+}
+
+#[test]
+fn every_conv_mutator_advances_the_plan_epoch() {
+    let mut c = random_conv(9, &[(2, 1)], &[]);
+    let x = init::uniform(
+        Shape::of(&[1, IN_C, EXTENT, EXTENT]),
+        -1.0,
+        1.0,
+        &mut init::rng(10),
+    );
+    let _ = c.forward_packed(&x, 1).unwrap();
+
+    let e0 = c.plan_epoch();
+    c.weight_mut();
+    let e1 = c.plan_epoch();
+    assert_ne!(e0, e1, "weight_mut");
+
+    c.params_mut();
+    let e2 = c.plan_epoch();
+    assert_ne!(e1, e2, "params_mut");
+
+    c.move_out_neuron(0, 2).unwrap();
+    let e3 = c.plan_epoch();
+    assert_ne!(e2, e3, "move_out_neuron");
+
+    c.set_in_assign(Assignment::new(IN_C, SUBNETS)).unwrap();
+    let e4 = c.plan_epoch();
+    assert_ne!(e3, e4, "set_in_assign");
+
+    let pruned = c.prune(f32::INFINITY);
+    assert!(pruned > 0, "test needs at least one pruned weight");
+    let e5 = c.plan_epoch();
+    assert_ne!(e4, e5, "prune");
+}
+
+#[test]
+fn net_packed_forward_tracks_sgd_updates() {
+    let mut net = SteppingNetBuilder::new(Shape::of(&[6]), 2, 3)
+        .linear(9)
+        .relu()
+        .linear(7)
+        .relu()
+        .build(4)
+        .unwrap();
+    net.move_neuron(0, 2, 1).unwrap();
+    net.move_neuron(2, 4, 1).unwrap();
+    let x = init::uniform(Shape::of(&[3, 6]), -1.0, 1.0, &mut init::rng(11));
+    let dy = init::uniform(Shape::of(&[3, 4]), 0.1, 1.0, &mut init::rng(12));
+
+    let mut sgd = Sgd::new(0.05).unwrap();
+    for step in 0..3 {
+        // packed inference on warm plans for both subnets
+        for s in 0..2 {
+            let masked = net.clone().forward(&x, s, false).unwrap();
+            let packed = net.forward_packed(&x, s).unwrap();
+            assert_eq!(packed, masked, "step {step} subnet {s}");
+        }
+        // SGD update through params_for must invalidate stage + head plans
+        net.zero_grad();
+        let _ = net.forward(&x, 1, true).unwrap();
+        net.backward(&dy).unwrap();
+        sgd.step(&mut net.params_for(1).unwrap()).unwrap();
+    }
+}

@@ -36,6 +36,7 @@ pub mod conv;
 mod error;
 pub mod init;
 pub mod matmul;
+pub mod pack;
 pub mod reduce;
 mod shape;
 mod tensor;

@@ -186,7 +186,15 @@ fn nn_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: usize, n: usi
 }
 
 /// `C = A · Bᵀ`: both operands row-major over `k`, dot-product form.
-fn nt_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: usize, n: usize) {
+///
+/// `pub(crate)` so the [`pack`](crate::pack) module can run packed panels
+/// through the exact same loop (and therefore the exact same rounding) as
+/// [`matmul_bt`].
+pub(crate) fn nt_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: usize, n: usize) {
+    if m == 0 || n == 0 {
+        // packed panels may be degenerate (a subnet with no active outputs)
+        return;
+    }
     par_rows(od, m, n, m * ka * n, |row0, chunk| {
         let rows = chunk.len() / n;
         for r in 0..rows {

@@ -1,0 +1,290 @@
+//! Packed-panel kernels for compiled subnet execution plans.
+//!
+//! A SteppingNet subnet touches only a subset of each layer's neurons, yet
+//! the masked reference path multiplies full-width matrices whose inactive
+//! entries are zero. The helpers here let callers *gather* the surviving
+//! rows/columns into small contiguous panels, run the exact same NT
+//! dot-product kernel as [`matmul_bt`](crate::matmul::matmul_bt) on them,
+//! and *scatter* the result back to full-width buffers.
+//!
+//! ## Bit-identity contract
+//!
+//! [`gemm_nt_into`] calls the identical kernel (same loop structure, same
+//! accumulation order) as [`matmul_bt`](crate::matmul::matmul_bt). As long
+//! as the gathered indices are in ascending order, the surviving terms of
+//! each dot product are accumulated in the same order as the dense loop;
+//! the dropped terms are all exact `±0.0` products, which can only affect
+//! the *sign* of a zero accumulator, never a nonzero value. Results are
+//! therefore equal under `f32` comparison (`-0.0 == 0.0`) to the masked
+//! dense path — the property tests in `crates/core/tests` and `tests/`
+//! assert this across random assignments.
+//!
+//! All `*_into` entry points write into caller-owned `Vec<f32>` scratch
+//! buffers ([`PackScratch`]) so steady-state inference does zero heap
+//! allocation per forward once the buffers have grown to their high-water
+//! mark.
+
+use crate::conv::ConvGeometry;
+use crate::matmul::nt_kernel;
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Reusable scratch buffers for packed execution.
+///
+/// One `PackScratch` per layer (or per executor) amortises the gather /
+/// GEMM-output allocations: `Vec::resize` only reallocates when a call
+/// needs more capacity than any previous call.
+#[derive(Debug, Clone, Default)]
+pub struct PackScratch {
+    /// Gathered input panel (`[rows, packed_in]`), also used as the im2col
+    /// patch matrix for packed convolutions.
+    pub input: Vec<f32>,
+    /// Packed GEMM output (`[rows, packed_out]`).
+    pub out: Vec<f32>,
+}
+
+impl PackScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Gathers columns `idx` of a row-major `[rows, width]` matrix into `dst`
+/// (`[rows, idx.len()]`), reusing `dst`'s capacity.
+///
+/// # Panics
+///
+/// Panics if `src` is shorter than `rows * width` or any index is out of
+/// bounds.
+pub fn gather_columns(src: &[f32], rows: usize, width: usize, idx: &[usize], dst: &mut Vec<f32>) {
+    let k = idx.len();
+    dst.clear();
+    dst.resize(rows * k, 0.0);
+    for r in 0..rows {
+        let srow = &src[r * width..(r + 1) * width];
+        let drow = &mut dst[r * k..(r + 1) * k];
+        for (d, &i) in drow.iter_mut().zip(idx.iter()) {
+            *d = srow[i];
+        }
+    }
+}
+
+/// Scatters a packed `[rows, idx.len()]` matrix into columns `idx` of a
+/// row-major `[rows, width]` destination. Untouched destination entries are
+/// left as-is (callers pass a zeroed buffer to preserve exact-zero inactive
+/// outputs).
+///
+/// # Panics
+///
+/// Panics if the slices are shorter than implied or any index is out of
+/// bounds.
+pub fn scatter_columns(src: &[f32], rows: usize, idx: &[usize], dst: &mut [f32], width: usize) {
+    let k = idx.len();
+    for r in 0..rows {
+        let srow = &src[r * k..(r + 1) * k];
+        let drow = &mut dst[r * width..(r + 1) * width];
+        for (&v, &i) in srow.iter().zip(idx.iter()) {
+            drow[i] = v;
+        }
+    }
+}
+
+/// `C = A · Bᵀ` on raw packed panels, writing into a reusable buffer.
+///
+/// `a` is `[m, k]`, `b` is `[n, k]`, and `out` is resized to `[m, n]`. Runs
+/// the exact kernel behind [`matmul_bt`](crate::matmul::matmul_bt), so the
+/// per-element accumulation order matches the dense path bit for bit.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is shorter than its implied extent.
+pub fn gemm_nt_into(a: &[f32], b: &[f32], out: &mut Vec<f32>, m: usize, k: usize, n: usize) {
+    out.clear();
+    out.resize(m * n, 0.0);
+    gemm_nt_slice(a, b, out, m, k, n);
+}
+
+/// [`gemm_nt_into`] writing into a caller-sized slice (`out.len() == m * n`)
+/// — used when the result lands directly in a pre-allocated [`Tensor`].
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn gemm_nt_slice(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "packed A panel too short");
+    assert!(b.len() >= n * k, "packed B panel too short");
+    assert_eq!(out.len(), m * n, "packed output extent mismatch");
+    nt_kernel(&a[..m * k], &b[..n * k], out, m, k, n);
+}
+
+/// Unfolds the listed input channels of an NCHW tensor into an `im2col`
+/// patch matrix `[batch * out_h * out_w, channels.len() * kh * kw]`, reusing
+/// `dst`'s capacity.
+///
+/// Patch entries follow the same `[channel][ky][kx]` order as
+/// [`im2col`](crate::conv::im2col) restricted to `channels`, with
+/// zero-padded positions left at `0.0` — so a GEMM against a weight panel
+/// gathered over the same channel list reproduces the dense convolution's
+/// surviving terms in order.
+///
+/// # Errors
+///
+/// Returns a shape error when the input is not `[n, c, h, w]` matching
+/// `geom`, or when a channel index is out of range.
+pub fn im2col_channels_into(
+    input: &Tensor,
+    geom: &ConvGeometry,
+    channels: &[usize],
+    dst: &mut Vec<f32>,
+) -> Result<()> {
+    let dims = input.shape().dims();
+    if dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: dims.len(),
+        });
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if c != geom.in_channels || h != geom.in_h || w != geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            expected: Shape::of(&[n, geom.in_channels, geom.in_h, geom.in_w]),
+            actual: input.shape().clone(),
+        });
+    }
+    if let Some(&bad) = channels.iter().find(|&&ch| ch >= c) {
+        return Err(TensorError::InvalidGeometry(format!(
+            "channel index {bad} out of range for {c} input channels"
+        )));
+    }
+    let window = geom.kernel_h * geom.kernel_w;
+    let patch = channels.len() * window;
+    let rows = n * geom.positions();
+    dst.clear();
+    dst.resize(rows * patch, 0.0);
+    let src = input.data();
+    let pad = geom.padding as isize;
+    for b in 0..n {
+        for oy in 0..geom.out_h {
+            for ox in 0..geom.out_w {
+                let row = (b * geom.positions() + oy * geom.out_w + ox) * patch;
+                let iy0 = (oy * geom.stride) as isize - pad;
+                let ix0 = (ox * geom.stride) as isize - pad;
+                let mut col = 0;
+                for &ch in channels {
+                    let base = (b * c + ch) * h * w;
+                    for ky in 0..geom.kernel_h {
+                        let iy = iy0 + ky as isize;
+                        for kx in 0..geom.kernel_w {
+                            let ix = ix0 + kx as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                dst[row + col] = src[base + iy as usize * w + ix as usize];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Scatters a packed position-major matrix `[batch * positions,
+/// channels.len()]` into the listed channels of a zero-initialised NCHW
+/// buffer `[batch, c_full, out_h, out_w]` (`positions = out_h * out_w`).
+///
+/// This is the packed analogue of the dense position-major → NCHW
+/// transpose: `dst[(b * c_full + ch) * positions + p] = src[(b * positions
+/// + p) * channels.len() + ci]`.
+///
+/// # Panics
+///
+/// Panics if the slices are shorter than implied or any channel index is
+/// `>= c_full`.
+pub fn scatter_mat_to_nchw(
+    src: &[f32],
+    batch: usize,
+    positions: usize,
+    channels: &[usize],
+    c_full: usize,
+    dst: &mut [f32],
+) {
+    let k = channels.len();
+    for b in 0..batch {
+        for p in 0..positions {
+            let srow = &src[(b * positions + p) * k..(b * positions + p + 1) * k];
+            for (ci, &ch) in channels.iter().enumerate() {
+                dst[(b * c_full + ch) * positions + p] = srow[ci];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::im2col;
+    use crate::init;
+    use crate::matmul::matmul_bt;
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut packed = Vec::new();
+        gather_columns(&src, 2, 3, &[0, 2], &mut packed);
+        assert_eq!(packed, vec![1.0, 3.0, 4.0, 6.0]);
+        let mut dst = vec![0.0; 6];
+        scatter_columns(&packed, 2, &[0, 2], &mut dst, 3);
+        assert_eq!(dst, vec![1.0, 0.0, 3.0, 4.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn gemm_nt_into_matches_matmul_bt() {
+        let a = init::uniform(Shape::of(&[3, 5]), -1.0, 1.0, &mut init::rng(7));
+        let b = init::uniform(Shape::of(&[4, 5]), -1.0, 1.0, &mut init::rng(8));
+        let dense = matmul_bt(&a, &b).unwrap();
+        let mut out = Vec::new();
+        gemm_nt_into(a.data(), b.data(), &mut out, 3, 5, 4);
+        assert_eq!(out.as_slice(), dense.data());
+    }
+
+    #[test]
+    fn im2col_channels_matches_dense_subset() {
+        let g = ConvGeometry::new(3, 5, 4, 3, 3, 1, 1).unwrap();
+        let x = init::uniform(Shape::of(&[2, 3, 5, 4]), -1.0, 1.0, &mut init::rng(9));
+        let dense = im2col(&x, &g).unwrap();
+        let mut packed = Vec::new();
+        im2col_channels_into(&x, &g, &[0, 2], &mut packed).unwrap();
+        let window = 9;
+        let rows = 2 * g.positions();
+        for r in 0..rows {
+            for (ci, &ch) in [0usize, 2].iter().enumerate() {
+                for k in 0..window {
+                    assert_eq!(
+                        packed[r * 2 * window + ci * window + k],
+                        dense.data()[r * g.patch_len() + ch * window + k]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_channels_validates() {
+        let g = ConvGeometry::new(2, 4, 4, 3, 3, 1, 1).unwrap();
+        let x = Tensor::zeros(Shape::of(&[1, 2, 4, 4]));
+        let mut dst = Vec::new();
+        assert!(im2col_channels_into(&x, &g, &[2], &mut dst).is_err());
+        let wrong = Tensor::zeros(Shape::of(&[1, 3, 4, 4]));
+        assert!(im2col_channels_into(&wrong, &g, &[0], &mut dst).is_err());
+    }
+
+    #[test]
+    fn scatter_nchw_places_channels() {
+        // 1 batch, 2 positions, scatter channels [1] of 3 total.
+        let src = [7.0, 8.0];
+        let mut dst = vec![0.0; 6];
+        scatter_mat_to_nchw(&src, 1, 2, &[1], 3, &mut dst);
+        assert_eq!(dst, vec![0.0, 0.0, 7.0, 8.0, 0.0, 0.0]);
+    }
+}

@@ -33,4 +33,9 @@ cargo test -q -p stepping-serve
 echo "==> stepping-serve release stress"
 cargo test -q --release -p stepping-serve --test stress
 
+# Packed-plan smoke run: asserts packed/masked logits bit-identity and the
+# >=2x subnet-0 speedup on the bench MLP, and refreshes BENCH_plans.json.
+echo "==> packed-plan bench smoke (plans)"
+STEPPING_PLANS_REPS=5 cargo run -q --release -p stepping-bench --bin plans
+
 echo "check.sh: all gates passed"
