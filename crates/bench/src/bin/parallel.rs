@@ -1,0 +1,233 @@
+//! Data-parallel training engine benchmark: construction-epoch throughput
+//! and the engine's bit-identity guarantee.
+//!
+//! On the Table-I-style MLP (256-512-512-256-10, regular assignment), runs
+//! the construction inner loop (zero-grad / forward / loss / backward /
+//! merge / SGD step over a fixed batch schedule) with the canonical shard
+//! geometry (`shard_rows = 8`) at 1 worker and at 4 workers:
+//!
+//! 1. **bit-identity** (always asserted): after the same epochs, every
+//!    trained weight is identical under `f32 ==` between the two runs —
+//!    the thread count changes scheduling only;
+//! 2. **throughput**: median epoch wall time and the 4-worker speedup. The
+//!    `>= 1.5x` acceptance assertion is active only when the machine
+//!    actually has >= 4 cores (or `STEPPING_PARALLEL_ASSERT=1` forces it);
+//!    the JSON records the core count and whether the gate was live.
+//!
+//! Results go to `results/BENCH_parallel.json`.
+//!
+//! Run with `cargo run --release -p stepping-bench --bin parallel`.
+//! Set `STEPPING_PARALLEL_REPS` to change the timing repetitions (default
+//! 5; `scripts/check.sh` uses a smaller smoke value).
+
+use std::fs;
+use std::time::Instant;
+
+use stepping_baselines::regular_assign;
+use stepping_bench::observe::{self, progress, report_text};
+use stepping_bench::print_table;
+use stepping_core::parallel::{BatchLoss, ParallelRunner};
+use stepping_core::{ParallelConfig, SteppingNet};
+use stepping_nn::optim::Sgd;
+use stepping_tensor::{init, Shape, Tensor};
+
+/// Rows per training batch.
+const BATCH: usize = 32;
+/// Batches per "construction epoch" (one timed unit of work).
+const BATCHES: usize = 12;
+/// Worker count of the parallel leg.
+const THREADS: usize = 4;
+/// Canonical shard geometry shared by both legs.
+const SHARD_ROWS: usize = 8;
+/// Epochs run for the bit-identity comparison.
+const IDENTITY_EPOCHS: usize = 2;
+
+fn reps() -> usize {
+    std::env::var("STEPPING_PARALLEL_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+/// Table-I-style MLP, the model of the acceptance assertion.
+fn mlp() -> SteppingNet {
+    let mut net = stepping_core::SteppingNetBuilder::new(Shape::of(&[256]), 4, 7)
+        .linear(512)
+        .relu()
+        .linear(512)
+        .relu()
+        .linear(256)
+        .relu()
+        .build(10)
+        .expect("build mlp");
+    regular_assign(&mut net, &[0.25, 0.5, 0.75, 1.0]).expect("assign mlp");
+    net
+}
+
+/// A fixed, deterministic batch schedule (inputs + labels).
+fn batches() -> Vec<(Tensor, Vec<usize>)> {
+    (0..BATCHES)
+        .map(|b| {
+            let x = init::uniform(
+                Shape::of(&[BATCH, 256]),
+                -1.0,
+                1.0,
+                &mut init::rng(100 + b as u64),
+            );
+            let y: Vec<usize> = (0..BATCH).map(|i| (i * 3 + b) % 10).collect();
+            (x, y)
+        })
+        .collect()
+}
+
+/// One construction epoch: every batch through grad accumulation + SGD.
+fn run_epoch(
+    net: &mut SteppingNet,
+    runner: &ParallelRunner,
+    sgd: &mut Sgd,
+    schedule: &[(Tensor, Vec<usize>)],
+) -> f32 {
+    let mut total = 0.0;
+    for (x, y) in schedule {
+        let out = runner
+            .train_batch(net, x, y, 0, BatchLoss::CrossEntropy, false)
+            .expect("train batch");
+        sgd.step(&mut net.params_for(0).expect("params"))
+            .expect("sgd step");
+        total += out.loss;
+    }
+    total
+}
+
+/// All trained weights of subnet 0 as raw bits.
+fn weight_bits(net: &mut SteppingNet) -> Vec<Vec<u32>> {
+    net.params_for(0)
+        .expect("params")
+        .iter()
+        .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn config(threads: usize) -> ParallelConfig {
+    ParallelConfig {
+        threads,
+        shard_rows: SHARD_ROWS,
+        min_rows: 0,
+    }
+}
+
+fn main() {
+    observe::init("parallel");
+    let reps = reps();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let assert_forced = std::env::var("STEPPING_PARALLEL_ASSERT").as_deref() == Ok("1");
+    let assert_active = cores >= THREADS || assert_forced;
+    progress(&format!(
+        "batch = {BATCH}, batches/epoch = {BATCHES}, shard_rows = {SHARD_ROWS}, \
+         reps = {reps}, cores = {cores}"
+    ));
+
+    let schedule = batches();
+    let seq_runner = ParallelRunner::new(config(1), "construction").expect("seq runner");
+    let par_runner = ParallelRunner::new(config(THREADS), "construction").expect("par runner");
+
+    // --- 1. bit-identity: same canonical shards, different thread counts ---
+    let base = mlp();
+    let mut seq_net = base.clone();
+    let mut par_net = base.clone();
+    let mut seq_losses = Vec::new();
+    let mut par_losses = Vec::new();
+    {
+        let mut sgd = Sgd::new(0.05).expect("sgd");
+        for _ in 0..IDENTITY_EPOCHS {
+            seq_losses.push(run_epoch(&mut seq_net, &seq_runner, &mut sgd, &schedule));
+        }
+        let mut sgd = Sgd::new(0.05).expect("sgd");
+        for _ in 0..IDENTITY_EPOCHS {
+            par_losses.push(run_epoch(&mut par_net, &par_runner, &mut sgd, &schedule));
+        }
+    }
+    let seq_bits: Vec<u32> = seq_losses.iter().map(|l| l.to_bits()).collect();
+    let par_bits: Vec<u32> = par_losses.iter().map(|l| l.to_bits()).collect();
+    assert_eq!(
+        seq_bits, par_bits,
+        "acceptance: epoch losses must be bit-identical across thread counts"
+    );
+    assert_eq!(
+        weight_bits(&mut seq_net),
+        weight_bits(&mut par_net),
+        "acceptance: trained weights must be bit-identical across thread counts"
+    );
+    report_text(&format!(
+        "bit-identity: {IDENTITY_EPOCHS} epochs x {BATCHES} batches, 1 vs {THREADS} workers \
+         — all weights and losses identical under f32 == (asserted)"
+    ));
+
+    // --- 2. throughput: median epoch wall time per leg ---
+    let time_epochs = |runner: &ParallelRunner| -> f64 {
+        let mut net = base.clone();
+        let mut sgd = Sgd::new(0.05).expect("sgd");
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                let _ = run_epoch(&mut net, runner, &mut sgd, &schedule);
+                t.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+    let seq_us = time_epochs(&seq_runner);
+    let par_us = time_epochs(&par_runner);
+    let speedup = seq_us / par_us;
+
+    report_text("\nPARALLEL: construction-epoch throughput, Table-I MLP (256-512-512-256-10)");
+    print_table(
+        &["leg", "threads", "shard_rows", "epoch us", "speedup"],
+        &[
+            vec![
+                "sequential".into(),
+                "1".into(),
+                SHARD_ROWS.to_string(),
+                format!("{seq_us:.0}"),
+                "1.00x".into(),
+            ],
+            vec![
+                "parallel".into(),
+                THREADS.to_string(),
+                SHARD_ROWS.to_string(),
+                format!("{par_us:.0}"),
+                format!("{speedup:.2}x"),
+            ],
+        ],
+    );
+
+    if assert_active {
+        assert!(
+            speedup >= 1.5,
+            "acceptance: {THREADS}-worker construction-epoch speedup {speedup:.2}x < 1.5x \
+             (cores = {cores})"
+        );
+        report_text(&format!(
+            "acceptance: speedup {speedup:.2}x >= 1.5x at {THREADS} workers (gate active)"
+        ));
+    } else {
+        report_text(&format!(
+            "speedup gate skipped: {cores} core(s) < {THREADS} workers \
+             (set STEPPING_PARALLEL_ASSERT=1 to force)"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"batch\": {BATCH},\n  \"batches_per_epoch\": {BATCHES},\n  \
+         \"shard_rows\": {SHARD_ROWS},\n  \"threads\": {THREADS},\n  \"reps\": {reps},\n  \
+         \"cores\": {cores},\n  \"assert_active\": {assert_active},\n  \
+         \"bit_identical\": true,\n  \"identity_epochs\": {IDENTITY_EPOCHS},\n  \
+         \"seq_epoch_us\": {seq_us:.1},\n  \"par_epoch_us\": {par_us:.1},\n  \
+         \"speedup\": {speedup:.3}\n}}\n"
+    );
+    fs::create_dir_all("results").expect("results dir");
+    fs::write("results/BENCH_parallel.json", json).expect("write BENCH_parallel.json");
+    report_text("wrote results/BENCH_parallel.json");
+    observe::finish();
+}

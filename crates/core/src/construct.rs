@@ -23,8 +23,10 @@
 //! rounds).
 
 use stepping_data::{BatchIter, Dataset, Split};
-use stepping_nn::{loss, optim::Sgd};
+use stepping_exec::ParallelConfig;
+use stepping_nn::optim::Sgd;
 
+use crate::parallel::{BatchLoss, ParallelRunner};
 use crate::telemetry::{self, Value};
 use crate::{Result, SteppingError, SteppingNet};
 
@@ -79,6 +81,9 @@ pub struct ConstructionOptions {
     pub criterion: SelectionCriterion,
     /// Shuffling seed.
     pub seed: u64,
+    /// Data-parallel execution of the per-iteration training rounds
+    /// (defaults to the sequential reference).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for ConstructionOptions {
@@ -97,6 +102,7 @@ impl Default for ConstructionOptions {
             warm_start_heads: true,
             criterion: SelectionCriterion::GradientImportance,
             seed: 0,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -211,6 +217,7 @@ fn train_round(
     data: &dyn Dataset,
     opts: &ConstructionOptions,
     iteration: usize,
+    runner: &ParallelRunner,
 ) -> Result<Vec<f32>> {
     let n = net.subnet_count();
     let mut losses = vec![0.0f32; n];
@@ -229,13 +236,10 @@ fn train_round(
                 break;
             }
             let (x, y) = batch?;
-            net.zero_grad();
-            let logits = net.forward(&x, k, true)?;
-            let (l, dlogits) = loss::cross_entropy(&logits, &y).map_err(SteppingError::Nn)?;
-            net.backward(&dlogits)?;
+            let out = runner.train_batch(net, &x, &y, k, BatchLoss::CrossEntropy, false)?;
             sgd.step(&mut net.params_for(k)?)
                 .map_err(SteppingError::Nn)?;
-            total += l;
+            total += out.loss;
             count += 1;
         }
         *loss = total / count.max(1) as f32;
@@ -391,6 +395,7 @@ pub fn construct(
 ) -> Result<ConstructionReport> {
     validate(net, opts)?;
     let run_span = telemetry::span("construction", "construct.run");
+    let runner = ParallelRunner::new(opts.parallel, "construction")?;
     if opts.warm_start_heads {
         net.warm_start_heads();
     }
@@ -435,7 +440,7 @@ pub fn construct(
         let iter_span = telemetry::span("construction", "construct.iteration");
         let zeroed_before = net.zeroed_weight_masks();
         net.reset_importance();
-        let train_loss = train_round(net, data, opts, it)?;
+        let train_loss = train_round(net, data, opts, it, &runner)?;
         let iter_pruned = net.prune(opts.prune_threshold);
         pruned_weights += iter_pruned;
         let revived = net.count_revived(&zeroed_before, opts.prune_threshold);

@@ -7,10 +7,12 @@
 //! active so larger subnets don't destabilise smaller ones.
 
 use stepping_data::{BatchIter, Dataset, Split};
+use stepping_exec::ParallelConfig;
+use stepping_nn::optim::Sgd;
 use stepping_nn::schedule::LrSchedule;
-use stepping_nn::{loss, optim::Sgd};
 use stepping_tensor::reduce;
 
+use crate::parallel::{BatchLoss, ParallelRunner};
 use crate::telemetry::{self, Value};
 use crate::{Result, SteppingError, SteppingNet};
 
@@ -36,6 +38,8 @@ pub struct DistillOptions {
     pub schedule: LrSchedule,
     /// Shuffling seed.
     pub seed: u64,
+    /// Data-parallel execution (defaults to the sequential reference).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for DistillOptions {
@@ -50,6 +54,7 @@ impl Default for DistillOptions {
             use_distillation: true,
             schedule: LrSchedule::Constant,
             seed: 0,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -114,6 +119,7 @@ pub fn distill(
     }
     let n = net.subnet_count();
     let run_span = telemetry::span("training", "distill.run");
+    let runner = ParallelRunner::new(opts.parallel, "training")?;
     let mut sgd = Sgd::new(opts.lr).map_err(SteppingError::Nn)?;
     let mut losses = Vec::with_capacity(opts.epochs);
     for epoch in 0..opts.epochs {
@@ -141,21 +147,20 @@ pub fn distill(
                 } else {
                     net.clear_lr_suppression();
                 }
-                net.zero_grad();
-                let logits = net.forward(&x, k, true)?;
-                if telemetry::enabled() {
-                    let (ce, _) = loss::cross_entropy(&logits, &y).map_err(SteppingError::Nn)?;
+                let batch_loss = match &teacher_probs {
+                    Some(tp) => BatchLoss::Distill {
+                        teacher_probs: tp,
+                        gamma: opts.gamma,
+                    },
+                    None => BatchLoss::CrossEntropy,
+                };
+                let out = runner.train_batch(net, &x, &y, k, batch_loss, telemetry::enabled())?;
+                if let Some(ce) = out.ce {
                     ce_sums[k] += f64::from(ce);
                 }
-                let (l, dlogits) = match &teacher_probs {
-                    Some(tp) => loss::distillation(&logits, tp, &y, opts.gamma)
-                        .map_err(SteppingError::Nn)?,
-                    None => loss::cross_entropy(&logits, &y).map_err(SteppingError::Nn)?,
-                };
-                net.backward(&dlogits)?;
                 sgd.step(&mut net.params_for(k)?)
                     .map_err(SteppingError::Nn)?;
-                epoch_losses[k] += l;
+                epoch_losses[k] += out.loss;
                 batch_counts[k] += 1;
             }
         }

@@ -29,6 +29,9 @@ pub enum SteppingError {
     /// The incremental executor was driven out of order
     /// (e.g. `expand` before `begin`).
     ExecutorState(String),
+    /// A parallel worker failed: a job panicked inside the execution pool or
+    /// the pool shut down mid-run. Carries the pool's description.
+    Worker(String),
 }
 
 impl fmt::Display for SteppingError {
@@ -43,6 +46,7 @@ impl fmt::Display for SteppingError {
             SteppingError::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
             SteppingError::BadConfig(msg) => write!(f, "bad config: {msg}"),
             SteppingError::ExecutorState(msg) => write!(f, "executor state: {msg}"),
+            SteppingError::Worker(msg) => write!(f, "worker error: {msg}"),
         }
     }
 }
@@ -76,6 +80,12 @@ impl From<DataError> for SteppingError {
     }
 }
 
+impl From<stepping_exec::PoolError> for SteppingError {
+    fn from(e: stepping_exec::PoolError) -> Self {
+        SteppingError::Worker(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +104,8 @@ mod tests {
         };
         assert!(e.to_string().contains('4'));
         assert!(std::error::Error::source(&e).is_none());
+        let e: SteppingError = stepping_exec::PoolError::Panicked("boom".into()).into();
+        assert!(matches!(&e, SteppingError::Worker(m) if m.contains("boom")));
+        assert!(e.to_string().starts_with("worker"));
     }
 }

@@ -1,6 +1,16 @@
 //! Accuracy evaluation of stepping networks.
+//!
+//! The parallel helpers ([`evaluate_parallel`], [`evaluate_all`]) run on the
+//! shared `stepping-exec` worker pool instead of ad-hoc scoped threads:
+//! worker panics surface as typed [`SteppingError::Worker`] values rather
+//! than aborting via `JoinHandle::join().expect(..)`. Because pool jobs are
+//! `'static`, the evaluated batches are materialised on the calling thread
+//! and shipped to the workers as owned tensors.
+
+use std::sync::Arc;
 
 use stepping_data::{BatchIter, Dataset, Split};
+use stepping_exec::{ExecPool, Job};
 use stepping_nn::metrics;
 
 use crate::{Result, SteppingError, SteppingNet};
@@ -57,13 +67,15 @@ pub fn evaluate(
 }
 
 /// Top-1 accuracy of `subnet` on a split, sharded across `threads` worker
-/// threads (each works on a cloned network, so batch-norm inference caches
-/// don't interfere). Produces the same value as [`evaluate`].
+/// threads of a `stepping-exec` pool (each job works on a cloned network, so
+/// batch-norm inference caches don't interfere). Produces the same value as
+/// [`evaluate`].
 ///
 /// # Errors
 ///
 /// Returns [`SteppingError::BadConfig`] for zero `threads`/`batch_size` or
-/// an empty split, and propagates forward errors from any worker.
+/// an empty split, propagates forward errors from any worker, and reports a
+/// worker panic as [`SteppingError::Worker`].
 pub fn evaluate_parallel(
     net: &SteppingNet,
     data: &dyn Dataset,
@@ -83,41 +95,43 @@ pub fn evaluate_parallel(
             "cannot evaluate on an empty split".into(),
         ));
     }
+    let master = Arc::new(net.clone());
     let shard = len.div_ceil(threads);
-    let results: Vec<Result<(usize, usize)>> = std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * shard;
-            let hi = ((t + 1) * shard).min(len);
-            if lo >= hi {
-                continue;
-            }
-            let mut worker = net.clone();
-            handles.push(s.spawn(move || -> Result<(usize, usize)> {
-                let mut correct = 0usize;
-                let mut total = 0usize;
-                let mut i = lo;
-                while i < hi {
-                    let end = (i + batch_size).min(hi);
-                    let idx: Vec<usize> = (i..end).collect();
-                    let (x, y) = data.batch(split, &idx)?;
-                    let logits = worker.forward(&x, subnet, false)?;
-                    let preds = metrics::predictions(&logits).map_err(SteppingError::Nn)?;
-                    correct += preds.iter().zip(y.iter()).filter(|(p, t)| p == t).count();
-                    total += y.len();
-                    i = end;
-                }
-                Ok((correct, total))
-            }));
+    let pool = ExecPool::new(threads);
+    let mut jobs: Vec<Job<Result<(usize, usize)>>> = Vec::new();
+    for t in 0..threads {
+        let lo = t * shard;
+        let hi = ((t + 1) * shard).min(len);
+        if lo >= hi {
+            continue;
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("eval worker panicked"))
-            .collect()
-    });
+        // Materialise this shard's batches on the calling thread: pool jobs
+        // are 'static and must not borrow the dataset.
+        let mut batches = Vec::with_capacity((hi - lo).div_ceil(batch_size));
+        let mut i = lo;
+        while i < hi {
+            let end = (i + batch_size).min(hi);
+            let idx: Vec<usize> = (i..end).collect();
+            batches.push(data.batch(split, &idx)?);
+            i = end;
+        }
+        let m = Arc::clone(&master);
+        jobs.push(Box::new(move || -> Result<(usize, usize)> {
+            let mut worker = (*m).clone();
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for (x, y) in &batches {
+                let logits = worker.forward(x, subnet, false)?;
+                let preds = metrics::predictions(&logits).map_err(SteppingError::Nn)?;
+                correct += preds.iter().zip(y.iter()).filter(|(p, t)| p == t).count();
+                total += y.len();
+            }
+            Ok((correct, total))
+        }));
+    }
     let mut correct = 0usize;
     let mut total = 0usize;
-    for r in results {
+    for r in pool.run(jobs)? {
         let (c, t) = r?;
         correct += c;
         total += t;
@@ -125,20 +139,63 @@ pub fn evaluate_parallel(
     Ok(correct as f32 / total as f32)
 }
 
-/// Accuracy of every subnet on a split, smallest first.
+/// Accuracy of every subnet on a split, smallest first. Subnets are
+/// evaluated as independent jobs on a `stepping-exec` pool (one worker per
+/// subnet, capped by the machine's available parallelism); each value is
+/// identical to a sequential [`evaluate`] call because every job clones the
+/// network and replays the same deterministic batch order.
 ///
 /// # Errors
 ///
-/// Propagates [`evaluate`] errors.
+/// Propagates [`evaluate`] errors; reports a worker panic as
+/// [`SteppingError::Worker`].
 pub fn evaluate_all(
     net: &mut SteppingNet,
     data: &dyn Dataset,
     split: Split,
     batch_size: usize,
 ) -> Result<Vec<f32>> {
-    (0..net.subnet_count())
-        .map(|k| evaluate(net, data, split, k, batch_size))
-        .collect()
+    if batch_size == 0 {
+        return Err(SteppingError::BadConfig(
+            "batch size must be nonzero".into(),
+        ));
+    }
+    if data.is_empty(split) {
+        return Err(SteppingError::BadConfig(
+            "cannot evaluate on an empty split".into(),
+        ));
+    }
+    // Materialise the split's batches once (deterministic epoch/seed-0
+    // order, as in `evaluate`) and share them read-only across the jobs.
+    let mut batches = Vec::new();
+    for batch in BatchIter::new(data, split, batch_size, 0, 0) {
+        batches.push(batch?);
+    }
+    let batches = Arc::new(batches);
+    let master = Arc::new(net.clone());
+    let subnets = net.subnet_count();
+    let workers =
+        subnets.min(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
+    let pool = ExecPool::new(workers);
+    let jobs: Vec<Job<Result<f32>>> = (0..subnets)
+        .map(|k| {
+            let m = Arc::clone(&master);
+            let batches = Arc::clone(&batches);
+            Box::new(move || -> Result<f32> {
+                let mut worker = (*m).clone();
+                let mut correct = 0.0f64;
+                let mut total = 0usize;
+                for (x, y) in batches.iter() {
+                    let logits = worker.forward(x, k, false)?;
+                    let acc = metrics::accuracy(&logits, y).map_err(SteppingError::Nn)?;
+                    correct += acc as f64 * y.len() as f64;
+                    total += y.len();
+                }
+                Ok((correct / total as f64) as f32)
+            }) as Job<Result<f32>>
+        })
+        .collect();
+    pool.run(jobs)?.into_iter().collect()
 }
 
 #[cfg(test)]

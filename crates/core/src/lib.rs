@@ -52,6 +52,7 @@ mod layout;
 mod masked_conv;
 mod masked_linear;
 mod net;
+pub mod parallel;
 mod plan;
 mod stage;
 pub mod telemetry;
@@ -68,7 +69,9 @@ pub use incremental::{ExpandStep, IncrementalExecutor};
 pub use masked_conv::MaskedConv2d;
 pub use masked_linear::MaskedLinear;
 pub use net::{SteppingNet, SteppingNetBuilder};
+pub use parallel::{BatchLoss, BatchOutcome, ParallelRunner};
 pub use stage::{FixedStage, Stage};
+pub use stepping_exec::ParallelConfig;
 
 /// Convenience result alias used across this crate.
 pub type Result<T> = std::result::Result<T, SteppingError>;

@@ -705,6 +705,33 @@ impl MaskedConv2d {
         self.importance.fill(0.0);
     }
 
+    /// The raw accumulated importance buffer, flattened
+    /// `[subnet][out_channels]` — exported by replica workers so shard
+    /// contributions can be merged.
+    pub fn importance_values(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Adds a merged importance delta (same flattened layout) into this
+    /// layer's accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::InvalidStructure`] on length mismatch.
+    pub fn add_importance_values(&mut self, delta: &[f64]) -> Result<()> {
+        if delta.len() != self.importance.len() {
+            return Err(SteppingError::InvalidStructure(format!(
+                "importance delta of {} entries for layer with {}",
+                delta.len(),
+                self.importance.len()
+            )));
+        }
+        for (a, d) in self.importance.iter_mut().zip(delta.iter()) {
+            *a += d;
+        }
+        Ok(())
+    }
+
     /// Sum of |w| over filter `oc`'s legal incoming kernel weights — the
     /// naive magnitude criterion (ablation baseline; see
     /// [`MaskedLinear::magnitude_score`](crate::MaskedLinear::magnitude_score)).

@@ -230,6 +230,32 @@ impl MaskedLinear {
     /// Returns an error for a subnet index out of range or an input of the
     /// wrong width.
     pub fn forward_packed(&mut self, input: &Tensor, subnet: usize) -> Result<Tensor> {
+        self.packed_pass(input, subnet)
+    }
+
+    /// Packed forward pass that **does** populate the backward cache, so a
+    /// training step can route through the compiled panel GEMM and still
+    /// backpropagate exactly as after a masked forward. Legal because the
+    /// packed result equals the masked result under `f32 ==` (the plan
+    /// bit-identity guarantee), so the cached `(input, z)` pair — and every
+    /// gradient derived from it — is bit-unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a subnet index out of range or an input of the
+    /// wrong width.
+    pub fn forward_train_packed(&mut self, input: &Tensor, subnet: usize) -> Result<Tensor> {
+        let z = self.packed_pass(input, subnet)?;
+        self.cached = Some(CachedForward {
+            input: input.clone(),
+            z: z.clone(),
+            subnet,
+        });
+        Ok(z)
+    }
+
+    /// Shared packed full pass (no cache bookkeeping).
+    fn packed_pass(&mut self, input: &Tensor, subnet: usize) -> Result<Tensor> {
         self.check_subnet(subnet)?;
         let i_n = self.in_features();
         if input.shape().rank() != 2 || input.shape().dims()[1] != i_n {
@@ -605,6 +631,32 @@ impl MaskedLinear {
     /// iteration, after the structure changed).
     pub fn reset_importance(&mut self) {
         self.importance.fill(0.0);
+    }
+
+    /// The raw accumulated importance buffer, flattened `[subnet][out]` —
+    /// exported by replica workers so shard contributions can be merged.
+    pub fn importance_values(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Adds a merged importance delta (same flattened layout) into this
+    /// layer's accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::InvalidStructure`] on length mismatch.
+    pub fn add_importance_values(&mut self, delta: &[f64]) -> Result<()> {
+        if delta.len() != self.importance.len() {
+            return Err(SteppingError::InvalidStructure(format!(
+                "importance delta of {} entries for layer with {}",
+                delta.len(),
+                self.importance.len()
+            )));
+        }
+        for (a, d) in self.importance.iter_mut().zip(delta.iter()) {
+            *a += d;
+        }
+        Ok(())
     }
 
     /// Sum of |w| over neuron `o`'s legal incoming synapses — the naive

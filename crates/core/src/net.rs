@@ -5,7 +5,7 @@ use stepping_nn::{
 };
 use stepping_tensor::conv::ConvGeometry;
 use stepping_tensor::pack::{self, PackScratch};
-use stepping_tensor::{init, Shape, Tensor};
+use stepping_tensor::{init, GradStore, Shape, Tensor};
 
 use crate::plan::{self, HeadPlan, PlanSet};
 use crate::{Assignment, FixedStage, MaskedConv2d, MaskedLinear, Result, Stage, SteppingError};
@@ -38,6 +38,9 @@ pub struct SteppingNet {
     input_shape: Shape,
     feature_assign: Assignment,
     last_subnet: Option<usize>,
+    /// Route training-mode forwards of masked linear stages through their
+    /// compiled packed panels (see [`SteppingNet::set_train_packed`]).
+    train_packed: bool,
     /// Compiled packed head panels per subnet, dropped whenever head
     /// weights or the feature assignment change (see [`crate::plan`]).
     head_plans: PlanSet<HeadPlan>,
@@ -263,8 +266,13 @@ impl SteppingNet {
             });
         }
         let mut x = input.clone();
+        let packed = train && self.train_packed;
         for stage in &mut self.stages {
-            x = stage.forward(&x, subnet, train)?;
+            x = if packed {
+                stage.forward_train_packed(&x, subnet)?
+            } else {
+                stage.forward(&x, subnet, train)?
+            };
         }
         if x.shape().rank() != 2 || x.shape().dims()[1] != self.feature_assign.len() {
             return Err(SteppingError::InvalidStructure(format!(
@@ -497,6 +505,108 @@ impl SteppingNet {
                 p.zero_grad();
             }
         }
+    }
+
+    /// Whether training-mode forwards go through compiled packed panels for
+    /// stages that support it (currently masked linear stages; every other
+    /// stage keeps the masked reference path). Off by default.
+    pub fn train_packed(&self) -> bool {
+        self.train_packed
+    }
+
+    /// Enables or disables packed training-mode forwards (see
+    /// [`SteppingNet::train_packed`]). The packed path produces bit-identical
+    /// activations (`f32 ==`) and populates the same backward caches, so
+    /// gradients are unchanged.
+    pub fn set_train_packed(&mut self, on: bool) {
+        self.train_packed = on;
+    }
+
+    /// Snapshots the gradients of every parameter trained for `subnet`, in
+    /// [`SteppingNet::params_for`] order (all stage parameters, then the
+    /// subnet head's weight and bias).
+    ///
+    /// Together with [`SteppingNet::import_grads`] this is the transport the
+    /// stepping-exec engine uses to move per-shard gradients between replica
+    /// nets and the master.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::SubnetOutOfRange`].
+    pub fn export_grads(&mut self, subnet: usize) -> Result<GradStore> {
+        let params = self.params_for(subnet)?;
+        Ok(GradStore::new(
+            params.iter().map(|p| p.grad.clone()).collect(),
+        ))
+    }
+
+    /// Overwrites the gradients of every parameter trained for `subnet` with
+    /// the slots of `grads` (a [`SteppingNet::export_grads`] snapshot from a
+    /// structurally identical net).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::SubnetOutOfRange`] or
+    /// [`SteppingError::InvalidStructure`] on slot-count/shape mismatch.
+    pub fn import_grads(&mut self, subnet: usize, grads: &GradStore) -> Result<()> {
+        let mut params = self.params_for(subnet)?;
+        if params.len() != grads.len() {
+            return Err(SteppingError::InvalidStructure(format!(
+                "gradient import expects {} slots, got {}",
+                params.len(),
+                grads.len()
+            )));
+        }
+        for (p, g) in params.iter_mut().zip(grads.iter()) {
+            if p.grad.shape() != g.shape() {
+                return Err(SteppingError::InvalidStructure(format!(
+                    "gradient slot shape mismatch: {} vs {}",
+                    p.grad.shape(),
+                    g.shape()
+                )));
+            }
+            p.grad = g.clone();
+        }
+        Ok(())
+    }
+
+    /// Snapshots the accumulated per-neuron importance of every masked
+    /// stage, index-aligned with [`SteppingNet::masked_stage_indices`].
+    pub fn export_importance(&self) -> Vec<Vec<f64>> {
+        self.stages
+            .iter()
+            .filter_map(|s| s.importance_values().map(<[f64]>::to_vec))
+            .collect()
+    }
+
+    /// Adds an [`SteppingNet::export_importance`] snapshot (from a replica
+    /// net) onto this net's accumulated importance, stage by stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteppingError::InvalidStructure`] on stage-count or
+    /// neuron-count mismatch.
+    pub fn add_importance(&mut self, delta: &[Vec<f64>]) -> Result<()> {
+        let masked = self.masked_stage_indices();
+        if masked.len() != delta.len() {
+            return Err(SteppingError::InvalidStructure(format!(
+                "importance import expects {} masked stages, got {}",
+                masked.len(),
+                delta.len()
+            )));
+        }
+        for (idx, d) in masked.into_iter().zip(delta.iter()) {
+            self.stages[idx].add_importance_values(d)?;
+        }
+        Ok(())
+    }
+
+    /// Whether training-mode forwards of this net are shard-decomposable:
+    /// true iff no stage couples rows of a batch (batch norm) or consumes a
+    /// per-batch RNG stream (dropout). When false, the stepping-exec engine
+    /// falls back to a single shard regardless of configuration.
+    pub fn train_parallel_safe(&self) -> bool {
+        self.stages.iter().all(Stage::shard_safe)
     }
 
     /// MAC operations executed by subnet `subnet` (stages + its head).
@@ -909,6 +1019,7 @@ impl SteppingNetBuilder {
             input_shape: self.input_shape,
             feature_assign: Assignment::new(features, self.subnets),
             last_subnet: None,
+            train_packed: false,
             head_plans: PlanSet::default(),
             head_scratch: PackScratch::new(),
         };

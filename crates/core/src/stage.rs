@@ -152,6 +152,38 @@ impl Stage {
         }
     }
 
+    /// Training-mode forward that routes masked linear stages through their
+    /// compiled packed panels ([`MaskedLinear::forward_train_packed`]) while
+    /// still populating the backward caches. Conv and fixed stages fall back
+    /// to [`Stage::forward`] — a packed conv pass would not produce the
+    /// `im2col` buffer its backward needs. Results equal [`Stage::forward`]
+    /// under `f32 ==` (the plan bit-identity guarantee), so gradients are
+    /// bit-unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn forward_train_packed(&mut self, x: &Tensor, subnet: usize) -> Result<Tensor> {
+        match self {
+            Stage::Linear(l) => l.forward_train_packed(x, subnet),
+            _ => self.forward(x, subnet, true),
+        }
+    }
+
+    /// Whether train-mode forwards of this stage are row-independent and
+    /// free of cross-batch state, i.e. safe to run on sharded sub-batches:
+    /// batch-norm (batch statistics) and dropout (an RNG stream) are not.
+    pub fn shard_safe(&self) -> bool {
+        !matches!(
+            self,
+            Stage::Fixed(
+                FixedStage::BatchNorm1d { .. }
+                    | FixedStage::BatchNorm2d { .. }
+                    | FixedStage::Dropout(_)
+            )
+        )
+    }
+
     /// MAC operations the packed path actually executes for `subnet` (panel
     /// extents; 0 for fixed stages).
     pub fn packed_macs(&self, subnet: usize) -> u64 {
@@ -334,6 +366,34 @@ impl Stage {
             Stage::Linear(l) => l.reset_importance(),
             Stage::Conv(c) => c.reset_importance(),
             Stage::Fixed(_) => {}
+        }
+    }
+
+    /// Raw accumulated importance of a masked stage (flattened
+    /// `[subnet][out]`); `None` for fixed stages.
+    pub fn importance_values(&self) -> Option<&[f64]> {
+        match self {
+            Stage::Linear(l) => Some(l.importance_values()),
+            Stage::Conv(c) => Some(c.importance_values()),
+            Stage::Fixed(_) => None,
+        }
+    }
+
+    /// Adds a merged importance delta into a masked stage; no-op for fixed
+    /// stages given an empty delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SteppingError::InvalidStructure`] on length
+    /// mismatch.
+    pub fn add_importance_values(&mut self, delta: &[f64]) -> Result<()> {
+        match self {
+            Stage::Linear(l) => l.add_importance_values(delta),
+            Stage::Conv(c) => c.add_importance_values(delta),
+            Stage::Fixed(_) if delta.is_empty() => Ok(()),
+            Stage::Fixed(_) => Err(crate::SteppingError::InvalidStructure(
+                "importance delta for a fixed stage".into(),
+            )),
         }
     }
 

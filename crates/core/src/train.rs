@@ -7,10 +7,12 @@
 //! knowledge-distillation teacher.
 
 use stepping_data::{BatchIter, Dataset, Split};
+use stepping_exec::ParallelConfig;
+use stepping_nn::optim::Sgd;
 use stepping_nn::schedule::LrSchedule;
-use stepping_nn::{loss, optim::Sgd};
 use stepping_tensor::{reduce, Tensor};
 
+use crate::parallel::{BatchLoss, ParallelRunner};
 use crate::telemetry::{self, Value};
 use crate::{Result, SteppingError, SteppingNet};
 
@@ -27,6 +29,8 @@ pub struct TrainOptions {
     pub schedule: LrSchedule,
     /// Shuffling seed.
     pub seed: u64,
+    /// Data-parallel execution (defaults to the sequential reference).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for TrainOptions {
@@ -37,6 +41,7 @@ impl Default for TrainOptions {
             lr: 0.05,
             schedule: LrSchedule::Constant,
             seed: 0,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -86,6 +91,7 @@ pub fn train_subnet(
         ));
     }
     let run_span = telemetry::span("training", "train.subnet");
+    let runner = ParallelRunner::new(opts.parallel, "training")?;
     let mut sgd = Sgd::new(opts.lr).map_err(SteppingError::Nn)?;
     let mut epoch_losses = Vec::with_capacity(opts.epochs);
     for epoch in 0..opts.epochs {
@@ -96,13 +102,10 @@ pub fn train_subnet(
         let mut batches = 0;
         for batch in BatchIter::new(data, Split::Train, opts.batch_size, epoch as u64, opts.seed) {
             let (x, y) = batch?;
-            net.zero_grad();
-            let logits = net.forward(&x, subnet, true)?;
-            let (l, dlogits) = loss::cross_entropy(&logits, &y).map_err(SteppingError::Nn)?;
-            net.backward(&dlogits)?;
+            let out = runner.train_batch(net, &x, &y, subnet, BatchLoss::CrossEntropy, false)?;
             sgd.step(&mut net.params_for(subnet)?)
                 .map_err(SteppingError::Nn)?;
-            total += l;
+            total += out.loss;
             batches += 1;
         }
         let mean = total / batches.max(1) as f32;

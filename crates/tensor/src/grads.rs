@@ -1,0 +1,123 @@
+//! Gradient buffer collections for data-parallel training.
+//!
+//! A [`GradStore`] is an ordered list of gradient tensors — one slot per
+//! trainable parameter, in the parameter order the owning network exposes.
+//! Replica workers export one store per shard; the trainer merges them with
+//! `stepping-exec`'s fixed-order tree reduction and imports the result back
+//! into the master network's parameters.
+
+use crate::{Result, Tensor, TensorError};
+
+/// An ordered collection of gradient tensors, index-aligned with a
+/// network's parameter list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GradStore {
+    slots: Vec<Tensor>,
+}
+
+impl GradStore {
+    /// Wraps gradient tensors in declaration order.
+    pub fn new(slots: Vec<Tensor>) -> Self {
+        GradStore { slots }
+    }
+
+    /// Number of gradient slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the store has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The gradient tensor at `i`, if present.
+    pub fn get(&self, i: usize) -> Option<&Tensor> {
+        self.slots.get(i)
+    }
+
+    /// Iterates the gradient tensors in slot order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tensor> {
+        self.slots.iter()
+    }
+
+    /// Elementwise `self += other`, slot by slot — the pairwise combine of
+    /// the gradient tree reduction (`self` must be the lower-index operand
+    /// to keep the association canonical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on slot-count mismatch and
+    /// shape errors on per-slot shape mismatch.
+    pub fn add_assign(&mut self, other: &GradStore) -> Result<()> {
+        if self.slots.len() != other.slots.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "gradient stores have {} vs {} slots",
+                self.slots.len(),
+                other.slots.len()
+            )));
+        }
+        for (a, b) in self.slots.iter_mut().zip(other.slots.iter()) {
+            a.zip_in_place(b, |x, y| x + y)?;
+        }
+        Ok(())
+    }
+
+    /// Scales every gradient element by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for t in &mut self.slots {
+            t.scale(alpha);
+        }
+    }
+}
+
+impl IntoIterator for GradStore {
+    type Item = Tensor;
+    type IntoIter = std::vec::IntoIter<Tensor>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn add_assign_merges_slotwise() {
+        let mut a = GradStore::new(vec![
+            Tensor::full(Shape::of(&[2]), 1.0),
+            Tensor::full(Shape::of(&[3]), 2.0),
+        ]);
+        let b = GradStore::new(vec![
+            Tensor::full(Shape::of(&[2]), 0.5),
+            Tensor::full(Shape::of(&[3]), -1.0),
+        ]);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.get(0).unwrap().data(), &[1.5, 1.5]);
+        assert_eq!(a.get(1).unwrap().data(), &[1.0, 1.0, 1.0]);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn mismatches_are_rejected() {
+        let mut a = GradStore::new(vec![Tensor::zeros(Shape::of(&[2]))]);
+        let b = GradStore::default();
+        assert!(a.add_assign(&b).is_err());
+        let c = GradStore::new(vec![Tensor::zeros(Shape::of(&[3]))]);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn scale_applies_to_every_slot() {
+        let mut a = GradStore::new(vec![Tensor::full(Shape::of(&[2]), 2.0)]);
+        a.scale(0.5);
+        assert_eq!(a.get(0).unwrap().data(), &[1.0, 1.0]);
+        let collected: Vec<Tensor> = a.clone().into_iter().collect();
+        assert_eq!(collected.len(), 1);
+        assert_eq!(a.iter().count(), 1);
+    }
+}

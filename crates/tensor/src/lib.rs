@@ -34,6 +34,7 @@
 
 pub mod conv;
 mod error;
+mod grads;
 pub mod init;
 pub mod matmul;
 pub mod pack;
@@ -42,6 +43,7 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
+pub use grads::GradStore;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -346,6 +346,35 @@ impl Tensor {
         })
     }
 
+    /// Copies outer-dimension slots `lo..hi` into a new tensor (rows of a
+    /// matrix, samples of an `[n, c, h, w]` batch). Used by the parallel
+    /// trainer to cut a batch into canonical shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for a rank-0 tensor or an
+    /// out-of-order / out-of-range slot range.
+    pub fn slice_outer(&self, lo: usize, hi: usize) -> Result<Tensor> {
+        if self.shape.rank() == 0 {
+            return Err(TensorError::InvalidArgument(
+                "slice_outer needs at least one dimension".into(),
+            ));
+        }
+        let n = self.shape.dims()[0];
+        if lo > hi || hi > n {
+            return Err(TensorError::InvalidArgument(format!(
+                "slice {lo}..{hi} out of range for outer dimension {n}"
+            )));
+        }
+        let stride = self.data.len().checked_div(n).unwrap_or(0);
+        let mut dims = self.shape.dims().to_vec();
+        dims[0] = hi - lo;
+        Ok(Tensor {
+            shape: Shape::of(&dims),
+            data: self.data[lo * stride..hi * stride].to_vec(),
+        })
+    }
+
     /// Adds a rank-1 `bias` to every row of a rank-2 tensor, in place.
     ///
     /// # Errors

@@ -38,4 +38,18 @@ cargo test -q --release -p stepping-serve --test stress
 echo "==> packed-plan bench smoke (plans)"
 STEPPING_PLANS_REPS=5 cargo run -q --release -p stepping-bench --bin plans
 
+# Parallel-training matrix: the tier-1 suite must produce identical results
+# at 1 and 4 workers (tests/parallel_property.rs folds STEPPING_THREADS into
+# its thread sweep; everything else must simply stay green).
+for threads in 1 4; do
+    echo "==> tier-1 matrix: STEPPING_THREADS=${threads}"
+    STEPPING_THREADS="${threads}" cargo test -q
+done
+
+# Parallel-engine smoke run: always asserts gradient/weight bit-identity
+# between 1 and 4 workers on the Table-I MLP; the >=1.5x speedup gate
+# self-enables only on machines with >=4 cores. Refreshes BENCH_parallel.json.
+echo "==> parallel-engine bench smoke (parallel)"
+STEPPING_PARALLEL_REPS=3 cargo run -q --release -p stepping-bench --bin parallel
+
 echo "check.sh: all gates passed"

@@ -15,6 +15,9 @@
 //! * [`baselines`] — the any-width and slimmable comparison networks,
 //! * [`runtime`] — the resource-varying platform simulator and the
 //!   [`runtime::Session`] inference API,
+//! * [`exec`] — the deterministic data-parallel training engine (worker
+//!   pool, canonical sharding, fixed-order tree reduction — see
+//!   `docs/PARALLELISM.md`),
 //! * [`serve`] — the concurrent, deadline-aware batched serving engine,
 //! * [`verify`] — the static invariant analyzer (rules R1–R6) and the
 //!   `stepping-verify` checkpoint lint CLI,
@@ -47,6 +50,7 @@
 pub use stepping_baselines as baselines;
 pub use stepping_core as core;
 pub use stepping_data as data;
+pub use stepping_exec as exec;
 pub use stepping_models as models;
 pub use stepping_nn as nn;
 pub use stepping_obs as obs;
@@ -74,7 +78,8 @@ pub mod prelude {
     // `core::Result` is deliberately left out: re-exporting it would shadow
     // `std::result::Result` for any program that glob-imports the prelude.
     pub use stepping_core::{
-        construct, ConstructionOptions, SteppingError, SteppingNet, SteppingNetBuilder,
+        construct, ConstructionOptions, ParallelConfig, SteppingError, SteppingNet,
+        SteppingNetBuilder,
     };
     pub use stepping_data::{Dataset, Split};
     pub use stepping_runtime::{DeviceModel, ResourceTrace, Session, SessionConfig, UpgradePolicy};

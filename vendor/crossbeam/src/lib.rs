@@ -8,8 +8,16 @@ pub mod channel {
     use std::sync::mpsc;
 
     /// Sending half of a bounded channel.
-    #[derive(Debug, Clone)]
+    #[derive(Debug)]
     pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    // Manual impl: like the real `crossbeam::channel::Sender`, cloning the
+    // handle never requires `T: Clone` (a derive would add that bound).
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
 
     /// Receiving half of a bounded channel.
     #[derive(Debug)]
