@@ -33,7 +33,11 @@ fn main() {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("case thread panicked"))
+            .map(|h| {
+                h.join().map_err(|_| {
+                    stepping_core::SteppingError::Worker("case thread panicked".into())
+                })?
+            })
             .collect()
     });
 

@@ -87,9 +87,17 @@ pub(crate) fn full_pass(
         let out = net.stages_mut()[si].forward_packed(&acts[si], subnet)?;
         acts.push(out);
     }
-    let features = acts.last().expect("acts nonempty").clone();
+    let features = last_act(&acts)?.clone();
     let logits = net.head_forward_packed(&features, subnet)?;
     Ok((acts, logits))
+}
+
+/// The feature activation (last element) of an activation stack, as a typed
+/// error instead of a panic when the stack is empty (an uninitialised
+/// cache).
+pub(crate) fn last_act(acts: &[Tensor]) -> Result<&Tensor> {
+    acts.last()
+        .ok_or_else(|| SteppingError::ExecutorState("activation cache holds no levels".into()))
 }
 
 /// Expands cached activations from subnet `k - 1` to `k`, computing only
@@ -136,7 +144,7 @@ pub(crate) fn expand_pass(
             }
         }
     }
-    let features = acts.last().expect("acts nonempty").clone();
+    let features = last_act(acts)?.clone();
     let logits = net.head_forward_packed(&features, k)?;
     step_macs += net.head_macs(k);
     Ok((logits, step_macs))
@@ -425,8 +433,8 @@ impl<'a> BatchExecutor<'a> {
         let (logits, step_macs) = if head_only {
             let feats: Vec<&Tensor> = caches
                 .iter()
-                .map(|c| c.acts.last().expect("initialised cache"))
-                .collect();
+                .map(|c| last_act(&c.acts))
+                .collect::<Result<_>>()?;
             let features = stack_rows(&feats)?;
             let logits = self.net.head_forward_packed(&features, k)?;
             (logits, self.net.head_macs(k))
@@ -497,8 +505,8 @@ impl<'a> BatchExecutor<'a> {
         let row_counts: Vec<usize> = caches.iter().map(|c| c.rows()).collect();
         let feats: Vec<&Tensor> = caches
             .iter()
-            .map(|c| c.acts.last().expect("initialised cache"))
-            .collect();
+            .map(|c| last_act(&c.acts))
+            .collect::<Result<_>>()?;
         let features = stack_rows(&feats)?;
         let logits = self.net.head_forward_packed(&features, k)?;
         let step_macs = self.net.head_macs(k);

@@ -287,19 +287,21 @@ fn candidates(
     let mut out = Vec::new();
     for si in net.masked_stage_indices() {
         let stage = &net.stages()[si];
-        let assign = stage.out_assign().expect("masked stage has assignment");
+        // masked_stage_indices only yields masked stages, whose accessors
+        // all return Some; skip rather than panic if that ever drifts.
+        let Some(assign) = stage.out_assign() else {
+            continue;
+        };
         for o in assign.members(subnet) {
             let score = match criterion {
-                SelectionCriterion::GradientImportance => {
-                    stage.selection_score(o, alpha).expect("masked stage")
-                }
-                SelectionCriterion::WeightMagnitude => {
-                    stage.magnitude_score(o).expect("masked stage")
-                }
+                SelectionCriterion::GradientImportance => stage.selection_score(o, alpha),
+                SelectionCriterion::WeightMagnitude => stage.magnitude_score(o),
                 // highest index first → ascending sort on negated index
-                SelectionCriterion::IndexOrder => -(o as f64),
+                SelectionCriterion::IndexOrder => Some(-(o as f64)),
             };
-            let macs = stage.neuron_macs(o, threshold).expect("masked stage");
+            let (Some(score), Some(macs)) = (score, stage.neuron_macs(o, threshold)) else {
+                continue;
+            };
             out.push(Candidate {
                 stage: si,
                 neuron: o,
@@ -347,7 +349,9 @@ fn move_round(
     let mut stage_budget: std::collections::HashMap<usize, usize> =
         std::collections::HashMap::new();
     for si in net.masked_stage_indices() {
-        let assign = net.stages()[si].out_assign().expect("masked stage");
+        let Some(assign) = net.stages()[si].out_assign() else {
+            continue;
+        };
         let owned = assign.members(subnet).len();
         stage_budget.insert(si, owned.saturating_sub(opts.min_neurons_per_stage));
     }
@@ -357,7 +361,9 @@ fn move_round(
         if moved_mass >= move_mass {
             break;
         }
-        let budget = stage_budget.get_mut(&c.stage).expect("stage tracked");
+        let Some(budget) = stage_budget.get_mut(&c.stage) else {
+            continue;
+        };
         if *budget == 0 {
             continue;
         }

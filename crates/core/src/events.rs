@@ -1,0 +1,211 @@
+//! Central registry of telemetry phase and event names.
+//!
+//! Every `phase` and `name` passed to [`crate::telemetry::point`],
+//! [`crate::telemetry::counter`], or [`crate::telemetry::span`] anywhere in
+//! the workspace must come from this module (or be a string literal equal to
+//! one of these constants). The `stepping-lint` L6 *telemetry hygiene* rule
+//! parses this file and flags any emission whose phase or event name is not
+//! registered here — a typo'd counter name would otherwise silently split a
+//! metric in two, and `stepping-obs` aggregation (which matches on these
+//! exact strings) would never see it.
+//!
+//! `stepping-obs` consumes the same constants on the read side
+//! (`summary.rs` roll-ups, the console sink's `report` routing), so the
+//! emitter and the aggregator can no longer drift apart.
+
+/// Coarse pipeline phases — the first argument of every emission.
+pub mod phase {
+    /// Subnet construction (paper §III-A): iteration spans, importance.
+    pub const CONSTRUCTION: &str = "construction";
+    /// Subnet training and knowledge distillation (§III-B).
+    pub const TRAINING: &str = "training";
+    /// Incremental / anytime inference (executor, driver, live sessions).
+    pub const INFERENCE: &str = "inference";
+    /// The concurrent batched serving runtime (`stepping-serve`).
+    pub const SERVING: &str = "serving";
+    /// Compiled-plan cache activity (`stepping_core::plan`).
+    pub const PLAN: &str = "plan";
+    /// Pre-formatted bench/report text routed through `stepping-obs`.
+    pub const REPORT: &str = "report";
+
+    /// Every registered phase.
+    pub const ALL: &[&str] = &[CONSTRUCTION, TRAINING, INFERENCE, SERVING, PLAN, REPORT];
+}
+
+/// Event and counter names — the second argument of every emission.
+pub mod event {
+    // construction
+    /// Whole construction run span.
+    pub const CONSTRUCT_RUN: &str = "construct.run";
+    /// One construction iteration span (moves/prunes/revives).
+    pub const CONSTRUCT_ITERATION: &str = "construct.iteration";
+    /// Per-subnet MAC-vs-budget point at the end of an iteration.
+    pub const CONSTRUCT_SUBNET: &str = "construct.subnet";
+    /// Importance-statistics point after an evaluation pass.
+    pub const CONSTRUCT_IMPORTANCE: &str = "construct.importance";
+    /// Training batches executed during construction.
+    pub const CONSTRUCT_TRAIN_BATCHES: &str = "construct.train_batches";
+
+    // training
+    /// One-subnet training run span.
+    pub const TRAIN_SUBNET: &str = "train.subnet";
+    /// One training epoch span.
+    pub const TRAIN_EPOCH: &str = "train.epoch";
+    /// Training batches executed.
+    pub const TRAIN_BATCHES: &str = "train.batches";
+
+    // distillation
+    /// Whole distillation run span.
+    pub const DISTILL_RUN: &str = "distill.run";
+    /// One distillation epoch span.
+    pub const DISTILL_EPOCH: &str = "distill.epoch";
+    /// Per-subnet distillation point (CE/KL loss split).
+    pub const DISTILL_SUBNET: &str = "distill.subnet";
+    /// Distillation batches executed.
+    pub const DISTILL_BATCHES: &str = "distill.batches";
+
+    // incremental executor
+    /// Initial subnet run span of the incremental executor.
+    pub const EXEC_BEGIN: &str = "exec.begin";
+    /// Expand-step span (only newly added neurons).
+    pub const EXEC_EXPAND: &str = "exec.expand";
+    /// Contract-step span (head-only re-read at a smaller subnet).
+    pub const EXEC_CONTRACT: &str = "exec.contract";
+    /// Batched initial run span (`BatchExecutor::begin`).
+    pub const EXEC_BATCH_BEGIN: &str = "exec.batch_begin";
+    /// Batched expand span (`BatchExecutor::expand`).
+    pub const EXEC_BATCH_EXPAND: &str = "exec.batch_expand";
+
+    // session driver
+    /// Whole `Session::run*` drive span.
+    pub const DRIVE_RUN: &str = "drive.run";
+    /// One resource-slice span of a drive.
+    pub const DRIVE_SLICE: &str = "drive.slice";
+    /// Upgrade decision point within a slice.
+    pub const DRIVE_UPGRADE: &str = "drive.upgrade";
+    /// Deadline-resolution point of `run_until_deadline`.
+    pub const DRIVE_DEADLINE: &str = "drive.deadline";
+    /// Per-prediction point of a live (streaming) session.
+    pub const LIVE_PREDICTION: &str = "live.prediction";
+
+    // serving
+    /// One fused micro-batch span (begin or upgrade).
+    pub const SERVE_BATCH: &str = "serve.batch";
+    /// Unaffordable upgrade answered synchronously from cache.
+    pub const SERVE_CACHE_HIT: &str = "serve.cache_hit";
+
+    // compiled plans
+    /// A `(layer, subnet)` plan was compiled.
+    pub const PLAN_COMPILE: &str = "plan.compile";
+    /// A compiled plan was served from cache.
+    pub const PLAN_CACHE_HIT: &str = "plan.cache_hit";
+    /// A mutation dropped compiled plans and advanced the epoch.
+    pub const PLAN_INVALIDATE: &str = "plan.invalidate";
+
+    // parallel execution pool
+    /// Pool construction point / per-batch dispatch span.
+    pub const POOL_SPAWN: &str = "pool.spawn";
+    /// One shard job span.
+    pub const POOL_SHARD: &str = "pool.shard";
+    /// Rows dispatched to shards.
+    pub const POOL_SHARD_ROWS: &str = "pool.shard.rows";
+    /// Fixed-order tree-reduction span.
+    pub const POOL_REDUCE: &str = "pool.reduce";
+    /// Pairwise combines performed by the reduction.
+    pub const POOL_REDUCE_OPS: &str = "pool.reduce.ops";
+    /// Batch fell back to the sequential path (shard-unsafe stage).
+    pub const POOL_FALLBACK: &str = "pool.fallback";
+
+    // report channel (stepping-obs report_text / progress)
+    /// Pre-formatted stdout report text.
+    pub const REPORT_TEXT: &str = "text";
+    /// Pre-formatted stderr progress text.
+    pub const REPORT_PROGRESS: &str = "progress";
+
+    /// Every registered event name.
+    pub const ALL: &[&str] = &[
+        CONSTRUCT_RUN,
+        CONSTRUCT_ITERATION,
+        CONSTRUCT_SUBNET,
+        CONSTRUCT_IMPORTANCE,
+        CONSTRUCT_TRAIN_BATCHES,
+        TRAIN_SUBNET,
+        TRAIN_EPOCH,
+        TRAIN_BATCHES,
+        DISTILL_RUN,
+        DISTILL_EPOCH,
+        DISTILL_SUBNET,
+        DISTILL_BATCHES,
+        EXEC_BEGIN,
+        EXEC_EXPAND,
+        EXEC_CONTRACT,
+        EXEC_BATCH_BEGIN,
+        EXEC_BATCH_EXPAND,
+        DRIVE_RUN,
+        DRIVE_SLICE,
+        DRIVE_UPGRADE,
+        DRIVE_DEADLINE,
+        LIVE_PREDICTION,
+        SERVE_BATCH,
+        SERVE_CACHE_HIT,
+        PLAN_COMPILE,
+        PLAN_CACHE_HIT,
+        PLAN_INVALIDATE,
+        POOL_SPAWN,
+        POOL_SHARD,
+        POOL_SHARD_ROWS,
+        POOL_REDUCE,
+        POOL_REDUCE_OPS,
+        POOL_FALLBACK,
+        REPORT_TEXT,
+        REPORT_PROGRESS,
+    ];
+}
+
+/// Whether `name` is a registered phase.
+pub fn is_phase(name: &str) -> bool {
+    phase::ALL.contains(&name)
+}
+
+/// Whether `name` is a registered event name.
+pub fn is_event(name: &str) -> bool {
+    event::ALL.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_duplicate_free() {
+        for (i, a) in event::ALL.iter().enumerate() {
+            for b in &event::ALL[i + 1..] {
+                assert_ne!(a, b, "duplicate event name");
+            }
+        }
+        for (i, a) in phase::ALL.iter().enumerate() {
+            for b in &phase::ALL[i + 1..] {
+                assert_ne!(a, b, "duplicate phase name");
+            }
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        assert!(is_phase(phase::INFERENCE));
+        assert!(!is_phase("inferense"));
+        assert!(is_event(event::PLAN_CACHE_HIT));
+        assert!(!is_event("plan.cachehit"));
+    }
+
+    #[test]
+    fn event_names_are_dot_separated_lowercase() {
+        for name in event::ALL {
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "event name {name:?} breaks the naming convention"
+            );
+        }
+    }
+}

@@ -158,7 +158,7 @@ impl<'a> IncrementalExecutor<'a> {
         let (logits, step_macs) = if head_only {
             // The caches already hold every neuron of subnet `k` (we
             // contracted earlier) — only the head needs to run.
-            let features = self.cache.acts.last().expect("acts nonempty").clone();
+            let features = batch::last_act(&self.cache.acts)?.clone();
             let logits = self.net.head_forward_packed(&features, k)?;
             (logits, self.net.head_macs(k))
         } else {
@@ -214,7 +214,7 @@ impl<'a> IncrementalExecutor<'a> {
         }
         let span = telemetry::span("inference", "exec.contract");
         let k = cur - 1;
-        let features = self.cache.acts.last().expect("acts nonempty").clone();
+        let features = batch::last_act(&self.cache.acts)?.clone();
         let logits = self.net.head_forward_packed(&features, k)?;
         let step_macs = self.net.head_macs(k);
         self.cache.current = Some(k);

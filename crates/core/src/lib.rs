@@ -46,6 +46,7 @@ pub mod construct;
 pub mod distill;
 mod error;
 pub mod eval;
+pub mod events;
 pub mod hook;
 mod incremental;
 mod layout;

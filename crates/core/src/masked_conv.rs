@@ -291,7 +291,10 @@ impl MaskedConv2d {
         let positions = geom.positions();
         let oc_n = self.out_channels();
         self.ensure_full_plan(subnet);
-        let plan = self.plans.full(subnet).expect("plan compiled above");
+        let plan = self
+            .plans
+            .full(subnet)
+            .ok_or_else(|| plan::missing("conv"))?;
         let (oc_len, ic_len) = (plan.oc_idx.len(), plan.ic_idx.len());
         let kk = self.kernel * self.kernel;
         pack::im2col_channels_into(input, &geom, &plan.ic_idx, &mut self.scratch.input)?;
@@ -343,7 +346,7 @@ impl MaskedConv2d {
         let geom = self.geometry(h, w)?;
         let positions = geom.positions();
         self.ensure_step_plan(k);
-        let plan = self.plans.step(k).expect("plan compiled above");
+        let plan = self.plans.step(k).ok_or_else(|| plan::missing("conv"))?;
         let (oc_len, ic_len) = (plan.oc_idx.len(), plan.ic_idx.len());
         let kk = self.kernel * self.kernel;
         let mut out = Tensor::zeros(Shape::of(&[n, oc_len, geom.out_h, geom.out_w]));

@@ -267,7 +267,10 @@ impl MaskedLinear {
         let n = input.shape().dims()[0];
         let o_n = self.out_features();
         self.ensure_full_plan(subnet);
-        let plan = self.plans.full(subnet).expect("plan compiled above");
+        let plan = self
+            .plans
+            .full(subnet)
+            .ok_or_else(|| plan::missing("linear"))?;
         let (rows, cols) = (plan.out_idx.len(), plan.in_idx.len());
         pack::gather_columns(input.data(), n, i_n, &plan.in_idx, &mut self.scratch.input);
         pack::gemm_nt_into(
@@ -309,7 +312,7 @@ impl MaskedLinear {
         }
         let n = input.shape().dims()[0];
         self.ensure_step_plan(k);
-        let plan = self.plans.step(k).expect("plan compiled above");
+        let plan = self.plans.step(k).ok_or_else(|| plan::missing("linear"))?;
         let (rows, cols) = (plan.out_idx.len(), plan.in_idx.len());
         let mut out = Tensor::zeros(Shape::of(&[n, rows]));
         if rows == 0 {

@@ -351,7 +351,10 @@ impl SteppingNet {
         }
         let n = features.shape().dims()[0];
         self.ensure_head_plan(subnet);
-        let plan = self.head_plans.full(subnet).expect("plan compiled above");
+        let plan = self
+            .head_plans
+            .full(subnet)
+            .ok_or_else(|| plan::missing("head"))?;
         pack::gather_columns(
             features.data(),
             n,
@@ -484,7 +487,9 @@ impl SteppingNet {
     /// the paper's single-output-layer formulation gets this for free.
     pub fn warm_start_heads(&mut self) {
         self.head_plans.invalidate("head");
-        let (first, rest) = self.heads.split_first_mut().expect("at least one head");
+        let Some((first, rest)) = self.heads.split_first_mut() else {
+            return; // a built network always has >= 1 head
+        };
         let w = first.weight().value.clone();
         let b = first.bias().value.clone();
         for h in rest {

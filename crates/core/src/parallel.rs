@@ -252,7 +252,7 @@ impl ParallelRunner {
                 a.ce += b.ce;
             }
         })
-        .expect("at least two shards");
+        .ok_or_else(|| SteppingError::Worker("no shard results to merge".into()))?;
         if let Some(e) = merge_err {
             return Err(e);
         }

@@ -154,6 +154,14 @@ impl<P> PlanSet<P> {
     }
 }
 
+/// Typed error for a plan slot that is empty right after an `ensure_*`
+/// compile — impossible unless the cache was invalidated mid-call, but the
+/// packed paths surface it as an error instead of panicking (L4 panic
+/// discipline).
+pub(crate) fn missing(kind: &'static str) -> crate::SteppingError {
+    crate::SteppingError::ExecutorState(format!("{kind} plan missing immediately after compile"))
+}
+
 /// Emits the `plan.compile` telemetry point for a freshly compiled plan.
 pub(crate) fn note_compile(kind: &'static str, subnet: usize, rows: usize, cols: usize) {
     telemetry::point(

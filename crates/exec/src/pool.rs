@@ -153,7 +153,12 @@ impl ExecPool {
         if let Some(msg) = first_panic {
             return Err(PoolError::Panicked(msg));
         }
-        let out: Vec<T> = slots.into_iter().map(|s| s.expect("slot filled")).collect();
+        // Every index was delivered exactly once above; an empty slot means a
+        // worker dropped its result channel without sending.
+        let out: Vec<T> = slots
+            .into_iter()
+            .map(|s| s.ok_or(PoolError::Disconnected))
+            .collect::<Result<_, _>>()?;
         Ok(out)
     }
 }

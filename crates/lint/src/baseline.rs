@@ -1,0 +1,79 @@
+//! Baseline files: a checked-in list of accepted pre-existing findings.
+//!
+//! A baseline lets the lint gate turn on while legacy violations are still
+//! being burned down: findings whose `rule\tfile\tmessage` key appears in
+//! the baseline are reported in the JSON summary as `baselined` but do not
+//! fail the run. At HEAD this workspace's baseline (`lint-baseline.txt`) is
+//! empty and `scripts/check.sh` asserts it stays that way — the file exists
+//! so the *workflow* (accept temporarily, burn down, re-empty) is in place
+//! for future rules.
+//!
+//! Format: one key per line, tab-separated `rule<TAB>file<TAB>message`;
+//! blank lines and `#` comments are ignored. Regenerate entries by running
+//! `stepping-lint --json` and copying the offending keys.
+
+use std::collections::HashSet;
+
+use crate::diag::Diagnostic;
+
+/// Parses baseline text into the set of accepted keys.
+pub fn parse(text: &str) -> HashSet<String> {
+    text.lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.trim_start().starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Splits findings into (kept, baselined-count).
+pub fn apply(diags: Vec<Diagnostic>, baseline: &HashSet<String>) -> (Vec<Diagnostic>, usize) {
+    let mut kept = Vec::with_capacity(diags.len());
+    let mut suppressed = 0usize;
+    for d in diags {
+        if baseline.contains(&d.baseline_key()) {
+            suppressed += 1;
+        } else {
+            kept.push(d);
+        }
+    }
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn diag(rule: &'static str, file: &str, message: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            file: file.into(),
+            line: 1,
+            col: 1,
+            message: message.into(),
+            note: None,
+            snippet: None,
+            span_len: 1,
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let set = parse("# header\n\nL4\ta.rs\tmsg\n");
+        assert_eq!(set.len(), 1);
+        assert!(set.contains("L4\ta.rs\tmsg"));
+    }
+
+    #[test]
+    fn apply_filters_only_exact_keys() {
+        let set = parse("L4\ta.rs\tmsg\n");
+        let (kept, n) = apply(
+            vec![diag("L4", "a.rs", "msg"), diag("L4", "b.rs", "msg")],
+            &set,
+        );
+        assert_eq!(n, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].file, "b.rs");
+    }
+}

@@ -1,0 +1,216 @@
+//! **L1 — plan-epoch discipline.**
+//!
+//! PR 4 keyed every compiled execution plan by a per-layer epoch counter:
+//! any mutation of weights, masks, assignments or heads must bump the epoch
+//! (`PlanSet::invalidate`) or a stale plan silently serves old weights.
+//! This rule mechanizes both directions of that contract on the planned
+//! types (`MaskedLinear`, `MaskedConv2d`, `SteppingNet`):
+//!
+//! 1. every *known* mutator (the PR 4 list) must still contain an
+//!    invalidation — deleting `self.plans.invalidate(...)` from
+//!    `weight_mut` fails the lint, not just a hard-to-hit runtime test;
+//! 2. any *new* `&mut self` method that writes sensitive state (weight or
+//!    bias values, assignments, head/stage structure) must invalidate too —
+//!    the heuristic that catches mutators the list doesn't know about.
+//!
+//! A call to another mutator on the list counts as invalidating (e.g.
+//! `SteppingNet::prune` delegates to each stage's `prune`).
+
+use super::{diag_at_pos, is_plain_assign, Workspace};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Token;
+use crate::scan::Receiver;
+
+/// Types whose compiled plans are epoch-keyed.
+const PLANNED_TYPES: &[&str] = &["MaskedLinear", "MaskedConv2d", "SteppingNet"];
+
+/// The PR 4 mutator list: each of these must invalidate compiled plans.
+pub const MUTATORS: &[&str] = &[
+    "weight_mut",
+    "params_mut",
+    "params_for",
+    "prune",
+    "move_out_neuron",
+    "set_in_assign",
+    "sync_assignments",
+    "heads_mut",
+    "warm_start_heads",
+];
+
+/// Fields whose direct reassignment is a sensitive write.
+const SENSITIVE_FIELDS: &[&str] = &[
+    "weight",
+    "bias",
+    "heads",
+    "stages",
+    "in_assign",
+    "out_assign",
+    "feature_assign",
+];
+
+/// Assignment-typed fields and the methods that mutate them.
+const ASSIGN_FIELDS: &[&str] = &["in_assign", "out_assign", "feature_assign"];
+const ASSIGN_WRITE_METHODS: &[&str] = &["move_neuron", "set", "set_subnet", "clear", "push"];
+
+/// Structure-typed fields (`heads`, `stages`) and their mutating methods.
+/// `iter_mut` is deliberately absent: gradient writes through `iter_mut`
+/// (zeroing, import) do not change weights and need no invalidation.
+const CONTAINER_FIELDS: &[&str] = &["heads", "stages"];
+const CONTAINER_WRITE_METHODS: &[&str] = &[
+    "split_first_mut",
+    "swap",
+    "push",
+    "truncate",
+    "clear",
+    "insert",
+    "remove",
+];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        for f in &file.fns {
+            let Some(ty) = f.impl_type.as_deref() else {
+                continue;
+            };
+            if !PLANNED_TYPES.contains(&ty) || f.is_test || f.receiver != Receiver::RefMut {
+                continue;
+            }
+            let Some((bs, be)) = f.body else { continue };
+            let body = &file.tokens[bs..be];
+            let invalidates = body_invalidates(body);
+
+            if MUTATORS.contains(&f.name.as_str()) {
+                if !invalidates {
+                    diags.push(diag_at_pos(
+                        file,
+                        f.line,
+                        f.col,
+                        "L1",
+                        Severity::Error,
+                        format!(
+                            "plan-epoch mutator `{ty}::{}` never invalidates compiled plans",
+                            f.name
+                        ),
+                        Some(
+                            "every mutator on the PR 4 list must call `invalidate` (or another \
+                             listed mutator); see docs/ANALYSIS.md#l1-plan-epoch"
+                                .into(),
+                        ),
+                    ));
+                }
+                continue;
+            }
+
+            if let Some(tok) = first_sensitive_write(body) {
+                if !invalidates {
+                    diags.push(diag_at_pos(
+                        file,
+                        tok.line,
+                        tok.col,
+                        "L1",
+                        Severity::Error,
+                        format!(
+                            "`{ty}::{}` mutates planned state without invalidating compiled plans",
+                            f.name
+                        ),
+                        Some(
+                            "bump the plan epoch (`self.plans.invalidate(...)` / \
+                             `self.head_plans.invalidate(...)`) before handing out or rewriting \
+                             weights, assignments or heads; see docs/ANALYSIS.md#l1-plan-epoch"
+                                .into(),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Does the body contain an invalidation: `invalidate(...)` or a call to a
+/// listed mutator (`.prune(...)`, `self.sync_assignments()`, ...)?
+fn body_invalidates(body: &[Token]) -> bool {
+    for (i, t) in body.iter().enumerate() {
+        let callish = body.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !callish {
+            continue;
+        }
+        if t.is_ident("invalidate") {
+            return true;
+        }
+        if MUTATORS.iter().any(|m| t.is_ident(m)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// First token of a sensitive write in the body, if any.
+fn first_sensitive_write(body: &[Token]) -> Option<&Token> {
+    for (i, t) in body.iter().enumerate() {
+        if !t.is_ident("self") {
+            // `&mut self.weight` / `&mut self.bias`: handing out a mutable
+            // Param is a (conservative) sensitive write.
+            if t.is_punct('&')
+                && body.get(i + 1).is_some_and(|x| x.is_ident("mut"))
+                && body.get(i + 2).is_some_and(|x| x.is_ident("self"))
+                && body.get(i + 3).is_some_and(|x| x.is_punct('.'))
+                && body
+                    .get(i + 4)
+                    .is_some_and(|x| x.is_ident("weight") || x.is_ident("bias"))
+            {
+                return Some(&body[i + 4]);
+            }
+            continue;
+        }
+        if !body.get(i + 1).is_some_and(|x| x.is_punct('.')) {
+            continue;
+        }
+        let Some(field) = body.get(i + 2) else {
+            continue;
+        };
+
+        // `self.F = ...` (plain assignment)
+        if SENSITIVE_FIELDS.iter().any(|f| field.is_ident(f))
+            && i + 3 < body.len()
+            && is_plain_assign(body, i + 3)
+        {
+            return Some(field);
+        }
+
+        // `self.F.M(...)` — mutating method on an assignment field
+        if ASSIGN_FIELDS.iter().any(|f| field.is_ident(f))
+            && body.get(i + 3).is_some_and(|x| x.is_punct('.'))
+            && body.get(i + 4).is_some_and(|m| {
+                ASSIGN_WRITE_METHODS.iter().any(|w| m.is_ident(w))
+                    && body.get(i + 5).is_some_and(|p| p.is_punct('('))
+            })
+        {
+            return Some(field);
+        }
+
+        // `self.{weight,bias}.value.data_mut(` — rewriting weight values
+        // (grad writes via `.grad.` are not sensitive)
+        if (field.is_ident("weight") || field.is_ident("bias"))
+            && body.get(i + 3).is_some_and(|x| x.is_punct('.'))
+            && body.get(i + 4).is_some_and(|x| x.is_ident("value"))
+            && body.get(i + 5).is_some_and(|x| x.is_punct('.'))
+            && body.get(i + 6).is_some_and(|x| x.is_ident("data_mut"))
+        {
+            return Some(field);
+        }
+
+        // `self.{heads,stages}.M(...)` — structural mutation
+        if CONTAINER_FIELDS.iter().any(|f| field.is_ident(f))
+            && body.get(i + 3).is_some_and(|x| x.is_punct('.'))
+            && body.get(i + 4).is_some_and(|m| {
+                CONTAINER_WRITE_METHODS.iter().any(|w| m.is_ident(w))
+                    && body.get(i + 5).is_some_and(|p| p.is_punct('('))
+            })
+        {
+            return Some(field);
+        }
+    }
+    None
+}

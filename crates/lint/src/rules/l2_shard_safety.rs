@@ -1,0 +1,128 @@
+//! **L2 — shard-safety classification.**
+//!
+//! PR 5's deterministic data-parallel trainer may only shard a batch when
+//! every stage computes rows independently; `Stage::shard_safe` is the
+//! single source of truth for that property. The invariant this rule
+//! mechanizes: the classification must be *explicitly exhaustive* — every
+//! `Stage` and `FixedStage` variant named, no wildcard arm, no `matches!`
+//! shortcut — so adding a stage kind without deciding its shard safety is
+//! a lint error, not a silently-inherited default.
+
+use super::{diag_at_pos, Workspace};
+use crate::diag::{Diagnostic, Severity};
+use crate::scan::FileModel;
+
+/// Enums whose variants must all be classified.
+const CLASSIFIED_ENUMS: &[&str] = &["Stage", "FixedStage"];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        // The rule anchors on the file that declares `enum Stage`.
+        if !file.enums.iter().any(|e| e.name == "Stage") {
+            continue;
+        }
+        check_file(file, &mut diags);
+    }
+    diags
+}
+
+fn check_file(file: &FileModel, diags: &mut Vec<Diagnostic>) {
+    let Some(ss) = file
+        .fns
+        .iter()
+        .find(|f| f.name == "shard_safe" && !f.is_test)
+    else {
+        let stage = file
+            .enums
+            .iter()
+            .find(|e| e.name == "Stage")
+            .map(|e| e.line)
+            .unwrap_or(1);
+        diags.push(diag_at_pos(
+            file,
+            stage,
+            1,
+            "L2",
+            Severity::Error,
+            "`enum Stage` has no `shard_safe` classification in this file".into(),
+            Some(
+                "the parallel trainer trusts `shard_safe` to gate sharding; declare it next to \
+                 the enum; see docs/ANALYSIS.md#l2-shard-safety"
+                    .into(),
+            ),
+        ));
+        return;
+    };
+    let Some((bs, be)) = ss.body else {
+        return;
+    };
+    let body = &file.tokens[bs..be];
+
+    // No wildcard arm: `_ =>` would silently classify future variants.
+    for (i, t) in body.iter().enumerate() {
+        if t.is_ident("_")
+            && body.get(i + 1).is_some_and(|x| x.is_punct('='))
+            && body.get(i + 2).is_some_and(|x| x.is_punct('>'))
+        {
+            diags.push(diag_at_pos(
+                file,
+                t.line,
+                t.col,
+                "L2",
+                Severity::Error,
+                "wildcard arm in `shard_safe` — every stage variant must be classified \
+                 explicitly"
+                    .into(),
+                Some(
+                    "a `_ =>` arm silently decides shard safety for variants added later; \
+                     see docs/ANALYSIS.md#l2-shard-safety"
+                        .into(),
+                ),
+            ));
+        }
+        if t.is_ident("matches") && body.get(i + 1).is_some_and(|x| x.is_punct('!')) {
+            diags.push(diag_at_pos(
+                file,
+                t.line,
+                t.col,
+                "L2",
+                Severity::Error,
+                "`matches!` in `shard_safe` hides variants from the exhaustiveness check".into(),
+                Some(
+                    "spell out a `match` with one arm per variant so rustc and this lint both \
+                     see every case; see docs/ANALYSIS.md#l2-shard-safety"
+                        .into(),
+                ),
+            ));
+        }
+    }
+
+    // Every variant of every classified enum present in this file must be
+    // named in the body.
+    for e in &file.enums {
+        if !CLASSIFIED_ENUMS.contains(&e.name.as_str()) {
+            continue;
+        }
+        for v in &e.variants {
+            if !body.iter().any(|t| t.is_ident(v)) {
+                diags.push(diag_at_pos(
+                    file,
+                    ss.line,
+                    ss.col,
+                    "L2",
+                    Severity::Error,
+                    format!(
+                        "variant `{}::{v}` is not classified in `shard_safe`",
+                        e.name
+                    ),
+                    Some(
+                        "name the variant in an explicit match arm and decide whether it \
+                         computes batch rows independently; see docs/ANALYSIS.md#l2-shard-safety"
+                            .into(),
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! **L3 — determinism hygiene.**
+//!
+//! The bit-identity guarantee of PR 5 (same result for any thread count)
+//! rests on three code paths staying pure: canonical shard decomposition,
+//! fixed-order tree reduction, and the gradient-merge closure. This rule
+//! bans the constructs that most commonly break that purity inside those
+//! zones: iteration over unordered containers (`HashMap`/`HashSet`),
+//! wall-clock reads (`Instant`/`SystemTime`), and thread-count-dependent
+//! values (`available_parallelism`, `threads`, ...).
+//!
+//! Zones are (file, optional function) pairs; a `None` function means the
+//! whole file's non-test code.
+
+use super::{diag_at, norm_path, Workspace};
+use crate::diag::{Diagnostic, Severity};
+use crate::scan::FileModel;
+
+/// Determinism-critical zones: path suffix + functions (empty = whole file).
+const ZONES: &[(&str, &[&str])] = &[
+    // fixed-order pairwise reduction (incl. gradient merge helpers)
+    ("crates/exec/src/reduce.rs", &[]),
+    // canonical shard decomposition: pure function of row count
+    ("crates/exec/src/lib.rs", &["shard_ranges"]),
+    // the sharded training batch and its merge closure
+    ("crates/core/src/parallel.rs", &["train_batch"]),
+];
+
+/// Identifiers that must not appear in a determinism-critical zone.
+const BANNED: &[(&str, &str)] = &[
+    ("HashMap", "unordered iteration breaks fixed merge order"),
+    ("HashSet", "unordered iteration breaks fixed merge order"),
+    (
+        "Instant",
+        "wall-clock reads make control flow timing-dependent",
+    ),
+    (
+        "SystemTime",
+        "wall-clock reads make control flow timing-dependent",
+    ),
+    (
+        "available_parallelism",
+        "decomposition must not depend on the machine",
+    ),
+    (
+        "threads",
+        "decomposition must be a pure function of row count, never thread count",
+    ),
+    (
+        "num_threads",
+        "decomposition must be a pure function of row count, never thread count",
+    ),
+    (
+        "thread_count",
+        "decomposition must be a pure function of row count, never thread count",
+    ),
+];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        let path = norm_path(&file.path);
+        for (suffix, fns) in ZONES {
+            if !path.ends_with(suffix) {
+                continue;
+            }
+            if fns.is_empty() {
+                scan_range(file, 0, file.tokens.len(), suffix, &mut diags);
+            } else {
+                for f in &file.fns {
+                    if fns.contains(&f.name.as_str()) && !f.is_test {
+                        if let Some((bs, be)) = f.body {
+                            scan_range(file, bs, be, suffix, &mut diags);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+fn scan_range(file: &FileModel, start: usize, end: usize, zone: &str, diags: &mut Vec<Diagnostic>) {
+    for i in start..end {
+        if file.tok_in_test(i) {
+            continue;
+        }
+        let t = &file.tokens[i];
+        for (banned, why) in BANNED {
+            if t.is_ident(banned) {
+                diags.push(diag_at(
+                    file,
+                    t,
+                    "L3",
+                    Severity::Error,
+                    format!("`{banned}` in determinism-critical zone `{zone}`"),
+                    Some(format!("{why}; see docs/PARALLELISM.md and docs/ANALYSIS.md#l3-determinism-hygiene")),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! **L4 — panic discipline.**
+//!
+//! The serving runtime (PR 3) holds sessions for remote callers, the
+//! worker pool (PR 5) holds peer threads on a channel, and core's packed
+//! execution paths run under both — a panic in any of them either poisons
+//! shared state or takes down a request that should have received a typed
+//! error. Library code in `crates/{core,serve,exec}/src` therefore must
+//! not `unwrap`, `expect`, `panic!`, `unreachable!`, `todo!` or
+//! `unimplemented!` outside tests; errors travel as
+//! `SteppingError`/`PoolError` values instead.
+//!
+//! `unwrap_or`/`unwrap_or_else`/`unwrap_or_default` are fine (they don't
+//! panic), as is `unwrap_or_else(PoisonError::into_inner)` — the
+//! workspace's poison-recovery idiom.
+
+use super::{diag_at, is_macro_call, is_method_call, norm_path, Workspace};
+use crate::diag::{Diagnostic, Severity};
+
+/// Library trees where panics are forbidden.
+const SCOPES: &[&str] = &["crates/core/src/", "crates/serve/src/", "crates/exec/src/"];
+
+const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
+const BANNED_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        let path = norm_path(&file.path);
+        if !SCOPES.iter().any(|s| path.contains(s)) {
+            continue;
+        }
+        for i in 0..file.tokens.len() {
+            if file.tok_in_test(i) {
+                continue;
+            }
+            for m in BANNED_METHODS {
+                if is_method_call(&file.tokens, i, m) {
+                    diags.push(diag_at(
+                        file,
+                        &file.tokens[i],
+                        "L4",
+                        Severity::Warning,
+                        format!("`.{m}()` in non-test library code"),
+                        Some(
+                            "return a typed `SteppingError`/`PoolError` instead of panicking; \
+                             see docs/ANALYSIS.md#l4-panic-discipline"
+                                .into(),
+                        ),
+                    ));
+                }
+            }
+            for m in BANNED_MACROS {
+                if is_macro_call(&file.tokens, i, m) {
+                    diags.push(diag_at(
+                        file,
+                        &file.tokens[i],
+                        "L4",
+                        Severity::Warning,
+                        format!("`{m}!` in non-test library code"),
+                        Some(
+                            "even \"impossible\" states should surface as typed errors in the \
+                             serving/exec hot paths; see docs/ANALYSIS.md#l4-panic-discipline"
+                                .into(),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}

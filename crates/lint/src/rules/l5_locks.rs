@@ -1,0 +1,297 @@
+//! **L5 — lock discipline.**
+//!
+//! The serve runtime brokers every request through a `Mutex`/`Condvar` job
+//! queue and a session table; the exec pool joins workers under locks.
+//! Two classes of defect keep reappearing in code like this:
+//!
+//! 1. `.lock().unwrap()` — a panic while a guard is held poisons the mutex
+//!    and turns one bad request into a dead server. The workspace idiom is
+//!    `lock().unwrap_or_else(PoisonError::into_inner)` (state is always
+//!    valid at guard boundaries here).
+//! 2. acquiring a second lock while a named guard is live — the classic
+//!    lock-order-inversion setup. Temporary single-statement guards
+//!    (`lock(&x).insert(...)`) are fine; a *held* guard (bound by `let`
+//!    with nothing chained after the lock call) must be dropped before the
+//!    next acquisition.
+
+use super::{diag_at, norm_path, skip_balanced, Workspace};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{TokKind, Token};
+use crate::scan::FileModel;
+
+/// Crates whose sources this rule covers.
+const SCOPES: &[&str] = &["crates/serve/src/", "crates/exec/src/", "crates/bench/src/"];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        let path = norm_path(&file.path);
+        if !SCOPES.iter().any(|s| path.contains(s)) {
+            continue;
+        }
+        unwrapped_locks(file, &mut diags);
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            if let Some((bs, be)) = f.body {
+                nested_locks(file, bs, be, &mut diags);
+            }
+        }
+    }
+    diags
+}
+
+/// Flags `.lock().unwrap()` / `.lock().expect(...)`.
+fn unwrapped_locks(file: &FileModel, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.tok_in_test(i) {
+            continue;
+        }
+        if !(toks[i].is_ident("lock")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')')))
+        {
+            continue;
+        }
+        let after = i + 3;
+        if toks.get(after).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(after + 1)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+        {
+            diags.push(diag_at(
+                file,
+                &toks[after + 1],
+                "L5",
+                Severity::Warning,
+                "`.lock().unwrap()` — mutex poisoning handled by crashing".into(),
+                Some(
+                    "recover the guard with `.unwrap_or_else(PoisonError::into_inner)` (state \
+                     is valid at guard boundaries) or match on the error; see \
+                     docs/ANALYSIS.md#l5-lock-discipline"
+                        .into(),
+                ),
+            ));
+        }
+    }
+}
+
+/// A guard bound by `let` and still live.
+struct Guard {
+    name: String,
+    /// Combined delimiter depth at the binding statement.
+    depth: usize,
+    line: u32,
+}
+
+/// Flags `lock(` while a previously bound guard is still live in scope.
+fn nested_locks(file: &FileModel, bs: usize, be: usize, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = bs;
+    while i < be {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|g| depth >= g.depth);
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        // `drop(name)` releases the guard early.
+        if t.is_ident("drop") && toks.get(i + 1).is_some_and(|x| x.is_punct('(')) {
+            if let Some(name) = toks.get(i + 2) {
+                guards.retain(|g| g.name != name.text);
+            }
+            i += 1;
+            continue;
+        }
+        // `let [mut] NAME [: T] = <expr> ;` — register a guard if the
+        // expression is a bare lock acquisition.
+        if t.is_ident("let") {
+            if let Some(binding) = parse_let_binding(toks, i, be) {
+                // Locks appearing inside the binding expression while other
+                // guards are live still count as nested acquisitions.
+                report_locks_in_range(file, binding.expr_start, binding.stmt_end, &guards, diags);
+                if let Some(line) = binding.guard_line {
+                    guards.push(Guard {
+                        name: binding.name,
+                        depth,
+                        line,
+                    });
+                }
+                i = binding.stmt_end;
+                continue;
+            }
+        }
+        if is_lock_call(toks, i) {
+            report_nested(file, &toks[i], &guards, diags);
+        }
+        i += 1;
+    }
+}
+
+struct LetBinding {
+    name: String,
+    expr_start: usize,
+    stmt_end: usize,
+    /// `Some(line)` when the binding holds a guard (bare lock call).
+    guard_line: Option<u32>,
+}
+
+/// Parses `let [mut] NAME [: T] = expr ;` starting at the `let` token.
+/// Returns `None` for pattern bindings (`let Some(x) = ...`), which never
+/// bind guards in this workspace.
+fn parse_let_binding(toks: &[Token], i: usize, end: usize) -> Option<LetBinding> {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name_tok = toks.get(j)?;
+    if name_tok.kind != TokKind::Ident || !name_tok.text.chars().next()?.is_lowercase() {
+        return None; // pattern (Some, Ok, tuple, ...) — not a plain binding
+    }
+    let name = name_tok.text.clone();
+    j += 1;
+    // optional `: Type` — scan to the binding `=` at delimiter depth 0
+    let mut d = 0usize;
+    while j < end {
+        let t = &toks[j];
+        if d == 0 && t.is_punct('=') {
+            break;
+        }
+        if d == 0 && t.is_punct(';') {
+            return None; // `let name;`
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => d += 1,
+            ")" | "]" | "}" => d = d.saturating_sub(1),
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= end {
+        return None;
+    }
+    let expr_start = j + 1;
+    // statement end: `;` at delimiter depth 0 relative to here
+    let mut k = expr_start;
+    let mut d = 0usize;
+    while k < end {
+        let t = &toks[k];
+        if d == 0 && t.is_punct(';') {
+            break;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => d += 1,
+            ")" | "]" | "}" => d = d.saturating_sub(1),
+            _ => {}
+        }
+        k += 1;
+    }
+    let stmt_end = k;
+    Some(LetBinding {
+        guard_line: binding_is_guard(toks, expr_start, stmt_end),
+        name,
+        expr_start,
+        stmt_end,
+    })
+}
+
+/// Is the binding expression a *held* lock — a lock call with nothing but
+/// poison-recovery chained after it? Returns the lock call's line.
+fn binding_is_guard(toks: &[Token], start: usize, end: usize) -> Option<u32> {
+    // find the lock call at delimiter depth 0 of the expression
+    let mut i = start;
+    let mut lock_line = None;
+    while i < end {
+        let t = &toks[i];
+        if is_lock_call(toks, i) {
+            lock_line = Some(t.line);
+            i = skip_balanced(toks, i + 1, '(', ')');
+            break;
+        }
+        match t.text.as_str() {
+            "(" => {
+                i = skip_balanced(toks, i, '(', ')');
+                continue;
+            }
+            "[" => {
+                i = skip_balanced(toks, i, '[', ']');
+                continue;
+            }
+            "{" => {
+                i = skip_balanced(toks, i, '{', '}');
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    lock_line?;
+    // after the call: only poison-recovery wrappers may follow
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|m| {
+                m.is_ident("unwrap") || m.is_ident("expect") || m.is_ident("unwrap_or_else")
+            })
+            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+        {
+            i = skip_balanced(toks, i + 2, '(', ')');
+            continue;
+        }
+        return None; // further chaining — guard is temporary
+    }
+    lock_line
+}
+
+/// Is `toks[i]` a lock acquisition — `.lock(` or a call to a `lock` helper?
+fn is_lock_call(toks: &[Token], i: usize) -> bool {
+    toks[i].is_ident("lock") && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+fn report_locks_in_range(
+    file: &FileModel,
+    start: usize,
+    end: usize,
+    guards: &[Guard],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for i in start..end {
+        if is_lock_call(&file.tokens, i) {
+            report_nested(file, &file.tokens[i], guards, diags);
+        }
+    }
+}
+
+fn report_nested(file: &FileModel, tok: &Token, guards: &[Guard], diags: &mut Vec<Diagnostic>) {
+    if let Some(g) = guards.last() {
+        diags.push(diag_at(
+            file,
+            tok,
+            "L5",
+            Severity::Warning,
+            format!(
+                "lock acquired while guard `{}` (bound on line {}) is still held",
+                g.name, g.line
+            ),
+            Some(
+                "drop the held guard first (`drop(guard)`) or restructure so each critical \
+                 section takes one lock; nested acquisition under the job-queue mutex is how \
+                 serve deadlocks start; see docs/ANALYSIS.md#l5-lock-discipline"
+                    .into(),
+            ),
+        ));
+    }
+}

@@ -1,0 +1,262 @@
+//! **L6 — telemetry hygiene.**
+//!
+//! Every phase and event name flowing through `stepping_core::telemetry`
+//! must exist in the central registry (`crates/core/src/events.rs`), which
+//! `stepping-obs` shares for its read side. A name invented ad hoc at an
+//! emission site compiles fine and then silently never aggregates — the
+//! observer's match arms don't know it. This rule parses the registry's
+//! `pub const NAME: &str = "value";` tables and checks the phase/name
+//! arguments of every `telemetry::{point,counter,span}` call against them.
+//!
+//! Literal arguments are checked by value; path arguments
+//! (`phase::TRAINING`, `event::TRAIN_BATCHES`) by const name; anything
+//! dynamic (`self.phase`) is skipped — it was bound from a checked
+//! const or literal upstream.
+
+use super::{diag_at, norm_path, skip_balanced, Workspace};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{TokKind, Token};
+use crate::scan::FileModel;
+
+/// The registry parsed from `crates/core/src/events.rs`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// `(CONST_NAME, "value")` pairs from `mod phase`.
+    pub phases: Vec<(String, String)>,
+    /// `(CONST_NAME, "value")` pairs from `mod event`.
+    pub events: Vec<(String, String)>,
+}
+
+const EMITTERS: &[&str] = &["point", "counter", "span"];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let registry = ws
+        .files
+        .iter()
+        .find(|f| norm_path(&f.path).ends_with("src/events.rs"))
+        .map(parse_registry);
+    for file in &ws.files {
+        let path = norm_path(&file.path);
+        // The emission API itself and the registry are exempt; tests are
+        // free to emit ad-hoc names at their own observers.
+        if path.ends_with("src/telemetry.rs") || path.ends_with("src/events.rs") {
+            continue;
+        }
+        check_file(file, registry.as_ref(), &mut diags);
+    }
+    diags
+}
+
+/// Extracts `pub const NAME: &str = "value";` pairs from `mod phase` and
+/// `mod event` bodies.
+pub fn parse_registry(file: &FileModel) -> Registry {
+    let mut reg = Registry::default();
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("mod")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("phase") || t.is_ident("event"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            let is_phase = toks[i + 1].is_ident("phase");
+            let end = skip_balanced(toks, i + 2, '{', '}');
+            let out = if is_phase {
+                &mut reg.phases
+            } else {
+                &mut reg.events
+            };
+            collect_consts(&toks[i + 3..end - 1], out);
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    reg
+}
+
+/// Collects `const NAME: &str = "value";` within a module body.
+fn collect_consts(toks: &[Token], out: &mut Vec<(String, String)>) {
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("const") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokKind::Ident {
+            continue;
+        }
+        // scan ahead to `= "value"` before the next `;`
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct(';') {
+            if toks[j].is_punct('=') && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Str) {
+                out.push((name.text.clone(), toks[j + 1].text.clone()));
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// How one argument position resolves.
+enum Arg<'a> {
+    Literal(&'a str, &'a Token),
+    ConstPath(&'a str, &'a Token),
+    Dynamic,
+}
+
+fn check_file(file: &FileModel, registry: Option<&Registry>, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.tok_in_test(i) {
+            continue;
+        }
+        // `telemetry :: M (`
+        if !(toks[i].is_ident("telemetry")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokKind::Ident && EMITTERS.contains(&t.text.as_str()))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('(')))
+        {
+            continue;
+        }
+        let open = i + 4;
+        let close = skip_balanced(toks, open, '(', ')') - 1;
+        let Some(registry) = registry else {
+            diags.push(diag_at(
+                file,
+                &toks[i + 3],
+                "L6",
+                Severity::Error,
+                "telemetry emission found but no event registry \
+                 (crates/core/src/events.rs) was scanned"
+                    .into(),
+                Some(
+                    "scan the workspace root so the registry is visible, or restore the \
+                     registry file; see docs/ANALYSIS.md#l6-telemetry-hygiene"
+                        .into(),
+                ),
+            ));
+            continue;
+        };
+        let args = split_args(toks, open + 1, close);
+        if let Some(range) = args.first() {
+            check_arg(
+                file,
+                resolve(&toks[range.0..range.1]),
+                &registry.phases,
+                "phase",
+                diags,
+            );
+        }
+        if let Some(range) = args.get(1) {
+            check_arg(
+                file,
+                resolve(&toks[range.0..range.1]),
+                &registry.events,
+                "event",
+                diags,
+            );
+        }
+    }
+}
+
+/// Splits the argument token range at top-level commas.
+fn split_args(toks: &[Token], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut arg_start = start;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+            "," if depth == 0 => {
+                args.push((arg_start, i));
+                arg_start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if arg_start < end {
+        args.push((arg_start, end));
+    }
+    args
+}
+
+/// Resolves an argument token slice to a literal, a const path, or dynamic.
+fn resolve(arg: &[Token]) -> Arg<'_> {
+    if arg.len() == 1 && arg[0].kind == TokKind::Str {
+        return Arg::Literal(&arg[0].text, &arg[0]);
+    }
+    // path ending in an ALL_CAPS ident, e.g. `events::phase::TRAINING`
+    if let Some(last) = arg.last() {
+        let caps = last.kind == TokKind::Ident
+            && last
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+            && last
+                .text
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c == '_');
+        let pathish = arg.len() == 1 || arg.get(arg.len() - 2).is_some_and(|t| t.is_punct(':'));
+        if caps && pathish {
+            return Arg::ConstPath(&last.text, last);
+        }
+    }
+    Arg::Dynamic
+}
+
+fn check_arg(
+    file: &FileModel,
+    arg: Arg<'_>,
+    table: &[(String, String)],
+    position: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match arg {
+        Arg::Literal(value, tok) => {
+            if !table.iter().any(|(_, v)| v == value) {
+                diags.push(diag_at(
+                    file,
+                    tok,
+                    "L6",
+                    Severity::Error,
+                    format!("{position} name \"{value}\" is not in the central registry"),
+                    Some(
+                        "add it to crates/core/src/events.rs (and the obs read side if it \
+                         aggregates) or reuse an existing name; see \
+                         docs/ANALYSIS.md#l6-telemetry-hygiene"
+                            .into(),
+                    ),
+                ));
+            }
+        }
+        Arg::ConstPath(name, tok) => {
+            if !table.iter().any(|(n, _)| n == name) {
+                diags.push(diag_at(
+                    file,
+                    tok,
+                    "L6",
+                    Severity::Error,
+                    format!("{position} const `{name}` is not in the central registry"),
+                    Some(
+                        "emission sites must reference crates/core/src/events.rs consts or \
+                         registered literals; see docs/ANALYSIS.md#l6-telemetry-hygiene"
+                            .into(),
+                    ),
+                ));
+            }
+        }
+        Arg::Dynamic => {}
+    }
+}

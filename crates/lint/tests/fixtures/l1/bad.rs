@@ -1,0 +1,29 @@
+//! L1 fixture (positive): plan-epoch mutators that fail to invalidate.
+//!
+//! `weight_mut` is on the PR 4 mutator list with its invalidation
+//! deliberately deleted — exactly the regression L1 exists to catch.
+//! `overwrite` is a mutator the list does not know about; the sensitive-write
+//! heuristic must flag it.
+
+pub struct MaskedLinear {
+    weight: Param,
+    in_assign: Assignment,
+    plans: PlanSet,
+}
+
+impl MaskedLinear {
+    /// Listed mutator with the epoch bump removed.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// New mutator unknown to the PR 4 list: rewrites planned state.
+    pub fn overwrite(&mut self, w: Param) {
+        self.weight = w;
+    }
+
+    /// Reads stay silent: no sensitive write, no diagnostic.
+    pub fn out_features(&self) -> usize {
+        self.in_assign.len()
+    }
+}

@@ -1,0 +1,35 @@
+//! L1 fixture (negative): every mutator invalidates, directly or by
+//! delegating to a listed mutator; non-sensitive `&mut self` methods and
+//! plain reads stay silent.
+
+pub struct MaskedLinear {
+    weight: Param,
+    in_assign: Assignment,
+    scratch: Tensor,
+    plans: PlanSet,
+}
+
+impl MaskedLinear {
+    /// Listed mutator: invalidates before handing out the weights.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        self.plans.invalidate("linear");
+        &mut self.weight
+    }
+
+    /// Listed mutator that delegates to another listed mutator.
+    pub fn prune(&mut self, a: Assignment) {
+        self.set_in_assign(a);
+    }
+
+    /// Listed mutator: invalidates, then rewrites the assignment.
+    pub fn set_in_assign(&mut self, a: Assignment) {
+        self.plans.invalidate("linear");
+        self.in_assign = a;
+    }
+
+    /// `&mut self` but touches nothing planned — the heuristic must not
+    /// fire on ordinary working-state writes.
+    pub fn warm(&mut self, x: &Tensor) {
+        self.scratch = x.clone();
+    }
+}

@@ -1,0 +1,22 @@
+//! L2 fixture (positive): a wildcard arm and unclassified variants.
+
+pub enum Stage {
+    Linear(MaskedLinear),
+    Conv(MaskedConv2d),
+    Fixed(FixedStage),
+}
+
+pub enum FixedStage {
+    Relu(Relu),
+    Dropout(Dropout),
+}
+
+impl Stage {
+    pub fn shard_safe(&self) -> bool {
+        match self {
+            Stage::Linear(_) => true,
+            // Conv, Fixed, Relu and Dropout never get an explicit decision:
+            _ => true,
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! L2 fixture (negative): every `Stage` and `FixedStage` variant named
+//! explicitly, mirroring the workspace's real `shard_safe`.
+
+pub enum Stage {
+    Linear(MaskedLinear),
+    Conv(MaskedConv2d),
+    Fixed(FixedStage),
+}
+
+pub enum FixedStage {
+    Relu(Relu),
+    Dropout(Dropout),
+}
+
+impl Stage {
+    pub fn shard_safe(&self) -> bool {
+        match self {
+            Stage::Linear(_) => true,
+            Stage::Conv(_) => true,
+            Stage::Fixed(f) => match f {
+                FixedStage::Relu(_) => true,
+                // one RNG stream consumed in row order
+                FixedStage::Dropout(_) => false,
+            },
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! L2 fixture (positive): `matches!` hides variants from exhaustiveness.
+
+pub enum Stage {
+    Linear(MaskedLinear),
+    Conv(MaskedConv2d),
+}
+
+impl Stage {
+    pub fn shard_safe(&self) -> bool {
+        matches!(self, Stage::Linear(_) | Stage::Conv(_))
+    }
+}

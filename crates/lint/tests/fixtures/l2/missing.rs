@@ -1,0 +1,12 @@
+//! L2 fixture (positive): `enum Stage` with no `shard_safe` at all.
+
+pub enum Stage {
+    Linear(MaskedLinear),
+    Conv(MaskedConv2d),
+}
+
+impl Stage {
+    pub fn out_features(&self) -> usize {
+        0
+    }
+}

@@ -1,0 +1,11 @@
+//! L3 fixture (positive): banned constructs inside the whole-file
+//! determinism zone `crates/exec/src/reduce.rs`.
+
+use std::time::Instant;
+
+pub fn tree_reduce(outs: Vec<f32>, threads: usize) -> f32 {
+    let started = Instant::now();
+    let chunk = outs.len() / threads;
+    let _ = (started, chunk);
+    outs.iter().sum()
+}

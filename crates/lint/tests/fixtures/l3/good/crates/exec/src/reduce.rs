@@ -1,0 +1,22 @@
+//! L3 fixture (negative): a pure fixed-order reduction; banned idents may
+//! still appear in the test module, where timing is legitimate.
+
+pub fn tree_reduce(mut outs: Vec<f32>) -> Option<f32> {
+    while outs.len() > 1 {
+        let merged: Vec<f32> = outs.chunks(2).map(|c| c.iter().sum()).collect();
+        outs = merged;
+    }
+    outs.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn reduces() {
+        let t = Instant::now();
+        assert_eq!(super::tree_reduce(vec![1.0, 2.0, 3.0]), Some(6.0));
+        let _ = t.elapsed();
+    }
+}

@@ -1,0 +1,24 @@
+//! L4 fixture (positive): panics in library code of a covered crate.
+
+pub fn first_job(jobs: Vec<Job>) -> Job {
+    jobs.into_iter().next().unwrap()
+}
+
+pub fn parse_header(raw: &str) -> Header {
+    raw.parse().expect("well-formed header")
+}
+
+pub fn dispatch(kind: Kind) -> Out {
+    match kind {
+        Kind::Begin => Out::Begin,
+        Kind::Upgrade => unreachable!("upgrades go elsewhere"),
+    }
+}
+
+pub fn not_written_yet() {
+    todo!()
+}
+
+pub fn reject(reason: &str) -> ! {
+    panic!("rejected: {reason}")
+}

@@ -1,0 +1,19 @@
+//! L4 fixture (negative): typed errors in library code; `unwrap` is fine
+//! inside the test module.
+
+pub fn first_job(jobs: Vec<Job>) -> Result<Job, ServeError> {
+    jobs.into_iter().next().ok_or(ServeError::EmptyBatch)
+}
+
+pub fn parse_header(raw: &str) -> Result<Header, ServeError> {
+    raw.parse().map_err(|_| ServeError::BadHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn first_job_pops() {
+        let j = super::first_job(vec![Job::default()]).unwrap();
+        assert!(matches!(j, Job { .. }));
+    }
+}

@@ -1,0 +1,13 @@
+//! L5 fixture (positive): a poisoning `.lock().unwrap()` and a second
+//! lock acquired while a named guard is still held.
+
+pub fn poisoning(m: &Mutex<Vec<u32>>) -> u32 {
+    let st = m.lock().unwrap();
+    st[0]
+}
+
+pub fn nested(a: &Mutex<Vec<u32>>, b: &Mutex<Vec<u32>>) -> u32 {
+    let ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+    let gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+    ga[0] + gb[0]
+}

@@ -1,0 +1,15 @@
+//! L5 fixture (negative): guards recovered from poisoning and dropped
+//! before the next acquisition; chained temporaries are not held guards.
+
+pub fn sequential(a: &Mutex<Vec<u32>>, b: &Mutex<Vec<u32>>) -> u32 {
+    let ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+    let first = ga[0];
+    drop(ga);
+    let gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+    first + gb[0]
+}
+
+pub fn temporaries(a: &Mutex<Vec<u32>>, b: &Mutex<Vec<u32>>) -> usize {
+    let n = a.lock().unwrap_or_else(PoisonError::into_inner).len();
+    n + b.lock().unwrap_or_else(PoisonError::into_inner).len()
+}

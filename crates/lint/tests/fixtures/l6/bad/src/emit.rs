@@ -1,0 +1,7 @@
+//! L6 fixture (positive): names invented at the emission site.
+
+pub fn emit(value: f64) {
+    telemetry::point("train", "train.bogus", value);
+    telemetry::counter("warmup", event::TRAIN_BATCH, 1);
+    telemetry::span(phase::TRAINING, event::NOT_REGISTERED);
+}

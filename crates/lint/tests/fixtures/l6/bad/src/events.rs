@@ -1,0 +1,9 @@
+//! L6 fixture registry: the names emission sites may use.
+
+pub mod phase {
+    pub const TRAINING: &str = "train";
+}
+
+pub mod event {
+    pub const TRAIN_BATCH: &str = "train.batch";
+}

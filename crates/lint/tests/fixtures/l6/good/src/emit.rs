@@ -1,0 +1,8 @@
+//! L6 fixture (negative): registered literals, registry const paths, and a
+//! dynamic argument (bound upstream from a checked name) which is skipped.
+
+pub fn emit(state: &State, value: f64) {
+    telemetry::point("train", "train.batch", value);
+    telemetry::counter(phase::SERVING, event::QUEUE_DEPTH, 1);
+    telemetry::span(state.phase, event::TRAIN_BATCH);
+}

@@ -1,0 +1,11 @@
+//! L6 fixture registry: the names emission sites may use.
+
+pub mod phase {
+    pub const TRAINING: &str = "train";
+    pub const SERVING: &str = "serve";
+}
+
+pub mod event {
+    pub const TRAIN_BATCH: &str = "train.batch";
+    pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+}

@@ -1,0 +1,15 @@
+//! Suppression fixture: the first two `unwrap`s are allowed inline (line
+//! above, then same line); the third must still be reported.
+
+pub fn allowed_above(v: Vec<u32>) -> u32 {
+    // lint:allow(L4)
+    *v.first().unwrap()
+}
+
+pub fn allowed_same_line(v: Vec<u32>) -> u32 {
+    *v.first().unwrap() // lint:allow(all)
+}
+
+pub fn still_flagged(v: Vec<u32>) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,182 @@
+//! Per-rule fixture tests: every rule must fire on its `bad` fixture and
+//! stay silent on its `good` one. The `l1/bad.rs` fixture is the PR 4
+//! regression this crate exists for — a listed mutator with its
+//! epoch-invalidation call deleted.
+
+use std::path::PathBuf;
+
+use stepping_lint::diag::{Diagnostic, Severity};
+use stepping_lint::{run, Config};
+
+fn fixture(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel)
+}
+
+fn lint(rel: &str) -> Vec<Diagnostic> {
+    let config = Config {
+        paths: vec![fixture(rel)],
+        baseline: None,
+    };
+    run(&config).expect("fixture scan").diags
+}
+
+fn messages(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn l1_fires_on_deleted_invalidation_and_unknown_mutator() {
+    let diags = lint("l1/bad.rs");
+    assert_eq!(diags.len(), 2, "{}", messages(&diags));
+    assert!(diags
+        .iter()
+        .all(|d| d.rule == "L1" && d.severity == Severity::Error));
+    let msgs = messages(&diags);
+    assert!(msgs.contains("`MaskedLinear::weight_mut` never invalidates"));
+    assert!(msgs.contains("`MaskedLinear::overwrite` mutates planned state"));
+}
+
+#[test]
+fn l1_silent_when_mutators_invalidate_or_delegate() {
+    let diags = lint("l1/good.rs");
+    assert!(diags.is_empty(), "{}", messages(&diags));
+}
+
+#[test]
+fn l2_fires_on_wildcard_and_unclassified_variants() {
+    let diags = lint("l2/bad.rs");
+    assert_eq!(diags.len(), 5, "{}", messages(&diags));
+    assert!(diags
+        .iter()
+        .all(|d| d.rule == "L2" && d.severity == Severity::Error));
+    let msgs = messages(&diags);
+    assert!(msgs.contains("wildcard arm"));
+    for variant in [
+        "Stage::Conv",
+        "Stage::Fixed",
+        "FixedStage::Relu",
+        "FixedStage::Dropout",
+    ] {
+        assert!(msgs.contains(variant), "missing diagnostic for {variant}");
+    }
+}
+
+#[test]
+fn l2_fires_on_matches_shortcut() {
+    let diags = lint("l2/matches.rs");
+    assert_eq!(diags.len(), 1, "{}", messages(&diags));
+    assert!(diags[0].message.contains("`matches!`"));
+}
+
+#[test]
+fn l2_fires_when_shard_safe_is_missing() {
+    let diags = lint("l2/missing.rs");
+    assert_eq!(diags.len(), 1, "{}", messages(&diags));
+    assert!(diags[0].message.contains("no `shard_safe`"));
+}
+
+#[test]
+fn l2_silent_on_explicit_exhaustive_classification() {
+    let diags = lint("l2/good.rs");
+    assert!(diags.is_empty(), "{}", messages(&diags));
+}
+
+#[test]
+fn l3_fires_on_banned_idents_in_zone() {
+    let diags = lint("l3/bad");
+    // `Instant` twice (use + call) and `threads` twice (param + use).
+    assert_eq!(diags.len(), 4, "{}", messages(&diags));
+    assert!(diags
+        .iter()
+        .all(|d| d.rule == "L3" && d.severity == Severity::Error));
+    let msgs = messages(&diags);
+    assert!(msgs.contains("`Instant`"));
+    assert!(msgs.contains("`threads`"));
+}
+
+#[test]
+fn l3_silent_on_pure_reduction_with_timed_tests() {
+    let diags = lint("l3/good");
+    assert!(diags.is_empty(), "{}", messages(&diags));
+}
+
+#[test]
+fn l4_fires_on_each_panic_form() {
+    let diags = lint("l4/bad");
+    assert_eq!(diags.len(), 5, "{}", messages(&diags));
+    assert!(diags
+        .iter()
+        .all(|d| d.rule == "L4" && d.severity == Severity::Warning));
+    let msgs = messages(&diags);
+    for form in ["unwrap", "expect", "unreachable!", "todo!", "panic!"] {
+        assert!(msgs.contains(form), "missing diagnostic for {form}");
+    }
+}
+
+#[test]
+fn l4_silent_on_typed_errors_and_test_unwraps() {
+    let diags = lint("l4/good");
+    assert!(diags.is_empty(), "{}", messages(&diags));
+}
+
+#[test]
+fn l5_fires_on_unwrapped_lock_and_nested_acquisition() {
+    let diags = lint("l5/bad");
+    assert_eq!(diags.len(), 2, "{}", messages(&diags));
+    assert!(diags
+        .iter()
+        .all(|d| d.rule == "L5" && d.severity == Severity::Warning));
+    let msgs = messages(&diags);
+    assert!(msgs.contains("`.lock().unwrap()`"));
+    assert!(msgs.contains("guard `ga`"));
+}
+
+#[test]
+fn l5_silent_on_dropped_guards_and_temporaries() {
+    let diags = lint("l5/good");
+    assert!(diags.is_empty(), "{}", messages(&diags));
+}
+
+#[test]
+fn l6_fires_on_unregistered_names() {
+    let diags = lint("l6/bad");
+    assert_eq!(diags.len(), 3, "{}", messages(&diags));
+    assert!(diags
+        .iter()
+        .all(|d| d.rule == "L6" && d.severity == Severity::Error));
+    let msgs = messages(&diags);
+    assert!(msgs.contains("\"train.bogus\""));
+    assert!(msgs.contains("\"warmup\""));
+    assert!(msgs.contains("`NOT_REGISTERED`"));
+}
+
+#[test]
+fn l6_silent_on_registered_and_dynamic_names() {
+    let diags = lint("l6/good");
+    assert!(diags.is_empty(), "{}", messages(&diags));
+}
+
+#[test]
+fn l6_reports_missing_registry() {
+    // Scanning emission sites without the registry file is itself an error.
+    let diags = lint("l6/bad/src/emit.rs");
+    assert_eq!(diags.len(), 3, "{}", messages(&diags));
+    assert!(diags
+        .iter()
+        .all(|d| d.message.contains("no event registry")));
+}
+
+#[test]
+fn inline_suppressions_silence_only_their_lines() {
+    let diags = lint("suppress");
+    assert_eq!(diags.len(), 1, "{}", messages(&diags));
+    assert_eq!(diags[0].rule, "L4");
+    // Only the unwrap in `still_flagged` survives.
+    assert_eq!(diags[0].line, 14);
+}

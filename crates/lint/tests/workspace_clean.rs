@@ -1,0 +1,34 @@
+//! The acceptance gate behind `scripts/check.sh`'s lint leg: the workspace
+//! at HEAD carries zero findings and an empty baseline. If this test fails,
+//! fix the violation (or suppress it inline with a justification) — do not
+//! add baseline entries for new code.
+
+use std::path::PathBuf;
+
+use stepping_lint::{default_paths, run, Config};
+
+#[test]
+fn workspace_is_lint_clean_at_head() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = Config {
+        paths: default_paths(&root),
+        baseline: None,
+    };
+    let result = run(&config).expect("workspace scan");
+    assert!(
+        result.diags.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        result
+            .diags
+            .iter()
+            .map(|d| d.render_text())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Guard against the scan silently finding nothing to look at.
+    assert!(
+        result.files_scanned > 50,
+        "only {} files scanned — default path discovery broke",
+        result.files_scanned
+    );
+}

@@ -138,7 +138,7 @@ pub fn report_text(text: &str) {
     if installed() {
         dispatch(&Event {
             phase: REPORT_PHASE,
-            name: "text",
+            name: stepping_core::events::event::REPORT_TEXT,
             kind: EventKind::Point,
             fields: &[("text", Value::Str(text))],
         });
@@ -152,7 +152,7 @@ pub fn progress(text: &str) {
     if installed() {
         dispatch(&Event {
             phase: REPORT_PHASE,
-            name: "progress",
+            name: stepping_core::events::event::REPORT_PROGRESS,
             kind: EventKind::Point,
             fields: &[("text", Value::Str(text))],
         });

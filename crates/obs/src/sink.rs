@@ -196,8 +196,10 @@ impl OwnedEvent {
 
 /// Special phase used by [`crate::report_text`] / [`crate::progress`] for
 /// pre-formatted bench output (routed to stdout/stderr by the console sink,
-/// kept verbatim in the `text` field by the JSONL sink).
-pub const REPORT_PHASE: &str = "report";
+/// kept verbatim in the `text` field by the JSONL sink). An alias of
+/// [`stepping_core::events::phase::REPORT`] — the shared registry is the
+/// single source of truth for phase names.
+pub const REPORT_PHASE: &str = stepping_core::events::phase::REPORT;
 
 /// Human-readable sink. Telemetry events render as one aligned line each on
 /// stderr; `report`-phase events carry pre-formatted text and go to stdout
@@ -226,7 +228,7 @@ impl Sink for ConsoleSink {
                     _ => None,
                 })
                 .unwrap_or("");
-            if e.name == "progress" {
+            if e.name == stepping_core::events::event::REPORT_PROGRESS {
                 eprintln!("{text}");
             } else {
                 println!("{text}");

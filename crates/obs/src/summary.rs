@@ -9,6 +9,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use stepping_core::events::{event, phase};
+
 use crate::json::{self, Json};
 use crate::metrics::{CounterStats, RatioHistogram, SpanStats};
 use crate::sink::{OwnedEvent, OwnedValue};
@@ -166,23 +168,26 @@ pub fn summarize(events: &[OwnedEvent]) -> Summary {
             }
             _ => {}
         }
+        // Roll-up keys come from the shared registry (`stepping_core::events`)
+        // so the aggregator cannot drift from the emitters; the stepping-lint
+        // L6 rule enforces the same registry at every emission site.
         match (ev.phase.as_str(), ev.name.as_str(), ev.kind) {
-            ("construction", "construct.iteration", "span") => {
+            (phase::CONSTRUCTION, event::CONSTRUCT_ITERATION, "span") => {
                 s.construction_iterations += 1;
                 s.neurons_moved += field_u64(ev, "neurons_moved").unwrap_or(0);
                 s.synapses_pruned += field_u64(ev, "synapses_pruned").unwrap_or(0);
                 s.synapses_revived += field_u64(ev, "synapses_revived").unwrap_or(0);
             }
-            ("training", "train.batches", "counter") => {
+            (phase::TRAINING, event::TRAIN_BATCHES, "counter") => {
                 s.train_batches += ev.delta.unwrap_or(0);
             }
-            ("training", "distill.batches", "counter") => {
+            (phase::TRAINING, event::DISTILL_BATCHES, "counter") => {
                 s.distill_batches += ev.delta.unwrap_or(0);
             }
-            ("construction", "construct.train_batches", "counter") => {
+            (phase::CONSTRUCTION, event::CONSTRUCT_TRAIN_BATCHES, "counter") => {
                 s.construct_train_batches += ev.delta.unwrap_or(0);
             }
-            ("inference", "drive.slice", "span") => {
+            (phase::INFERENCE, event::DRIVE_SLICE, "span") => {
                 s.inference_slices += 1;
                 s.upgrades += field_u64(ev, "upgrades").unwrap_or(0);
                 let spent = field_u64(ev, "spent").unwrap_or(0);
@@ -191,7 +196,7 @@ pub fn summarize(events: &[OwnedEvent]) -> Summary {
                     s.budget_utilization.record(spent as f64 / budget as f64);
                 }
             }
-            ("inference", "exec.expand", "span") => {
+            (phase::INFERENCE, event::EXEC_EXPAND, "span") => {
                 if let Some(r) = field_f64(ev, "reuse_ratio") {
                     reuse_sum += r;
                     reuse_n += 1;

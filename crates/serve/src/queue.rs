@@ -44,6 +44,10 @@ pub(crate) enum Work {
     Upgrade {
         session: u64,
         cache: ActivationCache,
+        /// Level the cache sits at when the job is queued (the session's
+        /// `last_subnet`); recorded here so batching never has to re-derive
+        /// it from the cache.
+        from: usize,
         target: usize,
     },
 }
@@ -63,8 +67,8 @@ impl Job {
     pub fn key(&self) -> BatchKey {
         match &self.work {
             Work::Begin { subnet, .. } => BatchKey::Begin { subnet: *subnet },
-            Work::Upgrade { cache, target, .. } => BatchKey::Upgrade {
-                from: cache.current_subnet().expect("upgrade cache initialised"),
+            Work::Upgrade { from, target, .. } => BatchKey::Upgrade {
+                from: *from,
                 to: *target,
             },
         }

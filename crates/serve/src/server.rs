@@ -290,6 +290,7 @@ impl Server {
             work: Work::Upgrade {
                 session,
                 cache: entry.cache,
+                from: cur,
                 target,
             },
             budget_us: extra_budget_us,
@@ -396,13 +397,24 @@ fn respond_error(jobs: Vec<Job>, err: SteppingError) {
 
 fn run_begin_batch(shared: &Shared, net: &mut SteppingNet, jobs: Vec<Job>, subnet: usize) {
     let span = telemetry::span("serving", "serve.batch");
-    let inputs: Vec<Tensor> = jobs
-        .iter()
-        .map(|j| match &j.work {
-            Work::Begin { input, .. } => input.clone(),
-            Work::Upgrade { .. } => unreachable!("begin batch holds only begin jobs"),
-        })
-        .collect();
+    let mut inputs = Vec::with_capacity(jobs.len());
+    let mut kept = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        match &job.work {
+            Work::Begin { input, .. } => {
+                inputs.push(input.clone());
+                kept.push(job);
+            }
+            // A mis-keyed job can't run in this batch; answer it with an
+            // error instead of poisoning the whole batch.
+            Work::Upgrade { .. } => {
+                let _ = job.reply.send(Err(SteppingError::ExecutorState(
+                    "upgrade job routed to a begin batch".into(),
+                )));
+            }
+        }
+    }
+    let jobs = kept;
     let mut exec = BatchExecutor::new(net, shared.prune_threshold);
     let results = match exec.begin(&inputs, subnet) {
         Ok(r) => r,
@@ -481,7 +493,13 @@ fn run_upgrade_batch(
                 caches.push(cache);
                 replies.push((job.id, job.budget_us, job.submitted, job.reply));
             }
-            Work::Begin { .. } => unreachable!("upgrade batch holds only upgrade jobs"),
+            // A mis-keyed job can't run in this batch; answer it with an
+            // error instead of poisoning the whole batch.
+            Work::Begin { .. } => {
+                let _ = job.reply.send(Err(SteppingError::ExecutorState(
+                    "begin job routed to an upgrade batch".into(),
+                )));
+            }
         }
     }
     let mut exec = BatchExecutor::new(net, shared.prune_threshold);
@@ -502,7 +520,17 @@ fn run_upgrade_batch(
             }
         }
     }
-    let steps = last_steps.expect("to > from guarantees at least one expand");
+    let Some(steps) = last_steps else {
+        // `to > from` is guaranteed by the caller, so an empty loop means the
+        // batch key was inconsistent; fail the requests rather than panic.
+        span.end(&[("error", Value::Bool(true))]);
+        for (_, _, _, reply) in replies {
+            let _ = reply.send(Err(SteppingError::ExecutorState(
+                "upgrade batch performed no expand step".into(),
+            )));
+        }
+        return;
+    };
     let batch_size = replies.len();
     let mut misses = 0u64;
     let mut outbox = Vec::with_capacity(batch_size);

@@ -14,6 +14,19 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+# Static analysis: the six workspace invariants (plan-epoch, shard-safety,
+# determinism zones, panic/lock discipline, telemetry registry). Warnings
+# are errors here, matching the clippy leg.
+echo "==> stepping-lint --deny-warnings"
+cargo run -q --release -p stepping-lint -- --deny-warnings --baseline lint-baseline.txt
+
+# The baseline must stay empty at HEAD: entries are for staging large
+# imports only and may not linger past the PR that introduced them.
+if grep -v -e '^#' -e '^[[:space:]]*$' lint-baseline.txt > /dev/null; then
+    echo "error: lint-baseline.txt has entries; fix the findings instead" >&2
+    exit 1
+fi
+
 # Feature matrix: telemetry compiled in, alone and combined with the
 # invariant gate, must not change any test outcome.
 echo "==> feature matrix: --features obs"
