@@ -1,0 +1,208 @@
+//! Bench-regression comparator: diffs freshly generated `BENCH_*.json`
+//! files against checked-in baselines and fails when any numeric field
+//! moved by more than a percentage threshold.
+//!
+//! ```text
+//! bench_compare [--baseline DIR] [--fresh DIR] [--threshold-pct P]
+//!               [--ignore SUBSTR]... [--allow-missing] [FILE...]
+//! ```
+//!
+//! * `--baseline` — directory of reference files (default
+//!   `results/baselines`);
+//! * `--fresh` — directory of newly produced files (default `results`);
+//! * `--threshold-pct` — largest tolerated relative change, in percent
+//!   (default `50`; machine-to-machine throughput differences are large,
+//!   so the gate is a smoke check against order-of-magnitude regressions,
+//!   not a micro-benchmark judge);
+//! * `--ignore` — skip fields whose dotted path contains the substring
+//!   (repeatable; e.g. `--ignore p99` for the noisiest tails);
+//! * `--allow-missing` — a baseline without a fresh counterpart (or vice
+//!   versa) is reported and skipped instead of failing;
+//! * positional `FILE`s — compare only these names; default is every
+//!   `BENCH_*.json` present in the baseline directory.
+//!
+//! Exit status: `0` all fields within threshold, `1` regressions found,
+//! `2` usage or I/O error.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use stepping_metrics::snapshot::json::{self, Json};
+
+struct Options {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    threshold_pct: f64,
+    ignore: Vec<String>,
+    allow_missing: bool,
+    files: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: bench_compare [--baseline DIR] [--fresh DIR] [--threshold-pct P] \
+     [--ignore SUBSTR]... [--allow-missing] [FILE...]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        baseline: PathBuf::from("results/baselines"),
+        fresh: PathBuf::from("results"),
+        threshold_pct: 50.0,
+        ignore: Vec::new(),
+        allow_missing: false,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--baseline" => opts.baseline = PathBuf::from(value("--baseline")?),
+            "--fresh" => opts.fresh = PathBuf::from(value("--fresh")?),
+            "--threshold-pct" => {
+                let raw = value("--threshold-pct")?;
+                opts.threshold_pct = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| p.is_finite() && *p >= 0.0)
+                    .ok_or_else(|| format!("bad threshold {raw:?}"))?;
+            }
+            "--ignore" => opts.ignore.push(value("--ignore")?),
+            "--allow-missing" => opts.allow_missing = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{}", usage()))
+            }
+            other => opts.files.push(other.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+/// Collects every numeric leaf of `value` as a `(dotted.path, number)` pair.
+fn numeric_leaves(value: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Json::Num(x) => out.push((prefix.to_string(), *x)),
+        Json::Object(fields) => {
+            for (k, v) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                numeric_leaves(v, &path, out);
+            }
+        }
+        Json::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                numeric_leaves(v, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn load(path: &Path) -> Result<Vec<(String, f64)>, String> {
+    let raw =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let value = json::parse(&raw).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut leaves = Vec::new();
+    numeric_leaves(&value, "", &mut leaves);
+    Ok(leaves)
+}
+
+/// Relative change in percent, symmetric in the larger magnitude so a
+/// baseline of zero does not divide by zero.
+fn delta_pct(base: f64, fresh: f64) -> f64 {
+    let denom = base.abs().max(fresh.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (fresh - base).abs() / denom * 100.0
+    }
+}
+
+/// Compares one file pair; returns the number of out-of-threshold fields.
+fn compare_file(name: &str, opts: &Options) -> Result<usize, String> {
+    let base = load(&opts.baseline.join(name))?;
+    let fresh = load(&opts.fresh.join(name))?;
+    let mut regressions = 0usize;
+    for (path, base_value) in &base {
+        if opts.ignore.iter().any(|s| path.contains(s.as_str())) {
+            continue;
+        }
+        let Some((_, fresh_value)) = fresh.iter().find(|(p, _)| p == path) else {
+            if opts.allow_missing {
+                println!("{name}: {path}: missing in fresh file (skipped)");
+                continue;
+            }
+            println!("{name}: {path}: missing in fresh file");
+            regressions += 1;
+            continue;
+        };
+        let pct = delta_pct(*base_value, *fresh_value);
+        if pct > opts.threshold_pct {
+            println!(
+                "{name}: {path}: {base_value} -> {fresh_value} ({pct:.1}% > {:.1}%)",
+                opts.threshold_pct
+            );
+            regressions += 1;
+        }
+    }
+    Ok(regressions)
+}
+
+fn baseline_files(dir: &Path) -> Result<Vec<String>, String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+fn run() -> Result<usize, String> {
+    let opts = parse_args()?;
+    let names = if opts.files.is_empty() {
+        baseline_files(&opts.baseline)?
+    } else {
+        opts.files.clone()
+    };
+    if names.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {}",
+            opts.baseline.display()
+        ));
+    }
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for name in &names {
+        if !opts.fresh.join(name).exists() && opts.allow_missing {
+            println!("{name}: no fresh file (skipped)");
+            continue;
+        }
+        regressions += compare_file(name, &opts)?;
+        compared += 1;
+    }
+    println!(
+        "bench_compare: {compared} file(s), {regressions} field(s) beyond {:.1}%",
+        opts.threshold_pct
+    );
+    Ok(regressions)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_compare: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

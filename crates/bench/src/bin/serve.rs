@@ -1,15 +1,28 @@
 //! Serving-throughput benchmark for the `stepping-serve` engine.
 //!
-//! Two experiments over the same closed-loop client population:
+//! Three experiments over the same closed-loop client population:
 //!
-//! 1. **worker sweep** — throughput as the worker pool grows with
-//!    micro-batching enabled,
+//! 1. **worker sweep** — throughput as the worker pool grows (1 → 8) with
+//!    micro-batching enabled, with the production metric series (lock-wait
+//!    percentiles, sampled queue depth, batch occupancy) diffed per
+//!    configuration from the global registry,
 //! 2. **batch vs sequential** — micro-batching (`max_batch = 8`) against a
 //!    degenerate one-job-per-batch server (`max_batch = 1`) at the same
 //!    worker count, reporting throughput and client-observed latency
-//!    percentiles.
+//!    percentiles,
+//! 3. **metrics overhead A/B** — the same configuration with metric
+//!    recording runtime-enabled vs runtime-disabled
+//!    ([`stepping_metrics::set_runtime_enabled`]), interleaved, median of
+//!    three runs each. The ≤5% hot-path overhead gate self-enables on
+//!    machines with ≥ 4 cores (`STEPPING_METRICS_ASSERT=1` forces it
+//!    elsewhere) — on fewer cores the A/B contrast is dominated by
+//!    scheduler noise, not metric cost.
 //!
+//! The batched reference configuration also streams registry snapshots to
+//! `results/serve.metrics.jsonl` (readable with `stepping-metrics-report`).
 //! Results are printed as tables and written to `results/BENCH_serve.json`.
+//! `STEPPING_SERVE_SMOKE=1` shrinks the client population and the sweep for
+//! CI smoke runs.
 //!
 //! Run with `cargo run --release -p stepping-bench --bin serve`.
 
@@ -21,14 +34,33 @@ use stepping_baselines::regular_assign;
 use stepping_bench::observe::{self, progress, report_text};
 use stepping_bench::print_table;
 use stepping_core::{SteppingNet, SteppingNetBuilder};
+use stepping_metrics::{HistSnapshot, MetricsRegistry, Snapshot};
 use stepping_runtime::{DeviceModel, SessionConfig};
 use stepping_serve::{Request, ServeConfig, Server};
 use stepping_tensor::{init, Shape};
 
+/// `STEPPING_SERVE_SMOKE=1` shrinks everything for CI smoke runs.
+fn smoke() -> bool {
+    std::env::var("STEPPING_SERVE_SMOKE").as_deref() == Ok("1")
+}
+
 /// Concurrent closed-loop clients; the batching claim is made at this level.
-const CLIENTS: usize = 8;
+fn clients() -> usize {
+    if smoke() {
+        4
+    } else {
+        8
+    }
+}
+
 /// Requests each client issues back-to-back.
-const PER_CLIENT: usize = 60;
+fn per_client() -> usize {
+    if smoke() {
+        20
+    } else {
+        60
+    }
+}
 
 /// A network large enough that the forward pass, not queue bookkeeping,
 /// dominates: ~330k MACs per row at the full subnet.
@@ -53,6 +85,14 @@ struct RunResult {
     p50_us: f64,
     p90_us: f64,
     p99_us: f64,
+    /// Queue-lock acquisition wait, merged across workers (µs).
+    lock_wait_p50_us: f64,
+    /// Tail of the same series (µs).
+    lock_wait_p99_us: f64,
+    /// Queue depth as sampled by workers at batch extraction (p90).
+    queue_depth_p90: u64,
+    /// Mean requests per extracted batch, from the occupancy series.
+    occupancy_mean: f64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -63,23 +103,44 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Runs `CLIENTS` closed-loop producers against one server configuration and
-/// measures wall-clock throughput plus client-observed latency percentiles.
-fn run_config(net: &SteppingNet, workers: usize, max_batch: usize) -> RunResult {
-    let config = ServeConfig::new()
+/// Interval view of one histogram series (merged over labels) between two
+/// registry snapshots.
+fn hist_delta(before: &Snapshot, after: &Snapshot, base: &str) -> HistSnapshot {
+    after.hist_merged(base).since(&before.hist_merged(base))
+}
+
+/// Runs closed-loop producers against one server configuration and measures
+/// wall-clock throughput, client-observed latency percentiles, and the
+/// production metric series the run left in the global registry.
+fn run_config(
+    net: &SteppingNet,
+    workers: usize,
+    max_batch: usize,
+    snapshot_path: Option<&str>,
+) -> RunResult {
+    let registry = MetricsRegistry::global();
+    let before = registry.snapshot();
+    let mut config = ServeConfig::new()
         .workers(workers)
         .max_batch(max_batch)
         .max_wait(Duration::from_micros(150))
         .session(SessionConfig::new().device(DeviceModel::embedded()));
+    if let Some(path) = snapshot_path {
+        config = config
+            .metrics_snapshot(path)
+            .metrics_interval(Duration::from_millis(50));
+    }
     let server = Arc::new(Server::new(net, config).expect("server"));
+    let n_clients = clients();
+    let n_per_client = per_client();
     let start = Instant::now();
-    let handles: Vec<_> = (0..CLIENTS)
+    let handles: Vec<_> = (0..n_clients)
         .map(|c| {
             let server = Arc::clone(&server);
             std::thread::spawn(move || {
-                let mut latencies = Vec::with_capacity(PER_CLIENT);
-                for j in 0..PER_CLIENT {
-                    let seed = (c * PER_CLIENT + j) as u64;
+                let mut latencies = Vec::with_capacity(n_per_client);
+                for j in 0..n_per_client {
+                    let seed = (c * n_per_client + j) as u64;
                     let x = init::uniform(Shape::of(&[1, 128]), -1.0, 1.0, &mut init::rng(seed));
                     let sent = Instant::now();
                     let response = server
@@ -109,7 +170,11 @@ fn run_config(net: &SteppingNet, workers: usize, max_batch: usize) -> RunResult 
     let elapsed = start.elapsed().as_secs_f64();
     server.shutdown();
     let stats = server.stats();
-    assert_eq!(stats.requests, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.requests, (n_clients * n_per_client) as u64);
+    let after = registry.snapshot();
+    let lock_wait = hist_delta(&before, &after, "serve.lock_wait_ns");
+    let sampled = hist_delta(&before, &after, "serve.queue_depth_sampled");
+    let occupancy = hist_delta(&before, &after, "serve.batch_occupancy");
     latencies.sort_by(|a, b| a.total_cmp(b));
     RunResult {
         workers,
@@ -120,6 +185,10 @@ fn run_config(net: &SteppingNet, workers: usize, max_batch: usize) -> RunResult 
         p50_us: percentile(&latencies, 0.50),
         p90_us: percentile(&latencies, 0.90),
         p99_us: percentile(&latencies, 0.99),
+        lock_wait_p50_us: lock_wait.quantile(0.50) as f64 / 1e3,
+        lock_wait_p99_us: lock_wait.quantile(0.99) as f64 / 1e3,
+        queue_depth_p90: sampled.quantile(0.90),
+        occupancy_mean: occupancy.mean(),
     }
 }
 
@@ -133,6 +202,10 @@ fn row(r: &RunResult) -> Vec<String> {
         format!("{:.0}", r.p50_us),
         format!("{:.0}", r.p90_us),
         format!("{:.0}", r.p99_us),
+        format!("{:.1}", r.lock_wait_p50_us),
+        format!("{:.1}", r.lock_wait_p99_us),
+        r.queue_depth_p90.to_string(),
+        format!("{:.2}", r.occupancy_mean),
     ]
 }
 
@@ -140,7 +213,9 @@ fn json_entry(r: &RunResult) -> String {
     format!(
         "{{\"workers\": {}, \"max_batch\": {}, \"throughput_rps\": {:.1}, \
          \"mean_batch\": {:.3}, \"largest_batch\": {}, \"p50_us\": {:.1}, \
-         \"p90_us\": {:.1}, \"p99_us\": {:.1}}}",
+         \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"lock_wait_p50_us\": {:.2}, \
+         \"lock_wait_p99_us\": {:.2}, \"queue_depth_p90\": {}, \
+         \"occupancy_mean\": {:.3}}}",
         r.workers,
         r.max_batch,
         r.throughput_rps,
@@ -149,23 +224,52 @@ fn json_entry(r: &RunResult) -> String {
         r.p50_us,
         r.p90_us,
         r.p99_us,
+        r.lock_wait_p50_us,
+        r.lock_wait_p99_us,
+        r.queue_depth_p90,
+        r.occupancy_mean,
     )
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Interleaved A/B of metric recording runtime-enabled vs runtime-disabled
+/// on the reference configuration; returns (enabled, disabled) median
+/// throughput.
+fn overhead_ab(net: &SteppingNet) -> (f64, f64) {
+    let mut on = Vec::new();
+    let mut off = Vec::new();
+    for _ in 0..3 {
+        stepping_metrics::set_runtime_enabled(true);
+        on.push(run_config(net, 2, 8, None).throughput_rps);
+        stepping_metrics::set_runtime_enabled(false);
+        off.push(run_config(net, 2, 8, None).throughput_rps);
+    }
+    stepping_metrics::set_runtime_enabled(true);
+    (median(&mut on), median(&mut off))
 }
 
 fn main() {
     observe::init("serve");
     let net = serving_net();
     progress(&format!(
-        "{CLIENTS} closed-loop clients x {PER_CLIENT} requests, full subnet"
+        "{} closed-loop clients x {} requests, full subnet{}",
+        clients(),
+        per_client(),
+        if smoke() { " (smoke)" } else { "" }
     ));
 
     // warm-up so page faults and lazy allocations don't skew the first config
-    let _ = run_config(&net, 1, 8);
+    let _ = run_config(&net, 1, 8, None);
 
     report_text("\nSERVE: throughput vs worker count (micro-batching on)");
-    let sweep: Vec<RunResult> = [1usize, 2, 4]
+    let worker_counts: &[usize] = if smoke() { &[1, 2] } else { &[1, 2, 4, 8] };
+    let sweep: Vec<RunResult> = worker_counts
         .iter()
-        .map(|&w| run_config(&net, w, 8))
+        .map(|&w| run_config(&net, w, 8, None))
         .collect();
     let headers = [
         "workers",
@@ -176,33 +280,72 @@ fn main() {
         "p50 us",
         "p90 us",
         "p99 us",
+        "lock p50 us",
+        "lock p99 us",
+        "qdepth p90",
+        "occ mean",
     ];
     print_table(&headers, &sweep.iter().map(row).collect::<Vec<_>>());
 
     report_text("\nSERVE: micro-batching vs sequential (one job per batch)");
-    let batched = run_config(&net, 2, 8);
-    let sequential = run_config(&net, 2, 1);
+    let batched = run_config(&net, 2, 8, Some("results/serve.metrics.jsonl"));
+    let sequential = run_config(&net, 2, 1, None);
     print_table(&headers, &[row(&batched), row(&sequential)]);
     let speedup = batched.throughput_rps / sequential.throughput_rps;
     report_text(&format!(
-        "micro-batching throughput speedup at {CLIENTS} clients: {speedup:.2}x"
+        "micro-batching throughput speedup at {} clients: {speedup:.2}x",
+        clients()
     ));
+
+    report_text("\nSERVE: metric recording overhead (runtime A/B, median of 3)");
+    let (enabled_rps, disabled_rps) = overhead_ab(&net);
+    let overhead_pct = if disabled_rps > enabled_rps {
+        (disabled_rps - enabled_rps) / disabled_rps * 100.0
+    } else {
+        0.0
+    };
+    report_text(&format!(
+        "metrics on: {enabled_rps:.0} req/s, off: {disabled_rps:.0} req/s, \
+         overhead: {overhead_pct:.2}%"
+    ));
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let assert_forced = std::env::var("STEPPING_METRICS_ASSERT").as_deref() == Ok("1");
+    if cores >= 4 || assert_forced {
+        assert!(
+            overhead_pct <= 5.0,
+            "metric recording costs {overhead_pct:.2}% throughput (gate: 5%)"
+        );
+        report_text("overhead gate passed (<= 5%)");
+    } else {
+        report_text(&format!(
+            "overhead gate skipped: {cores} core(s) < 4, A/B contrast is \
+             scheduler noise (set STEPPING_METRICS_ASSERT=1 to force)"
+        ));
+    }
 
     let sweep_json: Vec<String> = sweep.iter().map(json_entry).collect();
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"clients\": {CLIENTS},\n  \
-         \"requests_per_client\": {PER_CLIENT},\n  \"net_macs_full\": {},\n  \
+        "{{\n  \"bench\": \"serve\",\n  \"smoke\": {},\n  \"clients\": {},\n  \
+         \"requests_per_client\": {},\n  \"net_macs_full\": {},\n  \
          \"worker_sweep\": [\n    {}\n  ],\n  \"batching\": {{\n    \
          \"batched\": {},\n    \"sequential\": {},\n    \
-         \"throughput_speedup\": {:.3}\n  }}\n}}\n",
+         \"throughput_speedup\": {:.3}\n  }},\n  \"metrics_overhead\": {{\n    \
+         \"enabled_rps\": {:.1},\n    \"disabled_rps\": {:.1},\n    \
+         \"overhead_pct\": {:.2}\n  }}\n}}\n",
+        smoke(),
+        clients(),
+        per_client(),
         net.full_macs(),
         sweep_json.join(",\n    "),
         json_entry(&batched),
         json_entry(&sequential),
         speedup,
+        enabled_rps,
+        disabled_rps,
+        overhead_pct,
     );
     fs::create_dir_all("results").expect("results dir");
     fs::write("results/BENCH_serve.json", json).expect("write BENCH_serve.json");
-    report_text("wrote results/BENCH_serve.json");
+    report_text("wrote results/BENCH_serve.json and results/serve.metrics.jsonl");
     observe::finish();
 }

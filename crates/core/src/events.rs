@@ -162,6 +162,92 @@ pub mod event {
     ];
 }
 
+/// Production metric names — the series registered with
+/// `stepping_metrics::MetricsRegistry::register_*`.
+///
+/// These are the always-on aggregate metrics (counters, gauges, latency
+/// histograms), distinct from the per-event telemetry names in [`event`]:
+/// a metric exists for the whole process lifetime and is read via
+/// snapshots, while an event is emitted once per occurrence into the `obs`
+/// pipeline. The `stepping-lint` L6 rule checks `register_*` call sites
+/// against this table, and [`is_metric`] is installed as the runtime
+/// validator (see `MetricsRegistry::set_validator`) so an unregistered
+/// name surfaces in every snapshot's `invalid_names` count.
+pub mod metric {
+    // serving lifecycle (admission → queue → batch → lock → forward → reply)
+    /// Requests admitted into the server (submit + upgrade).
+    pub const SERVE_ADMITTED: &str = "serve.admitted";
+    /// Requests fully completed (reply sent).
+    pub const SERVE_COMPLETED: &str = "serve.completed";
+    /// Admission-side bookkeeping latency (resolve + enqueue).
+    pub const SERVE_ADMISSION_NS: &str = "serve.admission_ns";
+    /// Jobs waiting in the batch queue right now (gauge).
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Queue depth observed by each worker at batch extraction.
+    pub const SERVE_QUEUE_DEPTH_SAMPLED: &str = "serve.queue_depth_sampled";
+    /// Per-job time from enqueue to batch extraction.
+    pub const SERVE_QUEUE_WAIT_NS: &str = "serve.queue_wait_ns";
+    /// Worker wait for the queue lock / batch condvar.
+    pub const SERVE_LOCK_WAIT_NS: &str = "serve.lock_wait_ns";
+    /// Oldest job's age when its batch was flushed (batch formation time).
+    pub const SERVE_BATCH_FORM_NS: &str = "serve.batch_form_ns";
+    /// Jobs fused per executed batch (per batch-key series).
+    pub const SERVE_BATCH_OCCUPANCY: &str = "serve.batch_occupancy";
+    /// Packed forward pass latency per batch.
+    pub const SERVE_FORWARD_NS: &str = "serve.forward_ns";
+    /// Reply delivery latency per batch.
+    pub const SERVE_REPLY_NS: &str = "serve.reply_ns";
+    /// Per-worker nanoseconds spent executing batches (utilization).
+    pub const SERVE_WORKER_BUSY_NS: &str = "serve.worker_busy_ns";
+    /// Requests whose budget was already blown at completion.
+    pub const SERVE_DEADLINE_MISS: &str = "serve.deadline_miss";
+    /// Unaffordable upgrades answered synchronously from cache.
+    pub const SERVE_CACHE_HIT: &str = "serve.cache_hit";
+
+    // execution pool
+    /// Dispatch side of one pool run (send jobs to workers).
+    pub const EXEC_DISPATCH_NS: &str = "exec.dispatch_ns";
+    /// Collect/reduce side of one pool run.
+    pub const EXEC_REDUCE_NS: &str = "exec.reduce_ns";
+    /// Whole pool run (dispatch + workers + collect).
+    pub const EXEC_POOL_RUN_NS: &str = "exec.pool_run_ns";
+
+    // compiled-plan cache
+    /// Plans compiled.
+    pub const PLAN_COMPILE: &str = "plan.compile";
+    /// Plan-compilation latency.
+    pub const PLAN_COMPILE_NS: &str = "plan.compile_ns";
+    /// Plans served from cache.
+    pub const PLAN_CACHE_HIT: &str = "plan.cache_hit";
+    /// Cache invalidations (epoch advances).
+    pub const PLAN_INVALIDATE: &str = "plan.invalidate";
+
+    /// Every registered metric name.
+    pub const ALL: &[&str] = &[
+        SERVE_ADMITTED,
+        SERVE_COMPLETED,
+        SERVE_ADMISSION_NS,
+        SERVE_QUEUE_DEPTH,
+        SERVE_QUEUE_DEPTH_SAMPLED,
+        SERVE_QUEUE_WAIT_NS,
+        SERVE_LOCK_WAIT_NS,
+        SERVE_BATCH_FORM_NS,
+        SERVE_BATCH_OCCUPANCY,
+        SERVE_FORWARD_NS,
+        SERVE_REPLY_NS,
+        SERVE_WORKER_BUSY_NS,
+        SERVE_DEADLINE_MISS,
+        SERVE_CACHE_HIT,
+        EXEC_DISPATCH_NS,
+        EXEC_REDUCE_NS,
+        EXEC_POOL_RUN_NS,
+        PLAN_COMPILE,
+        PLAN_COMPILE_NS,
+        PLAN_CACHE_HIT,
+        PLAN_INVALIDATE,
+    ];
+}
+
 /// Whether `name` is a registered phase.
 pub fn is_phase(name: &str) -> bool {
     phase::ALL.contains(&name)
@@ -170,6 +256,12 @@ pub fn is_phase(name: &str) -> bool {
 /// Whether `name` is a registered event name.
 pub fn is_event(name: &str) -> bool {
     event::ALL.contains(&name)
+}
+
+/// Whether `name` is a registered production metric name. Installed as the
+/// `MetricsRegistry` runtime validator by the serving engine and benches.
+pub fn is_metric(name: &str) -> bool {
+    metric::ALL.contains(&name)
 }
 
 #[cfg(test)]
@@ -188,6 +280,11 @@ mod tests {
                 assert_ne!(a, b, "duplicate phase name");
             }
         }
+        for (i, a) in metric::ALL.iter().enumerate() {
+            for b in &metric::ALL[i + 1..] {
+                assert_ne!(a, b, "duplicate metric name");
+            }
+        }
     }
 
     #[test]
@@ -196,11 +293,13 @@ mod tests {
         assert!(!is_phase("inferense"));
         assert!(is_event(event::PLAN_CACHE_HIT));
         assert!(!is_event("plan.cachehit"));
+        assert!(is_metric(metric::SERVE_QUEUE_DEPTH));
+        assert!(!is_metric("serve.queuedepth"));
     }
 
     #[test]
     fn event_names_are_dot_separated_lowercase() {
-        for name in event::ALL {
+        for name in event::ALL.iter().chain(metric::ALL) {
             assert!(
                 name.chars()
                     .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),

@@ -403,6 +403,7 @@ impl MaskedConv2d {
             plan::note_hit("conv", subnet);
             return;
         }
+        let _compile_timer = plan::compile_timer();
         let plan = self.compile(
             self.out_assign.active_members(subnet),
             self.in_assign.active_members(subnet),
@@ -420,6 +421,7 @@ impl MaskedConv2d {
             plan::note_hit("conv", k);
             return;
         }
+        let _compile_timer = plan::compile_timer();
         let plan = self.compile(
             self.out_assign.members(k),
             self.in_assign.active_members(k),

@@ -356,6 +356,7 @@ impl MaskedLinear {
             plan::note_hit("linear", subnet);
             return;
         }
+        let _compile_timer = plan::compile_timer();
         let i_n = self.in_features();
         let out_idx = self.out_assign.active_members(subnet);
         let in_idx = self.in_assign.active_members(subnet);
@@ -392,6 +393,7 @@ impl MaskedLinear {
             plan::note_hit("linear", k);
             return;
         }
+        let _compile_timer = plan::compile_timer();
         let i_n = self.in_features();
         let out_idx = self.out_assign.members(k);
         let in_idx = self.in_assign.active_members(k);

@@ -411,6 +411,7 @@ impl SteppingNet {
             plan::note_hit("head", subnet);
             return;
         }
+        let _compile_timer = plan::compile_timer();
         let f = self.feature_assign.len();
         let feat_idx = self.feature_assign.active_members(subnet);
         let wd = self.heads[subnet].weight().value.data();

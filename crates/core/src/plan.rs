@@ -32,7 +32,43 @@
 //! weights, which the tests in `crates/core/tests/packed_plans.rs` guard
 //! against.
 
+use std::sync::{Arc, OnceLock};
+
+use stepping_metrics::{start_timer, LogHistogram, MetricsRegistry, PhaseTimer, ShardedCounter};
+
 use crate::telemetry::{self, Value};
+
+/// Always-on plan-cache metrics in the process-wide registry, distinct from
+/// the offline `obs` telemetry below: these are live production counters
+/// (`plan.compile`, `plan.cache_hit`, `plan.invalidate`) plus the compile
+/// phase histogram (`plan.compile_ns`), named by the
+/// [`crate::events::metric`] table.
+struct PlanMetrics {
+    compile: Arc<ShardedCounter>,
+    compile_ns: Arc<LogHistogram>,
+    cache_hit: Arc<ShardedCounter>,
+    invalidate: Arc<ShardedCounter>,
+}
+
+fn plan_metrics() -> &'static PlanMetrics {
+    static METRICS: OnceLock<PlanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = MetricsRegistry::global();
+        registry.set_validator(crate::events::is_metric);
+        PlanMetrics {
+            compile: registry.register_counter(crate::events::metric::PLAN_COMPILE),
+            compile_ns: registry.register_histogram(crate::events::metric::PLAN_COMPILE_NS),
+            cache_hit: registry.register_counter(crate::events::metric::PLAN_CACHE_HIT),
+            invalidate: registry.register_counter(crate::events::metric::PLAN_INVALIDATE),
+        }
+    })
+}
+
+/// Starts the `plan.compile_ns` phase timer; bind it across an `ensure_*`
+/// compile so the drop (or an explicit `stop`) records the compile latency.
+pub(crate) fn compile_timer() -> PhaseTimer {
+    start_timer(&plan_metrics().compile_ns)
+}
 
 /// Packed panel for one `(masked-linear layer, subnet)` pair.
 #[derive(Debug, Clone)]
@@ -115,6 +151,7 @@ impl<P> PlanSet<P> {
         if had {
             self.full.clear();
             self.step.clear();
+            plan_metrics().invalidate.inc();
             telemetry::counter("plan", "plan.invalidate", 1, &[("layer", Value::Str(kind))]);
         }
     }
@@ -164,6 +201,7 @@ pub(crate) fn missing(kind: &'static str) -> crate::SteppingError {
 
 /// Emits the `plan.compile` telemetry point for a freshly compiled plan.
 pub(crate) fn note_compile(kind: &'static str, subnet: usize, rows: usize, cols: usize) {
+    plan_metrics().compile.inc();
     telemetry::point(
         "plan",
         "plan.compile",
@@ -178,6 +216,7 @@ pub(crate) fn note_compile(kind: &'static str, subnet: usize, rows: usize, cols:
 
 /// Emits the `plan.cache_hit` telemetry counter.
 pub(crate) fn note_hit(kind: &'static str, subnet: usize) {
+    plan_metrics().cache_hit.inc();
     telemetry::counter(
         "plan",
         "plan.cache_hit",

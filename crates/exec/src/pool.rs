@@ -8,10 +8,34 @@
 //! instead of poisoning a `JoinHandle` or aborting the process.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{self, Sender};
 use parking_lot::RwLock;
+use stepping_metrics::{start_timer, LogHistogram, MetricsRegistry};
+
+/// Always-on pool phase metrics in the process-wide registry. The names are
+/// string literals (this crate sits below `stepping-core`, so it cannot
+/// name `events::metric` constants); they must match
+/// `crates/core/src/events.rs` and the L6 lint checks them there.
+struct PoolMetrics {
+    dispatch_ns: Arc<LogHistogram>,
+    reduce_ns: Arc<LogHistogram>,
+    run_ns: Arc<LogHistogram>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = MetricsRegistry::global();
+        PoolMetrics {
+            dispatch_ns: registry.register_histogram("exec.dispatch_ns"),
+            reduce_ns: registry.register_histogram("exec.reduce_ns"),
+            run_ns: registry.register_histogram("exec.pool_run_ns"),
+        }
+    })
+}
 
 /// A unit of work submitted to [`ExecPool::run`].
 pub type Job<T> = Box<dyn FnOnce() -> T + Send + 'static>;
@@ -110,6 +134,8 @@ impl ExecPool {
         if n == 0 {
             return Ok(Vec::new());
         }
+        let metrics = pool_metrics();
+        let _run_timer = start_timer(&metrics.run_ns);
         if self.senders.is_empty() {
             // Inline sequential execution, index order.
             let mut out = Vec::with_capacity(n);
@@ -128,6 +154,7 @@ impl ExecPool {
             };
         }
         let (tx, rx) = channel::bounded::<(usize, std::thread::Result<T>)>(n);
+        let dispatch_timer = start_timer(&metrics.dispatch_ns);
         for (i, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
             let task: Task = Box::new(move || {
@@ -139,6 +166,8 @@ impl ExecPool {
             }
         }
         drop(tx);
+        dispatch_timer.stop();
+        let reduce_timer = start_timer(&metrics.reduce_ns);
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let mut first_panic = None;
         for _ in 0..n {
@@ -150,6 +179,7 @@ impl ExecPool {
                 Err(_) => return Err(PoolError::Disconnected),
             }
         }
+        reduce_timer.stop();
         if let Some(msg) = first_panic {
             return Err(PoolError::Panicked(msg));
         }

@@ -12,6 +12,13 @@
 //! (`phase::TRAINING`, `event::TRAIN_BATCHES`) by const name; anything
 //! dynamic (`self.phase`) is skipped — it was bound from a checked
 //! const or literal upstream.
+//!
+//! The same discipline covers the always-on metrics layer: the name handed
+//! to every `MetricsRegistry::register_{counter,gauge,histogram}[_labeled]`
+//! call must exist in the registry's `mod metric` table. The
+//! `stepping-metrics` crate itself is exempt — it sits *below*
+//! `stepping-core` and is where the registration API lives; its runtime
+//! validator covers names the static analysis cannot see.
 
 use super::{diag_at, norm_path, skip_balanced, Workspace};
 use crate::diag::{Diagnostic, Severity};
@@ -25,9 +32,20 @@ pub struct Registry {
     pub phases: Vec<(String, String)>,
     /// `(CONST_NAME, "value")` pairs from `mod event`.
     pub events: Vec<(String, String)>,
+    /// `(CONST_NAME, "value")` pairs from `mod metric`.
+    pub metrics: Vec<(String, String)>,
 }
 
 const EMITTERS: &[&str] = &["point", "counter", "span"];
+
+const REGISTERERS: &[&str] = &[
+    "register_counter",
+    "register_counter_labeled",
+    "register_gauge",
+    "register_gauge_labeled",
+    "register_histogram",
+    "register_histogram_labeled",
+];
 
 pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
@@ -43,7 +61,11 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
         if path.ends_with("src/telemetry.rs") || path.ends_with("src/events.rs") {
             continue;
         }
-        check_file(file, registry.as_ref(), &mut diags);
+        // The metrics crate is where the registration API lives; names it
+        // registers in its own tests/examples are covered by the runtime
+        // validator, not the static table.
+        let check_registrations = !path.contains("crates/metrics/src");
+        check_file(file, registry.as_ref(), check_registrations, &mut diags);
     }
     diags
 }
@@ -58,15 +80,16 @@ pub fn parse_registry(file: &FileModel) -> Registry {
         if toks[i].is_ident("mod")
             && toks
                 .get(i + 1)
-                .is_some_and(|t| t.is_ident("phase") || t.is_ident("event"))
+                .is_some_and(|t| t.is_ident("phase") || t.is_ident("event") || t.is_ident("metric"))
             && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
         {
-            let is_phase = toks[i + 1].is_ident("phase");
             let end = skip_balanced(toks, i + 2, '{', '}');
-            let out = if is_phase {
+            let out = if toks[i + 1].is_ident("phase") {
                 &mut reg.phases
-            } else {
+            } else if toks[i + 1].is_ident("event") {
                 &mut reg.events
+            } else {
+                &mut reg.metrics
             };
             collect_consts(&toks[i + 3..end - 1], out);
             i = end;
@@ -108,10 +131,55 @@ enum Arg<'a> {
     Dynamic,
 }
 
-fn check_file(file: &FileModel, registry: Option<&Registry>, diags: &mut Vec<Diagnostic>) {
+fn check_file(
+    file: &FileModel,
+    registry: Option<&Registry>,
+    check_registrations: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
     let toks = &file.tokens;
     for i in 0..toks.len() {
         if file.tok_in_test(i) {
+            continue;
+        }
+        // `. register_* (` or `:: register_* (` — a metric registration;
+        // the receiver spelling doesn't matter, only the name argument.
+        if check_registrations
+            && toks[i].kind == TokKind::Ident
+            && REGISTERERS.contains(&toks[i].text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && i > 0
+            && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'))
+        {
+            let open = i + 1;
+            let close = skip_balanced(toks, open, '(', ')') - 1;
+            let Some(registry) = registry else {
+                diags.push(diag_at(
+                    file,
+                    &toks[i],
+                    "L6",
+                    Severity::Error,
+                    "metric registration found but no event registry \
+                     (crates/core/src/events.rs) was scanned"
+                        .into(),
+                    Some(
+                        "scan the workspace root so the registry is visible, or restore the \
+                         registry file; see docs/ANALYSIS.md#l6-telemetry-hygiene"
+                            .into(),
+                    ),
+                ));
+                continue;
+            };
+            let args = split_args(toks, open + 1, close);
+            if let Some(range) = args.first() {
+                check_arg(
+                    file,
+                    resolve(&toks[range.0..range.1]),
+                    &registry.metrics,
+                    "metric",
+                    diags,
+                );
+            }
             continue;
         }
         // `telemetry :: M (`

@@ -1,0 +1,6 @@
+//! L6 fixture (positive): metric names invented at the registration site.
+
+pub fn install(registry: &MetricsRegistry) {
+    let _bogus = registry.register_counter("serve.bogus_counter");
+    let _unknown = registry.register_histogram_labeled(metric::NOT_A_METRIC, "worker", 0);
+}

@@ -9,3 +9,8 @@ pub mod event {
     pub const TRAIN_BATCH: &str = "train.batch";
     pub const QUEUE_DEPTH: &str = "serve.queue_depth";
 }
+
+pub mod metric {
+    pub const SERVE_ADMITTED: &str = "serve.admitted";
+    pub const SERVE_LOCK_WAIT_NS: &str = "serve.lock_wait_ns";
+}

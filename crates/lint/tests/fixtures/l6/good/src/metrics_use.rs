@@ -1,0 +1,13 @@
+//! L6 fixture (negative): metric registrations with registered literals,
+//! registry const paths, and a dynamic name (skipped). A local function
+//! *definition* named like the API is not a registration site.
+
+pub fn install(registry: &MetricsRegistry, name: &'static str) {
+    let _admitted = registry.register_counter(metric::SERVE_ADMITTED);
+    let _lock = registry.register_histogram_labeled("serve.lock_wait_ns", "worker", 0.to_string());
+    let _dynamic = registry.register_gauge(name);
+}
+
+fn register_counter(registry: &MetricsRegistry) -> u64 {
+    registry.len()
+}

@@ -1,0 +1,195 @@
+//! Sharded atomic counters and gauges — the point-value primitives.
+//!
+//! A [`ShardedCounter`] spreads increments over cache-line-padded shards so
+//! concurrent workers never bounce one cache line between cores: each thread
+//! is assigned a stable shard index on first use (round-robin), and an
+//! explicit [`add_to`](ShardedCounter::add_to) takes a worker index directly
+//! for per-worker call sites. Reads sum the shards — reads are rare
+//! (snapshots), writes are the hot path.
+//!
+//! A [`Gauge`] is a single signed atomic for instantaneous levels (queue
+//! depth, live sessions) where increments and decrements must interleave.
+
+#[cfg(feature = "metrics")]
+use std::sync::atomic::AtomicUsize;
+#[cfg(feature = "metrics")]
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// One counter shard, padded to a cache line so neighbouring shards never
+/// share one.
+#[cfg(feature = "metrics")]
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+/// Shards per counter: enough to keep an 8-worker pool contention-free
+/// while costing only half a KiB per counter.
+#[cfg(feature = "metrics")]
+const SHARDS: usize = 8;
+
+#[cfg(feature = "metrics")]
+static NEXT_THREAD_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(feature = "metrics")]
+thread_local! {
+    /// This thread's stable shard index (round-robin at first use).
+    static THREAD_SHARD: usize = NEXT_THREAD_SHARD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A monotonically increasing counter sharded across cache lines.
+#[derive(Debug, Default)]
+pub struct ShardedCounter {
+    #[cfg(feature = "metrics")]
+    shards: [Shard; SHARDS],
+}
+
+impl ShardedCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` on the calling thread's shard.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        #[cfg(feature = "metrics")]
+        if crate::enabled() {
+            let shard = THREAD_SHARD.with(|s| *s) % SHARDS;
+            self.shards[shard].0.fetch_add(delta, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = delta;
+    }
+
+    /// Adds `delta` on shard `index % SHARDS` — for call sites that already
+    /// know their worker index (keeps one worker on one shard even if the
+    /// worker migrates OS threads).
+    #[inline]
+    pub fn add_to(&self, index: usize, delta: u64) {
+        #[cfg(feature = "metrics")]
+        if crate::enabled() {
+            self.shards[index % SHARDS]
+                .0
+                .fetch_add(delta, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (index, delta);
+    }
+
+    /// Increments by one on the calling thread's shard.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all shards.
+    pub fn value(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            self.shards
+                .iter()
+                .map(|s| s.0.load(Ordering::Relaxed))
+                .sum()
+        }
+        #[cfg(not(feature = "metrics"))]
+        0
+    }
+}
+
+/// An instantaneous signed level (queue depth, retained sessions).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    #[cfg(feature = "metrics")]
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        #[cfg(feature = "metrics")]
+        if crate::enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = delta;
+    }
+
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        #[cfg(feature = "metrics")]
+        if crate::enabled() {
+            self.value.store(value, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = value;
+    }
+
+    /// Current level.
+    pub fn value(&self) -> i64 {
+        #[cfg(feature = "metrics")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "metrics"))]
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn counter_sums_across_shards_and_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(ShardedCounter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(1);
+                        c.add_to(w, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.value(), 8000);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn gauge_tracks_level() {
+        let g = Gauge::new();
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.value(), 3);
+        g.set(7);
+        assert_eq!(g.value(), 7);
+    }
+
+    #[cfg(not(feature = "metrics"))]
+    #[test]
+    fn disabled_primitives_are_zero_sized_noops() {
+        let c = ShardedCounter::new();
+        c.add(10);
+        c.add_to(3, 10);
+        assert_eq!(c.value(), 0);
+        assert_eq!(std::mem::size_of::<ShardedCounter>(), 0);
+        let g = Gauge::new();
+        g.add(9);
+        assert_eq!(g.value(), 0);
+        assert_eq!(std::mem::size_of::<Gauge>(), 0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Fixed-memory, mergeable, log2-bucketed latency histograms.
+//!
+//! A [`LogHistogram`] is 65 atomic buckets: bucket 0 holds the value `0`,
+//! bucket `i` (`1..=64`) holds values in `[2^(i-1), 2^i - 1]` — every `u64`
+//! maps to exactly one bucket via a single `leading_zeros`. Recording is one
+//! relaxed `fetch_add` per bucket plus count/sum/max updates: lock-free,
+//! allocation-free, wait-free on every platform with native 64-bit atomics.
+//!
+//! Two properties the rest of the workspace builds on (both proptested in
+//! `tests/histogram_property.rs`):
+//!
+//! * **Merge exactness** — merging N per-worker histograms is bit-identical
+//!   to one histogram fed the concatenated samples (bucket counts, count,
+//!   sum, and max are all plain sums/maxes of `u64`s, which commute).
+//! * **Quantile bracketing** — an extracted quantile is always the *upper
+//!   bound* of the bucket containing the true rank-`⌈q·n⌉` sample, so
+//!   `true quantile <= reported <= 2 × true quantile` (within one bucket).
+
+#[cfg(feature = "metrics")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const BUCKET_COUNT: usize = 65;
+
+/// The bucket index `value` falls into.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index == 0 {
+        (0, 0)
+    } else if index >= 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (index - 1), (1u64 << index) - 1)
+    }
+}
+
+/// A lock-free log2-bucketed histogram of `u64` samples (typically
+/// nanoseconds). Create via
+/// [`MetricsRegistry::register_histogram`](crate::MetricsRegistry::register_histogram);
+/// record with [`record`](LogHistogram::record) or time a region with
+/// [`start_timer`](crate::timer::start_timer).
+#[derive(Debug)]
+pub struct LogHistogram {
+    #[cfg(feature = "metrics")]
+    buckets: [AtomicU64; BUCKET_COUNT],
+    #[cfg(feature = "metrics")]
+    count: AtomicU64,
+    #[cfg(feature = "metrics")]
+    sum: AtomicU64,
+    #[cfg(feature = "metrics")]
+    max: AtomicU64,
+}
+
+// With metrics compiled out the struct has no fields and the impl looks
+// derivable; with them in, the 65-element array rules the derive out.
+#[cfg_attr(not(feature = "metrics"), allow(clippy::derivable_impls))]
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            #[cfg(feature = "metrics")]
+            buckets: [const { AtomicU64::new(0) }; BUCKET_COUNT],
+            #[cfg(feature = "metrics")]
+            count: AtomicU64::new(0),
+            #[cfg(feature = "metrics")]
+            sum: AtomicU64::new(0),
+            #[cfg(feature = "metrics")]
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. No-op when metrics are compiled out or runtime
+    /// disabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        #[cfg(feature = "metrics")]
+        if crate::enabled() {
+            self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+            self.max.fetch_max(value, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = value;
+    }
+
+    /// Point-in-time copy of the histogram state. Concurrent recording may
+    /// make `count`/`sum` lag individual buckets by in-flight samples;
+    /// totals are re-derived from the bucket copy so the snapshot is always
+    /// internally consistent.
+    pub fn snapshot(&self) -> HistSnapshot {
+        #[cfg(feature = "metrics")]
+        {
+            let mut s = HistSnapshot::default();
+            for (i, b) in self.buckets.iter().enumerate() {
+                s.buckets[i] = b.load(Ordering::Relaxed);
+            }
+            s.count = s.buckets.iter().sum();
+            s.sum = self.sum.load(Ordering::Relaxed);
+            s.max = self.max.load(Ordering::Relaxed);
+            s
+        }
+        #[cfg(not(feature = "metrics"))]
+        HistSnapshot::default()
+    }
+}
+
+/// An owned, mergeable copy of a [`LogHistogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see [`bucket_bounds`]).
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (saturating on overflow).
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Folds one sample into the snapshot (the offline twin of
+    /// [`LogHistogram::record`], used by tests and the diff tooling).
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges `other` in: bucket-wise sum, so merging per-worker snapshots
+    /// is bit-identical to one histogram fed every sample.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The histogram of samples recorded *after* `earlier` was taken
+    /// (bucket-wise saturating subtraction). Used to scope metrics to one
+    /// benchmark run or one reporting interval.
+    pub fn since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let mut out = HistSnapshot::default();
+        for (i, o) in out.buckets.iter_mut().enumerate() {
+            *o = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        out.count = out.buckets.iter().sum();
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out.max = self.max; // max is not decomposable; keep the running max
+        out
+    }
+
+    /// Mean sample value (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Inclusive `[lo, hi]` bounds of the bucket containing the rank-`⌈q·n⌉`
+    /// sample; `(0, 0)` when empty. The true quantile lies within these
+    /// bounds by construction.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i);
+            }
+        }
+        bucket_bounds(BUCKET_COUNT - 1)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample — a
+    /// conservative (never under-reported) latency estimate.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+
+    /// `(p50, p90, p99, max)` in one call — the serving dashboard tuple.
+    pub fn percentiles(&self) -> (u64, u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.max,
+        )
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn snapshot_quantiles_bracket_exact_values() {
+        let mut s = HistSnapshot::default();
+        for v in [1u64, 2, 3, 10, 100, 1000, 1000, 5000] {
+            s.observe(v);
+        }
+        assert_eq!(s.count, 8);
+        assert_eq!(s.max, 5000);
+        let (lo, hi) = s.quantile_bounds(0.5);
+        // rank 4 of the sorted samples is 10
+        assert!(lo <= 10 && 10 <= hi, "({lo}, {hi})");
+        assert_eq!(s.quantile(1.0), s.quantile_bounds(1.0).1);
+        assert!(s.quantile(0.99) >= 5000 / 2);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = HistSnapshot::default();
+        let mut b = HistSnapshot::default();
+        let mut whole = HistSnapshot::default();
+        for v in [5u64, 9, 17] {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in [0u64, 1, 250, 1 << 40] {
+            b.observe(v);
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn live_histogram_records() {
+        let h = LogHistogram::new();
+        h.record(7);
+        h.record(900);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 907);
+        assert_eq!(s.max, 900);
+    }
+
+    #[cfg(not(feature = "metrics"))]
+    #[test]
+    fn disabled_histogram_is_inert_and_field_free() {
+        let h = LogHistogram::new();
+        h.record(7);
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(std::mem::size_of::<LogHistogram>(), 0);
+    }
+
+    #[test]
+    fn since_scopes_to_an_interval() {
+        let mut before = HistSnapshot::default();
+        before.observe(4);
+        let mut after = before.clone();
+        after.observe(100);
+        after.observe(101);
+        let delta = after.since(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 201);
+    }
+}

@@ -1,0 +1,105 @@
+//! Monotonic phase timers: measure a region's wall time into a histogram.
+//!
+//! A [`PhaseTimer`] reads the monotonic clock at creation and records the
+//! elapsed nanoseconds into its histogram when stopped or dropped — the
+//! metrics twin of `stepping_core::telemetry`'s span guards, but always-on
+//! and aggregate-only (no per-event allocation, no observer dispatch).
+//! When metrics are compiled out or runtime-disabled the timer holds no
+//! timestamp and the clock is never read.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::hist::LogHistogram;
+
+/// A running phase measurement; records into its histogram on
+/// [`stop`](PhaseTimer::stop) or drop.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    hist: Arc<LogHistogram>,
+    start: Option<Instant>,
+}
+
+/// Starts timing a phase into `hist`. Reads the clock only when metrics are
+/// enabled.
+#[inline]
+pub fn start_timer(hist: &Arc<LogHistogram>) -> PhaseTimer {
+    PhaseTimer {
+        hist: Arc::clone(hist),
+        start: crate::enabled().then(Instant::now),
+    }
+}
+
+impl PhaseTimer {
+    /// Stops the timer, records the elapsed nanoseconds, and returns them
+    /// (`0` when metrics are disabled).
+    pub fn stop(mut self) -> u64 {
+        self.finish()
+    }
+
+    /// Abandons the measurement without recording anything (e.g. a queue
+    /// wait that ended in shutdown rather than dispatch).
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+
+    fn finish(&mut self) -> u64 {
+        match self.start.take() {
+            Some(start) => {
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.hist.record(ns);
+                ns
+            }
+            None => 0,
+        }
+    }
+}
+
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Nanoseconds elapsed since `start`, saturating. Helper for call sites
+/// that already hold an [`Instant`] (e.g. a job's submit time) and want to
+/// record the age into a histogram via [`LogHistogram::record`].
+#[inline]
+pub fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_records_once_on_stop() {
+        let h = Arc::new(LogHistogram::new());
+        let t = start_timer(&h);
+        let ns = t.stop();
+        let s = h.snapshot();
+        if crate::enabled() {
+            assert_eq!(s.count, 1);
+            assert!(ns > 0);
+        } else {
+            assert_eq!(s.count, 0);
+            assert_eq!(ns, 0);
+        }
+    }
+
+    #[test]
+    fn timer_records_on_drop_but_not_after_cancel() {
+        let h = Arc::new(LogHistogram::new());
+        {
+            let _t = start_timer(&h);
+        }
+        start_timer(&h).cancel();
+        let s = h.snapshot();
+        if crate::enabled() {
+            assert_eq!(s.count, 1, "drop records, cancel does not");
+        } else {
+            assert_eq!(s.count, 0);
+        }
+    }
+}

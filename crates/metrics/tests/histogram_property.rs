@@ -1,0 +1,124 @@
+//! Property tests for the two guarantees the workspace builds on:
+//! merge exactness (per-worker histograms fold losslessly) and quantile
+//! bracketing (reported quantiles stay within one log2 bucket of truth).
+
+use proptest::prelude::*;
+
+use stepping_metrics::{bucket_bounds, bucket_index, HistSnapshot};
+
+/// Samples with the spread of real latency data: mostly small, a heavy
+/// tail, and the edge values 0/1/u64::MAX reachable.
+fn stretch(raw: u64) -> u64 {
+    match raw % 8 {
+        0 => raw % 3,                                // 0..=2: zero bucket + smallest buckets
+        7 => u64::MAX - (raw % 1024),                // top bucket
+        6 => 1u64 << (raw % 64),                     // exact powers of two (bucket edges)
+        5 => (1u64 << (raw % 64)).saturating_sub(1), // just below an edge
+        _ => raw % 5_000_000,                        // "normal" nanosecond latencies
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merging_worker_histograms_is_bit_identical_to_concatenation(
+        per_worker in proptest::collection::vec(
+            proptest::collection::vec(0u64..u64::MAX, 0..40),
+            1..8,
+        ),
+    ) {
+        let mut merged = HistSnapshot::default();
+        let mut whole = HistSnapshot::default();
+        for worker_samples in &per_worker {
+            let mut shard = HistSnapshot::default();
+            for &raw in worker_samples {
+                let v = stretch(raw);
+                shard.observe(v);
+                whole.observe(v);
+            }
+            merged.merge(&shard);
+        }
+        // Bit identity, not approximation: buckets, count, sum, max.
+        prop_assert_eq!(&merged, &whole);
+        // Merge order must not matter either: fold in reverse.
+        let mut reversed = HistSnapshot::default();
+        for worker_samples in per_worker.iter().rev() {
+            let mut shard = HistSnapshot::default();
+            for &raw in worker_samples {
+                shard.observe(stretch(raw));
+            }
+            reversed.merge(&shard);
+        }
+        prop_assert_eq!(&reversed, &whole);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_true_order_statistic(
+        raw in proptest::collection::vec(0u64..u64::MAX, 1..60),
+        q_mil in 0u64..=1000,
+    ) {
+        let q = q_mil as f64 / 1000.0;
+        let mut sorted: Vec<u64> = raw.iter().map(|&r| stretch(r)).collect();
+        let mut h = HistSnapshot::default();
+        for &v in &sorted {
+            h.observe(v);
+        }
+        sorted.sort_unstable();
+        // The same rank the histogram targets: ceil(q*n) clamped to [1, n].
+        let n = sorted.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let truth = sorted[(rank - 1) as usize];
+
+        let (lo, hi) = h.quantile_bounds(q);
+        prop_assert!(
+            lo <= truth && truth <= hi,
+            "true rank-{} value {} outside bucket [{}, {}]",
+            rank, truth, lo, hi
+        );
+        // Reported value is the bucket's upper bound: never below the truth,
+        // and within one power of two of it.
+        let reported = h.quantile(q);
+        prop_assert!(reported >= truth);
+        prop_assert_eq!(bucket_index(reported), bucket_index(truth));
+        // Sanity on the dashboard tuple.
+        let (p50, p90, p99, max) = h.percentiles();
+        prop_assert!(p50 <= p90 && p90 <= p99);
+        prop_assert_eq!(max, *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn since_recovers_the_interval(
+        first in proptest::collection::vec(0u64..u64::MAX, 0..30),
+        second in proptest::collection::vec(0u64..u64::MAX, 0..30),
+    ) {
+        let mut before = HistSnapshot::default();
+        for &raw in &first {
+            before.observe(stretch(raw));
+        }
+        let mut after = before.clone();
+        let mut interval = HistSnapshot::default();
+        for &raw in &second {
+            let v = stretch(raw);
+            after.observe(v);
+            interval.observe(v);
+        }
+        let recovered = after.since(&before);
+        prop_assert_eq!(&recovered.buckets, &interval.buckets);
+        prop_assert_eq!(recovered.count, interval.count);
+    }
+}
+
+#[test]
+fn bucket_layout_is_total_and_monotone() {
+    let mut prev_hi = None;
+    for i in 0..stepping_metrics::BUCKET_COUNT {
+        let (lo, hi) = bucket_bounds(i);
+        if let Some(p) = prev_hi {
+            assert_eq!(lo, p + 1u64, "buckets tile the u64 range without gaps");
+        }
+        assert!(lo <= hi);
+        prev_hi = Some(hi);
+    }
+    assert_eq!(prev_hi, Some(u64::MAX));
+}

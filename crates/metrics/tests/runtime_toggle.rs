@@ -1,0 +1,32 @@
+//! The runtime enable/disable switch, in its own process: the switch is
+//! global, so flipping it inside the unit-test binary would race with
+//! sibling tests that read `enabled()`.
+
+#[cfg(feature = "metrics")]
+#[test]
+fn runtime_toggle_suppresses_recording() {
+    use stepping_metrics::{set_runtime_enabled, LogHistogram, ShardedCounter};
+
+    let h = LogHistogram::new();
+    let c = ShardedCounter::new();
+    set_runtime_enabled(false);
+    assert!(!stepping_metrics::enabled());
+    h.record(10);
+    c.inc();
+    set_runtime_enabled(true);
+    assert!(stepping_metrics::enabled());
+    h.record(20);
+    c.inc();
+
+    let s = h.snapshot();
+    assert_eq!(s.count, 1, "sample recorded while disabled must be dropped");
+    assert_eq!(s.max, 20);
+    assert_eq!(c.value(), 1);
+}
+
+#[cfg(not(feature = "metrics"))]
+#[test]
+fn toggle_is_inert_when_compiled_out() {
+    stepping_metrics::set_runtime_enabled(true);
+    assert!(!stepping_metrics::enabled());
+}

@@ -1,6 +1,7 @@
 //! Server configuration: a thin layer of serving knobs (workers, batching
 //! window) on top of the runtime's [`SessionConfig`].
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use stepping_runtime::SessionConfig;
@@ -20,6 +21,8 @@ pub struct ServeConfig {
     max_batch: usize,
     max_wait: Duration,
     session: SessionConfig,
+    metrics_snapshot: Option<PathBuf>,
+    metrics_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -29,6 +32,8 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_wait: Duration::from_micros(200),
             session: SessionConfig::new(),
+            metrics_snapshot: None,
+            metrics_interval: Duration::from_millis(500),
         }
     }
 }
@@ -68,6 +73,23 @@ impl ServeConfig {
         self
     }
 
+    /// Writes a metrics snapshot (one JSON line) to `path` every
+    /// [`metrics_interval`](Self::metrics_interval) while the server runs,
+    /// plus a final line at shutdown — the `results/serve.metrics.jsonl`
+    /// stream read by `stepping-metrics-report`. Only takes effect when
+    /// metric recording is live (the `metrics` feature); otherwise the
+    /// writer is not spawned at all.
+    pub fn metrics_snapshot(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_snapshot = Some(path.into());
+        self
+    }
+
+    /// Interval between background metrics snapshots (default 500 ms).
+    pub fn metrics_interval(mut self, interval: Duration) -> Self {
+        self.metrics_interval = interval;
+        self
+    }
+
     /// Configured worker count.
     pub fn get_workers(&self) -> usize {
         self.workers
@@ -86,5 +108,15 @@ impl ServeConfig {
     /// Configured inference-side session configuration.
     pub fn get_session(&self) -> &SessionConfig {
         &self.session
+    }
+
+    /// Configured metrics snapshot path, if any.
+    pub fn get_metrics_snapshot(&self) -> Option<&std::path::Path> {
+        self.metrics_snapshot.as_deref()
+    }
+
+    /// Configured metrics snapshot interval.
+    pub fn get_metrics_interval(&self) -> Duration {
+        self.metrics_interval
     }
 }

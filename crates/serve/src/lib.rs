@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod metrics;
 mod queue;
 mod request;
 mod server;

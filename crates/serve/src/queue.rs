@@ -8,13 +8,15 @@
 //! queue is draining for shutdown.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use stepping_core::batch::ActivationCache;
 use stepping_core::Result;
+use stepping_metrics::{elapsed_ns, start_timer};
 use stepping_tensor::Tensor;
 
+use crate::metrics::ServeMetrics;
 use crate::request::Response;
 
 /// The batched pass a job needs — the batching compatibility key.
@@ -88,10 +90,11 @@ pub(crate) struct JobQueue {
     available: Condvar,
     max_batch: usize,
     max_wait: Duration,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl JobQueue {
-    pub fn new(max_batch: usize, max_wait: Duration) -> Self {
+    pub fn new(max_batch: usize, max_wait: Duration, metrics: Arc<ServeMetrics>) -> Self {
         JobQueue {
             state: Mutex::new(QueueState {
                 pending: VecDeque::new(),
@@ -100,6 +103,7 @@ impl JobQueue {
             available: Condvar::new(),
             max_batch,
             max_wait,
+            metrics,
         }
     }
 
@@ -117,24 +121,37 @@ impl JobQueue {
         }
         st.pending.push_back(job);
         drop(st);
+        self.metrics.queue_depth.add(1);
         self.available.notify_all();
         Ok(())
     }
 
     /// Blocks until a batch is ready and extracts it; `None` once the queue
-    /// is draining *and* empty (worker should exit).
+    /// is draining *and* empty (worker should exit). `worker` attributes
+    /// the lock-wait measurement to the calling worker's metric series.
     ///
     /// The batch is built around the oldest pending job: up to `max_batch`
     /// jobs sharing its [`BatchKey`], flushed early if the oldest has
     /// already waited `max_wait` or the queue is draining.
-    pub fn take_batch(&self) -> Option<Vec<Job>> {
+    pub fn take_batch(&self, worker: usize) -> Option<Vec<Job>> {
+        // Lock wait is the contended mutex acquisition only; the condvar
+        // waits below are idle time, not contention.
+        let lock_timer = start_timer(&self.metrics.worker(worker).lock_wait_ns);
         let mut st = self.lock();
+        lock_timer.stop();
         loop {
             if let Some(oldest) = st.pending.front() {
                 let key = oldest.key();
                 let matching = st.pending.iter().filter(|j| j.key() == key).count();
                 let age = oldest.submitted.elapsed();
                 if matching >= self.max_batch || age >= self.max_wait || st.shutdown {
+                    self.metrics
+                        .queue_depth_sampled
+                        .record(st.pending.len() as u64);
+                    // the oldest job's age at flush = batch formation time
+                    self.metrics
+                        .batch_form_ns
+                        .record(u64::try_from(age.as_nanos()).unwrap_or(u64::MAX));
                     let mut batch = Vec::with_capacity(matching.min(self.max_batch));
                     let mut rest = VecDeque::with_capacity(st.pending.len());
                     for job in st.pending.drain(..) {
@@ -147,6 +164,12 @@ impl JobQueue {
                     st.pending = rest;
                     let more = !st.pending.is_empty();
                     drop(st);
+                    self.metrics.queue_depth.add(-(batch.len() as i64));
+                    if stepping_metrics::enabled() {
+                        for job in &batch {
+                            self.metrics.queue_wait_ns.record(elapsed_ns(job.submitted));
+                        }
+                    }
                     if more {
                         // other workers may be able to start on the rest
                         self.available.notify_all();

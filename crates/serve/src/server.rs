@@ -10,10 +10,12 @@ use std::time::Instant;
 use stepping_core::batch::{ActivationCache, BatchExecutor};
 use stepping_core::telemetry::{self, Value};
 use stepping_core::{Result, SteppingError, SteppingNet};
+use stepping_metrics::{elapsed_ns, start_timer, MetricsRegistry, SnapshotWriter};
 use stepping_runtime::{expand_macs, DeviceModel};
 use stepping_tensor::Tensor;
 
 use crate::config::ServeConfig;
+use crate::metrics::ServeMetrics;
 use crate::queue::{BatchKey, Job, JobQueue, Work};
 use crate::request::{Request, Response, TargetSpec, Ticket};
 use crate::stats::{ServerStats, StatsInner};
@@ -44,6 +46,7 @@ struct Shared {
     next_id: AtomicU64,
     next_session: AtomicU64,
     stats: StatsInner,
+    metrics: Arc<ServeMetrics>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -122,6 +125,9 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Background metrics snapshot thread, when configured
+    /// (`ServeConfig::metrics_snapshot`); stopped on shutdown.
+    snapshot_writer: Mutex<Option<SnapshotWriter>>,
 }
 
 impl Server {
@@ -164,8 +170,27 @@ impl Server {
         for k in 0..subnets - 1 {
             expand_cost.push(expand_macs(net, k, thr)?);
         }
+        let registry = MetricsRegistry::global();
+        let metrics = Arc::new(ServeMetrics::new(&registry, config.get_workers(), subnets));
+        let snapshot_writer = match config.get_metrics_snapshot() {
+            Some(path) if stepping_metrics::enabled() => Some(
+                SnapshotWriter::spawn(registry, path, config.get_metrics_interval()).map_err(
+                    |e| {
+                        SteppingError::BadConfig(format!(
+                            "cannot open metrics snapshot file {}: {e}",
+                            path.display()
+                        ))
+                    },
+                )?,
+            ),
+            _ => None,
+        };
         let shared = Arc::new(Shared {
-            queue: JobQueue::new(config.get_max_batch(), config.get_max_wait()),
+            queue: JobQueue::new(
+                config.get_max_batch(),
+                config.get_max_wait(),
+                Arc::clone(&metrics),
+            ),
             device,
             prune_threshold: thr,
             start_subnet: start,
@@ -175,17 +200,19 @@ impl Server {
             next_id: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             stats: StatsInner::default(),
+            metrics,
         });
         let workers = (0..config.get_workers())
-            .map(|_| {
+            .map(|worker| {
                 let shared = Arc::clone(&shared);
                 let replica = net.clone();
-                std::thread::spawn(move || worker_loop(shared, replica))
+                std::thread::spawn(move || worker_loop(shared, replica, worker))
             })
             .collect();
         Ok(Server {
             shared,
             workers: Mutex::new(workers),
+            snapshot_writer: Mutex::new(snapshot_writer),
         })
     }
 
@@ -202,6 +229,20 @@ impl Server {
     /// budget, and an input whose trailing dimensions do not match the
     /// network.
     pub fn submit(&self, request: Request) -> Result<Ticket> {
+        // admission phase = resolve target + enqueue; rejected requests are
+        // not recorded (cancel), so the series measures accepted work only
+        let timer = start_timer(&self.shared.metrics.admission_ns);
+        let result = self.submit_inner(request);
+        match &result {
+            Ok(_) => {
+                timer.stop();
+            }
+            Err(_) => timer.cancel(),
+        }
+        result
+    }
+
+    fn submit_inner(&self, request: Request) -> Result<Ticket> {
         let (subnet, budget_us) = self.resolve_begin(request.target)?;
         let dims = request.input.shape().dims();
         if dims.is_empty() || dims[0] == 0 {
@@ -220,10 +261,15 @@ impl Server {
             submitted: Instant::now(),
             reply: tx,
         };
-        self.shared
-            .queue
-            .push(job)
-            .map_err(|_| SteppingError::BadConfig("server is shut down".into()))?;
+        // admitted is counted before the push so a worker can never answer
+        // (bumping `requests`) before the admission is visible; a shutdown
+        // rejection takes the count back
+        self.shared.stats.record_admitted(1);
+        self.shared.metrics.admitted.inc();
+        if self.shared.queue.push(job).is_err() {
+            self.shared.stats.record_admission_rejected(1);
+            return Err(SteppingError::BadConfig("server is shut down".into()));
+        }
         Ok(Ticket { rx })
     }
 
@@ -239,6 +285,18 @@ impl Server {
     /// Rejects an unknown session, a non-positive budget, and a shut-down
     /// server.
     pub fn upgrade(&self, session: u64, extra_budget_us: Option<f64>) -> Result<Ticket> {
+        let timer = start_timer(&self.shared.metrics.admission_ns);
+        let result = self.upgrade_inner(session, extra_budget_us);
+        match &result {
+            Ok(_) => {
+                timer.stop();
+            }
+            Err(_) => timer.cancel(),
+        }
+        result
+    }
+
+    fn upgrade_inner(&self, session: u64, extra_budget_us: Option<f64>) -> Result<Ticket> {
         if let Some(b) = extra_budget_us {
             if !(b.is_finite() && b > 0.0) {
                 return Err(SteppingError::BadConfig(format!(
@@ -272,7 +330,11 @@ impl Server {
                 batch_size: 0,
                 cache_reuse: 1.0,
             };
+            self.shared.stats.record_admitted(1);
             self.shared.stats.record_cache_hit();
+            self.shared.metrics.admitted.inc();
+            self.shared.metrics.cache_hit.inc();
+            self.shared.metrics.completed.inc();
             telemetry::point(
                 "serving",
                 "serve.cache_hit",
@@ -297,7 +359,10 @@ impl Server {
             submitted: Instant::now(),
             reply: tx,
         };
+        self.shared.stats.record_admitted(1);
+        self.shared.metrics.admitted.inc();
         if let Err(job) = self.shared.queue.push(job) {
+            self.shared.stats.record_admission_rejected(1);
             // restore the session so the cache is not lost
             if let Work::Upgrade { cache, .. } = job.work {
                 lock(&self.shared.sessions).insert(
@@ -344,6 +409,13 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        // stop the snapshot writer last so its final line sees the drained
+        // queue; write errors surface nowhere better than stderr here
+        if let Some(writer) = lock(&self.snapshot_writer).take() {
+            if let Err(e) = writer.stop() {
+                eprintln!("stepping-serve: metrics snapshot writer failed: {e}");
+            }
+        }
     }
 
     fn resolve_begin(&self, target: TargetSpec) -> Result<(usize, Option<f64>)> {
@@ -379,12 +451,19 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, mut net: SteppingNet) {
-    while let Some(batch) = shared.queue.take_batch() {
+fn worker_loop(shared: Arc<Shared>, mut net: SteppingNet, worker: usize) {
+    while let Some(batch) = shared.queue.take_batch(worker) {
+        let busy_start = stepping_metrics::enabled().then(Instant::now);
         let key = batch[0].key();
+        if let Some(occupancy) = shared.metrics.occupancy(key) {
+            occupancy.record(batch.len() as u64);
+        }
         match key {
             BatchKey::Begin { subnet } => run_begin_batch(&shared, &mut net, batch, subnet),
             BatchKey::Upgrade { from, to } => run_upgrade_batch(&shared, &mut net, batch, from, to),
+        }
+        if let Some(start) = busy_start {
+            shared.metrics.worker(worker).busy_ns.add(elapsed_ns(start));
         }
     }
 }
@@ -416,7 +495,10 @@ fn run_begin_batch(shared: &Shared, net: &mut SteppingNet, jobs: Vec<Job>, subne
     }
     let jobs = kept;
     let mut exec = BatchExecutor::new(net, shared.prune_threshold);
-    let results = match exec.begin(&inputs, subnet) {
+    let forward_timer = start_timer(&shared.metrics.forward_ns);
+    let forward = exec.begin(&inputs, subnet);
+    forward_timer.stop();
+    let results = match forward {
         Ok(r) => r,
         Err(e) => {
             span.end(&[("error", Value::Bool(true))]);
@@ -464,9 +546,13 @@ fn run_begin_batch(shared: &Shared, net: &mut SteppingNet, jobs: Vec<Job>, subne
     shared
         .stats
         .record_batch(batch_size as u64, batch_macs, misses);
+    shared.metrics.deadline_miss.add(misses);
+    shared.metrics.completed.add(batch_size as u64);
+    let reply_timer = start_timer(&shared.metrics.reply_ns);
     for (reply, response) in outbox {
         let _ = reply.send(Ok(response));
     }
+    reply_timer.stop();
     span.end(&[
         ("kind", Value::Str("begin")),
         ("batch", Value::U64(batch_size as u64)),
@@ -505,6 +591,7 @@ fn run_upgrade_batch(
     let mut exec = BatchExecutor::new(net, shared.prune_threshold);
     let mut new_macs = 0u64;
     let mut last_steps = None;
+    let forward_timer = start_timer(&shared.metrics.forward_ns);
     for _ in from..to {
         match exec.expand(&mut caches) {
             Ok(steps) => {
@@ -512,6 +599,7 @@ fn run_upgrade_batch(
                 last_steps = Some(steps);
             }
             Err(e) => {
+                forward_timer.stop();
                 span.end(&[("error", Value::Bool(true))]);
                 for (_, _, _, reply) in replies {
                     let _ = reply.send(Err(e.clone()));
@@ -520,6 +608,7 @@ fn run_upgrade_batch(
             }
         }
     }
+    forward_timer.stop();
     let Some(steps) = last_steps else {
         // `to > from` is guaranteed by the caller, so an empty loop means the
         // batch key was inconsistent; fail the requests rather than panic.
@@ -576,9 +665,13 @@ fn run_upgrade_batch(
     shared
         .stats
         .record_batch(batch_size as u64, new_macs * batch_size as u64, misses);
+    shared.metrics.deadline_miss.add(misses);
+    shared.metrics.completed.add(batch_size as u64);
+    let reply_timer = start_timer(&shared.metrics.reply_ns);
     for (reply, response) in outbox {
         let _ = reply.send(Ok(response));
     }
+    reply_timer.stop();
     span.end(&[
         ("kind", Value::Str("upgrade")),
         ("batch", Value::U64(batch_size as u64)),

@@ -1,10 +1,34 @@
-//! Lock-free serving counters, snapshotted as [`ServerStats`].
+//! Serving counters with coherent snapshots, published as [`ServerStats`].
+//!
+//! The counters are written by many threads (admission on client threads,
+//! batch bookkeeping on workers) and read by [`snapshot`](StatsInner::snapshot).
+//! Independent atomics would make each *field* exact but the *tuple*
+//! incoherent — a reader could observe a batch's `requests` without its
+//! `batches`, or `cache_hits > requests`. A sequence lock fixes the tuple:
+//! writers serialize on an epoch word (even = idle, odd = writing) and
+//! readers retry until they see the same even epoch on both sides of their
+//! loads. Write sections are a handful of relaxed stores, so the spin
+//! windows are nanoseconds; readers never block writers.
+//!
+//! The invariants a coherent snapshot guarantees (asserted by the hammer
+//! test below and re-checked by `tests/metrics.rs` under live load):
+//!
+//! * `requests <= admitted` — a request is admitted before it is answered;
+//! * `cache_hits <= requests` and `batched_requests <= requests`;
+//! * `deadline_misses <= requests`;
+//! * `batches == 0` implies `requests == cache_hits`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Aggregate serving statistics since server start.
+///
+/// Snapshots are *coherent*: all fields come from the same quiescent
+/// instant (see the module docs), so cross-field arithmetic like
+/// [`mean_batch`](ServerStats::mean_batch) can never observe a torn state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
+    /// Requests accepted into the server (queued or answered from cache).
+    pub admitted: u64,
     /// Requests answered (initial runs and upgrades, including cache hits).
     pub requests: u64,
     /// Batched passes executed by workers.
@@ -33,8 +57,12 @@ impl ServerStats {
     }
 }
 
+/// The writer side: a sequence lock around plain atomic fields.
 #[derive(Debug, Default)]
 pub(crate) struct StatsInner {
+    /// Sequence word: even = idle, odd = a writer is mid-update.
+    epoch: AtomicU64,
+    admitted: AtomicU64,
     requests: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
@@ -45,31 +73,182 @@ pub(crate) struct StatsInner {
 }
 
 impl StatsInner {
-    pub fn record_batch(&self, size: u64, macs: u64, misses: u64) {
-        self.requests.fetch_add(size, Ordering::Relaxed);
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        if size > 1 {
-            self.batched_requests.fetch_add(size, Ordering::Relaxed);
+    /// Runs `update` with the write lock held (epoch odd). Writers spin —
+    /// sections are a few relaxed stores, so the wait is bounded by
+    /// nanoseconds, and serving records per *batch*, not per request.
+    fn write<R>(&self, update: impl FnOnce(&Self) -> R) -> R {
+        let mut cur = self.epoch.load(Ordering::Relaxed);
+        loop {
+            if cur & 1 == 0 {
+                match self.epoch.compare_exchange_weak(
+                    cur,
+                    cur + 1,
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            } else {
+                std::hint::spin_loop();
+                cur = self.epoch.load(Ordering::Relaxed);
+            }
         }
-        self.max_batch.fetch_max(size, Ordering::Relaxed);
-        self.total_macs.fetch_add(macs, Ordering::Relaxed);
-        self.deadline_misses.fetch_add(misses, Ordering::Relaxed);
+        let result = update(self);
+        self.epoch.store(cur + 2, Ordering::Release);
+        result
+    }
+
+    /// Counts `n` requests accepted into the server (before queueing).
+    pub fn record_admitted(&self, n: u64) {
+        self.write(|s| {
+            s.admitted.fetch_add(n, Ordering::Relaxed);
+        });
+    }
+
+    /// Takes back `n` admissions whose enqueue was refused (shutdown race):
+    /// admission is counted *before* the push so `requests <= admitted`
+    /// holds even if a worker answers the job instantly, which means a
+    /// refused push must undo its count.
+    pub fn record_admission_rejected(&self, n: u64) {
+        self.write(|s| {
+            s.admitted.fetch_sub(n, Ordering::Relaxed);
+        });
+    }
+
+    pub fn record_batch(&self, size: u64, macs: u64, misses: u64) {
+        self.write(|s| {
+            s.requests.fetch_add(size, Ordering::Relaxed);
+            s.batches.fetch_add(1, Ordering::Relaxed);
+            if size > 1 {
+                s.batched_requests.fetch_add(size, Ordering::Relaxed);
+            }
+            s.max_batch.fetch_max(size, Ordering::Relaxed);
+            s.total_macs.fetch_add(macs, Ordering::Relaxed);
+            s.deadline_misses.fetch_add(misses, Ordering::Relaxed);
+        });
     }
 
     pub fn record_cache_hit(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.write(|s| {
+            s.requests.fetch_add(1, Ordering::Relaxed);
+            s.cache_hits.fetch_add(1, Ordering::Relaxed);
+        });
     }
 
+    /// A coherent snapshot: retries until the epoch is even and unchanged
+    /// across the field loads, so the returned tuple reflects one quiescent
+    /// instant.
     pub fn snapshot(&self) -> ServerStats {
-        ServerStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_requests: self.batched_requests.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            total_macs: self.total_macs.load(Ordering::Relaxed),
-            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+        loop {
+            let before = self.epoch.load(Ordering::Acquire);
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let stats = ServerStats {
+                admitted: self.admitted.load(Ordering::Relaxed),
+                requests: self.requests.load(Ordering::Relaxed),
+                batches: self.batches.load(Ordering::Relaxed),
+                batched_requests: self.batched_requests.load(Ordering::Relaxed),
+                max_batch: self.max_batch.load(Ordering::Relaxed),
+                cache_hits: self.cache_hits.load(Ordering::Relaxed),
+                total_macs: self.total_macs.load(Ordering::Relaxed),
+                deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            };
+            // The fence orders the field loads before the epoch re-read; an
+            // unchanged even epoch means no writer ran in between.
+            std::sync::atomic::fence(Ordering::Acquire);
+            if self.epoch.load(Ordering::Relaxed) == before {
+                return stats;
+            }
+            std::hint::spin_loop();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_reflects_single_threaded_updates() {
+        let inner = StatsInner::default();
+        inner.record_admitted(3);
+        inner.record_batch(2, 100, 1);
+        inner.record_cache_hit();
+        let s = inner.snapshot();
+        assert_eq!(s.admitted, 3);
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batched_requests, 2);
+        assert_eq!(s.max_batch, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.total_macs, 100);
+        assert_eq!(s.deadline_misses, 1);
+        assert!((s.mean_batch() - 2.0).abs() < 1e-12);
+    }
+
+    /// The coherence hammer: writers emulate the serving protocol (admit,
+    /// then either a batch or a cache hit) while a reader snapshots
+    /// continuously and asserts the cross-field invariants that torn reads
+    /// would violate.
+    #[test]
+    fn concurrent_snapshots_are_coherent() {
+        let inner = Arc::new(StatsInner::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let inner = Arc::clone(&inner);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_requests = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = inner.snapshot();
+                    assert!(s.requests <= s.admitted, "{s:?}");
+                    assert!(s.cache_hits <= s.requests, "{s:?}");
+                    assert!(s.batched_requests <= s.requests, "{s:?}");
+                    assert!(s.deadline_misses <= s.requests, "{s:?}");
+                    assert!(s.max_batch <= s.requests, "{s:?}");
+                    if s.batches == 0 {
+                        assert_eq!(s.requests, s.cache_hits, "{s:?}");
+                    }
+                    // Repeated snapshots are monotone.
+                    assert!(s.requests >= last_requests, "{s:?}");
+                    last_requests = s.requests;
+                }
+            })
+        };
+
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let size = 1 + (i + w) % 5;
+                        inner.record_admitted(size);
+                        if i % 7 == 0 {
+                            // a cache hit admits and answers one request
+                            for _ in 1..size {
+                                inner.record_cache_hit();
+                            }
+                            inner.record_cache_hit();
+                        } else {
+                            inner.record_batch(size, size * 10, (i % 3).min(size));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer");
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().expect("reader");
+
+        let s = inner.snapshot();
+        assert_eq!(s.admitted, s.requests, "all admitted requests answered");
     }
 }

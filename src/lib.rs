@@ -24,7 +24,11 @@
 //! * [`obs`] — structured observability: event sinks (console + JSONL),
 //!   aggregation, and the `stepping-obs-report` summary CLI. Build with
 //!   `--features obs` to compile telemetry emission into core (see
-//!   `docs/OBSERVABILITY.md`).
+//!   `docs/OBSERVABILITY.md`),
+//! * [`metrics`] — always-on production metrics: sharded counters, log2
+//!   latency histograms, phase timers, registry snapshots (JSON +
+//!   Prometheus), and the `stepping-metrics-report` diff CLI. Build with
+//!   `--features metrics` to compile recording in (see `docs/METRICS.md`).
 //!
 //! See `README.md` for a tour and `examples/` for runnable end-to-end
 //! programs; `DESIGN.md` documents the architecture and every substitution
@@ -51,6 +55,7 @@ pub use stepping_baselines as baselines;
 pub use stepping_core as core;
 pub use stepping_data as data;
 pub use stepping_exec as exec;
+pub use stepping_metrics as metrics;
 pub use stepping_models as models;
 pub use stepping_nn as nn;
 pub use stepping_obs as obs;
