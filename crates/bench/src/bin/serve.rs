@@ -3,9 +3,13 @@
 //! Three experiments over the same closed-loop client population:
 //!
 //! 1. **worker sweep** — throughput as the worker pool grows (1 → 8) with
-//!    micro-batching enabled, with the production metric series (lock-wait
-//!    percentiles, sampled queue depth, batch occupancy) diffed per
-//!    configuration from the global registry,
+//!    micro-batching enabled and clients spread across the sharded batch
+//!    lanes (each client pins a different subnet), with the production
+//!    metric series (lock-wait percentiles, sampled queue depth, batch
+//!    occupancy) diffed per configuration from the global registry. On
+//!    hosts with ≥ 4 cores (or `STEPPING_SERVE_ASSERT=1`) the sweep gates
+//!    on monotonically non-decreasing throughput from 1 to 4 workers —
+//!    the regression the sharded lanes exist to prevent,
 //! 2. **batch vs sequential** — micro-batching (`max_batch = 8`) against a
 //!    degenerate one-job-per-batch server (`max_batch = 1`) at the same
 //!    worker count, reporting throughput and client-observed latency
@@ -63,16 +67,17 @@ fn per_client() -> usize {
 }
 
 /// A network large enough that the forward pass, not queue bookkeeping,
-/// dominates: ~330k MACs per row at the full subnet.
+/// dominates: ~330k MACs per row at the full subnet. Four subnets so the
+/// lane-diverse sweep exercises four begin lanes concurrently.
 fn serving_net() -> SteppingNet {
-    let mut net = SteppingNetBuilder::new(Shape::of(&[128]), 2, 3)
+    let mut net = SteppingNetBuilder::new(Shape::of(&[128]), 4, 3)
         .linear(512)
         .relu()
         .linear(512)
         .relu()
         .build(10)
         .expect("build");
-    regular_assign(&mut net, &[0.5, 1.0]).expect("assign");
+    regular_assign(&mut net, &[0.25, 0.5, 0.75, 1.0]).expect("assign");
     net
 }
 
@@ -112,24 +117,31 @@ fn hist_delta(before: &Snapshot, after: &Snapshot, base: &str) -> HistSnapshot {
 /// Runs closed-loop producers against one server configuration and measures
 /// wall-clock throughput, client-observed latency percentiles, and the
 /// production metric series the run left in the global registry.
+/// When `lane_diverse`, each client pins its own subnet (`c % subnets`),
+/// spreading the population across begin lanes — the sharded-lane fast
+/// path. Otherwise every client asks for the full subnet (one shared
+/// lane, the batching-friendly worst case for lock sharding).
 fn run_config(
     net: &SteppingNet,
     workers: usize,
     max_batch: usize,
+    lane_diverse: bool,
     snapshot_path: Option<&str>,
 ) -> RunResult {
     let registry = MetricsRegistry::global();
     let before = registry.snapshot();
-    let mut config = ServeConfig::new()
+    let mut builder = ServeConfig::builder()
         .workers(workers)
         .max_batch(max_batch)
         .max_wait(Duration::from_micros(150))
         .session(SessionConfig::new().device(DeviceModel::embedded()));
     if let Some(path) = snapshot_path {
-        config = config
+        builder = builder
             .metrics_snapshot(path)
             .metrics_interval(Duration::from_millis(50));
     }
+    let config = builder.build();
+    let subnets = net.subnet_count();
     let server = Arc::new(Server::new(net, config).expect("server"));
     let n_clients = clients();
     let n_per_client = per_client();
@@ -143,8 +155,13 @@ fn run_config(
                     let seed = (c * n_per_client + j) as u64;
                     let x = init::uniform(Shape::of(&[1, 128]), -1.0, 1.0, &mut init::rng(seed));
                     let sent = Instant::now();
+                    let request = if lane_diverse {
+                        Request::at_subnet(x, c % subnets)
+                    } else {
+                        Request::full(x)
+                    };
                     let response = server
-                        .submit(Request::full(x))
+                        .submit(request)
                         .expect("submit")
                         .wait()
                         .expect("response");
@@ -244,9 +261,9 @@ fn overhead_ab(net: &SteppingNet) -> (f64, f64) {
     let mut off = Vec::new();
     for _ in 0..3 {
         stepping_metrics::set_runtime_enabled(true);
-        on.push(run_config(net, 2, 8, None).throughput_rps);
+        on.push(run_config(net, 2, 8, false, None).throughput_rps);
         stepping_metrics::set_runtime_enabled(false);
-        off.push(run_config(net, 2, 8, None).throughput_rps);
+        off.push(run_config(net, 2, 8, false, None).throughput_rps);
     }
     stepping_metrics::set_runtime_enabled(true);
     (median(&mut on), median(&mut off))
@@ -263,13 +280,13 @@ fn main() {
     ));
 
     // warm-up so page faults and lazy allocations don't skew the first config
-    let _ = run_config(&net, 1, 8, None);
+    let _ = run_config(&net, 1, 8, true, None);
 
-    report_text("\nSERVE: throughput vs worker count (micro-batching on)");
-    let worker_counts: &[usize] = if smoke() { &[1, 2] } else { &[1, 2, 4, 8] };
+    report_text("\nSERVE: throughput vs worker count (micro-batching on, lane-diverse)");
+    let worker_counts: &[usize] = if smoke() { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     let sweep: Vec<RunResult> = worker_counts
         .iter()
-        .map(|&w| run_config(&net, w, 8, None))
+        .map(|&w| run_config(&net, w, 8, true, None))
         .collect();
     let headers = [
         "workers",
@@ -287,9 +304,43 @@ fn main() {
     ];
     print_table(&headers, &sweep.iter().map(row).collect::<Vec<_>>());
 
+    // Worker-scaling gate: with sharded lanes, adding workers up to 4 must
+    // not lose throughput. 5% per-step tolerance absorbs run-to-run noise;
+    // the 4-worker point must also beat the 1-worker baseline outright.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scaling_forced = std::env::var("STEPPING_SERVE_ASSERT").as_deref() == Ok("1");
+    if cores >= 4 || scaling_forced {
+        let gated: Vec<&RunResult> = sweep.iter().filter(|r| r.workers <= 4).collect();
+        for pair in gated.windows(2) {
+            assert!(
+                pair[1].throughput_rps >= 0.95 * pair[0].throughput_rps,
+                "throughput fell {} -> {} workers: {:.0} -> {:.0} req/s",
+                pair[0].workers,
+                pair[1].workers,
+                pair[0].throughput_rps,
+                pair[1].throughput_rps,
+            );
+        }
+        if let (Some(first), Some(last)) = (gated.first(), gated.last()) {
+            assert!(
+                last.throughput_rps >= first.throughput_rps,
+                "{} workers slower than 1: {:.0} < {:.0} req/s",
+                last.workers,
+                last.throughput_rps,
+                first.throughput_rps,
+            );
+        }
+        report_text("worker-scaling gate passed (non-decreasing 1 -> 4 workers)");
+    } else {
+        report_text(&format!(
+            "worker-scaling gate skipped: {cores} core(s) < 4, scaling is \
+             scheduler noise (set STEPPING_SERVE_ASSERT=1 to force)"
+        ));
+    }
+
     report_text("\nSERVE: micro-batching vs sequential (one job per batch)");
-    let batched = run_config(&net, 2, 8, Some("results/serve.metrics.jsonl"));
-    let sequential = run_config(&net, 2, 1, None);
+    let batched = run_config(&net, 2, 8, false, Some("results/serve.metrics.jsonl"));
+    let sequential = run_config(&net, 2, 1, false, None);
     print_table(&headers, &[row(&batched), row(&sequential)]);
     let speedup = batched.throughput_rps / sequential.throughput_rps;
     report_text(&format!(

@@ -93,6 +93,8 @@ pub mod event {
     pub const SERVE_BATCH: &str = "serve.batch";
     /// Unaffordable upgrade answered synchronously from cache.
     pub const SERVE_CACHE_HIT: &str = "serve.cache_hit";
+    /// Admission control shed an upgrade to its session cache (full lane).
+    pub const SERVE_SHED: &str = "serve.shed";
 
     // compiled plans
     /// A `(layer, subnet)` plan was compiled.
@@ -148,6 +150,7 @@ pub mod event {
         LIVE_PREDICTION,
         SERVE_BATCH,
         SERVE_CACHE_HIT,
+        SERVE_SHED,
         PLAN_COMPILE,
         PLAN_CACHE_HIT,
         PLAN_INVALIDATE,
@@ -203,6 +206,14 @@ pub mod metric {
     pub const SERVE_DEADLINE_MISS: &str = "serve.deadline_miss";
     /// Unaffordable upgrades answered synchronously from cache.
     pub const SERVE_CACHE_HIT: &str = "serve.cache_hit";
+    /// Depth of the claimed lane at batch extraction (per claim).
+    pub const SERVE_LANE_DEPTH: &str = "serve.lane_depth";
+    /// Requests admitted below their requested subnet (admission downgrade).
+    pub const SERVE_DEGRADED: &str = "serve.degraded";
+    /// Upgrades shed to their session cache by a full lane.
+    pub const SERVE_SHED: &str = "serve.shed";
+    /// Requests refused outright by admission control (queue full).
+    pub const SERVE_REJECTED: &str = "serve.rejected";
 
     // execution pool
     /// Dispatch side of one pool run (send jobs to workers).
@@ -238,6 +249,10 @@ pub mod metric {
         SERVE_WORKER_BUSY_NS,
         SERVE_DEADLINE_MISS,
         SERVE_CACHE_HIT,
+        SERVE_LANE_DEPTH,
+        SERVE_DEGRADED,
+        SERVE_SHED,
+        SERVE_REJECTED,
         EXEC_DISPATCH_NS,
         EXEC_REDUCE_NS,
         EXEC_POOL_RUN_NS,

@@ -5,6 +5,8 @@
 pub fn install(registry: &MetricsRegistry, name: &'static str) {
     let _admitted = registry.register_counter(metric::SERVE_ADMITTED);
     let _lock = registry.register_histogram_labeled("serve.lock_wait_ns", "worker", 0.to_string());
+    let _lane_depth = registry.register_histogram(metric::SERVE_LANE_DEPTH);
+    let _shed = registry.register_counter("serve.shed");
     let _dynamic = registry.register_gauge(name);
 }
 

@@ -1,25 +1,60 @@
-//! Server configuration: a thin layer of serving knobs (workers, batching
-//! window) on top of the runtime's [`SessionConfig`].
+//! Server configuration: serving knobs (workers, batching window, admission
+//! control) on top of the runtime's [`SessionConfig`], built with
+//! [`ServeConfig::builder`].
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use stepping_runtime::SessionConfig;
 
+/// What admission control does with a request whose lane is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Downgrade the request to the largest smaller subnet whose lane has
+    /// room (the nested-subnet property makes the cheaper answer free to
+    /// produce and still correct). Budget and full requests step down to
+    /// the configured start subnet before giving up; upgrades whose lanes
+    /// are all full fall back to a synchronous cache answer
+    /// ([`Outcome::Shed`](crate::Outcome::Shed)). Subnet-pinned requests
+    /// are never downgraded. The default.
+    #[default]
+    Downgrade,
+    /// Refuse immediately with
+    /// [`AdmissionError::QueueFull`](crate::AdmissionError::QueueFull).
+    Reject,
+}
+
 /// Configuration of a [`Server`](crate::Server).
 ///
 /// Embeds a [`SessionConfig`] for the inference-side knobs (prune
 /// threshold, device model, start subnet) and adds the serving-side ones:
-/// how many worker threads, how large a micro-batch may grow, and how long
-/// the scheduler may hold a request waiting for batch-mates.
+/// worker threads, micro-batch limit, batching window, and the admission
+/// bound + shed policy of the per-key batch lanes. Construct it with
+/// [`builder`](ServeConfig::builder):
 ///
-/// Defaults: 2 workers, `max_batch` 8, `max_wait` 200 µs, default
-/// [`SessionConfig`].
+/// ```
+/// use std::time::Duration;
+/// use stepping_serve::{ServeConfig, ShedPolicy};
+///
+/// let config = ServeConfig::builder()
+///     .workers(4)
+///     .max_batch(8)
+///     .max_wait(Duration::from_micros(200))
+///     .lane_capacity(64)
+///     .shed_policy(ShedPolicy::Downgrade)
+///     .build();
+/// assert_eq!(config.get_workers(), 4);
+/// ```
+///
+/// Defaults: 2 workers, `max_batch` 8, `max_wait` 200 µs, `lane_capacity`
+/// 64, [`ShedPolicy::Downgrade`], default [`SessionConfig`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     workers: usize,
     max_batch: usize,
     max_wait: Duration,
+    lane_capacity: usize,
+    shed_policy: ShedPolicy,
     session: SessionConfig,
     metrics_snapshot: Option<PathBuf>,
     metrics_interval: Duration,
@@ -31,6 +66,8 @@ impl Default for ServeConfig {
             workers: 2,
             max_batch: 8,
             max_wait: Duration::from_micros(200),
+            lane_capacity: 64,
+            shed_policy: ShedPolicy::default(),
             session: SessionConfig::new(),
             metrics_snapshot: None,
             metrics_interval: Duration::from_millis(500),
@@ -38,29 +75,46 @@ impl Default for ServeConfig {
     }
 }
 
-impl ServeConfig {
-    /// A configuration with the defaults above.
-    pub fn new() -> Self {
-        Self::default()
-    }
+/// Builder for [`ServeConfig`]; created by [`ServeConfig::builder`], every
+/// knob chains, finished with [`build`](ServeConfigBuilder::build).
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
 
+impl ServeConfigBuilder {
     /// Number of worker threads, each owning a replica of the network.
     pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = workers;
+        self.config.workers = workers;
         self
     }
 
     /// Largest number of requests fused into one batched pass. `1` disables
     /// micro-batching (every request runs alone).
     pub fn max_batch(mut self, max_batch: usize) -> Self {
-        self.max_batch = max_batch;
+        self.config.max_batch = max_batch;
         self
     }
 
-    /// Longest time the scheduler holds an incomplete batch open waiting
-    /// for compatible requests before flushing it.
+    /// Longest time a lane holds an incomplete batch open waiting for
+    /// compatible requests before flushing it.
     pub fn max_wait(mut self, max_wait: Duration) -> Self {
-        self.max_wait = max_wait;
+        self.config.max_wait = max_wait;
+        self
+    }
+
+    /// Admission-control bound on each lane's queue depth (minimum 1). A
+    /// push into a full lane triggers the configured
+    /// [`shed_policy`](Self::shed_policy).
+    pub fn lane_capacity(mut self, capacity: usize) -> Self {
+        self.config.lane_capacity = capacity.max(1);
+        self
+    }
+
+    /// What to do with a request whose lane is full (default:
+    /// [`ShedPolicy::Downgrade`]).
+    pub fn shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.config.shed_policy = policy;
         self
     }
 
@@ -69,7 +123,7 @@ impl ServeConfig {
     /// [`Server::new`](crate::Server::new) — it is what turns a request's
     /// microsecond budget into a MAC budget.
     pub fn session(mut self, session: SessionConfig) -> Self {
-        self.session = session;
+        self.config.session = session;
         self
     }
 
@@ -80,11 +134,81 @@ impl ServeConfig {
     /// metric recording is live (the `metrics` feature); otherwise the
     /// writer is not spawned at all.
     pub fn metrics_snapshot(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.metrics_snapshot = Some(path.into());
+        self
+    }
+
+    /// Interval between background metrics snapshots (default 500 ms).
+    pub fn metrics_interval(mut self, interval: Duration) -> Self {
+        self.config.metrics_interval = interval;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ServeConfig {
+        self.config
+    }
+}
+
+impl ServeConfig {
+    /// Starts a builder with the defaults above.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::default()
+    }
+
+    /// A configuration with the defaults above.
+    #[deprecated(since = "0.7.0", note = "use `ServeConfig::builder()...build()`")]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of worker threads, each owning a replica of the network.
+    #[deprecated(since = "0.7.0", note = "use `ServeConfig::builder().workers(..)`")]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Largest number of requests fused into one batched pass. `1` disables
+    /// micro-batching (every request runs alone).
+    #[deprecated(since = "0.7.0", note = "use `ServeConfig::builder().max_batch(..)`")]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Longest time a lane holds an incomplete batch open waiting for
+    /// compatible requests before flushing it.
+    #[deprecated(since = "0.7.0", note = "use `ServeConfig::builder().max_wait(..)`")]
+    pub fn max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Inference-side configuration (prune threshold, device model, start
+    /// subnet).
+    #[deprecated(since = "0.7.0", note = "use `ServeConfig::builder().session(..)`")]
+    pub fn session(mut self, session: SessionConfig) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Writes a metrics snapshot (one JSON line) to `path` every
+    /// [`get_metrics_interval`](Self::get_metrics_interval).
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `ServeConfig::builder().metrics_snapshot(..)`"
+    )]
+    pub fn metrics_snapshot(mut self, path: impl Into<PathBuf>) -> Self {
         self.metrics_snapshot = Some(path.into());
         self
     }
 
     /// Interval between background metrics snapshots (default 500 ms).
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `ServeConfig::builder().metrics_interval(..)`"
+    )]
     pub fn metrics_interval(mut self, interval: Duration) -> Self {
         self.metrics_interval = interval;
         self
@@ -105,6 +229,16 @@ impl ServeConfig {
         self.max_wait
     }
 
+    /// Configured per-lane admission bound.
+    pub fn get_lane_capacity(&self) -> usize {
+        self.lane_capacity
+    }
+
+    /// Configured full-lane policy.
+    pub fn get_shed_policy(&self) -> ShedPolicy {
+        self.shed_policy
+    }
+
     /// Configured inference-side session configuration.
     pub fn get_session(&self) -> &SessionConfig {
         &self.session
@@ -118,5 +252,45 @@ impl ServeConfig {
     /// Configured metrics snapshot interval.
     pub fn get_metrics_interval(&self) -> Duration {
         self.metrics_interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_deprecated_chain_agree() {
+        let built = ServeConfig::builder()
+            .workers(4)
+            .max_batch(16)
+            .max_wait(Duration::from_micros(50))
+            .lane_capacity(32)
+            .shed_policy(ShedPolicy::Reject)
+            .build();
+        assert_eq!(built.get_workers(), 4);
+        assert_eq!(built.get_max_batch(), 16);
+        assert_eq!(built.get_max_wait(), Duration::from_micros(50));
+        assert_eq!(built.get_lane_capacity(), 32);
+        assert_eq!(built.get_shed_policy(), ShedPolicy::Reject);
+
+        // the pre-builder path still compiles and produces the same config
+        #[allow(deprecated)]
+        let legacy = ServeConfig::new()
+            .workers(4)
+            .max_batch(16)
+            .max_wait(Duration::from_micros(50));
+        assert_eq!(legacy.get_workers(), built.get_workers());
+        assert_eq!(legacy.get_max_batch(), built.get_max_batch());
+        assert_eq!(legacy.get_max_wait(), built.get_max_wait());
+        // knobs the legacy chain cannot reach keep their defaults
+        assert_eq!(legacy.get_lane_capacity(), 64);
+        assert_eq!(legacy.get_shed_policy(), ShedPolicy::Downgrade);
+    }
+
+    #[test]
+    fn lane_capacity_floors_at_one() {
+        let config = ServeConfig::builder().lane_capacity(0).build();
+        assert_eq!(config.get_lane_capacity(), 1);
     }
 }

@@ -8,16 +8,27 @@
 //!   holding a replica of the [`SteppingNet`](stepping_core::SteppingNet);
 //!   clients [`submit`](Server::submit) from any number of threads and
 //!   block only on their own [`Ticket`].
-//! * **Deadlines** — a [`Request::with_budget`] carries a microsecond
+//! * **Sharded batch lanes** — every batch key (one target subnet, or one
+//!   upgrade step) owns its own bounded lane with its own lock and flush
+//!   timer; workers scan lock-free scheduling hints and claim whole lanes,
+//!   so pushes and claims on different keys never contend.
+//! * **EDF scheduling** — a [`Request::with_budget`] carries a microsecond
 //!   budget; the scheduler converts it to a MAC budget via the configured
-//!   [`DeviceModel`](stepping_runtime::DeviceModel) and picks the largest
-//!   subnet that fits (best-effort smallest subnet, flagged
-//!   `deadline_met == false`, when nothing does).
-//! * **Micro-batching** — compatible requests (same target subnet, or the
-//!   same upgrade step) are fused into **one** batched pass over the
-//!   network. Every kernel in this workspace computes batch rows
-//!   independently, so each request's logits stay bit-identical to running
-//!   it alone — batching buys throughput without changing a single answer.
+//!   [`DeviceModel`](stepping_runtime::DeviceModel), picks the largest
+//!   subnet that fits, and orders ready lanes earliest-deadline-first so
+//!   expiring requests are served ahead of later-deadline batches.
+//! * **Admission control** — lanes are bounded
+//!   ([`lane_capacity`](ServeConfigBuilder::lane_capacity)); under load the
+//!   [`ShedPolicy`] downgrades a request to the largest subnet that still
+//!   fits (the nested-subnet property makes the cheaper answer free), sheds
+//!   an upgrade to its session cache, or refuses with a typed
+//!   [`AdmissionError`]. Each [`Response::outcome`] reports how the request
+//!   was actually served.
+//! * **Micro-batching** — compatible requests in one lane are fused into
+//!   **one** batched pass over the network. Every kernel in this workspace
+//!   computes batch rows independently, so each request's logits stay
+//!   bit-identical to running it alone — batching buys throughput without
+//!   changing a single answer.
 //! * **Incremental upgrades** — every response retains the request's
 //!   activation cache in a session table;
 //!   [`upgrade`](Server::upgrade) steps a session to a larger subnet
@@ -27,21 +38,24 @@
 //!
 //! Configuration is two-layered: the runtime's
 //! [`SessionConfig`](stepping_runtime::SessionConfig) supplies the
-//! inference-side knobs; [`ServeConfig`] adds workers, `max_batch`, and the
-//! `max_wait` batching window. See `docs/SERVING.md` for the architecture
-//! and the deadline math.
+//! inference-side knobs; [`ServeConfig::builder`] adds workers,
+//! `max_batch`, the `max_wait` batching window, and the admission bound +
+//! shed policy. See `docs/SERVING.md` for the lane architecture, the
+//! deadline math, and the migration guide from the pre-0.7 API.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod admission;
 mod config;
+mod lane;
 mod metrics;
-mod queue;
 mod request;
 mod server;
 mod stats;
 
-pub use config::ServeConfig;
-pub use request::{Request, Response, Ticket};
+pub use admission::{AdmissionError, ServeError};
+pub use config::{ServeConfig, ServeConfigBuilder, ShedPolicy};
+pub use request::{Outcome, Request, Response, Ticket};
 pub use server::Server;
 pub use stats::ServerStats;

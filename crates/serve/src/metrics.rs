@@ -15,8 +15,15 @@
 //!   `serve.worker_busy_ns{worker="N"}` (utilization);
 //! * per batch key — `serve.batch_occupancy{key="begin_K"}` for initial
 //!   runs of subnet `K`, `{key="up_F_T"}` for `F → T` upgrades;
-//! * unlabeled — admission/queue/forward/reply phases and the
-//!   admitted/completed/deadline-miss/cache-hit counters.
+//! * unlabeled — admission/queue/forward/reply phases, the claimed-lane
+//!   depth histogram, and the admitted/completed/deadline-miss/cache-hit/
+//!   degraded/shed/rejected counters.
+//!
+//! With sharded lanes, `serve.lock_wait_ns` measures the *lane* lock a
+//! worker claims a batch under (pushes to other lanes no longer contend),
+//! and the admission-control counters split refused traffic by fate:
+//! `serve.degraded` (admitted at a smaller subnet), `serve.shed` (upgrade
+//! answered from cache), `serve.rejected` (typed error to the caller).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -24,7 +31,7 @@ use std::sync::Arc;
 use stepping_core::events::metric;
 use stepping_metrics::{Gauge, LogHistogram, MetricsRegistry, ShardedCounter};
 
-use crate::queue::BatchKey;
+use crate::lane::BatchKey;
 
 /// Handles for one worker's series.
 #[derive(Debug)]
@@ -60,6 +67,14 @@ pub(crate) struct ServeMetrics {
     pub deadline_miss: Arc<ShardedCounter>,
     /// Upgrades answered synchronously from cache.
     pub cache_hit: Arc<ShardedCounter>,
+    /// Depth of the claimed lane at each batch extraction.
+    pub lane_depth: Arc<LogHistogram>,
+    /// Requests admitted below their requested subnet (downgrades).
+    pub degraded: Arc<ShardedCounter>,
+    /// Upgrades shed to their session cache by full lanes.
+    pub shed: Arc<ShardedCounter>,
+    /// Requests refused outright by admission control.
+    pub rejected: Arc<ShardedCounter>,
     /// Per-worker series, indexed by worker id.
     workers: Vec<WorkerMetrics>,
     /// `serve.batch_occupancy{key="begin_K"}`, indexed by subnet.
@@ -123,6 +138,10 @@ impl ServeMetrics {
             reply_ns: registry.register_histogram(metric::SERVE_REPLY_NS),
             deadline_miss: registry.register_counter(metric::SERVE_DEADLINE_MISS),
             cache_hit: registry.register_counter(metric::SERVE_CACHE_HIT),
+            lane_depth: registry.register_histogram(metric::SERVE_LANE_DEPTH),
+            degraded: registry.register_counter(metric::SERVE_DEGRADED),
+            shed: registry.register_counter(metric::SERVE_SHED),
+            rejected: registry.register_counter(metric::SERVE_REJECTED),
             workers,
             begin_occupancy,
             upgrade_occupancy,
@@ -164,5 +183,6 @@ mod tests {
         let series: Vec<&str> = snap.hists.iter().map(|(n, _)| n.as_str()).collect();
         assert!(series.contains(&"serve.lock_wait_ns{worker=\"2\"}"));
         assert!(series.contains(&"serve.batch_occupancy{key=\"up_0_1\"}"));
+        assert!(series.contains(&"serve.lane_depth"));
     }
 }

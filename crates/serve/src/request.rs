@@ -1,6 +1,7 @@
 //! Client-facing request/response types and the [`Ticket`] future.
 
 use std::sync::mpsc;
+use std::time::Duration;
 
 use stepping_core::{Result, SteppingError};
 use stepping_tensor::Tensor;
@@ -30,7 +31,9 @@ impl Request {
     /// modeled latency (via the configured
     /// [`DeviceModel`](stepping_runtime::DeviceModel)) fits within
     /// `budget_us` microseconds. If not even the smallest subnet fits, it
-    /// runs best-effort and the response reports `deadline_met == false`.
+    /// runs best-effort and the response reports
+    /// [`Outcome::Degraded`]. The budget also sets the request's absolute
+    /// deadline for EDF lane scheduling.
     pub fn with_budget(input: Tensor, budget_us: f64) -> Self {
         Request {
             input,
@@ -38,7 +41,8 @@ impl Request {
         }
     }
 
-    /// A request pinned to an exact subnet.
+    /// A request pinned to an exact subnet. Pinned requests are never
+    /// downgraded by admission control — a full lane rejects them instead.
     pub fn at_subnet(input: Tensor, subnet: usize) -> Self {
         Request {
             input,
@@ -52,6 +56,43 @@ impl Request {
             input,
             target: TargetSpec::Full,
         }
+    }
+}
+
+/// How a request was ultimately served, relative to what it asked for.
+///
+/// Replaces the old `deadline_met: bool`, which could not distinguish an
+/// admission-control downgrade (the server chose a smaller subnet under
+/// load) from a deadline miss (the requested subnet was served but its
+/// modeled cost blew the budget) from a shed (no compute at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served at the requested subnet, within the budget if one was set.
+    Met,
+    /// Served below the request. `served < requested` is an
+    /// admission-control downgrade to the largest subnet that fit under
+    /// load; `served == requested` means the subnet itself was served but
+    /// its modeled cost exceeded the request's budget (the old
+    /// `deadline_met == false`).
+    Degraded {
+        /// Subnet (or upgrade level) the request originally resolved to.
+        requested: usize,
+        /// Subnet (or upgrade level) actually served.
+        served: usize,
+    },
+    /// Admission control shed the request entirely: an upgrade whose lanes
+    /// were full was answered from its session cache without compute
+    /// (`batch_size == 0`, `cache_reuse == 1.0`).
+    Shed,
+    /// An unaffordable upgrade answered synchronously from the session
+    /// cache — the request's own budget, not load, made it free.
+    CacheHit,
+}
+
+impl Outcome {
+    /// Whether any compute was degraded or skipped relative to the request.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Outcome::Degraded { .. } | Outcome::Shed)
     }
 }
 
@@ -75,9 +116,8 @@ pub struct Response {
     pub modeled_latency_us: f64,
     /// Measured wall-clock latency from submit to reply, in microseconds.
     pub latency_us: f64,
-    /// Whether the modeled cost of the chosen subnet fit the request's
-    /// budget (always `true` for exact-subnet and full requests).
-    pub deadline_met: bool,
+    /// How the request was served relative to what it asked for.
+    pub outcome: Outcome,
     /// Number of requests fused into the batched pass that produced this
     /// response (1 = ran alone, 0 = answered from cache without compute).
     pub batch_size: usize,
@@ -91,12 +131,22 @@ impl Response {
     pub fn prediction(&self) -> usize {
         self.logits.argmax()
     }
+
+    /// The old boolean view of [`outcome`](Response::outcome): `true` for
+    /// [`Outcome::Met`] and [`Outcome::CacheHit`], `false` for every
+    /// degradation — which conflates downgrades, deadline misses, and
+    /// sheds. Match on `outcome` instead.
+    #[deprecated(since = "0.7.0", note = "match on `Response::outcome` instead")]
+    pub fn deadline_met(&self) -> bool {
+        matches!(self.outcome, Outcome::Met | Outcome::CacheHit)
+    }
 }
 
 /// A pending response: returned by
 /// [`Server::submit`](crate::Server::submit) /
 /// [`Server::upgrade`](crate::Server::upgrade), redeemed with
-/// [`wait`](Ticket::wait).
+/// [`wait`](Ticket::wait), polled with [`try_wait`](Ticket::try_wait), or
+/// bounded-blocked with [`wait_timeout`](Ticket::wait_timeout).
 #[derive(Debug)]
 pub struct Ticket {
     pub(crate) rx: mpsc::Receiver<Result<Response>>,
@@ -111,10 +161,32 @@ impl Ticket {
     /// [`SteppingError::ExecutorState`] if the server dropped the request
     /// (worker panic during shutdown).
     pub fn wait(self) -> Result<Response> {
-        self.rx.recv().unwrap_or_else(|_| {
-            Err(SteppingError::ExecutorState(
-                "server dropped the request before answering".into(),
-            ))
-        })
+        self.rx.recv().unwrap_or_else(|_| Err(Self::dropped()))
+    }
+
+    /// Non-blocking poll: `Some` once the request is resolved (at most one
+    /// `Ok`; a dropped request yields the same error as [`wait`]
+    /// (Ticket::wait)), `None` while it is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Response>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(Self::dropped())),
+        }
+    }
+
+    /// Blocks up to `timeout` for the answer; `None` on timeout, with the
+    /// ticket still valid for a later [`wait`](Ticket::wait) /
+    /// [`try_wait`](Ticket::try_wait).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(Self::dropped())),
+        }
+    }
+
+    fn dropped() -> SteppingError {
+        SteppingError::ExecutorState("server dropped the request before answering".into())
     }
 }

@@ -1,11 +1,11 @@
-//! The serving engine: worker pool, deadline math, session table, and the
-//! micro-batching dispatch loop.
+//! The serving engine: worker pool, deadline math, session table, admission
+//! control, and the sharded-lane dispatch loop.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use stepping_core::batch::{ActivationCache, BatchExecutor};
 use stepping_core::telemetry::{self, Value};
@@ -14,10 +14,10 @@ use stepping_metrics::{elapsed_ns, start_timer, MetricsRegistry, SnapshotWriter}
 use stepping_runtime::{expand_macs, DeviceModel};
 use stepping_tensor::Tensor;
 
-use crate::config::ServeConfig;
-use crate::metrics::ServeMetrics;
-use crate::queue::{BatchKey, Job, JobQueue, Work};
-use crate::request::{Request, Response, TargetSpec, Ticket};
+use crate::admission::{AdmissionError, ServeError};
+use crate::config::{ServeConfig, ShedPolicy};
+use crate::lane::{BatchKey, Job, LaneSet, Refused, Work};
+use crate::request::{Outcome, Request, Response, TargetSpec, Ticket};
 use crate::stats::{ServerStats, StatsInner};
 
 /// Retained per-request state between an initial run and later upgrades.
@@ -31,10 +31,11 @@ struct SessionEntry {
 /// State shared between the client-facing handle and the workers.
 #[derive(Debug)]
 struct Shared {
-    queue: JobQueue,
+    lanes: LaneSet,
     device: DeviceModel,
     prune_threshold: f32,
     start_subnet: usize,
+    shed_policy: ShedPolicy,
     /// `direct_cost[k]`: per-sample MACs of running subnet `k` from the
     /// input (what an initial run pays).
     direct_cost: Vec<u64>,
@@ -46,7 +47,7 @@ struct Shared {
     next_id: AtomicU64,
     next_session: AtomicU64,
     stats: StatsInner,
-    metrics: Arc<ServeMetrics>,
+    metrics: Arc<crate::metrics::ServeMetrics>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -85,15 +86,33 @@ impl Shared {
         }
         best
     }
+
+    /// Absolute EDF deadline of a request submitted now with `budget_us`.
+    /// `None` on no budget or a budget past the representable horizon.
+    fn deadline_of(submitted: Instant, budget_us: Option<f64>) -> Option<Instant> {
+        budget_us
+            .and_then(|b| Duration::try_from_secs_f64(b / 1e6).ok())
+            .and_then(|d| submitted.checked_add(d))
+    }
 }
 
 /// A concurrent, deadline-aware inference server over one [`SteppingNet`].
 ///
-/// `workers` threads each own a replica of the network and pull
+/// `workers` threads each own a replica of the network and claim
 /// micro-batches of *compatible* requests (same target subnet, or same
-/// upgrade step) from a shared queue, running one batched pass per batch.
-/// Because every kernel in the workspace computes batch rows independently,
-/// each request's logits are **bit-identical** to running it alone.
+/// upgrade step) from sharded per-key batch lanes, running one batched
+/// pass per claim. Lane selection is earliest-deadline-first, so
+/// budget-carrying requests are serviced before their deadlines expire
+/// whenever possible. Because every kernel in the workspace computes batch
+/// rows independently, each request's logits are **bit-identical** to
+/// running it alone.
+///
+/// Admission control bounds every lane
+/// ([`lane_capacity`](crate::ServeConfigBuilder::lane_capacity)); under
+/// overload the configured [`ShedPolicy`] either downgrades a request to
+/// the largest subnet whose lane still has room — the nested-subnet
+/// property makes the cheaper answer free — or refuses it with a typed
+/// [`AdmissionError`].
 ///
 /// Every answered request leaves its activation cache in a session table;
 /// [`upgrade`](Server::upgrade) later steps it to a larger subnet paying
@@ -111,9 +130,10 @@ impl Shared {
 /// let mut net = SteppingNetBuilder::new(Shape::of(&[4]), 2, 0)
 ///     .linear(6).relu().build(3)?;
 /// net.move_neuron(0, 5, 1)?;
-/// let config = ServeConfig::new()
+/// let config = ServeConfig::builder()
 ///     .workers(2)
-///     .session(SessionConfig::new().device(DeviceModel::mobile()));
+///     .session(SessionConfig::new().device(DeviceModel::mobile()))
+///     .build();
 /// let server = Server::new(&net, config)?;
 /// let ticket = server.submit(Request::full(Tensor::ones(Shape::of(&[1, 4]))))?;
 /// let response = ticket.wait()?;
@@ -126,7 +146,7 @@ pub struct Server {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// Background metrics snapshot thread, when configured
-    /// (`ServeConfig::metrics_snapshot`); stopped on shutdown.
+    /// (`ServeConfigBuilder::metrics_snapshot`); stopped on shutdown.
     snapshot_writer: Mutex<Option<SnapshotWriter>>,
 }
 
@@ -171,7 +191,11 @@ impl Server {
             expand_cost.push(expand_macs(net, k, thr)?);
         }
         let registry = MetricsRegistry::global();
-        let metrics = Arc::new(ServeMetrics::new(&registry, config.get_workers(), subnets));
+        let metrics = Arc::new(crate::metrics::ServeMetrics::new(
+            &registry,
+            config.get_workers(),
+            subnets,
+        ));
         let snapshot_writer = match config.get_metrics_snapshot() {
             Some(path) if stepping_metrics::enabled() => Some(
                 SnapshotWriter::spawn(registry, path, config.get_metrics_interval()).map_err(
@@ -186,14 +210,17 @@ impl Server {
             _ => None,
         };
         let shared = Arc::new(Shared {
-            queue: JobQueue::new(
+            lanes: LaneSet::new(
+                subnets,
                 config.get_max_batch(),
                 config.get_max_wait(),
+                config.get_lane_capacity(),
                 Arc::clone(&metrics),
             ),
             device,
             prune_threshold: thr,
             start_subnet: start,
+            shed_policy: config.get_shed_policy(),
             direct_cost,
             expand_cost,
             sessions: Mutex::new(HashMap::new()),
@@ -221,14 +248,22 @@ impl Server {
     /// The target subnet is resolved now: for a budget request, the largest
     /// subnet whose modeled latency
     /// ([`DeviceModel::budget_for_us`]) covers its direct MAC cost, floored
-    /// at the configured start subnet (best effort when nothing fits).
+    /// at the configured start subnet (best effort when nothing fits). If
+    /// that subnet's lane is full, [`ShedPolicy::Downgrade`] steps budget
+    /// and full requests down toward the start subnet until a lane has
+    /// room — the response then reports
+    /// [`Outcome::Degraded`](crate::Outcome::Degraded).
     ///
     /// # Errors
     ///
-    /// Rejects a shut-down server, an out-of-range subnet, a non-positive
-    /// budget, and an input whose trailing dimensions do not match the
-    /// network.
-    pub fn submit(&self, request: Request) -> Result<Ticket> {
+    /// [`ServeError::Admission`] with [`AdmissionError::QueueFull`] when no
+    /// admissible lane has room (always, for subnet-pinned requests under
+    /// load, and for everything under [`ShedPolicy::Reject`]) or
+    /// [`AdmissionError::ShuttingDown`] after
+    /// [`shutdown`](Server::shutdown); [`ServeError::Invalid`] for an
+    /// out-of-range subnet, a non-positive budget, or an input without
+    /// batch rows.
+    pub fn submit(&self, request: Request) -> std::result::Result<Ticket, ServeError> {
         // admission phase = resolve target + enqueue; rejected requests are
         // not recorded (cancel), so the series measures accepted work only
         let timer = start_timer(&self.shared.metrics.admission_ns);
@@ -242,34 +277,67 @@ impl Server {
         result
     }
 
-    fn submit_inner(&self, request: Request) -> Result<Ticket> {
+    fn submit_inner(&self, request: Request) -> std::result::Result<Ticket, ServeError> {
         let (subnet, budget_us) = self.resolve_begin(request.target)?;
         let dims = request.input.shape().dims();
         if dims.is_empty() || dims[0] == 0 {
             return Err(SteppingError::BadConfig(
                 "request input must have at least one batch row".into(),
-            ));
+            )
+            .into());
         }
+        // only elastic targets may be downgraded; a pinned subnet is a
+        // contract, so its full lane rejects instead
+        let downgradable = self.shared.shed_policy == ShedPolicy::Downgrade
+            && matches!(request.target, TargetSpec::BudgetUs(_) | TargetSpec::Full);
+        let submitted = Instant::now();
         let (tx, rx) = mpsc::channel();
-        let job = Job {
+        let mut job = Job {
             id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
             work: Work::Begin {
                 input: request.input,
                 subnet,
             },
+            requested: subnet,
             budget_us,
-            submitted: Instant::now(),
+            deadline: Shared::deadline_of(submitted, budget_us),
+            submitted,
             reply: tx,
         };
         // admitted is counted before the push so a worker can never answer
-        // (bumping `requests`) before the admission is visible; a shutdown
-        // rejection takes the count back
+        // (bumping `requests`) before the admission is visible; a refused
+        // push takes the count back
         self.shared.stats.record_admitted(1);
-        self.shared.metrics.admitted.inc();
-        if self.shared.queue.push(job).is_err() {
-            self.shared.stats.record_admission_rejected(1);
-            return Err(SteppingError::BadConfig("server is shut down".into()));
+        loop {
+            match self.shared.lanes.push(job) {
+                Ok(()) => break,
+                Err(Refused::Draining(_)) => {
+                    self.shared.stats.record_admission_rejected(1);
+                    return Err(AdmissionError::ShuttingDown.into());
+                }
+                Err(Refused::Full {
+                    job: returned,
+                    depth,
+                    capacity,
+                }) => {
+                    let cur = match &returned.work {
+                        Work::Begin { subnet, .. } => *subnet,
+                        Work::Upgrade { target, .. } => *target,
+                    };
+                    if downgradable && cur > self.shared.start_subnet {
+                        job = *returned;
+                        if let Work::Begin { subnet, .. } = &mut job.work {
+                            *subnet = cur - 1;
+                        }
+                        continue;
+                    }
+                    self.shared.stats.record_rejected(1);
+                    self.shared.metrics.rejected.inc();
+                    return Err(AdmissionError::QueueFull { depth, capacity }.into());
+                }
+            }
         }
+        self.shared.metrics.admitted.inc();
         Ok(Ticket { rx })
     }
 
@@ -278,13 +346,23 @@ impl Server {
     /// *incremental* cost fits the extra budget is chosen; with `None` the
     /// largest subnet. If not even one step is affordable, the cached
     /// prediction is returned immediately with zero new MACs
-    /// (`batch_size == 0`, `cache_reuse == 1.0`).
+    /// ([`Outcome::CacheHit`](crate::Outcome::CacheHit), `batch_size == 0`,
+    /// `cache_reuse == 1.0`). Under load, [`ShedPolicy::Downgrade`] steps
+    /// the target level down while its lanes are full, shedding to a
+    /// synchronous cache answer
+    /// ([`Outcome::Shed`](crate::Outcome::Shed)) when no upgrade lane has
+    /// room at all — the session stays upgradeable later either way.
     ///
     /// # Errors
     ///
-    /// Rejects an unknown session, a non-positive budget, and a shut-down
-    /// server.
-    pub fn upgrade(&self, session: u64, extra_budget_us: Option<f64>) -> Result<Ticket> {
+    /// [`ServeError::Invalid`] for an unknown session or a non-positive
+    /// budget; [`ServeError::Admission`] when shutting down, or when lanes
+    /// are full under [`ShedPolicy::Reject`].
+    pub fn upgrade(
+        &self,
+        session: u64,
+        extra_budget_us: Option<f64>,
+    ) -> std::result::Result<Ticket, ServeError> {
         let timer = start_timer(&self.shared.metrics.admission_ns);
         let result = self.upgrade_inner(session, extra_budget_us);
         match &result {
@@ -296,12 +374,17 @@ impl Server {
         result
     }
 
-    fn upgrade_inner(&self, session: u64, extra_budget_us: Option<f64>) -> Result<Ticket> {
+    fn upgrade_inner(
+        &self,
+        session: u64,
+        extra_budget_us: Option<f64>,
+    ) -> std::result::Result<Ticket, ServeError> {
         if let Some(b) = extra_budget_us {
             if !(b.is_finite() && b > 0.0) {
                 return Err(SteppingError::BadConfig(format!(
                     "budget {b} must be positive finite microseconds"
-                )));
+                ))
+                .into());
             }
         }
         let entry = lock(&self.shared.sessions)
@@ -317,19 +400,7 @@ impl Server {
         let (tx, rx) = mpsc::channel();
         if target <= cur {
             // nothing affordable (or already at the top): answer from cache
-            let response = Response {
-                id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
-                session,
-                subnet: cur,
-                logits: entry.last_logits.clone(),
-                step_macs: 0,
-                total_macs: entry.cache.cumulative_macs(),
-                modeled_latency_us: 0.0,
-                latency_us: 0.0,
-                deadline_met: true,
-                batch_size: 0,
-                cache_reuse: 1.0,
-            };
+            let response = self.cached_response(session, &entry, Outcome::CacheHit);
             self.shared.stats.record_admitted(1);
             self.shared.stats.record_cache_hit();
             self.shared.metrics.admitted.inc();
@@ -347,7 +418,8 @@ impl Server {
             let _ = tx.send(Ok(response));
             return Ok(Ticket { rx });
         }
-        let job = Job {
+        let submitted = Instant::now();
+        let mut job = Job {
             id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
             work: Work::Upgrade {
                 session,
@@ -355,28 +427,117 @@ impl Server {
                 from: cur,
                 target,
             },
+            requested: target,
             budget_us: extra_budget_us,
-            submitted: Instant::now(),
+            deadline: Shared::deadline_of(submitted, extra_budget_us),
+            submitted,
             reply: tx,
         };
         self.shared.stats.record_admitted(1);
-        self.shared.metrics.admitted.inc();
-        if let Err(job) = self.shared.queue.push(job) {
-            self.shared.stats.record_admission_rejected(1);
-            // restore the session so the cache is not lost
-            if let Work::Upgrade { cache, .. } = job.work {
-                lock(&self.shared.sessions).insert(
-                    session,
-                    SessionEntry {
-                        cache,
-                        last_subnet: entry.last_subnet,
-                        last_logits: entry.last_logits,
-                    },
-                );
+        loop {
+            match self.shared.lanes.push(job) {
+                Ok(()) => break,
+                Err(Refused::Draining(returned)) => {
+                    self.shared.stats.record_admission_rejected(1);
+                    self.reinstall(session, *returned, &entry.last_logits, cur);
+                    return Err(AdmissionError::ShuttingDown.into());
+                }
+                Err(Refused::Full {
+                    job: returned,
+                    depth,
+                    capacity,
+                }) => {
+                    let level = match &returned.work {
+                        Work::Upgrade { target, .. } => *target,
+                        Work::Begin { subnet, .. } => *subnet,
+                    };
+                    if self.shared.shed_policy == ShedPolicy::Downgrade {
+                        if level > cur + 1 {
+                            // try the next-smaller upgrade edge's lane
+                            job = *returned;
+                            if let Work::Upgrade { target, .. } = &mut job.work {
+                                *target = level - 1;
+                            }
+                            continue;
+                        }
+                        // every admissible lane is full: shed to the cache
+                        // — the nested-subnet property means the session's
+                        // current level is still a correct answer
+                        let id = returned.id;
+                        let reply = returned.reply.clone();
+                        self.reinstall(session, *returned, &entry.last_logits, cur);
+                        let shed = {
+                            let sessions = lock(&self.shared.sessions);
+                            sessions.get(&session).map(|e| {
+                                let mut r = self.cached_response(session, e, Outcome::Shed);
+                                r.id = id;
+                                r.latency_us = submitted.elapsed().as_secs_f64() * 1e6;
+                                r
+                            })
+                        };
+                        if let Some(response) = shed {
+                            self.shared.stats.record_shed();
+                            self.shared.metrics.shed.inc();
+                            self.shared.metrics.completed.inc();
+                            telemetry::point(
+                                "serving",
+                                "serve.shed",
+                                &[
+                                    ("session", Value::U64(session)),
+                                    ("subnet", Value::U64(cur as u64)),
+                                    ("requested", Value::U64(target as u64)),
+                                ],
+                            );
+                            let _ = reply.send(Ok(response));
+                            return Ok(Ticket { rx });
+                        }
+                        // the session vanished while shedding (concurrent
+                        // release): report the staler but honest refusal
+                        self.shared.stats.record_rejected(1);
+                        self.shared.metrics.rejected.inc();
+                        return Err(AdmissionError::QueueFull { depth, capacity }.into());
+                    }
+                    self.shared.stats.record_rejected(1);
+                    self.shared.metrics.rejected.inc();
+                    self.reinstall(session, *returned, &entry.last_logits, cur);
+                    return Err(AdmissionError::QueueFull { depth, capacity }.into());
+                }
             }
-            return Err(SteppingError::BadConfig("server is shut down".into()));
         }
+        self.shared.metrics.admitted.inc();
         Ok(Ticket { rx })
+    }
+
+    /// Puts a refused upgrade job's cache back into the session table so
+    /// the session survives the refusal.
+    fn reinstall(&self, session: u64, job: Job, last_logits: &Tensor, last_subnet: usize) {
+        if let Work::Upgrade { cache, .. } = job.work {
+            lock(&self.shared.sessions).insert(
+                session,
+                SessionEntry {
+                    cache,
+                    last_subnet,
+                    last_logits: last_logits.clone(),
+                },
+            );
+        }
+    }
+
+    /// A compute-free response carrying the session's cached prediction.
+    fn cached_response(&self, session: u64, entry: &SessionEntry, outcome: Outcome) -> Response {
+        Response {
+            id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+            session,
+            subnet: entry.last_subnet,
+            logits: entry.last_logits.clone(),
+            step_macs: 0,
+            total_macs: entry.cache.cumulative_macs(),
+            modeled_latency_us: 0.0,
+            latency_us: 0.0,
+            outcome,
+            batch_size: 0,
+            cache_reuse: 1.0,
+        }
     }
 
     /// Forgets a session, freeing its activation cache. Unknown sessions
@@ -400,17 +561,17 @@ impl Server {
         self.shared.stats.snapshot()
     }
 
-    /// Graceful shutdown: stops accepting requests, drains the queue (every
-    /// queued request is still answered), and joins the workers.
+    /// Graceful shutdown: stops accepting requests, drains every lane
+    /// (every queued request is still answered), and joins the workers.
     /// Idempotent.
     pub fn shutdown(&self) {
-        self.shared.queue.shutdown();
+        self.shared.lanes.shutdown();
         let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
         // stop the snapshot writer last so its final line sees the drained
-        // queue; write errors surface nowhere better than stderr here
+        // lanes; write errors surface nowhere better than stderr here
         if let Some(writer) = lock(&self.snapshot_writer).take() {
             if let Err(e) = writer.stop() {
                 eprintln!("stepping-serve: metrics snapshot writer failed: {e}");
@@ -452,9 +613,8 @@ impl Drop for Server {
 }
 
 fn worker_loop(shared: Arc<Shared>, mut net: SteppingNet, worker: usize) {
-    while let Some(batch) = shared.queue.take_batch(worker) {
+    while let Some((key, batch)) = shared.lanes.take_batch(worker) {
         let busy_start = stepping_metrics::enabled().then(Instant::now);
-        let key = batch[0].key();
         if let Some(occupancy) = shared.metrics.occupancy(key) {
             occupancy.record(batch.len() as u64);
         }
@@ -471,6 +631,23 @@ fn worker_loop(shared: Arc<Shared>, mut net: SteppingNet, worker: usize) {
 fn respond_error(jobs: Vec<Job>, err: SteppingError) {
     for job in jobs {
         let _ = job.reply.send(Err(err.clone()));
+    }
+}
+
+/// The outcome of serving `job` at `served`, and whether it missed its
+/// budget: below-request service is a degradation even within budget, and
+/// a blown budget degrades even at the requested subnet.
+fn outcome_of(
+    requested: usize,
+    served: usize,
+    budget_us: Option<f64>,
+    modeled: f64,
+) -> (Outcome, bool) {
+    let miss = budget_us.is_some_and(|b| modeled > b);
+    if served < requested || miss {
+        (Outcome::Degraded { requested, served }, miss)
+    } else {
+        (Outcome::Met, false)
     }
 }
 
@@ -509,15 +686,19 @@ fn run_begin_batch(shared: &Shared, net: &mut SteppingNet, jobs: Vec<Job>, subne
     let batch_size = jobs.len();
     let mut batch_macs = 0u64;
     let mut misses = 0u64;
+    let mut degraded = 0u64;
     // stats and session entries must be visible before any reply is sent,
     // so sends are buffered until all bookkeeping is done
     let mut outbox = Vec::with_capacity(batch_size);
     for (job, (cache, step)) in jobs.into_iter().zip(results) {
         let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
         let modeled = shared.device.latency_us(step.step_macs);
-        let deadline_met = job.budget_us.is_none_or(|b| modeled <= b);
-        if !deadline_met {
+        let (outcome, miss) = outcome_of(job.requested, step.subnet, job.budget_us, modeled);
+        if miss {
             misses += 1;
+        }
+        if step.subnet < job.requested {
+            degraded += 1;
         }
         batch_macs += step.step_macs;
         let response = Response {
@@ -529,7 +710,7 @@ fn run_begin_batch(shared: &Shared, net: &mut SteppingNet, jobs: Vec<Job>, subne
             total_macs: step.cumulative_macs,
             modeled_latency_us: modeled,
             latency_us: job.submitted.elapsed().as_secs_f64() * 1e6,
-            deadline_met,
+            outcome,
             batch_size,
             cache_reuse: 0.0,
         };
@@ -545,8 +726,9 @@ fn run_begin_batch(shared: &Shared, net: &mut SteppingNet, jobs: Vec<Job>, subne
     }
     shared
         .stats
-        .record_batch(batch_size as u64, batch_macs, misses);
+        .record_batch(batch_size as u64, batch_macs, misses, degraded);
     shared.metrics.deadline_miss.add(misses);
+    shared.metrics.degraded.add(degraded);
     shared.metrics.completed.add(batch_size as u64);
     let reply_timer = start_timer(&shared.metrics.reply_ns);
     for (reply, response) in outbox {
@@ -577,7 +759,13 @@ fn run_upgrade_batch(
             Work::Upgrade { session, cache, .. } => {
                 sessions_meta.push(session);
                 caches.push(cache);
-                replies.push((job.id, job.budget_us, job.submitted, job.reply));
+                replies.push((
+                    job.id,
+                    job.requested,
+                    job.budget_us,
+                    job.submitted,
+                    job.reply,
+                ));
             }
             // A mis-keyed job can't run in this batch; answer it with an
             // error instead of poisoning the whole batch.
@@ -601,7 +789,7 @@ fn run_upgrade_batch(
             Err(e) => {
                 forward_timer.stop();
                 span.end(&[("error", Value::Bool(true))]);
-                for (_, _, _, reply) in replies {
+                for (_, _, _, _, reply) in replies {
                     let _ = reply.send(Err(e.clone()));
                 }
                 return;
@@ -613,7 +801,7 @@ fn run_upgrade_batch(
         // `to > from` is guaranteed by the caller, so an empty loop means the
         // batch key was inconsistent; fail the requests rather than panic.
         span.end(&[("error", Value::Bool(true))]);
-        for (_, _, _, reply) in replies {
+        for (_, _, _, _, reply) in replies {
             let _ = reply.send(Err(SteppingError::ExecutorState(
                 "upgrade batch performed no expand step".into(),
             )));
@@ -622,17 +810,21 @@ fn run_upgrade_batch(
     };
     let batch_size = replies.len();
     let mut misses = 0u64;
+    let mut degraded = 0u64;
     let mut outbox = Vec::with_capacity(batch_size);
-    for (((session, cache), step), (id, budget_us, submitted, reply)) in sessions_meta
+    for (((session, cache), step), (id, requested, budget_us, submitted, reply)) in sessions_meta
         .into_iter()
         .zip(caches)
         .zip(steps)
         .zip(replies)
     {
         let modeled = shared.device.latency_us(new_macs);
-        let deadline_met = budget_us.is_none_or(|b| modeled <= b);
-        if !deadline_met {
+        let (outcome, miss) = outcome_of(requested, step.subnet, budget_us, modeled);
+        if miss {
             misses += 1;
+        }
+        if step.subnet < requested {
+            degraded += 1;
         }
         let total = cache.cumulative_macs();
         let response = Response {
@@ -644,7 +836,7 @@ fn run_upgrade_batch(
             total_macs: total,
             modeled_latency_us: modeled,
             latency_us: submitted.elapsed().as_secs_f64() * 1e6,
-            deadline_met,
+            outcome,
             batch_size,
             cache_reuse: if total == 0 {
                 0.0
@@ -662,10 +854,14 @@ fn run_upgrade_batch(
         );
         outbox.push((reply, response));
     }
-    shared
-        .stats
-        .record_batch(batch_size as u64, new_macs * batch_size as u64, misses);
+    shared.stats.record_batch(
+        batch_size as u64,
+        new_macs * batch_size as u64,
+        misses,
+        degraded,
+    );
     shared.metrics.deadline_miss.add(misses);
+    shared.metrics.degraded.add(degraded);
     shared.metrics.completed.add(batch_size as u64);
     let reply_timer = start_timer(&shared.metrics.reply_ns);
     for (reply, response) in outbox {

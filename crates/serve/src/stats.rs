@@ -14,9 +14,9 @@
 //! test below and re-checked by `tests/metrics.rs` under live load):
 //!
 //! * `requests <= admitted` — a request is admitted before it is answered;
-//! * `cache_hits <= requests` and `batched_requests <= requests`;
-//! * `deadline_misses <= requests`;
-//! * `batches == 0` implies `requests == cache_hits`.
+//! * `cache_hits + shed <= requests` and `batched_requests <= requests`;
+//! * `deadline_misses <= requests` and `degraded <= requests`;
+//! * `batches == 0` implies `requests == cache_hits + shed`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -43,6 +43,15 @@ pub struct ServerStats {
     pub total_macs: u64,
     /// Responses whose modeled cost exceeded the request's budget.
     pub deadline_misses: u64,
+    /// Requests served below the subnet they asked for because admission
+    /// control downgraded them under load (distinct from
+    /// `deadline_misses`, where the requested subnet itself was served).
+    pub degraded: u64,
+    /// Upgrades answered from their session cache because every lane was
+    /// full (admission-control sheds; no compute).
+    pub shed: u64,
+    /// Requests refused outright by admission control (not admitted).
+    pub rejected: u64,
 }
 
 impl ServerStats {
@@ -51,8 +60,8 @@ impl ServerStats {
         if self.batches == 0 {
             0.0
         } else {
-            // cache hits never reach a worker pass
-            (self.requests - self.cache_hits) as f64 / self.batches as f64
+            // cache hits and sheds never reach a worker pass
+            (self.requests - self.cache_hits - self.shed) as f64 / self.batches as f64
         }
     }
 }
@@ -70,6 +79,9 @@ pub(crate) struct StatsInner {
     cache_hits: AtomicU64,
     total_macs: AtomicU64,
     deadline_misses: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl StatsInner {
@@ -116,7 +128,10 @@ impl StatsInner {
         });
     }
 
-    pub fn record_batch(&self, size: u64, macs: u64, misses: u64) {
+    /// Records one executed batch. `degraded` counts the jobs in it that
+    /// were admitted below their requested subnet — counted here, with
+    /// `requests`, so `degraded <= requests` holds in every snapshot.
+    pub fn record_batch(&self, size: u64, macs: u64, misses: u64, degraded: u64) {
         self.write(|s| {
             s.requests.fetch_add(size, Ordering::Relaxed);
             s.batches.fetch_add(1, Ordering::Relaxed);
@@ -126,6 +141,25 @@ impl StatsInner {
             s.max_batch.fetch_max(size, Ordering::Relaxed);
             s.total_macs.fetch_add(macs, Ordering::Relaxed);
             s.deadline_misses.fetch_add(misses, Ordering::Relaxed);
+            s.degraded.fetch_add(degraded, Ordering::Relaxed);
+        });
+    }
+
+    /// An admitted upgrade shed to its session cache: answered (a request)
+    /// without compute, like a cache hit but forced by load.
+    pub fn record_shed(&self) {
+        self.write(|s| {
+            s.requests.fetch_add(1, Ordering::Relaxed);
+            s.shed.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// A request refused by admission control: takes back its optimistic
+    /// admission and counts the rejection in one coherent section.
+    pub fn record_rejected(&self, n: u64) {
+        self.write(|s| {
+            s.admitted.fetch_sub(n, Ordering::Relaxed);
+            s.rejected.fetch_add(n, Ordering::Relaxed);
         });
     }
 
@@ -155,6 +189,9 @@ impl StatsInner {
                 cache_hits: self.cache_hits.load(Ordering::Relaxed),
                 total_macs: self.total_macs.load(Ordering::Relaxed),
                 deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+                degraded: self.degraded.load(Ordering::Relaxed),
+                shed: self.shed.load(Ordering::Relaxed),
+                rejected: self.rejected.load(Ordering::Relaxed),
             };
             // The fence orders the field loads before the epoch re-read; an
             // unchanged even epoch means no writer ran in between.
@@ -176,18 +213,23 @@ mod tests {
     #[test]
     fn snapshot_reflects_single_threaded_updates() {
         let inner = StatsInner::default();
-        inner.record_admitted(3);
-        inner.record_batch(2, 100, 1);
+        inner.record_admitted(5);
+        inner.record_batch(2, 100, 1, 1);
         inner.record_cache_hit();
+        inner.record_shed();
+        inner.record_rejected(1);
         let s = inner.snapshot();
-        assert_eq!(s.admitted, 3);
-        assert_eq!(s.requests, 3);
+        assert_eq!(s.admitted, 4, "rejection took its admission back");
+        assert_eq!(s.requests, 4);
         assert_eq!(s.batches, 1);
         assert_eq!(s.batched_requests, 2);
         assert_eq!(s.max_batch, 2);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.total_macs, 100);
         assert_eq!(s.deadline_misses, 1);
+        assert_eq!(s.degraded, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.rejected, 1);
         assert!((s.mean_batch() - 2.0).abs() < 1e-12);
     }
 
@@ -208,12 +250,13 @@ mod tests {
                 while !stop.load(Ordering::Relaxed) {
                     let s = inner.snapshot();
                     assert!(s.requests <= s.admitted, "{s:?}");
-                    assert!(s.cache_hits <= s.requests, "{s:?}");
+                    assert!(s.cache_hits + s.shed <= s.requests, "{s:?}");
                     assert!(s.batched_requests <= s.requests, "{s:?}");
                     assert!(s.deadline_misses <= s.requests, "{s:?}");
+                    assert!(s.degraded <= s.requests, "{s:?}");
                     assert!(s.max_batch <= s.requests, "{s:?}");
                     if s.batches == 0 {
-                        assert_eq!(s.requests, s.cache_hits, "{s:?}");
+                        assert_eq!(s.requests, s.cache_hits + s.shed, "{s:?}");
                     }
                     // Repeated snapshots are monotone.
                     assert!(s.requests >= last_requests, "{s:?}");
@@ -230,13 +273,21 @@ mod tests {
                         let size = 1 + (i + w) % 5;
                         inner.record_admitted(size);
                         if i % 7 == 0 {
-                            // a cache hit admits and answers one request
+                            // cache hits / sheds admit and answer one each
                             for _ in 1..size {
                                 inner.record_cache_hit();
                             }
-                            inner.record_cache_hit();
+                            inner.record_shed();
+                        } else if i % 11 == 0 {
+                            // admission control refuses the whole wave
+                            inner.record_rejected(size);
                         } else {
-                            inner.record_batch(size, size * 10, (i % 3).min(size));
+                            inner.record_batch(
+                                size,
+                                size * 10,
+                                (i % 3).min(size),
+                                (i % 2).min(size),
+                            );
                         }
                     }
                 })
@@ -250,5 +301,6 @@ mod tests {
 
         let s = inner.snapshot();
         assert_eq!(s.admitted, s.requests, "all admitted requests answered");
+        assert!(s.rejected > 0 && s.shed > 0 && s.degraded > 0, "{s:?}");
     }
 }

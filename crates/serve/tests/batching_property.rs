@@ -37,11 +37,12 @@ proptest! {
         workers in 1usize..4,
     ) {
         let reference_net = net(seed);
-        let config = ServeConfig::new()
+        let config = ServeConfig::builder()
             .workers(workers)
             .max_batch(max_batch)
             .max_wait(Duration::from_millis(2))
-            .session(SessionConfig::new().device(DeviceModel::mobile()));
+            .session(SessionConfig::new().device(DeviceModel::mobile()))
+            .build();
         let srv = Server::new(&reference_net, config).unwrap();
         let inputs: Vec<_> = (0..n_requests)
             .map(|i| init::uniform(Shape::of(&[1, 6]), -2.0, 2.0, &mut init::rng(seed ^ (i as u64 + 1))))

@@ -16,6 +16,7 @@ use stepping_core::{SteppingNet, SteppingNetBuilder};
 use stepping_metrics::{diff, HistSnapshot, MetricsRegistry, Snapshot};
 use stepping_runtime::{DeviceModel, SessionConfig};
 use stepping_serve::{Request, ServeConfig, Server};
+
 use stepping_tensor::{init, Shape, Tensor};
 
 fn net() -> SteppingNet {
@@ -49,13 +50,14 @@ fn live_load_populates_every_series() {
 
     let workers = 3usize;
     let device = DeviceModel::new(1000.0);
-    let config = ServeConfig::new()
+    let config = ServeConfig::builder()
         .workers(workers)
         .max_batch(4)
         .max_wait(Duration::from_millis(10))
         .metrics_snapshot(&snapshot_path)
         .metrics_interval(Duration::from_millis(20))
-        .session(SessionConfig::new().device(device.clone()));
+        .session(SessionConfig::new().device(device.clone()))
+        .build();
     let srv = Server::new(&net(), config).unwrap();
     let costs = srv.subnet_costs().to_vec();
 
@@ -79,7 +81,7 @@ fn live_load_populates_every_series() {
         .unwrap()
         .wait()
         .unwrap();
-    assert!(!miss.deadline_met);
+    assert!(miss.outcome.is_degraded(), "starved budget degrades");
 
     // Upgrades (exercising the up_F_T occupancy keys) plus one zero-budget
     // upgrade answered synchronously from cache.
@@ -122,6 +124,11 @@ fn live_load_populates_every_series() {
         .unwrap()
         .since(before.hist("serve.queue_depth_sampled").unwrap_or(&empty));
     assert!(sampled.count > 0, "workers sampled the queue depth");
+    let lane_depth = after
+        .hist("serve.lane_depth")
+        .unwrap()
+        .since(before.hist("serve.lane_depth").unwrap_or(&empty));
+    assert!(lane_depth.count > 0, "workers recorded claimed-lane depths");
 
     // -- per-worker series exist for every spawned worker.
     for w in 0..workers {
@@ -142,7 +149,10 @@ fn live_load_populates_every_series() {
     let occupancy = after
         .hist_merged("serve.batch_occupancy")
         .since(&before.hist_merged("serve.batch_occupancy"));
-    assert_eq!(occupancy.sum, stats.requests - stats.cache_hits);
+    assert_eq!(
+        occupancy.sum,
+        stats.requests - stats.cache_hits - stats.shed
+    );
     assert_eq!(occupancy.count, stats.batches);
     assert!(
         after

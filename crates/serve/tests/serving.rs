@@ -7,7 +7,7 @@ use std::time::Duration;
 use stepping_baselines::regular_assign;
 use stepping_core::{SteppingNet, SteppingNetBuilder};
 use stepping_runtime::{DeviceModel, SessionConfig};
-use stepping_serve::{Request, ServeConfig, Server};
+use stepping_serve::{Outcome, Request, ServeConfig, Server};
 use stepping_tensor::{init, Shape, Tensor};
 
 fn net() -> SteppingNet {
@@ -27,11 +27,12 @@ fn sample(seed: u64) -> Tensor {
 }
 
 fn server(workers: usize, max_batch: usize, max_wait: Duration) -> Server {
-    let config = ServeConfig::new()
+    let config = ServeConfig::builder()
         .workers(workers)
         .max_batch(max_batch)
         .max_wait(max_wait)
-        .session(SessionConfig::new().device(DeviceModel::new(1000.0)));
+        .session(SessionConfig::new().device(DeviceModel::new(1000.0)))
+        .build();
     Server::new(&net(), config).unwrap()
 }
 
@@ -81,7 +82,7 @@ fn deadline_budget_picks_largest_affordable_subnet() {
         .wait()
         .unwrap();
     assert_eq!(resp.subnet, 1);
-    assert!(resp.deadline_met);
+    assert_eq!(resp.outcome, Outcome::Met);
     assert!(resp.modeled_latency_us <= budget);
 
     // budget too small even for subnet 0: best-effort, flagged as a miss
@@ -92,7 +93,20 @@ fn deadline_budget_picks_largest_affordable_subnet() {
         .wait()
         .unwrap();
     assert_eq!(resp.subnet, 0);
-    assert!(!resp.deadline_met);
+    // the requested (best-effort) subnet was served, but its modeled cost
+    // blew the budget: a degradation with served == requested
+    assert_eq!(
+        resp.outcome,
+        Outcome::Degraded {
+            requested: 0,
+            served: 0
+        }
+    );
+    assert!(resp.outcome.is_degraded());
+    #[allow(deprecated)]
+    {
+        assert!(!resp.deadline_met(), "boolean shim agrees");
+    }
     assert_eq!(srv.stats().deadline_misses, 1);
 
     // a generous budget affords the largest subnet
@@ -148,6 +162,7 @@ fn unaffordable_upgrade_is_answered_from_cache() {
         .wait()
         .unwrap();
     assert_eq!(resp.subnet, 1);
+    assert_eq!(resp.outcome, Outcome::CacheHit);
     assert_eq!(resp.step_macs, 0);
     assert_eq!(resp.batch_size, 0);
     assert_eq!(resp.cache_reuse, 1.0);
@@ -162,24 +177,32 @@ fn unaffordable_upgrade_is_answered_from_cache() {
 #[test]
 fn validates_configuration_and_requests() {
     // no device model
-    let err = Server::new(&net(), ServeConfig::new());
+    let err = Server::new(&net(), ServeConfig::builder().build());
     assert!(err.is_err());
     // zero workers / zero batch
     let session = SessionConfig::new().device(DeviceModel::mobile());
     assert!(Server::new(
         &net(),
-        ServeConfig::new().workers(0).session(session.clone())
+        ServeConfig::builder()
+            .workers(0)
+            .session(session.clone())
+            .build()
     )
     .is_err());
     assert!(Server::new(
         &net(),
-        ServeConfig::new().max_batch(0).session(session.clone())
+        ServeConfig::builder()
+            .max_batch(0)
+            .session(session.clone())
+            .build()
     )
     .is_err());
     // out-of-range start subnet
     assert!(Server::new(
         &net(),
-        ServeConfig::new().session(session.clone().start_subnet(9))
+        ServeConfig::builder()
+            .session(session.clone().start_subnet(9))
+            .build()
     )
     .is_err());
 

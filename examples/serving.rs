@@ -25,11 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     regular_assign(&mut net, &[0.3, 0.6, 1.0])?;
 
     let device = DeviceModel::new(1000.0); // 1000 MACs per microsecond
-    let config = ServeConfig::new()
+    let config = ServeConfig::builder()
         .workers(4)
         .max_batch(8)
         .max_wait(Duration::from_micros(200))
-        .session(SessionConfig::new().device(device));
+        .session(SessionConfig::new().device(device))
+        .build();
     let server = Arc::new(Server::new(&net, config)?);
 
     let costs = server.subnet_costs().to_vec();
@@ -55,12 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .expect("server answers");
             println!(
                 "client {client}: budget {budget_us:>6.2}us -> subnet {} \
-                 (class {}, {} MACs, batch of {}, met={})",
+                 (class {}, {} MACs, batch of {}, outcome {:?})",
                 response.subnet,
                 response.prediction(),
                 response.step_macs,
                 response.batch_size,
-                response.deadline_met,
+                response.outcome,
             );
             response.session
         }));

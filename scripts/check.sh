@@ -60,6 +60,12 @@ cargo test -q -p stepping-serve
 echo "==> stepping-serve release stress"
 cargo test -q --release -p stepping-serve --test stress
 
+# Admission control + lane scheduler under --release: the deterministic
+# shed-policy matrix and the 10k-session soak (zero lost tickets, p99
+# bound) where interleavings are most hostile.
+echo "==> stepping-serve release admission + soak"
+cargo test -q --release -p stepping-serve --test admission --test soak
+
 # Packed-plan smoke run: asserts packed/masked logits bit-identity and the
 # >=2x subnet-0 speedup on the bench MLP, and refreshes BENCH_plans.json.
 echo "==> packed-plan bench smoke (plans)"
@@ -79,7 +85,9 @@ done
 echo "==> parallel-engine bench smoke (parallel)"
 STEPPING_PARALLEL_REPS=3 cargo run -q --release -p stepping-bench --bin parallel
 
-# Serving bench smoke: shrunk client population, full metrics columns, the
+# Serving bench smoke: shrunk client population, a lane-diverse 1/2/4
+# worker sweep whose monotonic-throughput gate self-enables on >=4 cores
+# (STEPPING_SERVE_ASSERT=1 forces it), full metrics columns, the
 # metrics-overhead A/B (the <=5% gate self-enables on >=4 cores), and the
 # results/serve.metrics.jsonl snapshot stream.
 echo "==> serve bench smoke (serve)"

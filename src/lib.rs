@@ -88,6 +88,9 @@ pub mod prelude {
     };
     pub use stepping_data::{Dataset, Split};
     pub use stepping_runtime::{DeviceModel, ResourceTrace, Session, SessionConfig, UpgradePolicy};
-    pub use stepping_serve::{Request, Response, ServeConfig, Server, Ticket};
+    pub use stepping_serve::{
+        AdmissionError, Outcome, Request, Response, ServeConfig, ServeConfigBuilder, ServeError,
+        Server, ShedPolicy, Ticket,
+    };
     pub use stepping_tensor::{init, Shape, Tensor};
 }

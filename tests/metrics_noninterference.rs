@@ -38,11 +38,12 @@ fn inputs() -> Vec<Tensor> {
 /// then an upgrade of every session to the largest subnet — and returns all
 /// logits in submission order.
 fn serve_all() -> Vec<Tensor> {
-    let config = ServeConfig::new()
+    let config = ServeConfig::builder()
         .workers(2)
         .max_batch(4)
         .max_wait(std::time::Duration::from_millis(5))
-        .session(SessionConfig::new().device(DeviceModel::new(1000.0)));
+        .session(SessionConfig::new().device(DeviceModel::new(1000.0)))
+        .build();
     let srv = Server::new(&net(), config).unwrap();
     let tickets: Vec<_> = inputs()
         .into_iter()
