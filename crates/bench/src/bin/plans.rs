@@ -13,8 +13,9 @@
 //!    `P_i = macs(i) / full_macs`.
 //!
 //! Results are printed as tables and written to `results/BENCH_plans.json`.
-//! The binary asserts that the smallest MLP subnet is at least 2x faster
-//! packed than masked, and that every compared logits pair is bit-identical.
+//! The binary asserts that the smallest MLP subnet and the full-net row of
+//! **both** models are at least 2x faster packed than masked, and that every
+//! compared logits pair is bit-identical.
 //!
 //! Run with `cargo run --release -p stepping-bench --bin plans`.
 //! Set `STEPPING_PLANS_REPS` to change the timing repetitions (default 20;
@@ -122,10 +123,10 @@ fn run_model(name: &str, net: &mut SteppingNet, input: &Tensor) -> Vec<SubnetRes
         let first = exec.begin(input).expect("begin");
         expand_step[0] = t.elapsed().as_secs_f64() * 1e6;
         expand_logits.push(first.logits);
-        for s in 1..subnets {
+        for step_us in expand_step.iter_mut().skip(1) {
             let t = Instant::now();
             let step = exec.expand().expect("expand");
-            expand_step[s] = t.elapsed().as_secs_f64() * 1e6;
+            *step_us = t.elapsed().as_secs_f64() * 1e6;
             expand_logits.push(step.logits);
         }
     }
@@ -237,6 +238,20 @@ fn main() {
         "acceptance: MLP subnet 0 packed speedup {:.2}x < 2x",
         s0.speedup
     );
+    // Full-net rows: the blocked microkernel + fused pipeline must carry
+    // the packed path even when every neuron is active (subnet N).
+    for (model, results) in [("mlp", &mlp_results), ("conv", &conv_results)] {
+        let last = results.last().expect("subnet results");
+        report_text(&format!(
+            "{model} subnet {} (full net): packed {:.2}x faster than masked",
+            last.subnet, last.speedup
+        ));
+        assert!(
+            last.speedup >= 2.0,
+            "acceptance: {model} full-net packed speedup {:.2}x < 2x",
+            last.speedup
+        );
+    }
     report_text("all packed/masked logits pairs bit-identical (asserted)");
 
     let mlp_json: Vec<String> = mlp_results.iter().map(json_entry).collect();

@@ -122,8 +122,9 @@ pub(crate) fn expand_pass(
                     for &o in &rows {
                         step_macs += l.neuron_macs(o, prune_threshold);
                     }
-                    let fresh = l.forward_step_packed(input, k)?;
-                    splice_columns(target, &fresh, &rows)?;
+                    // Fused gather→GEMM→scatter: the step panel lands
+                    // directly in the cached activation's columns.
+                    l.forward_step_packed_into(input, k, target)?;
                 }
             }
             Stage::Conv(c) => {
@@ -132,8 +133,8 @@ pub(crate) fn expand_pass(
                     for &oc in &chans {
                         step_macs += c.neuron_macs(oc, prune_threshold);
                     }
-                    let fresh = c.forward_step_packed(input, k)?;
-                    splice_channels(target, &fresh, &chans)?;
+                    // Fused im2col→GEMM→scatter into the cached channels.
+                    c.forward_step_packed_into(input, k, target)?;
                 }
             }
             Stage::Fixed(f) => {
@@ -166,7 +167,10 @@ pub(crate) fn fixed_forward(f: &mut FixedStage, input: &Tensor) -> Result<Tensor
 }
 
 /// Writes `fresh` (`[n, cols.len()]`) into columns `cols` of `target`
-/// (`[n, width]`).
+/// (`[n, width]`). Superseded on the hot path by the fused
+/// `forward_step_packed_into` scatter; kept as the test oracle for splice
+/// semantics.
+#[cfg(test)]
 pub(crate) fn splice_columns(target: &mut Tensor, fresh: &Tensor, cols: &[usize]) -> Result<()> {
     let dims = target.shape().dims().to_vec();
     if dims.len() != 2 {
@@ -193,7 +197,10 @@ pub(crate) fn splice_columns(target: &mut Tensor, fresh: &Tensor, cols: &[usize]
 }
 
 /// Writes `fresh` (`[n, chans.len(), h, w]`) into channels `chans` of
-/// `target` (`[n, c, h, w]`).
+/// `target` (`[n, c, h, w]`). Superseded on the hot path by the fused
+/// `forward_step_packed_into` scatter; kept as the test oracle for splice
+/// semantics.
+#[cfg(test)]
 pub(crate) fn splice_channels(target: &mut Tensor, fresh: &Tensor, chans: &[usize]) -> Result<()> {
     let dims = target.shape().dims().to_vec();
     if dims.len() != 4 {
@@ -691,7 +698,7 @@ mod tests {
         let mut batch = BatchExecutor::new(&mut net, 0.0);
         assert!(batch.begin(&[], 0).is_err());
         let x = Tensor::zeros(Shape::of(&[1, 6]));
-        assert!(batch.begin(&[x.clone()], 9).is_err());
+        assert!(batch.begin(std::slice::from_ref(&x), 9).is_err());
         let bad = Tensor::zeros(Shape::of(&[1, 5]));
         assert!(batch.begin(&[x, bad], 0).is_err());
         let mut empty: Vec<ActivationCache> = vec![ActivationCache::new()];

@@ -288,10 +288,10 @@ mod tests {
         let mut fresh = cnn();
         load_state(&mut fresh, blob).unwrap();
         fresh.check_invariants().unwrap();
-        for k in 0..3 {
+        for (k, r) in refs.iter().enumerate() {
             assert_eq!(
-                fresh.forward(&x, k, false).unwrap(),
-                refs[k],
+                &fresh.forward(&x, k, false).unwrap(),
+                r,
                 "subnet {k} differs"
             );
             assert_eq!(fresh.macs(k, 1e-5), net.macs(k, 1e-5));

@@ -232,6 +232,10 @@ pub mod metric {
     pub const PLAN_CACHE_HIT: &str = "plan.cache_hit";
     /// Cache invalidations (epoch advances).
     pub const PLAN_INVALIDATE: &str = "plan.invalidate";
+    /// Blocked-GEMM time inside packed plan execution.
+    pub const PLAN_GEMM_NS: &str = "plan.gemm_ns";
+    /// Panel gather / im2col packing time inside packed plan execution.
+    pub const PLAN_PACK_NS: &str = "plan.pack_ns";
 
     /// Every registered metric name.
     pub const ALL: &[&str] = &[
@@ -260,6 +264,8 @@ pub mod metric {
         PLAN_COMPILE_NS,
         PLAN_CACHE_HIT,
         PLAN_INVALIDATE,
+        PLAN_GEMM_NS,
+        PLAN_PACK_NS,
     ];
 }
 

@@ -1,10 +1,11 @@
 use rand::rngs::StdRng;
 use stepping_nn::{Param, ParamLr};
 use stepping_tensor::conv::{col2im, im2col, ConvGeometry};
+use stepping_tensor::microkernel::{Epilogue, PackedB};
 use stepping_tensor::pack::{self, PackScratch};
 use stepping_tensor::{init, matmul, Shape, Tensor};
 
-use crate::plan::{self, ConvPlan, PlanSet};
+use crate::plan::{self, ConvPlan, FusedAct, PlanSet};
 use crate::{Assignment, Result, SteppingError};
 
 /// A 2-D convolution whose filters (output channels) carry subnet
@@ -277,6 +278,21 @@ impl MaskedConv2d {
     ///
     /// Returns structural errors for a bad subnet index or input shape.
     pub fn forward_packed(&mut self, input: &Tensor, subnet: usize) -> Result<Tensor> {
+        self.forward_packed_fused(input, subnet, FusedAct::None)
+    }
+
+    /// [`MaskedConv2d::forward_packed`] with bias — and optionally a
+    /// zero-preserving activation — fused into the blocked GEMM epilogue:
+    /// one im2col→GEMM→bias(+act)→scatter pass over the plan scratch. With
+    /// `FusedAct::Relu`/`Tanh` the result equals masked conv followed by
+    /// the activation layer under `f32 ==` (inactive channels stay `0.0`,
+    /// and `act(0) == 0`).
+    pub(crate) fn forward_packed_fused(
+        &mut self,
+        input: &Tensor,
+        subnet: usize,
+        act: FusedAct,
+    ) -> Result<Tensor> {
         self.check_subnet(subnet)?;
         let dims = input.shape().dims();
         if dims.len() != 4 || dims[1] != self.in_channels() {
@@ -295,22 +311,20 @@ impl MaskedConv2d {
             .plans
             .full(subnet)
             .ok_or_else(|| plan::missing("conv"))?;
-        let (oc_len, ic_len) = (plan.oc_idx.len(), plan.ic_idx.len());
-        let kk = self.kernel * self.kernel;
-        pack::im2col_channels_into(input, &geom, &plan.ic_idx, &mut self.scratch.input)?;
-        pack::gemm_nt_into(
-            &self.scratch.input,
-            &plan.weight,
-            &mut self.scratch.out,
-            n * positions,
-            ic_len * kk,
-            oc_len,
-        );
-        for r in 0..n * positions {
-            let orow = &mut self.scratch.out[r * oc_len..(r + 1) * oc_len];
-            for (v, &bv) in orow.iter_mut().zip(plan.bias.iter()) {
-                *v += bv;
-            }
+        {
+            let _pack_timer = plan::pack_timer();
+            pack::im2col_channels_into(input, &geom, &plan.ic_idx, &mut self.scratch.input)?;
+        }
+        {
+            let _gemm_timer = plan::gemm_timer();
+            pack::gemm_packed_nt_into(
+                &self.scratch.input,
+                &plan.weight,
+                &mut self.scratch.out,
+                n * positions,
+                &mut self.scratch.a_pack,
+                act.epilogue(&plan.bias),
+            );
         }
         let mut z = Tensor::zeros(Shape::of(&[n, oc_n, geom.out_h, geom.out_w]));
         pack::scatter_mat_to_nchw(
@@ -347,26 +361,25 @@ impl MaskedConv2d {
         let positions = geom.positions();
         self.ensure_step_plan(k);
         let plan = self.plans.step(k).ok_or_else(|| plan::missing("conv"))?;
-        let (oc_len, ic_len) = (plan.oc_idx.len(), plan.ic_idx.len());
-        let kk = self.kernel * self.kernel;
+        let oc_len = plan.oc_idx.len();
         let mut out = Tensor::zeros(Shape::of(&[n, oc_len, geom.out_h, geom.out_w]));
         if oc_len == 0 {
             return Ok(out);
         }
-        pack::im2col_channels_into(input, &geom, &plan.ic_idx, &mut self.scratch.input)?;
-        pack::gemm_nt_into(
-            &self.scratch.input,
-            &plan.weight,
-            &mut self.scratch.out,
-            n * positions,
-            ic_len * kk,
-            oc_len,
-        );
-        for r in 0..n * positions {
-            let orow = &mut self.scratch.out[r * oc_len..(r + 1) * oc_len];
-            for (v, &bv) in orow.iter_mut().zip(plan.bias.iter()) {
-                *v += bv;
-            }
+        {
+            let _pack_timer = plan::pack_timer();
+            pack::im2col_channels_into(input, &geom, &plan.ic_idx, &mut self.scratch.input)?;
+        }
+        {
+            let _gemm_timer = plan::gemm_timer();
+            pack::gemm_packed_nt_into(
+                &self.scratch.input,
+                &plan.weight,
+                &mut self.scratch.out,
+                n * positions,
+                &mut self.scratch.a_pack,
+                Epilogue::Bias(&plan.bias),
+            );
         }
         let dense: Vec<usize> = (0..oc_len).collect();
         pack::scatter_mat_to_nchw(
@@ -378,6 +391,75 @@ impl MaskedConv2d {
             out.data_mut(),
         );
         Ok(out)
+    }
+
+    /// Fused expand step: computes the subnet-`k` step channels (exactly as
+    /// [`MaskedConv2d::forward_step_packed`]) and scatters them straight
+    /// into the matching channels of `target` (`[n, out_channels, oh, ow]`,
+    /// typically a cached full-width activation) — one
+    /// im2col→GEMM→bias→scatter pass with no intermediate tensor. Untouched
+    /// channels of `target` keep their exact old values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a subnet index out of range or input/target of
+    /// the wrong shape.
+    pub(crate) fn forward_step_packed_into(
+        &mut self,
+        input: &Tensor,
+        k: usize,
+        target: &mut Tensor,
+    ) -> Result<()> {
+        self.check_subnet(k)?;
+        let dims = input.shape().dims();
+        if dims.len() != 4 || dims[1] != self.in_channels() {
+            return Err(SteppingError::InvalidStructure(format!(
+                "masked conv expects [n, {}, h, w], got {}",
+                self.in_channels(),
+                input.shape()
+            )));
+        }
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let geom = self.geometry(h, w)?;
+        let positions = geom.positions();
+        let oc_n = self.out_channels();
+        if target.shape().dims() != [n, oc_n, geom.out_h, geom.out_w] {
+            return Err(SteppingError::InvalidStructure(format!(
+                "step splice target expects [{n}, {oc_n}, {}, {}], got {}",
+                geom.out_h,
+                geom.out_w,
+                target.shape()
+            )));
+        }
+        self.ensure_step_plan(k);
+        let plan = self.plans.step(k).ok_or_else(|| plan::missing("conv"))?;
+        if plan.oc_idx.is_empty() {
+            return Ok(());
+        }
+        {
+            let _pack_timer = plan::pack_timer();
+            pack::im2col_channels_into(input, &geom, &plan.ic_idx, &mut self.scratch.input)?;
+        }
+        {
+            let _gemm_timer = plan::gemm_timer();
+            pack::gemm_packed_nt_into(
+                &self.scratch.input,
+                &plan.weight,
+                &mut self.scratch.out,
+                n * positions,
+                &mut self.scratch.a_pack,
+                Epilogue::Bias(&plan.bias),
+            );
+        }
+        pack::scatter_mat_to_nchw(
+            &self.scratch.out,
+            n,
+            positions,
+            &plan.oc_idx,
+            oc_n,
+            target.data_mut(),
+        );
+        Ok(())
     }
 
     /// Current plan-cache epoch; advances on every weight or assignment
@@ -450,6 +532,7 @@ impl MaskedConv2d {
                 weight[dst_base..dst_base + kk].copy_from_slice(src);
             }
         }
+        let weight = PackedB::pack_nt(&weight, oc_idx.len(), ic_idx.len() * kk);
         let bias: Vec<f32> = oc_idx
             .iter()
             .map(|&oc| self.bias.value.data()[oc])

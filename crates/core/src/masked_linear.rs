@@ -1,9 +1,10 @@
 use rand::rngs::StdRng;
 use stepping_nn::{Param, ParamLr};
+use stepping_tensor::microkernel::PackedB;
 use stepping_tensor::pack::{self, PackScratch};
 use stepping_tensor::{init, reduce, Shape, Tensor};
 
-use crate::plan::{self, LinearPlan, PlanSet};
+use crate::plan::{self, FusedAct, LinearPlan, PlanSet};
 use crate::{Assignment, Result, SteppingError};
 
 /// A fully-connected layer whose output neurons carry subnet assignments —
@@ -256,7 +257,6 @@ impl MaskedLinear {
 
     /// Shared packed full pass (no cache bookkeeping).
     fn packed_pass(&mut self, input: &Tensor, subnet: usize) -> Result<Tensor> {
-        self.check_subnet(subnet)?;
         let i_n = self.in_features();
         if input.shape().rank() != 2 || input.shape().dims()[1] != i_n {
             return Err(SteppingError::InvalidStructure(format!(
@@ -266,30 +266,93 @@ impl MaskedLinear {
         }
         let n = input.shape().dims()[0];
         let o_n = self.out_features();
+        let mut out = std::mem::take(&mut self.scratch.out);
+        let res =
+            self.forward_packed_gathered(input.data(), n, false, subnet, FusedAct::None, &mut out);
+        let z = res.map(|out_idx| {
+            let mut z = Tensor::zeros(Shape::of(&[n, o_n]));
+            pack::scatter_columns(&out, n, &out_idx, z.data_mut(), o_n);
+            z
+        });
+        self.scratch.out = out;
+        z
+    }
+
+    /// Compiles (if needed) the full plan for `subnet` and reports whether a
+    /// panel gathered over columns `idx` can feed
+    /// [`MaskedLinear::forward_packed_gathered`] directly (i.e. `idx`
+    /// equals the plan's input column list).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a subnet index out of range.
+    pub(crate) fn panel_feeds_full_plan(&mut self, subnet: usize, idx: &[usize]) -> Result<bool> {
+        self.check_subnet(subnet)?;
         self.ensure_full_plan(subnet);
         let plan = self
             .plans
             .full(subnet)
             .ok_or_else(|| plan::missing("linear"))?;
-        let (rows, cols) = (plan.out_idx.len(), plan.in_idx.len());
-        pack::gather_columns(input.data(), n, i_n, &plan.in_idx, &mut self.scratch.input);
-        pack::gemm_nt_into(
-            &self.scratch.input,
-            &plan.weight,
-            &mut self.scratch.out,
-            n,
-            cols,
-            rows,
-        );
-        for b in 0..n {
-            let orow = &mut self.scratch.out[b * rows..(b + 1) * rows];
-            for (v, &bv) in orow.iter_mut().zip(plan.bias.iter()) {
-                *v += bv;
-            }
+        Ok(plan.in_idx == idx)
+    }
+
+    /// Core of the fused packed pipeline: runs the full-plan blocked GEMM
+    /// for `subnet` with bias (and optionally a zero-preserving activation)
+    /// fused into the epilogue, leaving the output *panel*
+    /// (`[n, out_idx.len()]`, column order `out_idx`) in `out` and
+    /// returning the column list.
+    ///
+    /// `gathered == false` treats `src` as the full-width activation
+    /// `[n, in_features]` and gathers the plan's input columns first;
+    /// `gathered == true` treats it as an already-gathered panel in
+    /// `plan.in_idx` order (see
+    /// [`panel_feeds_full_plan`](Self::panel_feeds_full_plan)), skipping the
+    /// gather entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a subnet index out of range or a `src` extent
+    /// that does not match the implied width.
+    pub(crate) fn forward_packed_gathered(
+        &mut self,
+        src: &[f32],
+        n: usize,
+        gathered: bool,
+        subnet: usize,
+        act: FusedAct,
+        out: &mut Vec<f32>,
+    ) -> Result<Vec<usize>> {
+        self.check_subnet(subnet)?;
+        let i_n = self.in_features();
+        self.ensure_full_plan(subnet);
+        let plan = self
+            .plans
+            .full(subnet)
+            .ok_or_else(|| plan::missing("linear"))?;
+        let width = if gathered { plan.in_idx.len() } else { i_n };
+        if src.len() != n * width {
+            return Err(SteppingError::InvalidStructure(format!(
+                "masked linear packed pass expects [{n}, {width}] input, got {} values",
+                src.len()
+            )));
         }
-        let mut z = Tensor::zeros(Shape::of(&[n, o_n]));
-        pack::scatter_columns(&self.scratch.out, n, &plan.out_idx, z.data_mut(), o_n);
-        Ok(z)
+        let panel: &[f32] = if gathered {
+            src
+        } else {
+            let _pack_timer = plan::pack_timer();
+            pack::gather_columns(src, n, i_n, &plan.in_idx, &mut self.scratch.input);
+            &self.scratch.input
+        };
+        let _gemm_timer = plan::gemm_timer();
+        pack::gemm_packed_nt_into(
+            panel,
+            &plan.weight,
+            out,
+            n,
+            &mut self.scratch.a_pack,
+            act.epilogue(&plan.bias),
+        );
+        Ok(plan.out_idx.clone())
     }
 
     /// Packed equivalent of [`MaskedLinear::forward_rows`] for the rows
@@ -313,28 +376,82 @@ impl MaskedLinear {
         let n = input.shape().dims()[0];
         self.ensure_step_plan(k);
         let plan = self.plans.step(k).ok_or_else(|| plan::missing("linear"))?;
-        let (rows, cols) = (plan.out_idx.len(), plan.in_idx.len());
+        let rows = plan.out_idx.len();
         let mut out = Tensor::zeros(Shape::of(&[n, rows]));
         if rows == 0 {
             return Ok(out);
         }
-        pack::gather_columns(input.data(), n, i_n, &plan.in_idx, &mut self.scratch.input);
-        pack::gemm_nt_slice(
+        {
+            let _pack_timer = plan::pack_timer();
+            pack::gather_columns(input.data(), n, i_n, &plan.in_idx, &mut self.scratch.input);
+        }
+        let _gemm_timer = plan::gemm_timer();
+        pack::gemm_packed_nt_slice(
             &self.scratch.input,
             &plan.weight,
             out.data_mut(),
             n,
-            cols,
-            rows,
+            &mut self.scratch.a_pack,
+            stepping_tensor::microkernel::Epilogue::Bias(&plan.bias),
         );
-        let od = out.data_mut();
-        for b in 0..n {
-            let orow = &mut od[b * rows..(b + 1) * rows];
-            for (v, &bv) in orow.iter_mut().zip(plan.bias.iter()) {
-                *v += bv;
-            }
-        }
         Ok(out)
+    }
+
+    /// Fused expand step: computes the subnet-`k` step panel (exactly as
+    /// [`MaskedLinear::forward_step_packed`]) and scatters it straight into
+    /// the matching columns of `target` (`[n, out_features]`, typically a
+    /// cached full-width activation) — one gather→GEMM→scatter pass with no
+    /// intermediate tensor. Untouched columns of `target` keep their exact
+    /// old values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a subnet index out of range or input/target of
+    /// the wrong shape.
+    pub(crate) fn forward_step_packed_into(
+        &mut self,
+        input: &Tensor,
+        k: usize,
+        target: &mut Tensor,
+    ) -> Result<()> {
+        self.check_subnet(k)?;
+        let i_n = self.in_features();
+        if input.shape().rank() != 2 || input.shape().dims()[1] != i_n {
+            return Err(SteppingError::InvalidStructure(format!(
+                "masked linear expects [n, {i_n}], got {}",
+                input.shape()
+            )));
+        }
+        let n = input.shape().dims()[0];
+        let o_n = self.out_features();
+        if target.shape().dims() != [n, o_n] {
+            return Err(SteppingError::InvalidStructure(format!(
+                "step splice target expects [{n}, {o_n}], got {}",
+                target.shape()
+            )));
+        }
+        self.ensure_step_plan(k);
+        let plan = self.plans.step(k).ok_or_else(|| plan::missing("linear"))?;
+        if plan.out_idx.is_empty() {
+            return Ok(());
+        }
+        {
+            let _pack_timer = plan::pack_timer();
+            pack::gather_columns(input.data(), n, i_n, &plan.in_idx, &mut self.scratch.input);
+        }
+        {
+            let _gemm_timer = plan::gemm_timer();
+            pack::gemm_packed_nt_into(
+                &self.scratch.input,
+                &plan.weight,
+                &mut self.scratch.out,
+                n,
+                &mut self.scratch.a_pack,
+                stepping_tensor::microkernel::Epilogue::Bias(&plan.bias),
+            );
+        }
+        pack::scatter_columns(&self.scratch.out, n, &plan.out_idx, target.data_mut(), o_n);
+        Ok(())
     }
 
     /// Current plan-cache epoch; advances on every weight or assignment
@@ -373,6 +490,7 @@ impl MaskedLinear {
                 }
             }
         }
+        let weight = PackedB::pack_nt(&weight, out_idx.len(), in_idx.len());
         let bias: Vec<f32> = out_idx.iter().map(|&o| self.bias.value.data()[o]).collect();
         plan::note_compile("linear", subnet, out_idx.len(), in_idx.len());
         self.plans.put_full(
@@ -405,6 +523,7 @@ impl MaskedLinear {
                 *d = wd[o * i_n + i];
             }
         }
+        let weight = PackedB::pack_nt(&weight, out_idx.len(), in_idx.len());
         let bias: Vec<f32> = out_idx.iter().map(|&o| self.bias.value.data()[o]).collect();
         plan::note_compile("linear", k, out_idx.len(), in_idx.len());
         self.plans.put_step(

@@ -4,10 +4,11 @@ use stepping_nn::{
     Sigmoid, Tanh,
 };
 use stepping_tensor::conv::ConvGeometry;
+use stepping_tensor::microkernel::{Epilogue, PackedB};
 use stepping_tensor::pack::{self, PackScratch};
 use stepping_tensor::{init, GradStore, Shape, Tensor};
 
-use crate::plan::{self, HeadPlan, PlanSet};
+use crate::plan::{self, FusedAct, HeadPlan, PlanSet};
 use crate::{Assignment, FixedStage, MaskedConv2d, MaskedLinear, Result, Stage, SteppingError};
 
 /// A stepping neural network: a stack of [`Stage`]s plus one lightweight
@@ -46,6 +47,9 @@ pub struct SteppingNet {
     head_plans: PlanSet<HeadPlan>,
     /// Reusable gather buffer for the packed head path.
     head_scratch: PackScratch,
+    /// Ping-pong panel buffers for the fused packed walker
+    /// ([`SteppingNet::forward_packed`]).
+    flow_scratch: PackScratch,
 }
 
 impl SteppingNet {
@@ -351,33 +355,84 @@ impl SteppingNet {
         }
         let n = features.shape().dims()[0];
         self.ensure_head_plan(subnet);
+        {
+            let plan = self
+                .head_plans
+                .full(subnet)
+                .ok_or_else(|| plan::missing("head"))?;
+            let _pack_timer = plan::pack_timer();
+            pack::gather_columns(
+                features.data(),
+                n,
+                f,
+                &plan.feat_idx,
+                &mut self.head_scratch.input,
+            );
+        }
+        let gathered = std::mem::take(&mut self.head_scratch.input);
+        let out = self.head_forward_gathered(&gathered, n, subnet);
+        self.head_scratch.input = gathered;
+        out
+    }
+
+    /// Compiles (if needed) the head plan for `subnet` and reports whether
+    /// a panel gathered over columns `idx` can feed
+    /// [`SteppingNet::head_forward_gathered`] directly.
+    fn head_panel_feeds(&mut self, subnet: usize, idx: &[usize]) -> Result<bool> {
+        self.ensure_head_plan(subnet);
         let plan = self
             .head_plans
             .full(subnet)
             .ok_or_else(|| plan::missing("head"))?;
-        pack::gather_columns(
-            features.data(),
-            n,
-            f,
-            &plan.feat_idx,
-            &mut self.head_scratch.input,
-        );
+        Ok(plan.feat_idx == idx)
+    }
+
+    /// Head GEMM over features already gathered to the plan's
+    /// `feat_idx` order, with the head bias fused into the epilogue.
+    /// Requires the plan to be compiled (callers go through
+    /// [`SteppingNet::head_forward_packed`] or
+    /// [`SteppingNet::head_panel_feeds`] first).
+    fn head_forward_gathered(&mut self, src: &[f32], n: usize, subnet: usize) -> Result<Tensor> {
+        let plan = self
+            .head_plans
+            .full(subnet)
+            .ok_or_else(|| plan::missing("head"))?;
+        if src.len() != n * plan.feat_idx.len() {
+            return Err(SteppingError::InvalidStructure(format!(
+                "head panel expects [{n}, {}], got {} values",
+                plan.feat_idx.len(),
+                src.len()
+            )));
+        }
         let mut out = Tensor::zeros(Shape::of(&[n, self.classes]));
-        pack::gemm_nt_slice(
-            &self.head_scratch.input,
+        let _gemm_timer = plan::gemm_timer();
+        pack::gemm_packed_nt_slice(
+            src,
             &plan.weight,
             out.data_mut(),
             n,
-            plan.feat_idx.len(),
-            self.classes,
+            &mut self.head_scratch.a_pack,
+            Epilogue::Bias(self.heads[subnet].bias().value.data()),
         );
-        out.add_rowwise(&self.heads[subnet].bias().value)?;
         Ok(out)
     }
 
     /// Full packed inference pass: every stage and the head run their
-    /// compiled plans. Equal to `forward(input, subnet, false)` under
-    /// `f32 ==`; does not populate backward caches or `last_subnet`.
+    /// compiled plans, fused into as few memory passes as possible. Equal
+    /// to `forward(input, subnet, false)` under `f32 ==`; does not populate
+    /// backward caches or `last_subnet`.
+    ///
+    /// Fusion layers on top of the per-stage packed plans:
+    ///
+    /// * bias — and, when the following stage is a zero-preserving
+    ///   activation (`Relu`/`Tanh`), the activation itself — is applied in
+    ///   the blocked-GEMM epilogue, eliding the separate full-width pass
+    ///   (see [`crate::plan::FusedAct`] for why `Sigmoid` is excluded);
+    /// * consecutive masked-linear stages hand their activation forward as
+    ///   a gathered *panel* whenever the producing plan's output columns
+    ///   equal the consuming plan's input columns, skipping the
+    ///   scatter-to-full-width / re-gather round trip entirely — the head
+    ///   consumes a matching panel the same way.
     ///
     /// # Errors
     ///
@@ -389,11 +444,112 @@ impl SteppingNet {
                 count: self.subnets,
             });
         }
-        let mut x = input.clone();
-        for stage in &mut self.stages {
-            x = stage.forward_packed(&x, subnet)?;
+        let mut cur = std::mem::take(&mut self.flow_scratch.input);
+        let mut nxt = std::mem::take(&mut self.flow_scratch.out);
+        let res = self.forward_packed_flow(input, subnet, &mut cur, &mut nxt);
+        self.flow_scratch.input = cur;
+        self.flow_scratch.out = nxt;
+        res
+    }
+
+    /// The walker behind [`SteppingNet::forward_packed`]; `cur`/`nxt` are
+    /// the ping-pong panel buffers (held by the caller so error paths
+    /// cannot leak them).
+    fn forward_packed_flow(
+        &mut self,
+        input: &Tensor,
+        subnet: usize,
+        cur: &mut Vec<f32>,
+        nxt: &mut Vec<f32>,
+    ) -> Result<Tensor> {
+        // `flow` is the full-width activation; when `None`, the activation
+        // lives in `cur` as a panel over columns `idx` of a `width`-wide
+        // matrix with `n` rows.
+        let mut flow: Option<Tensor> = Some(input.clone());
+        let mut idx: Vec<usize> = Vec::new();
+        let mut n = input.shape().dims().first().copied().unwrap_or(0);
+        let mut width = 0usize;
+        let mut si = 0;
+        while si < self.stages.len() {
+            let act = match self.stages.get(si + 1) {
+                Some(Stage::Fixed(FixedStage::Relu(_))) => FusedAct::Relu,
+                Some(Stage::Fixed(FixedStage::Tanh(_))) => FusedAct::Tanh,
+                _ => FusedAct::None,
+            };
+            let fusable = self.stages[si].is_masked();
+            match &mut self.stages[si] {
+                Stage::Linear(l) => {
+                    if flow.is_none() && !l.panel_feeds_full_plan(subnet, &idx)? {
+                        let mut t = Tensor::zeros(Shape::of(&[n, width]));
+                        pack::scatter_columns(cur, n, &idx, t.data_mut(), width);
+                        flow = Some(t);
+                    }
+                    let out_idx = match &flow {
+                        Some(t) => {
+                            let dims = t.shape().dims();
+                            if dims.len() != 2 || dims[1] != l.in_features() {
+                                return Err(SteppingError::InvalidStructure(format!(
+                                    "masked linear expects [n, {}], got {}",
+                                    l.in_features(),
+                                    t.shape()
+                                )));
+                            }
+                            n = dims[0];
+                            l.forward_packed_gathered(t.data(), n, false, subnet, act, nxt)?
+                        }
+                        None => l.forward_packed_gathered(cur, n, true, subnet, act, nxt)?,
+                    };
+                    std::mem::swap(cur, nxt);
+                    idx = out_idx;
+                    width = l.out_features();
+                    flow = None;
+                }
+                Stage::Conv(c) => {
+                    let x = match flow.take() {
+                        Some(t) => t,
+                        None => {
+                            let mut t = Tensor::zeros(Shape::of(&[n, width]));
+                            pack::scatter_columns(cur, n, &idx, t.data_mut(), width);
+                            t
+                        }
+                    };
+                    flow = Some(c.forward_packed_fused(&x, subnet, act)?);
+                }
+                Stage::Fixed(f) => {
+                    let x = match flow.take() {
+                        Some(t) => t,
+                        None => {
+                            let mut t = Tensor::zeros(Shape::of(&[n, width]));
+                            pack::scatter_columns(cur, n, &idx, t.data_mut(), width);
+                            t
+                        }
+                    };
+                    flow = Some(crate::batch::fixed_forward(f, &x)?);
+                }
+            }
+            // A masked stage with a fused activation consumed the next
+            // (activation) stage as well.
+            si += if fusable && act != FusedAct::None {
+                2
+            } else {
+                1
+            };
         }
-        self.head_forward_packed(&x, subnet)
+        match flow {
+            Some(t) => self.head_forward_packed(&t, subnet),
+            None => {
+                if self.head_panel_feeds(subnet, &idx)? {
+                    let src = std::mem::take(cur);
+                    let out = self.head_forward_gathered(&src, n, subnet);
+                    *cur = src;
+                    out
+                } else {
+                    let mut t = Tensor::zeros(Shape::of(&[n, width]));
+                    pack::scatter_columns(cur, n, &idx, t.data_mut(), width);
+                    self.head_forward_packed(&t, subnet)
+                }
+            }
+        }
     }
 
     /// MAC operations the packed path actually executes for `subnet`: dense
@@ -423,6 +579,7 @@ impl SteppingNet {
                 *d = wd[r * f + i];
             }
         }
+        let weight = PackedB::pack_nt(&weight, self.classes, cols);
         plan::note_compile("head", subnet, self.classes, cols);
         self.head_plans
             .put_full(subnet, HeadPlan { feat_idx, weight });
@@ -1028,6 +1185,7 @@ impl SteppingNetBuilder {
             train_packed: false,
             head_plans: PlanSet::default(),
             head_scratch: PackScratch::new(),
+            flow_scratch: PackScratch::new(),
         };
         net.sync_assignments()?;
         Ok(net)

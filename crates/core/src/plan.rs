@@ -12,8 +12,9 @@
 //!
 //! ## Bit-identity
 //!
-//! Panels keep surviving terms in ascending index order and run the same NT
-//! kernel as the dense path (`stepping_tensor::pack::gemm_nt_into`), and
+//! Panels keep surviving terms in ascending index order and run the blocked
+//! NT microkernel (`stepping_tensor::microkernel`), whose per-element
+//! accumulation order is identical to the reference `nt_kernel`, and
 //! per-row entries that are *legal at the subnet but illegal for that
 //! particular row* (`assign(in) > assign(out)`) are stored as `0.0`,
 //! mirroring `effective_weight`. The only dropped terms are products with
@@ -35,19 +36,23 @@
 use std::sync::{Arc, OnceLock};
 
 use stepping_metrics::{start_timer, LogHistogram, MetricsRegistry, PhaseTimer, ShardedCounter};
+use stepping_tensor::microkernel::PackedB;
 
 use crate::telemetry::{self, Value};
 
 /// Always-on plan-cache metrics in the process-wide registry, distinct from
 /// the offline `obs` telemetry below: these are live production counters
 /// (`plan.compile`, `plan.cache_hit`, `plan.invalidate`) plus the compile
-/// phase histogram (`plan.compile_ns`), named by the
+/// phase histogram (`plan.compile_ns`) and the packed execution phase
+/// histograms (`plan.gemm_ns`, `plan.pack_ns`), named by the
 /// [`crate::events::metric`] table.
 struct PlanMetrics {
     compile: Arc<ShardedCounter>,
     compile_ns: Arc<LogHistogram>,
     cache_hit: Arc<ShardedCounter>,
     invalidate: Arc<ShardedCounter>,
+    gemm_ns: Arc<LogHistogram>,
+    pack_ns: Arc<LogHistogram>,
 }
 
 fn plan_metrics() -> &'static PlanMetrics {
@@ -60,6 +65,8 @@ fn plan_metrics() -> &'static PlanMetrics {
             compile_ns: registry.register_histogram(crate::events::metric::PLAN_COMPILE_NS),
             cache_hit: registry.register_counter(crate::events::metric::PLAN_CACHE_HIT),
             invalidate: registry.register_counter(crate::events::metric::PLAN_INVALIDATE),
+            gemm_ns: registry.register_histogram(crate::events::metric::PLAN_GEMM_NS),
+            pack_ns: registry.register_histogram(crate::events::metric::PLAN_PACK_NS),
         }
     })
 }
@@ -68,6 +75,47 @@ fn plan_metrics() -> &'static PlanMetrics {
 /// compile so the drop (or an explicit `stop`) records the compile latency.
 pub(crate) fn compile_timer() -> PhaseTimer {
     start_timer(&plan_metrics().compile_ns)
+}
+
+/// Starts the `plan.gemm_ns` phase timer; bind it across the blocked GEMM
+/// of one packed pass.
+pub(crate) fn gemm_timer() -> PhaseTimer {
+    start_timer(&plan_metrics().gemm_ns)
+}
+
+/// Starts the `plan.pack_ns` phase timer; bind it across the gather/im2col
+/// packing of one packed pass.
+pub(crate) fn pack_timer() -> PhaseTimer {
+    start_timer(&plan_metrics().pack_ns)
+}
+
+/// Activation fused into a packed GEMM epilogue. Only zero-preserving
+/// activations are fusable: the packed scatter leaves inactive entries at
+/// exactly `0.0`, and the masked reference applies the activation to the
+/// full-width tensor, so fusion is bit-identical only when `act(0) == 0`
+/// (`relu`, `tanh` — not `sigmoid`, whose `0.5` at inactive entries forces
+/// full-width materialisation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum FusedAct {
+    /// Bias only.
+    #[default]
+    None,
+    /// `(v + b).max(0.0)` — the exact expression `Relu` applies.
+    Relu,
+    /// `(v + b).tanh()` — the exact expression `Tanh` applies.
+    Tanh,
+}
+
+impl FusedAct {
+    /// The microkernel epilogue for this activation over `bias`.
+    pub fn epilogue<'a>(self, bias: &'a [f32]) -> stepping_tensor::microkernel::Epilogue<'a> {
+        use stepping_tensor::microkernel::Epilogue;
+        match self {
+            FusedAct::None => Epilogue::Bias(bias),
+            FusedAct::Relu => Epilogue::BiasRelu(bias),
+            FusedAct::Tanh => Epilogue::BiasTanh(bias),
+        }
+    }
 }
 
 /// Packed panel for one `(masked-linear layer, subnet)` pair.
@@ -79,9 +127,11 @@ pub(crate) struct LinearPlan {
     pub out_idx: Vec<usize>,
     /// Input indices active at the subnet, ascending.
     pub in_idx: Vec<usize>,
-    /// Weight panel `[out_idx.len(), in_idx.len()]`; entries illegal for
-    /// their row (`assign(in) > assign(out)`) are `0.0`.
-    pub weight: Vec<f32>,
+    /// Weight panel `[out_idx.len(), in_idx.len()]` pre-packed into the
+    /// blocked microkernel's tile-major layout (NT orientation: packed from
+    /// row-major `[rows, depth]`); entries illegal for their row
+    /// (`assign(in) > assign(out)`) are `0.0`.
+    pub weight: PackedB,
     /// Bias gathered over `out_idx`.
     pub bias: Vec<f32>,
 }
@@ -94,9 +144,10 @@ pub(crate) struct ConvPlan {
     pub oc_idx: Vec<usize>,
     /// Input channel indices active at the subnet, ascending.
     pub ic_idx: Vec<usize>,
-    /// Weight panel `[oc_idx.len(), ic_idx.len() * kh * kw]`; channel
+    /// Weight panel `[oc_idx.len(), ic_idx.len() * kh * kw]` pre-packed
+    /// into the microkernel's tile-major layout (NT orientation); channel
     /// blocks illegal for their row are `0.0`.
-    pub weight: Vec<f32>,
+    pub weight: PackedB,
     /// Bias gathered over `oc_idx`.
     pub bias: Vec<f32>,
 }
@@ -107,8 +158,9 @@ pub(crate) struct ConvPlan {
 pub(crate) struct HeadPlan {
     /// Feature indices active at the subnet, ascending.
     pub feat_idx: Vec<usize>,
-    /// Weight panel `[classes, feat_idx.len()]`.
-    pub weight: Vec<f32>,
+    /// Weight panel `[classes, feat_idx.len()]` pre-packed into the
+    /// microkernel's tile-major layout (NT orientation).
+    pub weight: PackedB,
 }
 
 /// Per-layer cache of compiled plans, keyed by a weight/assignment epoch.

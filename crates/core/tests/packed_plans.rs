@@ -9,7 +9,9 @@
 //!   stale plan is never served.
 
 use proptest::prelude::*;
-use stepping_core::{Assignment, MaskedConv2d, MaskedLinear, SteppingNetBuilder};
+use stepping_core::{
+    Assignment, IncrementalExecutor, MaskedConv2d, MaskedLinear, SteppingNetBuilder,
+};
 use stepping_nn::optim::Sgd;
 use stepping_tensor::{init, Shape};
 
@@ -262,6 +264,100 @@ fn net_packed_forward_tracks_sgd_updates() {
             assert_eq!(packed, masked, "step {step} subnet {s}");
         }
         // SGD update through params_for must invalidate stage + head plans
+        net.zero_grad();
+        let _ = net.forward(&x, 1, true).unwrap();
+        net.backward(&dy).unwrap();
+        sgd.step(&mut net.params_for(1).unwrap()).unwrap();
+    }
+}
+
+/// Fused-pipeline oracle test: a net whose stage list exercises every
+/// walker decision — relu/tanh epilogue fusion, the sigmoid
+/// materialization fallback, and panel hand-off between masked linears —
+/// must stay bit-identical to the masked `forward` across SGD updates, on
+/// both the direct `forward_packed` path and the incremental expand path.
+#[test]
+fn fused_mlp_pipeline_tracks_sgd_updates() {
+    let subnets = 3;
+    let mut net = SteppingNetBuilder::new(Shape::of(&[8]), subnets, 5)
+        .linear(12)
+        .relu()
+        .linear(10)
+        .tanh()
+        .linear(9)
+        .sigmoid()
+        .build(4)
+        .unwrap();
+    // scatter some neurons so subnet column lists are ragged
+    net.move_neuron(0, 3, 1).unwrap();
+    net.move_neuron(0, 7, 2).unwrap();
+    net.move_neuron(2, 1, 1).unwrap();
+    net.move_neuron(4, 2, 2).unwrap();
+    let x = init::uniform(Shape::of(&[3, 8]), -1.0, 1.0, &mut init::rng(21));
+    let dy = init::uniform(Shape::of(&[3, 4]), 0.1, 1.0, &mut init::rng(22));
+
+    let mut sgd = Sgd::new(0.05).unwrap();
+    for step in 0..3 {
+        let mut masked = Vec::new();
+        for s in 0..subnets {
+            masked.push(net.clone().forward(&x, s, false).unwrap());
+            let packed = net.forward_packed(&x, s).unwrap();
+            assert_eq!(packed, masked[s], "step {step} subnet {s}: direct path");
+        }
+        {
+            let mut exec = IncrementalExecutor::new(&mut net, 0.0);
+            let first = exec.begin(&x).unwrap();
+            assert_eq!(first.logits, masked[0], "step {step}: expand subnet 0");
+            for (s, want) in masked.iter().enumerate().skip(1) {
+                let inc = exec.expand().unwrap();
+                assert_eq!(&inc.logits, want, "step {step}: expand subnet {s}");
+            }
+        }
+        net.zero_grad();
+        let _ = net.forward(&x, 1, true).unwrap();
+        net.backward(&dy).unwrap();
+        sgd.step(&mut net.params_for(1).unwrap()).unwrap();
+    }
+}
+
+/// Same oracle discipline for a conv pipeline: im2col-fused conv stages,
+/// pooling/flatten materialization points, and the packed expand path must
+/// all track the masked reference bitwise while training mutates weights.
+#[test]
+fn fused_conv_pipeline_tracks_sgd_updates() {
+    let subnets = 3;
+    let mut net = SteppingNetBuilder::new(Shape::of(&[2, 8, 8]), subnets, 7)
+        .conv(6, 3, 1, 1)
+        .relu()
+        .max_pool(2, 2)
+        .flatten()
+        .linear(10)
+        .relu()
+        .build(4)
+        .unwrap();
+    net.move_neuron(0, 1, 1).unwrap();
+    net.move_neuron(0, 4, 2).unwrap();
+    net.move_neuron(4, 3, 1).unwrap();
+    let x = init::uniform(Shape::of(&[2, 2, 8, 8]), -1.0, 1.0, &mut init::rng(23));
+    let dy = init::uniform(Shape::of(&[2, 4]), 0.1, 1.0, &mut init::rng(24));
+
+    let mut sgd = Sgd::new(0.05).unwrap();
+    for step in 0..3 {
+        let mut masked = Vec::new();
+        for s in 0..subnets {
+            masked.push(net.clone().forward(&x, s, false).unwrap());
+            let packed = net.forward_packed(&x, s).unwrap();
+            assert_eq!(packed, masked[s], "step {step} subnet {s}: direct path");
+        }
+        {
+            let mut exec = IncrementalExecutor::new(&mut net, 0.0);
+            let first = exec.begin(&x).unwrap();
+            assert_eq!(first.logits, masked[0], "step {step}: expand subnet 0");
+            for (s, want) in masked.iter().enumerate().skip(1) {
+                let inc = exec.expand().unwrap();
+                assert_eq!(&inc.logits, want, "step {step}: expand subnet {s}");
+            }
+        }
         net.zero_grad();
         let _ = net.forward(&x, 1, true).unwrap();
         net.backward(&dy).unwrap();

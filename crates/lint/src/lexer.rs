@@ -131,7 +131,7 @@ pub fn lex(src: &str) -> Lexed {
             let hashes = bytes[start..].iter().take_while(|&&b| b == b'#').count();
             let open = start + hashes; // points at the opening quote
             let closer: String = std::iter::once('"')
-                .chain(std::iter::repeat('#').take(hashes))
+                .chain(std::iter::repeat_n('#', hashes))
                 .collect();
             let body_start = open + 1;
             let end = src[body_start..]

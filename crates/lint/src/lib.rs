@@ -185,7 +185,7 @@ mod tests {
         fs::write(dir.join("src/a.rs"), "fn a() {}").unwrap();
         fs::write(dir.join("vendor/b.rs"), "fn b() {}").unwrap();
         fs::write(dir.join("fixtures/c.rs"), "fn c() {}").unwrap();
-        let files = collect_files(&[dir.clone()]).unwrap();
+        let files = collect_files(std::slice::from_ref(&dir)).unwrap();
         assert_eq!(files.len(), 1);
         assert!(files[0].ends_with("src/a.rs"));
         let _ = fs::remove_dir_all(&dir);

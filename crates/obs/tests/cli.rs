@@ -2,6 +2,10 @@
 //! observer writing JSONL, then feed the file to the `stepping-obs-report`
 //! binary and check the rendered summary.
 
+// These tests intentionally exercise the legacy `drive()` wrapper,
+// which newer code replaces with `Session::run`.
+#![allow(deprecated)]
+
 use std::path::PathBuf;
 use std::process::Command;
 

@@ -8,6 +8,10 @@
 //! contains exactly one #[test] so no sibling test can install the observer
 //! early.
 
+// These tests intentionally exercise the legacy `drive()` wrapper,
+// which newer code replaces with `Session::run`.
+#![allow(deprecated)]
+
 use stepping_core::{construct, ConstructionOptions, SteppingNet, SteppingNetBuilder};
 use stepping_data::{GaussianBlobs, GaussianBlobsConfig};
 use stepping_obs::CaptureSink;

@@ -56,7 +56,7 @@ fn live_load_populates_every_series() {
         .max_wait(Duration::from_millis(10))
         .metrics_snapshot(&snapshot_path)
         .metrics_interval(Duration::from_millis(20))
-        .session(SessionConfig::new().device(device.clone()))
+        .session(SessionConfig::new().device(device))
         .build();
     let srv = Server::new(&net(), config).unwrap();
     let costs = srv.subnet_costs().to_vec();

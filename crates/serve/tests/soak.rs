@@ -37,7 +37,7 @@ fn ten_thousand_sessions_of_churn_lose_nothing() {
         .max_batch(8)
         .max_wait(Duration::from_micros(200))
         .lane_capacity(512) // far above peak in-flight: no shedding today
-        .session(SessionConfig::new().device(device.clone()))
+        .session(SessionConfig::new().device(device))
         .build();
     let srv = Arc::new(Server::new(&net(), config).unwrap());
     let answered = Arc::new(AtomicU64::new(0));

@@ -7,7 +7,10 @@
 //!
 //! * [`Shape`] — n-dimensional extents with row-major strides,
 //! * [`Tensor`] — owned, contiguous, row-major `f32` storage,
-//! * [`matmul`] — blocked matrix multiplication with transpose variants,
+//! * [`matmul`] — matrix multiplication with transpose variants (the
+//!   masked-reference kernels),
+//! * [`microkernel`] — the blocked, register-tiled GEMM behind the packed
+//!   inference paths (bit-identical to the reference kernels),
 //! * [`conv`] — `im2col`/`col2im` based 2-D convolution kernels,
 //! * [`reduce`] — reductions (sum/mean/max/argmax/softmax, per-axis),
 //! * [`init`] — deterministic random initialisers (uniform, normal,
@@ -37,6 +40,7 @@ mod error;
 mod grads;
 pub mod init;
 pub mod matmul;
+pub mod microkernel;
 pub mod pack;
 pub mod reduce;
 mod shape;

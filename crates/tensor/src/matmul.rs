@@ -11,6 +11,12 @@
 //! loop structure (and therefore the exact floating-point rounding) of the
 //! original per-function kernels — the incremental-property tests depend on
 //! bit-identical results.
+//!
+//! These are the *masked-reference* kernels: they serve the full-width
+//! masked paths (where operands are mostly zero, so the `nn`/`tn` kernels
+//! keep their `if aik == 0.0` skip) and act as the oracle the blocked
+//! [`microkernel`](crate::microkernel) — which has no zero-skip, because
+//! packed panels are dense by construction — is property-tested against.
 
 use crate::{Result, Shape, Tensor, TensorError};
 
@@ -148,15 +154,34 @@ pub fn gemm(a: &Tensor, b: &Tensor, spec: GemmSpec) -> Result<Tensor> {
             right: kb,
         });
     }
-    let mut out = Tensor::zeros(Shape::of(&[m, n]));
     let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
-    match (spec.trans_a, spec.trans_b) {
-        (false, false) => nn_kernel(ad, bd, od, m, ka, n),
-        (false, true) => nt_kernel(ad, bd, od, m, ka, n),
-        (true, false) => tn_kernel(ad, bd, od, m, ka, n),
-        (true, true) => tt_kernel(ad, bd, od, m, ka, n),
-    }
+    // NN/TN accumulate into the output (and skip zero A entries), so they
+    // need a zeroed buffer; serial NT/TT write every element exactly once
+    // in row-major order and stream into unfilled storage instead. The
+    // parallel NT path keeps the zeroed buffer: disjoint row chunks need
+    // initialised storage to split safely.
+    let out = match (spec.trans_a, spec.trans_b) {
+        (false, false) => {
+            let mut out = Tensor::zeros(Shape::of(&[m, n]));
+            nn_kernel(ad, bd, out.data_mut(), m, ka, n);
+            out
+        }
+        (false, true) => {
+            if m * ka * n >= PARALLEL_FLOP_THRESHOLD && worker_count(m) > 1 {
+                let mut out = Tensor::zeros(Shape::of(&[m, n]));
+                nt_kernel(ad, bd, out.data_mut(), m, ka, n);
+                out
+            } else {
+                nt_stream(ad, bd, m, ka, n)
+            }
+        }
+        (true, false) => {
+            let mut out = Tensor::zeros(Shape::of(&[m, n]));
+            tn_kernel(ad, bd, out.data_mut(), m, ka, n);
+            out
+        }
+        (true, true) => tt_stream(ad, bd, m, ka, n),
+    };
     Ok(out)
 }
 
@@ -212,6 +237,27 @@ pub(crate) fn nt_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: us
     });
 }
 
+/// Serial [`nt_kernel`] streaming into unfilled storage: the dot-product
+/// form writes each output element exactly once, in strictly ascending
+/// row-major order, so the result `Vec` is built by `push` instead of
+/// zero-filling `m * n` floats first. Arithmetic (and therefore rounding)
+/// is identical to [`nt_kernel`] term for term.
+fn nt_stream(ad: &[f32], bd: &[f32], m: usize, ka: usize, n: usize) -> Tensor {
+    let mut data = Vec::with_capacity(m * n);
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let brow = &bd[j * ka..(j + 1) * ka];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            data.push(acc);
+        }
+    }
+    Tensor::from_vec(Shape::of(&[m, n]), data).expect("extent matches shape")
+}
+
 /// `C = Aᵀ · B`: outer-product accumulation over `k`, skipping zero `A`
 /// entries (gradient layout; `m`/`n` are small, `k` is the batch).
 fn tn_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: usize, n: usize) {
@@ -230,8 +276,11 @@ fn tn_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: usize, n: usi
     }
 }
 
-/// `C = Aᵀ · Bᵀ`: column gather on `A`, strided reads on `B`.
-fn tt_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: usize, n: usize) {
+/// `C = Aᵀ · Bᵀ`: column gather on `A`, strided reads on `B`. Streams into
+/// unfilled storage — each element is written exactly once in row-major
+/// order, so no zero-fill is needed.
+fn tt_stream(ad: &[f32], bd: &[f32], m: usize, ka: usize, n: usize) -> Tensor {
+    let mut data = Vec::with_capacity(m * n);
     for i in 0..m {
         for j in 0..n {
             let brow = &bd[j * ka..(j + 1) * ka];
@@ -239,9 +288,10 @@ fn tt_kernel(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, ka: usize, n: usi
             for (k, &bv) in brow.iter().enumerate() {
                 acc += ad[k * m + i] * bv;
             }
-            od[i * n + j] = acc;
+            data.push(acc);
         }
     }
+    Tensor::from_vec(Shape::of(&[m, n]), data).expect("extent matches shape")
 }
 
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.

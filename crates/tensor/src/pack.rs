@@ -3,36 +3,49 @@
 //! A SteppingNet subnet touches only a subset of each layer's neurons, yet
 //! the masked reference path multiplies full-width matrices whose inactive
 //! entries are zero. The helpers here let callers *gather* the surviving
-//! rows/columns into small contiguous panels, run the exact same NT
-//! dot-product kernel as [`matmul_bt`](crate::matmul::matmul_bt) on them,
+//! rows/columns into small contiguous panels, run a dense NT GEMM on them,
 //! and *scatter* the result back to full-width buffers.
+//!
+//! Two GEMM entry points exist: [`gemm_nt_into`]/[`gemm_nt_slice`] run the
+//! exact reference dot-product loop behind
+//! [`matmul_bt`](crate::matmul::matmul_bt) (kept as the test oracle), while
+//! [`gemm_packed_nt_into`]/[`gemm_packed_nt_slice`] run the blocked,
+//! register-tiled [`microkernel`](crate::microkernel) against a pre-packed
+//! weight panel with an optional fused bias/activation epilogue — the hot
+//! inference path.
 //!
 //! ## Bit-identity contract
 //!
-//! [`gemm_nt_into`] calls the identical kernel (same loop structure, same
-//! accumulation order) as [`matmul_bt`](crate::matmul::matmul_bt). As long
-//! as the gathered indices are in ascending order, the surviving terms of
-//! each dot product are accumulated in the same order as the dense loop;
-//! the dropped terms are all exact `±0.0` products, which can only affect
-//! the *sign* of a zero accumulator, never a nonzero value. Results are
-//! therefore equal under `f32` comparison (`-0.0 == 0.0`) to the masked
-//! dense path — the property tests in `crates/core/tests` and `tests/`
-//! assert this across random assignments.
+//! Both entry points accumulate every output element sequentially in `k`
+//! from `+0.0`, one rounding step per term — the identical per-element
+//! order as the dense loop (see [`microkernel`](crate::microkernel) for the
+//! blocked kernel's argument). As long as the gathered indices are in
+//! ascending order, the surviving terms of each dot product are accumulated
+//! in the same order as the dense path; the dropped terms are all exact
+//! `±0.0` products, which can only affect the *sign* of a zero accumulator,
+//! never a nonzero value. Results are therefore equal under `f32`
+//! comparison (`-0.0 == 0.0`) to the masked dense path — the property
+//! tests in `crates/core/tests` and `tests/` assert this across random
+//! assignments.
 //!
 //! All `*_into` entry points write into caller-owned `Vec<f32>` scratch
 //! buffers ([`PackScratch`]) so steady-state inference does zero heap
 //! allocation per forward once the buffers have grown to their high-water
-//! mark.
+//! mark, and no redundant zero-fill either: buffers whose every element is
+//! overwritten are grown with [`microkernel::grow`] instead of re-zeroed.
 
 use crate::conv::ConvGeometry;
 use crate::matmul::nt_kernel;
+use crate::microkernel::{self, Epilogue, PackedB};
 use crate::{Result, Shape, Tensor, TensorError};
 
 /// Reusable scratch buffers for packed execution.
 ///
 /// One `PackScratch` per layer (or per executor) amortises the gather /
-/// GEMM-output allocations: `Vec::resize` only reallocates when a call
-/// needs more capacity than any previous call.
+/// GEMM-output allocations: buffers are grown without re-zeroing retained
+/// capacity ([`microkernel::grow`]) and only reallocate when a call needs
+/// more capacity than any previous call — steady-state inference does zero
+/// heap allocation *and* zero redundant memset per forward.
 #[derive(Debug, Clone, Default)]
 pub struct PackScratch {
     /// Gathered input panel (`[rows, packed_in]`), also used as the im2col
@@ -40,6 +53,8 @@ pub struct PackScratch {
     pub input: Vec<f32>,
     /// Packed GEMM output (`[rows, packed_out]`).
     pub out: Vec<f32>,
+    /// A-panel packing scratch for the blocked microkernel.
+    pub a_pack: Vec<f32>,
 }
 
 impl PackScratch {
@@ -58,8 +73,9 @@ impl PackScratch {
 /// bounds.
 pub fn gather_columns(src: &[f32], rows: usize, width: usize, idx: &[usize], dst: &mut Vec<f32>) {
     let k = idx.len();
-    dst.clear();
-    dst.resize(rows * k, 0.0);
+    // every element is overwritten below, so retained capacity is not
+    // re-zeroed
+    microkernel::grow(dst, rows * k);
     for r in 0..rows {
         let srow = &src[r * width..(r + 1) * width];
         let drow = &mut dst[r * k..(r + 1) * k];
@@ -95,6 +111,10 @@ pub fn scatter_columns(src: &[f32], rows: usize, idx: &[usize], dst: &mut [f32],
 /// the exact kernel behind [`matmul_bt`](crate::matmul::matmul_bt), so the
 /// per-element accumulation order matches the dense path bit for bit.
 ///
+/// This is the *reference* packed entry point (and the oracle the blocked
+/// kernel is tested against); the hot inference paths use
+/// [`gemm_packed_nt_into`] with a plan-compiled [`PackedB`] instead.
+///
 /// # Panics
 ///
 /// Panics if `a` or `b` is shorter than its implied extent.
@@ -102,6 +122,49 @@ pub fn gemm_nt_into(a: &[f32], b: &[f32], out: &mut Vec<f32>, m: usize, k: usize
     out.clear();
     out.resize(m * n, 0.0);
     gemm_nt_slice(a, b, out, m, k, n);
+}
+
+/// `C = A · Bᵀ` through the blocked, register-tiled microkernel
+/// ([`microkernel::gemm_packed`]), writing into a reusable buffer that is
+/// grown without re-zeroing (the kernel overwrites every element).
+///
+/// `a` is `[m, b.k()]`, `b` is the pre-packed weight panel, `a_pack` is the
+/// A-packing scratch (typically [`PackScratch::a_pack`]), and `epi` fuses
+/// bias/activation into the final tile store. Bit-identical to
+/// [`gemm_nt_into`] + a separate bias/activation pass — see
+/// [`microkernel`] for the argument.
+///
+/// # Panics
+///
+/// Panics if `a` or an epilogue bias is shorter than its implied extent.
+pub fn gemm_packed_nt_into(
+    a: &[f32],
+    b: &PackedB,
+    out: &mut Vec<f32>,
+    m: usize,
+    a_pack: &mut Vec<f32>,
+    epi: Epilogue,
+) {
+    microkernel::grow(out, m * b.n());
+    microkernel::gemm_packed(a, false, b, out, m, a_pack, epi);
+}
+
+/// [`gemm_packed_nt_into`] writing into a caller-sized slice
+/// (`out.len() == m * b.n()`) — used when the result lands directly in a
+/// pre-allocated [`Tensor`].
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn gemm_packed_nt_slice(
+    a: &[f32],
+    b: &PackedB,
+    out: &mut [f32],
+    m: usize,
+    a_pack: &mut Vec<f32>,
+    epi: Epilogue,
+) {
+    microkernel::gemm_packed(a, false, b, out, m, a_pack, epi);
 }
 
 /// [`gemm_nt_into`] writing into a caller-sized slice (`out.len() == m * n`)
@@ -159,8 +222,9 @@ pub fn im2col_channels_into(
     let window = geom.kernel_h * geom.kernel_w;
     let patch = channels.len() * window;
     let rows = n * geom.positions();
-    dst.clear();
-    dst.resize(rows * patch, 0.0);
+    // the loops below write every entry (padding positions explicitly), so
+    // retained capacity is not re-zeroed
+    microkernel::grow(dst, rows * patch);
     let src = input.data();
     let pad = geom.padding as isize;
     for b in 0..n {
@@ -176,9 +240,12 @@ pub fn im2col_channels_into(
                         let iy = iy0 + ky as isize;
                         for kx in 0..geom.kernel_w {
                             let ix = ix0 + kx as isize;
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                dst[row + col] = src[base + iy as usize * w + ix as usize];
-                            }
+                            dst[row + col] =
+                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                    src[base + iy as usize * w + ix as usize]
+                                } else {
+                                    0.0
+                                };
                             col += 1;
                         }
                     }

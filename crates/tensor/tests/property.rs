@@ -3,6 +3,8 @@
 
 use proptest::prelude::*;
 use stepping_tensor::conv::{col2im, im2col, ConvGeometry};
+use stepping_tensor::matmul::GemmSpec;
+use stepping_tensor::microkernel::{gemm_blocked, gemm_packed, Epilogue, PackedB};
 use stepping_tensor::{matmul, reduce, Shape, Tensor};
 
 fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -117,6 +119,68 @@ proptest! {
         let rhs = x.dot(&col2im(&y, 2, &geom).unwrap()).unwrap();
         let scale = lhs.abs().max(rhs.abs()).max(1.0);
         prop_assert!((lhs - rhs).abs() / scale < 1e-4, "{} vs {}", lhs, rhs);
+    }
+
+    /// The blocked, register-tiled microkernel must be bit-identical
+    /// (`f32 ==`, not approximate) to the reference streaming kernels for
+    /// every transpose variant, including shapes that are ragged against
+    /// the MR/NR register tile and deep enough to force a Kc partial-sum
+    /// spill, plus fully degenerate extents.
+    #[test]
+    fn blocked_gemm_bit_identical_to_reference(
+        m in 0usize..21, k in 0usize..280, n in 0usize..21,
+        which in 0usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let spec = [GemmSpec::NN, GemmSpec::NT, GemmSpec::TN, GemmSpec::TT][which];
+        let a_dims = if spec.trans_a { [k, m] } else { [m, k] };
+        let b_dims = if spec.trans_b { [n, k] } else { [k, n] };
+        let mut rng = stepping_tensor::init::rng(seed);
+        let a = stepping_tensor::init::uniform(Shape::of(&a_dims), -2.0, 2.0, &mut rng);
+        let b = stepping_tensor::init::uniform(Shape::of(&b_dims), -2.0, 2.0, &mut rng);
+        let reference = matmul::gemm(&a, &b, spec).unwrap();
+        let blocked = gemm_blocked(&a, &b, spec).unwrap();
+        prop_assert_eq!(reference, blocked, "{:?} {}x{}x{}", spec, m, k, n);
+    }
+
+    /// Fused bias/activation epilogues must equal the unfused sequence
+    /// (GEMM, then add bias, then activate) bitwise — the packed inference
+    /// pipeline relies on this to stay `==` with the masked oracle.
+    #[test]
+    fn blocked_gemm_epilogues_match_unfused(
+        m in 1usize..10, k in 1usize..64, n in 1usize..17,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = stepping_tensor::init::rng(seed);
+        let a = stepping_tensor::init::uniform(Shape::of(&[m, k]), -2.0, 2.0, &mut rng);
+        let b = stepping_tensor::init::uniform(Shape::of(&[n, k]), -2.0, 2.0, &mut rng);
+        let bias = stepping_tensor::init::uniform(Shape::of(&[n]), -1.0, 1.0, &mut rng);
+        let packed = PackedB::pack_nt(b.data(), n, k);
+        let mut apack = Vec::new();
+        let reference = matmul::matmul_bt(&a, &b).unwrap();
+        for which in 0..3 {
+            let epi = match which {
+                0 => Epilogue::Bias(bias.data()),
+                1 => Epilogue::BiasRelu(bias.data()),
+                _ => Epilogue::BiasTanh(bias.data()),
+            };
+            let mut out = vec![f32::NAN; m * n];
+            gemm_packed(a.data(), false, &packed, &mut out, m, &mut apack, epi);
+            for i in 0..m {
+                for j in 0..n {
+                    let z = reference.data()[i * n + j] + bias.data()[j];
+                    let want = match which {
+                        0 => z,
+                        1 => z.max(0.0),
+                        _ => z.tanh(),
+                    };
+                    prop_assert_eq!(
+                        out[i * n + j], want,
+                        "epilogue {} at ({}, {})", which, i, j
+                    );
+                }
+            }
+        }
     }
 
     #[test]
