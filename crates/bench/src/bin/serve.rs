@@ -1,6 +1,6 @@
 //! Serving-throughput benchmark for the `stepping-serve` engine.
 //!
-//! Three experiments over the same closed-loop client population:
+//! Four experiments over the same closed-loop client population:
 //!
 //! 1. **worker sweep** — throughput as the worker pool grows (1 → 8) with
 //!    micro-batching enabled and clients spread across the sharded batch
@@ -10,11 +10,15 @@
 //!    hosts with ≥ 4 cores (or `STEPPING_SERVE_ASSERT=1`) the sweep gates
 //!    on monotonically non-decreasing throughput from 1 to 4 workers —
 //!    the regression the sharded lanes exist to prevent,
-//! 2. **batch vs sequential** — micro-batching (`max_batch = 8`) against a
+//! 2. **single-hot-lane sweep** — the same 1 → 4 monotonic-throughput gate
+//!    with every client funneled into ONE lane at `max_batch = 4`, keeping
+//!    the lane at ≥ 2× `max_batch` depth: the lane work-stealing regime,
+//!    where a second worker claims the backlog tail instead of sleeping,
+//! 3. **batch vs sequential** — micro-batching (`max_batch = 8`) against a
 //!    degenerate one-job-per-batch server (`max_batch = 1`) at the same
 //!    worker count, reporting throughput and client-observed latency
 //!    percentiles,
-//! 3. **metrics overhead A/B** — the same configuration with metric
+//! 4. **metrics overhead A/B** — the same configuration with metric
 //!    recording runtime-enabled vs runtime-disabled
 //!    ([`stepping_metrics::set_runtime_enabled`]), interleaved, median of
 //!    three runs each. The ≤5% hot-path overhead gate self-enables on
@@ -338,6 +342,47 @@ fn main() {
         ));
     }
 
+    // Single-hot-lane sweep: every client asks for the full subnet, so all
+    // traffic funnels through ONE lane, and max_batch 4 with 8 clients
+    // keeps the lane's depth at or above 2x max_batch — the regime where
+    // lane work-stealing lets a second worker claim the backlog tail
+    // instead of sleeping out the flush timer. Before work stealing this
+    // workload capped the sweep at one effective worker.
+    report_text("\nSERVE: single-hot-lane worker sweep (work stealing)");
+    let hot_sweep: Vec<RunResult> = worker_counts
+        .iter()
+        .map(|&w| run_config(&net, w, 4, false, None))
+        .collect();
+    print_table(&headers, &hot_sweep.iter().map(row).collect::<Vec<_>>());
+    if cores >= 4 || scaling_forced {
+        let gated: Vec<&RunResult> = hot_sweep.iter().filter(|r| r.workers <= 4).collect();
+        for pair in gated.windows(2) {
+            assert!(
+                pair[1].throughput_rps >= 0.95 * pair[0].throughput_rps,
+                "hot-lane throughput fell {} -> {} workers: {:.0} -> {:.0} req/s",
+                pair[0].workers,
+                pair[1].workers,
+                pair[0].throughput_rps,
+                pair[1].throughput_rps,
+            );
+        }
+        if let (Some(first), Some(last)) = (gated.first(), gated.last()) {
+            assert!(
+                last.throughput_rps >= first.throughput_rps,
+                "hot lane: {} workers slower than 1: {:.0} < {:.0} req/s",
+                last.workers,
+                last.throughput_rps,
+                first.throughput_rps,
+            );
+        }
+        report_text("hot-lane scaling gate passed (non-decreasing 1 -> 4 workers)");
+    } else {
+        report_text(&format!(
+            "hot-lane scaling gate skipped: {cores} core(s) < 4 (set \
+             STEPPING_SERVE_ASSERT=1 to force)"
+        ));
+    }
+
     report_text("\nSERVE: micro-batching vs sequential (one job per batch)");
     let batched = run_config(&net, 2, 8, false, Some("results/serve.metrics.jsonl"));
     let sequential = run_config(&net, 2, 1, false, None);
@@ -375,10 +420,12 @@ fn main() {
     }
 
     let sweep_json: Vec<String> = sweep.iter().map(json_entry).collect();
+    let hot_json: Vec<String> = hot_sweep.iter().map(json_entry).collect();
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"smoke\": {},\n  \"clients\": {},\n  \
          \"requests_per_client\": {},\n  \"net_macs_full\": {},\n  \
-         \"worker_sweep\": [\n    {}\n  ],\n  \"batching\": {{\n    \
+         \"worker_sweep\": [\n    {}\n  ],\n  \
+         \"hot_lane_sweep\": [\n    {}\n  ],\n  \"batching\": {{\n    \
          \"batched\": {},\n    \"sequential\": {},\n    \
          \"throughput_speedup\": {:.3}\n  }},\n  \"metrics_overhead\": {{\n    \
          \"enabled_rps\": {:.1},\n    \"disabled_rps\": {:.1},\n    \
@@ -388,6 +435,7 @@ fn main() {
         per_client(),
         net.full_macs(),
         sweep_json.join(",\n    "),
+        hot_json.join(",\n    "),
         json_entry(&batched),
         json_entry(&sequential),
         speedup,

@@ -96,6 +96,15 @@ pub mod event {
     /// Admission control shed an upgrade to its session cache (full lane).
     pub const SERVE_SHED: &str = "serve.shed";
 
+    // routing front door (stepping-router)
+    /// A new session was rerouted off its ring owner (breaker open, drain,
+    /// or admission refusal).
+    pub const ROUTER_REROUTE: &str = "router.reroute";
+    /// A replica entered drain (refusing new sessions, serving old ones).
+    pub const ROUTER_DRAIN: &str = "router.drain";
+    /// A replica's health breaker tripped open.
+    pub const ROUTER_BREAKER_TRIP: &str = "router.breaker_trip";
+
     // compiled plans
     /// A `(layer, subnet)` plan was compiled.
     pub const PLAN_COMPILE: &str = "plan.compile";
@@ -151,6 +160,9 @@ pub mod event {
         SERVE_BATCH,
         SERVE_CACHE_HIT,
         SERVE_SHED,
+        ROUTER_REROUTE,
+        ROUTER_DRAIN,
+        ROUTER_BREAKER_TRIP,
         PLAN_COMPILE,
         PLAN_CACHE_HIT,
         PLAN_INVALIDATE,
@@ -215,6 +227,21 @@ pub mod metric {
     /// Requests refused outright by admission control (queue full).
     pub const SERVE_REJECTED: &str = "serve.rejected";
 
+    // routing front door (stepping-router)
+    /// Sessions routed to their ring-owner replica (first placement).
+    pub const ROUTER_ROUTE: &str = "router.route";
+    /// Sessions rerouted off their ring owner (breaker/drain/refusal).
+    pub const ROUTER_REROUTE: &str = "router.reroute";
+    /// Replica drains initiated through the router.
+    pub const ROUTER_DRAIN: &str = "router.drain";
+    /// Health-breaker trips (replica marked unroutable for new sessions).
+    pub const ROUTER_BREAKER_TRIP: &str = "router.breaker_trip";
+    /// Live sessions per replica (gauge, `replica="N"` label).
+    pub const ROUTER_REPLICA_DEPTH: &str = "router.replica_depth";
+    /// Ring imbalance at each placement: owned vnode share of the chosen
+    /// replica in tenths of a percent.
+    pub const ROUTER_RING_IMBALANCE: &str = "router.ring_imbalance";
+
     // execution pool
     /// Dispatch side of one pool run (send jobs to workers).
     pub const EXEC_DISPATCH_NS: &str = "exec.dispatch_ns";
@@ -257,6 +284,12 @@ pub mod metric {
         SERVE_DEGRADED,
         SERVE_SHED,
         SERVE_REJECTED,
+        ROUTER_ROUTE,
+        ROUTER_REROUTE,
+        ROUTER_DRAIN,
+        ROUTER_BREAKER_TRIP,
+        ROUTER_REPLICA_DEPTH,
+        ROUTER_RING_IMBALANCE,
         EXEC_DISPATCH_NS,
         EXEC_REDUCE_NS,
         EXEC_POOL_RUN_NS,

@@ -4,7 +4,7 @@
 //! worker pool (PR 5) holds peer threads on a channel, and core's packed
 //! execution paths run under both — a panic in any of them either poisons
 //! shared state or takes down a request that should have received a typed
-//! error. Library code in `crates/{core,serve,exec}/src` therefore must
+//! error. Library code in `crates/{core,serve,exec,router}/src` therefore must
 //! not `unwrap`, `expect`, `panic!`, `unreachable!`, `todo!` or
 //! `unimplemented!` outside tests; errors travel as
 //! `SteppingError`/`PoolError` values instead.
@@ -17,7 +17,12 @@ use super::{diag_at, is_macro_call, is_method_call, norm_path, Workspace};
 use crate::diag::{Diagnostic, Severity};
 
 /// Library trees where panics are forbidden.
-const SCOPES: &[&str] = &["crates/core/src/", "crates/serve/src/", "crates/exec/src/"];
+const SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/serve/src/",
+    "crates/exec/src/",
+    "crates/router/src/",
+];
 
 const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
 const BANNED_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

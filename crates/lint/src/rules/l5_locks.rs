@@ -20,7 +20,12 @@ use crate::lexer::{TokKind, Token};
 use crate::scan::FileModel;
 
 /// Crates whose sources this rule covers.
-const SCOPES: &[&str] = &["crates/serve/src/", "crates/exec/src/", "crates/bench/src/"];
+const SCOPES: &[&str] = &[
+    "crates/serve/src/",
+    "crates/exec/src/",
+    "crates/bench/src/",
+    "crates/router/src/",
+];
 
 pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
     let mut diags = Vec::new();

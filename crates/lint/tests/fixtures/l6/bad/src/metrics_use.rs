@@ -3,4 +3,5 @@
 pub fn install(registry: &MetricsRegistry) {
     let _bogus = registry.register_counter("serve.bogus_counter");
     let _unknown = registry.register_histogram_labeled(metric::NOT_A_METRIC, "worker", 0);
+    let _router = registry.register_counter("router.bogus");
 }

@@ -12,6 +12,8 @@ pub mod event {
 
 pub mod metric {
     pub const SERVE_ADMITTED: &str = "serve.admitted";
+    pub const ROUTER_ROUTE: &str = "router.route";
+    pub const ROUTER_REPLICA_DEPTH: &str = "router.replica_depth";
     pub const SERVE_LOCK_WAIT_NS: &str = "serve.lock_wait_ns";
     pub const SERVE_LANE_DEPTH: &str = "serve.lane_depth";
     pub const SERVE_SHED: &str = "serve.shed";

@@ -7,6 +7,8 @@ pub fn install(registry: &MetricsRegistry, name: &'static str) {
     let _lock = registry.register_histogram_labeled("serve.lock_wait_ns", "worker", 0.to_string());
     let _lane_depth = registry.register_histogram(metric::SERVE_LANE_DEPTH);
     let _shed = registry.register_counter("serve.shed");
+    let _routes = registry.register_counter(metric::ROUTER_ROUTE);
+    let _depth = registry.register_gauge_labeled("router.replica_depth", "replica", 0.to_string());
     let _dynamic = registry.register_gauge(name);
 }
 

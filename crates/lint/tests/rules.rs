@@ -146,7 +146,7 @@ fn l5_silent_on_dropped_guards_and_temporaries() {
 #[test]
 fn l6_fires_on_unregistered_names() {
     let diags = lint("l6/bad");
-    assert_eq!(diags.len(), 5, "{}", messages(&diags));
+    assert_eq!(diags.len(), 6, "{}", messages(&diags));
     assert!(diags
         .iter()
         .all(|d| d.rule == "L6" && d.severity == Severity::Error));
@@ -156,6 +156,7 @@ fn l6_fires_on_unregistered_names() {
     assert!(msgs.contains("`NOT_REGISTERED`"));
     assert!(msgs.contains("metric name \"serve.bogus_counter\""));
     assert!(msgs.contains("metric const `NOT_A_METRIC`"));
+    assert!(msgs.contains("metric name \"router.bogus\""));
 }
 
 #[test]

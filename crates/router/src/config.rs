@@ -1,0 +1,150 @@
+//! Router configuration, built with [`RouterConfig::builder`] — the same
+//! builder idiom as [`ServeConfig`](stepping_serve::ServeConfig).
+
+/// Configuration of a [`Router`](crate::Router).
+///
+/// ```
+/// use stepping_router::RouterConfig;
+///
+/// let config = RouterConfig::builder()
+///     .replicas(4)
+///     .vnodes(128)
+///     .breaker_window(16)
+///     .breaker_trip_ratio(0.25)
+///     .breaker_cooldown(32)
+///     .build();
+/// assert_eq!(config.get_replicas(), 4);
+/// ```
+///
+/// Defaults: 2 replicas, 64 vnodes per replica, breaker window 32, trip
+/// ratio 0.5, cooldown 64 routing decisions.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    replicas: usize,
+    vnodes: usize,
+    breaker_window: usize,
+    breaker_trip_ratio: f64,
+    breaker_cooldown: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            replicas: 2,
+            vnodes: 64,
+            breaker_window: 32,
+            breaker_trip_ratio: 0.5,
+            breaker_cooldown: 64,
+        }
+    }
+}
+
+/// Builder for [`RouterConfig`]; created by [`RouterConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct RouterConfigBuilder {
+    config: RouterConfig,
+}
+
+impl RouterConfigBuilder {
+    /// Number of serving replicas [`Router::launch`](crate::Router::launch)
+    /// spins up (ignored by [`Router::new`](crate::Router::new), which
+    /// takes the replicas it is handed). Floored at 1.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.config.replicas = replicas.max(1);
+        self
+    }
+
+    /// Virtual nodes per replica on the consistent-hash ring (floored at
+    /// 1). More vnodes mean tighter balance and smoother drains at the
+    /// cost of a larger (still tiny) sorted ring.
+    pub fn vnodes(mut self, vnodes: usize) -> Self {
+        self.config.vnodes = vnodes.max(1);
+        self
+    }
+
+    /// Sliding-window length of each replica's health breaker (floored at
+    /// 1): how many recent routing outcomes the trip decision looks at.
+    pub fn breaker_window(mut self, window: usize) -> Self {
+        self.config.breaker_window = window.max(1);
+        self
+    }
+
+    /// Failure ratio over a full window that trips the breaker (clamped to
+    /// `0.0..=1.0`).
+    pub fn breaker_trip_ratio(mut self, ratio: f64) -> Self {
+        self.config.breaker_trip_ratio = ratio.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Routing decisions a tripped replica is skipped for before one probe
+    /// session is let through (half-open).
+    pub fn breaker_cooldown(mut self, cooldown: u32) -> Self {
+        self.config.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> RouterConfig {
+        self.config
+    }
+}
+
+impl RouterConfig {
+    /// Starts a builder with the defaults above.
+    pub fn builder() -> RouterConfigBuilder {
+        RouterConfigBuilder::default()
+    }
+
+    /// Configured replica count (used by `Router::launch`).
+    pub fn get_replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Configured vnodes per replica.
+    pub fn get_vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Configured breaker window.
+    pub fn get_breaker_window(&self) -> usize {
+        self.breaker_window
+    }
+
+    /// Configured breaker trip ratio.
+    pub fn get_breaker_trip_ratio(&self) -> f64 {
+        self.breaker_trip_ratio
+    }
+
+    /// Configured breaker cooldown, in routing decisions.
+    pub fn get_breaker_cooldown(&self) -> u32 {
+        self.breaker_cooldown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_reaches_every_knob_and_floors() {
+        let built = RouterConfig::builder()
+            .replicas(0)
+            .vnodes(0)
+            .breaker_window(0)
+            .breaker_trip_ratio(7.0)
+            .breaker_cooldown(5)
+            .build();
+        assert_eq!(built.get_replicas(), 1);
+        assert_eq!(built.get_vnodes(), 1);
+        assert_eq!(built.get_breaker_window(), 1);
+        assert_eq!(built.get_breaker_trip_ratio(), 1.0);
+        assert_eq!(built.get_breaker_cooldown(), 5);
+
+        let defaults = RouterConfig::builder().build();
+        assert_eq!(defaults.get_replicas(), 2);
+        assert_eq!(defaults.get_vnodes(), 64);
+        assert_eq!(defaults.get_breaker_window(), 32);
+        assert_eq!(defaults.get_breaker_trip_ratio(), 0.5);
+        assert_eq!(defaults.get_breaker_cooldown(), 64);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-replica health tracking: a sliding-window circuit breaker.
+//!
+//! The router records one outcome per routing attempt — success, or an
+//! admission refusal / shutdown error — into a bounded window. When the
+//! window is full and the failure ratio reaches the configured trip
+//! ratio, the breaker opens: the replica stops receiving *new* sessions
+//! (sticky upgrades of its existing sessions still flow — their caches
+//! live there and nowhere else). After a fixed number of skipped routing
+//! decisions the breaker goes half-open and admits a single probe; a
+//! successful probe closes it and clears the window, a failed probe
+//! re-opens it for another full cooldown.
+//!
+//! The cooldown is counted in routing decisions, not wall-clock time, so
+//! breaker behaviour is a pure function of the observed outcome sequence —
+//! reproducible in tests and across restarts, like everything else in this
+//! crate.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// Observable state of a [`Breaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: new sessions route here.
+    Closed,
+    /// Tripped: skipped for new sessions until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe session is allowed through.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Last `window` outcomes, `true` = failure.
+    outcomes: VecDeque<bool>,
+    failures: usize,
+    state: BreakerState,
+    /// Routing decisions left to skip while [`BreakerState::Open`].
+    cooldown_left: u32,
+    /// A half-open probe is in flight (admitted but not yet recorded).
+    probing: bool,
+}
+
+/// Sliding-window circuit breaker guarding one replica.
+#[derive(Debug)]
+pub struct Breaker {
+    window: usize,
+    /// Failures within a full window that trip the breaker.
+    trip_at: usize,
+    cooldown: u32,
+    inner: Mutex<Inner>,
+}
+
+impl Breaker {
+    /// A breaker tripping when, over the last `window` attempts (floored at
+    /// 1), at least `trip_ratio` of them failed; once open it skips
+    /// `cooldown` routing decisions before admitting a probe.
+    pub fn new(window: usize, trip_ratio: f64, cooldown: u32) -> Self {
+        let window = window.max(1);
+        let ratio = trip_ratio.clamp(0.0, 1.0);
+        Breaker {
+            window,
+            trip_at: ((window as f64 * ratio).ceil() as usize).max(1),
+            cooldown,
+            inner: Mutex::new(Inner {
+                outcomes: VecDeque::with_capacity(window),
+                failures: 0,
+                state: BreakerState::Closed,
+                cooldown_left: 0,
+                probing: false,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether a *new* session may be routed to this replica right now.
+    /// Counts down the open-state cooldown; in half-open state admits only
+    /// one probe at a time.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                inner.cooldown_left = inner.cooldown_left.saturating_sub(1);
+                if inner.cooldown_left == 0 {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probing = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probing {
+                    false
+                } else {
+                    inner.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records the outcome of one routing attempt (`failed` = admission
+    /// refusal or shutdown error). Returns `true` when this very record
+    /// tripped the breaker open — the caller's cue to bump the trip
+    /// counter and emit the telemetry event exactly once per trip.
+    pub fn record(&self, failed: bool) -> bool {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::HalfOpen => {
+                inner.probing = false;
+                if failed {
+                    inner.state = BreakerState::Open;
+                    inner.cooldown_left = self.cooldown;
+                    true
+                } else {
+                    inner.state = BreakerState::Closed;
+                    inner.outcomes.clear();
+                    inner.failures = 0;
+                    false
+                }
+            }
+            BreakerState::Closed => {
+                if inner.outcomes.len() == self.window && inner.outcomes.pop_front() == Some(true) {
+                    inner.failures -= 1;
+                }
+                inner.outcomes.push_back(failed);
+                if failed {
+                    inner.failures += 1;
+                }
+                if inner.outcomes.len() == self.window && inner.failures >= self.trip_at {
+                    inner.state = BreakerState::Open;
+                    inner.cooldown_left = self.cooldown;
+                    true
+                } else {
+                    false
+                }
+            }
+            // already open: outcomes of in-flight attempts don't re-trip
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Current state (for metrics, tests, and operator introspection).
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_only_on_full_window_at_ratio() {
+        let b = Breaker::new(4, 0.5, 3);
+        assert!(!b.record(true), "window not full yet");
+        assert!(!b.record(true), "still filling");
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.record(false));
+        assert!(b.record(false), "4th outcome fills the window at 2/4");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn window_slides_old_failures_out() {
+        let b = Breaker::new(4, 0.75, 3);
+        for _ in 0..2 {
+            b.record(true);
+        }
+        for _ in 0..8 {
+            b.record(false);
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "failures aged out");
+    }
+
+    #[test]
+    fn cooldown_then_probe_then_close_or_reopen() {
+        let b = Breaker::new(2, 0.5, 2);
+        b.record(true);
+        assert!(b.record(true), "tripped");
+        // two routing decisions skipped while open
+        assert!(!b.allow());
+        assert!(b.allow(), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "only one probe in flight");
+        // failed probe re-opens for a full cooldown
+        assert!(b.record(true), "re-trip counts as a trip");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+        assert!(b.allow());
+        // successful probe closes and clears the window
+        assert!(!b.record(false));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.record(true), "cleared window must refill before a trip");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn closed_breaker_always_allows() {
+        let b = Breaker::new(8, 1.0, 4);
+        for _ in 0..100 {
+            assert!(b.allow());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! A hand-rolled consistent-hash ring with virtual nodes.
+//!
+//! Each replica owns [`vnodes`](Ring::vnodes) points on a 64-bit hash
+//! circle; a session key is hashed onto the circle and owned by the first
+//! point at or after it (wrapping). Virtual nodes smooth out the share
+//! each replica owns — with one point per replica the largest arc is
+//! routinely several times the ideal share, with 64 points per replica it
+//! is within a few tens of percent — and they make *drain* cheap: when a
+//! replica stops taking new sessions its keys scatter across all other
+//! replicas (each key falls through to its own next point) instead of
+//! dog-piling onto one neighbor.
+//!
+//! Everything here is a pure function of `(replica_count, vnodes, key)`:
+//! point positions come from a [splitmix64](mix64)-style finalizer over the
+//! `(replica, vnode)` pair and keys are run through the same finalizer, so
+//! ring lookups are identical across processes, machines, and restarts —
+//! the property that lets a restarted router keep routing upgrades of
+//! sessions placed by its predecessor.
+
+/// The splitmix64 output finalizer: an invertible avalanche over `u64`.
+///
+/// Pure and dependency-free — the determinism of the whole ring reduces to
+/// the determinism of this function.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Position of one virtual node: replica `r`'s vnode `v` lands at a point
+/// derived only from `(r, v)`.
+fn point_hash(replica: usize, vnode: usize) -> u64 {
+    mix64(((replica as u64) << 32) | vnode as u64)
+}
+
+/// One virtual node on the circle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Point {
+    hash: u64,
+    replica: usize,
+}
+
+/// The consistent-hash ring: `replicas × vnodes` points sorted around a
+/// 64-bit circle.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    points: Vec<Point>,
+    replicas: usize,
+    vnodes: usize,
+}
+
+impl Ring {
+    /// Builds the ring for `replicas` replicas with `vnodes` virtual nodes
+    /// each (both floored at 1). Two rings built with the same arguments
+    /// are identical — in any process, on any machine.
+    pub fn new(replicas: usize, vnodes: usize) -> Self {
+        let replicas = replicas.max(1);
+        let vnodes = vnodes.max(1);
+        let mut points: Vec<Point> = (0..replicas)
+            .flat_map(|r| {
+                (0..vnodes).map(move |v| Point {
+                    hash: point_hash(r, v),
+                    replica: r,
+                })
+            })
+            .collect();
+        // ties broken by replica index so the order is total and stable
+        points.sort_by_key(|p| (p.hash, p.replica));
+        Ring {
+            points,
+            replicas,
+            vnodes,
+        }
+    }
+
+    /// Number of replicas on the ring.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Virtual nodes per replica.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Index (into `self.points`) of the point owning `key`: the first
+    /// point at or after `mix64(key)`, wrapping past the top of the circle.
+    fn owner_point(&self, key: u64) -> usize {
+        let h = mix64(key);
+        match self.points.partition_point(|p| p.hash < h) {
+            i if i == self.points.len() => 0,
+            i => i,
+        }
+    }
+
+    /// The replica owning `key`.
+    pub fn owner(&self, key: u64) -> usize {
+        self.points[self.owner_point(key)].replica
+    }
+
+    /// Every replica in failover order for `key`: the owner first, then
+    /// each further replica in the order its first point appears walking
+    /// the circle clockwise from the key. Always returns all `replicas`
+    /// distinct indices — the caller filters out unhealthy ones.
+    pub fn successors(&self, key: u64) -> Vec<usize> {
+        let start = self.owner_point(key);
+        let mut seen = vec![false; self.replicas];
+        let mut order = Vec::with_capacity(self.replicas);
+        for offset in 0..self.points.len() {
+            let replica = self.points[(start + offset) % self.points.len()].replica;
+            if !seen[replica] {
+                seen[replica] = true;
+                order.push(replica);
+                if order.len() == self.replicas {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// Fraction of the hash circle each replica owns (sums to 1.0).
+    pub fn shares(&self) -> Vec<f64> {
+        let mut arcs = vec![0u128; self.replicas];
+        for (i, p) in self.points.iter().enumerate() {
+            let prev = if i == 0 {
+                self.points[self.points.len() - 1].hash
+            } else {
+                self.points[i - 1].hash
+            };
+            // arc reaching *backwards* from p belongs to p's replica
+            arcs[p.replica] += u128::from(p.hash.wrapping_sub(prev));
+        }
+        // a single point owns the whole circle (wrapping_sub gave 0)
+        if self.points.len() == 1 {
+            arcs[self.points[0].replica] = 1u128 << 64;
+        }
+        arcs.iter()
+            .map(|&a| a as f64 / (1u128 << 64) as f64)
+            .collect()
+    }
+
+    /// Largest replica share relative to the ideal `1/replicas` share:
+    /// `1.0` is a perfectly balanced ring, `2.0` means the hottest replica
+    /// owns twice its fair slice of the key space.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.shares().into_iter().fold(0.0f64, f64::max);
+        max * self.replicas as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_are_deterministic_across_rebuilds() {
+        let a = Ring::new(5, 64);
+        let b = Ring::new(5, 64);
+        for key in (0..10_000u64).map(|k| k.wrapping_mul(0x2545_f491_4f6c_dd1d)) {
+            assert_eq!(a.owner(key), b.owner(key));
+            assert_eq!(a.successors(key), b.successors(key));
+        }
+    }
+
+    #[test]
+    fn successors_cover_every_replica_starting_at_owner() {
+        let ring = Ring::new(7, 16);
+        for key in 0..500u64 {
+            let order = ring.successors(key);
+            assert_eq!(order[0], ring.owner(key));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..7).collect::<Vec<_>>(), "a permutation");
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_vnodes_tighten_balance() {
+        let ring = Ring::new(4, 64);
+        let total: f64 = ring.shares().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        // more vnodes => strictly closer to the ideal share
+        let coarse = Ring::new(4, 1).imbalance();
+        let fine = Ring::new(4, 256).imbalance();
+        assert!(fine >= 1.0);
+        assert!(fine < coarse, "vnodes reduce imbalance: {fine} < {coarse}");
+        assert!(fine < 1.5, "256 vnodes keeps the hottest arc under 1.5x");
+    }
+
+    #[test]
+    fn keys_spread_over_all_replicas() {
+        let ring = Ring::new(3, 64);
+        let mut counts = [0usize; 3];
+        for key in 0..3000u64 {
+            counts[ring.owner(key)] += 1;
+        }
+        for (replica, &count) in counts.iter().enumerate() {
+            assert!(count > 500, "replica {replica} got {count}/3000 keys");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_are_floored() {
+        let ring = Ring::new(0, 0);
+        assert_eq!(ring.replicas(), 1);
+        assert_eq!(ring.vnodes(), 1);
+        assert_eq!(ring.owner(42), 0);
+        assert_eq!(ring.successors(42), vec![0]);
+        assert!((ring.imbalance() - 1.0).abs() < 1e-9);
+    }
+}

@@ -30,6 +30,11 @@ pub enum AdmissionError {
         /// The configured per-lane capacity.
         capacity: usize,
     },
+    /// The server is draining ([`Server::drain`](crate::Server::drain)):
+    /// it still serves queued work and upgrades of its existing sessions,
+    /// but refuses *new* sessions so a router can migrate fresh traffic to
+    /// another replica.
+    Draining,
     /// The server is shutting down and accepts no new work.
     ShuttingDown,
 }
@@ -39,6 +44,9 @@ impl fmt::Display for AdmissionError {
         match self {
             AdmissionError::QueueFull { depth, capacity } => {
                 write!(f, "lane full: {depth} jobs at capacity {capacity}")
+            }
+            AdmissionError::Draining => {
+                write!(f, "replica is draining: new sessions are not admitted")
             }
             AdmissionError::ShuttingDown => write!(f, "server is shut down"),
         }
@@ -99,7 +107,7 @@ impl From<ServeError> for SteppingError {
             ServeError::Admission(AdmissionError::ShuttingDown) => {
                 SteppingError::BadConfig("server is shut down".into())
             }
-            ServeError::Admission(full) => SteppingError::Worker(full.to_string()),
+            ServeError::Admission(refused) => SteppingError::Worker(refused.to_string()),
             ServeError::Invalid(inner) => inner,
         }
     }

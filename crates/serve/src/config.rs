@@ -156,64 +156,6 @@ impl ServeConfig {
         ServeConfigBuilder::default()
     }
 
-    /// A configuration with the defaults above.
-    #[deprecated(since = "0.7.0", note = "use `ServeConfig::builder()...build()`")]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Number of worker threads, each owning a replica of the network.
-    #[deprecated(since = "0.7.0", note = "use `ServeConfig::builder().workers(..)`")]
-    pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = workers;
-        self
-    }
-
-    /// Largest number of requests fused into one batched pass. `1` disables
-    /// micro-batching (every request runs alone).
-    #[deprecated(since = "0.7.0", note = "use `ServeConfig::builder().max_batch(..)`")]
-    pub fn max_batch(mut self, max_batch: usize) -> Self {
-        self.max_batch = max_batch;
-        self
-    }
-
-    /// Longest time a lane holds an incomplete batch open waiting for
-    /// compatible requests before flushing it.
-    #[deprecated(since = "0.7.0", note = "use `ServeConfig::builder().max_wait(..)`")]
-    pub fn max_wait(mut self, max_wait: Duration) -> Self {
-        self.max_wait = max_wait;
-        self
-    }
-
-    /// Inference-side configuration (prune threshold, device model, start
-    /// subnet).
-    #[deprecated(since = "0.7.0", note = "use `ServeConfig::builder().session(..)`")]
-    pub fn session(mut self, session: SessionConfig) -> Self {
-        self.session = session;
-        self
-    }
-
-    /// Writes a metrics snapshot (one JSON line) to `path` every
-    /// [`get_metrics_interval`](Self::get_metrics_interval).
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `ServeConfig::builder().metrics_snapshot(..)`"
-    )]
-    pub fn metrics_snapshot(mut self, path: impl Into<PathBuf>) -> Self {
-        self.metrics_snapshot = Some(path.into());
-        self
-    }
-
-    /// Interval between background metrics snapshots (default 500 ms).
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `ServeConfig::builder().metrics_interval(..)`"
-    )]
-    pub fn metrics_interval(mut self, interval: Duration) -> Self {
-        self.metrics_interval = interval;
-        self
-    }
-
     /// Configured worker count.
     pub fn get_workers(&self) -> usize {
         self.workers
@@ -260,7 +202,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builder_and_deprecated_chain_agree() {
+    fn builder_reaches_every_knob() {
         let built = ServeConfig::builder()
             .workers(4)
             .max_batch(16)
@@ -274,18 +216,13 @@ mod tests {
         assert_eq!(built.get_lane_capacity(), 32);
         assert_eq!(built.get_shed_policy(), ShedPolicy::Reject);
 
-        // the pre-builder path still compiles and produces the same config
-        #[allow(deprecated)]
-        let legacy = ServeConfig::new()
-            .workers(4)
-            .max_batch(16)
-            .max_wait(Duration::from_micros(50));
-        assert_eq!(legacy.get_workers(), built.get_workers());
-        assert_eq!(legacy.get_max_batch(), built.get_max_batch());
-        assert_eq!(legacy.get_max_wait(), built.get_max_wait());
-        // knobs the legacy chain cannot reach keep their defaults
-        assert_eq!(legacy.get_lane_capacity(), 64);
-        assert_eq!(legacy.get_shed_policy(), ShedPolicy::Downgrade);
+        // untouched knobs keep the documented defaults
+        let defaults = ServeConfig::builder().build();
+        assert_eq!(defaults.get_workers(), 2);
+        assert_eq!(defaults.get_max_batch(), 8);
+        assert_eq!(defaults.get_max_wait(), Duration::from_micros(200));
+        assert_eq!(defaults.get_lane_capacity(), 64);
+        assert_eq!(defaults.get_shed_policy(), ShedPolicy::Downgrade);
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //! exactly that). Deadline-less lanes sort last and fall back to
 //! oldest-first among themselves.
 //!
+//! **Work stealing** keeps a single hot lane from serializing the pool
+//! under skewed traffic: when the scan finds exactly one ready lane and it
+//! is a *mega-lane* (depth ≥ `2 * max_batch`, so one claim cannot empty
+//! it — [`splittable`]), a worker that loses the claim race takes the
+//! remaining tail as a partial batch instead of sleeping on the flush
+//! timer. Balanced traffic never triggers it, so batch quality elsewhere
+//! is untouched.
+//!
 //! **Sleeping** uses an eventcount-style doorbell: a version word bumped
 //! on every push plus a sleeper count, so an idle worker can re-check the
 //! hints and go to sleep without a lost-wakeup window, and a push only
@@ -198,6 +206,30 @@ impl LaneView {
             .saturating_add(max_wait_ns)
             .min(self.earliest_deadline_ns)
     }
+}
+
+/// Whether the chosen lane is a splittable *mega-lane*: it is the only
+/// ready lane in the scan and holds at least `2 * max_batch` jobs, so one
+/// claim cannot empty it. A worker that loses the claim race on such a
+/// lane may take the remaining tail as a partial batch instead of going
+/// back to sleep on the flush timer — under skewed traffic a single hot
+/// batch key would otherwise serialize the replica: the tail below
+/// `max_batch` sits out `max_wait` while every other worker idles. Pure,
+/// like [`select_lane`], so tests can drive it directly.
+pub(crate) fn splittable(
+    views: &[LaneView],
+    chosen: usize,
+    now_ns: u64,
+    max_batch: usize,
+    max_wait_ns: u64,
+    draining: bool,
+) -> bool {
+    views[chosen].depth >= max_batch.saturating_mul(2)
+        && views.iter().enumerate().all(|(index, view)| {
+            index == chosen
+                || view.depth == 0
+                || !(draining || view.depth >= max_batch || now_ns >= view.due_ns(max_wait_ns))
+        })
 }
 
 /// The scheduling decision over a hint scan.
@@ -472,7 +504,20 @@ impl LaneSet {
             let views: Vec<LaneView> = self.lanes.iter().map(Lane::view).collect();
             let pick = select_lane(&views, now_ns, self.max_batch, self.max_wait_ns(), draining);
             if let Some(index) = pick.lane {
-                if let Some(batch) = self.claim(index, worker) {
+                // Work stealing: when the pick is the only ready lane and a
+                // mega-lane (depth >= 2 * max_batch), a worker that loses
+                // the claim race may take whatever tail is left as a
+                // partial batch rather than sleeping — one hot batch key
+                // must not serialize the whole worker pool.
+                let split = splittable(
+                    &views,
+                    index,
+                    now_ns,
+                    self.max_batch,
+                    self.max_wait_ns(),
+                    draining,
+                );
+                if let Some(batch) = self.claim(index, worker, split) {
                     return Some(batch);
                 }
                 // lost the race for that lane — rescan immediately
@@ -496,7 +541,15 @@ impl LaneSet {
 
     /// Claims up to `max_batch` jobs from lane `index`, re-validating
     /// readiness under the lane lock (the hint scan raced other workers).
-    fn claim(&self, index: usize, worker: usize) -> Option<(BatchKey, Vec<Job>)> {
+    /// With `allow_partial` — the scan saw a splittable mega-lane — a lane
+    /// whose remaining tail fell below readiness is still claimed rather
+    /// than left to wait out its flush timer next to an idle worker.
+    fn claim(
+        &self,
+        index: usize,
+        worker: usize,
+        allow_partial: bool,
+    ) -> Option<(BatchKey, Vec<Job>)> {
         let lane = &self.lanes[index];
         // Lock wait is the contended lane-mutex acquisition only; doorbell
         // sleeps are idle time, not contention.
@@ -507,7 +560,8 @@ impl LaneSet {
         let draining = self.shutting_down.load(Ordering::SeqCst);
         let view = self.recompute(&queue);
         let ready = view.depth > 0
-            && (draining
+            && (allow_partial
+                || draining
                 || view.depth >= self.max_batch
                 || now_ns >= view.due_ns(self.max_wait_ns()));
         if !ready {
@@ -699,6 +753,99 @@ mod tests {
         let (_, batch) = set.take_batch(0).expect("draining flushes the lane");
         assert_eq!(batch.len(), 1);
         assert!(set.take_batch(0).is_none());
+    }
+
+    #[test]
+    fn partial_claim_steals_mega_lane_tail() {
+        // max_wait far in the future: the tail would normally sit until the
+        // flush timer. A partial claim (the work-stealing path) takes it
+        // immediately.
+        let set = test_set(1, 4, Duration::from_secs(3600), 64);
+        let mut rxs = Vec::new();
+        for id in 0..3 {
+            let (job, rx) = begin_job(id, 0, None);
+            set.push(job).map_err(|_| "push").unwrap();
+            rxs.push(rx);
+        }
+        assert!(
+            set.claim(0, 0, false).is_none(),
+            "3 < max_batch and the timer has not fired: not ready"
+        );
+        let (key, batch) = set.claim(0, 0, true).expect("partial claim");
+        assert_eq!(key, BatchKey::Begin { subnet: 0 });
+        assert_eq!(batch.len(), 3, "the whole tail is stolen");
+        assert!(set.claim(0, 0, true).is_none(), "empty lane never claims");
+    }
+
+    #[test]
+    fn splittable_requires_single_ready_mega_lane() {
+        let mega = LaneView {
+            depth: 16,
+            oldest_ns: 1_000,
+            earliest_deadline_ns: NONE_NS,
+        };
+        let empty = LaneView {
+            depth: 0,
+            oldest_ns: NONE_NS,
+            earliest_deadline_ns: NONE_NS,
+        };
+        let pending = LaneView {
+            depth: 2,
+            oldest_ns: 5_000,
+            earliest_deadline_ns: NONE_NS,
+        };
+        let ready = LaneView {
+            depth: 8,
+            oldest_ns: 5_000,
+            earliest_deadline_ns: NONE_NS,
+        };
+        let max_batch = 8;
+        let max_wait = 100_000;
+        // a lone mega-lane splits; empty and unready lanes don't block it
+        assert!(splittable(
+            &[mega, empty, pending],
+            0,
+            0,
+            max_batch,
+            max_wait,
+            false
+        ));
+        // a second *ready* lane means the loser has other work to claim
+        assert!(!splittable(
+            &[mega, ready],
+            0,
+            0,
+            max_batch,
+            max_wait,
+            false
+        ));
+        // depth below 2 * max_batch: one claim empties it, nothing to split
+        assert!(!splittable(
+            &[ready, empty],
+            0,
+            0,
+            max_batch,
+            max_wait,
+            false
+        ));
+        // draining makes every pending lane ready, so nothing splits
+        assert!(!splittable(
+            &[mega, pending],
+            0,
+            0,
+            max_batch,
+            max_wait,
+            true
+        ));
+        // the pending lane's own timer firing makes it ready too
+        assert!(!splittable(
+            &[mega, pending],
+            0,
+            200_000,
+            max_batch,
+            max_wait,
+            false
+        ));
     }
 
     #[test]

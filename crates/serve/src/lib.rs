@@ -35,6 +35,12 @@
 //!   paying only the newly added neurons plus the new head (the paper's
 //!   incremental property, per request). The response reports the
 //!   cache-reuse ratio.
+//! * **Replica lifecycle** — [`Server::drain`] refuses *new* sessions
+//!   while still serving queued work and upgrades of existing ones (their
+//!   activation caches live on this replica and nowhere else), and the
+//!   [`ReplicaHandle`] trait is the surface a scale-out front door
+//!   (`stepping-router`) drives: submit/upgrade/release plus the
+//!   drain → shutdown lifecycle.
 //!
 //! Configuration is two-layered: the runtime's
 //! [`SessionConfig`](stepping_runtime::SessionConfig) supplies the
@@ -50,12 +56,14 @@ mod admission;
 mod config;
 mod lane;
 mod metrics;
+mod replica;
 mod request;
 mod server;
 mod stats;
 
 pub use admission::{AdmissionError, ServeError};
 pub use config::{ServeConfig, ServeConfigBuilder, ShedPolicy};
+pub use replica::ReplicaHandle;
 pub use request::{Outcome, Request, Response, Ticket};
 pub use server::Server;
 pub use stats::ServerStats;

@@ -1,0 +1,93 @@
+//! The replica-handle abstraction a front door drives.
+//!
+//! `stepping-router` shards sessions across N independent [`Server`]
+//! replicas; everything it needs from one replica is this small, dyn-safe
+//! surface — admission ([`submit`](ReplicaHandle::submit) /
+//! [`upgrade`](ReplicaHandle::upgrade)), session accounting, and the
+//! drain → shutdown lifecycle. Keeping the trait here, next to [`Server`],
+//! means the serving engine states its own contract: any alternative
+//! replica (a remote proxy, a test double) implements the same hooks and
+//! the router cannot depend on `Server` internals.
+
+use crate::admission::ServeError;
+use crate::request::{Request, Ticket};
+use crate::server::Server;
+use crate::stats::ServerStats;
+
+/// One serving replica as seen by a routing front door.
+///
+/// [`Server`] is the canonical implementation; test doubles implement it
+/// to drive router logic without spinning up worker pools. All methods
+/// take `&self` — a replica is shared across router threads.
+pub trait ReplicaHandle: Send + Sync + std::fmt::Debug {
+    /// Submits a request that starts a **new** session on this replica.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Admission`] under overload, drain, or shutdown;
+    /// [`ServeError::Invalid`] for a malformed request.
+    fn submit(&self, request: Request) -> Result<Ticket, ServeError>;
+
+    /// Upgrades an existing session of this replica (its activation cache
+    /// lives here), reusing the cached activations.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Invalid`] for an unknown session or bad budget;
+    /// [`ServeError::Admission`] under overload or shutdown.
+    fn upgrade(&self, session: u64, extra_budget_us: Option<f64>) -> Result<Ticket, ServeError>;
+
+    /// Forgets a session, freeing its activation cache.
+    fn release(&self, session: u64);
+
+    /// Number of sessions currently retained by this replica.
+    fn session_count(&self) -> usize;
+
+    /// Stops admitting new sessions while continuing to serve queued work
+    /// and upgrades of existing ones. Idempotent.
+    fn drain(&self);
+
+    /// Whether [`drain`](ReplicaHandle::drain) has been called.
+    fn is_draining(&self) -> bool;
+
+    /// Graceful shutdown: drains every queued request and joins workers.
+    /// Idempotent.
+    fn shutdown(&self);
+
+    /// Aggregate serving statistics so far.
+    fn stats(&self) -> ServerStats;
+}
+
+impl ReplicaHandle for Server {
+    fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        Server::submit(self, request)
+    }
+
+    fn upgrade(&self, session: u64, extra_budget_us: Option<f64>) -> Result<Ticket, ServeError> {
+        Server::upgrade(self, session, extra_budget_us)
+    }
+
+    fn release(&self, session: u64) {
+        Server::release(self, session);
+    }
+
+    fn session_count(&self) -> usize {
+        Server::session_count(self)
+    }
+
+    fn drain(&self) {
+        Server::drain(self);
+    }
+
+    fn is_draining(&self) -> bool {
+        Server::is_draining(self)
+    }
+
+    fn shutdown(&self) {
+        Server::shutdown(self);
+    }
+
+    fn stats(&self) -> ServerStats {
+        Server::stats(self)
+    }
+}

@@ -131,15 +131,6 @@ impl Response {
     pub fn prediction(&self) -> usize {
         self.logits.argmax()
     }
-
-    /// The old boolean view of [`outcome`](Response::outcome): `true` for
-    /// [`Outcome::Met`] and [`Outcome::CacheHit`], `false` for every
-    /// degradation — which conflates downgrades, deadline misses, and
-    /// sheds. Match on `outcome` instead.
-    #[deprecated(since = "0.7.0", note = "match on `Response::outcome` instead")]
-    pub fn deadline_met(&self) -> bool {
-        matches!(self.outcome, Outcome::Met | Outcome::CacheHit)
-    }
 }
 
 /// A pending response: returned by
@@ -153,6 +144,16 @@ pub struct Ticket {
 }
 
 impl Ticket {
+    /// A ticket already holding its answer. This is how replica test
+    /// doubles (implementing
+    /// [`ReplicaHandle`](crate::ReplicaHandle)) and synchronous answer
+    /// paths hand back a `Ticket` without a worker in the loop.
+    pub fn resolved(result: Result<Response>) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(result);
+        Ticket { rx }
+    }
+
     /// Blocks until the server answers this request.
     ///
     /// # Errors

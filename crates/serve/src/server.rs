@@ -2,7 +2,7 @@
 //! control, and the sharded-lane dispatch loop.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -46,6 +46,9 @@ struct Shared {
     sessions: Mutex<HashMap<u64, SessionEntry>>,
     next_id: AtomicU64,
     next_session: AtomicU64,
+    /// Replica drain ([`Server::drain`]): new sessions are refused while
+    /// queued work and upgrades of existing sessions keep flowing.
+    draining: AtomicBool,
     stats: StatsInner,
     metrics: Arc<crate::metrics::ServeMetrics>,
 }
@@ -226,6 +229,7 @@ impl Server {
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
             stats: StatsInner::default(),
             metrics,
         });
@@ -278,6 +282,11 @@ impl Server {
     }
 
     fn submit_inner(&self, request: Request) -> std::result::Result<Ticket, ServeError> {
+        // a draining replica serves what it already owns but starts nothing
+        // new — the front door routes fresh sessions to another replica
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return Err(AdmissionError::Draining.into());
+        }
         let (subnet, budget_us) = self.resolve_begin(request.target)?;
         let dims = request.input.shape().dims();
         if dims.is_empty() || dims[0] == 0 {
@@ -538,6 +547,23 @@ impl Server {
             batch_size: 0,
             cache_reuse: 1.0,
         }
+    }
+
+    /// Starts draining this replica: new sessions
+    /// ([`submit`](Server::submit)) are refused with
+    /// [`AdmissionError::Draining`], while queued work and
+    /// [`upgrade`](Server::upgrade)s of existing sessions — whose
+    /// activation caches live here and nowhere else — keep being served.
+    /// A front door migrates fresh traffic to other replicas and calls
+    /// [`shutdown`](Server::shutdown) once
+    /// [`session_count`](Server::session_count) reaches zero. Idempotent.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`drain`](Server::drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
     }
 
     /// Forgets a session, freeing its activation cache. Unknown sessions

@@ -103,10 +103,6 @@ fn deadline_budget_picks_largest_affordable_subnet() {
         }
     );
     assert!(resp.outcome.is_degraded());
-    #[allow(deprecated)]
-    {
-        assert!(!resp.deadline_met(), "boolean shim agrees");
-    }
     assert_eq!(srv.stats().deadline_misses, 1);
 
     // a generous budget affords the largest subnet
@@ -236,6 +232,39 @@ fn shutdown_drains_queued_requests() {
         assert_eq!(resp.subnet, 0);
     }
     assert_eq!(srv.stats().requests, 6);
+}
+
+#[test]
+fn drain_refuses_new_sessions_but_serves_upgrades() {
+    use stepping_serve::{AdmissionError, ReplicaHandle, ServeError};
+
+    let srv = server(1, 2, Duration::from_micros(50));
+    let resp = srv
+        .submit(Request::at_subnet(sample(900), 0))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(!srv.is_draining());
+    srv.drain();
+    assert!(srv.is_draining());
+    // new sessions are refused with the typed drain error...
+    match srv.submit(Request::at_subnet(sample(901), 0)) {
+        Err(ServeError::Admission(AdmissionError::Draining)) => {}
+        other => panic!("expected Draining refusal, got {other:?}"),
+    }
+    // ...but the existing session still upgrades where its cache lives
+    let upgraded = srv.upgrade(resp.session, None).unwrap().wait().unwrap();
+    assert_eq!(upgraded.subnet, 2);
+    assert!(
+        upgraded.cache_reuse > 0.0,
+        "upgrade reused the drained cache"
+    );
+    srv.release(upgraded.session);
+    assert_eq!(srv.session_count(), 0);
+    // the same lifecycle is reachable through the ReplicaHandle trait
+    let handle: &dyn ReplicaHandle = &srv;
+    assert!(handle.is_draining());
+    handle.shutdown();
 }
 
 #[test]

@@ -66,6 +66,11 @@ cargo test -q --release -p stepping-serve --test stress
 echo "==> stepping-serve release admission + soak"
 cargo test -q --release -p stepping-serve --test admission --test soak
 
+# Router front door: ring/breaker units, the two-replica drain/failover
+# integration cycle, and the zero-leak + ring-determinism property suite.
+echo "==> stepping-router crate tests"
+cargo test -q -p stepping-router --features metrics
+
 # Packed-plan smoke run: asserts packed/masked logits bit-identity and the
 # >=2x subnet-0 speedup on the bench MLP, and refreshes BENCH_plans.json.
 echo "==> packed-plan bench smoke (plans)"
@@ -93,6 +98,14 @@ STEPPING_PARALLEL_REPS=3 cargo run -q --release -p stepping-bench --bin parallel
 echo "==> serve bench smoke (serve)"
 STEPPING_SERVE_SMOKE=1 cargo run -q --release -p stepping-bench --bin serve
 
+# Router bench smoke: two-replica fleet behind the consistent-hash front
+# door under uniform and zipf-skewed keys. Placement-balance and
+# zero-reroute gates always run (deterministic key draws); the zipf
+# >=1.5x two-replica throughput gate self-enables on >=4 cores
+# (STEPPING_ROUTER_ASSERT=1 forces it).
+echo "==> router bench smoke (router)"
+STEPPING_ROUTER_REPS=6 cargo run -q --release -p stepping-bench --bin router
+
 # Bench-regression comparator: the fresh BENCH_*.json runs from the legs
 # above against checked-in baselines. plans/parallel compare against the
 # full baselines (same workload shape, fewer reps); the smoke serve run
@@ -106,5 +119,11 @@ cargo run -q --release -p stepping-bench --bin bench_compare -- \
 cargo run -q --release -p stepping-bench --bin bench_compare -- \
     --baseline results/baselines/smoke --threshold-pct 75 \
     --ignore lock_wait --ignore overhead_pct BENCH_serve.json
+# Router placement is deterministic (seeded key draws), so shares, reroute
+# counts and ring imbalance must match the smoke baseline exactly; raw
+# throughput/latency are machine-dependent and excluded.
+cargo run -q --release -p stepping-bench --bin bench_compare -- \
+    --baseline results/baselines/smoke --threshold-pct 75 \
+    --ignore throughput_rps --ignore p50_us --ignore speedup BENCH_router.json
 
 echo "check.sh: all gates passed"

@@ -19,6 +19,9 @@
 //!   pool, canonical sharding, fixed-order tree reduction — see
 //!   `docs/PARALLELISM.md`),
 //! * [`serve`] — the concurrent, deadline-aware batched serving engine,
+//! * [`router`] — the scale-out front door: consistent-hash session
+//!   sharding across serving replicas with sticky incremental upgrades,
+//!   health breakers and graceful drain (see `docs/SERVING.md`),
 //! * [`verify`] — the static invariant analyzer (rules R1–R6) and the
 //!   `stepping-verify` checkpoint lint CLI,
 //! * [`obs`] — structured observability: event sinks (console + JSONL),
@@ -59,6 +62,7 @@ pub use stepping_metrics as metrics;
 pub use stepping_models as models;
 pub use stepping_nn as nn;
 pub use stepping_obs as obs;
+pub use stepping_router as router;
 pub use stepping_runtime as runtime;
 pub use stepping_serve as serve;
 pub use stepping_tensor as tensor;
@@ -87,10 +91,11 @@ pub mod prelude {
         SteppingNetBuilder,
     };
     pub use stepping_data::{Dataset, Split};
+    pub use stepping_router::{RoutedTicket, Router, RouterConfig, RouterConfigBuilder};
     pub use stepping_runtime::{DeviceModel, ResourceTrace, Session, SessionConfig, UpgradePolicy};
     pub use stepping_serve::{
-        AdmissionError, Outcome, Request, Response, ServeConfig, ServeConfigBuilder, ServeError,
-        Server, ShedPolicy, Ticket,
+        AdmissionError, Outcome, ReplicaHandle, Request, Response, ServeConfig, ServeConfigBuilder,
+        ServeError, Server, ShedPolicy, Ticket,
     };
     pub use stepping_tensor::{init, Shape, Tensor};
 }
